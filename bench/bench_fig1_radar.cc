@@ -1,0 +1,150 @@
+// Reproduces Fig. 1: the performance radar of BIGCity across the eight ST
+// tasks, against a strong task-specific baseline per task (START for
+// trajectory tasks, RNTrajRec for recovery, SSTBAN for traffic tasks).
+// Values are normalized so the task-specific baseline = 1.00; bars > 1.00
+// mean BIGCity wins on that axis.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/recovery/seq2seq_recovery.h"
+#include "baselines/traffic/norm_attn_models.h"
+#include "baselines/traffic/traffic_harness.h"
+#include "baselines/traj/start_encoder.h"
+#include "baselines/traj/traj_harness.h"
+#include "bench/common.h"
+#include "data/masking.h"
+#include "nn/ops.h"
+#include "train/metrics.h"
+
+namespace bigcity {
+namespace {
+
+struct Axis {
+  std::string task;
+  double ours;      // Higher-is-better score for BIGCity.
+  double baseline;  // Same for the task-specific baseline.
+};
+
+void PrintRadar(const std::vector<Axis>& axes) {
+  std::printf("\n%-10s %10s %10s %8s  %s\n", "Task", "Baseline", "BIGCity",
+              "Ratio", "BIGCity vs baseline (#=0.1)");
+  for (const auto& axis : axes) {
+    const double ratio =
+        axis.baseline > 0 ? axis.ours / axis.baseline : 0.0;
+    const int bars = std::clamp(static_cast<int>(ratio * 10.0 + 0.5), 0, 30);
+    std::printf("%-10s %10.3f %10.3f %8.2f  %s%s\n", axis.task.c_str(),
+                axis.baseline, axis.ours, ratio,
+                std::string(static_cast<size_t>(bars), '#').c_str(),
+                ratio >= 1.0 ? "  <= wins" : "");
+  }
+}
+
+}  // namespace
+}  // namespace bigcity
+
+int main() {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  std::printf("Fig. 1 reproduction: per-task radar (XA). Error metrics are "
+              "inverted (1/MAE, 1/MAPE) so larger = better on every "
+              "axis.\n");
+  data::CityDataset dataset(bench::BenchCity("XA"));
+  std::vector<Axis> axes;
+
+  // BIGCity: one cached co-trained model for all eight tasks.
+  auto model = bench::TrainedBigCity(&dataset, core::BigCityConfig{},
+                                     bench::BenchTrainConfig(), "bigcity_XA");
+  train::Evaluator evaluator(model.get(), bench::BenchEvalConfig());
+  const auto ours_tte = evaluator.EvaluateTravelTime();
+  const auto ours_clas = evaluator.EvaluateUserClassification();
+  const auto ours_next = evaluator.EvaluateNextHop();
+  const auto ours_simi = evaluator.EvaluateSimilarity();
+  const auto ours_reco = evaluator.EvaluateRecovery(0.85);
+  const auto ours_one = evaluator.EvaluateTrafficPrediction(1);
+  const auto ours_multi = evaluator.EvaluateTrafficPrediction(6);
+  const auto ours_tsi = evaluator.EvaluateTrafficImputation(0.25);
+
+  {  // START for the four non-generative trajectory tasks.
+    util::Rng rng(21);
+    baselines::StartEncoder start(&dataset, 32, &rng);
+    baselines::TrajHarnessConfig config;
+    config.pretrain_epochs = 2;
+    config.task_epochs = 2;
+    config.max_train_samples = 150;
+    config.eval = bench::BenchEvalConfig();
+    baselines::TrajTaskHarness harness(&start, config);
+    harness.Pretrain();
+    axes.push_back({"TTE", 1.0 / std::max(0.01, ours_tte.mae),
+                    1.0 / std::max(0.01, harness.TrainAndEvalTravelTime().mae)});
+    axes.push_back({"CLAS", ours_clas.macro_f1,
+                    harness.TrainAndEvalUserClassification().macro_f1});
+    axes.push_back({"Next", ours_next.accuracy,
+                    harness.TrainAndEvalNextHop().accuracy});
+    axes.push_back(
+        {"Simi", ours_simi.hr10, harness.EvalSimilarity().hr10});
+  }
+  {  // RNTrajRec for recovery (85% mask).
+    util::Rng rng(22);
+    baselines::RnTrajRec recoverer(&dataset, 32, &rng);
+    std::vector<data::Trajectory> corpus;
+    for (const auto& trip : dataset.train()) {
+      if (trip.length() >= 8) corpus.push_back(trip);
+      if (corpus.size() >= 120) break;
+    }
+    recoverer.Train(corpus, 0.85);
+    util::Rng mask_rng(23);
+    std::vector<int> predictions, targets;
+    int used = 0;
+    for (const auto& trip : dataset.test()) {
+      if (trip.length() < 10 || ++used > 50) continue;
+      auto kept = data::DownsampleKeepIndices(trip.length(), 0.85, &mask_rng);
+      auto dropped = data::ComplementIndices(trip.length(), kept);
+      if (dropped.empty()) continue;
+      auto predicted = recoverer.Recover(trip, kept);
+      for (size_t k = 0; k < dropped.size(); ++k) {
+        predictions.push_back(predicted[k]);
+        targets.push_back(
+            trip.points[static_cast<size_t>(dropped[k])].segment);
+      }
+    }
+    const double baseline_acc =
+        predictions.empty() ? 0.0 : train::Accuracy(predictions, targets);
+    axes.push_back({"Reco", ours_reco.accuracy, baseline_acc});
+  }
+  {  // SSTBAN for the three traffic tasks.
+    baselines::TrafficHarnessConfig config;
+    config.epochs = 6;
+    config.train_samples = 60;
+    config.eval_samples = 40;
+    baselines::TrafficTaskHarness harness(&dataset, config);
+    util::Rng rng(24);
+    baselines::Sstban one(&dataset, config.window, data::kTrafficChannels,
+                          data::kTrafficChannels, 32, &rng);
+    axes.push_back({"O-Step", 1.0 / std::max(0.01, ours_one.mae),
+                    1.0 / std::max(0.01, harness.TrainAndEvalPrediction(
+                                             &one, 1).mae)});
+    baselines::Sstban multi(&dataset, config.window, data::kTrafficChannels,
+                            6 * data::kTrafficChannels, 32, &rng);
+    axes.push_back({"M-Step", 1.0 / std::max(0.01, ours_multi.mae),
+                    1.0 / std::max(0.01, harness.TrainAndEvalPrediction(
+                                             &multi, 6).mae)});
+    baselines::Sstban impute(&dataset, config.window,
+                             data::kTrafficChannels + 1,
+                             config.window * data::kTrafficChannels, 32,
+                             &rng);
+    axes.push_back({"TSI", 1.0 / std::max(0.01, ours_tsi.mae),
+                    1.0 / std::max(0.01, harness.TrainAndEvalImputation(
+                                             &impute, 0.25).mae)});
+  }
+
+  // Normalize so each baseline axis = 1.0.
+  for (auto& axis : axes) {
+    if (axis.baseline > 0) {
+      axis.ours /= axis.baseline;
+      axis.baseline = 1.0;
+    }
+  }
+  PrintRadar(axes);
+  return 0;
+}

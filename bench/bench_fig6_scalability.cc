@@ -1,0 +1,261 @@
+// Reproduces Fig. 6: efficiency and scalability.
+//   (a) inference time to embed N trajectories (BIGCity vs an RNN baseline
+//       vs a self-attention baseline) — BIGCity scales linearly;
+//   (b) average per-query search time as the database grows — embedding
+//       search is near-constant per query while classic DP measures
+//       (DTW/LCSS/Frechet/EDR) grow with database size;
+//   (c) mean rank of the ground truth as data size grows — BIGCity stays
+//       robust while classic measures degrade.
+// Per-item kernels are measured with google-benchmark; the sweeps print
+// paper-style series tables.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/similarity/classic_similarity.h"
+#include "baselines/traj/rnn_encoders.h"
+#include "baselines/traj/start_encoder.h"
+#include "bench/common.h"
+#include "nn/ops.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace bigcity {
+namespace {
+
+struct Pools {
+  data::CityDataset* dataset = nullptr;
+  core::BigCityModel* model = nullptr;
+  baselines::Trajectory2Vec* rnn = nullptr;
+  baselines::StartEncoder* attn = nullptr;
+  std::vector<data::Trajectory> queries, database;  // Odd/even halves.
+};
+
+Pools* g_pools = nullptr;
+
+data::Trajectory EveryOther(const data::Trajectory& trip, int parity) {
+  data::Trajectory result;
+  result.user_id = trip.user_id;
+  for (int l = parity; l < trip.length(); l += 2) {
+    result.points.push_back(trip.points[static_cast<size_t>(l)]);
+  }
+  return result;
+}
+
+double Cosine(const nn::Tensor& a, const nn::Tensor& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    dot += static_cast<double>(a.data()[i]) * b.data()[i];
+    na += static_cast<double>(a.data()[i]) * a.data()[i];
+    nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+
+// --- google-benchmark kernels: per-trajectory costs -------------------------
+
+void BM_BigCityEmbed(benchmark::State& state) {
+  const auto& trip = g_pools->queries[0];
+  for (auto _ : state) {
+    g_pools->model->BeginStep();
+    benchmark::DoNotOptimize(g_pools->model->Embed(trip));
+  }
+}
+BENCHMARK(BM_BigCityEmbed);
+
+void BM_RnnEmbed(benchmark::State& state) {
+  const auto& trip = g_pools->queries[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_pools->rnn->Embed(trip));
+  }
+}
+BENCHMARK(BM_RnnEmbed);
+
+void BM_SelfAttnEmbed(benchmark::State& state) {
+  const auto& trip = g_pools->queries[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_pools->attn->Embed(trip));
+  }
+}
+BENCHMARK(BM_SelfAttnEmbed);
+
+void BM_DtwPair(benchmark::State& state) {
+  auto a = baselines::ToPointSequence(g_pools->dataset->network(),
+                                      g_pools->queries[0]);
+  auto b = baselines::ToPointSequence(g_pools->dataset->network(),
+                                      g_pools->database[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::DtwDistance(a, b));
+  }
+}
+BENCHMARK(BM_DtwPair);
+
+// --- Sweeps ------------------------------------------------------------------
+
+/// (a) Representation-generation time vs number of samples.
+void SweepInference() {
+  util::TablePrinter table({"#samples", "BIGCity (s)", "RNN (s)",
+                            "Self-Attn (s)"});
+  for (int n : {100, 200, 400}) {
+    util::Stopwatch watch;
+    for (int i = 0; i < n; ++i) {
+      g_pools->model->BeginStep();
+      g_pools->model
+          ->Embed(g_pools->queries[static_cast<size_t>(i) %
+                                   g_pools->queries.size()])
+          .data();
+    }
+    const double ours = watch.ElapsedSeconds();
+    watch.Restart();
+    for (int i = 0; i < n; ++i) {
+      g_pools->rnn
+          ->Embed(g_pools->queries[static_cast<size_t>(i) %
+                                   g_pools->queries.size()])
+          .data();
+    }
+    const double rnn = watch.ElapsedSeconds();
+    watch.Restart();
+    for (int i = 0; i < n; ++i) {
+      g_pools->attn
+          ->Embed(g_pools->queries[static_cast<size_t>(i) %
+                                   g_pools->queries.size()])
+          .data();
+    }
+    const double attn = watch.ElapsedSeconds();
+    table.AddRow({std::to_string(n), bench::Fmt(ours, 2),
+                  bench::Fmt(rnn, 2), bench::Fmt(attn, 2)});
+  }
+  std::printf("\n(a) Inference efficiency: time to generate N "
+              "representations\n");
+  table.Print();
+}
+
+/// (b)+(c) Search time and mean rank vs database size.
+void SweepSearch() {
+  util::TablePrinter time_table({"DB size", "BIGCity (ms/query)",
+                                 "DTW (ms/query)", "LCSS (ms/query)",
+                                 "Frechet (ms/query)", "EDR (ms/query)"});
+  util::TablePrinter rank_table({"DB size", "BIGCity", "DTW", "LCSS",
+                                 "Frechet", "EDR"});
+  const int max_queries = 30;
+  for (size_t db_size : {20u, 60u, 120u}) {
+    const size_t usable =
+        std::min({db_size, g_pools->database.size(), g_pools->queries.size()});
+    const int num_queries =
+        std::min<int>(max_queries, static_cast<int>(usable));
+
+    // Embedding search: database embeddings precomputed once (as a real
+    // system would), queries embedded + ranked by cosine.
+    std::vector<nn::Tensor> db_embeddings;
+    for (size_t d = 0; d < usable; ++d) {
+      g_pools->model->BeginStep();
+      db_embeddings.push_back(
+          g_pools->model->Embed(g_pools->database[d]).Detached());
+    }
+    util::Stopwatch watch;
+    double ours_rank = 0;
+    for (int q = 0; q < num_queries; ++q) {
+      g_pools->model->BeginStep();
+      nn::Tensor query =
+          g_pools->model->Embed(g_pools->queries[static_cast<size_t>(q)])
+              .Detached();
+      std::vector<std::pair<double, size_t>> scored;
+      for (size_t d = 0; d < usable; ++d) {
+        scored.emplace_back(Cosine(query, db_embeddings[d]), d);
+      }
+      std::sort(scored.begin(), scored.end(), std::greater<>());
+      for (size_t r = 0; r < scored.size(); ++r) {
+        if (scored[r].second == static_cast<size_t>(q)) {
+          ours_rank += static_cast<double>(r + 1);
+          break;
+        }
+      }
+    }
+    const double ours_ms = watch.ElapsedMillis() / num_queries;
+    ours_rank /= num_queries;
+
+    std::vector<std::string> time_row = {std::to_string(usable),
+                                         bench::Fmt(ours_ms, 2)};
+    std::vector<std::string> rank_row = {std::to_string(usable),
+                                         bench::Fmt(ours_rank, 1)};
+    for (const auto& measure : baselines::AllClassicMeasures()) {
+      util::Stopwatch classic_watch;
+      double mean_rank = 0;
+      for (int q = 0; q < num_queries; ++q) {
+        auto query_points = baselines::ToPointSequence(
+            g_pools->dataset->network(),
+            g_pools->queries[static_cast<size_t>(q)]);
+        std::vector<std::pair<double, size_t>> scored;
+        for (size_t d = 0; d < usable; ++d) {
+          auto db_points = baselines::ToPointSequence(
+              g_pools->dataset->network(), g_pools->database[d]);
+          scored.emplace_back(measure.similarity(query_points, db_points), d);
+        }
+        std::sort(scored.begin(), scored.end(), std::greater<>());
+        for (size_t r = 0; r < scored.size(); ++r) {
+          if (scored[r].second == static_cast<size_t>(q)) {
+            mean_rank += static_cast<double>(r + 1);
+            break;
+          }
+        }
+      }
+      time_row.push_back(
+          bench::Fmt(classic_watch.ElapsedMillis() / num_queries, 2));
+      rank_row.push_back(bench::Fmt(mean_rank / num_queries, 1));
+    }
+    time_table.AddRow(time_row);
+    rank_table.AddRow(rank_row);
+  }
+  std::printf("\n(b) Average search time per query vs database size\n");
+  time_table.Print();
+  std::printf("\n(c) Mean rank of the ground truth vs database size (lower "
+              "is better)\n");
+  rank_table.Print();
+}
+
+}  // namespace
+}  // namespace bigcity
+
+int main(int argc, char** argv) {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  std::printf("Fig. 6 reproduction: efficiency and scalability (XA).\n");
+  data::CityDataset dataset(bench::BenchCity("XA"));
+  auto model = bench::TrainedBigCity(&dataset, core::BigCityConfig{},
+                                     bench::BenchTrainConfig(), "bigcity_XA");
+  util::Rng rng(31);
+  baselines::Trajectory2Vec rnn(&dataset, 32, &rng);
+  baselines::StartEncoder attn(&dataset, 32, &rng);
+
+  Pools pools;
+  pools.dataset = &dataset;
+  pools.model = model.get();
+  pools.rnn = &rnn;
+  pools.attn = &attn;
+  for (const auto& trip : dataset.test()) {
+    if (trip.length() < 8) continue;
+    data::Trajectory clipped = baselines::ClipForBaseline(trip, 24);
+    pools.queries.push_back(EveryOther(clipped, 0));
+    pools.database.push_back(EveryOther(clipped, 1));
+  }
+  for (const auto& trip : dataset.train()) {
+    if (pools.database.size() >= 150) break;
+    if (trip.length() < 8) continue;
+    data::Trajectory clipped = baselines::ClipForBaseline(trip, 24);
+    pools.queries.push_back(EveryOther(clipped, 0));
+    pools.database.push_back(EveryOther(clipped, 1));
+  }
+  g_pools = &pools;
+
+  std::printf("\nPer-item kernel costs (google-benchmark):\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  SweepInference();
+  SweepSearch();
+  g_pools = nullptr;
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Table VI: cross-city generalization. The backbone trained on
+// BJ is combined with a target-city tokenizer whose last MLP (plus heads)
+// is fine-tuned on XA / CD; performance loss vs the fully-trained BIGCity
+// should stay within a few percent.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "train/transfer.h"
+#include "util/table_printer.h"
+
+namespace bigcity {
+namespace {
+
+std::string Loss(double full, double transferred, bool lower_is_better) {
+  if (full == 0) return "n/a";
+  const double loss = lower_is_better ? (transferred - full) / full
+                                      : (full - transferred) / full;
+  return bench::Fmt(100.0 * loss, 2) + "%";
+}
+
+void RunTarget(const std::string& city, core::BigCityModel* source,
+               util::TablePrinter* table) {
+  data::CityDataset dataset(bench::BenchCity(city));
+
+  // Fully-trained reference (cached from other benches when available).
+  auto full = bench::TrainedBigCity(&dataset, core::BigCityConfig{},
+                                    bench::BenchTrainConfig(),
+                                    "bigcity_" + city);
+  train::Evaluator full_eval(full.get(), bench::BenchEvalConfig());
+  auto full_tte = full_eval.EvaluateTravelTime();
+  auto full_next = full_eval.EvaluateNextHop();
+  auto full_clas = full_eval.EvaluateUserClassification();
+
+  // Transferred: BJ backbone + target tokenizer, tokenizer-MLP + heads
+  // fine-tuned only.
+  core::BigCityModel transferred(&dataset, core::BigCityConfig{});
+  util::Rng rng(1);
+  transferred.backbone()->EnableLora(&rng);
+  train::TransferBackbone(source, &transferred);
+  train::TrainConfig fine_tune = bench::BenchTrainConfig();
+  fine_tune.stage2_epochs = 3;
+  train::FineTuneTransferred(&transferred, fine_tune);
+  train::Evaluator transfer_eval(&transferred, bench::BenchEvalConfig());
+  auto t_tte = transfer_eval.EvaluateTravelTime();
+  auto t_next = transfer_eval.EvaluateNextHop();
+  auto t_clas = transfer_eval.EvaluateUserClassification();
+
+  table->AddRow({city, "BIGCity", bench::Fmt(full_tte.mae, 2),
+                 bench::Fmt(full_tte.rmse, 2), bench::Fmt(full_next.accuracy),
+                 bench::Fmt(full_next.mrr5), bench::Fmt(full_clas.micro_f1),
+                 bench::Fmt(full_clas.macro_f1)});
+  table->AddRow({city, "BIG-BJ", bench::Fmt(t_tte.mae, 2),
+                 bench::Fmt(t_tte.rmse, 2), bench::Fmt(t_next.accuracy),
+                 bench::Fmt(t_next.mrr5), bench::Fmt(t_clas.micro_f1),
+                 bench::Fmt(t_clas.macro_f1)});
+  table->AddRow({city, "Loss", Loss(full_tte.mae, t_tte.mae, true),
+                 Loss(full_tte.rmse, t_tte.rmse, true),
+                 Loss(full_next.accuracy, t_next.accuracy, false),
+                 Loss(full_next.mrr5, t_next.mrr5, false),
+                 Loss(full_clas.micro_f1, t_clas.micro_f1, false),
+                 Loss(full_clas.macro_f1, t_clas.macro_f1, false)});
+  table->AddSeparator();
+}
+
+}  // namespace
+}  // namespace bigcity
+
+int main() {
+  std::printf("Table VI reproduction: cross-city generalization (backbone "
+              "trained on BJ, tokenizer-MLP + heads fine-tuned on target).\n");
+  bigcity::data::CityDataset source_city(bigcity::bench::BenchCity("BJ"));
+  auto source = bigcity::bench::TrainedBigCity(
+      &source_city, bigcity::core::BigCityConfig{},
+      bigcity::bench::BenchTrainConfig(), "bigcity_BJ");
+
+  bigcity::util::TablePrinter table({"Data", "Model", "TTE MAE↓",
+                                     "TTE RMSE↓", "Next ACC↑", "Next MRR@5↑",
+                                     "CLAS Mi-F1↑", "CLAS Ma-F1↑"});
+  for (const std::string city : {"XA", "CD"}) {
+    bigcity::RunTarget(city, source.get(), &table);
+  }
+  table.Print();
+  std::printf("\n'Loss' rows: relative degradation of the transferred model "
+              "(positive = worse than fully-trained).\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Reproduces Table VII: ablations on the model design (XA dataset).
+//   w/o-Dyn+Fus : no dynamic encoder, no fusion encoder
+//   w/o-Dyn     : no dynamic encoder
+//   w/o-Sta+Fus : no static encoder, no fusion encoder
+//   w/o-Sta     : no static encoder
+//   w/o-Pro     : no task-oriented prompt text
+// Tasks whose required encoder is ablated are reported as '-' (as in the
+// paper). GAP rows show the relative degradation vs full BIGCity.
+#include <cstdio>
+#include <optional>
+
+#include "bench/common.h"
+#include "util/table_printer.h"
+
+namespace bigcity {
+namespace {
+
+struct VariantResult {
+  std::string name;
+  // Trajectory tasks (absent when the static encoder is ablated).
+  std::optional<double> tte_mae, clas_ma_f1, next_acc, simi_hr10, reco_acc;
+  // Traffic tasks (absent when the dynamic encoder is ablated).
+  std::optional<double> tsi_mape, mstep_mape;
+};
+
+VariantResult RunVariant(const data::CityDataset& dataset,
+                         const std::string& name,
+                         const core::BigCityConfig& config,
+                         const std::string& cache_key) {
+  // The full model uses the shared bench budget (and cache); ablated
+  // variants use a slightly reduced budget.
+  train::TrainConfig train_config = bench::BenchTrainConfig();
+  if (cache_key != "bigcity_XA") {
+    train_config.stage1_epochs = 1;
+    train_config.max_stage1_sequences = 120;
+    train_config.stage2_epochs = 3;
+    train_config.max_task_samples = 60;
+  }
+  auto model =
+      bench::TrainedBigCity(&dataset, config, train_config, cache_key);
+  train::EvalConfig eval_config = bench::BenchEvalConfig();
+  eval_config.max_samples = 60;
+  eval_config.traffic_samples = 50;
+  train::Evaluator evaluator(model.get(), eval_config);
+
+  VariantResult result;
+  result.name = name;
+  if (config.use_static_encoder) {
+    result.tte_mae = evaluator.EvaluateTravelTime().mae;
+    result.clas_ma_f1 = evaluator.EvaluateUserClassification().macro_f1;
+    result.next_acc = evaluator.EvaluateNextHop().accuracy;
+    result.simi_hr10 = evaluator.EvaluateSimilarity().hr10;
+    result.reco_acc = evaluator.EvaluateRecovery(0.85).accuracy;
+  }
+  if (config.use_dynamic_encoder &&
+      dataset.config().has_dynamic_features) {
+    result.tsi_mape = evaluator.EvaluateTrafficImputation(0.25).mape;
+    result.mstep_mape = evaluator.EvaluateTrafficPrediction(6).mape;
+  }
+  std::fprintf(stderr, "[table7] %s evaluated\n", name.c_str());
+  return result;
+}
+
+std::string Cell(const std::optional<double>& value, int decimals = 3) {
+  return value.has_value() ? bench::Fmt(*value, decimals) : "-";
+}
+
+std::string Gap(const std::optional<double>& variant,
+                const std::optional<double>& full, bool lower_is_better) {
+  if (!variant.has_value() || !full.has_value() || *full == 0) return "-";
+  const double gap = lower_is_better ? (*variant - *full) / *full
+                                     : (*full - *variant) / *full;
+  return bench::Fmt(100.0 * gap, 1) + "%";
+}
+
+}  // namespace
+}  // namespace bigcity
+
+int main() {
+  using bigcity::core::BigCityConfig;
+  std::printf("Table VII reproduction: ablations on model designs (XA).\n");
+  bigcity::data::CityDataset dataset(bigcity::bench::BenchCity("XA"));
+
+  BigCityConfig full_config;
+  auto full = bigcity::RunVariant(dataset, "BIGCity", full_config,
+                                  "bigcity_XA");
+
+  std::vector<bigcity::VariantResult> variants;
+  {
+    BigCityConfig config;
+    config.use_dynamic_encoder = false;
+    config.use_fusion_encoder = false;
+    variants.push_back(bigcity::RunVariant(dataset, "w/o-Dyn+Fus", config,
+                                           "ablate_dyn_fus"));
+  }
+  {
+    BigCityConfig config;
+    config.use_dynamic_encoder = false;
+    variants.push_back(
+        bigcity::RunVariant(dataset, "w/o-Dyn", config, "ablate_dyn"));
+  }
+  {
+    BigCityConfig config;
+    config.use_static_encoder = false;
+    config.use_fusion_encoder = false;
+    variants.push_back(bigcity::RunVariant(dataset, "w/o-Sta+Fus", config,
+                                           "ablate_sta_fus"));
+  }
+  {
+    BigCityConfig config;
+    config.use_static_encoder = false;
+    variants.push_back(
+        bigcity::RunVariant(dataset, "w/o-Sta", config, "ablate_sta"));
+  }
+  {
+    BigCityConfig config;
+    config.use_prompts = false;
+    variants.push_back(
+        bigcity::RunVariant(dataset, "w/o-Pro", config, "ablate_pro"));
+  }
+
+  bigcity::util::TablePrinter table(
+      {"Variant", "TTE MAE↓", "CLAS Ma-F1↑", "Next ACC↑", "Simi HR10↑",
+       "Reco ACC↑", "TSI MAPE↓", "M-Step MAPE↓"});
+  auto add = [&](const bigcity::VariantResult& r) {
+    table.AddRow({r.name, bigcity::Cell(r.tte_mae, 2),
+                  bigcity::Cell(r.clas_ma_f1), bigcity::Cell(r.next_acc),
+                  bigcity::Cell(r.simi_hr10), bigcity::Cell(r.reco_acc),
+                  bigcity::Cell(r.tsi_mape, 2),
+                  bigcity::Cell(r.mstep_mape, 2)});
+    table.AddRow({"  GAP", bigcity::Gap(r.tte_mae, full.tte_mae, true),
+                  bigcity::Gap(r.clas_ma_f1, full.clas_ma_f1, false),
+                  bigcity::Gap(r.next_acc, full.next_acc, false),
+                  bigcity::Gap(r.simi_hr10, full.simi_hr10, false),
+                  bigcity::Gap(r.reco_acc, full.reco_acc, false),
+                  bigcity::Gap(r.tsi_mape, full.tsi_mape, true),
+                  bigcity::Gap(r.mstep_mape, full.mstep_mape, true)});
+  };
+  for (const auto& variant : variants) add(variant);
+  table.AddSeparator();
+  add(full);
+  table.Print();
+  return 0;
+}

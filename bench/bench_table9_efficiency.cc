@@ -1,0 +1,110 @@
+// Reproduces Table IX: training-efficiency comparison on XA — memory
+// footprint (parameter bytes; the CPU analogue of the paper's GPU usage),
+// stage-1 (representation pre-training) and stage-2 (task tuning) epoch
+// times for Traj2vec, Toast, START, and BIGCity. The paper's finding to
+// reproduce: BIGCity has by far the most parameters yet moderate epoch
+// times, because only the LoRA adapters train.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/traj/attn_encoders.h"
+#include "baselines/traj/rnn_encoders.h"
+#include "baselines/traj/start_encoder.h"
+#include "baselines/traj/traj_harness.h"
+#include "bench/common.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace bigcity {
+namespace {
+
+struct EfficiencyRow {
+  std::string model;
+  int64_t parameters = 0;
+  int64_t trainable = 0;
+  double stage1_seconds = 0;  // Representation-training epoch.
+  double stage2_seconds = 0;  // Task-tuning epoch.
+};
+
+template <typename Encoder>
+EfficiencyRow MeasureBaseline(const std::string& name,
+                              const data::CityDataset& dataset) {
+  util::Rng rng(5);
+  Encoder encoder(&dataset, 32, &rng);
+  EfficiencyRow row;
+  row.model = name;
+  row.parameters = encoder.NumParameters();
+  int64_t trainable = 0;
+  for (auto& p : encoder.TrainableParameters()) trainable += p.numel();
+  row.trainable = trainable;
+
+  baselines::TrajHarnessConfig config;
+  config.pretrain_epochs = 1;
+  config.task_epochs = 1;
+  config.max_train_samples = 150;
+  config.eval.max_samples = 10;  // Timing run; evaluation cost irrelevant.
+  baselines::TrajTaskHarness harness(&encoder, config);
+  util::Stopwatch watch;
+  harness.Pretrain();
+  row.stage1_seconds = watch.ElapsedSeconds();
+  watch.Restart();
+  harness.TrainAndEvalTravelTime();
+  row.stage2_seconds = watch.ElapsedSeconds();
+  std::fprintf(stderr, "[table9] %s measured\n", name.c_str());
+  return row;
+}
+
+}  // namespace
+}  // namespace bigcity
+
+int main() {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  std::printf("Table IX reproduction: efficiency on XA. Stage-1 = "
+              "representation training epoch, Stage-2 = task tuning "
+              "epoch.\n");
+  data::CityDataset dataset(bench::BenchCity("XA"));
+
+  std::vector<EfficiencyRow> rows;
+  rows.push_back(
+      MeasureBaseline<baselines::Trajectory2Vec>("Traj2vec", dataset));
+  rows.push_back(MeasureBaseline<baselines::Toast>("Toast", dataset));
+  rows.push_back(MeasureBaseline<baselines::StartEncoder>("START", dataset));
+
+  {
+    core::BigCityModel model(&dataset, core::BigCityConfig{});
+    train::TrainConfig config = bench::BenchTrainConfig();
+    config.stage1_epochs = 1;
+    config.stage2_epochs = 1;
+    config.max_stage1_sequences = 150;
+    config.max_task_samples = 25;  // ~150 samples over 6 tasks + recovery.
+    train::Trainer trainer(&model, config);
+    trainer.PretrainBackbone();
+    trainer.RunStage1();
+    trainer.RunStage2();
+    EfficiencyRow row;
+    row.model = "BIGCity";
+    row.parameters = model.NumParameters();
+    int64_t trainable = 0;
+    for (auto& p : model.TrainableParameters()) trainable += p.numel();
+    row.trainable = trainable;  // After stage 2: LoRA + heads only.
+    row.stage1_seconds = trainer.stage1_seconds_per_epoch();
+    row.stage2_seconds = trainer.stage2_seconds_per_epoch();
+    rows.push_back(row);
+  }
+
+  util::TablePrinter table({"Model", "Params", "Trainable", "Memory (MB)",
+                            "Stage-1 (s/epoch)", "Stage-2 (s/epoch)"});
+  for (const auto& row : rows) {
+    table.AddRow({row.model, std::to_string(row.parameters),
+                  std::to_string(row.trainable),
+                  bench::Fmt(static_cast<double>(row.parameters) * 4.0 /
+                                 (1024.0 * 1024.0),
+                             2),
+                  bench::Fmt(row.stage1_seconds, 2),
+                  bench::Fmt(row.stage2_seconds, 2)});
+  }
+  table.Print();
+  std::printf("\n(150 training sequences per epoch for every model; "
+              "BIGCity's stage-2 trains only LoRA adapters + heads.)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "bench/common.h"
+
+#include <filesystem>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace bigcity::bench {
+
+data::CityDatasetConfig BenchCity(const std::string& name) {
+  if (name == "BJ") return data::ScaleConfig(data::BeijingLikeConfig(), 0.35);
+  if (name == "XA") return data::ScaleConfig(data::XianLikeConfig(), 0.45);
+  if (name == "CD") return data::ScaleConfig(data::ChengduLikeConfig(), 0.4);
+  BIGCITY_CHECK(false) << "unknown bench city " << name;
+  return {};
+}
+
+train::TrainConfig BenchTrainConfig() {
+  train::TrainConfig config;
+  config.stage1_epochs = 3;
+  config.stage2_epochs = 12;
+  config.max_stage1_sequences = 250;
+  config.max_task_samples = 160;
+  return config;
+}
+
+train::EvalConfig BenchEvalConfig() {
+  train::EvalConfig config;
+  config.max_samples = 120;
+  config.max_queries = 50;
+  config.traffic_samples = 80;
+  return config;
+}
+
+std::unique_ptr<core::BigCityModel> TrainedBigCity(
+    const data::CityDataset* dataset, const core::BigCityConfig& model_config,
+    const train::TrainConfig& train_config, const std::string& cache_key) {
+  auto model = std::make_unique<core::BigCityModel>(dataset, model_config);
+  const std::string cache_dir = "bench_cache";
+  const std::string path = cache_dir + "/" + cache_key + ".bin";
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+
+  if (std::filesystem::exists(path)) {
+    // The trained tree includes LoRA adapters: attach them first so the
+    // parameter trees match, then load.
+    util::Rng lora_rng(train_config.seed ^ 0xabc);
+    model->backbone()->EnableLora(&lora_rng);
+    if (model->LoadStateFromFile(path).ok()) {
+      BIGCITY_LOG(Info) << "loaded cached model " << path;
+      return model;
+    }
+    BIGCITY_LOG(Warning) << "stale cache " << path << ", retraining";
+    model = std::make_unique<core::BigCityModel>(dataset, model_config);
+  }
+
+  util::Stopwatch watch;
+  train::Trainer trainer(model.get(), train_config);
+  trainer.RunAll();
+  BIGCITY_LOG(Info) << "trained BIGCity (" << cache_key << ") in "
+                    << watch.ElapsedSeconds() << "s";
+  if (auto status = model->SaveStateToFile(path); !status.ok()) {
+    BIGCITY_LOG(Warning) << "cache save failed: " << status.ToString();
+  }
+  return model;
+}
+
+std::string Fmt(double value, int decimals) {
+  return util::TablePrinter::Num(value, decimals);
+}
+
+}  // namespace bigcity::bench

@@ -1,0 +1,37 @@
+#ifndef BIGCITY_BENCH_COMMON_H_
+#define BIGCITY_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/bigcity_model.h"
+#include "data/dataset.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace bigcity::bench {
+
+/// Bench-scale dataset presets: the paper's three cities shrunk to sizes a
+/// single CPU core trains in about a minute each. Relative character is
+/// preserved (BJ largest + no dynamic features; XA/CD mid-sized).
+data::CityDatasetConfig BenchCity(const std::string& name);
+
+/// Standard BIGCity training budget for the benches.
+train::TrainConfig BenchTrainConfig();
+
+/// Standard evaluation budget.
+train::EvalConfig BenchEvalConfig();
+
+/// Trains a BIGCity model with the given configs, caching the trained
+/// weights under bench_cache/<cache_key>.bin so later bench binaries skip
+/// re-training. A stale/mismatched cache is silently retrained.
+std::unique_ptr<core::BigCityModel> TrainedBigCity(
+    const data::CityDataset* dataset, const core::BigCityConfig& model_config,
+    const train::TrainConfig& train_config, const std::string& cache_key);
+
+/// Formats a metric like the paper's tables (3 decimals, or 2 for times).
+std::string Fmt(double value, int decimals = 3);
+
+}  // namespace bigcity::bench
+
+#endif  // BIGCITY_BENCH_COMMON_H_

@@ -1,0 +1,107 @@
+// Ride-hailing analytics scenario: one BIGCity instance answers the three
+// questions a dispatch platform asks about a trip — who is driving
+// (trajectory-user linkage), where they go next (next-hop), and which past
+// trips look like this one (most-similar search).
+//
+//   ./build/examples/trajectory_analysis
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/bigcity_model.h"
+#include "data/dataset.h"
+#include "nn/ops.h"
+#include "train/trainer.h"
+
+using namespace bigcity;  // NOLINT — example brevity.
+
+namespace {
+double Cosine(const nn::Tensor& a, const nn::Tensor& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    dot += static_cast<double>(a.data()[i]) * b.data()[i];
+    na += static_cast<double>(a.data()[i]) * a.data()[i];
+    nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-12);
+}
+}  // namespace
+
+int main() {
+  data::CityDataset dataset(data::ScaleConfig(data::XianLikeConfig(), 0.3));
+  core::BigCityModel model(&dataset, core::BigCityConfig{});
+
+  train::TrainConfig config;
+  config.stage1_epochs = 2;
+  config.stage2_epochs = 3;
+  config.max_stage1_sequences = 150;
+  config.max_task_samples = 80;
+  train::Trainer trainer(&model, config);
+  trainer.RunAll();
+
+  // Pick a trip from a frequent user.
+  const data::Trajectory* trip = nullptr;
+  for (const auto& t : dataset.test()) {
+    if (t.length() >= 10) {
+      trip = &t;
+      break;
+    }
+  }
+  if (trip == nullptr) return 1;
+  data::Trajectory clipped = model.ClipTrajectory(*trip);
+
+  // Q1: who is driving?
+  model.BeginStep();
+  nn::Tensor user_logits = model.ClassifyLogits(clipped);
+  auto user_top3 = nn::TopKRow(user_logits, 0, 3);
+  std::printf("Trajectory of user %d -> predicted top-3 users: ",
+              trip->user_id);
+  for (size_t i = 0; i < user_top3.size(); ++i) {
+    std::printf("%s%d", i ? ", " : "", user_top3[i]);
+  }
+  std::printf("\n");
+
+  // Q2: where next? (probability-ranked successors)
+  model.BeginStep();
+  data::Trajectory prefix = clipped;
+  const int truth = prefix.points.back().segment;
+  prefix.points.pop_back();
+  nn::Tensor probs = nn::Softmax(model.NextHopLogits(prefix));
+  auto next_top3 = nn::TopKRow(probs, 0, 3);
+  std::printf("Next hop (truth %d):\n", truth);
+  for (int candidate : next_top3) {
+    std::printf("  segment %4d  p=%.3f%s\n", candidate,
+                probs.at(0, candidate), candidate == truth ? "  <- truth" : "");
+  }
+
+  // Q3: which past trips are most similar?
+  std::vector<const data::Trajectory*> pool;
+  for (const auto& t : dataset.train()) {
+    if (t.length() >= 8) pool.push_back(&t);
+    if (pool.size() >= 80) break;
+  }
+  model.BeginStep();
+  nn::Tensor query = model.Embed(clipped).Detached();
+  std::vector<std::pair<double, const data::Trajectory*>> scored;
+  for (const auto* candidate : pool) {
+    model.BeginStep();
+    nn::Tensor embedding =
+        model.Embed(model.ClipTrajectory(*candidate)).Detached();
+    scored.emplace_back(Cosine(query, embedding), candidate);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::printf("Top-3 most similar historical trips:\n");
+  for (int k = 0; k < 3 && k < static_cast<int>(scored.size()); ++k) {
+    std::printf("  sim=%.3f  user=%d  length=%d  shares_user=%s\n",
+                scored[static_cast<size_t>(k)].first,
+                scored[static_cast<size_t>(k)].second->user_id,
+                scored[static_cast<size_t>(k)].second->length(),
+                scored[static_cast<size_t>(k)].second->user_id ==
+                        trip->user_id
+                    ? "yes"
+                    : "no");
+  }
+  return 0;
+}

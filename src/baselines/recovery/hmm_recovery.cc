@@ -1,0 +1,103 @@
+#include "baselines/recovery/hmm_recovery.h"
+
+#include <cmath>
+
+#include "roadnet/shortest_path.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+namespace {
+
+std::pair<float, float> Midpoint(const roadnet::RoadNetwork& network,
+                                 int segment) {
+  const auto& s = network.segment(segment);
+  return {s.mid_x, s.mid_y};
+}
+
+/// Gathers predictions for dropped slots from a full-length decode.
+std::vector<int> DroppedOnly(const std::vector<int>& full,
+                             const std::vector<int>& kept, int length) {
+  std::vector<bool> is_kept(static_cast<size_t>(length), false);
+  for (int index : kept) is_kept[static_cast<size_t>(index)] = true;
+  std::vector<int> result;
+  for (int l = 0; l < length; ++l) {
+    if (!is_kept[static_cast<size_t>(l)]) {
+      result.push_back(full[static_cast<size_t>(l)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> LinearHmmRecovery::Recover(const data::Trajectory& original,
+                                            const std::vector<int>& kept) {
+  const auto& network = dataset_->network();
+  const int length = original.length();
+  std::vector<std::pair<float, float>> observations(
+      static_cast<size_t>(length));
+  std::vector<int> pinned(static_cast<size_t>(length), -1);
+  for (int index : kept) {
+    pinned[static_cast<size_t>(index)] =
+        original.points[static_cast<size_t>(index)].segment;
+    observations[static_cast<size_t>(index)] = Midpoint(
+        network, original.points[static_cast<size_t>(index)].segment);
+  }
+  // Linear interpolation between surrounding kept anchors.
+  for (size_t k = 0; k + 1 < kept.size(); ++k) {
+    const int a = kept[k], b = kept[k + 1];
+    const auto pa = observations[static_cast<size_t>(a)];
+    const auto pb = observations[static_cast<size_t>(b)];
+    for (int l = a + 1; l < b; ++l) {
+      const float alpha = static_cast<float>(l - a) /
+                          static_cast<float>(b - a);
+      observations[static_cast<size_t>(l)] = {
+          pa.first + alpha * (pb.first - pa.first),
+          pa.second + alpha * (pb.second - pa.second)};
+    }
+  }
+  auto full = ViterbiDecode(network, observations, pinned);
+  return DroppedOnly(full, kept, length);
+}
+
+std::vector<int> DthrHmmRecovery::Recover(const data::Trajectory& original,
+                                          const std::vector<int>& kept) {
+  const auto& network = dataset_->network();
+  const int length = original.length();
+  std::vector<std::pair<float, float>> observations(
+      static_cast<size_t>(length));
+  std::vector<int> pinned(static_cast<size_t>(length), -1);
+  for (int index : kept) {
+    pinned[static_cast<size_t>(index)] =
+        original.points[static_cast<size_t>(index)].segment;
+    observations[static_cast<size_t>(index)] = Midpoint(
+        network, original.points[static_cast<size_t>(index)].segment);
+  }
+  // Detour-aware: route the gap along the shortest path and spread its
+  // segments over the dropped slots proportionally.
+  for (size_t k = 0; k + 1 < kept.size(); ++k) {
+    const int a = kept[k], b = kept[k + 1];
+    if (b - a <= 1) continue;
+    auto path = roadnet::ShortestPath(
+        network, original.points[static_cast<size_t>(a)].segment,
+        original.points[static_cast<size_t>(b)].segment);
+    for (int l = a + 1; l < b; ++l) {
+      if (path.size() >= 2) {
+        const float alpha = static_cast<float>(l - a) /
+                            static_cast<float>(b - a);
+        const auto path_index = static_cast<size_t>(
+            alpha * static_cast<float>(path.size() - 1) + 0.5f);
+        observations[static_cast<size_t>(l)] =
+            Midpoint(network, path[std::min(path_index, path.size() - 1)]);
+      } else {
+        observations[static_cast<size_t>(l)] =
+            observations[static_cast<size_t>(a)];
+      }
+    }
+  }
+  auto full = ViterbiDecode(network, observations, pinned);
+  return DroppedOnly(full, kept, length);
+}
+
+}  // namespace bigcity::baselines

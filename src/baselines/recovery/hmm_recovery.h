@@ -1,0 +1,43 @@
+#ifndef BIGCITY_BASELINES_RECOVERY_HMM_RECOVERY_H_
+#define BIGCITY_BASELINES_RECOVERY_HMM_RECOVERY_H_
+
+#include "baselines/recovery/recovery_model.h"
+
+namespace bigcity::baselines {
+
+/// Linear+HMM (Hoteit et al., 2014): dropped positions are linearly
+/// interpolated in coordinate space between the surrounding kept samples,
+/// then Viterbi map-matching snaps the interpolated points to segments.
+class LinearHmmRecovery : public RecoveryModel {
+ public:
+  explicit LinearHmmRecovery(const data::CityDataset* dataset)
+      : dataset_(dataset) {}
+
+  std::string name() const override { return "Linear+HMM"; }
+  std::vector<int> Recover(const data::Trajectory& original,
+                           const std::vector<int>& kept) override;
+
+ private:
+  const data::CityDataset* dataset_;
+};
+
+/// DTHR+HMM: a detour-aware heuristic — instead of straight-line
+/// interpolation, the observation for a dropped slot comes from walking the
+/// time-weighted shortest path between the surrounding kept segments,
+/// followed by the same HMM decode.
+class DthrHmmRecovery : public RecoveryModel {
+ public:
+  explicit DthrHmmRecovery(const data::CityDataset* dataset)
+      : dataset_(dataset) {}
+
+  std::string name() const override { return "DTHR+HMM"; }
+  std::vector<int> Recover(const data::Trajectory& original,
+                           const std::vector<int>& kept) override;
+
+ private:
+  const data::CityDataset* dataset_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_RECOVERY_HMM_RECOVERY_H_

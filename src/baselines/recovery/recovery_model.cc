@@ -1,0 +1,88 @@
+#include "baselines/recovery/recovery_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+std::vector<int> ViterbiDecode(
+    const roadnet::RoadNetwork& network,
+    const std::vector<std::pair<float, float>>& observations,
+    const std::vector<int>& pinned_segments, float emission_sigma_m) {
+  const int length = static_cast<int>(observations.size());
+  const int num_segments = network.num_segments();
+  BIGCITY_CHECK_EQ(pinned_segments.size(), observations.size());
+  BIGCITY_CHECK_GT(length, 0);
+
+  const float inv_two_sigma_sq =
+      1.0f / (2.0f * emission_sigma_m * emission_sigma_m);
+  auto emission = [&](int position, int segment) -> float {
+    if (pinned_segments[static_cast<size_t>(position)] >= 0) {
+      return pinned_segments[static_cast<size_t>(position)] == segment
+                 ? 0.0f
+                 : -std::numeric_limits<float>::infinity();
+    }
+    const auto& s = network.segment(segment);
+    const float dx = s.mid_x - observations[static_cast<size_t>(position)].first;
+    const float dy = s.mid_y - observations[static_cast<size_t>(position)].second;
+    return -(dx * dx + dy * dy) * inv_two_sigma_sq;
+  };
+
+  constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+  std::vector<float> score(static_cast<size_t>(num_segments), kNegInf);
+  std::vector<std::vector<int>> backpointer(
+      static_cast<size_t>(length),
+      std::vector<int>(static_cast<size_t>(num_segments), -1));
+  for (int i = 0; i < num_segments; ++i) {
+    score[static_cast<size_t>(i)] = emission(0, i);
+  }
+  for (int position = 1; position < length; ++position) {
+    std::vector<float> next(static_cast<size_t>(num_segments), kNegInf);
+    for (int i = 0; i < num_segments; ++i) {
+      if (score[static_cast<size_t>(i)] == kNegInf) continue;
+      // Successor transitions (uniform log-prob) plus a penalized self loop
+      // so runs of identical observations stay decodable.
+      auto relax = [&](int j, float penalty) {
+        const float candidate =
+            score[static_cast<size_t>(i)] + emission(position, j) - penalty;
+        if (candidate > next[static_cast<size_t>(j)]) {
+          next[static_cast<size_t>(j)] = candidate;
+          backpointer[static_cast<size_t>(position)]
+                     [static_cast<size_t>(j)] = i;
+        }
+      };
+      for (int j : network.successors(i)) relax(j, 0.0f);
+      relax(i, 2.0f);
+    }
+    // Dead-end escape: if no state is reachable, restart from emissions.
+    bool any = false;
+    for (float v : next) any = any || v != kNegInf;
+    if (!any) {
+      for (int j = 0; j < num_segments; ++j) {
+        next[static_cast<size_t>(j)] = emission(position, j) - 10.0f;
+      }
+    }
+    score = std::move(next);
+  }
+
+  int best = 0;
+  for (int i = 1; i < num_segments; ++i) {
+    if (score[static_cast<size_t>(i)] > score[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  std::vector<int> path(static_cast<size_t>(length));
+  path[static_cast<size_t>(length - 1)] = best;
+  for (int position = length - 1; position > 0; --position) {
+    int previous = backpointer[static_cast<size_t>(position)]
+                              [static_cast<size_t>(path[
+                                  static_cast<size_t>(position)])];
+    if (previous < 0) previous = path[static_cast<size_t>(position)];
+    path[static_cast<size_t>(position - 1)] = previous;
+  }
+  return path;
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,48 @@
+#ifndef BIGCITY_BASELINES_RECOVERY_RECOVERY_MODEL_H_
+#define BIGCITY_BASELINES_RECOVERY_RECOVERY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/trajectory.h"
+
+namespace bigcity::baselines {
+
+/// Base class for the four trajectory-recovery baselines (Table IV). Given
+/// a downsampled trajectory (the original plus the kept indices), a model
+/// predicts the road segment at every dropped position. Models must not
+/// read the segments/timestamps of dropped positions.
+class RecoveryModel {
+ public:
+  virtual ~RecoveryModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Task-specific training (no-op for the non-learned HMM baselines).
+  virtual void Train(const std::vector<data::Trajectory>& trips,
+                     double mask_ratio) {
+    (void)trips;
+    (void)mask_ratio;
+  }
+
+  /// Predicted segment ids for the dropped positions of `original`, in
+  /// increasing position order. `kept` is sorted and includes 0 and L-1.
+  virtual std::vector<int> Recover(const data::Trajectory& original,
+                                   const std::vector<int>& kept) = 0;
+};
+
+/// Viterbi map-matching decode shared by the HMM baselines: given per-
+/// position observation coordinates, finds the most likely segment
+/// sequence under (a) Gaussian emission around segment midpoints and
+/// (b) road-network successor transitions; kept positions are pinned to
+/// their known segments.
+std::vector<int> ViterbiDecode(
+    const roadnet::RoadNetwork& network,
+    const std::vector<std::pair<float, float>>& observations,
+    const std::vector<int>& pinned_segments,  // -1 where unknown.
+    float emission_sigma_m = 200.0f);
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_RECOVERY_RECOVERY_MODEL_H_

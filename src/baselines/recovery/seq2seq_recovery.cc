@@ -1,0 +1,177 @@
+#include "baselines/recovery/seq2seq_recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/traj/traj_encoder.h"
+#include "data/masking.h"
+#include "data/st_unit.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+using nn::Tensor;
+
+namespace {
+constexpr int kMaxLen = 24;
+constexpr float kLr = 2e-3f;
+constexpr int kTrainEpochs = 2;
+
+data::Trajectory KeptOnly(const data::Trajectory& original,
+                          const std::vector<int>& kept) {
+  data::Trajectory result;
+  result.user_id = original.user_id;
+  for (int index : kept) {
+    result.points.push_back(original.points[static_cast<size_t>(index)]);
+  }
+  return result;
+}
+}  // namespace
+
+MTrajRec::MTrajRec(const data::CityDataset* dataset, int64_t dim,
+                   util::Rng* rng)
+    : dataset_(dataset), dim_(dim), rng_(rng->engine()()) {
+  segment_embedding_ = std::make_unique<nn::EmbeddingTable>(
+      dataset->network().num_segments(), dim, &rng_);
+  time_projection_ = std::make_unique<nn::Linear>(
+      data::kTimeFeatureDim + 1, dim, &rng_);
+  encoder_ = std::make_unique<nn::Gru>(dim, dim, &rng_);
+  query_builder_ = std::make_unique<nn::Linear>(2, dim, &rng_);
+  output_head_ = std::make_unique<nn::Linear>(
+      dim, dataset->network().num_segments(), &rng_);
+  RegisterModule("segment_embedding", segment_embedding_.get());
+  RegisterModule("time_projection", time_projection_.get());
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("query_builder", query_builder_.get());
+  RegisterModule("output_head", output_head_.get());
+}
+
+Tensor MTrajRec::EncodeKept(const data::Trajectory& kept_trajectory) {
+  const int length = kept_trajectory.length();
+  std::vector<int> segments;
+  std::vector<float> time_data(static_cast<size_t>(length) *
+                               (data::kTimeFeatureDim + 1));
+  for (int l = 0; l < length; ++l) {
+    segments.push_back(kept_trajectory.points[static_cast<size_t>(l)].segment);
+    auto features = data::TimeFeatures(
+        kept_trajectory.points[static_cast<size_t>(l)].timestamp);
+    float* row = time_data.data() +
+                 static_cast<size_t>(l) * (data::kTimeFeatureDim + 1);
+    std::copy(features.begin(), features.end(), row);
+    const double delta =
+        l == 0 ? 0.0
+               : kept_trajectory.points[static_cast<size_t>(l)].timestamp -
+                     kept_trajectory.points[static_cast<size_t>(l - 1)]
+                         .timestamp;
+    row[data::kTimeFeatureDim] = data::DeltaFeature(delta);
+  }
+  Tensor inputs = nn::Add(
+      segment_embedding_->Forward(segments),
+      time_projection_->Forward(Tensor::FromData(
+          {length, data::kTimeFeatureDim + 1}, std::move(time_data))));
+  return encoder_->Forward(inputs);
+}
+
+Tensor MTrajRec::DroppedLogits(const data::Trajectory& original,
+                               const std::vector<int>& kept) {
+  const int length = original.length();
+  Tensor encoded = EncodeKept(KeptOnly(original, kept));
+  auto dropped = data::ComplementIndices(length, kept);
+  BIGCITY_CHECK(!dropped.empty());
+  // Queries from (global position fraction, local gap fraction).
+  std::vector<float> query_features;
+  query_features.reserve(dropped.size() * 2);
+  for (int index : dropped) {
+    const float global = static_cast<float>(index) /
+                         static_cast<float>(length - 1);
+    // Fraction within the surrounding kept gap.
+    auto upper = std::upper_bound(kept.begin(), kept.end(), index);
+    const int next = *upper;
+    const int previous = *(upper - 1);
+    const float local = static_cast<float>(index - previous) /
+                        static_cast<float>(next - previous);
+    query_features.push_back(global);
+    query_features.push_back(local);
+  }
+  const auto num_dropped = static_cast<int64_t>(dropped.size());
+  Tensor queries = query_builder_->Forward(Tensor::FromData(
+      {num_dropped, 2}, std::move(query_features)));
+  // Dot-product attention over encoder states.
+  const float inv = 1.0f / std::sqrt(static_cast<float>(dim_));
+  Tensor attention = nn::Softmax(
+      nn::Scale(nn::MatMul(queries, nn::Transpose(encoded)), inv));
+  Tensor context = nn::MatMul(attention, encoded);
+  return output_head_->Forward(nn::Add(context, queries));
+}
+
+void MTrajRec::Train(const std::vector<data::Trajectory>& trips,
+                     double mask_ratio) {
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < kTrainEpochs; ++epoch) {
+    for (const auto& raw : trips) {
+      if (raw.length() < 6) continue;
+      data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+      auto kept = data::DownsampleKeepIndices(trip.length(), mask_ratio,
+                                              &rng_);
+      auto dropped = data::ComplementIndices(trip.length(), kept);
+      if (dropped.empty()) continue;
+      optimizer.ZeroGrad();
+      Tensor logits = DroppedLogits(trip, kept);
+      std::vector<int> targets;
+      for (int index : dropped) {
+        targets.push_back(trip.points[static_cast<size_t>(index)].segment);
+      }
+      nn::CrossEntropy(logits, targets).Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+std::vector<int> MTrajRec::Recover(const data::Trajectory& original,
+                                   const std::vector<int>& kept) {
+  Tensor logits = DroppedLogits(original, kept);
+  return nn::ArgmaxRows(logits);
+}
+
+RnTrajRec::RnTrajRec(const data::CityDataset* dataset, int64_t dim,
+                     util::Rng* rng)
+    : MTrajRec(dataset, dim, rng) {
+  graph_ = dataset->network().ToGraphEdges();
+  gat_ = std::make_unique<nn::GatLayer>(dim, dim, 2, &rng_);
+  transformer_ = std::make_unique<nn::Transformer>(dim, 2, 2, &rng_,
+                                                   /*causal=*/false);
+  RegisterModule("gat", gat_.get());
+  RegisterModule("transformer", transformer_.get());
+  positional_ = RegisterParameter(
+      "positional",
+      Tensor::Randn({kMaxLen + 8, dim}, &rng_, 0.02f, true));
+}
+
+Tensor RnTrajRec::EncodeKept(const data::Trajectory& kept_trajectory) {
+  // Road-network-enhanced embeddings: GAT over the full segment table.
+  Tensor table = gat_->Forward(segment_embedding_->table(), graph_);
+  std::vector<int> segments;
+  for (const auto& point : kept_trajectory.points) {
+    segments.push_back(point.segment);
+  }
+  const int length = kept_trajectory.length();
+  std::vector<float> time_data(static_cast<size_t>(length) *
+                               (data::kTimeFeatureDim + 1));
+  for (int l = 0; l < length; ++l) {
+    auto features = data::TimeFeatures(
+        kept_trajectory.points[static_cast<size_t>(l)].timestamp);
+    float* row = time_data.data() +
+                 static_cast<size_t>(l) * (data::kTimeFeatureDim + 1);
+    std::copy(features.begin(), features.end(), row);
+  }
+  Tensor inputs = nn::Add(
+      nn::Rows(table, segments),
+      time_projection_->Forward(Tensor::FromData(
+          {length, data::kTimeFeatureDim + 1}, std::move(time_data))));
+  Tensor positions = nn::SliceRows(positional_, 0, length);
+  return transformer_->Forward(nn::Add(inputs, positions));
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,68 @@
+#ifndef BIGCITY_BASELINES_RECOVERY_SEQ2SEQ_RECOVERY_H_
+#define BIGCITY_BASELINES_RECOVERY_SEQ2SEQ_RECOVERY_H_
+
+#include <memory>
+
+#include "baselines/recovery/recovery_model.h"
+#include "nn/gat.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace bigcity::baselines {
+
+/// MTrajRec (Ren et al., 2021): GRU encoder over the kept (low-frequency)
+/// samples; per dropped slot, an attention query built from the slot's
+/// relative position attends over encoder states and a linear head emits
+/// segment logits. Trained with cross-entropy on dropped segments.
+class MTrajRec : public RecoveryModel, public nn::Module {
+ public:
+  MTrajRec(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "MTrajRec"; }
+  void Train(const std::vector<data::Trajectory>& trips,
+             double mask_ratio) override;
+  std::vector<int> Recover(const data::Trajectory& original,
+                           const std::vector<int>& kept) override;
+
+  /// Segment logits [num_dropped, I] for the dropped slots; shared by
+  /// training and inference, and used by constrained decoders.
+  nn::Tensor DroppedLogits(const data::Trajectory& original,
+                           const std::vector<int>& kept);
+
+ protected:
+  virtual nn::Tensor EncodeKept(const data::Trajectory& kept_trajectory);
+
+  const data::CityDataset* dataset_;
+  int64_t dim_;
+  util::Rng rng_;
+  std::unique_ptr<nn::EmbeddingTable> segment_embedding_;
+  std::unique_ptr<nn::Linear> time_projection_;
+  std::unique_ptr<nn::Gru> encoder_;
+  std::unique_ptr<nn::Linear> query_builder_;  // Position fraction -> query.
+  std::unique_ptr<nn::Linear> output_head_;
+};
+
+/// RNTrajRec (Chen et al., 2023): same decoding scheme but the encoder is a
+/// bidirectional transformer over GAT-refined (road-network-enhanced)
+/// segment embeddings — the paper's stronger recovery baseline.
+class RnTrajRec : public MTrajRec {
+ public:
+  RnTrajRec(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "RNTrajRec"; }
+
+ protected:
+  nn::Tensor EncodeKept(const data::Trajectory& kept_trajectory) override;
+
+ private:
+  nn::GraphEdges graph_;
+  std::unique_ptr<nn::GatLayer> gat_;
+  std::unique_ptr<nn::Transformer> transformer_;
+  nn::Tensor positional_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_RECOVERY_SEQ2SEQ_RECOVERY_H_

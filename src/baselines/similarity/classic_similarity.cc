@@ -1,0 +1,139 @@
+#include "baselines/similarity/classic_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bigcity::baselines {
+
+namespace {
+
+using Point = std::pair<float, float>;
+
+double Euclidean(const Point& p, const Point& q) {
+  const double dx = p.first - q.first;
+  const double dy = p.second - q.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+std::vector<Point> ToPointSequence(const roadnet::RoadNetwork& network,
+                                   const data::Trajectory& trajectory) {
+  std::vector<Point> points;
+  points.reserve(trajectory.points.size());
+  for (const auto& sample : trajectory.points) {
+    const auto& segment = network.segment(sample.segment);
+    points.emplace_back(segment.mid_x, segment.mid_y);
+  }
+  return points;
+}
+
+double DtwDistance(const std::vector<Point>& a, const std::vector<Point>& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> previous(m + 1, kInf), current(m + 1, kInf);
+  previous[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = Euclidean(a[i - 1], b[j - 1]);
+      current[j] = cost + std::min({previous[j], current[j - 1],
+                                    previous[j - 1]});
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+double LcssSimilarity(const std::vector<Point>& a,
+                      const std::vector<Point>& b, float epsilon_m) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  std::vector<int> previous(m + 1, 0), current(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (Euclidean(a[i - 1], b[j - 1]) <= epsilon_m) {
+        current[j] = previous[j - 1] + 1;
+      } else {
+        current[j] = std::max(previous[j], current[j - 1]);
+      }
+    }
+    std::swap(previous, current);
+  }
+  return static_cast<double>(previous[m]) /
+         static_cast<double>(std::min(n, m));
+}
+
+double FrechetDistance(const std::vector<Point>& a,
+                       const std::vector<Point>& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(n, std::vector<double>(m, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = Euclidean(a[i], b[j]);
+      if (i == 0 && j == 0) {
+        dp[i][j] = d;
+      } else if (i == 0) {
+        dp[i][j] = std::max(dp[i][j - 1], d);
+      } else if (j == 0) {
+        dp[i][j] = std::max(dp[i - 1][j], d);
+      } else {
+        dp[i][j] = std::max(
+            std::min({dp[i - 1][j], dp[i][j - 1], dp[i - 1][j - 1]}), d);
+      }
+    }
+  }
+  return dp[n - 1][m - 1];
+}
+
+double EdrDistance(const std::vector<Point>& a, const std::vector<Point>& b,
+                   float epsilon_m) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<int> previous(m + 1), current(m + 1);
+  for (size_t j = 0; j <= m; ++j) previous[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    current[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int subcost =
+          Euclidean(a[i - 1], b[j - 1]) <= epsilon_m ? 0 : 1;
+      current[j] = std::min({previous[j - 1] + subcost, previous[j] + 1,
+                             current[j - 1] + 1});
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+namespace {
+double DtwSimilarity(const std::vector<Point>& a,
+                     const std::vector<Point>& b) {
+  return -DtwDistance(a, b);
+}
+double LcssSim(const std::vector<Point>& a, const std::vector<Point>& b) {
+  return LcssSimilarity(a, b);
+}
+double FrechetSimilarity(const std::vector<Point>& a,
+                         const std::vector<Point>& b) {
+  return -FrechetDistance(a, b);
+}
+double EdrSimilarity(const std::vector<Point>& a,
+                     const std::vector<Point>& b) {
+  return -EdrDistance(a, b);
+}
+}  // namespace
+
+const std::vector<ClassicMeasure>& AllClassicMeasures() {
+  static const std::vector<ClassicMeasure>* kMeasures =
+      new std::vector<ClassicMeasure>{
+          {"DTW", &DtwSimilarity},
+          {"LCSS", &LcssSim},
+          {"Frechet", &FrechetSimilarity},
+          {"EDR", &EdrSimilarity},
+      };
+  return *kMeasures;
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,52 @@
+#ifndef BIGCITY_BASELINES_SIMILARITY_CLASSIC_SIMILARITY_H_
+#define BIGCITY_BASELINES_SIMILARITY_CLASSIC_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/trajectory.h"
+#include "roadnet/road_network.h"
+
+namespace bigcity::baselines {
+
+/// 2-D point sequence of a trajectory (segment midpoints, meters).
+std::vector<std::pair<float, float>> ToPointSequence(
+    const roadnet::RoadNetwork& network, const data::Trajectory& trajectory);
+
+// Classic trajectory distances used in the scalability study (Fig. 6).
+// All are O(|a| * |b|) dynamic programs over point sequences; LOWER is more
+// similar for DTW / Frechet / EDR, HIGHER is more similar for LCSS.
+
+/// Dynamic Time Warping (Yi et al., 1998) with Euclidean ground distance.
+double DtwDistance(const std::vector<std::pair<float, float>>& a,
+                   const std::vector<std::pair<float, float>>& b);
+
+/// Longest Common SubSequence similarity (Vlachos et al., 2002):
+/// match when points are within `epsilon` meters; returns |LCSS| /
+/// min(|a|, |b|) in [0, 1].
+double LcssSimilarity(const std::vector<std::pair<float, float>>& a,
+                      const std::vector<std::pair<float, float>>& b,
+                      float epsilon_m = 300.0f);
+
+/// Discrete Frechet distance (Alt & Godau, 1995).
+double FrechetDistance(const std::vector<std::pair<float, float>>& a,
+                       const std::vector<std::pair<float, float>>& b);
+
+/// Edit Distance on Real sequence (Chen et al., 2005) with threshold
+/// `epsilon` meters; returns the (integer) edit cost.
+double EdrDistance(const std::vector<std::pair<float, float>>& a,
+                   const std::vector<std::pair<float, float>>& b,
+                   float epsilon_m = 300.0f);
+
+/// Named wrapper so benches can sweep over the four measures uniformly.
+/// Returns a SIMILARITY (higher = more similar) for every measure.
+struct ClassicMeasure {
+  std::string name;
+  double (*similarity)(const std::vector<std::pair<float, float>>&,
+                       const std::vector<std::pair<float, float>>&);
+};
+const std::vector<ClassicMeasure>& AllClassicMeasures();
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_SIMILARITY_CLASSIC_SIMILARITY_H_

@@ -1,0 +1,118 @@
+#include "baselines/traffic/graph_tcn_models.h"
+
+#include "nn/ops.h"
+
+namespace bigcity::baselines {
+
+using nn::Tensor;
+
+// --- Graph WaveNet -------------------------------------------------------------
+
+GraphWaveNet::GraphWaveNet(const data::CityDataset* dataset, int window,
+                           int in_channels, int out_dim, int64_t hidden,
+                           util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim) {
+  adj_ = NormalizedAdjacency(dataset->network());
+  node_emb1_ = RegisterParameter(
+      "node_emb1", Tensor::Randn({num_segments_, 8}, rng, 0.1f, true));
+  node_emb2_ = RegisterParameter(
+      "node_emb2", Tensor::Randn({num_segments_, 8}, rng, 0.1f, true));
+  const int64_t in = static_cast<int64_t>(window) * in_channels;
+  tcn_filter_ = std::make_unique<nn::Linear>(in, hidden, rng);
+  tcn_gate_ = std::make_unique<nn::Linear>(in, hidden, rng);
+  graph_w_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  adaptive_w_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  readout_ = std::make_unique<nn::Linear>(hidden, out_dim, rng);
+  RegisterModule("tcn_filter", tcn_filter_.get());
+  RegisterModule("tcn_gate", tcn_gate_.get());
+  RegisterModule("graph_w", graph_w_.get());
+  RegisterModule("adaptive_w", adaptive_w_.get());
+  RegisterModule("readout", readout_.get());
+}
+
+Tensor GraphWaveNet::AdaptiveAdjacency() const {
+  return nn::Softmax(nn::Relu(nn::MatMul(node_emb1_,
+                                         nn::Transpose(node_emb2_))));
+}
+
+Tensor GraphWaveNet::Forward(const Tensor& window_input) {
+  // Gated temporal convolution collapsing the window.
+  Tensor h = nn::Mul(nn::Tanh(tcn_filter_->Forward(window_input)),
+                     nn::Sigmoid(tcn_gate_->Forward(window_input)));
+  // Physical + adaptive graph convolutions with residual.
+  Tensor physical = graph_w_->Forward(nn::MatMul(adj_, h));
+  Tensor adaptive = adaptive_w_->Forward(nn::MatMul(AdaptiveAdjacency(), h));
+  h = nn::Relu(nn::Add(h, nn::Add(physical, adaptive)));
+  return readout_->Forward(h);
+}
+
+// --- MTGNN ----------------------------------------------------------------------
+
+Mtgnn::Mtgnn(const data::CityDataset* dataset, int window, int in_channels,
+             int out_dim, int64_t hidden, util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim) {
+  node_emb1_ = RegisterParameter(
+      "node_emb1", Tensor::Randn({num_segments_, 8}, rng, 0.1f, true));
+  node_emb2_ = RegisterParameter(
+      "node_emb2", Tensor::Randn({num_segments_, 8}, rng, 0.1f, true));
+  const int64_t in = static_cast<int64_t>(window) * in_channels;
+  temporal_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{in, hidden, hidden}, rng);
+  hop1_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  hop2_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  readout_ = std::make_unique<nn::Linear>(hidden, out_dim, rng);
+  RegisterModule("temporal", temporal_.get());
+  RegisterModule("hop1", hop1_.get());
+  RegisterModule("hop2", hop2_.get());
+  RegisterModule("readout", readout_.get());
+}
+
+Tensor Mtgnn::LearnedAdjacency() const {
+  // Uni-directional: relu(tanh(E1 E2^T - E2 E1^T)) row-softmaxed.
+  Tensor m1 = nn::MatMul(node_emb1_, nn::Transpose(node_emb2_));
+  Tensor m2 = nn::MatMul(node_emb2_, nn::Transpose(node_emb1_));
+  return nn::Softmax(nn::Relu(nn::Tanh(nn::Sub(m1, m2))));
+}
+
+Tensor Mtgnn::Forward(const Tensor& window_input) {
+  Tensor h0 = temporal_->Forward(window_input);
+  Tensor adj = LearnedAdjacency();
+  // Mix-hop propagation: beta-weighted residual over two hops.
+  Tensor h1 = nn::Relu(hop1_->Forward(nn::MatMul(adj, h0)));
+  Tensor h2 = nn::Relu(hop2_->Forward(nn::MatMul(adj, h1)));
+  Tensor mixed = nn::Add(nn::Scale(h0, beta_),
+                         nn::Scale(nn::Add(h1, h2), (1.0f - beta_) * 0.5f));
+  return readout_->Forward(mixed);
+}
+
+// --- STGODE --------------------------------------------------------------------
+
+StgOde::StgOde(const data::CityDataset* dataset, int window, int in_channels,
+               int out_dim, int64_t hidden, util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim) {
+  adj_ = NormalizedAdjacency(dataset->network());
+  const int64_t in = static_cast<int64_t>(window) * in_channels;
+  temporal_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{in, hidden, hidden}, rng);
+  ode_w_ = std::make_unique<nn::Linear>(hidden, hidden, rng, /*bias=*/false);
+  readout_ = std::make_unique<nn::Linear>(hidden, out_dim, rng);
+  RegisterModule("temporal", temporal_.get());
+  RegisterModule("ode_w", ode_w_.get());
+  RegisterModule("readout", readout_.get());
+}
+
+Tensor StgOde::Forward(const Tensor& window_input) {
+  Tensor h = temporal_->Forward(window_input);
+  // Euler integration of dH/dt = tanh(A H W) - H (restart-regularized).
+  for (int step = 0; step < euler_steps_; ++step) {
+    Tensor flow =
+        nn::Sub(nn::Tanh(ode_w_->Forward(nn::MatMul(adj_, h))), h);
+    h = nn::Add(h, nn::Scale(flow, dt_));
+  }
+  return readout_->Forward(h);
+}
+
+}  // namespace bigcity::baselines

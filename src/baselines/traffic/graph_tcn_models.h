@@ -1,0 +1,75 @@
+#ifndef BIGCITY_BASELINES_TRAFFIC_GRAPH_TCN_MODELS_H_
+#define BIGCITY_BASELINES_TRAFFIC_GRAPH_TCN_MODELS_H_
+
+#include <memory>
+
+#include "baselines/traffic/traffic_model.h"
+#include "nn/layers.h"
+
+namespace bigcity::baselines {
+
+/// Graph WaveNet (Wu et al., 2019): gated temporal convolutions over the
+/// window plus graph convolution with a LEARNED adaptive adjacency
+/// A = softmax(relu(E1 E2^T)) alongside the physical one.
+class GraphWaveNet : public TrafficModel {
+ public:
+  GraphWaveNet(const data::CityDataset* dataset, int window, int in_channels,
+               int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "GWNET"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  nn::Tensor AdaptiveAdjacency() const;
+
+  nn::Tensor adj_;
+  nn::Tensor node_emb1_, node_emb2_;  // [I, r] each.
+  std::unique_ptr<nn::Linear> tcn_filter_, tcn_gate_;
+  std::unique_ptr<nn::Linear> graph_w_, adaptive_w_;
+  std::unique_ptr<nn::Linear> readout_;
+};
+
+/// MTGNN (Wu et al., 2020): uni-directional learned graph with mix-hop
+/// propagation (beta-weighted residual of multi-hop graph convolutions)
+/// plus a temporal MLP over the window.
+class Mtgnn : public TrafficModel {
+ public:
+  Mtgnn(const data::CityDataset* dataset, int window, int in_channels,
+        int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "MTGNN"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  nn::Tensor LearnedAdjacency() const;
+
+  nn::Tensor node_emb1_, node_emb2_;
+  std::unique_ptr<nn::Mlp> temporal_;
+  std::unique_ptr<nn::Linear> hop1_, hop2_;
+  std::unique_ptr<nn::Linear> readout_;
+  float beta_ = 0.6f;
+};
+
+/// STGODE (Fang et al., 2021): a continuous graph ODE — Euler-integrated
+/// residual graph convolutions H <- H + dt * (A H W - H) capture deep
+/// multi-hop propagation without over-smoothing; temporal MLP front-end.
+class StgOde : public TrafficModel {
+ public:
+  StgOde(const data::CityDataset* dataset, int window, int in_channels,
+         int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "STGODE"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  nn::Tensor adj_;
+  std::unique_ptr<nn::Mlp> temporal_;
+  std::unique_ptr<nn::Linear> ode_w_;
+  std::unique_ptr<nn::Linear> readout_;
+  int euler_steps_ = 4;
+  float dt_ = 0.25f;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAFFIC_GRAPH_TCN_MODELS_H_

@@ -1,0 +1,111 @@
+#include "baselines/traffic/norm_attn_models.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace bigcity::baselines {
+
+using nn::Tensor;
+
+// --- ST-Norm --------------------------------------------------------------------
+
+StNorm::StNorm(const data::CityDataset* dataset, int window, int in_channels,
+               int out_dim, int64_t hidden, util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim) {
+  // Input = raw window + spatially-normalized + temporally-normalized.
+  const int64_t in = static_cast<int64_t>(window) * in_channels * 3;
+  body_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{in, hidden, hidden, out_dim}, rng);
+  RegisterModule("body", body_.get());
+}
+
+Tensor StNorm::Forward(const Tensor& window_input) {
+  const int64_t rows = window_input.shape()[0];
+  const int64_t cols = window_input.shape()[1];
+  const auto& values = window_input.data();
+
+  // Spatial normalization: z-score each column (time-channel) across
+  // segments. Computed on raw values (no gradient through statistics),
+  // matching the normalization-as-feature design.
+  std::vector<float> spatial(values.size());
+  for (int64_t c = 0; c < cols; ++c) {
+    double mean = 0;
+    for (int64_t r = 0; r < rows; ++r) mean += values[r * cols + c];
+    mean /= static_cast<double>(rows);
+    double var = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      const double d = values[r * cols + c] - mean;
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / rows + 1e-6);
+    for (int64_t r = 0; r < rows; ++r) {
+      spatial[static_cast<size_t>(r * cols + c)] =
+          static_cast<float>((values[r * cols + c] - mean) / stddev);
+    }
+  }
+  // Temporal normalization: z-score each row (segment) across the window.
+  std::vector<float> temporal(values.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    double mean = 0;
+    for (int64_t c = 0; c < cols; ++c) mean += values[r * cols + c];
+    mean /= static_cast<double>(cols);
+    double var = 0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double d = values[r * cols + c] - mean;
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / cols + 1e-6);
+    for (int64_t c = 0; c < cols; ++c) {
+      temporal[static_cast<size_t>(r * cols + c)] =
+          static_cast<float>((values[r * cols + c] - mean) / stddev);
+    }
+  }
+  Tensor spatial_t = Tensor::FromData({rows, cols}, std::move(spatial));
+  Tensor temporal_t = Tensor::FromData({rows, cols}, std::move(temporal));
+  return body_->Forward(
+      nn::Concat({window_input, spatial_t, temporal_t}, 1));
+}
+
+// --- SSTBAN --------------------------------------------------------------------
+
+Sstban::Sstban(const data::CityDataset* dataset, int window, int in_channels,
+               int out_dim, int64_t hidden, util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim),
+      hidden_(hidden) {
+  constexpr int64_t kBottleneckTokens = 8;
+  bottleneck_ = RegisterParameter(
+      "bottleneck",
+      Tensor::Randn({kBottleneckTokens, hidden}, rng, 0.1f, true));
+  const int64_t in = static_cast<int64_t>(window) * in_channels;
+  input_proj_ = std::make_unique<nn::Linear>(in, hidden, rng);
+  to_bottleneck_q_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  from_bottleneck_q_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  readout_ = std::make_unique<nn::Linear>(hidden, out_dim, rng);
+  RegisterModule("input_proj", input_proj_.get());
+  RegisterModule("to_bottleneck_q", to_bottleneck_q_.get());
+  RegisterModule("from_bottleneck_q", from_bottleneck_q_.get());
+  RegisterModule("readout", readout_.get());
+}
+
+Tensor Sstban::Forward(const Tensor& window_input) {
+  const float inv = 1.0f / std::sqrt(static_cast<float>(hidden_));
+  Tensor h = nn::Relu(input_proj_->Forward(window_input));  // [I, H]
+  // Bottleneck gathers: B tokens attend over segments.
+  Tensor gather_scores = nn::Scale(
+      nn::MatMul(to_bottleneck_q_->Forward(bottleneck_), nn::Transpose(h)),
+      inv);
+  Tensor bottleneck_state =
+      nn::MatMul(nn::Softmax(gather_scores), h);  // [B, H]
+  // Segments read back: attention from segments over bottleneck tokens.
+  Tensor read_scores = nn::Scale(
+      nn::MatMul(from_bottleneck_q_->Forward(h),
+                 nn::Transpose(bottleneck_state)),
+      inv);
+  Tensor update = nn::MatMul(nn::Softmax(read_scores), bottleneck_state);
+  return readout_->Forward(nn::Add(h, update));
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,48 @@
+#ifndef BIGCITY_BASELINES_TRAFFIC_NORM_ATTN_MODELS_H_
+#define BIGCITY_BASELINES_TRAFFIC_NORM_ATTN_MODELS_H_
+
+#include <memory>
+
+#include "baselines/traffic/traffic_model.h"
+#include "nn/layers.h"
+
+namespace bigcity::baselines {
+
+/// ST-Norm (Deng et al., 2021): spatial normalization (per slice, across
+/// segments) and temporal normalization (per segment, across the window)
+/// refine the raw inputs into de-trended channels consumed by an MLP.
+class StNorm : public TrafficModel {
+ public:
+  StNorm(const data::CityDataset* dataset, int window, int in_channels,
+         int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "ST-Norm"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  std::unique_ptr<nn::Mlp> body_;
+};
+
+/// SSTBAN (Guo et al., 2023): self-supervised spatial-temporal bottleneck
+/// attention — segments attend through a small set of learned bottleneck
+/// tokens (cheap global mixing) before a temporal readout.
+class Sstban : public TrafficModel {
+ public:
+  Sstban(const data::CityDataset* dataset, int window, int in_channels,
+         int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "SSTBAN"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  int64_t hidden_;
+  nn::Tensor bottleneck_;  // [B, hidden] learned tokens.
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::unique_ptr<nn::Linear> to_bottleneck_q_;
+  std::unique_ptr<nn::Linear> from_bottleneck_q_;
+  std::unique_ptr<nn::Linear> readout_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAFFIC_NORM_ATTN_MODELS_H_

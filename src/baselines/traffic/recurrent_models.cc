@@ -1,0 +1,109 @@
+#include "baselines/traffic/recurrent_models.h"
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+using nn::Tensor;
+
+namespace {
+/// Extracts step t of a [I, W*C] window as [I, C].
+Tensor StepSlice(const Tensor& window_input, int t, int channels) {
+  return nn::SliceCols(window_input, t * channels, (t + 1) * channels);
+}
+}  // namespace
+
+// --- DCRNN -------------------------------------------------------------------
+
+Dcrnn::Dcrnn(const data::CityDataset* dataset, int window, int in_channels,
+             int out_dim, int64_t hidden, util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim),
+      hidden_(hidden) {
+  adj_fwd_ = NormalizedAdjacency(dataset->network());
+  adj_bwd_ = NormalizedReverseAdjacency(dataset->network());
+  const int64_t in = in_channels + hidden;
+  gate0_ = std::make_unique<nn::Linear>(in, 2 * hidden, rng);
+  gate1_ = std::make_unique<nn::Linear>(in, 2 * hidden, rng, false);
+  gate2_ = std::make_unique<nn::Linear>(in, 2 * hidden, rng, false);
+  cand0_ = std::make_unique<nn::Linear>(in, hidden, rng);
+  cand1_ = std::make_unique<nn::Linear>(in, hidden, rng, false);
+  cand2_ = std::make_unique<nn::Linear>(in, hidden, rng, false);
+  readout_ = std::make_unique<nn::Linear>(hidden, out_dim, rng);
+  RegisterModule("gate0", gate0_.get());
+  RegisterModule("gate1", gate1_.get());
+  RegisterModule("gate2", gate2_.get());
+  RegisterModule("cand0", cand0_.get());
+  RegisterModule("cand1", cand1_.get());
+  RegisterModule("cand2", cand2_.get());
+  RegisterModule("readout", readout_.get());
+}
+
+Tensor Dcrnn::DiffusionConv(const Tensor& x, const nn::Linear& w0,
+                            const nn::Linear& w1,
+                            const nn::Linear& w2) const {
+  return nn::Add(nn::Add(w0.Forward(x), w1.Forward(nn::MatMul(adj_fwd_, x))),
+                 w2.Forward(nn::MatMul(adj_bwd_, x)));
+}
+
+Tensor Dcrnn::Forward(const Tensor& window_input) {
+  Tensor h = Tensor::Zeros({num_segments_, hidden_});
+  for (int t = 0; t < window_; ++t) {
+    Tensor x = StepSlice(window_input, t, in_channels_);
+    Tensor xh = nn::Concat({x, h}, 1);
+    Tensor gates = nn::Sigmoid(DiffusionConv(xh, *gate0_, *gate1_, *gate2_));
+    Tensor z = nn::SliceCols(gates, 0, hidden_);
+    Tensor r = nn::SliceCols(gates, hidden_, 2 * hidden_);
+    Tensor xrh = nn::Concat({x, nn::Mul(r, h)}, 1);
+    Tensor candidate =
+        nn::Tanh(DiffusionConv(xrh, *cand0_, *cand1_, *cand2_));
+    // h = (1-z) * h + z * candidate.
+    Tensor one_minus_z = nn::AddConst(nn::Neg(z), 1.0f);
+    h = nn::Add(nn::Mul(one_minus_z, h), nn::Mul(z, candidate));
+  }
+  return readout_->Forward(h);
+}
+
+// --- TrGNN -------------------------------------------------------------------
+
+TrGnn::TrGnn(const data::CityDataset* dataset, int window, int in_channels,
+             int out_dim, int64_t hidden, util::Rng* rng)
+    : TrafficModel(dataset->network().num_segments(), window, in_channels,
+                   out_dim),
+      hidden_(hidden) {
+  transition_adj_ = TransitionAdjacency(*dataset);
+  graph_proj_ = std::make_unique<nn::Linear>(in_channels, hidden, rng);
+  gate_x_ = std::make_unique<nn::Linear>(hidden, 2 * hidden, rng);
+  gate_h_ = std::make_unique<nn::Linear>(hidden, 2 * hidden, rng, false);
+  cand_x_ = std::make_unique<nn::Linear>(hidden, hidden, rng);
+  cand_h_ = std::make_unique<nn::Linear>(hidden, hidden, rng, false);
+  readout_ = std::make_unique<nn::Linear>(hidden, out_dim, rng);
+  RegisterModule("graph_proj", graph_proj_.get());
+  RegisterModule("gate_x", gate_x_.get());
+  RegisterModule("gate_h", gate_h_.get());
+  RegisterModule("cand_x", cand_x_.get());
+  RegisterModule("cand_h", cand_h_.get());
+  RegisterModule("readout", readout_.get());
+}
+
+Tensor TrGnn::Forward(const Tensor& window_input) {
+  Tensor h = Tensor::Zeros({num_segments_, hidden_});
+  for (int t = 0; t < window_; ++t) {
+    Tensor x = StepSlice(window_input, t, in_channels_);
+    // Trajectory-informed graph convolution on the inputs.
+    Tensor gx = nn::Relu(
+        graph_proj_->Forward(nn::MatMul(transition_adj_, x)));
+    Tensor gates =
+        nn::Sigmoid(nn::Add(gate_x_->Forward(gx), gate_h_->Forward(h)));
+    Tensor z = nn::SliceCols(gates, 0, hidden_);
+    Tensor r = nn::SliceCols(gates, hidden_, 2 * hidden_);
+    Tensor candidate = nn::Tanh(
+        nn::Add(cand_x_->Forward(gx), cand_h_->Forward(nn::Mul(r, h))));
+    Tensor one_minus_z = nn::AddConst(nn::Neg(z), 1.0f);
+    h = nn::Add(nn::Mul(one_minus_z, h), nn::Mul(z, candidate));
+  }
+  return readout_->Forward(h);
+}
+
+}  // namespace bigcity::baselines

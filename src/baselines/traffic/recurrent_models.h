@@ -1,0 +1,58 @@
+#ifndef BIGCITY_BASELINES_TRAFFIC_RECURRENT_MODELS_H_
+#define BIGCITY_BASELINES_TRAFFIC_RECURRENT_MODELS_H_
+
+#include <memory>
+
+#include "baselines/traffic/traffic_model.h"
+#include "nn/layers.h"
+
+namespace bigcity::baselines {
+
+/// DCRNN (Li et al., 2018): diffusion-convolutional recurrent network.
+/// Each step applies forward/backward diffusion convolutions inside a
+/// GRU-style update over all segments jointly.
+class Dcrnn : public TrafficModel {
+ public:
+  Dcrnn(const data::CityDataset* dataset, int window, int in_channels,
+        int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "DCRNN"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  /// Diffusion convolution: W0 X + W1 (A_fwd X) + W2 (A_bwd X).
+  nn::Tensor DiffusionConv(const nn::Tensor& x,
+                           const nn::Linear& w0, const nn::Linear& w1,
+                           const nn::Linear& w2) const;
+
+  int64_t hidden_;
+  nn::Tensor adj_fwd_, adj_bwd_;
+  // Gate / candidate diffusion convolutions over [x || h].
+  std::unique_ptr<nn::Linear> gate0_, gate1_, gate2_;
+  std::unique_ptr<nn::Linear> cand0_, cand1_, cand2_;
+  std::unique_ptr<nn::Linear> readout_;
+};
+
+/// TrGNN (Li et al., 2021): traffic prediction with vehicle trajectories —
+/// the graph convolution uses trajectory transition frequencies instead of
+/// pure road topology, feeding a GRU over time.
+class TrGnn : public TrafficModel {
+ public:
+  TrGnn(const data::CityDataset* dataset, int window, int in_channels,
+        int out_dim, int64_t hidden, util::Rng* rng);
+
+  std::string name() const override { return "TrGNN"; }
+  nn::Tensor Forward(const nn::Tensor& window_input) override;
+
+ private:
+  int64_t hidden_;
+  nn::Tensor transition_adj_;
+  std::unique_ptr<nn::Linear> graph_proj_;
+  // Node-shared GRU cell applied to all segments jointly.
+  std::unique_ptr<nn::Linear> gate_x_, gate_h_, cand_x_, cand_h_;
+  std::unique_ptr<nn::Linear> readout_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAFFIC_RECURRENT_MODELS_H_

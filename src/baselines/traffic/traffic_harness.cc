@@ -1,0 +1,175 @@
+#include "baselines/traffic/traffic_harness.h"
+
+#include <algorithm>
+
+#include "data/masking.h"
+#include "data/traffic_aggregator.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "train/metrics.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+using data::kTrafficChannels;
+using nn::Tensor;
+
+TrafficTaskHarness::TrafficTaskHarness(const data::CityDataset* dataset,
+                                       TrafficHarnessConfig config)
+    : dataset_(dataset), config_(config), rng_(config.seed) {
+  BIGCITY_CHECK(dataset != nullptr);
+  BIGCITY_CHECK(dataset->config().has_dynamic_features);
+}
+
+Tensor TrafficTaskHarness::BuildPredictionInput(int start) const {
+  const int num_segments = dataset_->network().num_segments();
+  std::vector<float> values(static_cast<size_t>(num_segments) *
+                            config_.window * kTrafficChannels);
+  for (int i = 0; i < num_segments; ++i) {
+    for (int t = 0; t < config_.window; ++t) {
+      for (int c = 0; c < kTrafficChannels; ++c) {
+        values[(static_cast<size_t>(i) * config_.window + t) *
+                   kTrafficChannels +
+               c] = dataset_->traffic().Get(start + t, i, c);
+      }
+    }
+  }
+  return Tensor::FromData({num_segments, config_.window * kTrafficChannels},
+                          std::move(values));
+}
+
+Tensor TrafficTaskHarness::PredictionTarget(int start, int horizon) const {
+  const int num_segments = dataset_->network().num_segments();
+  std::vector<float> values(static_cast<size_t>(num_segments) * horizon *
+                            kTrafficChannels);
+  for (int i = 0; i < num_segments; ++i) {
+    for (int h = 0; h < horizon; ++h) {
+      for (int c = 0; c < kTrafficChannels; ++c) {
+        values[(static_cast<size_t>(i) * horizon + h) * kTrafficChannels +
+               c] = dataset_->traffic().Get(start + config_.window + h, i, c);
+      }
+    }
+  }
+  return Tensor::FromData({num_segments, horizon * kTrafficChannels},
+                          std::move(values));
+}
+
+Tensor TrafficTaskHarness::BuildImputationInput(
+    int start, const std::vector<int>& masked) const {
+  const int num_segments = dataset_->network().num_segments();
+  const int in_channels = kTrafficChannels + 1;
+  std::vector<bool> is_masked(static_cast<size_t>(config_.window), false);
+  for (int m : masked) is_masked[static_cast<size_t>(m)] = true;
+  std::vector<float> values(static_cast<size_t>(num_segments) *
+                                config_.window * in_channels,
+                            0.0f);
+  for (int i = 0; i < num_segments; ++i) {
+    for (int t = 0; t < config_.window; ++t) {
+      float* cell = values.data() +
+                    (static_cast<size_t>(i) * config_.window + t) *
+                        in_channels;
+      if (is_masked[static_cast<size_t>(t)]) {
+        cell[kTrafficChannels] = 1.0f;  // Mask indicator.
+      } else {
+        for (int c = 0; c < kTrafficChannels; ++c) {
+          cell[c] = dataset_->traffic().Get(start + t, i, c);
+        }
+      }
+    }
+  }
+  return Tensor::FromData({num_segments, config_.window * in_channels},
+                          std::move(values));
+}
+
+Tensor TrafficTaskHarness::ImputationTarget(int start) const {
+  return BuildPredictionInput(start);
+}
+
+int TrafficTaskHarness::MaxTrainStart(int horizon) const {
+  return std::max(1, dataset_->num_slices() / 2 - config_.window - horizon -
+                         1);
+}
+
+train::RegressionMetrics TrafficTaskHarness::TrainAndEvalPrediction(
+    TrafficModel* model, int horizon) {
+  BIGCITY_CHECK_EQ(model->out_dim(), horizon * kTrafficChannels);
+  BIGCITY_CHECK_EQ(model->in_channels(), kTrafficChannels);
+  nn::Adam optimizer(model->TrainableParameters(), config_.lr);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int s = 0; s < config_.train_samples; ++s) {
+      const int start = rng_.UniformInt(0, MaxTrainStart(horizon));
+      optimizer.ZeroGrad();
+      Tensor predicted = model->Forward(BuildPredictionInput(start));
+      nn::Mse(predicted, PredictionTarget(start, horizon)).Backward();
+      optimizer.Step();
+    }
+  }
+
+  // Evaluate on the held-out later half of the timeline, speed channel.
+  std::vector<double> predictions, targets;
+  const int lo = dataset_->num_slices() / 2;
+  const int hi =
+      std::max(lo + 1, dataset_->num_slices() - config_.window - horizon - 1);
+  for (int s = 0; s < config_.eval_samples; ++s) {
+    const int start = rng_.UniformInt(lo, hi);
+    Tensor predicted = model->Forward(BuildPredictionInput(start));
+    Tensor target = PredictionTarget(start, horizon);
+    for (int i = 0; i < predicted.shape()[0]; ++i) {
+      for (int h = 0; h < horizon; ++h) {
+        predictions.push_back(predicted.at(i, h * kTrafficChannels) *
+                              data::TrafficAggregator::kSpeedScale);
+        targets.push_back(target.at(i, h * kTrafficChannels) *
+                          data::TrafficAggregator::kSpeedScale);
+      }
+    }
+  }
+  train::RegressionMetrics metrics;
+  metrics.mae = train::MeanAbsoluteError(predictions, targets);
+  metrics.rmse = train::RootMeanSquaredError(predictions, targets);
+  metrics.mape = train::MeanAbsolutePercentageError(predictions, targets);
+  return metrics;
+}
+
+train::RegressionMetrics TrafficTaskHarness::TrainAndEvalImputation(
+    TrafficModel* model, double mask_ratio) {
+  BIGCITY_CHECK_EQ(model->out_dim(), config_.window * kTrafficChannels);
+  BIGCITY_CHECK_EQ(model->in_channels(), kTrafficChannels + 1);
+  const int k =
+      std::max(1, static_cast<int>(config_.window * mask_ratio));
+  nn::Adam optimizer(model->TrainableParameters(), config_.lr);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int s = 0; s < config_.train_samples; ++s) {
+      const int start = rng_.UniformInt(0, MaxTrainStart(0));
+      auto masked = data::RandomMaskIndices(config_.window, k, &rng_);
+      optimizer.ZeroGrad();
+      Tensor predicted = model->Forward(BuildImputationInput(start, masked));
+      nn::Mse(predicted, ImputationTarget(start)).Backward();
+      optimizer.Step();
+    }
+  }
+
+  std::vector<double> predictions, targets;
+  const int lo = dataset_->num_slices() / 2;
+  const int hi = std::max(lo + 1,
+                          dataset_->num_slices() - config_.window - 1);
+  for (int s = 0; s < config_.eval_samples; ++s) {
+    const int start = rng_.UniformInt(lo, hi);
+    auto masked = data::RandomMaskIndices(config_.window, k, &rng_);
+    Tensor predicted = model->Forward(BuildImputationInput(start, masked));
+    for (int i = 0; i < predicted.shape()[0]; ++i) {
+      for (int m : masked) {
+        predictions.push_back(predicted.at(i, m * kTrafficChannels) *
+                              data::TrafficAggregator::kSpeedScale);
+        targets.push_back(dataset_->traffic().Get(start + m, i, 0) *
+                          data::TrafficAggregator::kSpeedScale);
+      }
+    }
+  }
+  train::RegressionMetrics metrics;
+  metrics.mae = train::MeanAbsoluteError(predictions, targets);
+  metrics.rmse = train::RootMeanSquaredError(predictions, targets);
+  metrics.mape = train::MeanAbsolutePercentageError(predictions, targets);
+  return metrics;
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,61 @@
+#ifndef BIGCITY_BASELINES_TRAFFIC_TRAFFIC_HARNESS_H_
+#define BIGCITY_BASELINES_TRAFFIC_TRAFFIC_HARNESS_H_
+
+#include "baselines/traffic/traffic_model.h"
+#include "train/evaluator.h"
+#include "util/rng.h"
+
+namespace bigcity::baselines {
+
+/// Trains and evaluates a traffic-state baseline for one task. Prediction
+/// models output [I, horizon * C]; imputation models take a (masked input +
+/// mask indicator) window of in_channels = C + 1 and output [I, window * C].
+/// Training samples come from the first half of the timeline, evaluation
+/// from the second half — the same protocol as train::Evaluator.
+struct TrafficHarnessConfig {
+  int epochs = 6;
+  float lr = 3e-3f;
+  int train_samples = 100;   // Window start positions per epoch.
+  int eval_samples = 60;
+  int window = 12;
+  uint64_t seed = 9;
+};
+
+class TrafficTaskHarness {
+ public:
+  TrafficTaskHarness(const data::CityDataset* dataset,
+                     TrafficHarnessConfig config);
+
+  /// Input window [I, window * C] starting at `start`.
+  nn::Tensor BuildPredictionInput(int start) const;
+  /// Ground truth [I, horizon * C] following the window.
+  nn::Tensor PredictionTarget(int start, int horizon) const;
+
+  /// Masked window [I, window * (C+1)] (zeroed states + mask flags).
+  nn::Tensor BuildImputationInput(int start,
+                                  const std::vector<int>& masked) const;
+  /// Full-window ground truth [I, window * C].
+  nn::Tensor ImputationTarget(int start) const;
+
+  /// Trains `model` for h-step prediction and reports test-range MAE /
+  /// MAPE / RMSE on the speed channel (m/s).
+  train::RegressionMetrics TrainAndEvalPrediction(TrafficModel* model,
+                                                  int horizon);
+
+  /// Trains `model` for imputation at the given mask ratio.
+  train::RegressionMetrics TrainAndEvalImputation(TrafficModel* model,
+                                                  double mask_ratio);
+
+  const TrafficHarnessConfig& config() const { return config_; }
+
+ private:
+  int MaxTrainStart(int horizon) const;
+
+  const data::CityDataset* dataset_;
+  TrafficHarnessConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAFFIC_TRAFFIC_HARNESS_H_

@@ -1,0 +1,57 @@
+#include "baselines/traffic/traffic_model.h"
+
+namespace bigcity::baselines {
+
+namespace {
+
+nn::Tensor RowNormalize(std::vector<float> dense, int n) {
+  for (int i = 0; i < n; ++i) {
+    float total = 0;
+    for (int j = 0; j < n; ++j) total += dense[static_cast<size_t>(i * n + j)];
+    if (total <= 0) continue;
+    for (int j = 0; j < n; ++j) dense[static_cast<size_t>(i * n + j)] /= total;
+  }
+  return nn::Tensor::FromData({n, n}, std::move(dense));
+}
+
+}  // namespace
+
+nn::Tensor NormalizedAdjacency(const roadnet::RoadNetwork& network) {
+  const int n = network.num_segments();
+  std::vector<float> dense(static_cast<size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    dense[static_cast<size_t>(i * n + i)] = 1.0f;  // Self loop.
+    for (int j : network.successors(i)) {
+      dense[static_cast<size_t>(i * n + j)] = 1.0f;
+    }
+  }
+  return RowNormalize(std::move(dense), n);
+}
+
+nn::Tensor NormalizedReverseAdjacency(const roadnet::RoadNetwork& network) {
+  const int n = network.num_segments();
+  std::vector<float> dense(static_cast<size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    dense[static_cast<size_t>(i * n + i)] = 1.0f;
+    for (int j : network.predecessors(i)) {
+      dense[static_cast<size_t>(i * n + j)] = 1.0f;
+    }
+  }
+  return RowNormalize(std::move(dense), n);
+}
+
+nn::Tensor TransitionAdjacency(const data::CityDataset& dataset) {
+  const int n = dataset.network().num_segments();
+  std::vector<float> dense(static_cast<size_t>(n) * n, 0.0f);
+  for (int i = 0; i < n; ++i) dense[static_cast<size_t>(i * n + i)] = 1.0f;
+  for (const auto& trip : dataset.train()) {
+    for (int l = 0; l + 1 < trip.length(); ++l) {
+      const int a = trip.points[static_cast<size_t>(l)].segment;
+      const int b = trip.points[static_cast<size_t>(l + 1)].segment;
+      dense[static_cast<size_t>(a) * n + b] += 1.0f;
+    }
+  }
+  return RowNormalize(std::move(dense), n);
+}
+
+}  // namespace bigcity::baselines

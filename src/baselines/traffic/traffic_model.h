@@ -1,0 +1,53 @@
+#ifndef BIGCITY_BASELINES_TRAFFIC_TRAFFIC_MODEL_H_
+#define BIGCITY_BASELINES_TRAFFIC_TRAFFIC_MODEL_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace bigcity::baselines {
+
+/// Base class for the seven traffic-state baselines (Table V). Models map a
+/// windowed input [I, window * in_channels] (all segments jointly) to
+/// [I, out_dim]; the harness decides what the output means (h-step
+/// prediction or full-window imputation) and builds the inputs.
+class TrafficModel : public nn::Module {
+ public:
+  TrafficModel(int num_segments, int window, int in_channels, int out_dim)
+      : num_segments_(num_segments), window_(window),
+        in_channels_(in_channels), out_dim_(out_dim) {}
+  ~TrafficModel() override = default;
+
+  virtual std::string name() const = 0;
+
+  /// window_input [I, window * in_channels] -> [I, out_dim].
+  virtual nn::Tensor Forward(const nn::Tensor& window_input) = 0;
+
+  int num_segments() const { return num_segments_; }
+  int window() const { return window_; }
+  int in_channels() const { return in_channels_; }
+  int out_dim() const { return out_dim_; }
+
+ protected:
+  int num_segments_;
+  int window_;
+  int in_channels_;
+  int out_dim_;
+};
+
+/// Dense row-normalized adjacency of the segment graph (with self loops),
+/// [I, I]; constant (no gradient).
+nn::Tensor NormalizedAdjacency(const roadnet::RoadNetwork& network);
+
+/// Reverse-direction normalized adjacency (for diffusion convolutions).
+nn::Tensor NormalizedReverseAdjacency(const roadnet::RoadNetwork& network);
+
+/// Trajectory-informed adjacency (TrGNN): transition frequencies observed
+/// in the training trips, row-normalized with self loops.
+nn::Tensor TransitionAdjacency(const data::CityDataset& dataset);
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAFFIC_TRAFFIC_MODEL_H_

@@ -1,0 +1,191 @@
+#include "baselines/traj/attn_encoders.h"
+
+#include <cmath>
+
+#include "data/masking.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+namespace {
+constexpr int kMaxLen = 24;
+constexpr float kLr = 2e-3f;
+constexpr int64_t kLayers = 2;
+constexpr int64_t kHeads = 2;
+}  // namespace
+
+// --- Toast -------------------------------------------------------------------
+
+Toast::Toast(const data::CityDataset* dataset, int64_t dim, util::Rng* rng)
+    : TrajEncoder(dataset, dim, rng) {
+  transformer_ = std::make_unique<nn::Transformer>(dim, kHeads, kLayers,
+                                                   &rng_, /*causal=*/false);
+  mlm_head_ = std::make_unique<nn::Linear>(
+      dim, dataset->network().num_segments(), &rng_);
+  RegisterModule("transformer", transformer_.get());
+  RegisterModule("mlm_head", mlm_head_.get());
+  positional_ = RegisterParameter(
+      "positional",
+      nn::Tensor::Randn({kMaxLen + 8, dim}, &rng_, 0.02f, true));
+  mask_vector_ = RegisterParameter(
+      "mask_vector", nn::Tensor::Randn({1, dim}, &rng_, 0.02f, true));
+}
+
+nn::Tensor Toast::SequenceRepresentations(
+    const data::Trajectory& trajectory) {
+  nn::Tensor inputs = InputFeatures(trajectory);
+  nn::Tensor positions = nn::SliceRows(positional_, 0, inputs.shape()[0]);
+  return transformer_->Forward(nn::Add(inputs, positions));
+}
+
+void Toast::SkipGramPretrain(int walks, int walk_length) {
+  // road2vec: embeddings of segments co-occurring on random walks are
+  // pulled together against random negatives.
+  const auto& network = dataset_->network();
+  nn::Adam optimizer(segment_embedding_->Parameters(), kLr);
+  for (int w = 0; w < walks; ++w) {
+    int current = rng_.UniformInt(0, network.num_segments() - 1);
+    std::vector<int> walk = {current};
+    for (int s = 0; s < walk_length; ++s) {
+      const auto& successors = network.successors(current);
+      if (successors.empty()) break;
+      current = successors[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int>(successors.size()) - 1))];
+      walk.push_back(current);
+    }
+    if (walk.size() < 3) continue;
+    optimizer.ZeroGrad();
+    nn::Tensor embedded = segment_embedding_->Forward(walk);
+    // Score adjacent pairs high, random pairs low (logistic loss via
+    // softmax over in-walk negatives).
+    nn::Tensor scores =
+        nn::MatMul(embedded, nn::Transpose(embedded));  // [W, W]
+    std::vector<int> next(walk.size());
+    for (size_t i = 0; i < walk.size(); ++i) {
+      next[i] = static_cast<int>(i + 1 < walk.size() ? i + 1 : i - 1);
+    }
+    nn::CrossEntropy(scores, next).Backward();
+    optimizer.Step();
+  }
+}
+
+void Toast::Pretrain(const std::vector<data::Trajectory>& trips,
+                     int epochs) {
+  SkipGramPretrain(/*walks=*/120, /*walk_length=*/10);
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& raw : trips) {
+      if (raw.length() < 4) continue;
+      data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+      const int k = std::max(1, trip.length() / 5);
+      auto masked = data::RandomMaskIndices(trip.length(), k, &rng_);
+      optimizer.ZeroGrad();
+      nn::Tensor inputs = InputFeatures(trip);
+      // Replace masked rows with the learned mask vector.
+      std::vector<nn::Tensor> rows;
+      size_t cursor = 0;
+      for (int l = 0; l < trip.length(); ++l) {
+        if (cursor < masked.size() && masked[cursor] == l) {
+          rows.push_back(mask_vector_);
+          ++cursor;
+        } else {
+          rows.push_back(nn::SliceRows(inputs, l, l + 1));
+        }
+      }
+      nn::Tensor assembled = nn::Concat(rows, 0);
+      nn::Tensor positions =
+          nn::SliceRows(positional_, 0, assembled.shape()[0]);
+      nn::Tensor hidden =
+          transformer_->Forward(nn::Add(assembled, positions));
+      nn::Tensor logits = mlm_head_->Forward(nn::Rows(hidden, masked));
+      std::vector<int> targets;
+      for (int index : masked) {
+        targets.push_back(trip.points[static_cast<size_t>(index)].segment);
+      }
+      nn::CrossEntropy(logits, targets).Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+// --- JCLRNT ------------------------------------------------------------------
+
+Jclrnt::Jclrnt(const data::CityDataset* dataset, int64_t dim, util::Rng* rng)
+    : TrajEncoder(dataset, dim, rng) {
+  transformer_ = std::make_unique<nn::Transformer>(dim, kHeads, kLayers,
+                                                   &rng_, /*causal=*/false);
+  projection_ = std::make_unique<nn::Linear>(dim, dim, &rng_);
+  RegisterModule("transformer", transformer_.get());
+  RegisterModule("projection", projection_.get());
+  positional_ = RegisterParameter(
+      "positional",
+      nn::Tensor::Randn({kMaxLen + 8, dim}, &rng_, 0.02f, true));
+}
+
+nn::Tensor Jclrnt::SequenceRepresentations(
+    const data::Trajectory& trajectory) {
+  nn::Tensor inputs = InputFeatures(trajectory);
+  nn::Tensor positions = nn::SliceRows(positional_, 0, inputs.shape()[0]);
+  return transformer_->Forward(nn::Add(inputs, positions));
+}
+
+data::Trajectory Jclrnt::Augment(const data::Trajectory& trajectory) {
+  data::Trajectory augmented;
+  augmented.user_id = trajectory.user_id;
+  if (rng_.Bernoulli(0.5)) {
+    // Random contiguous crop of >= 60%.
+    const int length = trajectory.length();
+    const int crop = std::max(3, static_cast<int>(length * 0.6));
+    const int start = rng_.UniformInt(0, length - crop);
+    for (int l = start; l < start + crop; ++l) {
+      augmented.points.push_back(
+          trajectory.points[static_cast<size_t>(l)]);
+    }
+  } else {
+    // Random point dropout (keep ~70%).
+    for (const auto& point : trajectory.points) {
+      if (!rng_.Bernoulli(0.3)) augmented.points.push_back(point);
+    }
+    if (augmented.length() < 3) augmented = trajectory;
+  }
+  return augmented;
+}
+
+void Jclrnt::Pretrain(const std::vector<data::Trajectory>& trips,
+                      int epochs) {
+  constexpr int kBatch = 8;
+  constexpr float kTemperature = 0.2f;
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t begin = 0; begin + kBatch <= trips.size();
+         begin += kBatch) {
+      optimizer.ZeroGrad();
+      std::vector<nn::Tensor> view_a, view_b;
+      for (int b = 0; b < kBatch; ++b) {
+        const auto& raw = trips[begin + static_cast<size_t>(b)];
+        if (raw.length() < 5) continue;
+        data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+        view_a.push_back(projection_->Forward(
+            nn::MeanRows(SequenceRepresentations(Augment(trip)))));
+        view_b.push_back(projection_->Forward(
+            nn::MeanRows(SequenceRepresentations(Augment(trip)))));
+      }
+      if (view_a.size() < 2) continue;
+      // InfoNCE: match view_a[i] with view_b[i] against the batch.
+      nn::Tensor a = nn::Concat(view_a, 0);
+      nn::Tensor b = nn::Concat(view_b, 0);
+      nn::Tensor scores =
+          nn::Scale(nn::MatMul(a, nn::Transpose(b)), 1.0f / kTemperature);
+      std::vector<int> diagonal(view_a.size());
+      for (size_t i = 0; i < diagonal.size(); ++i) {
+        diagonal[i] = static_cast<int>(i);
+      }
+      nn::CrossEntropy(scores, diagonal).Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,56 @@
+#ifndef BIGCITY_BASELINES_TRAJ_ATTN_ENCODERS_H_
+#define BIGCITY_BASELINES_TRAJ_ATTN_ENCODERS_H_
+
+#include <memory>
+
+#include "baselines/traj/traj_encoder.h"
+#include "nn/transformer.h"
+
+namespace bigcity::baselines {
+
+/// Toast (Chen et al., 2021): skip-gram "road2vec" pre-training of the
+/// segment embeddings on random walks over the road network, followed by a
+/// bidirectional transformer with masked-segment recovery on trajectories.
+class Toast : public TrajEncoder {
+ public:
+  Toast(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "Toast"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  void SkipGramPretrain(int walks, int walk_length);
+
+  std::unique_ptr<nn::Transformer> transformer_;
+  std::unique_ptr<nn::Linear> mlm_head_;
+  nn::Tensor positional_;
+  nn::Tensor mask_vector_;
+};
+
+/// JCLRNT (Mao et al., 2022): jointly contrastive learning — InfoNCE
+/// between two stochastic augmentations (crop / mask) of the same
+/// trajectory against in-batch negatives, over a transformer encoder.
+class Jclrnt : public TrajEncoder {
+ public:
+  Jclrnt(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "JCLRNT"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  data::Trajectory Augment(const data::Trajectory& trajectory);
+
+  std::unique_ptr<nn::Transformer> transformer_;
+  std::unique_ptr<nn::Linear> projection_;
+  nn::Tensor positional_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAJ_ATTN_ENCODERS_H_

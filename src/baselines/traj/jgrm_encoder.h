@@ -1,0 +1,40 @@
+#ifndef BIGCITY_BASELINES_TRAJ_JGRM_ENCODER_H_
+#define BIGCITY_BASELINES_TRAJ_JGRM_ENCODER_H_
+
+#include <memory>
+
+#include "baselines/traj/traj_encoder.h"
+#include "nn/transformer.h"
+
+namespace bigcity::baselines {
+
+/// JGRM (Ma et al., 2024): joint GPS-and-route modeling. A route-view
+/// transformer over segment embeddings and a GPS-view GRU over raw
+/// coordinate/time traces are fused by summation after per-view encoding;
+/// pre-training recovers masked segments from the fused representation so
+/// the two views align.
+class JgrmEncoder : public TrajEncoder {
+ public:
+  JgrmEncoder(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "JGRM"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  /// GPS-view features: normalized coordinates + time, [L, 3].
+  nn::Tensor GpsFeatures(const data::Trajectory& trajectory) const;
+
+  std::unique_ptr<nn::Transformer> route_view_;
+  std::unique_ptr<nn::Gru> gps_view_;
+  std::unique_ptr<nn::Linear> gps_input_;
+  std::unique_ptr<nn::Linear> mlm_head_;
+  nn::Tensor positional_;
+  float max_x_ = 1.0f, max_y_ = 1.0f;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAJ_JGRM_ENCODER_H_

@@ -1,0 +1,151 @@
+#include "baselines/traj/rnn_encoders.h"
+
+#include "data/masking.h"
+#include "data/st_unit.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+namespace {
+constexpr int kMaxLen = 24;
+constexpr float kLr = 2e-3f;
+}  // namespace
+
+// --- Trajectory2vec ---------------------------------------------------------
+
+Trajectory2Vec::Trajectory2Vec(const data::CityDataset* dataset, int64_t dim,
+                               util::Rng* rng)
+    : TrajEncoder(dataset, dim, rng) {
+  encoder_ = std::make_unique<nn::Gru>(dim, dim, &rng_);
+  reconstructor_ = std::make_unique<nn::Linear>(dim, dim, &rng_);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("reconstructor", reconstructor_.get());
+}
+
+nn::Tensor Trajectory2Vec::SequenceRepresentations(
+    const data::Trajectory& trajectory) {
+  return encoder_->Forward(InputFeatures(trajectory));
+}
+
+void Trajectory2Vec::Pretrain(const std::vector<data::Trajectory>& trips,
+                              int epochs) {
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& raw : trips) {
+      if (raw.length() < 3) continue;
+      data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+      optimizer.ZeroGrad();
+      nn::Tensor inputs = InputFeatures(trip);
+      nn::Tensor states = encoder_->Forward(inputs);
+      // Autoencoding: reconstruct the (detached) input features.
+      nn::Tensor loss = nn::Mse(reconstructor_->Forward(states),
+                                inputs.Detached());
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+// --- T2vec ----------------------------------------------------------------
+
+T2Vec::T2Vec(const data::CityDataset* dataset, int64_t dim, util::Rng* rng)
+    : TrajEncoder(dataset, dim, rng) {
+  encoder_ = std::make_unique<nn::Gru>(dim, dim, &rng_);
+  segment_decoder_ = std::make_unique<nn::Linear>(
+      dim, dataset->network().num_segments(), &rng_);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("segment_decoder", segment_decoder_.get());
+}
+
+nn::Tensor T2Vec::SequenceRepresentations(
+    const data::Trajectory& trajectory) {
+  return encoder_->Forward(InputFeatures(trajectory));
+}
+
+void T2Vec::Pretrain(const std::vector<data::Trajectory>& trips,
+                     int epochs) {
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& raw : trips) {
+      if (raw.length() < 5) continue;
+      data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+      // Denoising: encode a downsampled copy, predict the final-state
+      // distribution over ALL original segments (bag-of-segments decode).
+      auto kept = data::DownsampleKeepIndices(trip.length(), 0.4, &rng_);
+      data::Trajectory sparse;
+      for (int index : kept) {
+        sparse.points.push_back(trip.points[static_cast<size_t>(index)]);
+      }
+      optimizer.ZeroGrad();
+      nn::Tensor states = encoder_->Forward(InputFeatures(sparse));
+      nn::Tensor final_state = nn::SliceRows(states, states.shape()[0] - 1,
+                                             states.shape()[0]);
+      nn::Tensor logits = segment_decoder_->Forward(final_state);
+      // Average CE against every original segment.
+      nn::Tensor loss;
+      for (const auto& point : trip.points) {
+        nn::Tensor ce = nn::CrossEntropy(logits, {point.segment});
+        loss = loss.is_valid() ? nn::Add(loss, ce) : ce;
+      }
+      loss = nn::Scale(loss, 1.0f / static_cast<float>(trip.length()));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+// --- TremBR ------------------------------------------------------------------
+
+TremBr::TremBr(const data::CityDataset* dataset, int64_t dim, util::Rng* rng)
+    : TrajEncoder(dataset, dim, rng) {
+  encoder_ = std::make_unique<nn::Gru>(dim, dim, &rng_);
+  next_segment_head_ = std::make_unique<nn::Linear>(
+      dim, dataset->network().num_segments(), &rng_);
+  time_head_ = std::make_unique<nn::Linear>(dim, 1, &rng_);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("next_segment_head", next_segment_head_.get());
+  RegisterModule("time_head", time_head_.get());
+}
+
+nn::Tensor TremBr::SequenceRepresentations(
+    const data::Trajectory& trajectory) {
+  return encoder_->Forward(InputFeatures(trajectory));
+}
+
+void TremBr::Pretrain(const std::vector<data::Trajectory>& trips,
+                      int epochs) {
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const auto& raw : trips) {
+      if (raw.length() < 3) continue;
+      data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+      optimizer.ZeroGrad();
+      nn::Tensor states = encoder_->Forward(InputFeatures(trip));
+      const int64_t length = states.shape()[0];
+      // Predict segment l+1 and delta_{l+1} from state l.
+      nn::Tensor context = nn::SliceRows(states, 0, length - 1);
+      std::vector<int> next_segments;
+      std::vector<float> deltas;
+      for (int l = 1; l < trip.length(); ++l) {
+        next_segments.push_back(
+            trip.points[static_cast<size_t>(l)].segment);
+        deltas.push_back(data::MinutesTarget(
+            trip.points[static_cast<size_t>(l)].timestamp -
+            trip.points[static_cast<size_t>(l - 1)].timestamp));
+      }
+      nn::Tensor loss = nn::CrossEntropy(
+          next_segment_head_->Forward(context), next_segments);
+      const auto num_deltas = static_cast<int64_t>(deltas.size());
+      nn::Tensor delta_target =
+          nn::Tensor::FromData({num_deltas, 1}, std::move(deltas));
+      loss = nn::Add(loss, nn::Mse(time_head_->Forward(context),
+                                   delta_target));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace bigcity::baselines

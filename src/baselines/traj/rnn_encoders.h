@@ -1,0 +1,69 @@
+#ifndef BIGCITY_BASELINES_TRAJ_RNN_ENCODERS_H_
+#define BIGCITY_BASELINES_TRAJ_RNN_ENCODERS_H_
+
+#include <memory>
+
+#include "baselines/traj/traj_encoder.h"
+
+namespace bigcity::baselines {
+
+/// Trajectory2vec (Yao et al., 2017): a GRU sequence autoencoder; the
+/// pre-training objective reconstructs the input feature sequence from the
+/// hidden states (MSE).
+class Trajectory2Vec : public TrajEncoder {
+ public:
+  Trajectory2Vec(const data::CityDataset* dataset, int64_t dim,
+                 util::Rng* rng);
+
+  std::string name() const override { return "Trajectory2vec"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  std::unique_ptr<nn::Gru> encoder_;
+  std::unique_ptr<nn::Linear> reconstructor_;
+};
+
+/// T2vec (Li et al., 2018): a denoising GRU — the encoder reads a
+/// downsampled trajectory, and training predicts the segment ids of the
+/// FULL trajectory (cross-entropy), making representations robust to
+/// low sampling rates.
+class T2Vec : public TrajEncoder {
+ public:
+  T2Vec(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "T2vec"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  std::unique_ptr<nn::Gru> encoder_;
+  std::unique_ptr<nn::Linear> segment_decoder_;
+};
+
+/// TremBR (Fu & Lee, 2020): a GRU over segment+time inputs trained with
+/// next-segment prediction plus travel-time reconstruction, capturing
+/// temporal regularities.
+class TremBr : public TrajEncoder {
+ public:
+  TremBr(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+
+  std::string name() const override { return "TremBR"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  std::unique_ptr<nn::Gru> encoder_;
+  std::unique_ptr<nn::Linear> next_segment_head_;
+  std::unique_ptr<nn::Linear> time_head_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAJ_RNN_ENCODERS_H_

@@ -1,0 +1,131 @@
+#include "baselines/traj/start_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/masking.h"
+#include "data/st_unit.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace bigcity::baselines {
+
+namespace {
+constexpr int kMaxLen = 24;
+constexpr float kLr = 2e-3f;
+}  // namespace
+
+StartEncoder::StartEncoder(const data::CityDataset* dataset, int64_t dim,
+                           util::Rng* rng)
+    : TrajEncoder(dataset, dim, rng) {
+  graph_ = dataset->network().ToGraphEdges();
+  gat_ = std::make_unique<nn::GatLayer>(dim, dim, 2, &rng_);
+  transformer_ = std::make_unique<nn::Transformer>(dim, 2, 2, &rng_,
+                                                   /*causal=*/false);
+  mlm_head_ = std::make_unique<nn::Linear>(
+      dim, dataset->network().num_segments(), &rng_);
+  projection_ = std::make_unique<nn::Linear>(dim, dim, &rng_);
+  RegisterModule("gat", gat_.get());
+  RegisterModule("transformer", transformer_.get());
+  RegisterModule("mlm_head", mlm_head_.get());
+  RegisterModule("projection", projection_.get());
+  positional_ = RegisterParameter(
+      "positional",
+      nn::Tensor::Randn({kMaxLen + 8, dim}, &rng_, 0.02f, true));
+  mask_vector_ = RegisterParameter(
+      "mask_vector", nn::Tensor::Randn({1, dim}, &rng_, 0.02f, true));
+}
+
+nn::Tensor StartEncoder::RefinedSegmentTable() {
+  if (!cached_table_.is_valid()) {
+    cached_table_ = gat_->Forward(segment_embedding_->table(), graph_);
+  }
+  return cached_table_;
+}
+
+nn::Tensor StartEncoder::SequenceRepresentations(
+    const data::Trajectory& trajectory) {
+  // Time-aware inputs: GAT-refined segment vectors + time projection.
+  cached_table_ = nn::Tensor();  // Re-derive under the current parameters.
+  nn::Tensor table = RefinedSegmentTable();
+  nn::Tensor segments = nn::Rows(table, Segments(trajectory));
+  const int length = trajectory.length();
+  std::vector<float> time_data(static_cast<size_t>(length) *
+                               (data::kTimeFeatureDim + 1));
+  for (int l = 0; l < length; ++l) {
+    float* row = time_data.data() +
+                 static_cast<size_t>(l) * (data::kTimeFeatureDim + 1);
+    auto features = data::TimeFeatures(
+        trajectory.points[static_cast<size_t>(l)].timestamp);
+    std::copy(features.begin(), features.end(), row);
+    const double delta =
+        l == 0 ? 0.0
+               : trajectory.points[static_cast<size_t>(l)].timestamp -
+                     trajectory.points[static_cast<size_t>(l - 1)].timestamp;
+    row[data::kTimeFeatureDim] = data::DeltaFeature(delta);
+  }
+  nn::Tensor time = nn::Tensor::FromData(
+      {length, data::kTimeFeatureDim + 1}, std::move(time_data));
+  nn::Tensor inputs = nn::Add(segments, time_projection_->Forward(time));
+  nn::Tensor positions = nn::SliceRows(positional_, 0, inputs.shape()[0]);
+  return transformer_->Forward(nn::Add(inputs, positions));
+}
+
+void StartEncoder::Pretrain(const std::vector<data::Trajectory>& trips,
+                            int epochs) {
+  constexpr int kBatch = 6;
+  constexpr float kTemperature = 0.2f;
+  nn::Adam optimizer(TrainableParameters(), kLr);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t begin = 0; begin + kBatch <= trips.size();
+         begin += kBatch) {
+      optimizer.ZeroGrad();
+      nn::Tensor loss;
+      std::vector<nn::Tensor> anchors, positives;
+      for (int b = 0; b < kBatch; ++b) {
+        const auto& raw = trips[begin + static_cast<size_t>(b)];
+        if (raw.length() < 5) continue;
+        data::Trajectory trip = ClipForBaseline(raw, kMaxLen);
+
+        // Masked recovery branch.
+        const int k = std::max(1, trip.length() / 5);
+        auto masked = data::RandomMaskIndices(trip.length(), k, &rng_);
+        nn::Tensor reps = SequenceRepresentations(trip);
+        nn::Tensor logits = mlm_head_->Forward(nn::Rows(reps, masked));
+        std::vector<int> targets;
+        for (int index : masked) {
+          targets.push_back(
+              trip.points[static_cast<size_t>(index)].segment);
+        }
+        nn::Tensor mlm = nn::CrossEntropy(logits, targets);
+        loss = loss.is_valid() ? nn::Add(loss, mlm) : mlm;
+
+        // Contrastive branch: temporal shift augmentation (shift all
+        // timestamps by up to 15 minutes keeps the route, changes times).
+        data::Trajectory shifted = trip;
+        const double shift = rng_.Uniform(-900.0, 900.0);
+        for (auto& point : shifted.points) point.timestamp += shift;
+        anchors.push_back(projection_->Forward(nn::MeanRows(reps)));
+        positives.push_back(projection_->Forward(
+            nn::MeanRows(SequenceRepresentations(shifted))));
+      }
+      if (anchors.size() >= 2) {
+        nn::Tensor a = nn::Concat(anchors, 0);
+        nn::Tensor b = nn::Concat(positives, 0);
+        nn::Tensor scores = nn::Scale(nn::MatMul(a, nn::Transpose(b)),
+                                      1.0f / kTemperature);
+        std::vector<int> diagonal(anchors.size());
+        for (size_t i = 0; i < diagonal.size(); ++i) {
+          diagonal[i] = static_cast<int>(i);
+        }
+        nn::Tensor contrastive = nn::CrossEntropy(scores, diagonal);
+        loss = loss.is_valid() ? nn::Add(loss, contrastive) : contrastive;
+      }
+      if (!loss.is_valid()) continue;
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace bigcity::baselines

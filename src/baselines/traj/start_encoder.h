@@ -1,0 +1,43 @@
+#ifndef BIGCITY_BASELINES_TRAJ_START_ENCODER_H_
+#define BIGCITY_BASELINES_TRAJ_START_ENCODER_H_
+
+#include <memory>
+
+#include "baselines/traj/traj_encoder.h"
+#include "nn/gat.h"
+#include "nn/transformer.h"
+
+namespace bigcity::baselines {
+
+/// START (Jiang et al., 2023): the strongest trajectory-representation
+/// baseline. Combines (a) GAT-refined segment embeddings over the road
+/// network, (b) a time-aware transformer, and (c) joint masked-recovery +
+/// contrastive pre-training with temporal-regularity augmentation.
+class StartEncoder : public TrajEncoder {
+ public:
+  StartEncoder(const data::CityDataset* dataset, int64_t dim,
+               util::Rng* rng);
+
+  std::string name() const override { return "START"; }
+  nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) override;
+  void Pretrain(const std::vector<data::Trajectory>& trips,
+                int epochs) override;
+
+ private:
+  /// GAT-refined segment embedding matrix, cached per optimizer step.
+  nn::Tensor RefinedSegmentTable();
+
+  nn::GraphEdges graph_;
+  std::unique_ptr<nn::GatLayer> gat_;
+  std::unique_ptr<nn::Transformer> transformer_;
+  std::unique_ptr<nn::Linear> mlm_head_;
+  std::unique_ptr<nn::Linear> projection_;
+  nn::Tensor positional_;
+  nn::Tensor mask_vector_;
+  nn::Tensor cached_table_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAJ_START_ENCODER_H_

@@ -1,0 +1,79 @@
+#include "baselines/traj/traj_encoder.h"
+
+#include <algorithm>
+
+#include "data/st_unit.h"
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+TrajEncoder::TrajEncoder(const data::CityDataset* dataset, int64_t dim,
+                         util::Rng* rng)
+    : dataset_(dataset), dim_(dim), rng_(rng->engine()()) {
+  BIGCITY_CHECK(dataset != nullptr);
+  segment_embedding_ = std::make_unique<nn::EmbeddingTable>(
+      dataset->network().num_segments(), dim, &rng_);
+  time_projection_ = std::make_unique<nn::Linear>(
+      data::kTimeFeatureDim + 1, dim, &rng_);
+  RegisterModule("segment_embedding", segment_embedding_.get());
+  RegisterModule("time_projection", time_projection_.get());
+}
+
+nn::Tensor TrajEncoder::Embed(const data::Trajectory& trajectory) {
+  return nn::MeanRows(SequenceRepresentations(trajectory));
+}
+
+nn::Tensor TrajEncoder::InputFeatures(
+    const data::Trajectory& trajectory) const {
+  const int length = trajectory.length();
+  BIGCITY_CHECK_GT(length, 0);
+  nn::Tensor segments = segment_embedding_->Forward(Segments(trajectory));
+  std::vector<float> time_data(static_cast<size_t>(length) *
+                               (data::kTimeFeatureDim + 1));
+  for (int l = 0; l < length; ++l) {
+    float* row =
+        time_data.data() + static_cast<size_t>(l) * (data::kTimeFeatureDim + 1);
+    auto features = data::TimeFeatures(
+        trajectory.points[static_cast<size_t>(l)].timestamp);
+    std::copy(features.begin(), features.end(), row);
+    const double delta =
+        l == 0 ? 0.0
+               : trajectory.points[static_cast<size_t>(l)].timestamp -
+                     trajectory.points[static_cast<size_t>(l - 1)].timestamp;
+    row[data::kTimeFeatureDim] = data::DeltaFeature(delta);
+  }
+  nn::Tensor time = nn::Tensor::FromData(
+      {length, data::kTimeFeatureDim + 1}, std::move(time_data));
+  return nn::Add(segments, time_projection_->Forward(time));
+}
+
+std::vector<int> TrajEncoder::Segments(const data::Trajectory& trajectory) {
+  std::vector<int> segments;
+  segments.reserve(trajectory.points.size());
+  for (const auto& point : trajectory.points) {
+    segments.push_back(point.segment);
+  }
+  return segments;
+}
+
+data::Trajectory ClipForBaseline(const data::Trajectory& trajectory,
+                                 int max_len) {
+  if (trajectory.length() <= max_len) return trajectory;
+  data::Trajectory clipped;
+  clipped.user_id = trajectory.user_id;
+  clipped.pattern_label = trajectory.pattern_label;
+  const double step = static_cast<double>(trajectory.length() - 1) /
+                      static_cast<double>(max_len - 1);
+  int previous = -1;
+  for (int k = 0; k < max_len; ++k) {
+    int index = std::clamp(static_cast<int>(k * step + 0.5), 0,
+                           trajectory.length() - 1);
+    if (index == previous) continue;
+    previous = index;
+    clipped.points.push_back(trajectory.points[static_cast<size_t>(index)]);
+  }
+  return clipped;
+}
+
+}  // namespace bigcity::baselines

@@ -1,0 +1,65 @@
+#ifndef BIGCITY_BASELINES_TRAJ_TRAJ_ENCODER_H_
+#define BIGCITY_BASELINES_TRAJ_TRAJ_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/trajectory.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace bigcity::baselines {
+
+/// Base class for the seven trajectory-representation baselines (Table III).
+/// Each derived model implements a distinct self-supervised pre-training
+/// objective and sequence encoder, but shares the input featurization
+/// (segment embedding + projected time features) so differences between
+/// baselines reflect architecture, not feature engineering.
+class TrajEncoder : public nn::Module {
+ public:
+  TrajEncoder(const data::CityDataset* dataset, int64_t dim, util::Rng* rng);
+  ~TrajEncoder() override = default;
+
+  virtual std::string name() const = 0;
+
+  /// Per-position representations [L, dim] for a trajectory.
+  virtual nn::Tensor SequenceRepresentations(
+      const data::Trajectory& trajectory) = 0;
+
+  /// One round of the model's self-supervised pre-training objective.
+  virtual void Pretrain(const std::vector<data::Trajectory>& trips,
+                        int epochs) = 0;
+
+  /// Mean-pooled trajectory embedding [1, dim].
+  nn::Tensor Embed(const data::Trajectory& trajectory);
+
+  int64_t dim() const { return dim_; }
+  const data::CityDataset* dataset() const { return dataset_; }
+
+ protected:
+  /// Input features per position: segment embedding + time projection,
+  /// [L, dim].
+  nn::Tensor InputFeatures(const data::Trajectory& trajectory) const;
+
+  /// Segment ids of a trajectory.
+  static std::vector<int> Segments(const data::Trajectory& trajectory);
+
+  const data::CityDataset* dataset_;
+  int64_t dim_;
+  util::Rng rng_;
+  std::unique_ptr<nn::EmbeddingTable> segment_embedding_;
+  std::unique_ptr<nn::Linear> time_projection_;
+};
+
+/// Shared helpers for pre-training objectives.
+
+/// Trajectories clipped to a max length with endpoints kept.
+data::Trajectory ClipForBaseline(const data::Trajectory& trajectory,
+                                 int max_len);
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAJ_TRAJ_ENCODER_H_

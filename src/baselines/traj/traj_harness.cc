@@ -1,0 +1,271 @@
+#include "baselines/traj/traj_harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "train/metrics.h"
+#include "util/check.h"
+
+namespace bigcity::baselines {
+
+namespace {
+constexpr int kMaxLen = 24;
+
+double Cosine(const nn::Tensor& a, const nn::Tensor& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    dot += static_cast<double>(a.data()[i]) * b.data()[i];
+    na += static_cast<double>(a.data()[i]) * a.data()[i];
+    nb += static_cast<double>(b.data()[i]) * b.data()[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+data::Trajectory EveryOther(const data::Trajectory& trip, int parity) {
+  data::Trajectory result;
+  result.user_id = trip.user_id;
+  result.pattern_label = trip.pattern_label;
+  for (int l = parity; l < trip.length(); l += 2) {
+    result.points.push_back(trip.points[static_cast<size_t>(l)]);
+  }
+  return result;
+}
+
+}  // namespace
+
+TrajTaskHarness::TrajTaskHarness(TrajEncoder* encoder,
+                                 TrajHarnessConfig config)
+    : encoder_(encoder), config_(config), rng_(config.seed) {
+  BIGCITY_CHECK(encoder != nullptr);
+}
+
+void TrajTaskHarness::Pretrain() {
+  encoder_->Pretrain(TrainTrips(3), config_.pretrain_epochs);
+}
+
+std::vector<data::Trajectory> TrajTaskHarness::TrainTrips(int min_len) const {
+  std::vector<data::Trajectory> trips;
+  for (const auto& trip : encoder_->dataset()->train()) {
+    if (trip.length() < min_len) continue;
+    trips.push_back(ClipForBaseline(trip, kMaxLen));
+    if (static_cast<int>(trips.size()) >= config_.max_train_samples) break;
+  }
+  return trips;
+}
+
+std::vector<data::Trajectory> TrajTaskHarness::TestTrips(int min_len) const {
+  std::vector<data::Trajectory> trips;
+  for (const auto& trip : encoder_->dataset()->test()) {
+    if (trip.length() < min_len) continue;
+    trips.push_back(ClipForBaseline(trip, kMaxLen));
+    if (static_cast<int>(trips.size()) >= config_.eval.max_samples) break;
+  }
+  return trips;
+}
+
+data::Trajectory TrajTaskHarness::HideTimes(
+    const data::Trajectory& trajectory) {
+  data::Trajectory hidden = trajectory;
+  const double departure = trajectory.points.front().timestamp;
+  for (auto& point : hidden.points) point.timestamp = departure;
+  return hidden;
+}
+
+train::RegressionMetrics TrajTaskHarness::TrainAndEvalTravelTime() {
+  nn::Linear head(encoder_->dim(), 1, &rng_);
+  auto params = encoder_->TrainableParameters();
+  auto head_params = head.Parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  nn::Adam optimizer(params, config_.lr);
+
+  auto trips = TrainTrips(4);
+  for (int epoch = 0; epoch < config_.task_epochs; ++epoch) {
+    for (const auto& trip : trips) {
+      optimizer.ZeroGrad();
+      nn::Tensor reps =
+          encoder_->SequenceRepresentations(HideTimes(trip));
+      nn::Tensor context = nn::SliceRows(reps, 0, reps.shape()[0] - 1);
+      std::vector<float> deltas;
+      for (int l = 1; l < trip.length(); ++l) {
+        deltas.push_back(data::MinutesTarget(
+            trip.points[static_cast<size_t>(l)].timestamp -
+            trip.points[static_cast<size_t>(l - 1)].timestamp));
+      }
+      const auto count = static_cast<int64_t>(deltas.size());
+      nn::Tensor target = nn::Tensor::FromData({count, 1}, std::move(deltas));
+      nn::Mse(head.Forward(context), target).Backward();
+      optimizer.Step();
+    }
+  }
+
+  std::vector<double> predictions, targets;
+  for (const auto& trip : TestTrips(4)) {
+    nn::Tensor reps = encoder_->SequenceRepresentations(HideTimes(trip));
+    nn::Tensor context = nn::SliceRows(reps, 0, reps.shape()[0] - 1);
+    nn::Tensor deltas = head.Forward(context);
+    double minutes = 0;  // Head outputs are minutes per hop.
+    for (int l = 0; l < deltas.shape()[0]; ++l) {
+      minutes += std::max(0.0f, deltas.at(l, 0));
+    }
+    predictions.push_back(minutes);
+    targets.push_back(trip.duration_seconds() / 60.0);
+  }
+  train::RegressionMetrics metrics;
+  metrics.mae = train::MeanAbsoluteError(predictions, targets);
+  metrics.rmse = train::RootMeanSquaredError(predictions, targets);
+  metrics.mape = train::MeanAbsolutePercentageError(predictions, targets);
+  return metrics;
+}
+
+train::RankingMetrics TrajTaskHarness::TrainAndEvalNextHop() {
+  const int num_segments = encoder_->dataset()->network().num_segments();
+  nn::Linear head(encoder_->dim(), num_segments, &rng_);
+  auto params = encoder_->TrainableParameters();
+  auto head_params = head.Parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  nn::Adam optimizer(params, config_.lr);
+
+  auto trips = TrainTrips(4);
+  for (int epoch = 0; epoch < config_.task_epochs; ++epoch) {
+    for (const auto& trip : trips) {
+      optimizer.ZeroGrad();
+      data::Trajectory prefix = trip;
+      const int target = prefix.points.back().segment;
+      prefix.points.pop_back();
+      nn::Tensor reps = encoder_->SequenceRepresentations(prefix);
+      nn::Tensor last = nn::SliceRows(reps, reps.shape()[0] - 1,
+                                      reps.shape()[0]);
+      nn::CrossEntropy(head.Forward(last), {target}).Backward();
+      optimizer.Step();
+    }
+  }
+
+  std::vector<std::vector<int>> ranked;
+  std::vector<int> targets;
+  for (const auto& trip : TestTrips(4)) {
+    data::Trajectory prefix = trip;
+    const int target = prefix.points.back().segment;
+    prefix.points.pop_back();
+    nn::Tensor reps = encoder_->SequenceRepresentations(prefix);
+    nn::Tensor last = nn::SliceRows(reps, reps.shape()[0] - 1,
+                                    reps.shape()[0]);
+    nn::Tensor logits = head.Forward(last);
+    ranked.push_back(nn::TopKRow(logits, 0, 5));
+    targets.push_back(target);
+  }
+  train::RankingMetrics metrics;
+  std::vector<int> top1;
+  for (const auto& r : ranked) top1.push_back(r.empty() ? -1 : r[0]);
+  metrics.accuracy = train::Accuracy(top1, targets);
+  metrics.mrr5 = train::MrrAtK(ranked, targets, 5);
+  metrics.ndcg5 = train::NdcgAtK(ranked, targets, 5);
+  return metrics;
+}
+
+train::MultiClassMetrics TrajTaskHarness::TrainAndEvalUserClassification() {
+  const int num_users = encoder_->dataset()->num_users();
+  nn::Linear head(encoder_->dim(), num_users, &rng_);
+  auto params = encoder_->TrainableParameters();
+  auto head_params = head.Parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  nn::Adam optimizer(params, config_.lr);
+
+  auto trips = TrainTrips(4);
+  for (int epoch = 0; epoch < config_.task_epochs; ++epoch) {
+    for (const auto& trip : trips) {
+      optimizer.ZeroGrad();
+      nn::Tensor embedding = encoder_->Embed(trip);
+      nn::CrossEntropy(head.Forward(embedding), {trip.user_id}).Backward();
+      optimizer.Step();
+    }
+  }
+
+  std::vector<int> predictions, targets;
+  for (const auto& trip : TestTrips(4)) {
+    nn::Tensor logits = head.Forward(encoder_->Embed(trip));
+    predictions.push_back(nn::ArgmaxRows(logits)[0]);
+    targets.push_back(trip.user_id);
+  }
+  train::MultiClassMetrics metrics;
+  metrics.micro_f1 = train::MicroF1(predictions, targets, num_users);
+  metrics.macro_f1 = train::MacroF1(predictions, targets, num_users);
+  metrics.macro_recall = train::MacroRecall(predictions, targets, num_users);
+  return metrics;
+}
+
+train::BinaryClassMetrics
+TrajTaskHarness::TrainAndEvalBinaryClassification() {
+  nn::Linear head(encoder_->dim(), 2, &rng_);
+  auto params = encoder_->TrainableParameters();
+  auto head_params = head.Parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  nn::Adam optimizer(params, config_.lr);
+
+  auto trips = TrainTrips(4);
+  for (int epoch = 0; epoch < config_.task_epochs; ++epoch) {
+    for (const auto& trip : trips) {
+      optimizer.ZeroGrad();
+      nn::Tensor embedding = encoder_->Embed(trip);
+      nn::CrossEntropy(head.Forward(embedding), {trip.pattern_label})
+          .Backward();
+      optimizer.Step();
+    }
+  }
+
+  std::vector<int> predictions, targets;
+  std::vector<double> scores;
+  for (const auto& trip : TestTrips(4)) {
+    nn::Tensor probs = nn::Softmax(head.Forward(encoder_->Embed(trip)));
+    predictions.push_back(probs.at(0, 1) > probs.at(0, 0) ? 1 : 0);
+    scores.push_back(probs.at(0, 1));
+    targets.push_back(trip.pattern_label);
+  }
+  train::BinaryClassMetrics metrics;
+  metrics.accuracy = train::Accuracy(predictions, targets);
+  metrics.f1 = train::BinaryF1(predictions, targets);
+  metrics.auc = train::BinaryAuc(scores, targets);
+  return metrics;
+}
+
+train::SimilarityMetrics TrajTaskHarness::EvalSimilarity() {
+  std::vector<data::Trajectory> queries, database;
+  for (const auto& trip : encoder_->dataset()->test()) {
+    if (trip.length() < 8) continue;
+    data::Trajectory clipped = ClipForBaseline(trip, kMaxLen);
+    queries.push_back(EveryOther(clipped, 0));
+    database.push_back(EveryOther(clipped, 1));
+    if (static_cast<int>(queries.size()) >= config_.eval.max_queries) break;
+  }
+  train::SimilarityMetrics metrics;
+  if (queries.empty()) return metrics;
+  std::vector<nn::Tensor> db_embeddings;
+  for (const auto& entry : database) {
+    db_embeddings.push_back(encoder_->Embed(entry).Detached());
+  }
+  std::vector<std::vector<int>> ranked;
+  std::vector<int> targets;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    nn::Tensor query_embedding = encoder_->Embed(queries[q]).Detached();
+    std::vector<std::pair<double, int>> scored;
+    for (size_t d = 0; d < db_embeddings.size(); ++d) {
+      scored.emplace_back(Cosine(query_embedding, db_embeddings[d]),
+                          static_cast<int>(d));
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<int> order;
+    for (const auto& [score, index] : scored) order.push_back(index);
+    ranked.push_back(std::move(order));
+    targets.push_back(static_cast<int>(q));
+  }
+  metrics.hr1 = train::HitRateAtK(ranked, targets, 1);
+  metrics.hr5 = train::HitRateAtK(ranked, targets, 5);
+  metrics.hr10 = train::HitRateAtK(ranked, targets, 10);
+  metrics.mean_rank = train::MeanRank(ranked, targets);
+  return metrics;
+}
+
+}  // namespace bigcity::baselines

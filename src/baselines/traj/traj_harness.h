@@ -1,0 +1,55 @@
+#ifndef BIGCITY_BASELINES_TRAJ_TRAJ_HARNESS_H_
+#define BIGCITY_BASELINES_TRAJ_TRAJ_HARNESS_H_
+
+#include <memory>
+
+#include "baselines/traj/traj_encoder.h"
+#include "nn/layers.h"
+#include "train/evaluator.h"
+
+namespace bigcity::baselines {
+
+/// Per-task training/evaluation harness for the trajectory-representation
+/// baselines. Mirrors the paper's protocol: each baseline is pre-trained
+/// self-supervised once, then FINE-TUNED SEPARATELY per task (encoder +
+/// fresh task head), unlike BIGCity which serves all tasks with one
+/// parameter set. Evaluation protocols match train::Evaluator exactly.
+struct TrajHarnessConfig {
+  int pretrain_epochs = 2;
+  int task_epochs = 2;
+  int max_train_samples = 200;
+  float lr = 2e-3f;
+  train::EvalConfig eval;
+  uint64_t seed = 5;
+};
+
+class TrajTaskHarness {
+ public:
+  TrajTaskHarness(TrajEncoder* encoder, TrajHarnessConfig config);
+
+  /// Runs the encoder's self-supervised pre-training on the train split.
+  void Pretrain();
+
+  // Per-task fine-tune + evaluate (test split).
+  train::RegressionMetrics TrainAndEvalTravelTime();
+  train::RankingMetrics TrainAndEvalNextHop();
+  train::MultiClassMetrics TrainAndEvalUserClassification();
+  train::BinaryClassMetrics TrainAndEvalBinaryClassification();
+  /// Similarity needs no task training (pure representation ranking).
+  train::SimilarityMetrics EvalSimilarity();
+
+ private:
+  std::vector<data::Trajectory> TrainTrips(int min_len) const;
+  std::vector<data::Trajectory> TestTrips(int min_len) const;
+  /// Copy of a trajectory with all timestamps collapsed to the departure
+  /// time (the TTE protocol's "masked timestamps" for baselines).
+  static data::Trajectory HideTimes(const data::Trajectory& trajectory);
+
+  TrajEncoder* encoder_;
+  TrajHarnessConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace bigcity::baselines
+
+#endif  // BIGCITY_BASELINES_TRAJ_TRAJ_HARNESS_H_

@@ -1,0 +1,114 @@
+#include "core/backbone.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::core {
+
+using nn::Tensor;
+
+Backbone::Backbone(int text_vocab_size, const BigCityConfig& config,
+                   util::Rng* rng)
+    : config_(config) {
+  text_embedding_ = std::make_unique<nn::EmbeddingTable>(
+      text_vocab_size, config.d_model, rng);
+  RegisterModule("text_embedding", text_embedding_.get());
+  positional_ = RegisterParameter(
+      "positional", Tensor::Randn({config.max_sequence, config.d_model}, rng,
+                                  0.02f, /*requires_grad=*/true));
+  transformer_ = std::make_unique<nn::Transformer>(
+      config.d_model, config.num_heads, config.num_layers, rng,
+      /*causal=*/true);
+  RegisterModule("transformer", transformer_.get());
+  clas_token_ = RegisterParameter(
+      "clas_token", Tensor::Randn({1, config.d_model}, rng, 0.02f, true));
+  reg_token_ = RegisterParameter(
+      "reg_token", Tensor::Randn({1, config.d_model}, rng, 0.02f, true));
+  mask_token_ = RegisterParameter(
+      "mask_token", Tensor::Randn({1, config.d_model}, rng, 0.02f, true));
+}
+
+BackboneOutput Backbone::Forward(const PromptInput& prompt) const {
+  std::vector<Tensor> parts;
+  int64_t text_len = 0;
+  if (!prompt.text_ids.empty()) {
+    parts.push_back(text_embedding_->Forward(prompt.text_ids));
+    text_len = static_cast<int64_t>(prompt.text_ids.size());
+  }
+
+  BIGCITY_CHECK(prompt.st_tokens.is_valid());
+  const int64_t st_len = prompt.st_tokens.shape()[0];
+  if (prompt.mask_positions.empty()) {
+    parts.push_back(prompt.st_tokens);
+  } else {
+    std::vector<bool> is_masked(static_cast<size_t>(st_len), false);
+    for (int m : prompt.mask_positions) {
+      BIGCITY_CHECK(m >= 0 && m < st_len);
+      is_masked[static_cast<size_t>(m)] = true;
+    }
+    // Replace masked rows with the learnable [MASK] vector, keeping runs of
+    // unmasked rows as single slices.
+    int64_t run_start = 0;
+    for (int64_t l = 0; l <= st_len; ++l) {
+      const bool boundary = l == st_len || is_masked[static_cast<size_t>(l)];
+      if (boundary) {
+        if (run_start < l) {
+          parts.push_back(nn::SliceRows(prompt.st_tokens, run_start, l));
+        }
+        if (l < st_len) parts.push_back(mask_token_);
+        run_start = l + 1;
+      }
+    }
+  }
+
+  const int64_t num_task = static_cast<int64_t>(prompt.task_tokens.size());
+  for (TaskTokenKind kind : prompt.task_tokens) {
+    parts.push_back(kind == TaskTokenKind::kClas ? clas_token_ : reg_token_);
+  }
+
+  Tensor input = nn::Concat(parts, /*axis=*/0);
+  const int64_t total = input.shape()[0];
+  BIGCITY_CHECK_LE(total, config_.max_sequence)
+      << "prompt longer than positional table";
+  Tensor positions = nn::SliceRows(positional_, 0, total);
+  Tensor hidden = transformer_->Forward(nn::Add(input, positions));
+
+  BackboneOutput output;
+  output.st_outputs = nn::SliceRows(hidden, text_len, text_len + st_len);
+  if (num_task > 0) {
+    output.task_outputs =
+        nn::SliceRows(hidden, total - num_task, total);
+  }
+  return output;
+}
+
+Tensor Backbone::TextLmLogits(const std::vector<int>& text_ids) const {
+  BIGCITY_CHECK(!text_ids.empty());
+  BIGCITY_CHECK_LE(static_cast<int64_t>(text_ids.size()),
+                   config_.max_sequence);
+  Tensor embedded = text_embedding_->Forward(text_ids);
+  Tensor positions =
+      nn::SliceRows(positional_, 0, static_cast<int64_t>(text_ids.size()));
+  Tensor hidden = transformer_->Forward(nn::Add(embedded, positions));
+  // Weight-tied output projection.
+  return nn::MatMul(hidden, nn::Transpose(text_embedding_->table()));
+}
+
+void Backbone::EnableLora(util::Rng* rng) {
+  const auto blocks = static_cast<int64_t>(
+      std::ceil(config_.lora_rate * static_cast<double>(config_.num_layers)));
+  transformer_->EnableLora(config_.lora_rank, config_.lora_alpha,
+                           std::min(blocks, config_.num_layers), rng);
+}
+
+void Backbone::FreezeBase() {
+  transformer_->FreezeBase();
+  for (auto& p : text_embedding_->Parameters()) p.set_requires_grad(false);
+  positional_.set_requires_grad(false);
+  // Placeholder vectors stay trainable: they are part of the prompt
+  // mechanism, not the pre-trained base.
+}
+
+}  // namespace bigcity::core

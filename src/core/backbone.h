@@ -1,0 +1,69 @@
+#ifndef BIGCITY_CORE_BACKBONE_H_
+#define BIGCITY_CORE_BACKBONE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+
+namespace bigcity::core {
+
+/// Kind of a task placeholder token (Sec. V-A).
+enum class TaskTokenKind { kClas, kReg };
+
+/// One task-oriented prompt (Eq. 9): textual instruction tokens, the ST
+/// token sequence (with [MASK]-ed positions), and the task placeholder
+/// tokens whose outputs the heads decode.
+struct PromptInput {
+  std::vector<int> text_ids;           // X^(txt); may be empty (w/o-Pro).
+  nn::Tensor st_tokens;                // X^(st): [L, d_model].
+  std::vector<int> mask_positions;     // ST positions replaced by [MASK].
+  std::vector<TaskTokenKind> task_tokens;  // X^(tsk).
+};
+
+/// Backbone outputs: Z (one row per task token) plus the transformed ST
+/// token region V_st (used for representation/similarity tasks).
+struct BackboneOutput {
+  nn::Tensor task_outputs;  // [K, d_model]; invalid when K == 0.
+  nn::Tensor st_outputs;    // [L, d_model].
+};
+
+/// The LLM-style backbone (Sec. V-B): a causal pre-LN transformer over the
+/// combined prompt sequence with learned positions and learnable [CLAS],
+/// [REG], [MASK] token vectors. LoRA adapters attach to Wq/Wk/Wv and the
+/// FFN of each block; after pre-training the base weights freeze and only
+/// the adapters (plus placeholder vectors) train.
+class Backbone : public nn::Module {
+ public:
+  Backbone(int text_vocab_size, const BigCityConfig& config, util::Rng* rng);
+
+  BackboneOutput Forward(const PromptInput& prompt) const;
+
+  /// Next-word logits over the text vocabulary for language-model
+  /// pre-training (weight-tied to the text embedding).
+  nn::Tensor TextLmLogits(const std::vector<int>& text_ids) const;
+
+  /// Attaches LoRA adapters to ceil(lora_rate * num_layers) blocks.
+  void EnableLora(util::Rng* rng);
+  /// Freezes base transformer + embeddings; LoRA and placeholders train.
+  void FreezeBase();
+
+  nn::Transformer* transformer() { return transformer_.get(); }
+  int64_t d_model() const { return config_.d_model; }
+
+ private:
+  BigCityConfig config_;
+  std::unique_ptr<nn::EmbeddingTable> text_embedding_;
+  nn::Tensor positional_;   // [max_sequence, d_model].
+  std::unique_ptr<nn::Transformer> transformer_;
+  nn::Tensor clas_token_;   // [1, d_model].
+  nn::Tensor reg_token_;
+  nn::Tensor mask_token_;
+};
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_BACKBONE_H_

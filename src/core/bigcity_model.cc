@@ -1,0 +1,233 @@
+#include "core/bigcity_model.h"
+
+#include <algorithm>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::core {
+
+using data::StUnitSequence;
+using nn::Tensor;
+
+BigCityModel::BigCityModel(const data::CityDataset* dataset,
+                           BigCityConfig config)
+    : dataset_(dataset), config_(config), rng_(config.seed) {
+  BIGCITY_CHECK(dataset != nullptr);
+  text_tokenizer_ = std::make_unique<TextTokenizer>(InstructionCorpus());
+  const data::TrafficStateSeries* traffic =
+      dataset->config().has_dynamic_features ? &dataset->traffic() : nullptr;
+  if (config_.use_poi_features) {
+    poi_layer_ = std::make_unique<roadnet::PoiLayer>(
+        &dataset->network(), config_.num_pois, config_.seed ^ 0x9090);
+  }
+  tokenizer_ = std::make_unique<StTokenizer>(&dataset->network(), traffic,
+                                             config_, &rng_,
+                                             poi_layer_.get());
+  backbone_ = std::make_unique<Backbone>(text_tokenizer_->vocab_size(),
+                                         config_, &rng_);
+  LabelSpace labels;
+  labels.num_segments = dataset->network().num_segments();
+  labels.num_users = dataset->num_users();
+  heads_ = std::make_unique<GeneralTaskHeads>(config_.d_model, labels, &rng_);
+  RegisterModule("tokenizer", tokenizer_.get());
+  RegisterModule("backbone", backbone_.get());
+  RegisterModule("heads", heads_.get());
+}
+
+bool BigCityModel::classifies_users() const {
+  return dataset_->config().has_dynamic_features;  // XA/CD style datasets.
+}
+
+data::Trajectory BigCityModel::ClipTrajectory(
+    const data::Trajectory& trajectory) const {
+  const int max_len = config_.max_trajectory_tokens;
+  if (trajectory.length() <= max_len) return trajectory;
+  data::Trajectory clipped;
+  clipped.user_id = trajectory.user_id;
+  clipped.pattern_label = trajectory.pattern_label;
+  clipped.points.reserve(static_cast<size_t>(max_len));
+  const double step = static_cast<double>(trajectory.length() - 1) /
+                      static_cast<double>(max_len - 1);
+  int previous = -1;
+  for (int k = 0; k < max_len; ++k) {
+    int index = static_cast<int>(k * step + 0.5);
+    index = std::clamp(index, 0, trajectory.length() - 1);
+    if (index == previous) continue;
+    previous = index;
+    clipped.points.push_back(
+        trajectory.points[static_cast<size_t>(index)]);
+  }
+  return clipped;
+}
+
+Tensor BigCityModel::StTokensFor(const StUnitSequence& sequence,
+                                 const std::vector<bool>& hide_time) {
+  return tokenizer_->TokenizeWithHiddenTimes(sequence, hide_time);
+}
+
+PromptInput BigCityModel::MakePrompt(Task task, Tensor st_tokens) const {
+  PromptInput prompt;
+  if (config_.use_prompts) {
+    prompt.text_ids = text_tokenizer_->Encode(InstructionFor(task));
+  }
+  prompt.st_tokens = std::move(st_tokens);
+  return prompt;
+}
+
+// --- Trajectory tasks ------------------------------------------------------
+
+Tensor BigCityModel::NextHopLogits(const data::Trajectory& prefix) {
+  BIGCITY_CHECK_GE(prefix.length(), 1);
+  StUnitSequence seq = StUnitSequence::FromTrajectory(prefix);
+  PromptInput prompt = MakePrompt(
+      Task::kNextHop,
+      StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+  prompt.task_tokens = {TaskTokenKind::kClas};
+  BackboneOutput out = backbone_->Forward(prompt);
+  return heads_->SegmentLogits(out.task_outputs);
+}
+
+Tensor BigCityModel::TravelTimeDeltas(const data::Trajectory& trajectory) {
+  BIGCITY_CHECK_GE(trajectory.length(), 2);
+  StUnitSequence seq = StUnitSequence::FromTrajectory(trajectory);
+  // Hide every timestamp except the departure (Sec. VII-B protocol).
+  std::vector<bool> hide(seq.segments.size(), true);
+  hide[0] = false;
+  PromptInput prompt =
+      MakePrompt(Task::kTravelTimeEstimation, StTokensFor(seq, hide));
+  prompt.task_tokens.assign(static_cast<size_t>(seq.length() - 1),
+                            TaskTokenKind::kReg);
+  BackboneOutput out = backbone_->Forward(prompt);
+  return heads_->TimeRegression(out.task_outputs);
+}
+
+Tensor BigCityModel::ClassifyLogits(const data::Trajectory& trajectory) {
+  StUnitSequence seq = StUnitSequence::FromTrajectory(trajectory);
+  PromptInput prompt = MakePrompt(
+      Task::kTrajClassification,
+      StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+  prompt.task_tokens = {TaskTokenKind::kClas};
+  BackboneOutput out = backbone_->Forward(prompt);
+  return classifies_users() ? heads_->UserLogits(out.task_outputs)
+                            : heads_->PatternLogits(out.task_outputs);
+}
+
+Tensor BigCityModel::Embed(const data::Trajectory& trajectory) {
+  StUnitSequence seq = StUnitSequence::FromTrajectory(trajectory);
+  PromptInput prompt = MakePrompt(
+      Task::kMostSimilarSearch,
+      StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+  BackboneOutput out = backbone_->Forward(prompt);
+  return nn::MeanRows(out.st_outputs);
+}
+
+Tensor BigCityModel::RecoverLogits(const data::Trajectory& original,
+                                   const std::vector<int>& kept) {
+  const int length = original.length();
+  BIGCITY_CHECK_GE(length, 2);
+  BIGCITY_CHECK_GE(static_cast<int>(kept.size()), 2);
+
+  // Tokens for the kept sub-trajectory; masked slots become [MASK] rows in
+  // the backbone (Fig. 3d).
+  data::Trajectory kept_trajectory;
+  kept_trajectory.user_id = original.user_id;
+  for (int index : kept) {
+    BIGCITY_CHECK(index >= 0 && index < length);
+    kept_trajectory.points.push_back(
+        original.points[static_cast<size_t>(index)]);
+  }
+  StUnitSequence kept_seq = StUnitSequence::FromTrajectory(kept_trajectory);
+  Tensor kept_tokens = StTokensFor(
+      kept_seq, std::vector<bool>(kept_seq.segments.size(), false));
+
+  // Interleave kept tokens with zero rows at masked positions; the backbone
+  // replaces masked rows by the learnable [MASK] vector.
+  std::vector<bool> is_kept(static_cast<size_t>(length), false);
+  for (int index : kept) is_kept[static_cast<size_t>(index)] = true;
+  std::vector<Tensor> rows;
+  std::vector<int> mask_positions;
+  Tensor zero_row = Tensor::Zeros({1, config_.d_model});
+  int kept_cursor = 0;
+  for (int l = 0; l < length; ++l) {
+    if (is_kept[static_cast<size_t>(l)]) {
+      rows.push_back(nn::SliceRows(kept_tokens, kept_cursor, kept_cursor + 1));
+      ++kept_cursor;
+    } else {
+      rows.push_back(zero_row);
+      mask_positions.push_back(l);
+    }
+  }
+  BIGCITY_CHECK(!mask_positions.empty()) << "nothing to recover";
+
+  PromptInput prompt =
+      MakePrompt(Task::kTrajRecovery, nn::Concat(rows, /*axis=*/0));
+  prompt.mask_positions = mask_positions;
+  prompt.task_tokens.assign(mask_positions.size(), TaskTokenKind::kClas);
+  BackboneOutput out = backbone_->Forward(prompt);
+  return heads_->SegmentLogits(out.task_outputs);
+}
+
+// --- Traffic-state tasks -----------------------------------------------------
+
+Tensor BigCityModel::PredictTraffic(int segment, int start_slice,
+                                    int horizon) {
+  BIGCITY_CHECK_GT(horizon, 0);
+  StUnitSequence seq = StUnitSequence::FromTrafficSeries(
+      dataset_->traffic(), segment, start_slice, config_.traffic_input_steps);
+  PromptInput prompt = MakePrompt(
+      horizon == 1 ? Task::kTrafficOneStep : Task::kTrafficMultiStep,
+      StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+  prompt.task_tokens.assign(static_cast<size_t>(horizon),
+                            TaskTokenKind::kReg);
+  BackboneOutput out = backbone_->Forward(prompt);
+  return heads_->StateRegression(out.task_outputs);
+}
+
+Tensor BigCityModel::ImputeTraffic(int segment, int start_slice, int window,
+                                   const std::vector<int>& masked) {
+  BIGCITY_CHECK(!masked.empty());
+  StUnitSequence seq = StUnitSequence::FromTrafficSeries(
+      dataset_->traffic(), segment, start_slice, window);
+  PromptInput prompt = MakePrompt(
+      Task::kTrafficImputation,
+      StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+  prompt.mask_positions = masked;
+  prompt.task_tokens.assign(masked.size(), TaskTokenKind::kReg);
+  BackboneOutput out = backbone_->Forward(prompt);
+  return heads_->StateRegression(out.task_outputs);
+}
+
+// --- Stage-1 masked reconstruction ---------------------------------------------
+
+BigCityModel::Reconstruction BigCityModel::MaskedReconstruct(
+    const StUnitSequence& sequence, const std::vector<int>& masked) {
+  BIGCITY_CHECK(!masked.empty());
+  Tensor tokens = StTokensFor(
+      sequence, std::vector<bool>(sequence.segments.size(), false));
+  // Prompt without instruction text (pre-training stage) but with
+  // ([CLAS], [REG]) placeholder pairs per mask (Eq. 12).
+  PromptInput prompt;
+  prompt.st_tokens = tokens;
+  prompt.mask_positions = masked;
+  for (size_t k = 0; k < masked.size(); ++k) {
+    prompt.task_tokens.push_back(TaskTokenKind::kClas);
+    prompt.task_tokens.push_back(TaskTokenKind::kReg);
+  }
+  BackboneOutput out = backbone_->Forward(prompt);
+  // De-interleave CLAS / REG outputs.
+  std::vector<int> clas_rows, reg_rows;
+  for (int k = 0; k < static_cast<int>(masked.size()); ++k) {
+    clas_rows.push_back(2 * k);
+    reg_rows.push_back(2 * k + 1);
+  }
+  Tensor z_clas = nn::Rows(out.task_outputs, clas_rows);
+  Tensor z_reg = nn::Rows(out.task_outputs, reg_rows);
+  Reconstruction result;
+  result.segment_logits = heads_->SegmentLogits(z_clas);
+  result.states = heads_->StateRegression(z_reg);
+  result.times = heads_->TimeRegression(z_reg);
+  return result;
+}
+
+}  // namespace bigcity::core

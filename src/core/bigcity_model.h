@@ -1,0 +1,112 @@
+#ifndef BIGCITY_CORE_BIGCITY_MODEL_H_
+#define BIGCITY_CORE_BIGCITY_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/backbone.h"
+#include "core/config.h"
+#include "core/st_tokenizer.h"
+#include "core/task.h"
+#include "core/task_heads.h"
+#include "core/text_tokenizer.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "roadnet/poi.h"
+
+namespace bigcity::core {
+
+/// The assembled BIGCity model (Fig. 2): Unified ST Tokenizer + Versatile
+/// Model with Task-oriented Prompts (backbone LLM + general task heads).
+/// One instance serves all eight tasks with a single parameter set; the
+/// task to execute is selected by the textual instruction in the prompt.
+class BigCityModel : public nn::Module {
+ public:
+  BigCityModel(const data::CityDataset* dataset, BigCityConfig config);
+
+  // --- Trajectory tasks ------------------------------------------------
+
+  /// Next-hop: logits over all segments for the segment following the
+  /// given prefix. `prefix` must contain at least 2 points.
+  nn::Tensor NextHopLogits(const data::Trajectory& prefix);
+
+  /// TTE: predicted normalized time deltas [L-1, 1] for positions 1..L-1
+  /// (every timestamp but the first is hidden from the model).
+  nn::Tensor TravelTimeDeltas(const data::Trajectory& trajectory);
+
+  /// Trajectory classification: user-linkage logits (XA/CD) or binary
+  /// traffic-pattern logits (BJ), per the dataset's user count.
+  nn::Tensor ClassifyLogits(const data::Trajectory& trajectory);
+  bool classifies_users() const;
+
+  /// Similarity-search representation: mean-pooled backbone ST outputs
+  /// [1, d_model].
+  nn::Tensor Embed(const data::Trajectory& trajectory);
+
+  /// Recovery: segment logits [K, I] for the masked (dropped) positions of
+  /// a downsampled trajectory. `kept` are the surviving indices within the
+  /// original trajectory (sorted, including endpoints).
+  nn::Tensor RecoverLogits(const data::Trajectory& original,
+                           const std::vector<int>& kept);
+
+  // --- Traffic-state tasks ---------------------------------------------
+
+  /// Predicts the next `horizon` slices of one segment's states given
+  /// slices [start, start+input_steps): [horizon, kTrafficChannels],
+  /// normalized units.
+  nn::Tensor PredictTraffic(int segment, int start_slice, int horizon);
+
+  /// Imputes masked positions of a traffic window: [K, kTrafficChannels].
+  nn::Tensor ImputeTraffic(int segment, int start_slice, int window,
+                           const std::vector<int>& masked);
+
+  // --- Stage-1 masked reconstruction (Sec. VI-A) ------------------------
+
+  struct Reconstruction {
+    nn::Tensor segment_logits;  // [K, I]
+    nn::Tensor states;          // [K, C]
+    nn::Tensor times;           // [K, 1] normalized delta units.
+  };
+  /// Masks the given positions of an ST-unit sequence and reconstructs
+  /// them via ([CLAS], [REG]) placeholder pairs (Eq. 12-14).
+  Reconstruction MaskedReconstruct(const data::StUnitSequence& sequence,
+                                   const std::vector<int>& masked);
+
+  // --- Plumbing -----------------------------------------------------------
+
+  /// Must be called after every optimizer step (clears tokenizer caches).
+  void BeginStep() { tokenizer_->BeginStep(); }
+
+  /// Truncates long trajectories to config.max_trajectory_tokens by
+  /// uniform subsampling that keeps both endpoints.
+  data::Trajectory ClipTrajectory(const data::Trajectory& trajectory) const;
+
+  StTokenizer* tokenizer() { return tokenizer_.get(); }
+  Backbone* backbone() { return backbone_.get(); }
+  GeneralTaskHeads* heads() { return heads_.get(); }
+  const TextTokenizer& text_tokenizer() const { return *text_tokenizer_; }
+  const BigCityConfig& config() const { return config_; }
+  const data::CityDataset* dataset() const { return dataset_; }
+
+  /// Swaps the dataset binding (cross-city transfer: new tokenizer data
+  /// sources but retained backbone weights is done by constructing a new
+  /// model and CopyStateFrom on the backbone).
+
+ private:
+  nn::Tensor StTokensFor(const data::StUnitSequence& sequence,
+                         const std::vector<bool>& hide_time);
+  PromptInput MakePrompt(Task task, nn::Tensor st_tokens) const;
+
+  const data::CityDataset* dataset_;
+  BigCityConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<roadnet::PoiLayer> poi_layer_;  // Optional POI extension.
+  std::unique_ptr<TextTokenizer> text_tokenizer_;
+  std::unique_ptr<StTokenizer> tokenizer_;
+  std::unique_ptr<Backbone> backbone_;
+  std::unique_ptr<GeneralTaskHeads> heads_;
+};
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_BIGCITY_MODEL_H_

@@ -1,0 +1,55 @@
+#ifndef BIGCITY_CORE_CONFIG_H_
+#define BIGCITY_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace bigcity::core {
+
+/// Hyper-parameters of the BIGCity model. Defaults are sized for
+/// single-CPU-core training; the architecture is scale-free.
+struct BigCityConfig {
+  // --- ST tokenizer (Sec. IV-B) ---
+  int64_t spatial_dim = 32;     // D_h: static/dynamic representation width.
+  int64_t gat_hidden = 32;      // Hidden width inside each GAT encoder.
+  int64_t gat_heads = 2;
+  int dynamic_window = 3;       // T': history slices for the dynamic encoder.
+
+  // --- Backbone (Sec. V-B) ---
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t max_sequence = 128;   // Positional table length.
+
+  // --- LoRA (Sec. V-B, Fig. 5) ---
+  int64_t lora_rank = 8;
+  float lora_alpha = 16.0f;
+  double lora_rate = 1.0;       // Fraction n of blocks carrying adapters.
+
+  // --- Task limits ---
+  int max_trajectory_tokens = 24;  // Longer trips are subsampled.
+  int traffic_input_steps = 12;
+  int traffic_horizon = 6;
+
+  // --- Ablation switches (Table VII) ---
+  bool use_static_encoder = true;
+  bool use_dynamic_encoder = true;
+  bool use_fusion_encoder = true;
+  bool use_prompts = true;
+
+  // --- POI extension (the paper's future-work direction) ---
+  /// When true, a synthetic POI layer augments the static segment features
+  /// consumed by the static encoder.
+  bool use_poi_features = false;
+  int num_pois = 200;
+
+  // --- Training ---
+  float lambda_reg = 0.5f;   // lambda_1 in Eq. 16.
+  float lambda_tim = 0.5f;   // lambda_2 in Eq. 16 / 17.
+  float lambda_gen = 1.0f;   // lambda_3 in Eq. 17.
+
+  uint64_t seed = 7;
+};
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_CONFIG_H_

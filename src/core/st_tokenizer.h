@@ -1,0 +1,97 @@
+#ifndef BIGCITY_CORE_ST_TOKENIZER_H_
+#define BIGCITY_CORE_ST_TOKENIZER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "data/st_unit.h"
+#include "data/traffic_state.h"
+#include "nn/attention.h"
+#include "nn/gat.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "roadnet/poi.h"
+#include "roadnet/road_network.h"
+
+namespace bigcity::core {
+
+/// The Spatiotemporal Tokenizer (Sec. IV-B): converts ST-unit sequences into
+/// ST-token sequences. Pipeline per Eq. 4-8:
+///   1. Static encoder: GAT over the road network on static features.
+///   2. Dynamic encoder: GAT over the same graph on a T'-slice window of
+///      traffic states (per time slice).
+///   3. Fusion encoder: learned-query cross attention over ALL segments
+///      (long-range, unlike the adjacency-restricted GATs).
+///   4. Temporal integration: MLP over (spatial rep || time features ||
+///      delta-tau) producing the ST token.
+///
+/// Spatial representations are cached per time slice within one training
+/// step ("ST feature library"); call BeginStep() whenever parameters have
+/// changed so the cache (and its autograd graph) is rebuilt.
+class StTokenizer : public nn::Module {
+ public:
+  /// `poi` is optional (the future-work POI extension): when given, its
+  /// per-segment category features are appended to the static features.
+  StTokenizer(const roadnet::RoadNetwork* network,
+              const data::TrafficStateSeries* traffic,  // null => no dynamics
+              const BigCityConfig& config, util::Rng* rng,
+              const roadnet::PoiLayer* poi = nullptr);
+
+  /// Clears the per-slice feature cache. Must be called after every
+  /// optimizer step (and before evaluation batches that follow training).
+  void BeginStep();
+
+  /// Tokenizes a full ST-unit sequence -> [L, d_model].
+  nn::Tensor Tokenize(const data::StUnitSequence& sequence);
+
+  /// Tokenizes with per-position overrides used by the task prompts:
+  /// positions in `hide_time` get zeroed time features and delta (TTE);
+  /// this does NOT replace tokens with [MASK] — the backbone does that.
+  nn::Tensor TokenizeWithHiddenTimes(const data::StUnitSequence& sequence,
+                                     const std::vector<bool>& hide_time);
+
+  /// Spatial representation s_{i,t} for every segment at a slice:
+  /// [I, 2 * spatial_dim]. Exposed for baselines-style probing and tests.
+  nn::Tensor SpatialRepresentations(int slice);
+
+  int64_t token_dim() const { return config_.d_model; }
+  int64_t spatial_rep_dim() const { return 2 * config_.spatial_dim; }
+
+  /// The final MLP (the only part fine-tuned in cross-city transfer).
+  nn::Mlp* temporal_mlp() { return temporal_mlp_.get(); }
+
+  /// Freezes everything except the temporal MLP (Table VI protocol).
+  void FreezeAllButTemporalMlp();
+
+  const BigCityConfig& config() const { return config_; }
+
+ private:
+  /// Builds the [I, T' * C] windowed dynamic feature matrix for slice t.
+  nn::Tensor DynamicWindowFeatures(int slice) const;
+
+  const roadnet::RoadNetwork* network_;
+  const data::TrafficStateSeries* traffic_;
+  BigCityConfig config_;
+
+  nn::GraphEdges graph_;
+  nn::Tensor static_features_;  // [I, static_dim] constant.
+
+  std::unique_ptr<nn::GatEncoder> static_encoder_;
+  std::unique_ptr<nn::GatEncoder> dynamic_encoder_;
+  std::unique_ptr<nn::LearnedQueryAttention> fusion_;
+  std::unique_ptr<nn::Mlp> temporal_mlp_;
+  // Learned placeholders when an encoder is absent/ablated (paper: NULL
+  // dynamic features on BJ).
+  nn::Tensor null_static_;   // [1, spatial_dim]
+  nn::Tensor null_dynamic_;  // [1, spatial_dim]
+
+  // Per-step caches.
+  nn::Tensor cached_static_;                       // [I, spatial_dim]
+  std::unordered_map<int, nn::Tensor> slice_cache_;  // slice -> [I, 2*Dh]
+};
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_ST_TOKENIZER_H_

@@ -1,0 +1,46 @@
+#include "core/task.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace bigcity::core {
+
+namespace {
+const std::array<std::string, kNumTasks>& Instructions() {
+  static const std::array<std::string, kNumTasks>* kInstructions =
+      new std::array<std::string, kNumTasks>{
+          "where is the next hop position of the input trajectory",
+          "which class does the input trajectory belong to",
+          "give me the estimated time of arrival for the input trajectory",
+          "represent the input trajectory for similarity search",
+          "recover the masked positions of the input trajectory",
+          "predict the traffic state of the next time slice",
+          "predict the traffic states of the next six time slices",
+          "impute the masked traffic states of the input series",
+      };
+  return *kInstructions;
+}
+
+const std::array<std::string, kNumTasks>& Names() {
+  static const std::array<std::string, kNumTasks>* kNames =
+      new std::array<std::string, kNumTasks>{
+          "Next", "CLAS", "TTE", "Simi", "Reco", "O-Step", "M-Step", "TSI",
+      };
+  return *kNames;
+}
+}  // namespace
+
+const std::string& InstructionFor(Task task) {
+  const int index = static_cast<int>(task);
+  BIGCITY_CHECK(index >= 0 && index < kNumTasks);
+  return Instructions()[static_cast<size_t>(index)];
+}
+
+const std::string& TaskName(Task task) {
+  const int index = static_cast<int>(task);
+  BIGCITY_CHECK(index >= 0 && index < kNumTasks);
+  return Names()[static_cast<size_t>(index)];
+}
+
+}  // namespace bigcity::core

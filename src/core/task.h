@@ -1,0 +1,31 @@
+#ifndef BIGCITY_CORE_TASK_H_
+#define BIGCITY_CORE_TASK_H_
+
+#include <string>
+
+namespace bigcity::core {
+
+/// The eight ST analysis tasks BIGCity is co-trained on (Table I).
+enum class Task {
+  kNextHop = 0,            // Classification (segment id).
+  kTrajClassification,     // Classification (user id or binary pattern).
+  kTravelTimeEstimation,   // Regression (timestamps).
+  kMostSimilarSearch,      // Comparison (representation based).
+  kTrajRecovery,           // Generation (segment ids at [MASK]s).
+  kTrafficOneStep,         // Regression (next slice state).
+  kTrafficMultiStep,       // Regression (next H slice states).
+  kTrafficImputation,      // Generation (masked slice states).
+};
+
+inline constexpr int kNumTasks = 8;
+
+/// Fixed instruction template for each task (Fig. 3). The paper selects
+/// these from ChatGPT-generated candidates; here they are fixed strings.
+const std::string& InstructionFor(Task task);
+
+/// Short display name ("Next", "TTE", ...).
+const std::string& TaskName(Task task);
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_TASK_H_

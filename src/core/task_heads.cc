@@ -1,0 +1,56 @@
+#include "core/task_heads.h"
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::core {
+
+using nn::Tensor;
+
+GeneralTaskHeads::GeneralTaskHeads(int64_t d_model, const LabelSpace& labels,
+                                   util::Rng* rng)
+    : labels_(labels) {
+  BIGCITY_CHECK_GT(labels.num_segments, 0);
+  mlp_c_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{d_model, 2 * d_model, labels.total()}, rng);
+  mlp_t_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{d_model, d_model, 1}, rng);
+  mlp_r_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{d_model, d_model, data::kTrafficChannels}, rng);
+  RegisterModule("mlp_c", mlp_c_.get());
+  RegisterModule("mlp_t", mlp_t_.get());
+  RegisterModule("mlp_r", mlp_r_.get());
+}
+
+Tensor GeneralTaskHeads::ClasLogits(const Tensor& z) const {
+  return mlp_c_->Forward(z);
+}
+
+Tensor GeneralTaskHeads::SegmentLogits(const Tensor& z) const {
+  Tensor logits = ClasLogits(z);
+  return nn::SliceCols(logits, labels_.segment_offset(),
+                       labels_.segment_offset() + labels_.num_segments);
+}
+
+Tensor GeneralTaskHeads::UserLogits(const Tensor& z) const {
+  BIGCITY_CHECK_GT(labels_.num_users, 0);
+  Tensor logits = ClasLogits(z);
+  return nn::SliceCols(logits, labels_.user_offset(),
+                       labels_.user_offset() + labels_.num_users);
+}
+
+Tensor GeneralTaskHeads::PatternLogits(const Tensor& z) const {
+  Tensor logits = ClasLogits(z);
+  return nn::SliceCols(logits, labels_.pattern_offset(),
+                       labels_.pattern_offset() + labels_.num_patterns);
+}
+
+Tensor GeneralTaskHeads::TimeRegression(const Tensor& z) const {
+  return mlp_t_->Forward(z);
+}
+
+Tensor GeneralTaskHeads::StateRegression(const Tensor& z) const {
+  return mlp_r_->Forward(z);
+}
+
+}  // namespace bigcity::core

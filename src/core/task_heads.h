@@ -1,0 +1,58 @@
+#ifndef BIGCITY_CORE_TASK_HEADS_H_
+#define BIGCITY_CORE_TASK_HEADS_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "data/traffic_state.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace bigcity::core {
+
+/// The unified label space decoded by the classification head. All
+/// classification-style tasks share one MLP_c over the concatenation of
+/// segment ids, user ids, and pattern classes; each task reads its slice of
+/// the logits. This keeps the output module task-agnostic (Sec. V-C).
+struct LabelSpace {
+  int num_segments = 0;
+  int num_users = 0;
+  int num_patterns = 2;
+
+  int total() const { return num_segments + num_users + num_patterns; }
+  int segment_offset() const { return 0; }
+  int user_offset() const { return num_segments; }
+  int pattern_offset() const { return num_segments + num_users; }
+};
+
+/// General-task heads (Eq. 11): MLP_c for classification, MLP_t for
+/// timestamp regression, MLP_r for traffic-state regression.
+class GeneralTaskHeads : public nn::Module {
+ public:
+  GeneralTaskHeads(int64_t d_model, const LabelSpace& labels,
+                   util::Rng* rng);
+
+  /// Full unified-label-space logits: z [K, d] -> [K, labels.total()].
+  nn::Tensor ClasLogits(const nn::Tensor& z) const;
+  /// Slices of the unified logits for each classification task.
+  nn::Tensor SegmentLogits(const nn::Tensor& z) const;
+  nn::Tensor UserLogits(const nn::Tensor& z) const;
+  nn::Tensor PatternLogits(const nn::Tensor& z) const;
+
+  /// Timestamp regression (normalized delta units): [K, 1].
+  nn::Tensor TimeRegression(const nn::Tensor& z) const;
+  /// Traffic-state regression: [K, kTrafficChannels].
+  nn::Tensor StateRegression(const nn::Tensor& z) const;
+
+  const LabelSpace& labels() const { return labels_; }
+
+ private:
+  LabelSpace labels_;
+  std::unique_ptr<nn::Mlp> mlp_c_;
+  std::unique_ptr<nn::Mlp> mlp_t_;
+  std::unique_ptr<nn::Mlp> mlp_r_;
+};
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_TASK_HEADS_H_

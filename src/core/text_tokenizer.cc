@@ -1,0 +1,74 @@
+#include "core/text_tokenizer.h"
+
+#include <cctype>
+
+#include "core/task.h"
+
+namespace bigcity::core {
+
+std::vector<std::string> InstructionCorpus() {
+  return {
+      "the trajectory moves along road segments of the city network",
+      "traffic speed drops during the morning and evening rush hours",
+      "the next segment follows from the current position on the road",
+      "travel time depends on segment length speed limit and congestion",
+      "a user tends to take the same route between home and work",
+      "the traffic state of a segment contains speed and flow",
+      "masked positions of a sequence can be recovered from context",
+      "the arrival time of a trip is the sum of segment travel times",
+      "similar trajectories visit similar segments at similar times",
+      "predict the future from the past states of the series",
+      "highways are faster than arterial roads and local streets",
+      "flow increases when many vehicles enter the segment",
+      "the city road network is a directed graph of segments",
+      "a time slice spans thirty minutes of the day",
+      "imputation fills the missing states of the input series",
+      "classification assigns the input trajectory to a class",
+  };
+}
+
+TextTokenizer::TextTokenizer(const std::vector<std::string>& extra_corpus) {
+  AddWord("<unk>");
+  unk_id_ = 0;
+  for (int t = 0; t < kNumTasks; ++t) {
+    for (const auto& word : Normalize(InstructionFor(static_cast<Task>(t)))) {
+      AddWord(word);
+    }
+  }
+  for (const auto& line : extra_corpus) {
+    for (const auto& word : Normalize(line)) AddWord(word);
+  }
+}
+
+std::vector<std::string> TextTokenizer::Normalize(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(current);
+  return words;
+}
+
+std::vector<int> TextTokenizer::Encode(const std::string& text) const {
+  std::vector<int> ids;
+  for (const auto& word : Normalize(text)) {
+    auto it = word_to_id_.find(word);
+    ids.push_back(it == word_to_id_.end() ? unk_id_ : it->second);
+  }
+  return ids;
+}
+
+void TextTokenizer::AddWord(const std::string& word) {
+  if (word_to_id_.contains(word)) return;
+  word_to_id_.emplace(word, static_cast<int>(id_to_word_.size()));
+  id_to_word_.push_back(word);
+}
+
+}  // namespace bigcity::core

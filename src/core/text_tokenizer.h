@@ -1,0 +1,45 @@
+#ifndef BIGCITY_CORE_TEXT_TOKENIZER_H_
+#define BIGCITY_CORE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bigcity::core {
+
+/// Fixed mobility-domain corpus used to (a) seed the tokenizer vocabulary
+/// and (b) pre-train the backbone as a tiny language model (the stand-in
+/// for GPT-2's pre-trained weights).
+std::vector<std::string> InstructionCorpus();
+
+/// Word-level text tokenizer for the task instructions — the in-repo
+/// substitute for GPT-2's BPE tokenizer. The vocabulary is built from a
+/// fixed instruction corpus at construction; unknown words map to <unk>.
+class TextTokenizer {
+ public:
+  /// Builds the vocabulary from the given corpus lines (plus the task
+  /// instruction templates, which are always included).
+  explicit TextTokenizer(const std::vector<std::string>& extra_corpus = {});
+
+  /// Lower-cases, strips punctuation, splits on whitespace, and maps each
+  /// word to its id.
+  std::vector<int> Encode(const std::string& text) const;
+
+  int vocab_size() const { return static_cast<int>(id_to_word_.size()); }
+  int unk_id() const { return unk_id_; }
+  const std::string& Word(int id) const { return id_to_word_[id]; }
+
+  /// Normalized word list of a text (exposed for tests).
+  static std::vector<std::string> Normalize(const std::string& text);
+
+ private:
+  void AddWord(const std::string& word);
+
+  std::unordered_map<std::string, int> word_to_id_;
+  std::vector<std::string> id_to_word_;
+  int unk_id_ = 0;
+};
+
+}  // namespace bigcity::core
+
+#endif  // BIGCITY_CORE_TEXT_TOKENIZER_H_

@@ -1,0 +1,169 @@
+#include "data/csv_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace bigcity::data {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+util::Status ParseInt(const std::string& field, int* value) {
+  auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(),
+                                   *value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return util::Status::InvalidArgument("bad integer field: " + field);
+  }
+  return util::Status::Ok();
+}
+
+util::Status ParseDouble(const std::string& field, double* value) {
+  // std::from_chars for double is not universally available; use strtod.
+  char* end = nullptr;
+  *value = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size() || field.empty()) {
+    return util::Status::InvalidArgument("bad numeric field: " + field);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void WriteTrajectoriesCsv(std::ostream& out,
+                          const std::vector<Trajectory>& trajectories) {
+  out << "trip_id,user_id,pattern_label,segment,timestamp\n";
+  for (size_t trip_id = 0; trip_id < trajectories.size(); ++trip_id) {
+    const auto& trip = trajectories[trip_id];
+    for (const auto& point : trip.points) {
+      out << trip_id << ',' << trip.user_id << ',' << trip.pattern_label
+          << ',' << point.segment << ',' << point.timestamp << '\n';
+    }
+  }
+}
+
+util::Result<std::vector<Trajectory>> ReadTrajectoriesCsv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::InvalidArgument("empty trajectory CSV");
+  }
+  if (line.rfind("trip_id,", 0) != 0) {
+    return util::Status::InvalidArgument("missing trajectory CSV header");
+  }
+  std::vector<Trajectory> result;
+  int current_trip = -1;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line);
+    if (fields.size() != 5) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected 5 fields");
+    }
+    int trip_id = 0, user_id = 0, label = 0, segment = 0;
+    double timestamp = 0;
+    if (auto s = ParseInt(fields[0], &trip_id); !s.ok()) return s;
+    if (auto s = ParseInt(fields[1], &user_id); !s.ok()) return s;
+    if (auto s = ParseInt(fields[2], &label); !s.ok()) return s;
+    if (auto s = ParseInt(fields[3], &segment); !s.ok()) return s;
+    if (auto s = ParseDouble(fields[4], &timestamp); !s.ok()) return s;
+    if (trip_id != current_trip) {
+      if (trip_id != static_cast<int>(result.size())) {
+        return util::Status::InvalidArgument(
+            "trip ids must be dense and contiguous (line " +
+            std::to_string(line_number) + ")");
+      }
+      current_trip = trip_id;
+      Trajectory trip;
+      trip.user_id = user_id;
+      trip.pattern_label = label;
+      result.push_back(trip);
+    }
+    auto& trip = result.back();
+    if (!trip.points.empty() && timestamp <= trip.points.back().timestamp) {
+      return util::Status::InvalidArgument(
+          "timestamps must strictly increase within a trip (line " +
+          std::to_string(line_number) + ")");
+    }
+    trip.points.push_back({segment, timestamp});
+  }
+  return result;
+}
+
+void WriteTrafficCsv(std::ostream& out, const TrafficStateSeries& series) {
+  out << "slice,segment,speed,flow\n";
+  for (int t = 0; t < series.num_slices(); ++t) {
+    for (int i = 0; i < series.num_segments(); ++i) {
+      out << t << ',' << i << ',' << series.Get(t, i, 0) << ','
+          << series.Get(t, i, 1) << '\n';
+    }
+  }
+}
+
+util::Result<TrafficStateSeries> ReadTrafficCsv(std::istream& in,
+                                                double slice_seconds) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("slice,", 0) != 0) {
+    return util::Status::InvalidArgument("missing traffic CSV header");
+  }
+  struct Cell {
+    int slice, segment;
+    double speed, flow;
+  };
+  std::vector<Cell> cells;
+  int max_slice = -1, max_segment = -1;
+  int line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line);
+    if (fields.size() != 4) {
+      return util::Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": expected 4 fields");
+    }
+    Cell cell{};
+    if (auto s = ParseInt(fields[0], &cell.slice); !s.ok()) return s;
+    if (auto s = ParseInt(fields[1], &cell.segment); !s.ok()) return s;
+    if (auto s = ParseDouble(fields[2], &cell.speed); !s.ok()) return s;
+    if (auto s = ParseDouble(fields[3], &cell.flow); !s.ok()) return s;
+    max_slice = std::max(max_slice, cell.slice);
+    max_segment = std::max(max_segment, cell.segment);
+    cells.push_back(cell);
+  }
+  if (cells.empty()) {
+    return util::Status::InvalidArgument("traffic CSV has no data rows");
+  }
+  TrafficStateSeries series(max_slice + 1, max_segment + 1, slice_seconds);
+  for (const auto& cell : cells) {
+    series.Set(cell.slice, cell.segment, 0, static_cast<float>(cell.speed));
+    series.Set(cell.slice, cell.segment, 1, static_cast<float>(cell.flow));
+  }
+  return series;
+}
+
+util::Status SaveTrajectoriesCsv(const std::string& path,
+                                 const std::vector<Trajectory>& trajectories) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  WriteTrajectoriesCsv(out, trajectories);
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<Trajectory>> LoadTrajectoriesCsv(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return ReadTrajectoriesCsv(in);
+}
+
+}  // namespace bigcity::data

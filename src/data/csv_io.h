@@ -1,0 +1,41 @@
+#ifndef BIGCITY_DATA_CSV_IO_H_
+#define BIGCITY_DATA_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/traffic_state.h"
+#include "data/trajectory.h"
+#include "util/status.h"
+
+namespace bigcity::data {
+
+// CSV import/export so generated datasets can be inspected with standard
+// tools and real (map-matched) corpora can be fed into the library.
+//
+// Trajectory CSV schema (one row per sample, header required):
+//   trip_id,user_id,pattern_label,segment,timestamp
+// Rows of one trip must be contiguous and time-ordered.
+//
+// Traffic CSV schema (one row per (slice, segment), header required):
+//   slice,segment,speed,flow
+
+void WriteTrajectoriesCsv(std::ostream& out,
+                          const std::vector<Trajectory>& trajectories);
+util::Result<std::vector<Trajectory>> ReadTrajectoriesCsv(std::istream& in);
+
+void WriteTrafficCsv(std::ostream& out, const TrafficStateSeries& series);
+/// `slice_seconds` is not stored in the CSV and must be supplied.
+util::Result<TrafficStateSeries> ReadTrafficCsv(std::istream& in,
+                                                double slice_seconds);
+
+// File-path conveniences.
+util::Status SaveTrajectoriesCsv(const std::string& path,
+                                 const std::vector<Trajectory>& trajectories);
+util::Result<std::vector<Trajectory>> LoadTrajectoriesCsv(
+    const std::string& path);
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_CSV_IO_H_

@@ -1,0 +1,42 @@
+#include "data/masking.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bigcity::data {
+
+std::vector<int> DownsampleKeepIndices(int length, double mask_ratio,
+                                       util::Rng* rng) {
+  BIGCITY_CHECK_GE(length, 2);
+  BIGCITY_CHECK(mask_ratio >= 0.0 && mask_ratio < 1.0);
+  std::vector<int> kept = {0, length - 1};
+  for (int i = 1; i + 1 < length; ++i) {
+    if (!rng->Bernoulli(mask_ratio)) kept.push_back(i);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+std::vector<int> RandomMaskIndices(int length, int k, util::Rng* rng) {
+  BIGCITY_CHECK_GE(length, 1);
+  k = std::clamp(k, 1, length);
+  return rng->SampleWithoutReplacement(length, k);
+}
+
+std::vector<int> ComplementIndices(int length,
+                                   const std::vector<int>& kept) {
+  std::vector<bool> is_kept(static_cast<size_t>(length), false);
+  for (int i : kept) {
+    BIGCITY_CHECK(i >= 0 && i < length);
+    is_kept[static_cast<size_t>(i)] = true;
+  }
+  std::vector<int> result;
+  for (int i = 0; i < length; ++i) {
+    if (!is_kept[static_cast<size_t>(i)]) result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace bigcity::data

@@ -1,0 +1,26 @@
+#ifndef BIGCITY_DATA_MASKING_H_
+#define BIGCITY_DATA_MASKING_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bigcity::data {
+
+/// Selects the positions KEPT when downsampling a length-`length` sequence
+/// at the given mask ratio (e.g. 0.9 keeps ~10%). The first and last
+/// positions are always kept (trajectory recovery needs anchored endpoints).
+/// Returned indices are sorted and distinct.
+std::vector<int> DownsampleKeepIndices(int length, double mask_ratio,
+                                       util::Rng* rng);
+
+/// Selects `k` random positions to mask for masked-reconstruction training.
+/// Indices are sorted and distinct; k is clamped to [1, length].
+std::vector<int> RandomMaskIndices(int length, int k, util::Rng* rng);
+
+/// Complement of `kept` within [0, length).
+std::vector<int> ComplementIndices(int length, const std::vector<int>& kept);
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_MASKING_H_

@@ -1,0 +1,63 @@
+#include "data/st_unit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bigcity::data {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+std::vector<float> TimeFeatures(double timestamp) {
+  const double day_seconds = std::fmod(timestamp, kSecondsPerDay);
+  const double hour = day_seconds / 3600.0;
+  const double day_of_week = std::fmod(timestamp / kSecondsPerDay, 7.0);
+  std::vector<float> f(kTimeFeatureDim);
+  f[0] = static_cast<float>(std::sin(2.0 * kPi * hour / 24.0));
+  f[1] = static_cast<float>(std::cos(2.0 * kPi * hour / 24.0));
+  f[2] = static_cast<float>(std::sin(2.0 * kPi * day_of_week / 7.0));
+  f[3] = static_cast<float>(std::cos(2.0 * kPi * day_of_week / 7.0));
+  f[4] = static_cast<float>(day_seconds / kSecondsPerDay);
+  return f;
+}
+
+float DeltaFeature(double delta_seconds) {
+  return static_cast<float>(delta_seconds / 1800.0);
+}
+
+float MinutesTarget(double delta_seconds) {
+  return static_cast<float>(delta_seconds / 60.0);
+}
+
+StUnitSequence StUnitSequence::FromTrajectory(const Trajectory& trajectory) {
+  StUnitSequence seq;
+  seq.is_trajectory = true;
+  seq.segments.reserve(trajectory.points.size());
+  seq.timestamps.reserve(trajectory.points.size());
+  for (const auto& point : trajectory.points) {
+    seq.segments.push_back(point.segment);
+    seq.timestamps.push_back(point.timestamp);
+  }
+  return seq;
+}
+
+StUnitSequence StUnitSequence::FromTrafficSeries(
+    const TrafficStateSeries& series, int segment, int first_slice,
+    int count) {
+  BIGCITY_CHECK(first_slice >= 0 &&
+                first_slice + count <= series.num_slices());
+  StUnitSequence seq;
+  seq.is_trajectory = false;
+  seq.series_segment = segment;
+  seq.segments.assign(static_cast<size_t>(count), segment);
+  seq.timestamps.reserve(static_cast<size_t>(count));
+  for (int t = first_slice; t < first_slice + count; ++t) {
+    seq.timestamps.push_back(series.SliceStart(t));
+  }
+  return seq;
+}
+
+}  // namespace bigcity::data

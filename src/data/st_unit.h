@@ -1,0 +1,53 @@
+#ifndef BIGCITY_DATA_ST_UNIT_H_
+#define BIGCITY_DATA_ST_UNIT_H_
+
+#include <vector>
+
+#include "data/traffic_state.h"
+#include "data/trajectory.h"
+
+namespace bigcity::data {
+
+/// Dimension of the timestamp feature vector iota_tau (Def. 4): hour-of-day
+/// (sin, cos), day-of-week (sin, cos), and slice-within-day position.
+inline constexpr int kTimeFeatureDim = 5;
+
+/// Timestamp features for an absolute time in seconds since the epoch.
+std::vector<float> TimeFeatures(double timestamp);
+
+/// Normalized inter-sample gap delta_tau used by the ST tokenizer (Eq. 8);
+/// 30 minutes -> 1.0.
+float DeltaFeature(double delta_seconds);
+
+/// Time-regression target unit: minutes. Used by MLP_t targets (TTE,
+/// timestamp reconstruction) so typical per-hop gaps land near 1.0, which
+/// keeps the MSE gradients well-scaled.
+float MinutesTarget(double delta_seconds);
+
+/// A sequence of ST-units (Eq. 2 / Eq. 3): the unified representation of
+/// both trajectories and traffic-state series. Each unit is the triple
+/// (segment, traffic state, sampling time); the tokenizer materializes the
+/// static/dynamic features from the road network and traffic series, so the
+/// sequence itself stores only (segment id, timestamp) plus provenance.
+struct StUnitSequence {
+  std::vector<int> segments;
+  std::vector<double> timestamps;
+  bool is_trajectory = true;
+  /// For traffic-state sequences: the single segment the series describes.
+  int series_segment = -1;
+
+  int length() const { return static_cast<int>(segments.size()); }
+
+  /// Unified view of a trajectory (Def. 8).
+  static StUnitSequence FromTrajectory(const Trajectory& trajectory);
+
+  /// Unified view of one segment's traffic-state series over slices
+  /// [first_slice, first_slice + count) (Def. 7).
+  static StUnitSequence FromTrafficSeries(const TrafficStateSeries& series,
+                                          int segment, int first_slice,
+                                          int count);
+};
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_ST_UNIT_H_

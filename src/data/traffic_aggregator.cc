@@ -1,0 +1,85 @@
+#include "data/traffic_aggregator.h"
+
+#include <algorithm>
+
+#include "data/trajectory_generator.h"
+#include "util/check.h"
+
+namespace bigcity::data {
+
+TrafficAggregator::TrafficAggregator(const roadnet::RoadNetwork* network,
+                                     int num_slices, double slice_seconds,
+                                     double rush_strength)
+    : network_(network), num_slices_(num_slices),
+      slice_seconds_(slice_seconds), rush_strength_(rush_strength) {
+  BIGCITY_CHECK(network != nullptr);
+}
+
+TrafficStateSeries TrafficAggregator::Aggregate(
+    const std::vector<Trajectory>& trajectories,
+    const std::vector<double>& popularity) const {
+  const int num_segments = network_->num_segments();
+  BIGCITY_CHECK_EQ(static_cast<int>(popularity.size()), num_segments);
+  TrafficStateSeries series(num_slices_, num_segments, slice_seconds_);
+
+  std::vector<double> speed_sum(
+      static_cast<size_t>(num_slices_) * num_segments, 0.0);
+  std::vector<int> count(static_cast<size_t>(num_slices_) * num_segments, 0);
+
+  for (const auto& trip : trajectories) {
+    // Observed speed on point l = length / (t_{l+1} - t_l); the last point
+    // has no exit time and contributes only to flow.
+    for (int l = 0; l < trip.length(); ++l) {
+      const auto& point = trip.points[static_cast<size_t>(l)];
+      const int slice = series.SliceOf(point.timestamp);
+      const size_t idx =
+          static_cast<size_t>(slice) * num_segments + point.segment;
+      if (l + 1 < trip.length()) {
+        const double dt =
+            trip.points[static_cast<size_t>(l + 1)].timestamp -
+            point.timestamp;
+        if (dt > 1e-6) {
+          const double speed =
+              network_->segment(point.segment).length_m / dt;
+          speed_sum[idx] += speed;
+          count[idx] += 1;
+          continue;
+        }
+      }
+      // Flow-only contribution.
+      count[idx] += 0;  // Entries without speed still count as flow below.
+    }
+  }
+
+  // Flow: entries per slice (including trailing points).
+  std::vector<int> flow(static_cast<size_t>(num_slices_) * num_segments, 0);
+  for (const auto& trip : trajectories) {
+    for (const auto& point : trip.points) {
+      const int slice = series.SliceOf(point.timestamp);
+      ++flow[static_cast<size_t>(slice) * num_segments + point.segment];
+    }
+  }
+
+  for (int t = 0; t < num_slices_; ++t) {
+    const double slice_mid = (t + 0.5) * slice_seconds_;
+    for (int i = 0; i < num_segments; ++i) {
+      const size_t idx = static_cast<size_t>(t) * num_segments + i;
+      float speed;
+      if (count[idx] > 0) {
+        speed = static_cast<float>(speed_sum[idx] / count[idx]);
+      } else {
+        // Fallback: expected speed under the congestion profile.
+        const double mult = CongestionMultiplier(
+            slice_mid, popularity[static_cast<size_t>(i)], rush_strength_);
+        speed = static_cast<float>(network_->segment(i).speed_limit_mps *
+                                   mult);
+      }
+      series.Set(t, i, 0, speed / kSpeedScale);
+      series.Set(t, i, 1,
+                 std::min(static_cast<float>(flow[idx]) / kFlowScale, 2.0f));
+    }
+  }
+  return series;
+}
+
+}  // namespace bigcity::data

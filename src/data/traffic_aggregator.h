@@ -1,0 +1,42 @@
+#ifndef BIGCITY_DATA_TRAFFIC_AGGREGATOR_H_
+#define BIGCITY_DATA_TRAFFIC_AGGREGATOR_H_
+
+#include <vector>
+
+#include "data/traffic_state.h"
+#include "data/trajectory.h"
+#include "roadnet/road_network.h"
+
+namespace bigcity::data {
+
+/// Builds population-level traffic states from individual trajectories —
+/// the same pipeline the paper uses (map-matched trips aggregated into
+/// 30-minute slices). Channel 0 is mean observed speed normalized by
+/// kSpeedScale; channel 1 is normalized flow (entries per slice). Slices a
+/// segment was never observed in fall back to the free-flow estimate under
+/// the synthetic congestion profile (the closest analogue of the paper's
+/// historical-mean imputation for sparse slices).
+class TrafficAggregator {
+ public:
+  static constexpr float kSpeedScale = 20.0f;  // m/s -> ~[0,1.2].
+  static constexpr float kFlowScale = 10.0f;
+
+  TrafficAggregator(const roadnet::RoadNetwork* network, int num_slices,
+                    double slice_seconds, double rush_strength);
+
+  /// Aggregates all trajectories into a dense traffic-state series.
+  /// `popularity` must match the generator's per-segment popularity so the
+  /// free-flow fallback is consistent with observed samples.
+  TrafficStateSeries Aggregate(const std::vector<Trajectory>& trajectories,
+                               const std::vector<double>& popularity) const;
+
+ private:
+  const roadnet::RoadNetwork* network_;
+  int num_slices_;
+  double slice_seconds_;
+  double rush_strength_;
+};
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_TRAFFIC_AGGREGATOR_H_

@@ -1,0 +1,76 @@
+#include "data/traffic_state.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace bigcity::data {
+
+TrafficStateSeries::TrafficStateSeries(int num_slices, int num_segments,
+                                       double slice_seconds)
+    : num_slices_(num_slices), num_segments_(num_segments),
+      slice_seconds_(slice_seconds),
+      values_(static_cast<size_t>(num_slices) * num_segments *
+                  kTrafficChannels,
+              0.0f) {
+  BIGCITY_CHECK_GT(num_slices, 0);
+  BIGCITY_CHECK_GT(num_segments, 0);
+  BIGCITY_CHECK_GT(slice_seconds, 0.0);
+}
+
+int TrafficStateSeries::SliceOf(double timestamp) const {
+  int t = static_cast<int>(timestamp / slice_seconds_);
+  return std::clamp(t, 0, num_slices_ - 1);
+}
+
+size_t TrafficStateSeries::Index(int slice, int segment, int channel) const {
+  BIGCITY_CHECK(slice >= 0 && slice < num_slices_);
+  BIGCITY_CHECK(segment >= 0 && segment < num_segments_);
+  BIGCITY_CHECK(channel >= 0 && channel < kTrafficChannels);
+  return (static_cast<size_t>(slice) * num_segments_ + segment) *
+             kTrafficChannels +
+         channel;
+}
+
+float TrafficStateSeries::Get(int slice, int segment, int channel) const {
+  return values_[Index(slice, segment, channel)];
+}
+
+void TrafficStateSeries::Set(int slice, int segment, int channel,
+                             float value) {
+  values_[Index(slice, segment, channel)] = value;
+}
+
+std::vector<float> TrafficStateSeries::Features(int slice,
+                                                int segment) const {
+  std::vector<float> f(kTrafficChannels);
+  for (int c = 0; c < kTrafficChannels; ++c) f[c] = Get(slice, segment, c);
+  return f;
+}
+
+nn::Tensor TrafficStateSeries::SliceMatrix(int slice) const {
+  std::vector<float> data(static_cast<size_t>(num_segments_) *
+                          kTrafficChannels);
+  for (int i = 0; i < num_segments_; ++i) {
+    for (int c = 0; c < kTrafficChannels; ++c) {
+      data[static_cast<size_t>(i) * kTrafficChannels + c] =
+          Get(slice, i, c);
+    }
+  }
+  return nn::Tensor::FromData({num_segments_, kTrafficChannels},
+                              std::move(data));
+}
+
+nn::Tensor TrafficStateSeries::SegmentSeries(int segment) const {
+  std::vector<float> data(static_cast<size_t>(num_slices_) *
+                          kTrafficChannels);
+  for (int t = 0; t < num_slices_; ++t) {
+    for (int c = 0; c < kTrafficChannels; ++c) {
+      data[static_cast<size_t>(t) * kTrafficChannels + c] = Get(t, segment, c);
+    }
+  }
+  return nn::Tensor::FromData({num_slices_, kTrafficChannels},
+                              std::move(data));
+}
+
+}  // namespace bigcity::data

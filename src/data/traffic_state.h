@@ -1,0 +1,54 @@
+#ifndef BIGCITY_DATA_TRAFFIC_STATE_H_
+#define BIGCITY_DATA_TRAFFIC_STATE_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace bigcity::data {
+
+/// Number of dynamic traffic-state channels per (segment, slice): mean speed
+/// (m/s, normalized) and flow (vehicle entries, normalized).
+inline constexpr int kTrafficChannels = 2;
+
+/// Population-level traffic state (Def. 6): a [T, I, C] series of dynamic
+/// features per time slice and road segment, stored dense row-major.
+class TrafficStateSeries {
+ public:
+  TrafficStateSeries() = default;
+  TrafficStateSeries(int num_slices, int num_segments,
+                     double slice_seconds);
+
+  int num_slices() const { return num_slices_; }
+  int num_segments() const { return num_segments_; }
+  double slice_seconds() const { return slice_seconds_; }
+
+  /// Slice index containing `timestamp` (clamped to the valid range).
+  int SliceOf(double timestamp) const;
+  /// Start timestamp of slice t.
+  double SliceStart(int t) const { return t * slice_seconds_; }
+
+  float Get(int slice, int segment, int channel) const;
+  void Set(int slice, int segment, int channel, float value);
+
+  /// Dynamic feature vector e^(d)_{i,t} of length kTrafficChannels.
+  std::vector<float> Features(int slice, int segment) const;
+
+  /// [I, C] tensor for one slice (input to the dynamic GAT encoder).
+  nn::Tensor SliceMatrix(int slice) const;
+
+  /// [T, C] tensor of one segment's full series (traffic-state tasks).
+  nn::Tensor SegmentSeries(int segment) const;
+
+ private:
+  size_t Index(int slice, int segment, int channel) const;
+
+  int num_slices_ = 0;
+  int num_segments_ = 0;
+  double slice_seconds_ = 1800.0;
+  std::vector<float> values_;
+};
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_TRAFFIC_STATE_H_

@@ -1,0 +1,33 @@
+#ifndef BIGCITY_DATA_TRAJECTORY_H_
+#define BIGCITY_DATA_TRAJECTORY_H_
+
+#include <vector>
+
+namespace bigcity::data {
+
+/// One sample of a trajectory (Def. 5): a road segment entered at a
+/// timestamp (seconds since the dataset epoch).
+struct TrajPoint {
+  int segment = 0;
+  double timestamp = 0.0;
+};
+
+/// A map-matched trip by one user. `pattern_label` is the trip's traffic
+/// pattern class (0 = off-peak, 1 = peak) used for binary trajectory
+/// classification on the BJ-style dataset; user_id drives trajectory-user
+/// linkage on XA/CD-style datasets.
+struct Trajectory {
+  int user_id = 0;
+  int pattern_label = 0;
+  std::vector<TrajPoint> points;
+
+  int length() const { return static_cast<int>(points.size()); }
+  double duration_seconds() const {
+    return points.empty() ? 0.0
+                          : points.back().timestamp - points.front().timestamp;
+  }
+};
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_TRAJECTORY_H_

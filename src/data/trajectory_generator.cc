@@ -1,0 +1,141 @@
+#include "data/trajectory_generator.h"
+
+#include <cmath>
+
+#include "roadnet/shortest_path.h"
+#include "util/check.h"
+
+namespace bigcity::data {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Gaussian bump helper for the rush-hour profile.
+double Bump(double hour, double center, double width) {
+  const double z = (hour - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+}  // namespace
+
+double CongestionMultiplier(double timestamp, double popularity,
+                            double rush_strength) {
+  const double hour = std::fmod(timestamp, kSecondsPerDay) / 3600.0;
+  // Morning and evening peaks; night traffic is free-flowing.
+  const double rush = Bump(hour, 8.0, 1.5) + Bump(hour, 18.0, 1.8);
+  const double slowdown = 1.0 + rush_strength * rush * (0.3 + popularity);
+  return 1.0 / slowdown;
+}
+
+std::vector<double> SegmentPopularity(const roadnet::RoadNetwork& network,
+                                      util::Rng* rng) {
+  std::vector<double> popularity(
+      static_cast<size_t>(network.num_segments()));
+  for (int i = 0; i < network.num_segments(); ++i) {
+    double base = 0.2;
+    switch (network.segment(i).type) {
+      case roadnet::RoadType::kLocal: base = 0.2; break;
+      case roadnet::RoadType::kArterial: base = 0.5; break;
+      case roadnet::RoadType::kHighway: base = 0.7; break;
+    }
+    popularity[static_cast<size_t>(i)] =
+        std::clamp(base + rng->Uniform(-0.15, 0.15), 0.0, 1.0);
+  }
+  return popularity;
+}
+
+TrajectoryGenerator::TrajectoryGenerator(const roadnet::RoadNetwork* network,
+                                         TrajectoryGeneratorConfig config)
+    : network_(network), config_(config), rng_(config.seed) {
+  BIGCITY_CHECK(network != nullptr);
+  BIGCITY_CHECK_GT(config_.num_users, 0);
+  popularity_ = SegmentPopularity(*network_, &rng_);
+  users_.reserve(static_cast<size_t>(config_.num_users));
+  const int n = network_->num_segments();
+  for (int u = 0; u < config_.num_users; ++u) {
+    UserProfile profile;
+    profile.home_segment = rng_.UniformInt(0, n - 1);
+    do {
+      profile.work_segment = rng_.UniformInt(0, n - 1);
+    } while (profile.work_segment == profile.home_segment);
+    profile.speed_factor = rng_.Uniform(0.85, 1.15);
+    profile.route_seed = config_.seed * 7919 + static_cast<uint64_t>(u);
+    users_.push_back(profile);
+  }
+}
+
+std::vector<Trajectory> TrajectoryGenerator::Generate() {
+  std::vector<Trajectory> result;
+  result.reserve(static_cast<size_t>(config_.num_trajectories));
+  int attempts = 0;
+  const int max_attempts = config_.num_trajectories * 20;
+  while (static_cast<int>(result.size()) < config_.num_trajectories &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int user_id = rng_.UniformInt(0, config_.num_users - 1);
+    Trajectory trip = GenerateTrip(user_id, users_[static_cast<size_t>(user_id)]);
+    if (trip.length() >= config_.min_hops) result.push_back(std::move(trip));
+  }
+  BIGCITY_CHECK_GE(static_cast<int>(result.size()),
+                   config_.num_trajectories / 2)
+      << "generator failed to produce enough valid trips";
+  return result;
+}
+
+Trajectory TrajectoryGenerator::GenerateTrip(int user_id,
+                                             const UserProfile& user) {
+  Trajectory trip;
+  trip.user_id = user_id;
+
+  // Departure time: commute peaks plus uniform background trips.
+  const int day = rng_.UniformInt(
+      0, std::max(0, static_cast<int>(config_.horizon_days) - 1));
+  double hour;
+  int origin, destination;
+  const double r = rng_.Uniform();
+  const int n = network_->num_segments();
+  if (r < 0.35) {  // Morning commute.
+    hour = 8.0 + rng_.Normal(0.0, 1.0);
+    origin = user.home_segment;
+    destination = user.work_segment;
+  } else if (r < 0.70) {  // Evening commute.
+    hour = 18.0 + rng_.Normal(0.0, 1.2);
+    origin = user.work_segment;
+    destination = user.home_segment;
+  } else {  // Background trip anchored at home or work.
+    hour = rng_.Uniform(6.0, 23.0);
+    origin = rng_.Bernoulli(0.5) ? user.home_segment : user.work_segment;
+    destination = rng_.UniformInt(0, n - 1);
+  }
+  hour = std::clamp(hour, 0.0, 23.75);
+  double timestamp = day * kSecondsPerDay + hour * 3600.0 +
+                     rng_.Uniform(0.0, 600.0);
+
+  // Habitual route: per-user deterministic weight noise + small per-trip
+  // variation so a user's trips share route structure without being
+  // identical.
+  util::Rng route_rng(user.route_seed + static_cast<uint64_t>(
+                          rng_.UniformInt(0, 3)));
+  std::vector<int> path = roadnet::NoisyShortestPath(
+      *network_, origin, destination, config_.route_noise, &route_rng);
+  if (path.empty()) return trip;
+
+  const double dep_hour = std::fmod(timestamp, kSecondsPerDay) / 3600.0;
+  trip.pattern_label =
+      (Bump(dep_hour, 8.0, 1.5) + Bump(dep_hour, 18.0, 1.8)) > 0.4 ? 1 : 0;
+
+  trip.points.reserve(path.size());
+  for (int segment : path) {
+    trip.points.push_back({segment, timestamp});
+    const auto& s = network_->segment(segment);
+    const double congestion = CongestionMultiplier(
+        timestamp, popularity_[static_cast<size_t>(segment)],
+        config_.rush_strength);
+    const double speed =
+        s.speed_limit_mps * congestion * user.speed_factor *
+        std::exp(rng_.Normal(0.0, config_.speed_noise));
+    timestamp += s.length_m / std::max(speed, 0.5);
+  }
+  return trip;
+}
+
+}  // namespace bigcity::data

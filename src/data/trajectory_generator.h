@@ -1,0 +1,69 @@
+#ifndef BIGCITY_DATA_TRAJECTORY_GENERATOR_H_
+#define BIGCITY_DATA_TRAJECTORY_GENERATOR_H_
+
+#include <vector>
+
+#include "data/trajectory.h"
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace bigcity::data {
+
+/// Configuration of the synthetic trip generator — the substitute for the
+/// paper's taxi / ride-hailing GPS corpora. Users are persistent agents with
+/// home/work anchors, habitual (noisy-shortest) routes, personal speed
+/// factors, and rush-hour-driven departure times, so the generated corpus
+/// carries the signals the paper's tasks rely on: user-distinctive routing
+/// (trajectory-user linkage), time-of-day congestion (TTE, traffic states),
+/// and network-constrained transitions (next-hop prediction).
+struct TrajectoryGeneratorConfig {
+  int num_users = 50;
+  int num_trajectories = 1000;
+  double horizon_days = 2.0;
+  double route_noise = 0.8;     // Per-user weight perturbation strength.
+  double speed_noise = 0.10;    // Log-normal per-segment speed jitter.
+  int min_hops = 6;             // Minimum path length in segments.
+  double rush_strength = 1.1;   // Peak congestion slowdown factor.
+  uint64_t seed = 99;
+};
+
+/// Time-of-day congestion multiplier in (0, 1]: effective speed =
+/// speed_limit * multiplier. Shared with the traffic aggregation so the
+/// population-level states are consistent with individual trips.
+double CongestionMultiplier(double timestamp, double popularity,
+                            double rush_strength);
+
+/// Per-segment popularity in [0,1]; arterials/highways attract more flow.
+std::vector<double> SegmentPopularity(const roadnet::RoadNetwork& network,
+                                      util::Rng* rng);
+
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const roadnet::RoadNetwork* network,
+                      TrajectoryGeneratorConfig config);
+
+  /// Generates the full corpus (deterministic for a given config).
+  std::vector<Trajectory> Generate();
+
+  const std::vector<double>& popularity() const { return popularity_; }
+
+ private:
+  struct UserProfile {
+    int home_segment;
+    int work_segment;
+    double speed_factor;
+    uint64_t route_seed;
+  };
+
+  Trajectory GenerateTrip(int user_id, const UserProfile& user);
+
+  const roadnet::RoadNetwork* network_;
+  TrajectoryGeneratorConfig config_;
+  util::Rng rng_;
+  std::vector<UserProfile> users_;
+  std::vector<double> popularity_;
+};
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_TRAJECTORY_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+namespace {
+
+/// Additive causal mask [L, L]: 0 on/below diagonal, -1e9 above.
+Tensor CausalMask(int64_t length) {
+  std::vector<float> mask(static_cast<size_t>(length * length), 0.0f);
+  for (int64_t i = 0; i < length; ++i) {
+    for (int64_t j = i + 1; j < length; ++j) {
+      mask[static_cast<size_t>(i * length + j)] = -1e9f;
+    }
+  }
+  return Tensor::FromData({length, length}, std::move(mask));
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               util::Rng* rng, bool causal)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads),
+      causal_(causal) {
+  BIGCITY_CHECK_EQ(head_dim_ * num_heads_, dim_)
+      << "dim must be divisible by num_heads";
+  wq_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  wk_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  wv_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  wo_ = std::make_unique<LoraLinear>(dim, dim, rng);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+  RegisterModule("wo", wo_.get());
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  BIGCITY_CHECK_EQ(x.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(x.shape()[1], dim_);
+  const int64_t length = x.shape()[0];
+  Tensor q = wq_->Forward(x);
+  Tensor k = wk_->Forward(x);
+  Tensor v = wv_->Forward(x);
+
+  Tensor mask;
+  if (causal_) mask = CausalMask(length);
+
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t lo = h * head_dim_, hi = (h + 1) * head_dim_;
+    Tensor qh = SliceCols(q, lo, hi);
+    Tensor kh = SliceCols(k, lo, hi);
+    Tensor vh = SliceCols(v, lo, hi);
+    Tensor scores = Scale(MatMul(qh, Transpose(kh)), inv_sqrt);
+    if (causal_) scores = Add(scores, mask);
+    Tensor attn = Softmax(scores);
+    head_outputs.push_back(MatMul(attn, vh));
+  }
+  Tensor merged = Concat(head_outputs, /*axis=*/1);
+  return wo_->Forward(merged);
+}
+
+LearnedQueryAttention::LearnedQueryAttention(int64_t num_queries, int64_t dim,
+                                             util::Rng* rng)
+    : dim_(dim) {
+  query_ = RegisterParameter(
+      "query", Tensor::Randn({num_queries, dim}, rng, 0.02f,
+                             /*requires_grad=*/true));
+}
+
+Tensor LearnedQueryAttention::Forward(const Tensor& h) const {
+  BIGCITY_CHECK_EQ(h.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(h.shape()[0], query_.shape()[0]);
+  BIGCITY_CHECK_EQ(h.shape()[1], dim_);
+  // alpha_ij = (q_i . h_j) / sqrt(2 * D_h) per Eq. 6; rows softmax (Eq. 7).
+  const float inv = 1.0f / std::sqrt(2.0f * static_cast<float>(dim_));
+  Tensor scores = Scale(MatMul(query_, Transpose(h)), inv);
+  Tensor attn = Softmax(scores);
+  return MatMul(attn, h);
+}
+
+}  // namespace bigcity::nn

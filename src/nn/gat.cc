@@ -1,0 +1,85 @@
+#include "nn/gat.h"
+
+#include <unordered_set>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+void GraphEdges::AddSelfLoops() {
+  std::vector<bool> has_loop(static_cast<size_t>(num_nodes), false);
+  for (size_t e = 0; e < src.size(); ++e) {
+    if (src[e] == dst[e]) has_loop[static_cast<size_t>(src[e])] = true;
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    if (!has_loop[static_cast<size_t>(i)]) {
+      src.push_back(i);
+      dst.push_back(i);
+    }
+  }
+}
+
+GatLayer::GatLayer(int64_t in_dim, int64_t out_dim, int64_t num_heads,
+                   util::Rng* rng)
+    : num_heads_(num_heads), head_dim_(out_dim / num_heads) {
+  BIGCITY_CHECK_EQ(head_dim_ * num_heads_, out_dim)
+      << "out_dim must be divisible by num_heads";
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    head_proj_.push_back(std::make_unique<Linear>(in_dim, head_dim_, rng,
+                                                  /*bias=*/false));
+    RegisterModule("proj" + std::to_string(h), head_proj_.back().get());
+    attn_dst_.push_back(RegisterParameter(
+        "attn_dst" + std::to_string(h),
+        Tensor::Randn({head_dim_, 1}, rng, 0.1f, /*requires_grad=*/true)));
+    attn_src_.push_back(RegisterParameter(
+        "attn_src" + std::to_string(h),
+        Tensor::Randn({head_dim_, 1}, rng, 0.1f, /*requires_grad=*/true)));
+  }
+}
+
+Tensor GatLayer::Forward(const Tensor& h, const GraphEdges& graph) const {
+  BIGCITY_CHECK_EQ(h.shape()[0], graph.num_nodes);
+  BIGCITY_CHECK(!graph.src.empty());
+  std::vector<Tensor> heads;
+  heads.reserve(static_cast<size_t>(num_heads_));
+  const int64_t num_edges = static_cast<int64_t>(graph.src.size());
+  for (int64_t head = 0; head < num_heads_; ++head) {
+    Tensor hw = head_proj_[static_cast<size_t>(head)]->Forward(h);  // [N,F']
+    // Per-node attention logits split into dst and src halves, so the edge
+    // score e_ij = leakyrelu(dst_logit[i] + src_logit[j]).
+    Tensor dst_logit = MatMul(hw, attn_dst_[static_cast<size_t>(head)]);
+    Tensor src_logit = MatMul(hw, attn_src_[static_cast<size_t>(head)]);
+    Tensor edge_dst = Rows(dst_logit, graph.dst);  // [E,1]
+    Tensor edge_src = Rows(src_logit, graph.src);  // [E,1]
+    Tensor scores =
+        Reshape(LeakyRelu(Add(edge_dst, edge_src)), {num_edges});
+    Tensor alpha = SegmentSoftmax(scores, graph.dst, graph.num_nodes);
+    Tensor messages = Rows(hw, graph.src);  // [E,F']
+    heads.push_back(SegmentWeightedSum(alpha, messages, graph.dst,
+                                       graph.num_nodes));
+  }
+  Tensor merged = num_heads_ == 1 ? heads[0] : Concat(heads, /*axis=*/1);
+  // ELU-like nonlinearity; LeakyReLU keeps gradients alive everywhere.
+  return LeakyRelu(merged, 0.1f);
+}
+
+GatEncoder::GatEncoder(int64_t in_dim, int64_t hidden_dim, int64_t out_dim,
+                       int64_t num_heads, util::Rng* rng) {
+  gat1_ = std::make_unique<GatLayer>(in_dim, hidden_dim, num_heads, rng);
+  gat2_ = std::make_unique<GatLayer>(hidden_dim, hidden_dim, num_heads, rng);
+  ffn_ = std::make_unique<Mlp>(std::vector<int64_t>{hidden_dim, out_dim},
+                               rng);
+  RegisterModule("gat1", gat1_.get());
+  RegisterModule("gat2", gat2_.get());
+  RegisterModule("ffn", ffn_.get());
+}
+
+Tensor GatEncoder::Forward(const Tensor& features,
+                           const GraphEdges& graph) const {
+  Tensor h = gat1_->Forward(features, graph);
+  h = gat2_->Forward(h, graph);
+  return ffn_->Forward(h);
+}
+
+}  // namespace bigcity::nn

@@ -1,0 +1,62 @@
+#ifndef BIGCITY_NN_GAT_H_
+#define BIGCITY_NN_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace bigcity::nn {
+
+/// Edge list of a directed graph for GAT layers. Self-loops are expected to
+/// be present (AddSelfLoops) so every node attends at least to itself.
+struct GraphEdges {
+  std::vector<int> src;  // Message source node per edge.
+  std::vector<int> dst;  // Message target node per edge.
+  int num_nodes = 0;
+
+  /// Appends (i, i) edges for all nodes that are missing them.
+  void AddSelfLoops();
+};
+
+/// Graph attention layer (Velickovic et al., 2018): per edge (j -> i),
+/// e_ij = LeakyReLU(a^T [W h_i || W h_j]); attention is softmax over the
+/// incoming edges of i; output h'_i = sum_j alpha_ij W h_j. Multiple heads
+/// are concatenated.
+class GatLayer : public Module {
+ public:
+  GatLayer(int64_t in_dim, int64_t out_dim, int64_t num_heads,
+           util::Rng* rng);
+
+  /// h [N, in_dim] -> [N, out_dim] (out_dim split across heads).
+  Tensor Forward(const Tensor& h, const GraphEdges& graph) const;
+
+  int64_t out_dim() const { return head_dim_ * num_heads_; }
+
+ private:
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::vector<std::unique_ptr<Linear>> head_proj_;  // W per head.
+  std::vector<Tensor> attn_dst_;  // a_1 per head: [head_dim, 1].
+  std::vector<Tensor> attn_src_;  // a_2 per head: [head_dim, 1].
+};
+
+/// Two-layer GAT encoder with an FFN output, matching the paper's
+/// FFN(GAT(.)) encoders (Eq. 4 / Eq. 5).
+class GatEncoder : public Module {
+ public:
+  GatEncoder(int64_t in_dim, int64_t hidden_dim, int64_t out_dim,
+             int64_t num_heads, util::Rng* rng);
+
+  Tensor Forward(const Tensor& features, const GraphEdges& graph) const;
+
+ private:
+  std::unique_ptr<GatLayer> gat1_;
+  std::unique_ptr<GatLayer> gat2_;
+  std::unique_ptr<Mlp> ffn_;
+};
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_GAT_H_

@@ -1,0 +1,33 @@
+#include "nn/grad_check.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+float MaxGradError(Tensor input, const std::function<Tensor()>& loss_fn,
+                   float epsilon) {
+  BIGCITY_CHECK(input.requires_grad());
+  // Analytic gradient.
+  input.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<float> analytic = input.grad();
+
+  float max_error = 0.0f;
+  auto& data = input.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    const float saved = data[i];
+    data[i] = saved + epsilon;
+    const float up = loss_fn().item();
+    data[i] = saved - epsilon;
+    const float down = loss_fn().item();
+    data[i] = saved;
+    const float numeric = (up - down) / (2.0f * epsilon);
+    max_error = std::max(max_error, std::fabs(numeric - analytic[i]));
+  }
+  return max_error;
+}
+
+}  // namespace bigcity::nn

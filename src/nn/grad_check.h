@@ -1,0 +1,20 @@
+#ifndef BIGCITY_NN_GRAD_CHECK_H_
+#define BIGCITY_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace bigcity::nn {
+
+/// Finite-difference gradient verification for tests. `loss_fn` must be a
+/// pure function of `input`'s current data returning a scalar tensor
+/// (rebuilding the graph on every call). Returns the maximum absolute
+/// difference between analytic and numeric gradients over all elements.
+float MaxGradError(Tensor input,
+                   const std::function<Tensor()>& loss_fn,
+                   float epsilon = 1e-3f);
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_GRAD_CHECK_H_

@@ -1,0 +1,102 @@
+#include "nn/layers.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+               bool bias) {
+  weight_ = RegisterParameter(
+      "weight", Tensor::Xavier(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", Tensor::Zeros({out_features}, /*requires_grad=*/true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = MatMul(x, weight_);
+  if (bias_.is_valid()) y = Add(y, bias_);
+  return y;
+}
+
+EmbeddingTable::EmbeddingTable(int64_t vocab_size, int64_t dim,
+                               util::Rng* rng) {
+  table_ = RegisterParameter(
+      "table",
+      Tensor::Randn({vocab_size, dim}, rng, 0.02f, /*requires_grad=*/true));
+}
+
+Tensor EmbeddingTable::Forward(const std::vector<int>& indices) const {
+  return Embedding(table_, indices);
+}
+
+LayerNormLayer::LayerNormLayer(int64_t dim) {
+  gamma_ = RegisterParameter("gamma",
+                             Tensor::Ones({dim}, /*requires_grad=*/true));
+  beta_ = RegisterParameter("beta",
+                            Tensor::Zeros({dim}, /*requires_grad=*/true));
+}
+
+Tensor LayerNormLayer::Forward(const Tensor& x) const {
+  return LayerNorm(x, gamma_, beta_);
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng) {
+  BIGCITY_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("fc" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Gelu(h);
+  }
+  return h;
+}
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : hidden_dim_(hidden_dim) {
+  gates_x_ = std::make_unique<Linear>(input_dim, 2 * hidden_dim, rng);
+  gates_h_ = std::make_unique<Linear>(hidden_dim, 2 * hidden_dim, rng,
+                                      /*bias=*/false);
+  cand_x_ = std::make_unique<Linear>(input_dim, hidden_dim, rng);
+  cand_h_ = std::make_unique<Linear>(hidden_dim, hidden_dim, rng,
+                                     /*bias=*/false);
+  RegisterModule("gates_x", gates_x_.get());
+  RegisterModule("gates_h", gates_h_.get());
+  RegisterModule("cand_x", cand_x_.get());
+  RegisterModule("cand_h", cand_h_.get());
+}
+
+Tensor Gru::Step(const Tensor& x, const Tensor& h) const {
+  Tensor gates = Sigmoid(Add(gates_x_->Forward(x), gates_h_->Forward(h)));
+  Tensor z = SliceCols(gates, 0, hidden_dim_);
+  Tensor r = SliceCols(gates, hidden_dim_, 2 * hidden_dim_);
+  Tensor candidate =
+      Tanh(Add(cand_x_->Forward(x), cand_h_->Forward(Mul(r, h))));
+  // h' = (1-z)*h + z*candidate.
+  return Add(Mul(Sub(Tensor::Ones({1, hidden_dim_}), z), h),
+             Mul(z, candidate));
+}
+
+Tensor Gru::Forward(const Tensor& x) const {
+  BIGCITY_CHECK_EQ(x.shape().size(), 2u);
+  const int64_t length = x.shape()[0];
+  Tensor h = Tensor::Zeros({1, hidden_dim_});
+  std::vector<Tensor> states;
+  states.reserve(static_cast<size_t>(length));
+  for (int64_t t = 0; t < length; ++t) {
+    h = Step(SliceRows(x, t, t + 1), h);
+    states.push_back(h);
+  }
+  return Concat(states, /*axis=*/0);
+}
+
+}  // namespace bigcity::nn

@@ -1,0 +1,96 @@
+#ifndef BIGCITY_NN_LAYERS_H_
+#define BIGCITY_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace bigcity::nn {
+
+/// Fully-connected layer: y = x W + b, W [in, out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+         bool bias = true);
+
+  /// x [N, in] -> [N, out].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return weight_.shape()[0]; }
+  int64_t out_features() const { return weight_.shape()[1]; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;  // Invalid handle when bias is disabled.
+};
+
+/// Token embedding table with normal(0, 0.02) init (GPT-2 convention).
+class EmbeddingTable : public Module {
+ public:
+  EmbeddingTable(int64_t vocab_size, int64_t dim, util::Rng* rng);
+
+  /// indices (n) -> [n, dim].
+  Tensor Forward(const std::vector<int>& indices) const;
+
+  int64_t vocab_size() const { return table_.shape()[0]; }
+  int64_t dim() const { return table_.shape()[1]; }
+  const Tensor& table() const { return table_; }
+
+ private:
+  Tensor table_;
+};
+
+/// Learnable layer normalization over the last dimension.
+class LayerNormLayer : public Module {
+ public:
+  explicit LayerNormLayer(int64_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Multi-layer perceptron with GELU activations between layers.
+class Mlp : public Module {
+ public:
+  /// dims = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<int64_t>& dims, util::Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t out_features() const { return layers_.back()->out_features(); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+/// Single-layer GRU cell + sequence runner (used by RNN baselines).
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  /// One step: (x [1,in], h [1,hidden]) -> new h [1,hidden].
+  Tensor Step(const Tensor& x, const Tensor& h) const;
+
+  /// Runs the full sequence x [L,in]; returns all hidden states [L,hidden].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  std::unique_ptr<Linear> gates_x_;   // x -> [z r] (2*hidden).
+  std::unique_ptr<Linear> gates_h_;   // h -> [z r].
+  std::unique_ptr<Linear> cand_x_;    // x -> candidate.
+  std::unique_ptr<Linear> cand_h_;    // (r*h) -> candidate.
+};
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_LAYERS_H_

@@ -1,0 +1,52 @@
+#include "nn/lora.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+LoraLinear::LoraLinear(int64_t in_features, int64_t out_features,
+                       util::Rng* rng, bool bias) {
+  base_ = std::make_unique<Linear>(in_features, out_features, rng, bias);
+  RegisterModule("base", base_.get());
+}
+
+void LoraLinear::EnableLora(int64_t rank, float alpha, util::Rng* rng) {
+  BIGCITY_CHECK(!lora_enabled()) << "LoRA already enabled";
+  BIGCITY_CHECK_GT(rank, 0);
+  const int64_t in = base_->in_features();
+  const int64_t out = base_->out_features();
+  const float a_std = 1.0f / std::sqrt(static_cast<float>(in));
+  lora_a_ = RegisterParameter(
+      "lora_a", Tensor::Randn({in, rank}, rng, a_std, /*requires_grad=*/true));
+  lora_b_ = RegisterParameter(
+      "lora_b", Tensor::Zeros({rank, out}, /*requires_grad=*/true));
+  scale_ = alpha / static_cast<float>(rank);
+}
+
+void LoraLinear::DisableLora() {
+  // Parameters stay registered (shape bookkeeping) but are zeroed and
+  // frozen, making the branch an exact no-op.
+  if (!lora_enabled()) return;
+  lora_b_.data().assign(lora_b_.data().size(), 0.0f);
+  lora_a_.set_requires_grad(false);
+  lora_b_.set_requires_grad(false);
+  scale_ = 0.0f;
+}
+
+void LoraLinear::FreezeBase() {
+  for (auto& p : base_->Parameters()) p.set_requires_grad(false);
+}
+
+Tensor LoraLinear::Forward(const Tensor& x) const {
+  Tensor y = base_->Forward(x);
+  if (lora_enabled() && scale_ != 0.0f) {
+    Tensor delta = MatMul(MatMul(x, lora_a_), lora_b_);
+    y = Add(y, Scale(delta, scale_));
+  }
+  return y;
+}
+
+}  // namespace bigcity::nn

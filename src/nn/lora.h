@@ -1,0 +1,46 @@
+#ifndef BIGCITY_NN_LORA_H_
+#define BIGCITY_NN_LORA_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace bigcity::nn {
+
+/// Linear layer with an optional Low-Rank Adaptation branch (Hu et al.,
+/// 2021), as used for the BIGCity backbone (Sec. V-B): the base weight is
+/// frozen after pre-training and only the low-rank matrices A (in x r) and
+/// B (r x out) train, with y = x W + b + (alpha / r) * x A B.
+class LoraLinear : public Module {
+ public:
+  LoraLinear(int64_t in_features, int64_t out_features, util::Rng* rng,
+             bool bias = true);
+
+  /// Attaches a LoRA branch of rank r. A is Gaussian-initialized, B zero
+  /// (so the adapted layer starts identical to the base).
+  void EnableLora(int64_t rank, float alpha, util::Rng* rng);
+
+  /// Detaches the LoRA branch (used by ablations / rate sweeps).
+  void DisableLora();
+
+  /// Freezes the base weight/bias; LoRA matrices (if any) stay trainable.
+  void FreezeBase();
+
+  bool lora_enabled() const { return lora_a_.is_valid(); }
+  int64_t lora_rank() const {
+    return lora_enabled() ? lora_a_.shape()[1] : 0;
+  }
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::unique_ptr<Linear> base_;
+  Tensor lora_a_;  // [in, r]; invalid when disabled.
+  Tensor lora_b_;  // [r, out].
+  float scale_ = 0.0f;
+};
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_LORA_H_

@@ -1,0 +1,116 @@
+#include "nn/module.h"
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/io.h"
+
+namespace bigcity::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> result;
+  for (const auto& [name, p] : NamedParameters()) result.push_back(p);
+  return result;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> result;
+  for (const auto& [name, p] : parameters_) result.emplace_back(name, p);
+  for (const auto& [name, child] : children_) {
+    for (auto& [child_name, p] : child->NamedParameters()) {
+      result.emplace_back(name + "." + child_name, p);
+    }
+  }
+  return result;
+}
+
+std::vector<Tensor> Module::TrainableParameters() const {
+  std::vector<Tensor> result;
+  for (const auto& p : Parameters()) {
+    if (p.requires_grad()) result.push_back(p);
+  }
+  return result;
+}
+
+void Module::SetTrainable(bool trainable) {
+  for (auto& p : Parameters()) p.set_requires_grad(trainable);
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.numel();
+  return total;
+}
+
+void Module::SaveState(std::ostream& out) const {
+  const auto named = NamedParameters();
+  util::WriteU64(out, named.size());
+  for (const auto& [name, p] : named) {
+    util::WriteString(out, name);
+    util::WriteFloatVector(out, p.data());
+  }
+}
+
+util::Status Module::LoadState(std::istream& in) {
+  uint64_t count = 0;
+  if (auto s = util::ReadU64(in, &count); !s.ok()) return s;
+  auto named = NamedParameters();
+  if (count != named.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint parameter count mismatch");
+  }
+  for (auto& [name, p] : named) {
+    std::string stored_name;
+    std::vector<float> values;
+    if (auto s = util::ReadString(in, &stored_name); !s.ok()) return s;
+    if (auto s = util::ReadFloatVector(in, &values); !s.ok()) return s;
+    if (stored_name != name) {
+      return util::Status::InvalidArgument("checkpoint name mismatch: " +
+                                           stored_name + " vs " + name);
+    }
+    if (values.size() != p.data().size()) {
+      return util::Status::InvalidArgument("checkpoint shape mismatch for " +
+                                           name);
+    }
+    p.data() = std::move(values);
+  }
+  return util::Status::Ok();
+}
+
+util::Status Module::SaveStateToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  SaveState(out);
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Status Module::LoadStateFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return LoadState(in);
+}
+
+void Module::CopyStateFrom(const Module& other) {
+  auto dst = NamedParameters();
+  auto src = other.NamedParameters();
+  BIGCITY_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    BIGCITY_CHECK_EQ(dst[i].second.data().size(), src[i].second.data().size())
+        << "parameter " << dst[i].first;
+    dst[i].second.data() = src[i].second.data();
+  }
+}
+
+Tensor Module::RegisterParameter(std::string name, Tensor parameter) {
+  BIGCITY_CHECK(parameter.is_valid());
+  parameters_.emplace_back(std::move(name), parameter);
+  return parameter;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  BIGCITY_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace bigcity::nn

@@ -1,0 +1,907 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+enum class BroadcastMode { kSame, kRowwise, kScalarRhs };
+
+BroadcastMode ResolveBroadcast(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return BroadcastMode::kSame;
+  if (b.numel() == 1) return BroadcastMode::kScalarRhs;
+  if (a.shape().size() == 2 && b.shape().size() == 1 &&
+      a.shape()[1] == b.shape()[0]) {
+    return BroadcastMode::kRowwise;
+  }
+  BIGCITY_CHECK(false) << "incompatible shapes for broadcast";
+  return BroadcastMode::kSame;
+}
+
+/// Index of b's element corresponding to flat index i of a.
+inline size_t BIndex(BroadcastMode mode, size_t i, int64_t cols) {
+  switch (mode) {
+    case BroadcastMode::kSame: return i;
+    case BroadcastMode::kRowwise: return i % static_cast<size_t>(cols);
+    case BroadcastMode::kScalarRhs: return 0;
+  }
+  return 0;
+}
+
+using BinaryFwd = float (*)(float, float);
+using BinaryBwdA = float (*)(float a, float b, float g);
+using BinaryBwdB = float (*)(float a, float b, float g);
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFwd fwd,
+                BinaryBwdA bwd_a, BinaryBwdB bwd_b) {
+  const BroadcastMode mode = ResolveBroadcast(a, b);
+  const int64_t cols =
+      a.shape().size() == 2 ? a.shape()[1] : a.numel();
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  std::vector<float> out(ad.size());
+  for (size_t i = 0; i < ad.size(); ++i) {
+    out[i] = fwd(ad[i], bd[BIndex(mode, i, cols)]);
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeOpResult(
+      a.shape(), std::move(out), {ai, bi},
+      [ai, bi, mode, cols, bwd_a, bwd_b](TensorImpl& self) {
+        const auto& g = self.grad;
+        if (ai->needs_grad) {
+          ai->EnsureGrad();
+          for (size_t i = 0; i < g.size(); ++i) {
+            ai->grad[i] +=
+                bwd_a(ai->data[i], bi->data[BIndex(mode, i, cols)], g[i]);
+          }
+        }
+        if (bi->needs_grad) {
+          bi->EnsureGrad();
+          for (size_t i = 0; i < g.size(); ++i) {
+            const size_t j = BIndex(mode, i, cols);
+            bi->grad[j] += bwd_b(ai->data[i], bi->data[j], g[i]);
+          }
+        }
+      });
+}
+
+using UnaryFwd = float (*)(float);
+/// Derivative expressed in terms of input x and output y.
+using UnaryBwd = float (*)(float x, float y);
+
+Tensor UnaryOp(const Tensor& a, UnaryFwd fwd, UnaryBwd bwd) {
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (size_t i = 0; i < ad.size(); ++i) out[i] = fwd(ad[i]);
+  auto ai = a.impl();
+  auto out_copy = out;  // Captured for derivative-in-terms-of-output.
+  return MakeOpResult(
+      a.shape(), std::move(out), {ai},
+      [ai, bwd, out_copy = std::move(out_copy)](TensorImpl& self) {
+        if (!ai->needs_grad) return;
+        ai->EnsureGrad();
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+          ai->grad[i] += self.grad[i] * bwd(ai->data[i], out_copy[i]);
+        }
+      });
+}
+
+/// out = A[N,K] * B[K,M], accumulating into pre-sized `out`.
+void MatMulKernel(const float* a, const float* b, float* out, int64_t n,
+                  int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    float* out_row = out + i * m;
+    const float* a_row = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b + p * m;
+      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+/// out += A^T[K,N] * B[N,M] given A[N,K].
+void MatMulAtBKernel(const float* a, const float* b, float* out, int64_t n,
+                     int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      float* out_row = out + p * m;
+      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+/// out += A[N,K] * B^T[M,K] given B[M,K] -> out [N,M].
+void MatMulABtKernel(const float* a, const float* b, float* out, int64_t n,
+                     int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a + i * k;
+    float* out_row = out + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+// --- Elementwise / arithmetic ------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g) { return g; },
+      [](float, float, float g) { return -g; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float g) { return g * y; },
+      [](float x, float, float g) { return g * x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float g) { return g / y; },
+      [](float x, float y, float g) { return -g * x / (y * y); });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+Tensor Scale(const Tensor& a, float factor) {
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] * factor;
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {ai},
+                      [ai, factor](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t i = 0; i < self.grad.size(); ++i) {
+                          ai->grad[i] += self.grad[i] * factor;
+                        }
+                      });
+}
+
+Tensor AddConst(const Tensor& a, float value) {
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] + value;
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {ai},
+                      [ai](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t i = 0; i < self.grad.size(); ++i) {
+                          ai->grad[i] += self.grad[i];
+                        }
+                      });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
+}
+
+// --- Activations ----------------------------------------------------------------
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (size_t i = 0; i < ad.size(); ++i) {
+    out[i] = ad[i] > 0.0f ? ad[i] : negative_slope * ad[i];
+  }
+  auto ai = a.impl();
+  return MakeOpResult(
+      a.shape(), std::move(out), {ai},
+      [ai, negative_slope](TensorImpl& self) {
+        if (!ai->needs_grad) return;
+        ai->EnsureGrad();
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+          ai->grad[i] +=
+              self.grad[i] * (ai->data[i] > 0.0f ? 1.0f : negative_slope);
+        }
+      });
+}
+
+Tensor Gelu(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        const float c = std::sqrt(2.0f / kPi);
+        return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+      },
+      [](float x, float) {
+        const float c = std::sqrt(2.0f / kPi);
+        const float u = c * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float du = c * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+// --- Linear algebra ----------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(b.shape().size(), 2u);
+  const int64_t n = a.shape()[0], k = a.shape()[1], m = b.shape()[1];
+  BIGCITY_CHECK_EQ(k, b.shape()[0]) << "matmul inner dims mismatch";
+  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  MatMulKernel(a.data().data(), b.data().data(), out.data(), n, k, m);
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeOpResult(
+      {n, m}, std::move(out), {ai, bi}, [ai, bi, n, k, m](TensorImpl& self) {
+        if (ai->needs_grad) {
+          ai->EnsureGrad();
+          // dA = G * B^T : [N,M] x [M,K]^T-of-[K,M].
+          MatMulABtKernel(self.grad.data(), bi->data.data(), ai->grad.data(),
+                          n, m, k);
+        }
+        if (bi->needs_grad) {
+          bi->EnsureGrad();
+          // dB = A^T * G.
+          MatMulAtBKernel(ai->data.data(), self.grad.data(), bi->grad.data(),
+                          n, k, m);
+        }
+      });
+}
+
+Tensor Transpose(const Tensor& a) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], m = a.shape()[1];
+  std::vector<float> out(static_cast<size_t>(n * m));
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      out[static_cast<size_t>(j * n + i)] = ad[static_cast<size_t>(i * m + j)];
+    }
+  }
+  auto ai = a.impl();
+  return MakeOpResult({m, n}, std::move(out), {ai},
+                      [ai, n, m](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < n; ++i) {
+                          for (int64_t j = 0; j < m; ++j) {
+                            ai->grad[static_cast<size_t>(i * m + j)] +=
+                                self.grad[static_cast<size_t>(j * n + i)];
+                          }
+                        }
+                      });
+}
+
+// --- Reductions ------------------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  float total = std::accumulate(a.data().begin(), a.data().end(), 0.0f);
+  auto ai = a.impl();
+  return MakeOpResult({1}, {total}, {ai}, [ai](TensorImpl& self) {
+    if (!ai->needs_grad) return;
+    ai->EnsureGrad();
+    const float g = self.grad[0];
+    for (auto& v : ai->grad) v += g;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  return Scale(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor MeanRows(const Tensor& a) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_CHECK_GT(n, 0);
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      out[static_cast<size_t>(j)] += ad[static_cast<size_t>(i * d + j)];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(n);
+  for (auto& v : out) v *= inv;
+  auto ai = a.impl();
+  return MakeOpResult({1, d}, std::move(out), {ai},
+                      [ai, n, d, inv](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < n; ++i) {
+                          for (int64_t j = 0; j < d; ++j) {
+                            ai->grad[static_cast<size_t>(i * d + j)] +=
+                                self.grad[static_cast<size_t>(j)] * inv;
+                          }
+                        }
+                      });
+}
+
+Tensor SumCols(const Tensor& a) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      out[static_cast<size_t>(i)] += ad[static_cast<size_t>(i * d + j)];
+    }
+  }
+  auto ai = a.impl();
+  return MakeOpResult({n}, std::move(out), {ai},
+                      [ai, n, d](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < n; ++i) {
+                          for (int64_t j = 0; j < d; ++j) {
+                            ai->grad[static_cast<size_t>(i * d + j)] +=
+                                self.grad[static_cast<size_t>(i)];
+                          }
+                        }
+                      });
+}
+
+// --- Softmax family -----------------------------------------------------------------
+
+Tensor Softmax(const Tensor& a) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  std::vector<float> out(a.data().size());
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = ad.data() + i * d;
+    float* out_row = out.data() + i * d;
+    float mx = row[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      out_row[j] = std::exp(row[j] - mx);
+      sum += out_row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < d; ++j) out_row[j] *= inv;
+  }
+  auto ai = a.impl();
+  auto y = out;  // Copy for backward.
+  return MakeOpResult(
+      a.shape(), std::move(out), {ai},
+      [ai, n, d, y = std::move(y)](TensorImpl& self) {
+        if (!ai->needs_grad) return;
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* yr = y.data() + i * d;
+          const float* gr = self.grad.data() + i * d;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < d; ++j) dot += yr[j] * gr[j];
+          float* ar = ai->grad.data() + i * d;
+          for (int64_t j = 0; j < d; ++j) ar[j] += yr[j] * (gr[j] - dot);
+        }
+      });
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  std::vector<float> out(a.data().size());
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = ad.data() + i * d;
+    float* out_row = out.data() + i * d;
+    float mx = row[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < d; ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t j = 0; j < d; ++j) out_row[j] = row[j] - lse;
+  }
+  auto ai = a.impl();
+  auto y = out;
+  return MakeOpResult(
+      a.shape(), std::move(out), {ai},
+      [ai, n, d, y = std::move(y)](TensorImpl& self) {
+        if (!ai->needs_grad) return;
+        ai->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* yr = y.data() + i * d;
+          const float* gr = self.grad.data() + i * d;
+          float gsum = 0.0f;
+          for (int64_t j = 0; j < d; ++j) gsum += gr[j];
+          float* ar = ai->grad.data() + i * d;
+          for (int64_t j = 0; j < d; ++j) {
+            ar[j] += gr[j] - std::exp(yr[j]) * gsum;
+          }
+        }
+      });
+}
+
+// --- Normalization --------------------------------------------------------------------
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  BIGCITY_CHECK_EQ(x.shape().size(), 2u);
+  const int64_t n = x.shape()[0], d = x.shape()[1];
+  BIGCITY_CHECK_EQ(gamma.numel(), d);
+  BIGCITY_CHECK_EQ(beta.numel(), d);
+  const auto& xd = x.data();
+  const auto& gd = gamma.data();
+  const auto& bd = beta.data();
+  std::vector<float> out(xd.size());
+  std::vector<float> xhat(xd.size());
+  std::vector<float> inv_std(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = xd.data() + i * d;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < d; ++j) mean += row[j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      const float c = row[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    inv_std[static_cast<size_t>(i)] = istd;
+    for (int64_t j = 0; j < d; ++j) {
+      const float xh = (row[j] - mean) * istd;
+      xhat[static_cast<size_t>(i * d + j)] = xh;
+      out[static_cast<size_t>(i * d + j)] = gd[j] * xh + bd[j];
+    }
+  }
+  auto xi = x.impl();
+  auto gi = gamma.impl();
+  auto bi = beta.impl();
+  return MakeOpResult(
+      x.shape(), std::move(out), {xi, gi, bi},
+      [xi, gi, bi, n, d, xhat = std::move(xhat),
+       inv_std = std::move(inv_std)](TensorImpl& self) {
+        const auto& g = self.grad;
+        if (gi->needs_grad) gi->EnsureGrad();
+        if (bi->needs_grad) bi->EnsureGrad();
+        if (xi->needs_grad) xi->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* gr = g.data() + i * d;
+          const float* xh = xhat.data() + i * d;
+          if (gi->needs_grad || bi->needs_grad) {
+            for (int64_t j = 0; j < d; ++j) {
+              if (gi->needs_grad) gi->grad[j] += gr[j] * xh[j];
+              if (bi->needs_grad) bi->grad[j] += gr[j];
+            }
+          }
+          if (xi->needs_grad) {
+            // dx = istd * (dy*gamma - mean(dy*gamma) - xhat*mean(dy*gamma*xhat))
+            float m1 = 0.0f, m2 = 0.0f;
+            for (int64_t j = 0; j < d; ++j) {
+              const float dg = gr[j] * gi->data[j];
+              m1 += dg;
+              m2 += dg * xh[j];
+            }
+            m1 /= static_cast<float>(d);
+            m2 /= static_cast<float>(d);
+            const float istd = inv_std[static_cast<size_t>(i)];
+            float* xr = xi->grad.data() + i * d;
+            for (int64_t j = 0; j < d; ++j) {
+              const float dg = gr[j] * gi->data[j];
+              xr[j] += istd * (dg - m1 - xh[j] * m2);
+            }
+          }
+        }
+      });
+}
+
+// --- Shape manipulation ------------------------------------------------------------------
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  BIGCITY_CHECK(!parts.empty());
+  BIGCITY_CHECK(axis == 0 || axis == 1);
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) {
+    BIGCITY_CHECK_EQ(p.shape().size(), 2u);
+    parents.push_back(p.impl());
+  }
+  int64_t rows = 0, cols = 0;
+  if (axis == 0) {
+    cols = parts[0].shape()[1];
+    for (const auto& p : parts) {
+      BIGCITY_CHECK_EQ(p.shape()[1], cols);
+      rows += p.shape()[0];
+    }
+  } else {
+    rows = parts[0].shape()[0];
+    for (const auto& p : parts) {
+      BIGCITY_CHECK_EQ(p.shape()[0], rows);
+      cols += p.shape()[1];
+    }
+  }
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  if (axis == 0) {
+    size_t offset = 0;
+    for (const auto& p : parts) {
+      std::copy(p.data().begin(), p.data().end(), out.begin() + offset);
+      offset += p.data().size();
+    }
+  } else {
+    int64_t col_offset = 0;
+    for (const auto& p : parts) {
+      const int64_t pc = p.shape()[1];
+      for (int64_t i = 0; i < rows; ++i) {
+        std::copy(p.data().begin() + i * pc, p.data().begin() + (i + 1) * pc,
+                  out.begin() + i * cols + col_offset);
+      }
+      col_offset += pc;
+    }
+  }
+  return MakeOpResult(
+      {rows, cols}, std::move(out), parents,
+      [parents, axis, rows, cols](TensorImpl& self) {
+        if (axis == 0) {
+          size_t offset = 0;
+          for (const auto& p : parents) {
+            if (p->needs_grad) {
+              p->EnsureGrad();
+              for (size_t i = 0; i < p->data.size(); ++i) {
+                p->grad[i] += self.grad[offset + i];
+              }
+            }
+            offset += p->data.size();
+          }
+        } else {
+          int64_t col_offset = 0;
+          for (const auto& p : parents) {
+            const int64_t pc = p->shape[1];
+            if (p->needs_grad) {
+              p->EnsureGrad();
+              for (int64_t i = 0; i < rows; ++i) {
+                for (int64_t j = 0; j < pc; ++j) {
+                  p->grad[static_cast<size_t>(i * pc + j)] +=
+                      self.grad[static_cast<size_t>(i * cols + col_offset + j)];
+                }
+              }
+            }
+            col_offset += pc;
+          }
+        }
+      });
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t end) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_CHECK(0 <= start && start <= end && end <= n);
+  const int64_t m = end - start;
+  std::vector<float> out(a.data().begin() + start * d,
+                         a.data().begin() + end * d);
+  auto ai = a.impl();
+  return MakeOpResult({m, d}, std::move(out), {ai},
+                      [ai, start, d, m](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < m * d; ++i) {
+                          ai->grad[static_cast<size_t>(start * d + i)] +=
+                              self.grad[static_cast<size_t>(i)];
+                        }
+                      });
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t end) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_CHECK(0 <= start && start <= end && end <= d);
+  const int64_t m = end - start;
+  std::vector<float> out(static_cast<size_t>(n * m));
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(ad.begin() + i * d + start, ad.begin() + i * d + end,
+              out.begin() + i * m);
+  }
+  auto ai = a.impl();
+  return MakeOpResult({n, m}, std::move(out), {ai},
+                      [ai, start, n, d, m](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (int64_t i = 0; i < n; ++i) {
+                          for (int64_t j = 0; j < m; ++j) {
+                            ai->grad[static_cast<size_t>(i * d + start + j)] +=
+                                self.grad[static_cast<size_t>(i * m + j)];
+                          }
+                        }
+                      });
+}
+
+Tensor Rows(const Tensor& a, const std::vector<int>& indices) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  std::vector<float> out(indices.size() * static_cast<size_t>(d));
+  const auto& ad = a.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    BIGCITY_CHECK(indices[i] >= 0 && indices[i] < n);
+    std::copy(ad.begin() + indices[i] * d, ad.begin() + (indices[i] + 1) * d,
+              out.begin() + static_cast<int64_t>(i) * d);
+  }
+  auto ai = a.impl();
+  return MakeOpResult(
+      {static_cast<int64_t>(indices.size()), d}, std::move(out), {ai},
+      [ai, indices, d](TensorImpl& self) {
+        if (!ai->needs_grad) return;
+        ai->EnsureGrad();
+        for (size_t i = 0; i < indices.size(); ++i) {
+          for (int64_t j = 0; j < d; ++j) {
+            ai->grad[static_cast<size_t>(indices[i] * d + j)] +=
+                self.grad[i * static_cast<size_t>(d) + static_cast<size_t>(j)];
+          }
+        }
+      });
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  int64_t n = 1;
+  for (int64_t s : shape) n *= s;
+  BIGCITY_CHECK_EQ(n, a.numel());
+  auto ai = a.impl();
+  return MakeOpResult(std::move(shape), a.data(), {ai},
+                      [ai](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t i = 0; i < self.grad.size(); ++i) {
+                          ai->grad[i] += self.grad[i];
+                        }
+                      });
+}
+
+// --- Lookup / graph ops --------------------------------------------------------------------
+
+Tensor Embedding(const Tensor& table, const std::vector<int>& indices) {
+  return Rows(table, indices);
+}
+
+Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment_ids,
+                      int num_segments) {
+  BIGCITY_CHECK_EQ(scores.numel(), static_cast<int64_t>(segment_ids.size()));
+  const auto& sd = scores.data();
+  const size_t e = sd.size();
+  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                             -1e30f);
+  for (size_t i = 0; i < e; ++i) {
+    BIGCITY_CHECK(segment_ids[i] >= 0 && segment_ids[i] < num_segments);
+    seg_max[segment_ids[i]] = std::max(seg_max[segment_ids[i]], sd[i]);
+  }
+  std::vector<float> out(e);
+  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+  for (size_t i = 0; i < e; ++i) {
+    out[i] = std::exp(sd[i] - seg_max[segment_ids[i]]);
+    seg_sum[segment_ids[i]] += out[i];
+  }
+  for (size_t i = 0; i < e; ++i) out[i] /= seg_sum[segment_ids[i]];
+  auto si = scores.impl();
+  auto y = out;
+  return MakeOpResult(
+      scores.shape(), std::move(out), {si},
+      [si, segment_ids, num_segments, y = std::move(y)](TensorImpl& self) {
+        if (!si->needs_grad) return;
+        si->EnsureGrad();
+        std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+        for (size_t i = 0; i < y.size(); ++i) {
+          seg_dot[segment_ids[i]] += y[i] * self.grad[i];
+        }
+        for (size_t i = 0; i < y.size(); ++i) {
+          si->grad[i] += y[i] * (self.grad[i] - seg_dot[segment_ids[i]]);
+        }
+      });
+}
+
+Tensor SegmentWeightedSum(const Tensor& weights, const Tensor& values,
+                          const std::vector<int>& segment_ids,
+                          int num_segments) {
+  BIGCITY_CHECK_EQ(values.shape().size(), 2u);
+  const int64_t e = values.shape()[0], d = values.shape()[1];
+  BIGCITY_CHECK_EQ(weights.numel(), e);
+  BIGCITY_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), e);
+  std::vector<float> out(static_cast<size_t>(num_segments) *
+                             static_cast<size_t>(d),
+                         0.0f);
+  const auto& wd = weights.data();
+  const auto& vd = values.data();
+  for (int64_t i = 0; i < e; ++i) {
+    float* out_row = out.data() + segment_ids[static_cast<size_t>(i)] * d;
+    const float* v_row = vd.data() + i * d;
+    const float w = wd[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < d; ++j) out_row[j] += w * v_row[j];
+  }
+  auto wi = weights.impl();
+  auto vi = values.impl();
+  return MakeOpResult(
+      {num_segments, d}, std::move(out), {wi, vi},
+      [wi, vi, segment_ids, e, d](TensorImpl& self) {
+        if (wi->needs_grad) wi->EnsureGrad();
+        if (vi->needs_grad) vi->EnsureGrad();
+        for (int64_t i = 0; i < e; ++i) {
+          const float* g_row =
+              self.grad.data() + segment_ids[static_cast<size_t>(i)] * d;
+          if (wi->needs_grad) {
+            const float* v_row = vi->data.data() + i * d;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < d; ++j) acc += g_row[j] * v_row[j];
+            wi->grad[static_cast<size_t>(i)] += acc;
+          }
+          if (vi->needs_grad) {
+            const float w = wi->data[static_cast<size_t>(i)];
+            float* v_grad = vi->grad.data() + i * d;
+            for (int64_t j = 0; j < d; ++j) v_grad[j] += w * g_row[j];
+          }
+        }
+      });
+}
+
+// --- Regularization ----------------------------------------------------------------------
+
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  BIGCITY_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(a.data().size());
+  for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  const auto& ad = a.data();
+  std::vector<float> out(ad.size());
+  for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] * mask[i];
+  auto ai = a.impl();
+  return MakeOpResult(a.shape(), std::move(out), {ai},
+                      [ai, mask = std::move(mask)](TensorImpl& self) {
+                        if (!ai->needs_grad) return;
+                        ai->EnsureGrad();
+                        for (size_t i = 0; i < self.grad.size(); ++i) {
+                          ai->grad[i] += self.grad[i] * mask[i];
+                        }
+                      });
+}
+
+// --- Losses ------------------------------------------------------------------------------
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
+  BIGCITY_CHECK_EQ(logits.shape().size(), 2u);
+  const int64_t n = logits.shape()[0], c = logits.shape()[1];
+  BIGCITY_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  const auto& ld = logits.data();
+  // Forward: mean of -log softmax at target indices; store probs for bwd.
+  std::vector<float> probs(ld.size());
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    BIGCITY_CHECK(targets[static_cast<size_t>(i)] >= 0 &&
+                  targets[static_cast<size_t>(i)] < c);
+    const float* row = ld.data() + i * c;
+    float* prow = probs.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      sum += prow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < c; ++j) prow[j] *= inv;
+    loss -= std::log(
+        std::max(prow[targets[static_cast<size_t>(i)]], 1e-12f));
+  }
+  loss /= static_cast<float>(n);
+  auto li = logits.impl();
+  return MakeOpResult(
+      {1}, {loss}, {li},
+      [li, targets, n, c, probs = std::move(probs)](TensorImpl& self) {
+        if (!li->needs_grad) return;
+        li->EnsureGrad();
+        const float g = self.grad[0] / static_cast<float>(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const float* prow = probs.data() + i * c;
+          float* grow = li->grad.data() + i * c;
+          for (int64_t j = 0; j < c; ++j) grow[j] += g * prow[j];
+          grow[targets[static_cast<size_t>(i)]] -= g;
+        }
+      });
+}
+
+Tensor Mse(const Tensor& pred, const Tensor& target) {
+  BIGCITY_CHECK_EQ(pred.numel(), target.numel());
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor L1(const Tensor& pred, const Tensor& target) {
+  BIGCITY_CHECK_EQ(pred.numel(), target.numel());
+  return Mean(Abs(Sub(pred, target)));
+}
+
+// --- Non-differentiable helpers ---------------------------------------------------------------
+
+std::vector<int> ArgmaxRows(const Tensor& a) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t n = a.shape()[0], d = a.shape()[1];
+  std::vector<int> result(static_cast<size_t>(n));
+  const auto& ad = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = ad.data() + i * d;
+    result[static_cast<size_t>(i)] = static_cast<int>(
+        std::max_element(row, row + d) - row);
+  }
+  return result;
+}
+
+std::vector<int> TopKRow(const Tensor& a, int64_t row, int k) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  const int64_t d = a.shape()[1];
+  BIGCITY_CHECK(row >= 0 && row < a.shape()[0]);
+  k = static_cast<int>(std::min<int64_t>(k, d));
+  const float* r = a.data().data() + row * d;
+  std::vector<int> order(static_cast<size_t>(d));
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [r](int x, int y) { return r[x] > r[y]; });
+  order.resize(static_cast<size_t>(k));
+  return order;
+}
+
+}  // namespace bigcity::nn

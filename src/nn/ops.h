@@ -1,0 +1,131 @@
+#ifndef BIGCITY_NN_OPS_H_
+#define BIGCITY_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace bigcity::nn {
+
+// Autograd-aware tensor operations. All functions build graph nodes when any
+// input needs gradients and are no-graph pure computations otherwise.
+//
+// Shape conventions: tensors are row-major; "2-D" means shape {rows, cols}.
+// Broadcasting is supported in Add/Sub/Mul/Div for (a) identical shapes,
+// (b) [N,D] op [D] (row-wise broadcast), and (c) anything op scalar-tensor.
+
+// --- Elementwise / arithmetic ----------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Neg(const Tensor& a);
+/// Multiplies by a compile-time constant (no second graph input).
+Tensor Scale(const Tensor& a, float factor);
+/// Adds a constant to every element.
+Tensor AddConst(const Tensor& a, float value);
+/// Elementwise natural log (inputs must be positive).
+Tensor Log(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+/// Elementwise square.
+Tensor Square(const Tensor& a);
+Tensor Abs(const Tensor& a);
+
+// --- Activations ------------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.2f);
+/// tanh-approximation GELU as used by GPT-2.
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+
+// --- Linear algebra ----------------------------------------------------------
+
+/// [N,K] x [K,M] -> [N,M].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+// --- Reductions ---------------------------------------------------------------
+
+/// Sum of all elements -> scalar tensor {1}.
+Tensor Sum(const Tensor& a);
+/// Mean of all elements -> scalar tensor {1}.
+Tensor Mean(const Tensor& a);
+/// Column-wise mean of a [N,D] tensor -> [1,D] (sequence pooling).
+Tensor MeanRows(const Tensor& a);
+/// Row-wise sum of a [N,D] tensor -> {N}.
+Tensor SumCols(const Tensor& a);
+
+// --- Softmax family ------------------------------------------------------------
+
+/// Row-wise softmax of a 2-D tensor.
+Tensor Softmax(const Tensor& a);
+/// Row-wise log-softmax of a 2-D tensor (numerically stable).
+Tensor LogSoftmax(const Tensor& a);
+
+// --- Normalization ---------------------------------------------------------------
+
+/// Layer normalization over the last dimension of a 2-D tensor, with learned
+/// gain/bias of shape {D}.
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+// --- Shape manipulation ------------------------------------------------------------
+
+/// Concatenates 2-D tensors along axis 0 (rows) or 1 (cols).
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+/// Rows [start, end) of a 2-D tensor.
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t end);
+/// Columns [start, end) of a 2-D tensor.
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t end);
+/// Gathers the given rows of a 2-D tensor -> [indices.size(), D].
+Tensor Rows(const Tensor& a, const std::vector<int>& indices);
+/// Reinterprets the data with a new shape of equal numel.
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+
+// --- Lookup / graph ops --------------------------------------------------------------
+
+/// Embedding lookup: table [V,D], indices (n) -> [n,D]. Gradients scatter-add
+/// into the table.
+Tensor Embedding(const Tensor& table, const std::vector<int>& indices);
+
+/// Per-segment softmax: scores {E} grouped by segment_ids (values in
+/// [0, num_segments)); softmax is computed within each segment.
+Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment_ids,
+                      int num_segments);
+
+/// Weighted segment sum: out[s] = sum over e with segment_ids[e]==s of
+/// weights[e] * values[e,:]. weights {E}, values [E,D] -> [num_segments, D].
+Tensor SegmentWeightedSum(const Tensor& weights, const Tensor& values,
+                          const std::vector<int>& segment_ids,
+                          int num_segments);
+
+// --- Regularization -----------------------------------------------------------------
+
+/// Inverted dropout; identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training);
+
+// --- Losses ------------------------------------------------------------------------
+
+/// Mean cross-entropy of logits [N,C] against integer targets (n) -> scalar.
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
+/// Mean squared error between same-shaped tensors -> scalar.
+Tensor Mse(const Tensor& pred, const Tensor& target);
+/// Mean absolute error -> scalar (smooth near zero is NOT applied).
+Tensor L1(const Tensor& pred, const Tensor& target);
+
+// --- Non-differentiable helpers -------------------------------------------------------
+
+/// Index of the max element in each row of a 2-D tensor.
+std::vector<int> ArgmaxRows(const Tensor& a);
+/// Indices of the k largest elements of row r (descending).
+std::vector<int> TopKRow(const Tensor& a, int64_t row, int k);
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_OPS_H_

@@ -1,0 +1,77 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace bigcity::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : parameters_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& p : parameters_) {
+    if (!p.requires_grad()) continue;
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : parameters_) {
+      if (!p.requires_grad()) continue;
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float lr, float momentum)
+    : Optimizer(std::move(parameters)), lr_(lr), momentum_(momentum) {}
+
+void Sgd::Step() {
+  for (auto& p : parameters_) {
+    if (!p.requires_grad()) continue;
+    auto& data = p.data();
+    auto& grad = p.grad();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[p.impl().get()];
+      if (vel.size() != data.size()) vel.assign(data.size(), 0.0f);
+      for (size_t i = 0; i < data.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + grad[i];
+        data[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (size_t i = 0; i < data.size(); ++i) data[i] -= lr_ * grad[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(parameters)), lr_(lr), beta1_(beta1),
+      beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (auto& p : parameters_) {
+    if (!p.requires_grad()) continue;
+    auto& data = p.data();
+    auto& grad = p.grad();
+    auto& m = m_[p.impl().get()];
+    auto& v = v_[p.impl().get()];
+    if (m.size() != data.size()) m.assign(data.size(), 0.0f);
+    if (v.size() != data.size()) v.assign(data.size(), 0.0f);
+    for (size_t i = 0; i < data.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      data[i] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
+                        weight_decay_ * data[i]);
+    }
+  }
+}
+
+}  // namespace bigcity::nn

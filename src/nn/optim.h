@@ -1,0 +1,69 @@
+#ifndef BIGCITY_NN_OPTIM_H_
+#define BIGCITY_NN_OPTIM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace bigcity::nn {
+
+/// Base optimizer over an explicit parameter list. Parameters with
+/// requires_grad == false are skipped (supports LoRA-style freezing without
+/// rebuilding the optimizer).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most max_norm;
+  /// returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::unordered_map<TensorImpl*, std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with optional decoupled weight decay (AdamW).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<TensorImpl*, std::vector<float>> m_;
+  std::unordered_map<TensorImpl*, std::vector<float>> v_;
+};
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_OPTIM_H_

@@ -1,0 +1,228 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+namespace {
+
+std::shared_ptr<TensorImpl> NewLeaf(std::vector<int64_t> shape,
+                                    std::vector<float> data,
+                                    bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  impl->needs_grad = requires_grad;
+  BIGCITY_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel())
+      << "data size " << impl->data.size() << " vs numel " << impl->numel()
+      << " (rank " << impl->shape.size() << ")";
+  return impl;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return Tensor(NewLeaf(std::move(shape), std::vector<float>(n, 0.0f),
+                        requires_grad));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value,
+                    bool requires_grad) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return Tensor(NewLeaf(std::move(shape), std::vector<float>(n, value),
+                        requires_grad));
+}
+
+Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data,
+                        bool requires_grad) {
+  return Tensor(NewLeaf(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, util::Rng* rng, float stddev,
+                     bool requires_grad) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  std::vector<float> data(n);
+  for (auto& v : data) v = static_cast<float>(rng->Normal(0.0, stddev));
+  return Tensor(NewLeaf(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::RandUniform(std::vector<int64_t> shape, util::Rng* rng,
+                           float bound, bool requires_grad) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  std::vector<float> data(n);
+  for (auto& v : data) v = static_cast<float>(rng->Uniform(-bound, bound));
+  return Tensor(NewLeaf(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::Xavier(int64_t fan_in, int64_t fan_out, util::Rng* rng,
+                      bool requires_grad) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandUniform({fan_in, fan_out}, rng, bound, requires_grad);
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  BIGCITY_CHECK(is_valid());
+  return impl_->shape;
+}
+
+int64_t Tensor::numel() const {
+  BIGCITY_CHECK(is_valid());
+  return impl_->numel();
+}
+
+int64_t Tensor::rows() const {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK_EQ(impl_->shape.size(), 2u);
+  return impl_->shape[0];
+}
+
+int64_t Tensor::cols() const {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK_EQ(impl_->shape.size(), 2u);
+  return impl_->shape[1];
+}
+
+std::vector<float>& Tensor::data() {
+  BIGCITY_CHECK(is_valid());
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  BIGCITY_CHECK(is_valid());
+  return impl_->data;
+}
+
+std::vector<float>& Tensor::grad() {
+  BIGCITY_CHECK(is_valid());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  BIGCITY_CHECK(is_valid());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK_EQ(impl_->shape.size(), 2u);
+  BIGCITY_CHECK(r >= 0 && r < impl_->shape[0]);
+  BIGCITY_CHECK(c >= 0 && c < impl_->shape[1]);
+  return impl_->data[static_cast<size_t>(r * impl_->shape[1] + c)];
+}
+
+float Tensor::at(int64_t i) const {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK(i >= 0 && i < impl_->numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+float Tensor::item() const {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK_EQ(impl_->numel(), 1);
+  return impl_->data[0];
+}
+
+bool Tensor::requires_grad() const {
+  BIGCITY_CHECK(is_valid());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK(impl_->parents.empty())
+      << "set_requires_grad is only meaningful on leaf tensors";
+  impl_->requires_grad = value;
+  impl_->needs_grad = value;
+}
+
+void Tensor::Backward() {
+  BIGCITY_CHECK(is_valid());
+  BIGCITY_CHECK_EQ(impl_->numel(), 1)
+      << "Backward() must start from a scalar loss";
+
+  // Iterative post-order DFS producing a topological order (parents before
+  // children in `topo`, so we execute in reverse).
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      TensorImpl* parent = frame.node->parents[frame.next_parent].get();
+      ++frame.next_parent;
+      if (parent->needs_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void Tensor::ZeroGrad() {
+  BIGCITY_CHECK(is_valid());
+  impl_->grad.assign(impl_->data.size(), 0.0f);
+}
+
+Tensor Tensor::Detached() const {
+  BIGCITY_CHECK(is_valid());
+  return FromData(impl_->shape, impl_->data, /*requires_grad=*/false);
+}
+
+Tensor MakeOpResult(std::vector<int64_t> shape, std::vector<float> data,
+                    std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  BIGCITY_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel());
+  bool needs = false;
+  for (const auto& p : parents) needs = needs || p->needs_grad;
+  impl->needs_grad = needs;
+  if (needs) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace bigcity::nn

@@ -1,0 +1,126 @@
+#ifndef BIGCITY_NN_TENSOR_H_
+#define BIGCITY_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bigcity::nn {
+
+/// Internal node of the autograd graph. Users interact with Tensor handles.
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Same size as data once materialized.
+
+  /// True for leaf parameters the optimizer should update.
+  bool requires_grad = false;
+  /// True if gradients must flow through this node (requires_grad for
+  /// leaves; "any parent needs grad" for op outputs).
+  bool needs_grad = false;
+
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Accumulates this node's grad into its parents' grads.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  /// Zero-fills and sizes the gradient buffer if not yet materialized.
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// Value-semantic handle to a node in the autograd graph. Copies share the
+/// underlying storage (like torch.Tensor). Tensors are dense row-major
+/// float32, typically 1-D (vectors) or 2-D (matrices [rows, cols]).
+class Tensor {
+ public:
+  /// Null handle; most APIs check for validity with is_valid().
+  Tensor() = default;
+
+  // --- Factories -----------------------------------------------------------
+
+  /// All-zero tensor of the given shape.
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  /// All-one tensor.
+  static Tensor Ones(std::vector<int64_t> shape, bool requires_grad = false);
+  /// Constant-filled tensor.
+  static Tensor Full(std::vector<int64_t> shape, float value,
+                     bool requires_grad = false);
+  /// Tensor initialized from an explicit buffer (size must match shape).
+  static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data,
+                         bool requires_grad = false);
+  /// Gaussian-initialized tensor (mean 0).
+  static Tensor Randn(std::vector<int64_t> shape, util::Rng* rng,
+                      float stddev = 1.0f, bool requires_grad = false);
+  /// Uniform[-bound, bound]-initialized tensor.
+  static Tensor RandUniform(std::vector<int64_t> shape, util::Rng* rng,
+                            float bound, bool requires_grad = false);
+  /// Xavier/Glorot-uniform initialization for a [fan_in, fan_out] matrix.
+  static Tensor Xavier(int64_t fan_in, int64_t fan_out, util::Rng* rng,
+                       bool requires_grad = true);
+  /// 1-element tensor holding a scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  // --- Introspection -------------------------------------------------------
+
+  bool is_valid() const { return impl_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int64_t numel() const;
+  /// 2-D conveniences; CHECK-fail on other ranks.
+  int64_t rows() const;
+  int64_t cols() const;
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+
+  /// Element accessors (2-D and flat).
+  float at(int64_t r, int64_t c) const;
+  float at(int64_t i) const;
+  /// Scalar value of a 1-element tensor.
+  float item() const;
+
+  bool requires_grad() const;
+  /// Marks/unmarks this tensor as a trainable leaf. Only meaningful on
+  /// leaves (no parents).
+  void set_requires_grad(bool value);
+
+  // --- Autograd ------------------------------------------------------------
+
+  /// Runs reverse-mode differentiation from this (scalar) tensor, seeding
+  /// d(self)/d(self) = 1 and accumulating into the .grad of every reachable
+  /// node that needs gradients.
+  void Backward();
+
+  /// Clears this tensor's gradient buffer.
+  void ZeroGrad();
+
+  /// Returns a leaf copy of the data (no graph history, no grad).
+  Tensor Detached() const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Creates an op-output node: shape/data as given, wired to parents with the
+/// given backward function. needs_grad is derived from the parents.
+Tensor MakeOpResult(std::vector<int64_t> shape, std::vector<float> data,
+                    std::vector<std::shared_ptr<TensorImpl>> parents,
+                    std::function<void(TensorImpl&)> backward_fn);
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_TENSOR_H_

@@ -1,0 +1,83 @@
+#include "nn/transformer.h"
+
+#include "nn/ops.h"
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
+                                   util::Rng* rng, bool causal) {
+  ln1_ = std::make_unique<LayerNormLayer>(dim);
+  attn_ = std::make_unique<MultiHeadSelfAttention>(dim, num_heads, rng,
+                                                   causal);
+  ln2_ = std::make_unique<LayerNormLayer>(dim);
+  ffn_up_ = std::make_unique<LoraLinear>(dim, 4 * dim, rng);
+  ffn_down_ = std::make_unique<LoraLinear>(4 * dim, dim, rng);
+  RegisterModule("ln1", ln1_.get());
+  RegisterModule("attn", attn_.get());
+  RegisterModule("ln2", ln2_.get());
+  RegisterModule("ffn_up", ffn_up_.get());
+  RegisterModule("ffn_down", ffn_down_.get());
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x) const {
+  Tensor h = Add(x, attn_->Forward(ln1_->Forward(x)));
+  Tensor ffn = ffn_down_->Forward(Gelu(ffn_up_->Forward(ln2_->Forward(h))));
+  return Add(h, ffn);
+}
+
+void TransformerBlock::EnableLora(int64_t rank, float alpha, util::Rng* rng) {
+  attn_->wq()->EnableLora(rank, alpha, rng);
+  attn_->wk()->EnableLora(rank, alpha, rng);
+  attn_->wv()->EnableLora(rank, alpha, rng);
+  ffn_up_->EnableLora(rank, alpha, rng);
+  ffn_down_->EnableLora(rank, alpha, rng);
+}
+
+void TransformerBlock::FreezeBase() {
+  attn_->wq()->FreezeBase();
+  attn_->wk()->FreezeBase();
+  attn_->wv()->FreezeBase();
+  attn_->wo()->FreezeBase();
+  ffn_up_->FreezeBase();
+  ffn_down_->FreezeBase();
+  for (auto& p : ln1_->Parameters()) p.set_requires_grad(false);
+  for (auto& p : ln2_->Parameters()) p.set_requires_grad(false);
+}
+
+bool TransformerBlock::lora_enabled() const {
+  return attn_->wq()->lora_enabled();
+}
+
+Transformer::Transformer(int64_t dim, int64_t num_heads, int64_t num_layers,
+                         util::Rng* rng, bool causal) {
+  BIGCITY_CHECK_GT(num_layers, 0);
+  for (int64_t i = 0; i < num_layers; ++i) {
+    blocks_.push_back(
+        std::make_unique<TransformerBlock>(dim, num_heads, rng, causal));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+  final_ln_ = std::make_unique<LayerNormLayer>(dim);
+  RegisterModule("final_ln", final_ln_.get());
+}
+
+Tensor Transformer::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& block : blocks_) h = block->Forward(h);
+  return final_ln_->Forward(h);
+}
+
+void Transformer::EnableLora(int64_t rank, float alpha, int64_t num_blocks,
+                             util::Rng* rng) {
+  BIGCITY_CHECK_LE(num_blocks, num_layers());
+  for (int64_t i = 0; i < num_blocks; ++i) {
+    blocks_[static_cast<size_t>(i)]->EnableLora(rank, alpha, rng);
+  }
+}
+
+void Transformer::FreezeBase() {
+  for (auto& block : blocks_) block->FreezeBase();
+  for (auto& p : final_ln_->Parameters()) p.set_requires_grad(false);
+}
+
+}  // namespace bigcity::nn

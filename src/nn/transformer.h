@@ -1,0 +1,66 @@
+#ifndef BIGCITY_NN_TRANSFORMER_H_
+#define BIGCITY_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/lora.h"
+#include "nn/module.h"
+
+namespace bigcity::nn {
+
+/// Pre-LayerNorm transformer block (GPT-2 style):
+///   x = x + Attn(LN(x));  x = x + FFN(LN(x)),  FFN = GELU MLP (4x dim).
+/// Attention projections and FFN matrices are LoraLinear so adapters can be
+/// attached per the paper's LoRA placement.
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t dim, int64_t num_heads, util::Rng* rng,
+                   bool causal);
+
+  Tensor Forward(const Tensor& x) const;
+
+  /// Attaches LoRA adapters (rank, alpha) to Wq/Wk/Wv and both FFN layers.
+  void EnableLora(int64_t rank, float alpha, util::Rng* rng);
+  /// Freezes all base (non-LoRA) weights in the block.
+  void FreezeBase();
+  bool lora_enabled() const;
+
+ private:
+  std::unique_ptr<LayerNormLayer> ln1_;
+  std::unique_ptr<MultiHeadSelfAttention> attn_;
+  std::unique_ptr<LayerNormLayer> ln2_;
+  std::unique_ptr<LoraLinear> ffn_up_;
+  std::unique_ptr<LoraLinear> ffn_down_;
+};
+
+/// Stack of transformer blocks with a final layer norm. This is the shared
+/// sequence encoder for the BIGCity backbone (causal) and several baselines
+/// (bidirectional).
+class Transformer : public Module {
+ public:
+  Transformer(int64_t dim, int64_t num_heads, int64_t num_layers,
+              util::Rng* rng, bool causal);
+
+  /// x [L, dim] -> [L, dim].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
+  TransformerBlock* block(int64_t i) { return blocks_[i].get(); }
+
+  /// Attaches LoRA to the first `num_blocks` blocks (the paper's rate n
+  /// sweep attaches adapters to a fraction of blocks).
+  void EnableLora(int64_t rank, float alpha, int64_t num_blocks,
+                  util::Rng* rng);
+  void FreezeBase();
+
+ private:
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  std::unique_ptr<LayerNormLayer> final_ln_;
+};
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_TRANSFORMER_H_

@@ -1,0 +1,107 @@
+#include "roadnet/poi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace bigcity::roadnet {
+
+namespace {
+
+/// Nearest segment by midpoint distance (cities here are small enough for
+/// a linear scan; a real deployment would use a spatial index).
+int NearestSegment(const RoadNetwork& network, float x, float y) {
+  int best = 0;
+  float best_distance = std::numeric_limits<float>::infinity();
+  for (const auto& segment : network.segments()) {
+    const float dx = segment.mid_x - x;
+    const float dy = segment.mid_y - y;
+    const float distance = dx * dx + dy * dy;
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = segment.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PoiLayer::PoiLayer(const RoadNetwork* network, int count, uint64_t seed)
+    : network_(network) {
+  BIGCITY_CHECK(network != nullptr);
+  BIGCITY_CHECK_GT(network->num_segments(), 0);
+  util::Rng rng(seed);
+  float max_x = 1.0f, max_y = 1.0f;
+  for (const auto& segment : network->segments()) {
+    max_x = std::max(max_x, segment.mid_x);
+    max_y = std::max(max_y, segment.mid_y);
+  }
+  const float cx = max_x / 2.0f, cy = max_y / 2.0f;
+
+  pois_.reserve(static_cast<size_t>(count));
+  by_segment_.assign(static_cast<size_t>(network->num_segments()), {});
+  for (int i = 0; i < count; ++i) {
+    Poi poi;
+    poi.id = i;
+    const double r = rng.Uniform();
+    if (r < 0.35) {  // Residential: uniform over the city.
+      poi.category = PoiCategory::kResidential;
+      poi.x = static_cast<float>(rng.Uniform(0.0, max_x));
+      poi.y = static_cast<float>(rng.Uniform(0.0, max_y));
+    } else if (r < 0.55) {  // Offices: clustered near the center.
+      poi.category = PoiCategory::kOffice;
+      poi.x = static_cast<float>(cx + rng.Normal(0.0, max_x / 8.0));
+      poi.y = static_cast<float>(cy + rng.Normal(0.0, max_y / 8.0));
+    } else if (r < 0.75) {  // Shopping: near a random arterial segment.
+      poi.category = PoiCategory::kShopping;
+      std::vector<int> arterials;
+      for (const auto& segment : network->segments()) {
+        if (segment.type == RoadType::kArterial) arterials.push_back(segment.id);
+      }
+      const auto& anchor = network->segment(
+          arterials.empty()
+              ? rng.UniformInt(0, network->num_segments() - 1)
+              : arterials[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int>(arterials.size()) - 1))]);
+      poi.x = anchor.mid_x + static_cast<float>(rng.Normal(0.0, 80.0));
+      poi.y = anchor.mid_y + static_cast<float>(rng.Normal(0.0, 80.0));
+    } else if (r < 0.9) {  // Schools: uniform.
+      poi.category = PoiCategory::kSchool;
+      poi.x = static_cast<float>(rng.Uniform(0.0, max_x));
+      poi.y = static_cast<float>(rng.Uniform(0.0, max_y));
+    } else {  // Parks: uniform.
+      poi.category = PoiCategory::kPark;
+      poi.x = static_cast<float>(rng.Uniform(0.0, max_x));
+      poi.y = static_cast<float>(rng.Uniform(0.0, max_y));
+    }
+    poi.x = std::clamp(poi.x, 0.0f, max_x);
+    poi.y = std::clamp(poi.y, 0.0f, max_y);
+    poi.nearest_segment = NearestSegment(*network, poi.x, poi.y);
+    by_segment_[static_cast<size_t>(poi.nearest_segment)].push_back(poi.id);
+    pois_.push_back(poi);
+  }
+}
+
+const std::vector<int>& PoiLayer::PoisOfSegment(int segment) const {
+  BIGCITY_CHECK(segment >= 0 && segment < network_->num_segments());
+  return by_segment_[static_cast<size_t>(segment)];
+}
+
+nn::Tensor PoiLayer::SegmentPoiFeatures() const {
+  const int num_segments = network_->num_segments();
+  std::vector<float> data(
+      static_cast<size_t>(num_segments) * kNumPoiCategories, 0.0f);
+  for (const auto& poi : pois_) {
+    data[static_cast<size_t>(poi.nearest_segment) * kNumPoiCategories +
+         static_cast<int>(poi.category)] += 1.0f;
+  }
+  // Normalize by a soft cap so dense segments stay in a sane range.
+  for (auto& value : data) value = std::min(value / 4.0f, 2.0f);
+  return nn::Tensor::FromData({num_segments, kNumPoiCategories},
+                              std::move(data));
+}
+
+}  // namespace bigcity::roadnet

@@ -1,0 +1,62 @@
+#ifndef BIGCITY_ROADNET_POI_H_
+#define BIGCITY_ROADNET_POI_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace bigcity::roadnet {
+
+/// Categories of points of interest. The paper's conclusion names POIs as
+/// the primary future-work spatial element beyond road segments; this
+/// module implements that extension: POIs attach to their nearest segment
+/// and enrich the static features consumed by the ST tokenizer.
+enum class PoiCategory {
+  kResidential = 0,
+  kOffice,
+  kShopping,
+  kSchool,
+  kPark,
+};
+inline constexpr int kNumPoiCategories = 5;
+
+/// One point of interest placed in the city plane.
+struct Poi {
+  int id = 0;
+  PoiCategory category = PoiCategory::kResidential;
+  float x = 0.0f;
+  float y = 0.0f;
+  int nearest_segment = 0;
+};
+
+/// A synthetic POI layer over a road network. Placement follows simple
+/// urban priors: residential spreads everywhere, offices cluster near the
+/// center, shopping along arterials.
+class PoiLayer {
+ public:
+  /// Generates `count` POIs over the network (deterministic per seed).
+  PoiLayer(const RoadNetwork* network, int count, uint64_t seed);
+
+  const std::vector<Poi>& pois() const { return pois_; }
+
+  /// POIs attached to a segment.
+  const std::vector<int>& PoisOfSegment(int segment) const;
+
+  /// Per-segment POI category counts, normalized: [I, kNumPoiCategories].
+  /// Appending these columns to RoadNetwork::StaticFeatureMatrix() gives
+  /// the POI-augmented static features.
+  nn::Tensor SegmentPoiFeatures() const;
+
+  int num_pois() const { return static_cast<int>(pois_.size()); }
+
+ private:
+  const RoadNetwork* network_;
+  std::vector<Poi> pois_;
+  std::vector<std::vector<int>> by_segment_;
+};
+
+}  // namespace bigcity::roadnet
+
+#endif  // BIGCITY_ROADNET_POI_H_

@@ -1,0 +1,104 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace bigcity::roadnet {
+
+RoadNetwork::RoadNetwork(std::vector<RoadSegment> segments)
+    : segments_(std::move(segments)) {
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    BIGCITY_CHECK_EQ(segments_[i].id, static_cast<int>(i))
+        << "segment ids must be dense 0..I-1";
+  }
+  BuildAdjacency();
+}
+
+void RoadNetwork::BuildAdjacency() {
+  successors_.assign(segments_.size(), {});
+  predecessors_.assign(segments_.size(), {});
+  // Group segments by their start intersection for fast lookups.
+  std::map<int, std::vector<int>> by_start;
+  for (const auto& s : segments_) {
+    by_start[s.from_intersection].push_back(s.id);
+  }
+  for (auto& s : segments_) {
+    auto it = by_start.find(s.to_intersection);
+    if (it == by_start.end()) continue;
+    for (int next : it->second) {
+      // Exclude immediate U-turns onto the reverse twin of the same road.
+      const auto& n = segments_[static_cast<size_t>(next)];
+      if (n.to_intersection == s.from_intersection &&
+          n.from_intersection == s.to_intersection) {
+        continue;
+      }
+      successors_[static_cast<size_t>(s.id)].push_back(next);
+      predecessors_[static_cast<size_t>(next)].push_back(s.id);
+    }
+  }
+  for (auto& s : segments_) {
+    s.out_degree = static_cast<int>(successors_[static_cast<size_t>(s.id)].size());
+    s.in_degree = static_cast<int>(predecessors_[static_cast<size_t>(s.id)].size());
+  }
+}
+
+const RoadSegment& RoadNetwork::segment(int id) const {
+  BIGCITY_CHECK(id >= 0 && id < num_segments());
+  return segments_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>& RoadNetwork::successors(int id) const {
+  BIGCITY_CHECK(id >= 0 && id < num_segments());
+  return successors_[static_cast<size_t>(id)];
+}
+
+const std::vector<int>& RoadNetwork::predecessors(int id) const {
+  BIGCITY_CHECK(id >= 0 && id < num_segments());
+  return predecessors_[static_cast<size_t>(id)];
+}
+
+nn::Tensor RoadNetwork::StaticFeatureMatrix() const {
+  const int n = num_segments();
+  const int d = StaticFeatureDim();
+  // Normalization scales chosen so typical values land in [0, ~2].
+  float max_x = 1.0f, max_y = 1.0f;
+  for (const auto& s : segments_) {
+    max_x = std::max(max_x, s.mid_x);
+    max_y = std::max(max_y, s.mid_y);
+  }
+  std::vector<float> data(static_cast<size_t>(n) * d, 0.0f);
+  for (const auto& s : segments_) {
+    float* row = data.data() + static_cast<size_t>(s.id) * d;
+    row[0] = s.length_m / 500.0f;
+    row[1] = static_cast<float>(s.lanes) / 3.0f;
+    row[2] = s.speed_limit_mps / 20.0f;
+    row[3] = static_cast<float>(s.in_degree) / 4.0f;
+    row[4] = static_cast<float>(s.out_degree) / 4.0f;
+    row[5] = s.mid_x / max_x;
+    row[6] = s.mid_y / max_y;
+    row[7 + static_cast<int>(s.type)] = 1.0f;
+  }
+  return nn::Tensor::FromData({n, d}, std::move(data));
+}
+
+nn::GraphEdges RoadNetwork::ToGraphEdges() const {
+  nn::GraphEdges g;
+  g.num_nodes = num_segments();
+  for (const auto& s : segments_) {
+    for (int next : successors_[static_cast<size_t>(s.id)]) {
+      g.src.push_back(s.id);
+      g.dst.push_back(next);
+    }
+  }
+  g.AddSelfLoops();
+  return g;
+}
+
+float RoadNetwork::FreeFlowSeconds(int id) const {
+  const RoadSegment& s = segment(id);
+  return s.length_m / s.speed_limit_mps;
+}
+
+}  // namespace bigcity::roadnet

@@ -1,0 +1,71 @@
+#ifndef BIGCITY_ROADNET_ROAD_NETWORK_H_
+#define BIGCITY_ROADNET_ROAD_NETWORK_H_
+
+#include <vector>
+
+#include "nn/gat.h"
+#include "nn/tensor.h"
+
+namespace bigcity::roadnet {
+
+/// Functional class of a road segment; encoded one-hot in static features.
+enum class RoadType { kLocal = 0, kArterial = 1, kHighway = 2 };
+inline constexpr int kNumRoadTypes = 3;
+
+/// A directed road segment (Def. 1). Segments are the vertices of the
+/// segment graph; two segments are connected when one ends where the other
+/// begins (Def. 2).
+struct RoadSegment {
+  int id = 0;
+  int from_intersection = 0;
+  int to_intersection = 0;
+  float length_m = 0.0f;
+  int lanes = 1;
+  RoadType type = RoadType::kLocal;
+  float speed_limit_mps = 13.9f;  // ~50 km/h.
+  int in_degree = 0;   // Number of predecessor segments.
+  int out_degree = 0;  // Number of successor segments.
+  // Midpoint coordinates (meters); used by geometric similarity baselines.
+  float mid_x = 0.0f;
+  float mid_y = 0.0f;
+};
+
+/// Directed road network over segments (Def. 2): vertices are segments,
+/// edges connect consecutive segments, and every segment carries a static
+/// feature vector e^(s).
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+  explicit RoadNetwork(std::vector<RoadSegment> segments);
+
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  const RoadSegment& segment(int id) const;
+  const std::vector<RoadSegment>& segments() const { return segments_; }
+
+  /// Successor segment ids of `id` (segments drivable immediately after).
+  const std::vector<int>& successors(int id) const;
+  const std::vector<int>& predecessors(int id) const;
+
+  /// Static feature matrix E^(s) [I, StaticFeatureDim()], normalized to
+  /// roughly unit scale. Layout per row: length, lanes, speed limit,
+  /// in-degree, out-degree, x, y, one-hot road type.
+  nn::Tensor StaticFeatureMatrix() const;
+  static int StaticFeatureDim() { return 7 + kNumRoadTypes; }
+
+  /// The segment graph as a GAT edge list (with self loops).
+  nn::GraphEdges ToGraphEdges() const;
+
+  /// Expected traversal seconds at free flow.
+  float FreeFlowSeconds(int id) const;
+
+ private:
+  void BuildAdjacency();
+
+  std::vector<RoadSegment> segments_;
+  std::vector<std::vector<int>> successors_;
+  std::vector<std::vector<int>> predecessors_;
+};
+
+}  // namespace bigcity::roadnet
+
+#endif  // BIGCITY_ROADNET_ROAD_NETWORK_H_

@@ -1,0 +1,95 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace bigcity::roadnet {
+
+namespace {
+
+std::vector<int> DijkstraPath(const RoadNetwork& network, int source,
+                              int target, const std::vector<float>& weights) {
+  const int n = network.num_segments();
+  BIGCITY_CHECK(source >= 0 && source < n);
+  BIGCITY_CHECK(target >= 0 && target < n);
+  std::vector<float> dist(static_cast<size_t>(n),
+                          std::numeric_limits<float>::infinity());
+  std::vector<int> prev(static_cast<size_t>(n), -1);
+  using Entry = std::pair<float, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<size_t>(source)] = 0.0f;
+  heap.push({0.0f, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    if (u == target) break;
+    for (int v : network.successors(u)) {
+      const float nd = d + weights[static_cast<size_t>(v)];
+      if (nd < dist[static_cast<size_t>(v)]) {
+        dist[static_cast<size_t>(v)] = nd;
+        prev[static_cast<size_t>(v)] = u;
+        heap.push({nd, v});
+      }
+    }
+  }
+  if (source != target &&
+      !std::isfinite(dist[static_cast<size_t>(target)])) {
+    return {};
+  }
+  std::vector<int> path;
+  for (int cur = target; cur != -1; cur = prev[static_cast<size_t>(cur)]) {
+    path.push_back(cur);
+    if (cur == source) break;
+  }
+  if (path.back() != source) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<int> ShortestPath(const RoadNetwork& network, int source,
+                              int target) {
+  std::vector<float> weights(static_cast<size_t>(network.num_segments()));
+  for (int i = 0; i < network.num_segments(); ++i) {
+    weights[static_cast<size_t>(i)] = network.FreeFlowSeconds(i);
+  }
+  return DijkstraPath(network, source, target, weights);
+}
+
+std::vector<int> NoisyShortestPath(const RoadNetwork& network, int source,
+                                   int target, double noise, util::Rng* rng) {
+  std::vector<float> weights(static_cast<size_t>(network.num_segments()));
+  for (int i = 0; i < network.num_segments(); ++i) {
+    weights[static_cast<size_t>(i)] =
+        network.FreeFlowSeconds(i) *
+        static_cast<float>(rng->Uniform(1.0, 1.0 + noise));
+  }
+  return DijkstraPath(network, source, target, weights);
+}
+
+std::vector<int> HopDistances(const RoadNetwork& network, int source) {
+  const int n = network.num_segments();
+  std::vector<int> dist(static_cast<size_t>(n), -1);
+  std::queue<int> queue;
+  dist[static_cast<size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop();
+    for (int v : network.successors(u)) {
+      if (dist[static_cast<size_t>(v)] == -1) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace bigcity::roadnet

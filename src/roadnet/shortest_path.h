@@ -1,0 +1,30 @@
+#ifndef BIGCITY_ROADNET_SHORTEST_PATH_H_
+#define BIGCITY_ROADNET_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace bigcity::roadnet {
+
+/// Dijkstra over the segment graph with free-flow travel time weights.
+/// Returns the segment sequence from `source` to `target` inclusive, or an
+/// empty vector when unreachable.
+std::vector<int> ShortestPath(const RoadNetwork& network, int source,
+                              int target);
+
+/// Shortest path under per-segment multiplicative weight noise in
+/// [1, 1 + noise]. Different noise draws yield plausibly different routes —
+/// this models driver-specific route preferences for the trajectory
+/// generator (distinct users take distinct habitual routes).
+std::vector<int> NoisyShortestPath(const RoadNetwork& network, int source,
+                                   int target, double noise, util::Rng* rng);
+
+/// All-pairs-free BFS hop distance from `source` (used in tests and for
+/// reachability checks). Unreachable -> -1.
+std::vector<int> HopDistances(const RoadNetwork& network, int source);
+
+}  // namespace bigcity::roadnet
+
+#endif  // BIGCITY_ROADNET_SHORTEST_PATH_H_

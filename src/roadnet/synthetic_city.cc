@@ -1,0 +1,102 @@
+#include "roadnet/synthetic_city.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bigcity::roadnet {
+
+namespace {
+
+struct Street {
+  int a;  // Intersection index.
+  int b;
+  RoadType type;
+};
+
+}  // namespace
+
+RoadNetwork GenerateSyntheticCity(const SyntheticCityConfig& config) {
+  BIGCITY_CHECK_GE(config.grid_width, 2);
+  BIGCITY_CHECK_GE(config.grid_height, 2);
+  util::Rng rng(config.seed);
+  const int w = config.grid_width;
+  const int h = config.grid_height;
+  auto node = [w](int x, int y) { return y * w + x; };
+
+  std::vector<Street> streets;
+  auto classify = [&](int x0, int y0, int x1, int y1) -> RoadType {
+    const bool horizontal = y0 == y1;
+    // Border ring = highway; every k-th interior line = arterial.
+    if (horizontal && (y0 == 0 || y0 == h - 1)) return RoadType::kHighway;
+    if (!horizontal && (x0 == 0 || x0 == w - 1)) return RoadType::kHighway;
+    if (horizontal && y0 % config.arterial_every == 0) {
+      return RoadType::kArterial;
+    }
+    if (!horizontal && x0 % config.arterial_every == 0) {
+      return RoadType::kArterial;
+    }
+    (void)x1;
+    (void)y1;
+    return RoadType::kLocal;
+  };
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        RoadType type = classify(x, y, x + 1, y);
+        if (type != RoadType::kLocal || !rng.Bernoulli(config.drop_street_prob)) {
+          streets.push_back({node(x, y), node(x + 1, y), type});
+        }
+      }
+      if (y + 1 < h) {
+        RoadType type = classify(x, y, x, y + 1);
+        if (type != RoadType::kLocal || !rng.Bernoulli(config.drop_street_prob)) {
+          streets.push_back({node(x, y), node(x, y + 1), type});
+        }
+      }
+    }
+  }
+
+  auto coord_x = [&](int n) { return static_cast<float>(n % w) * config.block_m; };
+  auto coord_y = [&](int n) { return static_cast<float>(n / w) * config.block_m; };
+
+  std::vector<RoadSegment> segments;
+  segments.reserve(streets.size() * 2);
+  auto add_segment = [&](int from, int to, RoadType type) {
+    RoadSegment s;
+    s.id = static_cast<int>(segments.size());
+    s.from_intersection = from;
+    s.to_intersection = to;
+    const float dx = coord_x(to) - coord_x(from);
+    const float dy = coord_y(to) - coord_y(from);
+    s.length_m = std::sqrt(dx * dx + dy * dy) *
+                 static_cast<float>(rng.Uniform(0.95, 1.1));
+    s.type = type;
+    switch (type) {
+      case RoadType::kLocal:
+        s.lanes = 1;
+        s.speed_limit_mps = 8.3f;  // 30 km/h.
+        break;
+      case RoadType::kArterial:
+        s.lanes = 2;
+        s.speed_limit_mps = 13.9f;  // 50 km/h.
+        break;
+      case RoadType::kHighway:
+        s.lanes = 3;
+        s.speed_limit_mps = 22.2f;  // 80 km/h.
+        break;
+    }
+    s.mid_x = (coord_x(from) + coord_x(to)) * 0.5f;
+    s.mid_y = (coord_y(from) + coord_y(to)) * 0.5f;
+    segments.push_back(s);
+  };
+  for (const auto& street : streets) {
+    add_segment(street.a, street.b, street.type);
+    add_segment(street.b, street.a, street.type);
+  }
+  return RoadNetwork(std::move(segments));
+}
+
+}  // namespace bigcity::roadnet

@@ -1,0 +1,29 @@
+#ifndef BIGCITY_ROADNET_SYNTHETIC_CITY_H_
+#define BIGCITY_ROADNET_SYNTHETIC_CITY_H_
+
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace bigcity::roadnet {
+
+/// Configuration for the procedural city generator — the substitute for the
+/// paper's OSM-extracted road networks. A grid of intersections is connected
+/// by bidirectional streets (two directed segments each); a fraction of
+/// blocks is removed for irregularity, arterials cross at fixed intervals,
+/// and a ring highway surrounds the grid.
+struct SyntheticCityConfig {
+  int grid_width = 8;       // Intersections along x.
+  int grid_height = 8;      // Intersections along y.
+  float block_m = 250.0f;   // Block edge length in meters.
+  double drop_street_prob = 0.12;  // Fraction of streets removed.
+  int arterial_every = 3;   // Every k-th row/column is an arterial.
+  uint64_t seed = 17;
+};
+
+/// Generates a road network per the config. Segment count is roughly
+/// 2 * (2 * W * H) minus dropped streets.
+RoadNetwork GenerateSyntheticCity(const SyntheticCityConfig& config);
+
+}  // namespace bigcity::roadnet
+
+#endif  // BIGCITY_ROADNET_SYNTHETIC_CITY_H_

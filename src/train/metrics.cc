@@ -1,0 +1,244 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bigcity::train {
+
+namespace {
+void CheckSameSize(size_t a, size_t b) {
+  BIGCITY_CHECK_EQ(a, b);
+  BIGCITY_CHECK_GT(a, 0u);
+}
+
+/// 1-based rank of target in a ranking, or 0 if absent.
+int RankOf(const std::vector<int>& ranked, int target, int k) {
+  const int limit = std::min<int>(k, static_cast<int>(ranked.size()));
+  for (int r = 0; r < limit; ++r) {
+    if (ranked[static_cast<size_t>(r)] == target) return r + 1;
+  }
+  return 0;
+}
+}  // namespace
+
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets) {
+  CheckSameSize(predictions.size(), targets.size());
+  double total = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    total += std::fabs(predictions[i] - targets[i]);
+  }
+  return total / static_cast<double>(predictions.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& predictions,
+                            const std::vector<double>& targets) {
+  CheckSameSize(predictions.size(), targets.size());
+  double total = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(predictions.size()));
+}
+
+double MeanAbsolutePercentageError(const std::vector<double>& predictions,
+                                   const std::vector<double>& targets,
+                                   double epsilon) {
+  CheckSameSize(predictions.size(), targets.size());
+  double total = 0;
+  int counted = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (std::fabs(targets[i]) < epsilon) continue;
+    total += std::fabs((predictions[i] - targets[i]) / targets[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : 100.0 * total / counted;
+}
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& targets) {
+  CheckSameSize(predictions.size(), targets.size());
+  int correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    correct += predictions[i] == targets[i] ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(targets.size());
+}
+
+double MrrAtK(const std::vector<std::vector<int>>& ranked,
+              const std::vector<int>& targets, int k) {
+  CheckSameSize(ranked.size(), targets.size());
+  double total = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const int rank = RankOf(ranked[i], targets[i], k);
+    if (rank > 0) total += 1.0 / rank;
+  }
+  return total / static_cast<double>(targets.size());
+}
+
+double NdcgAtK(const std::vector<std::vector<int>>& ranked,
+               const std::vector<int>& targets, int k) {
+  CheckSameSize(ranked.size(), targets.size());
+  double total = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const int rank = RankOf(ranked[i], targets[i], k);
+    if (rank > 0) total += 1.0 / std::log2(rank + 1.0);
+  }
+  return total / static_cast<double>(targets.size());
+}
+
+double HitRateAtK(const std::vector<std::vector<int>>& ranked,
+                  const std::vector<int>& targets, int k) {
+  CheckSameSize(ranked.size(), targets.size());
+  int hits = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    hits += RankOf(ranked[i], targets[i], k) > 0 ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(targets.size());
+}
+
+double MeanRank(const std::vector<std::vector<int>>& ranked,
+                const std::vector<int>& targets) {
+  CheckSameSize(ranked.size(), targets.size());
+  double total = 0;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const int rank = RankOf(ranked[i], targets[i],
+                            static_cast<int>(ranked[i].size()));
+    total += rank > 0 ? rank : static_cast<int>(ranked[i].size()) + 1;
+  }
+  return total / static_cast<double>(targets.size());
+}
+
+double BinaryF1(const std::vector<int>& predictions,
+                const std::vector<int>& targets) {
+  CheckSameSize(predictions.size(), targets.size());
+  int tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == 1 && targets[i] == 1) ++tp;
+    if (predictions[i] == 1 && targets[i] == 0) ++fp;
+    if (predictions[i] == 0 && targets[i] == 1) ++fn;
+  }
+  if (tp == 0) return 0.0;
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double BinaryAuc(const std::vector<double>& scores,
+                 const std::vector<int>& targets) {
+  CheckSameSize(scores.size(), targets.size());
+  // Mann-Whitney U statistic with midrank tie handling.
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0;
+  int num_pos = 0, num_neg = 0;
+  for (size_t s = 0; s < scores.size(); ++s) {
+    if (targets[s] == 1) {
+      rank_sum_pos += rank[s];
+      ++num_pos;
+    } else {
+      ++num_neg;
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = rank_sum_pos - num_pos * (num_pos + 1.0) / 2.0;
+  return u / (static_cast<double>(num_pos) * num_neg);
+}
+
+namespace {
+struct ClassCounts {
+  std::vector<int> tp, fp, fn;
+};
+
+ClassCounts CountPerClass(const std::vector<int>& predictions,
+                          const std::vector<int>& targets, int num_classes) {
+  ClassCounts counts;
+  counts.tp.assign(static_cast<size_t>(num_classes), 0);
+  counts.fp.assign(static_cast<size_t>(num_classes), 0);
+  counts.fn.assign(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    BIGCITY_CHECK(targets[i] >= 0 && targets[i] < num_classes);
+    if (predictions[i] == targets[i]) {
+      ++counts.tp[static_cast<size_t>(targets[i])];
+    } else {
+      if (predictions[i] >= 0 && predictions[i] < num_classes) {
+        ++counts.fp[static_cast<size_t>(predictions[i])];
+      }
+      ++counts.fn[static_cast<size_t>(targets[i])];
+    }
+  }
+  return counts;
+}
+}  // namespace
+
+double MicroF1(const std::vector<int>& predictions,
+               const std::vector<int>& targets, int num_classes) {
+  CheckSameSize(predictions.size(), targets.size());
+  ClassCounts counts = CountPerClass(predictions, targets, num_classes);
+  long tp = 0, fp = 0, fn = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    tp += counts.tp[static_cast<size_t>(c)];
+    fp += counts.fp[static_cast<size_t>(c)];
+    fn += counts.fn[static_cast<size_t>(c)];
+  }
+  if (tp == 0) return 0.0;
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& targets, int num_classes) {
+  CheckSameSize(predictions.size(), targets.size());
+  ClassCounts counts = CountPerClass(predictions, targets, num_classes);
+  double total = 0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const int tp = counts.tp[static_cast<size_t>(c)];
+    const int fp = counts.fp[static_cast<size_t>(c)];
+    const int fn = counts.fn[static_cast<size_t>(c)];
+    if (tp + fn == 0) continue;  // Class absent from targets.
+    ++present;
+    if (tp == 0) continue;
+    const double precision = static_cast<double>(tp) / (tp + fp);
+    const double recall = static_cast<double>(tp) / (tp + fn);
+    total += 2.0 * precision * recall / (precision + recall);
+  }
+  return present == 0 ? 0.0 : total / present;
+}
+
+double MacroRecall(const std::vector<int>& predictions,
+                   const std::vector<int>& targets, int num_classes) {
+  CheckSameSize(predictions.size(), targets.size());
+  ClassCounts counts = CountPerClass(predictions, targets, num_classes);
+  double total = 0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const int tp = counts.tp[static_cast<size_t>(c)];
+    const int fn = counts.fn[static_cast<size_t>(c)];
+    if (tp + fn == 0) continue;
+    ++present;
+    total += static_cast<double>(tp) / (tp + fn);
+  }
+  return present == 0 ? 0.0 : total / present;
+}
+
+}  // namespace bigcity::train

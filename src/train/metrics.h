@@ -1,0 +1,63 @@
+#ifndef BIGCITY_TRAIN_METRICS_H_
+#define BIGCITY_TRAIN_METRICS_H_
+
+#include <vector>
+
+namespace bigcity::train {
+
+// Evaluation metrics used across the paper's tables. All ranking metrics
+// treat exactly one item as relevant (the ground truth).
+
+// --- Regression -----------------------------------------------------------
+
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets);
+double RootMeanSquaredError(const std::vector<double>& predictions,
+                            const std::vector<double>& targets);
+/// Percentage (0-100); targets with |t| < epsilon are skipped.
+double MeanAbsolutePercentageError(const std::vector<double>& predictions,
+                                   const std::vector<double>& targets,
+                                   double epsilon = 1e-6);
+
+// --- Classification ----------------------------------------------------------
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& targets);
+
+/// Mean reciprocal rank truncated at k: per sample, `ranked` holds the
+/// top-k predicted labels in order; reciprocal rank is 0 if absent.
+double MrrAtK(const std::vector<std::vector<int>>& ranked,
+              const std::vector<int>& targets, int k);
+
+/// NDCG@k with a single relevant item: 1/log2(rank+1), 0 if absent.
+double NdcgAtK(const std::vector<std::vector<int>>& ranked,
+               const std::vector<int>& targets, int k);
+
+/// Hit rate@k: fraction of samples whose target appears in the top k.
+double HitRateAtK(const std::vector<std::vector<int>>& ranked,
+                  const std::vector<int>& targets, int k);
+
+/// Mean 1-based rank of the target within `ranked` (full orderings);
+/// absent targets count as ranked.size() + 1.
+double MeanRank(const std::vector<std::vector<int>>& ranked,
+                const std::vector<int>& targets);
+
+/// Binary F1 for label 1.
+double BinaryF1(const std::vector<int>& predictions,
+                const std::vector<int>& targets);
+
+/// Area under the ROC curve from scores for class 1 (Mann-Whitney).
+double BinaryAuc(const std::vector<double>& scores,
+                 const std::vector<int>& targets);
+
+/// Multi-class F1 variants over labels [0, num_classes).
+double MicroF1(const std::vector<int>& predictions,
+               const std::vector<int>& targets, int num_classes);
+double MacroF1(const std::vector<int>& predictions,
+               const std::vector<int>& targets, int num_classes);
+double MacroRecall(const std::vector<int>& predictions,
+                   const std::vector<int>& targets, int num_classes);
+
+}  // namespace bigcity::train
+
+#endif  // BIGCITY_TRAIN_METRICS_H_

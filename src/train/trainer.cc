@@ -1,0 +1,404 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "data/masking.h"
+#include "nn/ops.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace bigcity::train {
+
+using core::Task;
+using data::StUnitSequence;
+using nn::Tensor;
+
+namespace {
+
+/// All tasks that carry a stage-2 training loss (similarity search is
+/// representation-based and has no dedicated loss).
+std::vector<Task> TrainableTasks(bool has_dynamic) {
+  std::vector<Task> tasks = {Task::kNextHop, Task::kTrajClassification,
+                             Task::kTravelTimeEstimation, Task::kTrajRecovery};
+  if (has_dynamic) {
+    tasks.push_back(Task::kTrafficOneStep);
+    tasks.push_back(Task::kTrafficMultiStep);
+    tasks.push_back(Task::kTrafficImputation);
+  }
+  return tasks;
+}
+
+}  // namespace
+
+std::vector<std::string> PretrainCorpus() {
+  return core::InstructionCorpus();
+}
+
+Trainer::Trainer(core::BigCityModel* model, TrainConfig config)
+    : model_(model), config_(config), rng_(config.seed) {
+  BIGCITY_CHECK(model != nullptr);
+  if (config_.tasks.empty()) {
+    config_.tasks =
+        TrainableTasks(model_->dataset()->config().has_dynamic_features);
+  }
+}
+
+void Trainer::PretrainBackbone() {
+  // Next-word prediction over the fixed corpus — the GPT-2 substitute.
+  auto* backbone = model_->backbone();
+  std::vector<std::vector<int>> corpus;
+  for (const auto& line : PretrainCorpus()) {
+    auto ids = model_->text_tokenizer().Encode(line);
+    if (ids.size() >= 2) corpus.push_back(std::move(ids));
+  }
+  nn::Adam optimizer(backbone->TrainableParameters(), config_.lr_pretrain);
+  for (int epoch = 0; epoch < config_.pretrain_lm_epochs; ++epoch) {
+    float epoch_loss = 0;
+    for (const auto& ids : corpus) {
+      optimizer.ZeroGrad();
+      Tensor logits = backbone->TextLmLogits(ids);
+      // Predict token t+1 from position t.
+      Tensor inputs = nn::SliceRows(logits, 0,
+                                    static_cast<int64_t>(ids.size()) - 1);
+      std::vector<int> targets(ids.begin() + 1, ids.end());
+      Tensor loss = nn::CrossEntropy(inputs, targets);
+      epoch_loss += loss.item();
+      loss.Backward();
+      optimizer.ClipGradNorm(config_.clip_norm);
+      optimizer.Step();
+    }
+    if (config_.verbose) {
+      BIGCITY_LOG(Info) << "LM pretrain epoch " << epoch << " loss "
+                        << epoch_loss / corpus.size();
+    }
+  }
+  // Attach adapters and freeze the pre-trained base (Sec. V-B).
+  util::Rng lora_rng(config_.seed ^ 0xabc);
+  backbone->EnableLora(&lora_rng);
+  backbone->FreezeBase();
+}
+
+Tensor Trainer::Stage1Loss(const StUnitSequence& sequence,
+                           const std::vector<int>& masked) {
+  auto reconstruction = model_->MaskedReconstruct(sequence, masked);
+  const auto& config = model_->config();
+  const data::CityDataset* dataset = model_->dataset();
+  const bool has_dynamic = dataset->config().has_dynamic_features;
+
+  // Ground truths (Eq. 15): segment id, dynamic features, timestamp delta.
+  std::vector<int> segment_targets;
+  std::vector<float> state_targets;
+  std::vector<float> time_targets;
+  for (int index : masked) {
+    segment_targets.push_back(
+        sequence.segments[static_cast<size_t>(index)]);
+    if (has_dynamic) {
+      const int slice = dataset->traffic().SliceOf(
+          sequence.timestamps[static_cast<size_t>(index)]);
+      auto features = dataset->traffic().Features(
+          slice, sequence.segments[static_cast<size_t>(index)]);
+      state_targets.insert(state_targets.end(), features.begin(),
+                           features.end());
+    }
+    const double delta =
+        index == 0 ? 0.0
+                   : sequence.timestamps[static_cast<size_t>(index)] -
+                         sequence.timestamps[static_cast<size_t>(index - 1)];
+    time_targets.push_back(data::MinutesTarget(delta));
+  }
+
+  Tensor loss =
+      nn::CrossEntropy(reconstruction.segment_logits, segment_targets);
+  if (has_dynamic) {
+    Tensor state_target = Tensor::FromData(
+        {static_cast<int64_t>(masked.size()), data::kTrafficChannels},
+        std::move(state_targets));
+    loss = nn::Add(loss, nn::Scale(nn::Mse(reconstruction.states,
+                                           state_target),
+                                   config.lambda_reg));
+  }
+  // Timestamp reconstruction only applies to trajectories: traffic-state
+  // series have constant 30-minute gaps, which would dominate the loss
+  // without carrying information.
+  if (sequence.is_trajectory) {
+    const auto num_masked = static_cast<int64_t>(masked.size());
+    Tensor time_target =
+        Tensor::FromData({num_masked, 1}, std::move(time_targets));
+    loss = nn::Add(loss, nn::Scale(nn::Mse(reconstruction.times, time_target),
+                                   config.lambda_tim));
+  }
+  return loss;
+}
+
+void Trainer::RunStage1() {
+  const data::CityDataset* dataset = model_->dataset();
+  const bool has_dynamic = dataset->config().has_dynamic_features;
+
+  // Mixed sequence pool: clipped trajectories + random traffic windows.
+  std::vector<StUnitSequence> pool;
+  for (const auto& trip : dataset->train()) {
+    if (trip.length() < 4) continue;
+    pool.push_back(
+        StUnitSequence::FromTrajectory(model_->ClipTrajectory(trip)));
+    if (static_cast<int>(pool.size()) >= config_.max_stage1_sequences) break;
+  }
+  if (has_dynamic) {
+    const int window = model_->config().traffic_input_steps;
+    const int extra = config_.max_stage1_sequences / 3;
+    for (int k = 0; k < extra; ++k) {
+      const int segment =
+          rng_.UniformInt(0, dataset->network().num_segments() - 1);
+      const int start = rng_.UniformInt(
+          0, std::max(0, dataset->num_slices() - window - 1));
+      pool.push_back(StUnitSequence::FromTrafficSeries(
+          dataset->traffic(), segment, start, window));
+    }
+  }
+
+  nn::Adam optimizer(model_->TrainableParameters(), config_.lr_stage1);
+  util::Stopwatch epoch_watch;
+  for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+    epoch_watch.Restart();
+    rng_.Shuffle(&pool);
+    float epoch_loss = 0;
+    int batches = 0;
+    for (size_t begin = 0; begin < pool.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      model_->BeginStep();
+      optimizer.ZeroGrad();
+      Tensor batch_loss;
+      const size_t end = std::min(
+          pool.size(), begin + static_cast<size_t>(config_.batch_size));
+      for (size_t s = begin; s < end; ++s) {
+        const auto& sequence = pool[s];
+        const int k = std::max(
+            1, static_cast<int>(sequence.length() *
+                                config_.stage1_mask_fraction));
+        auto masked = data::RandomMaskIndices(sequence.length(), k, &rng_);
+        Tensor loss = Stage1Loss(sequence, masked);
+        batch_loss =
+            batch_loss.is_valid() ? nn::Add(batch_loss, loss) : loss;
+      }
+      batch_loss = nn::Scale(batch_loss,
+                             1.0f / static_cast<float>(end - begin));
+      epoch_loss += batch_loss.item();
+      ++batches;
+      batch_loss.Backward();
+      optimizer.ClipGradNorm(config_.clip_norm);
+      optimizer.Step();
+    }
+    last_stage1_loss_ = batches > 0 ? epoch_loss / batches : 0.0f;
+    stage1_epoch_seconds_ = epoch_watch.ElapsedSeconds();
+    if (config_.verbose) {
+      BIGCITY_LOG(Info) << "stage-1 epoch " << epoch << " loss "
+                        << last_stage1_loss_ << " ("
+                        << stage1_epoch_seconds_ << "s)";
+    }
+  }
+  model_->BeginStep();
+}
+
+std::vector<Trainer::TaskSample> Trainer::BuildTaskSamples() {
+  const data::CityDataset* dataset = model_->dataset();
+  std::vector<TaskSample> samples;
+  const auto& train = dataset->train();
+
+  for (Task task : config_.tasks) {
+    // Traffic tasks are over-sampled: each sample covers ONE segment while
+    // the task-specific baselines consume all segments jointly per sample,
+    // so parity requires more draws.
+    const bool is_traffic = task == Task::kTrafficOneStep ||
+                            task == Task::kTrafficMultiStep ||
+                            task == Task::kTrafficImputation;
+    const int budget =
+        is_traffic ? 2 * config_.max_task_samples : config_.max_task_samples;
+    int produced = 0;
+    int cursor = 0;
+    while (produced < budget &&
+           cursor < static_cast<int>(train.size()) * 2) {
+      const auto& trip = train[static_cast<size_t>(cursor++ % train.size())];
+      TaskSample sample;
+      sample.task = task;
+      switch (task) {
+        case Task::kNextHop:
+        case Task::kTrajClassification:
+        case Task::kTravelTimeEstimation: {
+          if (trip.length() < 4) continue;
+          sample.trajectory = model_->ClipTrajectory(trip);
+          break;
+        }
+        case Task::kTrajRecovery: {
+          if (trip.length() < 6) continue;
+          sample.trajectory = model_->ClipTrajectory(trip);
+          sample.kept = data::DownsampleKeepIndices(
+              sample.trajectory.length(), config_.recovery_train_mask,
+              &rng_);
+          if (static_cast<int>(sample.kept.size()) ==
+              sample.trajectory.length()) {
+            continue;  // Nothing masked.
+          }
+          break;
+        }
+        case Task::kTrafficOneStep:
+        case Task::kTrafficMultiStep:
+        case Task::kTrafficImputation: {
+          const int window = model_->config().traffic_input_steps;
+          const int horizon = model_->config().traffic_horizon;
+          sample.segment =
+              rng_.UniformInt(0, dataset->network().num_segments() - 1);
+          sample.start_slice = rng_.UniformInt(
+              0, std::max(0, dataset->num_slices() - window - horizon - 1));
+          if (task == Task::kTrafficImputation) {
+            const int k = std::max(
+                1, static_cast<int>(window * config_.imputation_mask));
+            sample.masked = data::RandomMaskIndices(window, k, &rng_);
+          }
+          break;
+        }
+        case Task::kMostSimilarSearch:
+          continue;  // No direct loss.
+      }
+      samples.push_back(std::move(sample));
+      ++produced;
+    }
+  }
+  rng_.Shuffle(&samples);
+  return samples;
+}
+
+Tensor Trainer::TaskLoss(const TaskSample& sample) {
+  const data::CityDataset* dataset = model_->dataset();
+  const auto& config = model_->config();
+  switch (sample.task) {
+    case Task::kNextHop: {
+      data::Trajectory prefix = sample.trajectory;
+      const int target = prefix.points.back().segment;
+      prefix.points.pop_back();
+      return nn::CrossEntropy(model_->NextHopLogits(prefix), {target});
+    }
+    case Task::kTrajClassification: {
+      const int label = model_->classifies_users()
+                            ? sample.trajectory.user_id
+                            : sample.trajectory.pattern_label;
+      return nn::CrossEntropy(model_->ClassifyLogits(sample.trajectory),
+                              {label});
+    }
+    case Task::kTravelTimeEstimation: {
+      Tensor predicted = model_->TravelTimeDeltas(sample.trajectory);
+      std::vector<float> targets;
+      for (int l = 1; l < sample.trajectory.length(); ++l) {
+        targets.push_back(data::MinutesTarget(
+            sample.trajectory.points[static_cast<size_t>(l)].timestamp -
+            sample.trajectory.points[static_cast<size_t>(l - 1)].timestamp));
+      }
+      const auto num_targets = static_cast<int64_t>(targets.size());
+      Tensor target =
+          Tensor::FromData({num_targets, 1}, std::move(targets));
+      return nn::Scale(nn::Mse(predicted, target), config.lambda_tim);
+    }
+    case Task::kTrajRecovery: {
+      Tensor logits = model_->RecoverLogits(sample.trajectory, sample.kept);
+      auto dropped = data::ComplementIndices(sample.trajectory.length(),
+                                             sample.kept);
+      std::vector<int> targets;
+      for (int index : dropped) {
+        targets.push_back(
+            sample.trajectory.points[static_cast<size_t>(index)].segment);
+      }
+      return nn::Scale(nn::CrossEntropy(logits, targets),
+                       config.lambda_gen);
+    }
+    case Task::kTrafficOneStep:
+    case Task::kTrafficMultiStep: {
+      const int horizon =
+          sample.task == Task::kTrafficOneStep ? 1 : config.traffic_horizon;
+      Tensor predicted = model_->PredictTraffic(
+          sample.segment, sample.start_slice, horizon);
+      std::vector<float> targets;
+      for (int h = 0; h < horizon; ++h) {
+        auto features = dataset->traffic().Features(
+            sample.start_slice + config.traffic_input_steps + h,
+            sample.segment);
+        targets.insert(targets.end(), features.begin(), features.end());
+      }
+      Tensor target = Tensor::FromData(
+          {horizon, data::kTrafficChannels}, std::move(targets));
+      return nn::Scale(nn::Mse(predicted, target), config.lambda_reg * 20.0f);
+    }
+    case Task::kTrafficImputation: {
+      Tensor predicted = model_->ImputeTraffic(
+          sample.segment, sample.start_slice, config.traffic_input_steps,
+          sample.masked);
+      std::vector<float> targets;
+      for (int index : sample.masked) {
+        auto features = dataset->traffic().Features(
+            sample.start_slice + index, sample.segment);
+        targets.insert(targets.end(), features.begin(), features.end());
+      }
+      Tensor target = Tensor::FromData(
+          {static_cast<int64_t>(sample.masked.size()),
+           data::kTrafficChannels},
+          std::move(targets));
+      return nn::Scale(nn::Mse(predicted, target), config.lambda_reg * 20.0f);
+    }
+    case Task::kMostSimilarSearch:
+      break;
+  }
+  BIGCITY_CHECK(false) << "task has no training loss";
+  return Tensor();
+}
+
+void Trainer::RunStage2() {
+  // Tokenizer frozen; only LoRA adapters (+ placeholders + heads) update.
+  model_->tokenizer()->SetTrainable(false);
+  nn::Adam optimizer(model_->TrainableParameters(), config_.lr_stage2);
+  util::Stopwatch epoch_watch;
+  for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+    // Step decay stabilizes the late co-training epochs.
+    if (config_.stage2_epochs >= 6 &&
+        epoch == config_.stage2_epochs * 2 / 3) {
+      optimizer.set_lr(config_.lr_stage2 * 0.5f);
+    }
+    epoch_watch.Restart();
+    auto samples = BuildTaskSamples();
+    float epoch_loss = 0;
+    int batches = 0;
+    for (size_t begin = 0; begin < samples.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      model_->BeginStep();
+      optimizer.ZeroGrad();
+      Tensor batch_loss;
+      const size_t end = std::min(
+          samples.size(), begin + static_cast<size_t>(config_.batch_size));
+      for (size_t s = begin; s < end; ++s) {
+        Tensor loss = TaskLoss(samples[s]);
+        batch_loss =
+            batch_loss.is_valid() ? nn::Add(batch_loss, loss) : loss;
+      }
+      batch_loss = nn::Scale(batch_loss,
+                             1.0f / static_cast<float>(end - begin));
+      epoch_loss += batch_loss.item();
+      ++batches;
+      batch_loss.Backward();
+      optimizer.ClipGradNorm(config_.clip_norm);
+      optimizer.Step();
+    }
+    last_stage2_loss_ = batches > 0 ? epoch_loss / batches : 0.0f;
+    stage2_epoch_seconds_ = epoch_watch.ElapsedSeconds();
+    if (config_.verbose) {
+      BIGCITY_LOG(Info) << "stage-2 epoch " << epoch << " loss "
+                        << last_stage2_loss_ << " ("
+                        << stage2_epoch_seconds_ << "s)";
+    }
+  }
+  model_->BeginStep();
+}
+
+void Trainer::RunAll() {
+  PretrainBackbone();
+  RunStage1();
+  RunStage2();
+}
+
+}  // namespace bigcity::train

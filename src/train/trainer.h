@@ -1,0 +1,103 @@
+#ifndef BIGCITY_TRAIN_TRAINER_H_
+#define BIGCITY_TRAIN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bigcity_model.h"
+#include "core/task.h"
+#include "nn/optim.h"
+#include "util/rng.h"
+
+namespace bigcity::train {
+
+/// Training-schedule configuration for the two-stage strategy (Sec. VI)
+/// plus the in-repo backbone pre-training (the GPT-2 substitute).
+struct TrainConfig {
+  int pretrain_lm_epochs = 8;
+  int stage1_epochs = 2;
+  int stage2_epochs = 3;
+  int batch_size = 8;
+  float lr_pretrain = 3e-3f;
+  float lr_stage1 = 2e-3f;
+  float lr_stage2 = 2e-3f;
+  float clip_norm = 5.0f;
+  /// Mixed trajectory + traffic sequences per stage-1 epoch.
+  int max_stage1_sequences = 300;
+  /// Prompt-tuning samples per task per stage-2 epoch.
+  int max_task_samples = 150;
+  double stage1_mask_fraction = 0.2;
+  double recovery_train_mask = 0.5;
+  double imputation_mask = 0.25;
+  /// Tasks included in stage-2 co-training (Table VIII ablation). Empty
+  /// means all trainable tasks.
+  std::vector<core::Task> tasks;
+  uint64_t seed = 31;
+  bool verbose = false;
+};
+
+/// Orchestrates BIGCity training: backbone LM pre-training, LoRA
+/// attachment + base freeze, stage-1 masked reconstruction, and stage-2
+/// multi-task prompt tuning.
+class Trainer {
+ public:
+  Trainer(core::BigCityModel* model, TrainConfig config);
+
+  /// Pre-trains the backbone as a tiny causal language model on a fixed
+  /// instruction-style corpus — the stand-in for loading GPT-2 weights —
+  /// then attaches LoRA adapters and freezes the base weights.
+  void PretrainBackbone();
+
+  /// Stage 1 (Sec. VI-A): self-supervised masked reconstruction over mixed
+  /// trajectory / traffic-state ST-unit sequences. Trains the tokenizer,
+  /// LoRA adapters, placeholders, and task heads.
+  void RunStage1();
+
+  /// Stage 2 (Sec. VI-B): task-oriented prompt tuning over the full
+  /// multi-task training set. Tokenizer frozen; LoRA + heads train.
+  void RunStage2();
+
+  /// Full pipeline: PretrainBackbone -> RunStage1 -> RunStage2.
+  void RunAll();
+
+  double stage1_seconds_per_epoch() const { return stage1_epoch_seconds_; }
+  double stage2_seconds_per_epoch() const { return stage2_epoch_seconds_; }
+  float last_stage1_loss() const { return last_stage1_loss_; }
+  float last_stage2_loss() const { return last_stage2_loss_; }
+
+  /// One stage-2 prompt-tuning sample (public for the ablation benches).
+  struct TaskSample {
+    core::Task task = core::Task::kNextHop;
+    data::Trajectory trajectory;       // Trajectory tasks (clipped).
+    std::vector<int> kept;             // Recovery: surviving indices.
+    int segment = 0;                   // Traffic tasks.
+    int start_slice = 0;
+    std::vector<int> masked;           // Imputation mask positions.
+  };
+
+  /// Builds the stage-2 "full training set" for the configured tasks.
+  std::vector<TaskSample> BuildTaskSamples();
+
+  /// Loss for one prompt-tuning sample (graph-bearing).
+  nn::Tensor TaskLoss(const TaskSample& sample);
+
+ private:
+  nn::Tensor Stage1Loss(const data::StUnitSequence& sequence,
+                        const std::vector<int>& masked);
+
+  core::BigCityModel* model_;
+  TrainConfig config_;
+  util::Rng rng_;
+  double stage1_epoch_seconds_ = 0;
+  double stage2_epoch_seconds_ = 0;
+  float last_stage1_loss_ = 0;
+  float last_stage2_loss_ = 0;
+};
+
+/// The fixed pre-training corpus (instructions + templated mobility
+/// sentences). Exposed for tests.
+std::vector<std::string> PretrainCorpus();
+
+}  // namespace bigcity::train
+
+#endif  // BIGCITY_TRAIN_TRAINER_H_

@@ -1,0 +1,24 @@
+#ifndef BIGCITY_TRAIN_TRANSFER_H_
+#define BIGCITY_TRAIN_TRANSFER_H_
+
+#include "core/bigcity_model.h"
+#include "train/trainer.h"
+
+namespace bigcity::train {
+
+/// Cross-city generalization protocol (Table VI): copy the backbone weights
+/// of a model trained on a source city into a target-city model, then
+/// fine-tune only the target tokenizer's last MLP (plus the task heads,
+/// whose label spaces are city-specific) for a few epochs of prompt tuning.
+/// Everything else (transformer base + LoRA adapters, placeholders) stays
+/// frozen at the source values.
+void TransferBackbone(core::BigCityModel* source,
+                      core::BigCityModel* target);
+
+/// Runs the target-side fine-tuning after TransferBackbone: stage-2 style
+/// prompt tuning with only the tokenizer temporal MLP and heads trainable.
+void FineTuneTransferred(core::BigCityModel* target, TrainConfig config);
+
+}  // namespace bigcity::train
+
+#endif  // BIGCITY_TRAIN_TRANSFER_H_

@@ -1,0 +1,62 @@
+#ifndef BIGCITY_UTIL_CHECK_H_
+#define BIGCITY_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Invariant-checking macros in the style of glog/absl CHECK.
+//
+// These are used for programmer errors (violated preconditions, impossible
+// states). They abort the process with a message; they are NOT for
+// recoverable runtime errors — use util::Status for those.
+
+namespace bigcity::util::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Builds the optional streamed message for a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bigcity::util::internal
+
+#define BIGCITY_CHECK(condition)                                       \
+  while (!(condition))                                                 \
+  ::bigcity::util::internal::CheckMessageBuilder(__FILE__, __LINE__,   \
+                                                 #condition)
+
+#define BIGCITY_CHECK_EQ(a, b) BIGCITY_CHECK((a) == (b))
+#define BIGCITY_CHECK_NE(a, b) BIGCITY_CHECK((a) != (b))
+#define BIGCITY_CHECK_LT(a, b) BIGCITY_CHECK((a) < (b))
+#define BIGCITY_CHECK_LE(a, b) BIGCITY_CHECK((a) <= (b))
+#define BIGCITY_CHECK_GT(a, b) BIGCITY_CHECK((a) > (b))
+#define BIGCITY_CHECK_GE(a, b) BIGCITY_CHECK((a) >= (b))
+
+#endif  // BIGCITY_UTIL_CHECK_H_

@@ -1,0 +1,68 @@
+#include "util/io.h"
+
+#include <istream>
+#include <ostream>
+
+namespace bigcity::util {
+
+namespace {
+constexpr uint64_t kMaxVectorBytes = uint64_t{1} << 33;  // 8 GiB sanity cap.
+}
+
+void WriteU64(std::ostream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteI32(std::ostream& out, int32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteFloatVector(std::ostream& out, const std::vector<float>& values) {
+  WriteU64(out, values.size());
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+}
+
+void WriteString(std::ostream& out, const std::string& value) {
+  WriteU64(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+Status ReadU64(std::istream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  if (!in) return Status::IoError("truncated stream reading u64");
+  return Status::Ok();
+}
+
+Status ReadI32(std::istream& in, int32_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  if (!in) return Status::IoError("truncated stream reading i32");
+  return Status::Ok();
+}
+
+Status ReadFloatVector(std::istream& in, std::vector<float>* values) {
+  uint64_t size = 0;
+  if (Status s = ReadU64(in, &size); !s.ok()) return s;
+  if (size * sizeof(float) > kMaxVectorBytes) {
+    return Status::IoError("implausible vector size in stream");
+  }
+  values->resize(size);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(size * sizeof(float)));
+  if (!in) return Status::IoError("truncated stream reading float vector");
+  return Status::Ok();
+}
+
+Status ReadString(std::istream& in, std::string* value) {
+  uint64_t size = 0;
+  if (Status s = ReadU64(in, &size); !s.ok()) return s;
+  if (size > kMaxVectorBytes) {
+    return Status::IoError("implausible string size in stream");
+  }
+  value->resize(size);
+  in.read(value->data(), static_cast<std::streamsize>(size));
+  if (!in) return Status::IoError("truncated stream reading string");
+  return Status::Ok();
+}
+
+}  // namespace bigcity::util

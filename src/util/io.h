@@ -1,0 +1,28 @@
+#ifndef BIGCITY_UTIL_IO_H_
+#define BIGCITY_UTIL_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bigcity::util {
+
+/// Binary little-endian serialization helpers for model checkpoints.
+/// Format: each primitive is written raw; vectors are (uint64 size, data).
+
+void WriteU64(std::ostream& out, uint64_t value);
+void WriteI32(std::ostream& out, int32_t value);
+void WriteFloatVector(std::ostream& out, const std::vector<float>& values);
+void WriteString(std::ostream& out, const std::string& value);
+
+Status ReadU64(std::istream& in, uint64_t* value);
+Status ReadI32(std::istream& in, int32_t* value);
+Status ReadFloatVector(std::istream& in, std::vector<float>* values);
+Status ReadString(std::istream& in, std::string* value);
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_IO_H_

@@ -1,0 +1,46 @@
+#ifndef BIGCITY_UTIL_LOGGING_H_
+#define BIGCITY_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bigcity::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and writes it to stderr on destruction if its
+/// level passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bigcity::util
+
+#define BIGCITY_LOG(level)                             \
+  ::bigcity::util::internal::LogMessage(               \
+      ::bigcity::util::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // BIGCITY_UTIL_LOGGING_H_

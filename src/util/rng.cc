@@ -1,0 +1,46 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bigcity::util {
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  BIGCITY_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  BIGCITY_CHECK_GT(total, 0.0) << "Categorical needs a positive weight";
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  // Floating-point edge: return the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return static_cast<int>(i);
+  }
+  return 0;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  BIGCITY_CHECK_LE(k, n);
+  std::vector<int> perm = Permutation(n);
+  perm.resize(k);
+  std::sort(perm.begin(), perm.end());
+  return perm;
+}
+
+}  // namespace bigcity::util

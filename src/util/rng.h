@@ -1,0 +1,67 @@
+#ifndef BIGCITY_UTIL_RNG_H_
+#define BIGCITY_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bigcity::util {
+
+/// Deterministic random number generator used everywhere in the project so
+/// that datasets, initializations, and experiments are reproducible from a
+/// single seed. Thin wrapper over std::mt19937_64 with the distributions the
+/// codebase needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Normal with the given mean and stddev.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights need not be normalized; non-positive weights get probability 0.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Returns a random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Samples k distinct indices from {0, ..., n-1} (k <= n), sorted.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Shuffles a vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    std::shuffle(values->begin(), values->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_RNG_H_

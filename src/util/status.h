@@ -1,0 +1,119 @@
+#ifndef BIGCITY_UTIL_STATUS_H_
+#define BIGCITY_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace bigcity::util {
+
+/// Error categories for recoverable failures (I/O, malformed inputs, ...).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight absl-style status for fallible operations. Invariant errors
+/// use BIGCITY_CHECK instead; Status is reserved for conditions a caller can
+/// reasonably handle (missing file, bad header, ...).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kIoError: return "IO_ERROR";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a (non-OK) Status keeps call
+  /// sites terse, mirroring absl::StatusOr.
+  Result(T value) : data_(std::move(value)) {}          // NOLINT
+  Result(Status status) : data_(std::move(status)) {    // NOLINT
+    BIGCITY_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  /// Value accessors abort on error — call ok() first for recoverable flows.
+  const T& value() const& {
+    BIGCITY_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    BIGCITY_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    BIGCITY_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_STATUS_H_

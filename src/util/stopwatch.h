@@ -1,0 +1,30 @@
+#ifndef BIGCITY_UTIL_STOPWATCH_H_
+#define BIGCITY_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bigcity::util {
+
+/// Wall-clock stopwatch used by the efficiency experiments (Table IX,
+/// Fig. 6). Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_STOPWATCH_H_

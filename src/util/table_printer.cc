@@ -1,0 +1,67 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace bigcity::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : num_columns_(header.size()) {
+  BIGCITY_CHECK_GT(num_columns_, 0u);
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  BIGCITY_CHECK_EQ(row.size(), num_columns_);
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(num_columns_, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_separator = [&](std::ostringstream& out) {
+    out << '+';
+    for (size_t c = 0; c < num_columns_; ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  render_separator(out);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].empty()) {
+      render_separator(out);
+      continue;
+    }
+    out << '|';
+    for (size_t c = 0; c < num_columns_; ++c) {
+      const std::string& cell = rows_[r][c];
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+    if (r == 0) render_separator(out);  // Underline the header.
+  }
+  render_separator(out);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Num(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace bigcity::util

@@ -1,0 +1,38 @@
+#ifndef BIGCITY_UTIL_TABLE_PRINTER_H_
+#define BIGCITY_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace bigcity::util {
+
+/// Renders aligned ASCII tables for the benchmark harnesses so their output
+/// mirrors the paper's tables. Cells are strings; numeric helpers format
+/// with fixed precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next added row.
+  void AddSeparator();
+
+  /// Renders the table (header, separators, rows) as a string.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with the given number of decimals.
+  static std::string Num(double value, int decimals = 3);
+
+ private:
+  size_t num_columns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_TABLE_PRINTER_H_

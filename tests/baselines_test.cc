@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "baselines/recovery/hmm_recovery.h"
+#include "baselines/recovery/seq2seq_recovery.h"
+#include "baselines/similarity/classic_similarity.h"
+#include "baselines/traffic/graph_tcn_models.h"
+#include "baselines/traffic/norm_attn_models.h"
+#include "baselines/traffic/recurrent_models.h"
+#include "baselines/traffic/traffic_harness.h"
+#include "baselines/traj/attn_encoders.h"
+#include "baselines/traj/jgrm_encoder.h"
+#include "baselines/traj/rnn_encoders.h"
+#include "baselines/traj/start_encoder.h"
+#include "baselines/traj/traj_harness.h"
+#include "data/masking.h"
+#include "nn/ops.h"
+
+namespace bigcity::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = data::ScaleConfig(data::XianLikeConfig(), 0.12);
+    config.city.grid_width = 5;
+    config.city.grid_height = 5;
+    config.generator.num_users = 8;
+    dataset_ = new data::CityDataset(config);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  const data::Trajectory& AnyTrajectory(int min_len = 6) {
+    for (const auto& t : dataset_->test()) {
+      if (t.length() >= min_len) return t;
+    }
+    return dataset_->test().front();
+  }
+
+  static data::CityDataset* dataset_;
+};
+
+data::CityDataset* BaselinesTest::dataset_ = nullptr;
+
+// --- Trajectory encoders -----------------------------------------------------
+
+template <typename Encoder>
+void CheckEncoderBasics(data::CityDataset* dataset) {
+  util::Rng rng(3);
+  Encoder encoder(dataset, 16, &rng);
+  data::Trajectory trip;
+  for (int i = 0; i < 6; ++i) trip.points.push_back({i % 5, i * 60.0});
+  nn::Tensor reps = encoder.SequenceRepresentations(trip);
+  EXPECT_EQ(reps.shape(), (std::vector<int64_t>{6, 16}));
+  nn::Tensor embedding = encoder.Embed(trip);
+  EXPECT_EQ(embedding.shape(), (std::vector<int64_t>{1, 16}));
+  // Pretraining must run and change at least one parameter.
+  std::vector<data::Trajectory> corpus(dataset->train().begin(),
+                                       dataset->train().begin() + 30);
+  auto before = encoder.NamedParameters();
+  std::vector<std::vector<float>> snapshot;
+  for (auto& [name, p] : before) snapshot.push_back(p.data());
+  encoder.Pretrain(corpus, 1);
+  bool changed = false;
+  auto after = encoder.NamedParameters();
+  for (size_t i = 0; i < after.size(); ++i) {
+    if (after[i].second.data() != snapshot[i]) changed = true;
+  }
+  EXPECT_TRUE(changed) << "pretraining did not update parameters";
+}
+
+TEST_F(BaselinesTest, Trajectory2VecBasics) {
+  CheckEncoderBasics<Trajectory2Vec>(dataset_);
+}
+TEST_F(BaselinesTest, T2VecBasics) { CheckEncoderBasics<T2Vec>(dataset_); }
+TEST_F(BaselinesTest, TremBrBasics) { CheckEncoderBasics<TremBr>(dataset_); }
+TEST_F(BaselinesTest, ToastBasics) { CheckEncoderBasics<Toast>(dataset_); }
+TEST_F(BaselinesTest, JclrntBasics) { CheckEncoderBasics<Jclrnt>(dataset_); }
+TEST_F(BaselinesTest, StartBasics) {
+  CheckEncoderBasics<StartEncoder>(dataset_);
+}
+TEST_F(BaselinesTest, JgrmBasics) {
+  CheckEncoderBasics<JgrmEncoder>(dataset_);
+}
+
+TEST_F(BaselinesTest, HarnessNextHopAboveZero) {
+  util::Rng rng(4);
+  TremBr encoder(dataset_, 16, &rng);
+  TrajHarnessConfig config;
+  config.pretrain_epochs = 1;
+  config.task_epochs = 2;
+  config.max_train_samples = 60;
+  config.eval.max_samples = 40;
+  TrajTaskHarness harness(&encoder, config);
+  harness.Pretrain();
+  auto metrics = harness.TrainAndEvalNextHop();
+  EXPECT_GT(metrics.mrr5, 0.0);
+  EXPECT_GE(metrics.ndcg5, metrics.mrr5 - 1e-9);
+}
+
+TEST_F(BaselinesTest, HarnessTteAndSimilarity) {
+  util::Rng rng(5);
+  Trajectory2Vec encoder(dataset_, 16, &rng);
+  TrajHarnessConfig config;
+  config.pretrain_epochs = 1;
+  config.task_epochs = 1;
+  config.max_train_samples = 40;
+  config.eval.max_samples = 30;
+  config.eval.max_queries = 20;
+  TrajTaskHarness harness(&encoder, config);
+  harness.Pretrain();
+  auto tte = harness.TrainAndEvalTravelTime();
+  EXPECT_GT(tte.mae, 0.0);
+  EXPECT_GE(tte.rmse, tte.mae);
+  auto simi = harness.EvalSimilarity();
+  EXPECT_GE(simi.hr10, simi.hr1);
+  EXPECT_GT(simi.mean_rank, 0.0);
+}
+
+TEST_F(BaselinesTest, HarnessUserClassification) {
+  util::Rng rng(6);
+  T2Vec encoder(dataset_, 16, &rng);
+  TrajHarnessConfig config;
+  config.pretrain_epochs = 1;
+  config.task_epochs = 1;
+  config.max_train_samples = 40;
+  config.eval.max_samples = 30;
+  TrajTaskHarness harness(&encoder, config);
+  auto metrics = harness.TrainAndEvalUserClassification();
+  EXPECT_GE(metrics.micro_f1, 0.0);
+  EXPECT_LE(metrics.micro_f1, 1.0);
+}
+
+// --- Traffic models ----------------------------------------------------------
+
+template <typename Model>
+void CheckTrafficModel(data::CityDataset* dataset) {
+  util::Rng rng(7);
+  const int window = 12, horizon = 3;
+  Model model(dataset, window, data::kTrafficChannels,
+              horizon * data::kTrafficChannels, 16, &rng);
+  TrafficHarnessConfig config;
+  config.epochs = 1;
+  config.train_samples = 10;
+  config.eval_samples = 10;
+  TrafficTaskHarness harness(dataset, config);
+  nn::Tensor input = harness.BuildPredictionInput(0);
+  EXPECT_EQ(input.shape()[0], dataset->network().num_segments());
+  nn::Tensor output = model.Forward(input);
+  EXPECT_EQ(output.shape(),
+            (std::vector<int64_t>{dataset->network().num_segments(),
+                                  horizon * data::kTrafficChannels}));
+  // Gradients reach model parameters.
+  nn::Sum(nn::Square(output)).Backward();
+  bool any_grad = false;
+  for (auto& p : model.TrainableParameters()) {
+    for (float g : p.grad()) any_grad = any_grad || g != 0.0f;
+  }
+  EXPECT_TRUE(any_grad);
+}
+
+TEST_F(BaselinesTest, DcrnnForward) { CheckTrafficModel<Dcrnn>(dataset_); }
+TEST_F(BaselinesTest, TrGnnForward) { CheckTrafficModel<TrGnn>(dataset_); }
+TEST_F(BaselinesTest, GwnetForward) {
+  CheckTrafficModel<GraphWaveNet>(dataset_);
+}
+TEST_F(BaselinesTest, MtgnnForward) { CheckTrafficModel<Mtgnn>(dataset_); }
+TEST_F(BaselinesTest, StgodeForward) { CheckTrafficModel<StgOde>(dataset_); }
+TEST_F(BaselinesTest, StnormForward) { CheckTrafficModel<StNorm>(dataset_); }
+TEST_F(BaselinesTest, SstbanForward) { CheckTrafficModel<Sstban>(dataset_); }
+
+TEST_F(BaselinesTest, TrafficHarnessTrainsToReasonableError) {
+  util::Rng rng(8);
+  TrafficHarnessConfig config;
+  config.epochs = 4;
+  config.train_samples = 40;
+  config.eval_samples = 20;
+  TrafficTaskHarness harness(dataset_, config);
+  StNorm model(dataset_, config.window, data::kTrafficChannels,
+               1 * data::kTrafficChannels, 24, &rng);
+  auto metrics = harness.TrainAndEvalPrediction(&model, 1);
+  // Speeds are ~4-20 m/s; a trained model must beat a 6 m/s error.
+  EXPECT_LT(metrics.mae, 6.0);
+  EXPECT_GT(metrics.mae, 0.0);
+}
+
+TEST_F(BaselinesTest, TrafficImputationHarness) {
+  util::Rng rng(9);
+  TrafficHarnessConfig config;
+  config.epochs = 2;
+  config.train_samples = 20;
+  config.eval_samples = 10;
+  TrafficTaskHarness harness(dataset_, config);
+  Sstban model(dataset_, config.window, data::kTrafficChannels + 1,
+               config.window * data::kTrafficChannels, 16, &rng);
+  auto metrics = harness.TrainAndEvalImputation(&model, 0.25);
+  EXPECT_LT(metrics.mae, 8.0);
+}
+
+// --- Recovery -----------------------------------------------------------------
+
+TEST_F(BaselinesTest, HmmRecoveryBeatsRandom) {
+  LinearHmmRecovery linear(dataset_);
+  DthrHmmRecovery dthr(dataset_);
+  util::Rng rng(10);
+  int correct_linear = 0, correct_dthr = 0, total = 0;
+  for (const auto& trip : dataset_->test()) {
+    if (trip.length() < 8 || total > 60) continue;
+    auto kept = data::DownsampleKeepIndices(trip.length(), 0.5, &rng);
+    auto dropped = data::ComplementIndices(trip.length(), kept);
+    if (dropped.empty()) continue;
+    auto pred_linear = linear.Recover(trip, kept);
+    auto pred_dthr = dthr.Recover(trip, kept);
+    ASSERT_EQ(pred_linear.size(), dropped.size());
+    ASSERT_EQ(pred_dthr.size(), dropped.size());
+    for (size_t k = 0; k < dropped.size(); ++k) {
+      const int truth =
+          trip.points[static_cast<size_t>(dropped[k])].segment;
+      correct_linear += pred_linear[k] == truth ? 1 : 0;
+      correct_dthr += pred_dthr[k] == truth ? 1 : 0;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 20);
+  const double random = 1.0 / dataset_->network().num_segments();
+  EXPECT_GT(static_cast<double>(correct_linear) / total, 3 * random);
+  EXPECT_GT(static_cast<double>(correct_dthr) / total, 3 * random);
+}
+
+TEST_F(BaselinesTest, NeuralRecoveryTrainsAndPredicts) {
+  util::Rng rng(11);
+  MTrajRec model(dataset_, 16, &rng);
+  std::vector<data::Trajectory> corpus(dataset_->train().begin(),
+                                       dataset_->train().begin() + 40);
+  model.Train(corpus, 0.5);
+  const auto& trip = AnyTrajectory(8);
+  auto kept = data::DownsampleKeepIndices(trip.length(), 0.5, &rng);
+  auto dropped = data::ComplementIndices(trip.length(), kept);
+  auto predicted = model.Recover(trip, kept);
+  EXPECT_EQ(predicted.size(), dropped.size());
+  for (int p : predicted) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, dataset_->network().num_segments());
+  }
+}
+
+TEST_F(BaselinesTest, RnTrajRecForward) {
+  util::Rng rng(12);
+  RnTrajRec model(dataset_, 16, &rng);
+  const auto& trip = AnyTrajectory(8);
+  auto kept = data::DownsampleKeepIndices(trip.length(), 0.6, &rng);
+  auto dropped = data::ComplementIndices(trip.length(), kept);
+  if (dropped.empty()) GTEST_SKIP();
+  auto predicted = model.Recover(trip, kept);
+  EXPECT_EQ(predicted.size(), dropped.size());
+}
+
+// --- Classic similarity ---------------------------------------------------------
+
+TEST(ClassicSimilarityTest, IdentityProperties) {
+  std::vector<std::pair<float, float>> a = {{0, 0}, {100, 0}, {200, 0}};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(EdrDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(LcssSimilarity(a, a), 1.0);
+}
+
+TEST(ClassicSimilarityTest, Symmetry) {
+  std::vector<std::pair<float, float>> a = {{0, 0}, {100, 50}, {250, 80}};
+  std::vector<std::pair<float, float>> b = {{10, 10}, {90, 60}};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+  EXPECT_DOUBLE_EQ(FrechetDistance(a, b), FrechetDistance(b, a));
+  EXPECT_DOUBLE_EQ(EdrDistance(a, b), EdrDistance(b, a));
+  EXPECT_DOUBLE_EQ(LcssSimilarity(a, b), LcssSimilarity(b, a));
+}
+
+TEST(ClassicSimilarityTest, FartherIsLarger) {
+  std::vector<std::pair<float, float>> a = {{0, 0}, {100, 0}};
+  std::vector<std::pair<float, float>> near = {{0, 10}, {100, 10}};
+  std::vector<std::pair<float, float>> far = {{0, 1000}, {100, 1000}};
+  EXPECT_LT(DtwDistance(a, near), DtwDistance(a, far));
+  EXPECT_LT(FrechetDistance(a, near), FrechetDistance(a, far));
+  EXPECT_GT(LcssSimilarity(a, near), LcssSimilarity(a, far));
+  EXPECT_LE(EdrDistance(a, near), EdrDistance(a, far));
+}
+
+TEST(ClassicSimilarityTest, AllMeasuresRankSelfFirst) {
+  std::vector<std::pair<float, float>> self = {{0, 0}, {50, 50}, {100, 80}};
+  std::vector<std::pair<float, float>> other = {{500, 900}, {700, 1000}};
+  for (const auto& measure : AllClassicMeasures()) {
+    EXPECT_GT(measure.similarity(self, self),
+              measure.similarity(self, other))
+        << measure.name;
+  }
+}
+
+TEST_F(BaselinesTest, ToPointSequenceMatchesSegments) {
+  const auto& trip = AnyTrajectory(4);
+  auto points = ToPointSequence(dataset_->network(), trip);
+  ASSERT_EQ(points.size(), static_cast<size_t>(trip.length()));
+  const auto& first = dataset_->network().segment(trip.points[0].segment);
+  EXPECT_FLOAT_EQ(points[0].first, first.mid_x);
+  EXPECT_FLOAT_EQ(points[0].second, first.mid_y);
+}
+
+}  // namespace
+}  // namespace bigcity::baselines

@@ -1,0 +1,116 @@
+#include "data/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/dataset.h"
+
+namespace bigcity::data {
+namespace {
+
+std::vector<Trajectory> SampleTrips() {
+  Trajectory a;
+  a.user_id = 3;
+  a.pattern_label = 1;
+  a.points = {{10, 100.0}, {11, 130.5}, {12, 190.25}};
+  Trajectory b;
+  b.user_id = 7;
+  b.points = {{5, 50.0}, {6, 80.0}};
+  return {a, b};
+}
+
+TEST(TrajectoryCsvTest, RoundTrip) {
+  auto trips = SampleTrips();
+  std::stringstream stream;
+  WriteTrajectoriesCsv(stream, trips);
+  auto loaded = ReadTrajectoriesCsv(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].user_id, 3);
+  EXPECT_EQ(loaded.value()[0].pattern_label, 1);
+  ASSERT_EQ(loaded.value()[0].length(), 3);
+  EXPECT_EQ(loaded.value()[0].points[1].segment, 11);
+  EXPECT_DOUBLE_EQ(loaded.value()[0].points[1].timestamp, 130.5);
+  EXPECT_EQ(loaded.value()[1].length(), 2);
+}
+
+TEST(TrajectoryCsvTest, RejectsMissingHeader) {
+  std::stringstream stream("1,2,3,4,5\n");
+  EXPECT_FALSE(ReadTrajectoriesCsv(stream).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsBadFieldCount) {
+  std::stringstream stream(
+      "trip_id,user_id,pattern_label,segment,timestamp\n0,1,0,5\n");
+  EXPECT_FALSE(ReadTrajectoriesCsv(stream).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsNonMonotoneTimestamps) {
+  std::stringstream stream(
+      "trip_id,user_id,pattern_label,segment,timestamp\n"
+      "0,1,0,5,100\n0,1,0,6,90\n");
+  EXPECT_FALSE(ReadTrajectoriesCsv(stream).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsNonDenseTripIds) {
+  std::stringstream stream(
+      "trip_id,user_id,pattern_label,segment,timestamp\n"
+      "5,1,0,5,100\n");
+  EXPECT_FALSE(ReadTrajectoriesCsv(stream).ok());
+}
+
+TEST(TrajectoryCsvTest, RejectsGarbageNumbers) {
+  std::stringstream stream(
+      "trip_id,user_id,pattern_label,segment,timestamp\n"
+      "0,1,0,abc,100\n");
+  EXPECT_FALSE(ReadTrajectoriesCsv(stream).ok());
+}
+
+TEST(TrafficCsvTest, RoundTrip) {
+  TrafficStateSeries series(3, 2, 1800.0);
+  series.Set(1, 0, 0, 0.5f);
+  series.Set(2, 1, 1, 0.25f);
+  std::stringstream stream;
+  WriteTrafficCsv(stream, series);
+  auto loaded = ReadTrafficCsv(stream, 1800.0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_slices(), 3);
+  EXPECT_EQ(loaded.value().num_segments(), 2);
+  EXPECT_FLOAT_EQ(loaded.value().Get(1, 0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(loaded.value().Get(2, 1, 1), 0.25f);
+}
+
+TEST(TrafficCsvTest, RejectsEmpty) {
+  std::stringstream stream("slice,segment,speed,flow\n");
+  EXPECT_FALSE(ReadTrafficCsv(stream, 1800.0).ok());
+}
+
+TEST(CsvFileTest, SaveLoadGeneratedDataset) {
+  auto config = ScaleConfig(XianLikeConfig(), 0.05);
+  config.city.grid_width = 4;
+  config.city.grid_height = 4;
+  CityDataset dataset(config);
+  const std::string path = "/tmp/bigcity_csv_test.csv";
+  ASSERT_TRUE(SaveTrajectoriesCsv(path, dataset.train()).ok());
+  auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), dataset.train().size());
+  for (size_t t = 0; t < loaded.value().size(); ++t) {
+    ASSERT_EQ(loaded.value()[t].length(), dataset.train()[t].length());
+    for (int l = 0; l < loaded.value()[t].length(); ++l) {
+      EXPECT_EQ(loaded.value()[t].points[static_cast<size_t>(l)].segment,
+                dataset.train()[t].points[static_cast<size_t>(l)].segment);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto loaded = LoadTrajectoriesCsv("/nonexistent/file.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace bigcity::data

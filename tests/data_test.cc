@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/masking.h"
+#include "data/st_unit.h"
+#include "data/traffic_aggregator.h"
+#include "data/trajectory_generator.h"
+#include "roadnet/synthetic_city.h"
+
+namespace bigcity::data {
+namespace {
+
+roadnet::RoadNetwork TestCity() {
+  roadnet::SyntheticCityConfig config;
+  config.grid_width = 6;
+  config.grid_height = 6;
+  return roadnet::GenerateSyntheticCity(config);
+}
+
+TrajectoryGeneratorConfig SmallGenConfig() {
+  TrajectoryGeneratorConfig config;
+  config.num_users = 10;
+  config.num_trajectories = 120;
+  config.horizon_days = 1.0;
+  return config;
+}
+
+TEST(CongestionTest, RushHourSlowerThanNight) {
+  const double rush = CongestionMultiplier(8 * 3600.0, 0.5, 1.1);
+  const double night = CongestionMultiplier(3 * 3600.0, 0.5, 1.1);
+  EXPECT_LT(rush, night);
+  EXPECT_LE(rush, 1.0);
+  EXPECT_LE(night, 1.0);
+}
+
+TEST(CongestionTest, PopularSegmentsSlower) {
+  const double busy = CongestionMultiplier(8 * 3600.0, 0.9, 1.1);
+  const double quiet = CongestionMultiplier(8 * 3600.0, 0.1, 1.1);
+  EXPECT_LT(busy, quiet);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : net_(TestCity()) {
+    TrajectoryGenerator generator(&net_, SmallGenConfig());
+    trips_ = generator.Generate();
+  }
+  roadnet::RoadNetwork net_;
+  std::vector<Trajectory> trips_;
+};
+
+TEST_F(GeneratorTest, ProducesRequestedVolume) {
+  EXPECT_GE(trips_.size(), 60u);
+}
+
+TEST_F(GeneratorTest, TimestampsStrictlyIncrease) {
+  for (const auto& trip : trips_) {
+    for (int l = 1; l < trip.length(); ++l) {
+      EXPECT_GT(trip.points[l].timestamp, trip.points[l - 1].timestamp);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, PathsFollowRoadNetwork) {
+  for (const auto& trip : trips_) {
+    for (int l = 0; l + 1 < trip.length(); ++l) {
+      const auto& succ = net_.successors(trip.points[l].segment);
+      EXPECT_NE(std::find(succ.begin(), succ.end(),
+                          trip.points[l + 1].segment),
+                succ.end())
+          << "transition not in road network";
+    }
+  }
+}
+
+TEST_F(GeneratorTest, UsersHaveDistinctiveRoutes) {
+  // A user's trips should revisit that user's anchor segments: compute, per
+  // user, the overlap of segment sets across the user's own trips vs trips
+  // of other users. Own-overlap should exceed cross-overlap on average.
+  std::map<int, std::set<int>> segments_by_user;
+  for (const auto& trip : trips_) {
+    for (const auto& p : trip.points) {
+      segments_by_user[trip.user_id].insert(p.segment);
+    }
+  }
+  // At least several distinct users present.
+  EXPECT_GE(segments_by_user.size(), 5u);
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  TrajectoryGenerator g2(&net_, SmallGenConfig());
+  auto trips2 = g2.Generate();
+  ASSERT_EQ(trips_.size(), trips2.size());
+  for (size_t i = 0; i < trips_.size(); ++i) {
+    ASSERT_EQ(trips_[i].length(), trips2[i].length());
+    EXPECT_EQ(trips_[i].user_id, trips2[i].user_id);
+    for (int l = 0; l < trips_[i].length(); ++l) {
+      EXPECT_EQ(trips_[i].points[l].segment, trips2[i].points[l].segment);
+      EXPECT_DOUBLE_EQ(trips_[i].points[l].timestamp,
+                       trips2[i].points[l].timestamp);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, RushTripsSlowerThanNightTrips) {
+  // Mean speed of peak-labelled trips should be lower.
+  double peak_speed = 0, off_speed = 0;
+  int peak_n = 0, off_n = 0;
+  for (const auto& trip : trips_) {
+    if (trip.length() < 2) continue;
+    double meters = 0;
+    for (const auto& p : trip.points) {
+      meters += net_.segment(p.segment).length_m;
+    }
+    const double speed = meters / trip.duration_seconds();
+    if (trip.pattern_label == 1) {
+      peak_speed += speed;
+      ++peak_n;
+    } else {
+      off_speed += speed;
+      ++off_n;
+    }
+  }
+  ASSERT_GT(peak_n, 5);
+  ASSERT_GT(off_n, 5);
+  EXPECT_LT(peak_speed / peak_n, off_speed / off_n);
+}
+
+TEST(TrafficStateTest, SliceIndexing) {
+  TrafficStateSeries series(48, 10, 1800.0);
+  EXPECT_EQ(series.SliceOf(0.0), 0);
+  EXPECT_EQ(series.SliceOf(1799.0), 0);
+  EXPECT_EQ(series.SliceOf(1800.0), 1);
+  EXPECT_EQ(series.SliceOf(1e9), 47);  // Clamped.
+  EXPECT_DOUBLE_EQ(series.SliceStart(2), 3600.0);
+}
+
+TEST(TrafficStateTest, SetGetRoundTrip) {
+  TrafficStateSeries series(4, 3, 1800.0);
+  series.Set(2, 1, 0, 0.7f);
+  series.Set(2, 1, 1, 0.3f);
+  EXPECT_FLOAT_EQ(series.Get(2, 1, 0), 0.7f);
+  EXPECT_EQ(series.Features(2, 1), (std::vector<float>{0.7f, 0.3f}));
+  nn::Tensor slice = series.SliceMatrix(2);
+  EXPECT_FLOAT_EQ(slice.at(1, 0), 0.7f);
+  nn::Tensor seg = series.SegmentSeries(1);
+  EXPECT_FLOAT_EQ(seg.at(2, 1), 0.3f);
+}
+
+TEST(AggregatorTest, SpeedsReflectObservations) {
+  roadnet::RoadNetwork net = TestCity();
+  TrajectoryGenerator generator(&net, SmallGenConfig());
+  auto trips = generator.Generate();
+  TrafficAggregator aggregator(&net, 48, 1800.0, 1.1);
+  TrafficStateSeries series = aggregator.Aggregate(trips,
+                                                   generator.popularity());
+  // All speeds positive and below ~1.5x the global speed-limit scale.
+  for (int t = 0; t < series.num_slices(); ++t) {
+    for (int i = 0; i < series.num_segments(); ++i) {
+      const float speed = series.Get(t, i, 0);
+      EXPECT_GT(speed, 0.0f);
+      EXPECT_LT(speed, 1.6f);
+    }
+  }
+}
+
+TEST(AggregatorTest, RushSlicesSlowerOnAverage) {
+  roadnet::RoadNetwork net = TestCity();
+  auto config = SmallGenConfig();
+  config.num_trajectories = 300;
+  TrajectoryGenerator generator(&net, config);
+  auto trips = generator.Generate();
+  TrafficAggregator aggregator(&net, 48, 1800.0, 1.1);
+  TrafficStateSeries series = aggregator.Aggregate(trips,
+                                                   generator.popularity());
+  auto mean_speed = [&](int slice) {
+    double total = 0;
+    for (int i = 0; i < series.num_segments(); ++i) {
+      total += series.Get(slice, i, 0);
+    }
+    return total / series.num_segments();
+  };
+  // 8am slice (16) vs 3am slice (6).
+  EXPECT_LT(mean_speed(16), mean_speed(6));
+}
+
+TEST(StUnitTest, TimeFeaturesPeriodicity) {
+  auto f1 = TimeFeatures(0.0);
+  auto f2 = TimeFeatures(86400.0);  // Next day, same hour.
+  EXPECT_NEAR(f1[0], f2[0], 1e-5f);
+  EXPECT_NEAR(f1[1], f2[1], 1e-5f);
+  EXPECT_EQ(f1.size(), static_cast<size_t>(kTimeFeatureDim));
+}
+
+TEST(StUnitTest, TimeFeaturesDistinguishHours) {
+  auto morning = TimeFeatures(8 * 3600.0);
+  auto evening = TimeFeatures(20 * 3600.0);
+  EXPECT_GT(std::fabs(morning[0] - evening[0]) +
+                std::fabs(morning[1] - evening[1]),
+            0.5f);
+}
+
+TEST(StUnitTest, DeltaFeatureScale) {
+  EXPECT_FLOAT_EQ(DeltaFeature(1800.0), 1.0f);
+  EXPECT_FLOAT_EQ(DeltaFeature(0.0), 0.0f);
+}
+
+TEST(StUnitTest, FromTrajectoryPreservesOrder) {
+  Trajectory trip;
+  trip.points = {{3, 10.0}, {5, 20.0}, {7, 35.0}};
+  StUnitSequence seq = StUnitSequence::FromTrajectory(trip);
+  EXPECT_TRUE(seq.is_trajectory);
+  EXPECT_EQ(seq.segments, (std::vector<int>{3, 5, 7}));
+  EXPECT_EQ(seq.timestamps, (std::vector<double>{10.0, 20.0, 35.0}));
+}
+
+TEST(StUnitTest, FromTrafficSeriesUnifiedFormat) {
+  TrafficStateSeries series(10, 4, 1800.0);
+  StUnitSequence seq = StUnitSequence::FromTrafficSeries(series, 2, 3, 4);
+  EXPECT_FALSE(seq.is_trajectory);
+  EXPECT_EQ(seq.series_segment, 2);
+  EXPECT_EQ(seq.length(), 4);
+  EXPECT_EQ(seq.segments, (std::vector<int>{2, 2, 2, 2}));
+  EXPECT_DOUBLE_EQ(seq.timestamps[0], 3 * 1800.0);
+}
+
+TEST(MaskingTest, DownsampleKeepsEndpoints) {
+  util::Rng rng(1);
+  auto kept = DownsampleKeepIndices(20, 0.9, &rng);
+  EXPECT_EQ(kept.front(), 0);
+  EXPECT_EQ(kept.back(), 19);
+  EXPECT_LT(kept.size(), 10u);
+}
+
+TEST(MaskingTest, DownsampleZeroRatioKeepsAll) {
+  util::Rng rng(2);
+  auto kept = DownsampleKeepIndices(10, 0.0, &rng);
+  EXPECT_EQ(kept.size(), 10u);
+}
+
+TEST(MaskingTest, RandomMaskDistinctSorted) {
+  util::Rng rng(3);
+  auto masked = RandomMaskIndices(30, 8, &rng);
+  EXPECT_EQ(masked.size(), 8u);
+  for (size_t i = 1; i < masked.size(); ++i) {
+    EXPECT_LT(masked[i - 1], masked[i]);
+  }
+}
+
+TEST(MaskingTest, ComplementPartitions) {
+  util::Rng rng(4);
+  auto kept = DownsampleKeepIndices(15, 0.5, &rng);
+  auto dropped = ComplementIndices(15, kept);
+  EXPECT_EQ(kept.size() + dropped.size(), 15u);
+  std::set<int> all(kept.begin(), kept.end());
+  all.insert(dropped.begin(), dropped.end());
+  EXPECT_EQ(all.size(), 15u);
+}
+
+TEST(DatasetTest, BuildsWithSplits) {
+  auto config = ScaleConfig(XianLikeConfig(), 0.2);
+  CityDataset dataset(config);
+  EXPECT_GT(dataset.network().num_segments(), 50);
+  EXPECT_GT(dataset.train().size(), dataset.val().size());
+  EXPECT_GT(dataset.train().size(), dataset.test().size());
+  EXPECT_GT(dataset.num_slices(), 40);
+}
+
+TEST(DatasetTest, PresetsDiffer) {
+  auto bj = BeijingLikeConfig();
+  auto xa = XianLikeConfig();
+  auto cd = ChengduLikeConfig();
+  EXPECT_FALSE(bj.has_dynamic_features);
+  EXPECT_TRUE(xa.has_dynamic_features);
+  EXPECT_NE(bj.city.grid_width, xa.city.grid_width);
+  EXPECT_NE(xa.city.seed, cd.city.seed);
+}
+
+}  // namespace
+}  // namespace bigcity::data

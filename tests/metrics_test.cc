@@ -1,0 +1,101 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bigcity::train {
+namespace {
+
+TEST(RegressionMetricsTest, KnownValues) {
+  std::vector<double> pred = {1, 2, 3};
+  std::vector<double> target = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, target), 1.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(pred, target),
+                   std::sqrt((1.0 + 0.0 + 4.0) / 3.0));
+}
+
+TEST(RegressionMetricsTest, MapeSkipsZeroTargets) {
+  std::vector<double> pred = {1.0, 5.0};
+  std::vector<double> target = {0.0, 4.0};
+  EXPECT_DOUBLE_EQ(MeanAbsolutePercentageError(pred, target), 25.0);
+}
+
+TEST(RegressionMetricsTest, PerfectPrediction) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsolutePercentageError(v, v), 0.0);
+}
+
+TEST(ClassificationMetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75);
+}
+
+TEST(RankingMetricsTest, MrrAtK) {
+  // Target at rank 1 -> 1.0; rank 2 -> 0.5; absent -> 0.
+  std::vector<std::vector<int>> ranked = {{7, 3}, {3, 7}, {1, 2}};
+  std::vector<int> targets = {7, 7, 9};
+  EXPECT_DOUBLE_EQ(MrrAtK(ranked, targets, 5), (1.0 + 0.5 + 0.0) / 3.0);
+}
+
+TEST(RankingMetricsTest, MrrTruncation) {
+  std::vector<std::vector<int>> ranked = {{1, 2, 3, 4, 5, 9}};
+  std::vector<int> targets = {9};
+  EXPECT_DOUBLE_EQ(MrrAtK(ranked, targets, 5), 0.0);  // Rank 6 > k.
+  EXPECT_GT(MrrAtK(ranked, targets, 6), 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgAtK) {
+  std::vector<std::vector<int>> ranked = {{7}, {3, 7}};
+  std::vector<int> targets = {7, 7};
+  // rank1 -> 1; rank2 -> 1/log2(3).
+  EXPECT_NEAR(NdcgAtK(ranked, targets, 5),
+              (1.0 + 1.0 / std::log2(3.0)) / 2.0, 1e-12);
+}
+
+TEST(RankingMetricsTest, HitRateAndMeanRank) {
+  std::vector<std::vector<int>> ranked = {{5, 6, 7}, {8, 9, 1}};
+  std::vector<int> targets = {7, 2};
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, targets, 3), 0.5);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranked, targets, 2), 0.0);
+  EXPECT_DOUBLE_EQ(MeanRank(ranked, targets), (3.0 + 4.0) / 2.0);
+}
+
+TEST(BinaryMetricsTest, F1) {
+  // tp=1 fp=1 fn=1 -> P=0.5 R=0.5 F1=0.5.
+  EXPECT_DOUBLE_EQ(BinaryF1({1, 1, 0, 0}, {1, 0, 1, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(BinaryF1({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(BinaryMetricsTest, AucPerfectAndRandom) {
+  EXPECT_DOUBLE_EQ(BinaryAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(BinaryAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+  // All-tied scores -> 0.5.
+  EXPECT_DOUBLE_EQ(BinaryAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(MultiClassMetricsTest, PerfectPredictions) {
+  std::vector<int> labels = {0, 1, 2, 1};
+  EXPECT_DOUBLE_EQ(MicroF1(labels, labels, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1(labels, labels, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroRecall(labels, labels, 3), 1.0);
+}
+
+TEST(MultiClassMetricsTest, MacroIgnoresAbsentClasses) {
+  // Class 2 never appears in targets; macro averages over classes 0 and 1.
+  std::vector<int> pred = {0, 1};
+  std::vector<int> target = {0, 0};
+  // Class 0: tp=1 fn=1 -> recall 0.5. Class 1 absent in targets (skipped).
+  EXPECT_DOUBLE_EQ(MacroRecall(pred, target, 3), 0.5);
+}
+
+TEST(MultiClassMetricsTest, MicroEqualsAccuracyForSingleLabel) {
+  std::vector<int> pred = {0, 1, 2, 2};
+  std::vector<int> target = {0, 2, 2, 2};
+  // In single-label multi-class, micro-F1 == accuracy.
+  EXPECT_NEAR(MicroF1(pred, target, 3), Accuracy(pred, target), 1e-12);
+}
+
+}  // namespace
+}  // namespace bigcity::train

@@ -1,0 +1,113 @@
+#include "nn/gat.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace bigcity::nn {
+namespace {
+
+GraphEdges LineGraph(int n) {
+  // 0 -> 1 -> 2 -> ... with self loops.
+  GraphEdges g;
+  g.num_nodes = n;
+  for (int i = 0; i + 1 < n; ++i) {
+    g.src.push_back(i);
+    g.dst.push_back(i + 1);
+  }
+  g.AddSelfLoops();
+  return g;
+}
+
+TEST(GraphEdgesTest, AddSelfLoopsIsIdempotent) {
+  GraphEdges g = LineGraph(4);
+  size_t edges = g.src.size();
+  g.AddSelfLoops();
+  EXPECT_EQ(g.src.size(), edges);
+}
+
+TEST(GatLayerTest, OutputShape) {
+  util::Rng rng(1);
+  GatLayer gat(6, 8, 2, &rng);
+  GraphEdges g = LineGraph(5);
+  Tensor h = Tensor::Randn({5, 6}, &rng, 1.0f);
+  Tensor out = gat.Forward(h, g);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{5, 8}));
+}
+
+TEST(GatLayerTest, IsolatedNodeOnlySeesItself) {
+  util::Rng rng(2);
+  GatLayer gat(4, 4, 1, &rng);
+  GraphEdges g;
+  g.num_nodes = 3;  // No edges between nodes.
+  g.AddSelfLoops();
+  Tensor h = Tensor::Randn({3, 4}, &rng, 1.0f);
+  Tensor out1 = gat.Forward(h, g);
+  // Change node 2's features: nodes 0 and 1 must be unaffected.
+  Tensor h2 = Tensor::FromData({3, 4}, h.data());
+  for (int j = 0; j < 4; ++j) h2.data()[2 * 4 + j] += 5.0f;
+  Tensor out2 = gat.Forward(h2, g);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(out1.at(i, j), out2.at(i, j));
+    }
+  }
+}
+
+TEST(GatLayerTest, MessagePassingFollowsEdges) {
+  util::Rng rng(3);
+  GatLayer gat(4, 4, 1, &rng);
+  GraphEdges g = LineGraph(3);  // 0->1->2 (+self loops).
+  Tensor h = Tensor::Randn({3, 4}, &rng, 1.0f);
+  Tensor out1 = gat.Forward(h, g);
+  // Perturbing node 0 affects node 1 (its in-neighbor) but not node 0's
+  // upstream: node 2 receives from 1 and itself only, so out[2] unchanged
+  // only if edge 0->2 absent — it is, but 0 affects 1 which is input to
+  // nothing else within a single layer, so out[2] must be unchanged.
+  Tensor h2 = Tensor::FromData({3, 4}, h.data());
+  for (int j = 0; j < 4; ++j) h2.data()[j] += 5.0f;
+  Tensor out2 = gat.Forward(h2, g);
+  float diff1 = 0, diff2 = 0;
+  for (int j = 0; j < 4; ++j) {
+    diff1 += std::fabs(out1.at(1, j) - out2.at(1, j));
+    diff2 += std::fabs(out1.at(2, j) - out2.at(2, j));
+  }
+  EXPECT_GT(diff1, 1e-5f);
+  EXPECT_NEAR(diff2, 0.0f, 1e-6f);
+}
+
+TEST(GatLayerTest, GradientsReachAttentionParams) {
+  util::Rng rng(4);
+  GatLayer gat(4, 4, 2, &rng);
+  GraphEdges g = LineGraph(4);
+  Tensor h = Tensor::Randn({4, 4}, &rng, 1.0f);
+  Sum(Square(gat.Forward(h, g))).Backward();
+  for (auto& p : gat.Parameters()) {
+    float norm = 0;
+    for (float v : p.grad()) norm += v * v;
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+TEST(GatEncoderTest, TwoHopReceptiveField) {
+  util::Rng rng(5);
+  GatEncoder enc(4, 8, 6, 2, &rng);
+  GraphEdges g = LineGraph(4);  // 0->1->2->3.
+  Tensor h = Tensor::Randn({4, 4}, &rng, 1.0f);
+  Tensor out1 = enc.Forward(h, g);
+  EXPECT_EQ(out1.shape(), (std::vector<int64_t>{4, 6}));
+  // Two GAT layers: perturbing node 0 reaches node 2 but not node 3.
+  Tensor h2 = Tensor::FromData({4, 4}, h.data());
+  for (int j = 0; j < 4; ++j) h2.data()[j] += 5.0f;
+  Tensor out2 = enc.Forward(h2, g);
+  float diff2 = 0, diff3 = 0;
+  for (int j = 0; j < 6; ++j) {
+    diff2 += std::fabs(out1.at(2, j) - out2.at(2, j));
+    diff3 += std::fabs(out1.at(3, j) - out2.at(3, j));
+  }
+  EXPECT_GT(diff2, 1e-6f);
+  EXPECT_NEAR(diff3, 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace bigcity::nn

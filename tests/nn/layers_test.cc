@@ -1,0 +1,190 @@
+#include "nn/layers.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/lora.h"
+#include "nn/ops.h"
+
+namespace bigcity::nn {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  util::Rng rng(1);
+  Linear fc(8, 3, &rng);
+  Tensor x = Tensor::Randn({5, 8}, &rng, 1.0f);
+  Tensor y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{5, 3}));
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  util::Rng rng(1);
+  Linear fc(4, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(fc.Parameters().size(), 1u);
+  Tensor zero = Tensor::Zeros({1, 4});
+  Tensor y = fc.Forward(zero);
+  for (float v : y.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(LinearTest, WeightGradientFlows) {
+  util::Rng rng(2);
+  Linear fc(3, 2, &rng);
+  Tensor x = Tensor::Randn({4, 3}, &rng, 1.0f);
+  Tensor loss = Sum(Square(fc.Forward(x)));
+  loss.Backward();
+  float grad_norm = 0;
+  for (float g : fc.Parameters()[0].grad()) grad_norm += g * g;
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(EmbeddingTableTest, LookupShapeAndValues) {
+  util::Rng rng(3);
+  EmbeddingTable emb(10, 4, &rng);
+  Tensor out = emb.Forward({2, 2, 7});
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{3, 4}));
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(out.at(0, j), out.at(1, j));
+}
+
+TEST(LayerNormLayerTest, NormalizesRows) {
+  LayerNormLayer ln(6);
+  Tensor x = Tensor::FromData({1, 6}, {10, 20, 30, 40, 50, 60});
+  Tensor y = ln.Forward(x);
+  float mean = 0;
+  for (int j = 0; j < 6; ++j) mean += y.at(0, j);
+  EXPECT_NEAR(mean / 6, 0.0f, 1e-5f);
+}
+
+TEST(MlpTest, HiddenLayersAndShapes) {
+  util::Rng rng(4);
+  Mlp mlp({8, 16, 4}, &rng);
+  EXPECT_EQ(mlp.out_features(), 4);
+  Tensor y = mlp.Forward(Tensor::Randn({2, 8}, &rng, 1.0f));
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 4}));
+  EXPECT_EQ(mlp.Parameters().size(), 4u);  // 2 layers x (W, b).
+}
+
+TEST(GruTest, SequenceShapeAndStatefulness) {
+  util::Rng rng(5);
+  Gru gru(3, 6, &rng);
+  Tensor x = Tensor::Randn({7, 3}, &rng, 1.0f);
+  Tensor h = gru.Forward(x);
+  EXPECT_EQ(h.shape(), (std::vector<int64_t>{7, 6}));
+  // Last state should depend on early inputs: perturb x[0] and compare.
+  Tensor x2 = Tensor::FromData({7, 3}, x.data());
+  x2.data()[0] += 10.0f;
+  Tensor h2 = gru.Forward(x2);
+  float diff = 0;
+  for (int j = 0; j < 6; ++j) diff += std::fabs(h2.at(6, j) - h.at(6, j));
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(GruTest, GradientsReachParameters) {
+  util::Rng rng(6);
+  Gru gru(2, 4, &rng);
+  Tensor x = Tensor::Randn({5, 2}, &rng, 1.0f);
+  Sum(Square(gru.Forward(x))).Backward();
+  for (auto& p : gru.Parameters()) {
+    float norm = 0;
+    for (float g : p.grad()) norm += g * g;
+    EXPECT_GT(norm, 0.0f);
+  }
+}
+
+TEST(LoraLinearTest, DisabledMatchesBase) {
+  util::Rng rng(7);
+  LoraLinear lora(4, 3, &rng);
+  Tensor x = Tensor::Randn({2, 4}, &rng, 1.0f);
+  EXPECT_FALSE(lora.lora_enabled());
+  Tensor y = lora.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 3}));
+}
+
+TEST(LoraLinearTest, FreshLoraIsExactNoOp) {
+  util::Rng rng(8);
+  LoraLinear lora(4, 3, &rng);
+  Tensor x = Tensor::Randn({2, 4}, &rng, 1.0f);
+  Tensor before = lora.Forward(x);
+  lora.EnableLora(/*rank=*/2, /*alpha=*/4.0f, &rng);
+  Tensor after = lora.Forward(x);
+  // B initialized to zero -> adapted output identical at start.
+  for (size_t i = 0; i < before.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+TEST(LoraLinearTest, FrozenBaseOnlyLoraTrains) {
+  util::Rng rng(9);
+  LoraLinear lora(4, 3, &rng);
+  lora.EnableLora(2, 4.0f, &rng);
+  lora.FreezeBase();
+  int trainable = 0;
+  for (auto& p : lora.Parameters()) {
+    if (p.requires_grad()) ++trainable;
+  }
+  EXPECT_EQ(trainable, 2);  // lora_a + lora_b only.
+  // Gradients flow into LoRA matrices through the frozen base path.
+  Tensor x = Tensor::Randn({2, 4}, &rng, 1.0f);
+  Sum(Square(lora.Forward(x))).Backward();
+  bool lora_b_has_grad = false;
+  for (auto& [name, p] : lora.NamedParameters()) {
+    if (name == "lora_a") {
+      // dLoss/dA is nonzero only after B is nonzero, so check B instead.
+    } else if (name == "lora_b") {
+      for (float g : p.grad()) lora_b_has_grad = lora_b_has_grad || g != 0.0f;
+    }
+  }
+  EXPECT_TRUE(lora_b_has_grad);
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  util::Rng rng(10);
+  Mlp a({4, 8, 2}, &rng);
+  Mlp b({4, 8, 2}, &rng);  // Different random init.
+  std::stringstream stream;
+  a.SaveState(stream);
+  ASSERT_TRUE(b.LoadState(stream).ok());
+  Tensor x = Tensor::Randn({3, 4}, &rng, 1.0f);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (size_t i = 0; i < ya.data().size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(ModuleTest, LoadRejectsMismatchedTree) {
+  util::Rng rng(11);
+  Mlp a({4, 8, 2}, &rng);
+  Mlp b({4, 6, 2}, &rng);  // Different hidden width.
+  std::stringstream stream;
+  a.SaveState(stream);
+  EXPECT_FALSE(b.LoadState(stream).ok());
+}
+
+TEST(ModuleTest, CopyStateFrom) {
+  util::Rng rng(12);
+  Mlp a({3, 5, 1}, &rng);
+  Mlp b({3, 5, 1}, &rng);
+  b.CopyStateFrom(a);
+  Tensor x = Tensor::Randn({2, 3}, &rng, 1.0f);
+  EXPECT_EQ(a.Forward(x).data(), b.Forward(x).data());
+}
+
+TEST(ModuleTest, NamedParametersAreHierarchical) {
+  util::Rng rng(13);
+  Mlp mlp({2, 3, 1}, &rng);
+  auto named = mlp.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc0.weight");
+  EXPECT_EQ(named[1].first, "fc0.bias");
+}
+
+TEST(ModuleTest, NumParametersCountsScalars) {
+  util::Rng rng(14);
+  Linear fc(10, 5, &rng);
+  EXPECT_EQ(fc.NumParameters(), 10 * 5 + 5);
+}
+
+}  // namespace
+}  // namespace bigcity::nn

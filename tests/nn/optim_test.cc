@@ -1,0 +1,108 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace bigcity::nn {
+namespace {
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromData({1}, {5.0f}, /*requires_grad=*/true);
+  Sgd opt({x}, /*lr=*/0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Square(x);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), 0.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  Tensor a = Tensor::FromData({1}, {5.0f}, true);
+  Tensor b = Tensor::FromData({1}, {5.0f}, true);
+  Sgd plain({a}, 0.01f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    plain.ZeroGrad();
+    Square(a).Backward();
+    plain.Step();
+    momentum.ZeroGrad();
+    Square(b).Backward();
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(b.item()), std::fabs(a.item()));
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromData({2}, {3.0f, -4.0f}, true);
+  Adam opt({x}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Sum(Square(x)).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 1e-2f);
+  EXPECT_NEAR(x.at(1), 0.0f, 1e-2f);
+}
+
+TEST(AdamTest, SkipsFrozenParameters) {
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  Tensor frozen = Tensor::FromData({1}, {7.0f}, false);
+  Adam opt({x, frozen}, 0.1f);
+  opt.ZeroGrad();
+  Sum(Square(x)).Backward();
+  opt.Step();
+  EXPECT_FLOAT_EQ(frozen.item(), 7.0f);
+  EXPECT_NE(x.item(), 3.0f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::FromData({1}, {1.0f}, true);
+  Adam opt({x}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  // Zero gradient: only decay acts.
+  opt.ZeroGrad();
+  opt.Step();
+  EXPECT_LT(x.item(), 1.0f);
+}
+
+TEST(OptimizerTest, ClipGradNorm) {
+  Tensor x = Tensor::FromData({2}, {0.0f, 0.0f}, true);
+  x.grad()[0] = 3.0f;
+  x.grad()[1] = 4.0f;  // norm 5.
+  Sgd opt({x}, 0.1f);
+  float norm = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(x.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipNoOpBelowThreshold) {
+  Tensor x = Tensor::FromData({1}, {0.0f}, true);
+  x.grad()[0] = 0.5f;
+  Sgd opt({x}, 0.1f);
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.5f);
+}
+
+TEST(AdamTest, TrainsLinearRegressionToFit) {
+  // y = 2x + 1 learned by a 1-layer Linear.
+  util::Rng rng(1);
+  Linear fc(1, 1, &rng);
+  Adam opt(fc.Parameters(), 0.05f);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    Tensor x = Tensor::FromData({4, 1}, {-1, 0, 1, 2});
+    Tensor target = Tensor::FromData({4, 1}, {-1, 1, 3, 5});
+    Tensor loss = Mse(fc.Forward(x), target);
+    loss.Backward();
+    opt.Step();
+  }
+  Tensor test = Tensor::FromData({1, 1}, {10.0f});
+  EXPECT_NEAR(fc.Forward(test).item(), 21.0f, 0.1f);
+}
+
+}  // namespace
+}  // namespace bigcity::nn

@@ -1,0 +1,104 @@
+// Checkpointing round-trips across composite modules (transformer + LoRA),
+// mirroring what the bench cache and cross-city transfer rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/lora.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "nn/transformer.h"
+
+namespace bigcity::nn {
+namespace {
+
+TEST(SerializeTest, TransformerRoundTripPreservesOutputs) {
+  util::Rng rng(1);
+  Transformer a(16, 2, 2, &rng, true);
+  Transformer b(16, 2, 2, &rng, true);
+  std::stringstream stream;
+  a.SaveState(stream);
+  ASSERT_TRUE(b.LoadState(stream).ok());
+  Tensor x = Tensor::Randn({5, 16}, &rng, 1.0f);
+  EXPECT_EQ(a.Forward(x).data(), b.Forward(x).data());
+}
+
+TEST(SerializeTest, LoraStateIncludedAfterEnable) {
+  util::Rng rng(2);
+  Transformer a(8, 2, 1, &rng, true);
+  Transformer b(8, 2, 1, &rng, true);
+  a.EnableLora(4, 8.0f, 1, &rng);
+  b.EnableLora(4, 8.0f, 1, &rng);
+  // Perturb a's LoRA weights, then round trip into b.
+  for (auto& [name, p] : a.NamedParameters()) {
+    if (name.find("lora") != std::string::npos) {
+      for (auto& v : p.data()) v += 0.1f;
+    }
+  }
+  std::stringstream stream;
+  a.SaveState(stream);
+  ASSERT_TRUE(b.LoadState(stream).ok());
+  Tensor x = Tensor::Randn({3, 8}, &rng, 1.0f);
+  EXPECT_EQ(a.Forward(x).data(), b.Forward(x).data());
+}
+
+TEST(SerializeTest, MismatchedLoraTreeRejected) {
+  util::Rng rng(3);
+  Transformer with_lora(8, 2, 1, &rng, true);
+  with_lora.EnableLora(4, 8.0f, 1, &rng);
+  Transformer without_lora(8, 2, 1, &rng, true);
+  std::stringstream stream;
+  with_lora.SaveState(stream);
+  EXPECT_FALSE(without_lora.LoadState(stream).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  util::Rng rng(4);
+  TransformerBlock a(8, 2, &rng, false);
+  TransformerBlock b(8, 2, &rng, false);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bigcity_serialize_test.bin")
+          .string();
+  ASSERT_TRUE(a.SaveStateToFile(path).ok());
+  ASSERT_TRUE(b.LoadStateFromFile(path).ok());
+  std::filesystem::remove(path);
+  Tensor x = Tensor::Randn({4, 8}, &rng, 1.0f);
+  EXPECT_EQ(a.Forward(x).data(), b.Forward(x).data());
+}
+
+TEST(SerializeTest, MissingFileIsError) {
+  util::Rng rng(5);
+  TransformerBlock block(8, 2, &rng, false);
+  EXPECT_FALSE(
+      block.LoadStateFromFile("/nonexistent/dir/model.bin").ok());
+}
+
+TEST(SerializeTest, TrainingAfterLoadContinues) {
+  // A loaded model must be trainable (optimizer state is fresh).
+  util::Rng rng(6);
+  LoraLinear a(4, 4, &rng);
+  a.EnableLora(2, 4.0f, &rng);
+  LoraLinear b(4, 4, &rng);
+  b.EnableLora(2, 4.0f, &rng);
+  std::stringstream stream;
+  a.SaveState(stream);
+  ASSERT_TRUE(b.LoadState(stream).ok());
+  b.FreezeBase();
+  Adam opt(b.TrainableParameters(), 0.05f);
+  Tensor x = Tensor::Randn({4, 4}, &rng, 1.0f);
+  float first = 0;
+  for (int step = 0; step < 20; ++step) {
+    opt.ZeroGrad();
+    Tensor loss = Mse(b.Forward(x), Tensor::Ones({4, 4}));
+    if (step == 0) first = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  Tensor final_loss = Mse(b.Forward(x), Tensor::Ones({4, 4}));
+  EXPECT_LT(final_loss.item(), first);
+}
+
+}  // namespace
+}  // namespace bigcity::nn

@@ -1,0 +1,133 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace bigcity::nn {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FromDataAt) {
+  Tensor t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(2.5f).item(), 2.5f);
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;
+  b.data()[0] = 5.0f;
+  EXPECT_EQ(a.at(0), 5.0f);
+}
+
+TEST(TensorTest, DetachedIsIndependentLeaf) {
+  Tensor a = Tensor::FromData({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor b = Scale(a, 2.0f);
+  Tensor c = b.Detached();
+  EXPECT_FALSE(c.requires_grad());
+  c.data()[0] = 99.0f;
+  EXPECT_EQ(b.at(0), 2.0f);  // Original untouched.
+}
+
+TEST(TensorTest, RandnRoughMoments) {
+  util::Rng rng(1);
+  Tensor t = Tensor::Randn({10000}, &rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  double mean = sum / t.numel();
+  double var = sq / t.numel() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, XavierWithinBound) {
+  util::Rng rng(2);
+  Tensor t = Tensor::Xavier(30, 50, &rng);
+  const float bound = std::sqrt(6.0f / 80.0f);
+  for (float v : t.data()) {
+    EXPECT_LE(std::fabs(v), bound + 1e-6f);
+  }
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(AutogradTest, SimpleChain) {
+  // loss = sum(3 * x) -> dloss/dx = 3.
+  Tensor x = Tensor::FromData({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor loss = Sum(Scale(x, 3.0f));
+  loss.Backward();
+  for (float g : x.grad()) EXPECT_FLOAT_EQ(g, 3.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::FromData({1}, {2}, /*requires_grad=*/true);
+  Tensor l1 = Sum(Scale(x, 1.0f));
+  l1.Backward();
+  Tensor l2 = Sum(Scale(x, 1.0f));
+  l2.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(AutogradTest, DiamondDependency) {
+  // y = x*x + x -> dy/dx = 2x + 1 = 5 at x=2.
+  Tensor x = Tensor::FromData({1}, {2}, /*requires_grad=*/true);
+  Tensor y = Add(Mul(x, x), x);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 5.0f);
+}
+
+TEST(AutogradTest, NoGradThroughFrozenLeaf) {
+  Tensor x = Tensor::FromData({2}, {1, 1}, /*requires_grad=*/false);
+  Tensor y = Scale(x, 2.0f);
+  EXPECT_FALSE(y.impl()->needs_grad);
+  // Graph is pruned: no parents stored.
+  EXPECT_TRUE(y.impl()->parents.empty());
+}
+
+TEST(AutogradTest, MixedFrozenAndTrainable) {
+  Tensor frozen = Tensor::FromData({2}, {1, 2}, false);
+  Tensor train = Tensor::FromData({2}, {3, 4}, true);
+  Tensor loss = Sum(Mul(frozen, train));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(train.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(train.grad()[1], 2.0f);
+  // Frozen leaf receives no gradient buffer writes.
+  for (float g : frozen.grad()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Tensor x = Tensor::FromData({1}, {1}, true);
+  Sum(Scale(x, 4.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AutogradTest, ReusedSubexpression) {
+  // z = relu(x); loss = sum(z + z) -> grad 2 where x > 0.
+  Tensor x = Tensor::FromData({2}, {1.0f, -1.0f}, true);
+  Tensor z = Relu(x);
+  Sum(Add(z, z)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace bigcity::nn

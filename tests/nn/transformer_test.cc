@@ -1,0 +1,138 @@
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/ops.h"
+
+namespace bigcity::nn {
+namespace {
+
+TEST(AttentionTest, OutputShape) {
+  util::Rng rng(1);
+  MultiHeadSelfAttention attn(16, 4, &rng, /*causal=*/false);
+  Tensor x = Tensor::Randn({6, 16}, &rng, 1.0f);
+  EXPECT_EQ(attn.Forward(x).shape(), (std::vector<int64_t>{6, 16}));
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  util::Rng rng(2);
+  MultiHeadSelfAttention attn(8, 2, &rng, /*causal=*/true);
+  Tensor x = Tensor::Randn({5, 8}, &rng, 1.0f);
+  Tensor y1 = attn.Forward(x);
+  // Changing a future position must not affect earlier outputs.
+  Tensor x2 = Tensor::FromData({5, 8}, x.data());
+  for (int j = 0; j < 8; ++j) x2.data()[4 * 8 + j] += 3.0f;
+  Tensor y2 = attn.Forward(x2);
+  for (int t = 0; t < 4; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(y1.at(t, j), y2.at(t, j)) << "t=" << t;
+    }
+  }
+}
+
+TEST(AttentionTest, NonCausalSeesFuture) {
+  util::Rng rng(3);
+  MultiHeadSelfAttention attn(8, 2, &rng, /*causal=*/false);
+  Tensor x = Tensor::Randn({5, 8}, &rng, 1.0f);
+  Tensor y1 = attn.Forward(x);
+  Tensor x2 = Tensor::FromData({5, 8}, x.data());
+  for (int j = 0; j < 8; ++j) x2.data()[4 * 8 + j] += 3.0f;
+  Tensor y2 = attn.Forward(x2);
+  float diff = 0;
+  for (int j = 0; j < 8; ++j) diff += std::fabs(y1.at(0, j) - y2.at(0, j));
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST(TransformerBlockTest, ResidualPathPreservesShape) {
+  util::Rng rng(4);
+  TransformerBlock block(16, 4, &rng, /*causal=*/true);
+  Tensor x = Tensor::Randn({7, 16}, &rng, 1.0f);
+  EXPECT_EQ(block.Forward(x).shape(), (std::vector<int64_t>{7, 16}));
+}
+
+TEST(TransformerTest, StackForwardAndParamCount) {
+  util::Rng rng(5);
+  Transformer model(16, 4, 3, &rng, /*causal=*/true);
+  EXPECT_EQ(model.num_layers(), 3);
+  Tensor x = Tensor::Randn({4, 16}, &rng, 1.0f);
+  EXPECT_EQ(model.Forward(x).shape(), (std::vector<int64_t>{4, 16}));
+  EXPECT_GT(model.NumParameters(), 0);
+}
+
+TEST(TransformerTest, CausalityHoldsThroughStack) {
+  util::Rng rng(6);
+  Transformer model(8, 2, 2, &rng, /*causal=*/true);
+  Tensor x = Tensor::Randn({6, 8}, &rng, 1.0f);
+  Tensor y1 = model.Forward(x);
+  Tensor x2 = Tensor::FromData({6, 8}, x.data());
+  for (int j = 0; j < 8; ++j) x2.data()[5 * 8 + j] -= 2.0f;
+  Tensor y2 = model.Forward(x2);
+  for (int t = 0; t < 5; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.at(t, j), y2.at(t, j), 1e-5f);
+    }
+  }
+}
+
+TEST(TransformerTest, LoraFreezeLeavesOnlyAdaptersTrainable) {
+  util::Rng rng(7);
+  Transformer model(16, 4, 2, &rng, /*causal=*/true);
+  model.EnableLora(/*rank=*/4, /*alpha=*/8.0f, /*num_blocks=*/2, &rng);
+  model.FreezeBase();
+  int64_t trainable = 0;
+  for (auto& p : model.TrainableParameters()) trainable += p.numel();
+  // Per block: (3 attn + 2 ffn) LoRA pairs; attn: (16*4 + 4*16),
+  // ffn_up: (16*4 + 4*64), ffn_down: (64*4 + 4*16).
+  const int64_t per_block = 3 * (16 * 4 + 4 * 16) + (16 * 4 + 4 * 64) +
+                            (64 * 4 + 4 * 16);
+  EXPECT_EQ(trainable, 2 * per_block);
+}
+
+TEST(TransformerTest, PartialLoraRate) {
+  util::Rng rng(8);
+  Transformer model(8, 2, 4, &rng, /*causal=*/true);
+  model.EnableLora(2, 4.0f, /*num_blocks=*/2, &rng);
+  EXPECT_TRUE(model.block(0)->lora_enabled());
+  EXPECT_TRUE(model.block(1)->lora_enabled());
+  EXPECT_FALSE(model.block(2)->lora_enabled());
+  EXPECT_FALSE(model.block(3)->lora_enabled());
+}
+
+TEST(TransformerTest, LoraTrainingChangesOutput) {
+  util::Rng rng(9);
+  Transformer model(8, 2, 1, &rng, /*causal=*/true);
+  model.EnableLora(2, 4.0f, 1, &rng);
+  model.FreezeBase();
+  Tensor x = Tensor::Randn({3, 8}, &rng, 1.0f);
+  Tensor before = model.Forward(x).Detached();
+  // One crude SGD step on the LoRA params.
+  Tensor loss = Sum(Square(model.Forward(x)));
+  loss.Backward();
+  for (auto& p : model.TrainableParameters()) {
+    for (size_t i = 0; i < p.data().size(); ++i) {
+      p.data()[i] -= 0.05f * p.grad()[i];
+    }
+  }
+  Tensor after = model.Forward(x);
+  float diff = 0;
+  for (size_t i = 0; i < after.data().size(); ++i) {
+    diff += std::fabs(after.data()[i] - before.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(LearnedQueryAttentionTest, FusionShapeAndGrad) {
+  util::Rng rng(10);
+  LearnedQueryAttention fusion(5, 8, &rng);
+  Tensor h = Tensor::Randn({5, 8}, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor out = fusion.Forward(h);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{5, 8}));
+  Sum(Square(out)).Backward();
+  float norm = 0;
+  for (float g : h.grad()) norm += g * g;
+  EXPECT_GT(norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace bigcity::nn

@@ -1,0 +1,111 @@
+// Tests for the POI extension (the paper's future-work direction).
+#include "roadnet/poi.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bigcity_model.h"
+#include "data/dataset.h"
+#include "nn/ops.h"
+#include "roadnet/synthetic_city.h"
+
+namespace bigcity::roadnet {
+namespace {
+
+RoadNetwork TestCity() {
+  SyntheticCityConfig config;
+  config.grid_width = 6;
+  config.grid_height = 6;
+  return GenerateSyntheticCity(config);
+}
+
+TEST(PoiLayerTest, GeneratesRequestedCount) {
+  RoadNetwork network = TestCity();
+  PoiLayer layer(&network, 120, 1);
+  EXPECT_EQ(layer.num_pois(), 120);
+}
+
+TEST(PoiLayerTest, PoisInsideCityBounds) {
+  RoadNetwork network = TestCity();
+  float max_x = 0, max_y = 0;
+  for (const auto& s : network.segments()) {
+    max_x = std::max(max_x, s.mid_x);
+    max_y = std::max(max_y, s.mid_y);
+  }
+  PoiLayer layer(&network, 200, 2);
+  for (const auto& poi : layer.pois()) {
+    EXPECT_GE(poi.x, 0.0f);
+    EXPECT_LE(poi.x, max_x);
+    EXPECT_GE(poi.y, 0.0f);
+    EXPECT_LE(poi.y, max_y);
+  }
+}
+
+TEST(PoiLayerTest, NearestSegmentIsConsistent) {
+  RoadNetwork network = TestCity();
+  PoiLayer layer(&network, 50, 3);
+  for (const auto& poi : layer.pois()) {
+    // The recorded segment must be at least as close as segment 0.
+    const auto& near = network.segment(poi.nearest_segment);
+    const auto& other = network.segment(0);
+    const float d_near = (near.mid_x - poi.x) * (near.mid_x - poi.x) +
+                         (near.mid_y - poi.y) * (near.mid_y - poi.y);
+    const float d_other = (other.mid_x - poi.x) * (other.mid_x - poi.x) +
+                          (other.mid_y - poi.y) * (other.mid_y - poi.y);
+    EXPECT_LE(d_near, d_other + 1e-3f);
+    // Reverse index agrees.
+    const auto& attached = layer.PoisOfSegment(poi.nearest_segment);
+    EXPECT_NE(std::find(attached.begin(), attached.end(), poi.id),
+              attached.end());
+  }
+}
+
+TEST(PoiLayerTest, FeatureMatrixShapeAndMass) {
+  RoadNetwork network = TestCity();
+  PoiLayer layer(&network, 150, 4);
+  nn::Tensor features = layer.SegmentPoiFeatures();
+  EXPECT_EQ(features.rows(), network.num_segments());
+  EXPECT_EQ(features.cols(), kNumPoiCategories);
+  float total = 0;
+  for (float v : features.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 2.0f);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST(PoiLayerTest, DeterministicPerSeed) {
+  RoadNetwork network = TestCity();
+  PoiLayer a(&network, 60, 9);
+  PoiLayer b(&network, 60, 9);
+  for (int i = 0; i < a.num_pois(); ++i) {
+    EXPECT_EQ(a.pois()[static_cast<size_t>(i)].nearest_segment,
+              b.pois()[static_cast<size_t>(i)].nearest_segment);
+  }
+}
+
+TEST(PoiIntegrationTest, ModelWithPoiFeaturesRuns) {
+  auto config = data::ScaleConfig(data::XianLikeConfig(), 0.1);
+  config.city.grid_width = 5;
+  config.city.grid_height = 5;
+  data::CityDataset dataset(config);
+  core::BigCityConfig model_config;
+  model_config.d_model = 32;
+  model_config.num_heads = 2;
+  model_config.num_layers = 1;
+  model_config.spatial_dim = 16;
+  model_config.gat_hidden = 16;
+  model_config.use_poi_features = true;
+  model_config.num_pois = 80;
+  core::BigCityModel model(&dataset, model_config);
+  model.BeginStep();
+  nn::Tensor logits = model.NextHopLogits(dataset.train().front());
+  EXPECT_EQ(logits.shape()[1], dataset.network().num_segments());
+  // POI-augmented and plain models have different static-encoder widths.
+  model_config.use_poi_features = false;
+  core::BigCityModel plain(&dataset, model_config);
+  EXPECT_NE(model.NumParameters(), plain.NumParameters());
+}
+
+}  // namespace
+}  // namespace bigcity::roadnet

@@ -1,0 +1,193 @@
+// Parameterized property tests: invariants that must hold across sweeps of
+// sizes, ratios, and seeds.
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/masking.h"
+#include "data/st_unit.h"
+#include "data/trajectory_generator.h"
+#include "nn/ops.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/synthetic_city.h"
+#include "train/metrics.h"
+
+namespace bigcity {
+namespace {
+
+// --- Masking invariants over (length, ratio) --------------------------------
+
+class MaskingProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MaskingProperty, DownsamplePartitionInvariants) {
+  const auto [length, ratio] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(length * 1000 + ratio * 100));
+  auto kept = data::DownsampleKeepIndices(length, ratio, &rng);
+  auto dropped = data::ComplementIndices(length, kept);
+  // Endpoints always kept; partition is exact; both sorted and in range.
+  EXPECT_EQ(kept.front(), 0);
+  EXPECT_EQ(kept.back(), length - 1);
+  EXPECT_EQ(kept.size() + dropped.size(), static_cast<size_t>(length));
+  for (size_t i = 1; i < kept.size(); ++i) EXPECT_LT(kept[i - 1], kept[i]);
+  for (int d : dropped) {
+    EXPECT_GT(d, 0);
+    EXPECT_LT(d, length - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaskingProperty,
+    ::testing::Combine(::testing::Values(2, 5, 12, 24, 60),
+                       ::testing::Values(0.0, 0.5, 0.85, 0.95)));
+
+// --- Softmax invariants over shapes -----------------------------------------
+
+class SoftmaxProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SoftmaxProperty, RowsAreDistributions) {
+  const auto [rows, cols] = GetParam();
+  util::Rng rng(7);
+  nn::Tensor x = nn::Tensor::Randn({rows, cols}, &rng, 3.0f);
+  nn::Tensor y = nn::Softmax(x);
+  for (int r = 0; r < rows; ++r) {
+    double sum = 0;
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_GE(y.at(r, c), 0.0f);
+      sum += y.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SoftmaxProperty,
+                         ::testing::Combine(::testing::Values(1, 3, 17),
+                                            ::testing::Values(1, 2, 5, 64)));
+
+// --- Ranking-metric bounds over k --------------------------------------------
+
+class RankingMetricProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankingMetricProperty, BoundsAndOrdering) {
+  const int k = GetParam();
+  util::Rng rng(99);
+  std::vector<std::vector<int>> ranked;
+  std::vector<int> targets;
+  for (int s = 0; s < 40; ++s) {
+    std::vector<int> order = rng.Permutation(20);
+    ranked.push_back(order);
+    targets.push_back(rng.UniformInt(0, 19));
+  }
+  const double hr = train::HitRateAtK(ranked, targets, k);
+  const double mrr = train::MrrAtK(ranked, targets, k);
+  const double ndcg = train::NdcgAtK(ranked, targets, k);
+  EXPECT_GE(hr, 0.0);
+  EXPECT_LE(hr, 1.0);
+  // MRR <= NDCG <= HR for a single relevant item.
+  EXPECT_LE(mrr, ndcg + 1e-12);
+  EXPECT_LE(ndcg, hr + 1e-12);
+  // Monotone in k.
+  if (k > 1) {
+    EXPECT_GE(hr, train::HitRateAtK(ranked, targets, k - 1) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RankingMetricProperty,
+                         ::testing::Values(1, 3, 5, 10, 20));
+
+// --- City generation invariants over grid sizes -------------------------------
+
+class CityProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CityProperty, SegmentsComeInDirectedPairsOnValidGrid) {
+  const auto [w, h] = GetParam();
+  roadnet::SyntheticCityConfig config;
+  config.grid_width = w;
+  config.grid_height = h;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(config);
+  // Streets are bidirectional: segment count is even, and every segment's
+  // reverse twin exists.
+  EXPECT_EQ(network.num_segments() % 2, 0);
+  for (int i = 0; i < network.num_segments(); i += 2) {
+    const auto& forward = network.segment(i);
+    const auto& backward = network.segment(i + 1);
+    EXPECT_EQ(forward.from_intersection, backward.to_intersection);
+    EXPECT_EQ(forward.to_intersection, backward.from_intersection);
+  }
+  // Highway ring keeps the border strongly connected: from any highway
+  // segment, all highway segments are reachable.
+  int highway = -1;
+  for (const auto& s : network.segments()) {
+    if (s.type == roadnet::RoadType::kHighway) {
+      highway = s.id;
+      break;
+    }
+  }
+  ASSERT_GE(highway, 0);
+  auto dist = roadnet::HopDistances(network, highway);
+  for (const auto& s : network.segments()) {
+    if (s.type == roadnet::RoadType::kHighway) {
+      EXPECT_GE(dist[static_cast<size_t>(s.id)], 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CityProperty,
+                         ::testing::Combine(::testing::Values(3, 6, 9),
+                                            ::testing::Values(3, 7)));
+
+// --- Generator invariants over seeds -------------------------------------------
+
+class GeneratorProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorProperty, TripsAreWellFormed) {
+  roadnet::SyntheticCityConfig city;
+  city.grid_width = 5;
+  city.grid_height = 5;
+  roadnet::RoadNetwork network = roadnet::GenerateSyntheticCity(city);
+  data::TrajectoryGeneratorConfig config;
+  config.num_users = 6;
+  config.num_trajectories = 50;
+  config.seed = GetParam();
+  data::TrajectoryGenerator generator(&network, config);
+  auto trips = generator.Generate();
+  EXPECT_GE(trips.size(), 25u);
+  for (const auto& trip : trips) {
+    EXPECT_GE(trip.length(), config.min_hops);
+    EXPECT_GE(trip.user_id, 0);
+    EXPECT_LT(trip.user_id, config.num_users);
+    for (int l = 0; l < trip.length(); ++l) {
+      EXPECT_GE(trip.points[static_cast<size_t>(l)].segment, 0);
+      EXPECT_LT(trip.points[static_cast<size_t>(l)].segment,
+                network.num_segments());
+      if (l > 0) {
+        EXPECT_GT(trip.points[static_cast<size_t>(l)].timestamp,
+                  trip.points[static_cast<size_t>(l - 1)].timestamp);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratorProperty,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+// --- Time-feature invariants over times -----------------------------------------
+
+class TimeFeatureProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeFeatureProperty, UnitCircleAndRange) {
+  const double t = GetParam();
+  auto f = data::TimeFeatures(t);
+  EXPECT_NEAR(f[0] * f[0] + f[1] * f[1], 1.0f, 1e-5f);  // Hour on circle.
+  EXPECT_NEAR(f[2] * f[2] + f[3] * f[3], 1.0f, 1e-5f);  // Day on circle.
+  EXPECT_GE(f[4], 0.0f);
+  EXPECT_LT(f[4], 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimeFeatureProperty,
+                         ::testing::Values(0.0, 3601.0, 86399.0, 86400.0,
+                                           123456.7, 7.0 * 86400.0 + 1.0));
+
+}  // namespace
+}  // namespace bigcity

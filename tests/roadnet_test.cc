@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/synthetic_city.h"
+
+namespace bigcity::roadnet {
+namespace {
+
+RoadNetwork TinyTriangle() {
+  // Three intersections 0,1,2 with one-way ring 0->1->2->0.
+  std::vector<RoadSegment> segs(3);
+  for (int i = 0; i < 3; ++i) {
+    segs[i].id = i;
+    segs[i].from_intersection = i;
+    segs[i].to_intersection = (i + 1) % 3;
+    segs[i].length_m = 100.0f;
+    segs[i].speed_limit_mps = 10.0f;
+  }
+  return RoadNetwork(std::move(segs));
+}
+
+TEST(RoadNetworkTest, AdjacencyFollowsIntersections) {
+  RoadNetwork net = TinyTriangle();
+  EXPECT_EQ(net.successors(0), (std::vector<int>{1}));
+  EXPECT_EQ(net.successors(1), (std::vector<int>{2}));
+  EXPECT_EQ(net.successors(2), (std::vector<int>{0}));
+  EXPECT_EQ(net.predecessors(1), (std::vector<int>{0}));
+}
+
+TEST(RoadNetworkTest, DegreesComputed) {
+  RoadNetwork net = TinyTriangle();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(net.segment(i).in_degree, 1);
+    EXPECT_EQ(net.segment(i).out_degree, 1);
+  }
+}
+
+TEST(RoadNetworkTest, UTurnsExcluded) {
+  // Bidirectional street: 0<->1. The reverse twin must not be a successor.
+  std::vector<RoadSegment> segs(2);
+  segs[0].id = 0;
+  segs[0].from_intersection = 0;
+  segs[0].to_intersection = 1;
+  segs[1].id = 1;
+  segs[1].from_intersection = 1;
+  segs[1].to_intersection = 0;
+  RoadNetwork net(std::move(segs));
+  EXPECT_TRUE(net.successors(0).empty());
+  EXPECT_TRUE(net.successors(1).empty());
+}
+
+TEST(RoadNetworkTest, StaticFeatureMatrixShapeAndOneHot) {
+  RoadNetwork net = TinyTriangle();
+  nn::Tensor features = net.StaticFeatureMatrix();
+  EXPECT_EQ(features.rows(), 3);
+  EXPECT_EQ(features.cols(), RoadNetwork::StaticFeatureDim());
+  // Exactly one road-type slot set per row.
+  for (int i = 0; i < 3; ++i) {
+    float onehot = 0;
+    for (int t = 0; t < kNumRoadTypes; ++t) onehot += features.at(i, 7 + t);
+    EXPECT_FLOAT_EQ(onehot, 1.0f);
+  }
+}
+
+TEST(RoadNetworkTest, GraphEdgesIncludeSelfLoops) {
+  RoadNetwork net = TinyTriangle();
+  nn::GraphEdges g = net.ToGraphEdges();
+  EXPECT_EQ(g.num_nodes, 3);
+  int self_loops = 0;
+  for (size_t e = 0; e < g.src.size(); ++e) {
+    if (g.src[e] == g.dst[e]) ++self_loops;
+  }
+  EXPECT_EQ(self_loops, 3);
+}
+
+TEST(SyntheticCityTest, GeneratesConnectedCity) {
+  SyntheticCityConfig config;
+  config.grid_width = 6;
+  config.grid_height = 6;
+  RoadNetwork net = GenerateSyntheticCity(config);
+  EXPECT_GT(net.num_segments(), 50);
+  // The highway ring guarantees strong connectivity of the border; check
+  // that a large majority of segments are mutually reachable.
+  auto dist = HopDistances(net, 0);
+  int reachable = 0;
+  for (int d : dist) reachable += d >= 0 ? 1 : 0;
+  EXPECT_GT(reachable, net.num_segments() * 9 / 10);
+}
+
+TEST(SyntheticCityTest, DeterministicForSeed) {
+  SyntheticCityConfig config;
+  RoadNetwork a = GenerateSyntheticCity(config);
+  RoadNetwork b = GenerateSyntheticCity(config);
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  for (int i = 0; i < a.num_segments(); ++i) {
+    EXPECT_EQ(a.segment(i).from_intersection, b.segment(i).from_intersection);
+    EXPECT_FLOAT_EQ(a.segment(i).length_m, b.segment(i).length_m);
+  }
+}
+
+TEST(SyntheticCityTest, RoadTypesPresent) {
+  SyntheticCityConfig config;
+  RoadNetwork net = GenerateSyntheticCity(config);
+  int counts[kNumRoadTypes] = {0, 0, 0};
+  for (const auto& s : net.segments()) ++counts[static_cast<int>(s.type)];
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST(ShortestPathTest, TrianglePath) {
+  RoadNetwork net = TinyTriangle();
+  auto path = ShortestPath(net, 0, 2);
+  EXPECT_EQ(path, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  RoadNetwork net = TinyTriangle();
+  auto path = ShortestPath(net, 1, 1);
+  EXPECT_EQ(path, (std::vector<int>{1}));
+}
+
+TEST(ShortestPathTest, UnreachableReturnsEmpty) {
+  std::vector<RoadSegment> segs(2);
+  segs[0].id = 0;
+  segs[0].from_intersection = 0;
+  segs[0].to_intersection = 1;
+  segs[1].id = 1;
+  segs[1].from_intersection = 2;
+  segs[1].to_intersection = 3;
+  RoadNetwork net(std::move(segs));
+  EXPECT_TRUE(ShortestPath(net, 0, 1).empty());
+}
+
+TEST(ShortestPathTest, PathIsContiguousOnCity) {
+  RoadNetwork net = GenerateSyntheticCity({});
+  util::Rng rng(5);
+  int found = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    int a = rng.UniformInt(0, net.num_segments() - 1);
+    int b = rng.UniformInt(0, net.num_segments() - 1);
+    auto path = ShortestPath(net, a, b);
+    if (path.empty()) continue;
+    ++found;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto& succ = net.successors(path[i]);
+      EXPECT_NE(std::find(succ.begin(), succ.end(), path[i + 1]), succ.end());
+    }
+  }
+  EXPECT_GT(found, 10);
+}
+
+TEST(ShortestPathTest, NoisyPathStillValidAndSometimesDifferent) {
+  RoadNetwork net = GenerateSyntheticCity({});
+  util::Rng rng(6);
+  int different = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    int a = rng.UniformInt(0, net.num_segments() - 1);
+    int b = rng.UniformInt(0, net.num_segments() - 1);
+    auto base = ShortestPath(net, a, b);
+    if (base.size() < 6) continue;
+    auto noisy = NoisyShortestPath(net, a, b, 1.5, &rng);
+    ASSERT_FALSE(noisy.empty());
+    EXPECT_EQ(noisy.front(), a);
+    EXPECT_EQ(noisy.back(), b);
+    if (noisy != base) ++different;
+  }
+  EXPECT_GT(different, 0);
+}
+
+}  // namespace
+}  // namespace bigcity::roadnet

@@ -1,0 +1,205 @@
+// Integration tests: the full two-stage training pipeline on a tiny city,
+// followed by evaluation of all eight tasks and the transfer protocol.
+#include <gtest/gtest.h>
+
+#include "core/bigcity_model.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+#include "train/transfer.h"
+
+namespace bigcity::train {
+namespace {
+
+data::CityDatasetConfig TinyCity(const char* name, uint64_t seed) {
+  auto config = data::ScaleConfig(data::XianLikeConfig(), 0.15);
+  config.name = name;
+  config.city.grid_width = 5;
+  config.city.grid_height = 5;
+  config.city.seed = seed;
+  config.generator.seed = seed + 1;
+  config.generator.num_users = 8;
+  return config;
+}
+
+core::BigCityConfig TinyModelConfig() {
+  core::BigCityConfig config;
+  config.d_model = 32;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.spatial_dim = 16;
+  config.gat_hidden = 16;
+  config.lora_rank = 4;
+  return config;
+}
+
+TrainConfig QuickTrainConfig() {
+  TrainConfig config;
+  config.pretrain_lm_epochs = 3;
+  config.stage1_epochs = 2;
+  config.stage2_epochs = 4;
+  config.max_stage1_sequences = 80;
+  config.max_task_samples = 60;
+  return config;
+}
+
+class TrainPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::CityDataset(TinyCity("XA-tiny", 900));
+    model_ = new core::BigCityModel(dataset_, TinyModelConfig());
+    trainer_ = new Trainer(model_, QuickTrainConfig());
+    trainer_->RunAll();
+  }
+  static void TearDownTestSuite() {
+    delete trainer_;
+    delete model_;
+    delete dataset_;
+  }
+
+  static data::CityDataset* dataset_;
+  static core::BigCityModel* model_;
+  static Trainer* trainer_;
+};
+
+data::CityDataset* TrainPipelineTest::dataset_ = nullptr;
+core::BigCityModel* TrainPipelineTest::model_ = nullptr;
+Trainer* TrainPipelineTest::trainer_ = nullptr;
+
+TEST_F(TrainPipelineTest, LossesAreFinite) {
+  EXPECT_TRUE(std::isfinite(trainer_->last_stage1_loss()));
+  EXPECT_TRUE(std::isfinite(trainer_->last_stage2_loss()));
+  EXPECT_GT(trainer_->last_stage1_loss(), 0.0f);
+}
+
+TEST_F(TrainPipelineTest, Stage2FreezesTokenizer) {
+  // After RunAll, tokenizer params must be frozen; LoRA + heads trainable.
+  for (auto& p : model_->tokenizer()->Parameters()) {
+    EXPECT_FALSE(p.requires_grad());
+  }
+  EXPECT_FALSE(model_->TrainableParameters().empty());
+}
+
+TEST_F(TrainPipelineTest, NextHopBeatsUniformRandom) {
+  Evaluator evaluator(model_);
+  RankingMetrics metrics = evaluator.EvaluateNextHop();
+  // Even a briefly trained model must beat random over ~100 segments,
+  // because next-hop candidates are network-constrained.
+  const double random = 1.0 / dataset_->network().num_segments();
+  EXPECT_GT(metrics.accuracy, 5 * random);
+  EXPECT_GE(metrics.mrr5, metrics.accuracy);
+  EXPECT_GE(metrics.ndcg5, metrics.mrr5 - 1e-9);
+}
+
+TEST_F(TrainPipelineTest, TravelTimeFinitePositive) {
+  Evaluator evaluator(model_);
+  RegressionMetrics metrics = evaluator.EvaluateTravelTime();
+  EXPECT_GT(metrics.mae, 0.0);
+  EXPECT_GE(metrics.rmse, metrics.mae);
+  EXPECT_TRUE(std::isfinite(metrics.mape));
+}
+
+TEST_F(TrainPipelineTest, UserClassificationRuns) {
+  Evaluator evaluator(model_);
+  MultiClassMetrics metrics = evaluator.EvaluateUserClassification();
+  EXPECT_GE(metrics.micro_f1, 0.0);
+  EXPECT_LE(metrics.micro_f1, 1.0);
+}
+
+TEST_F(TrainPipelineTest, SimilaritySearchRanksOwnHalfHighly) {
+  Evaluator evaluator(model_);
+  SimilarityMetrics metrics = evaluator.EvaluateSimilarity();
+  // Queries share half their ST-units with the positive; embeddings should
+  // beat random ranking by a wide margin.
+  EXPECT_GT(metrics.hr10, 0.2);
+  EXPECT_GE(metrics.hr10, metrics.hr5);
+  EXPECT_GE(metrics.hr5, metrics.hr1);
+}
+
+TEST_F(TrainPipelineTest, RecoveryDegradesWithMaskRatio) {
+  Evaluator evaluator(model_);
+  RecoveryMetrics easy = evaluator.EvaluateRecovery(0.5);
+  RecoveryMetrics hard = evaluator.EvaluateRecovery(0.95);
+  EXPECT_GE(easy.accuracy, 0.0);
+  // Generally easier with fewer masks; allow slack for a tiny model.
+  EXPECT_GE(easy.accuracy + 0.15, hard.accuracy);
+}
+
+TEST_F(TrainPipelineTest, TrafficTasksProduceSaneErrors) {
+  Evaluator evaluator(model_);
+  RegressionMetrics one = evaluator.EvaluateTrafficPrediction(1);
+  RegressionMetrics multi = evaluator.EvaluateTrafficPrediction(6);
+  RegressionMetrics imputed = evaluator.EvaluateTrafficImputation(0.25);
+  // Errors in m/s: must be far below the 20 m/s normalization scale.
+  EXPECT_LT(one.mae, 8.0);
+  EXPECT_LT(multi.mae, 8.0);
+  EXPECT_LT(imputed.mae, 8.0);
+  EXPECT_GT(one.mae, 0.0);
+}
+
+TEST_F(TrainPipelineTest, TransferKeepsBackboneFrozen) {
+  data::CityDataset target_data(TinyCity("CD-tiny", 1900));
+  core::BigCityModel target(&target_data, TinyModelConfig());
+  util::Rng rng(1);
+  target.backbone()->EnableLora(&rng);  // Match source architecture.
+  TransferBackbone(model_, &target);
+  for (auto& p : target.backbone()->Parameters()) {
+    EXPECT_FALSE(p.requires_grad());
+  }
+  // Trainable: tokenizer temporal MLP + heads only.
+  auto trainable = target.TrainableParameters();
+  EXPECT_FALSE(trainable.empty());
+  auto quick = QuickTrainConfig();
+  quick.max_task_samples = 8;
+  FineTuneTransferred(&target, quick);
+  Evaluator evaluator(&target);
+  RankingMetrics metrics = evaluator.EvaluateNextHop();
+  EXPECT_GE(metrics.accuracy, 0.0);
+}
+
+TEST(TrainerTest, BuildTaskSamplesCoversConfiguredTasks) {
+  data::CityDataset dataset(TinyCity("XA-samples", 300));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  TrainConfig config = QuickTrainConfig();
+  config.tasks = {core::Task::kNextHop, core::Task::kTrafficMultiStep};
+  Trainer trainer(&model, config);
+  auto samples = trainer.BuildTaskSamples();
+  bool has_next = false, has_multi = false, has_other = false;
+  for (const auto& s : samples) {
+    if (s.task == core::Task::kNextHop) has_next = true;
+    else if (s.task == core::Task::kTrafficMultiStep) has_multi = true;
+    else has_other = true;
+  }
+  EXPECT_TRUE(has_next);
+  EXPECT_TRUE(has_multi);
+  EXPECT_FALSE(has_other);
+}
+
+TEST(TrainerTest, PretrainReducesLmLoss) {
+  data::CityDataset dataset(TinyCity("XA-lm", 301));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  auto corpus_loss = [&]() {
+    float total = 0;
+    int count = 0;
+    for (const auto& line : PretrainCorpus()) {
+      auto ids = model.text_tokenizer().Encode(line);
+      if (ids.size() < 2) continue;
+      nn::Tensor logits = model.backbone()->TextLmLogits(ids);
+      nn::Tensor inputs = nn::SliceRows(
+          logits, 0, static_cast<int64_t>(ids.size()) - 1);
+      std::vector<int> targets(ids.begin() + 1, ids.end());
+      total += nn::CrossEntropy(inputs, targets).item();
+      ++count;
+    }
+    return total / count;
+  };
+  const float before = corpus_loss();
+  TrainConfig config = QuickTrainConfig();
+  config.pretrain_lm_epochs = 5;
+  Trainer trainer(&model, config);
+  trainer.PretrainBackbone();
+  const float after = corpus_loss();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace bigcity::train

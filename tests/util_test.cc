@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace bigcity::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_NE(s.ToString().find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, CategoricalrespectsWeights) {
+  Rng rng(3);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1);
+  }
+}
+
+TEST(RngTest, CategoricalDistribution) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) count1 += rng.Categorical(weights);
+  double frac = static_cast<double>(count1) / n;
+  EXPECT_NEAR(frac, 0.75, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(11);
+  auto perm = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int v : perm) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(13);
+  auto sample = rng.SampleWithoutReplacement(20, 7);
+  EXPECT_EQ(sample.size(), 7u);
+  for (size_t i = 1; i < sample.size(); ++i) {
+    EXPECT_LT(sample[i - 1], sample[i]);  // sorted + distinct
+  }
+}
+
+TEST(TablePrinterTest, RendersAlignedCells) {
+  TablePrinter table({"Model", "MAE"});
+  table.AddRow({"START", "1.833"});
+  table.AddRow({"BIGCity", "1.723"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("BIGCity"), std::string::npos);
+  EXPECT_NE(s.find("1.723"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsDecimals) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(TablePrinter::Num(2.0, 1), "2.0");
+}
+
+TEST(IoTest, RoundTripsPrimitives) {
+  std::stringstream stream;
+  WriteU64(stream, 123456789ull);
+  WriteI32(stream, -77);
+  WriteFloatVector(stream, {1.5f, -2.5f, 3.25f});
+  WriteString(stream, "backbone.block0.wq");
+
+  uint64_t u = 0;
+  int32_t i = 0;
+  std::vector<float> v;
+  std::string s;
+  ASSERT_TRUE(ReadU64(stream, &u).ok());
+  ASSERT_TRUE(ReadI32(stream, &i).ok());
+  ASSERT_TRUE(ReadFloatVector(stream, &v).ok());
+  ASSERT_TRUE(ReadString(stream, &s).ok());
+  EXPECT_EQ(u, 123456789ull);
+  EXPECT_EQ(i, -77);
+  EXPECT_EQ(v, (std::vector<float>{1.5f, -2.5f, 3.25f}));
+  EXPECT_EQ(s, "backbone.block0.wq");
+}
+
+TEST(IoTest, TruncatedStreamFails) {
+  std::stringstream stream;
+  WriteU64(stream, 10);  // Claims 10 floats but provides none.
+  std::vector<float> v;
+  EXPECT_FALSE(ReadFloatVector(stream, &v).ok());
+}
+
+}  // namespace
+}  // namespace bigcity::util

@@ -1,0 +1,85 @@
+// Hand-built cases for the HMM map-matching decoder shared by the
+// Linear+HMM and DTHR+HMM recovery baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/recovery/recovery_model.h"
+#include "roadnet/road_network.h"
+
+namespace bigcity::baselines {
+namespace {
+
+/// A 4-segment one-way chain 0 -> 1 -> 2 -> 3 with midpoints at
+/// x = 0, 100, 200, 300 (y = 0).
+roadnet::RoadNetwork Chain() {
+  std::vector<roadnet::RoadSegment> segments(4);
+  for (int i = 0; i < 4; ++i) {
+    segments[static_cast<size_t>(i)].id = i;
+    segments[static_cast<size_t>(i)].from_intersection = i;
+    segments[static_cast<size_t>(i)].to_intersection = i + 1;
+    segments[static_cast<size_t>(i)].mid_x = static_cast<float>(100 * i);
+    segments[static_cast<size_t>(i)].mid_y = 0.0f;
+    segments[static_cast<size_t>(i)].length_m = 100.0f;
+  }
+  return roadnet::RoadNetwork(std::move(segments));
+}
+
+TEST(ViterbiTest, DecodesExactObservations) {
+  roadnet::RoadNetwork network = Chain();
+  std::vector<std::pair<float, float>> observations = {
+      {0, 0}, {100, 0}, {200, 0}, {300, 0}};
+  std::vector<int> pinned = {-1, -1, -1, -1};
+  auto path = ViterbiDecode(network, observations, pinned);
+  EXPECT_EQ(path, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ViterbiTest, RespectsPinnedStates) {
+  roadnet::RoadNetwork network = Chain();
+  // Observations pull toward segment 0, but the pins force 1 -> 2.
+  std::vector<std::pair<float, float>> observations = {
+      {0, 0}, {0, 0}, {0, 0}};
+  std::vector<int> pinned = {1, -1, 3};
+  auto path = ViterbiDecode(network, observations, pinned);
+  EXPECT_EQ(path.front(), 1);
+  EXPECT_EQ(path.back(), 3);
+  EXPECT_EQ(path[1], 2);  // Only network-consistent bridge.
+}
+
+TEST(ViterbiTest, TransitionsFollowNetwork) {
+  roadnet::RoadNetwork network = Chain();
+  // Ambiguous middle observation: decoded path must still be a valid walk
+  // (successor or self at each step).
+  std::vector<std::pair<float, float>> observations = {
+      {0, 0}, {150, 40}, {300, 0}};
+  std::vector<int> pinned = {0, -1, 3};
+  auto path = ViterbiDecode(network, observations, pinned);
+  ASSERT_EQ(path.size(), 3u);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& successors = network.successors(path[i]);
+    const bool valid =
+        path[i + 1] == path[i] ||
+        std::find(successors.begin(), successors.end(), path[i + 1]) !=
+            successors.end();
+    EXPECT_TRUE(valid) << path[i] << " -> " << path[i + 1];
+  }
+}
+
+TEST(ViterbiTest, SelfLoopPenalized) {
+  roadnet::RoadNetwork network = Chain();
+  // Two identical observations at segment 1's midpoint. Because self loops
+  // carry a penalty, the decoder prefers the moving interpretation 0 -> 1
+  // over staying 1 -> 1 — consecutive trajectory samples usually advance.
+  std::vector<std::pair<float, float>> observations = {{100, 0}, {100, 0}};
+  std::vector<int> pinned = {-1, -1};
+  auto path = ViterbiDecode(network, observations, pinned);
+  EXPECT_EQ(path[1], 1);  // Ends at the observed segment...
+  EXPECT_EQ(path[0], 0);  // ...reached by moving, not waiting.
+}
+
+TEST(ViterbiTest, SingleObservation) {
+  roadnet::RoadNetwork network = Chain();
+  auto path = ViterbiDecode(network, {{210, 5}}, {-1});
+  EXPECT_EQ(path, (std::vector<int>{2}));
+}
+
+}  // namespace
+}  // namespace bigcity::baselines

@@ -1,0 +1,192 @@
+// Command-line interface for the BIGCity library.
+//
+// Subcommands:
+//   generate --city XA --scale 0.5 --out trips.csv
+//       Generate a synthetic city's trajectory corpus and export it as CSV.
+//   train    --city XA --scale 0.5 --save model.bin [--epochs1 N --epochs2 N]
+//       Run the full two-stage training pipeline and checkpoint the model.
+//   eval     --city XA --scale 0.5 --load model.bin
+//       Evaluate a checkpoint on all eight tasks and print a report.
+//
+// The --city/--scale pair must match between train and eval (the model's
+// label space is city-specific).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/bigcity_model.h"
+#include "data/csv_io.h"
+#include "data/dataset.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+#include "util/table_printer.h"
+
+namespace bigcity {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string city = "XA";
+  double scale = 0.5;
+  std::string out;
+  std::string save;
+  std::string load;
+  int epochs1 = 2;
+  int epochs2 = 6;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: bigcity_cli <generate|train|eval> [options]\n"
+      "  --city BJ|XA|CD   city preset (default XA)\n"
+      "  --scale F         trajectory-count scale factor (default 0.5)\n"
+      "  --out PATH        generate: CSV output path\n"
+      "  --save PATH       train: checkpoint output path\n"
+      "  --load PATH       eval: checkpoint input path\n"
+      "  --epochs1 N       train: stage-1 epochs (default 2)\n"
+      "  --epochs2 N       train: stage-2 epochs (default 6)\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  if (argc < 2) return false;
+  options->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--city") {
+      options->city = value;
+    } else if (flag == "--scale") {
+      options->scale = std::atof(value.c_str());
+    } else if (flag == "--out") {
+      options->out = value;
+    } else if (flag == "--save") {
+      options->save = value;
+    } else if (flag == "--load") {
+      options->load = value;
+    } else if (flag == "--epochs1") {
+      options->epochs1 = std::atoi(value.c_str());
+    } else if (flag == "--epochs2") {
+      options->epochs2 = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+data::CityDatasetConfig CityConfig(const CliOptions& options) {
+  data::CityDatasetConfig config;
+  if (options.city == "BJ") {
+    config = data::BeijingLikeConfig();
+  } else if (options.city == "CD") {
+    config = data::ChengduLikeConfig();
+  } else {
+    config = data::XianLikeConfig();
+  }
+  return data::ScaleConfig(config, options.scale);
+}
+
+int RunGenerate(const CliOptions& options) {
+  data::CityDataset dataset(CityConfig(options));
+  std::vector<data::Trajectory> all = dataset.train();
+  all.insert(all.end(), dataset.val().begin(), dataset.val().end());
+  all.insert(all.end(), dataset.test().begin(), dataset.test().end());
+  const std::string path =
+      options.out.empty() ? options.city + "_trips.csv" : options.out;
+  if (auto status = data::SaveTrajectoriesCsv(path, all); !status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trajectories over %d segments to %s\n", all.size(),
+              dataset.network().num_segments(), path.c_str());
+  return 0;
+}
+
+int RunTrain(const CliOptions& options) {
+  data::CityDataset dataset(CityConfig(options));
+  core::BigCityModel model(&dataset, core::BigCityConfig{});
+  train::TrainConfig config;
+  config.stage1_epochs = options.epochs1;
+  config.stage2_epochs = options.epochs2;
+  config.verbose = true;
+  train::Trainer trainer(&model, config);
+  trainer.RunAll();
+  const std::string path =
+      options.save.empty() ? options.city + "_model.bin" : options.save;
+  if (auto status = model.SaveStateToFile(path); !status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %lld parameters to %s\n",
+              static_cast<long long>(model.NumParameters()), path.c_str());
+  return 0;
+}
+
+int RunEval(const CliOptions& options) {
+  data::CityDataset dataset(CityConfig(options));
+  core::BigCityModel model(&dataset, core::BigCityConfig{});
+  if (options.load.empty()) {
+    std::fprintf(stderr, "eval requires --load PATH\n");
+    return 1;
+  }
+  // Checkpoints carry LoRA adapters; attach before loading.
+  util::Rng lora_rng(train::TrainConfig{}.seed ^ 0xabc);
+  model.backbone()->EnableLora(&lora_rng);
+  if (auto status = model.LoadStateFromFile(options.load); !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  train::Evaluator evaluator(&model);
+  util::TablePrinter table({"Task", "Metric", "Value"});
+  const auto tte = evaluator.EvaluateTravelTime();
+  table.AddRow({"TTE", "MAE (min)", util::TablePrinter::Num(tte.mae, 2)});
+  table.AddRow({"TTE", "MAPE (%)", util::TablePrinter::Num(tte.mape, 1)});
+  const auto next = evaluator.EvaluateNextHop();
+  table.AddRow({"Next hop", "ACC", util::TablePrinter::Num(next.accuracy)});
+  table.AddRow({"Next hop", "MRR@5", util::TablePrinter::Num(next.mrr5)});
+  if (model.classifies_users()) {
+    const auto clas = evaluator.EvaluateUserClassification();
+    table.AddRow({"User link", "Micro-F1",
+                  util::TablePrinter::Num(clas.micro_f1)});
+  } else {
+    const auto clas = evaluator.EvaluateBinaryClassification();
+    table.AddRow({"Pattern", "ACC", util::TablePrinter::Num(clas.accuracy)});
+  }
+  const auto simi = evaluator.EvaluateSimilarity();
+  table.AddRow({"Similarity", "HR@10", util::TablePrinter::Num(simi.hr10)});
+  const auto reco = evaluator.EvaluateRecovery(0.85);
+  table.AddRow({"Recovery", "ACC@85%",
+                util::TablePrinter::Num(reco.accuracy)});
+  if (dataset.config().has_dynamic_features) {
+    const auto one = evaluator.EvaluateTrafficPrediction(1);
+    table.AddRow({"Traffic 1-step", "MAE (m/s)",
+                  util::TablePrinter::Num(one.mae, 2)});
+    const auto multi = evaluator.EvaluateTrafficPrediction(6);
+    table.AddRow({"Traffic 6-step", "MAE (m/s)",
+                  util::TablePrinter::Num(multi.mae, 2)});
+    const auto tsi = evaluator.EvaluateTrafficImputation(0.25);
+    table.AddRow({"Imputation", "MAE (m/s)",
+                  util::TablePrinter::Num(tsi.mae, 2)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bigcity
+
+int main(int argc, char** argv) {
+  bigcity::CliOptions options;
+  if (!bigcity::ParseArgs(argc, argv, &options)) {
+    bigcity::PrintUsage();
+    return 2;
+  }
+  if (options.command == "generate") return bigcity::RunGenerate(options);
+  if (options.command == "train") return bigcity::RunTrain(options);
+  if (options.command == "eval") return bigcity::RunEval(options);
+  bigcity::PrintUsage();
+  return 2;
+}
