@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -36,7 +37,7 @@ SweepPoint RunConfig(const data::CityDataset& dataset, double rate,
                         core::Task::kTravelTimeEstimation};
   core::BigCityModel model(&dataset, config);
   train::Trainer trainer(&model, train_config);
-  trainer.RunAll();
+  BIGCITY_CHECK(trainer.RunAll().ok());
 
   train::EvalConfig eval_config;
   eval_config.max_samples = 80;

@@ -12,6 +12,7 @@
 #include "baselines/traj/start_encoder.h"
 #include "baselines/traj/traj_harness.h"
 #include "bench/common.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -78,9 +79,9 @@ int main() {
     config.max_stage1_sequences = 150;
     config.max_task_samples = 25;  // ~150 samples over 6 tasks + recovery.
     train::Trainer trainer(&model, config);
-    trainer.PretrainBackbone();
-    trainer.RunStage1();
-    trainer.RunStage2();
+    BIGCITY_CHECK(trainer.PretrainBackbone().ok());
+    BIGCITY_CHECK(trainer.RunStage1().ok());
+    BIGCITY_CHECK(trainer.RunStage2().ok());
     EfficiencyRow row;
     row.model = "BIGCity";
     row.parameters = model.NumParameters();

@@ -58,7 +58,9 @@ std::unique_ptr<core::BigCityModel> TrainedBigCity(
 
   util::Stopwatch watch;
   train::Trainer trainer(model.get(), train_config);
-  trainer.RunAll();
+  if (auto status = trainer.RunAll(); !status.ok()) {
+    BIGCITY_CHECK(false) << "bench training failed: " << status.ToString();
+  }
   BIGCITY_LOG(Info) << "trained BIGCity (" << cache_key << ") in "
                     << watch.ElapsedSeconds() << "s";
   if (auto status = model->SaveStateToFile(path); !status.ok()) {

@@ -30,7 +30,10 @@ int main() {
   std::printf("Training source model on %s...\n",
               source_city.config().name.c_str());
   train::Trainer source_trainer(&source_model, source_train);
-  source_trainer.RunAll();
+  if (auto status = source_trainer.RunAll(); !status.ok()) {
+    std::printf("source training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
 
   // Target: a smaller city with limited data.
   data::CityDataset target_city(
@@ -56,7 +59,10 @@ int main() {
   scratch_train.max_stage1_sequences = 100;
   scratch_train.max_task_samples = 60;
   train::Trainer scratch_trainer(&scratch, scratch_train);
-  scratch_trainer.RunAll();
+  if (auto status = scratch_trainer.RunAll(); !status.ok()) {
+    std::printf("scratch training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   const double scratch_seconds = scratch_watch.ElapsedSeconds();
 
   train::EvalConfig eval_config;

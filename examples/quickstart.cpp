@@ -4,6 +4,7 @@
 //
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <filesystem>
 
 #include "core/bigcity_model.h"
 #include "data/dataset.h"
@@ -36,8 +37,25 @@ int main() {
   train_config.max_stage1_sequences = 150;
   train_config.max_task_samples = 80;
   train_config.verbose = true;
+  // Crash-safe training: a snapshot is written after every epoch; if a
+  // previous run was killed, resume it instead of starting over.
+  train_config.checkpoint_dir = "quickstart_ckpt";
   train::Trainer trainer(&model, train_config);
-  trainer.RunAll();
+  const std::string snapshot =
+      train_config.checkpoint_dir + "/train_state.ckpt";
+  if (std::filesystem::exists(snapshot)) {
+    if (auto status = trainer.ResumeFrom(snapshot); !status.ok()) {
+      std::printf("stale snapshot (%s) — delete %s to retrain\n",
+                  status.ToString().c_str(), snapshot.c_str());
+      return 1;
+    }
+    std::printf("resumed from %s (phase %d, epoch %d)\n", snapshot.c_str(),
+                trainer.phase(), trainer.epoch());
+  }
+  if (auto status = trainer.RunAll(); !status.ok()) {
+    std::printf("training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
 
   // 4. One trip, several tasks, one model.
   const data::Trajectory* trip = nullptr;

@@ -38,7 +38,10 @@ int main() {
   config.max_stage1_sequences = 150;
   config.max_task_samples = 80;
   train::Trainer trainer(&model, config);
-  trainer.RunAll();
+  if (auto status = trainer.RunAll(); !status.ok()) {
+    std::printf("training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
 
   // Pick a trip from a frequent user.
   const data::Trajectory* trip = nullptr;

@@ -1,8 +1,7 @@
 #include "nn/module.h"
 
-#include <fstream>
-
 #include "util/check.h"
+#include "util/checkpoint.h"
 #include "util/io.h"
 
 namespace bigcity::nn {
@@ -78,17 +77,16 @@ util::Status Module::LoadState(std::istream& in) {
 }
 
 util::Status Module::SaveStateToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return util::Status::IoError("cannot open for write: " + path);
-  SaveState(out);
-  if (!out) return util::Status::IoError("write failed: " + path);
-  return util::Status::Ok();
+  // Crash-safe container write: header + CRC, temp file, fsync, rename.
+  util::CheckpointWriter writer;
+  SaveState(writer.stream());
+  return writer.Commit(path);
 }
 
 util::Status Module::LoadStateFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IoError("cannot open for read: " + path);
-  return LoadState(in);
+  util::CheckpointReader reader;
+  if (auto s = reader.Open(path); !s.ok()) return s;
+  return LoadState(reader.stream());
 }
 
 void Module::CopyStateFrom(const Module& other) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/io.h"
+
 namespace bigcity::nn {
 
 void Optimizer::ZeroGrad() {
@@ -72,6 +74,52 @@ void Adam::Step() {
                         weight_decay_ * data[i]);
     }
   }
+}
+
+void Adam::SaveState(std::ostream& out) const {
+  util::WriteFloat(out, lr_);
+  util::WriteU64(out, static_cast<uint64_t>(t_));
+  util::WriteU64(out, parameters_.size());
+  static const std::vector<float> kEmpty;
+  for (const auto& p : parameters_) {
+    // Moments are lazily created on the first Step; absent buffers are
+    // stored as empty vectors and stay lazy after a load.
+    const auto m_it = m_.find(p.impl().get());
+    const auto v_it = v_.find(p.impl().get());
+    util::WriteFloatVector(out, m_it == m_.end() ? kEmpty : m_it->second);
+    util::WriteFloatVector(out, v_it == v_.end() ? kEmpty : v_it->second);
+  }
+}
+
+util::Status Adam::LoadState(std::istream& in) {
+  float lr = 0;
+  uint64_t t = 0;
+  uint64_t count = 0;
+  if (auto s = util::ReadFloat(in, &lr); !s.ok()) return s;
+  if (auto s = util::ReadU64(in, &t); !s.ok()) return s;
+  if (auto s = util::ReadU64(in, &count); !s.ok()) return s;
+  if (count != parameters_.size()) {
+    return util::Status::InvalidArgument(
+        "optimizer state parameter count mismatch");
+  }
+  std::unordered_map<TensorImpl*, std::vector<float>> m, v;
+  for (auto& p : parameters_) {
+    std::vector<float> pm, pv;
+    if (auto s = util::ReadFloatVector(in, &pm); !s.ok()) return s;
+    if (auto s = util::ReadFloatVector(in, &pv); !s.ok()) return s;
+    if ((!pm.empty() && pm.size() != p.data().size()) ||
+        (!pv.empty() && pv.size() != p.data().size())) {
+      return util::Status::InvalidArgument(
+          "optimizer moment size mismatch with parameter");
+    }
+    if (!pm.empty()) m[p.impl().get()] = std::move(pm);
+    if (!pv.empty()) v[p.impl().get()] = std::move(pv);
+  }
+  lr_ = lr;
+  t_ = static_cast<int64_t>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return util::Status::Ok();
 }
 
 }  // namespace bigcity::nn

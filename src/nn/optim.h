@@ -1,10 +1,12 @@
 #ifndef BIGCITY_NN_OPTIM_H_
 #define BIGCITY_NN_OPTIM_H_
 
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/status.h"
 
 namespace bigcity::nn {
 
@@ -26,6 +28,8 @@ class Optimizer {
   /// Rescales gradients so their global L2 norm is at most max_norm;
   /// returns the pre-clip norm.
   float ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
 
  protected:
   std::vector<Tensor> parameters_;
@@ -56,6 +60,14 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  /// Serializes the learning rate, step count, and per-parameter moment
+  /// buffers, aligned with the constructor's parameter order (a training
+  /// snapshot must restore them for bit-identical resume).
+  void SaveState(std::ostream& out) const;
+  /// Restores state written by SaveState; the optimizer must hold the same
+  /// parameter list (count and sizes are validated).
+  util::Status LoadState(std::istream& in);
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

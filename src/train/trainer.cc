@@ -1,10 +1,17 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <utility>
 
 #include "data/masking.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "util/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -29,6 +36,14 @@ std::vector<Task> TrainableTasks(bool has_dynamic) {
   return tasks;
 }
 
+/// Distinguishes full training-state snapshots from plain module files.
+constexpr char kTrainerStateTag[] = "bigcity-trainer-state";
+
+constexpr int kPhasePretrain = 0;
+constexpr int kPhaseStage1 = 1;
+constexpr int kPhaseStage2 = 2;
+constexpr int kPhaseDone = 3;
+
 }  // namespace
 
 std::vector<std::string> PretrainCorpus() {
@@ -44,7 +59,205 @@ Trainer::Trainer(core::BigCityModel* model, TrainConfig config)
   }
 }
 
-void Trainer::PretrainBackbone() {
+// --- Guarded stepping + snapshots ------------------------------------------
+
+util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
+                                  float* loss_value) {
+  if (util::FaultInjection::Fire(util::kFaultTrainerNanLoss)) {
+    batch_loss.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  const float value = batch_loss.item();
+  bool bad = config_.guard_non_finite && !std::isfinite(value);
+  if (!bad) {
+    batch_loss.Backward();
+    if (util::FaultInjection::Fire(util::kFaultTrainerNanGrad)) {
+      for (auto p : optimizer_->parameters()) {
+        if (p.requires_grad() && !p.grad().empty()) {
+          p.grad()[0] = std::numeric_limits<float>::quiet_NaN();
+          break;
+        }
+      }
+    }
+    const float norm = optimizer_->ClipGradNorm(config_.clip_norm);
+    bad = config_.guard_non_finite && !std::isfinite(norm);
+    if (!bad) {
+      optimizer_->Step();
+      consecutive_bad_ = 0;
+      *applied = true;
+      *loss_value = value;
+      return util::Status::Ok();
+    }
+  }
+  // Non-finite loss or gradients: skip the update, back off the LR, and
+  // report divergence once the bad streak exceeds the budget.
+  *applied = false;
+  *loss_value = 0;
+  ++consecutive_bad_;
+  ++total_skipped_steps_;
+  optimizer_->set_lr(optimizer_->lr() * config_.lr_backoff);
+  BIGCITY_LOG(Warning) << "non-finite loss/gradient at phase " << phase_
+                       << " epoch " << epoch_ << "; skipped step ("
+                       << consecutive_bad_ << " consecutive), lr -> "
+                       << optimizer_->lr();
+  if (consecutive_bad_ >= config_.max_bad_steps) {
+    return util::Status::Internal(
+        "training diverged: " + std::to_string(consecutive_bad_) +
+        " consecutive non-finite steps at phase " + std::to_string(phase_) +
+        " epoch " + std::to_string(epoch_));
+  }
+  return util::Status::Ok();
+}
+
+std::string Trainer::SnapshotPath() const {
+  return config_.checkpoint_dir + "/train_state.ckpt";
+}
+
+util::Status Trainer::MaybeCheckpoint() const {
+  if (config_.checkpoint_dir.empty()) return util::Status::Ok();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.checkpoint_dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create checkpoint dir " +
+                                 config_.checkpoint_dir + ": " + ec.message());
+  }
+  return SaveTrainingState(SnapshotPath());
+}
+
+util::Status Trainer::FinishEpoch(int next_epoch) {
+  epoch_ = next_epoch;
+  if (auto s = MaybeCheckpoint(); !s.ok()) return s;
+  if (util::FaultInjection::Fire(util::kFaultTrainerInterrupt)) {
+    return util::Status::FailedPrecondition(
+        "training interrupted (fault injection) at phase " +
+        std::to_string(phase_) + " epoch " + std::to_string(epoch_));
+  }
+  return util::Status::Ok();
+}
+
+util::Status Trainer::SaveTrainingState(const std::string& path) const {
+  util::CheckpointWriter writer;
+  auto& out = writer.stream();
+  util::WriteString(out, kTrainerStateTag);
+  util::WriteI32(out, phase_);
+  util::WriteI32(out, epoch_);
+  util::WriteI32(out, consecutive_bad_);
+  util::WriteFloat(out, lr_penalty_);
+  util::WriteString(out, rng_.SaveState());
+  util::WriteString(out, stage_entry_rng_);
+  model_->SaveState(out);
+  util::WriteI32(out, optimizer_ ? 1 : 0);
+  if (optimizer_) optimizer_->SaveState(out);
+  return writer.Commit(path);
+}
+
+util::Status Trainer::ResumeFrom(const std::string& path) {
+  return LoadTrainingState(path, /*replay_structure=*/true);
+}
+
+util::Status Trainer::LoadTrainingState(const std::string& path,
+                                        bool replay_structure) {
+  util::CheckpointReader reader;
+  if (auto s = reader.Open(path); !s.ok()) return s;
+  auto& in = reader.stream();
+
+  std::string tag;
+  if (auto s = util::ReadString(in, &tag); !s.ok()) return s;
+  if (tag != kTrainerStateTag) {
+    return util::Status::InvalidArgument(
+        "not a trainer-state checkpoint (model-only file?): " + path);
+  }
+  int32_t phase = 0, epoch = 0, bad = 0;
+  float penalty = 1.0f;
+  if (auto s = util::ReadI32(in, &phase); !s.ok()) return s;
+  if (auto s = util::ReadI32(in, &epoch); !s.ok()) return s;
+  if (auto s = util::ReadI32(in, &bad); !s.ok()) return s;
+  if (auto s = util::ReadFloat(in, &penalty); !s.ok()) return s;
+  if (phase < kPhasePretrain || phase > kPhaseDone || epoch < 0) {
+    return util::Status::InvalidArgument(
+        "corrupt phase/epoch cursor in checkpoint: " + path);
+  }
+  std::string rng_state, entry_rng;
+  if (auto s = util::ReadString(in, &rng_state); !s.ok()) return s;
+  if (auto s = util::ReadString(in, &entry_rng); !s.ok()) return s;
+
+  if (replay_structure) {
+    // Replay the structural transitions completed phases applied, so the
+    // parameter tree and trainable set match the snapshot before loading.
+    if (phase >= kPhaseStage1) {
+      util::Rng lora_rng(config_.seed ^ 0xabc);
+      model_->backbone()->EnableLora(&lora_rng);
+      model_->backbone()->FreezeBase();
+    }
+    if (phase >= kPhaseStage2) model_->tokenizer()->SetTrainable(false);
+  }
+  if (auto s = model_->LoadState(in); !s.ok()) return s;
+
+  int32_t has_optimizer = 0;
+  if (auto s = util::ReadI32(in, &has_optimizer); !s.ok()) return s;
+  if (has_optimizer != 0) {
+    auto parameters = phase == kPhasePretrain
+                          ? model_->backbone()->TrainableParameters()
+                          : model_->TrainableParameters();
+    auto optimizer =
+        std::make_unique<nn::Adam>(std::move(parameters), 0.0f);
+    if (auto s = optimizer->LoadState(in); !s.ok()) return s;
+    optimizer_ = std::move(optimizer);
+  } else {
+    optimizer_.reset();
+  }
+  if (!rng_.LoadState(rng_state)) {
+    return util::Status::InvalidArgument("corrupt RNG state in checkpoint: " +
+                                         path);
+  }
+  phase_ = phase;
+  epoch_ = epoch;
+  consecutive_bad_ = bad;
+  lr_penalty_ = penalty;
+  stage_entry_rng_ = std::move(entry_rng);
+  return util::Status::Ok();
+}
+
+util::Status Trainer::RunWithRollback(
+    const std::function<util::Status()>& stage) {
+  const int expected_phase = phase_;
+  for (;;) {
+    util::Status status = stage();
+    if (status.ok() || status.code() != util::StatusCode::kInternal) {
+      return status;
+    }
+    // Divergence: reload the last good snapshot with an extra LR backoff.
+    if (config_.checkpoint_dir.empty() ||
+        rollbacks_ >= config_.max_rollbacks) {
+      return status;
+    }
+    ++rollbacks_;
+    lr_penalty_ *= config_.lr_backoff;
+    if (auto s = LoadTrainingState(SnapshotPath(), false); !s.ok()) {
+      return status;  // No usable snapshot: surface the divergence.
+    }
+    if (phase_ != expected_phase) return status;
+    consecutive_bad_ = 0;
+    if (optimizer_) {
+      optimizer_->set_lr(optimizer_->lr() * config_.lr_backoff);
+    }
+    BIGCITY_LOG(Warning) << "rolled back to snapshot (phase " << phase_
+                         << ", epoch " << epoch_ << ") after divergence, "
+                         << "lr penalty " << lr_penalty_;
+  }
+}
+
+// --- Phase 0: backbone LM pre-training -------------------------------------
+
+util::Status Trainer::PretrainBackbone() {
+  if (phase_ != kPhasePretrain) {
+    phase_ = kPhasePretrain;
+    epoch_ = 0;
+    optimizer_.reset();
+  }
+  return RunWithRollback([this] { return DoPretrain(); });
+}
+
+util::Status Trainer::DoPretrain() {
   // Next-word prediction over the fixed corpus — the GPT-2 substitute.
   auto* backbone = model_->backbone();
   std::vector<std::vector<int>> corpus;
@@ -52,32 +265,42 @@ void Trainer::PretrainBackbone() {
     auto ids = model_->text_tokenizer().Encode(line);
     if (ids.size() >= 2) corpus.push_back(std::move(ids));
   }
-  nn::Adam optimizer(backbone->TrainableParameters(), config_.lr_pretrain);
-  for (int epoch = 0; epoch < config_.pretrain_lm_epochs; ++epoch) {
+  if (epoch_ == 0 || !optimizer_) {
+    optimizer_ = std::make_unique<nn::Adam>(
+        backbone->TrainableParameters(), config_.lr_pretrain * lr_penalty_);
+  }
+  for (int epoch = epoch_; epoch < config_.pretrain_lm_epochs; ++epoch) {
     float epoch_loss = 0;
     for (const auto& ids : corpus) {
-      optimizer.ZeroGrad();
+      optimizer_->ZeroGrad();
       Tensor logits = backbone->TextLmLogits(ids);
       // Predict token t+1 from position t.
       Tensor inputs = nn::SliceRows(logits, 0,
                                     static_cast<int64_t>(ids.size()) - 1);
       std::vector<int> targets(ids.begin() + 1, ids.end());
       Tensor loss = nn::CrossEntropy(inputs, targets);
-      epoch_loss += loss.item();
-      loss.Backward();
-      optimizer.ClipGradNorm(config_.clip_norm);
-      optimizer.Step();
+      bool applied = false;
+      float value = 0;
+      if (auto s = GuardedStep(loss, &applied, &value); !s.ok()) return s;
+      epoch_loss += value;
     }
     if (config_.verbose) {
       BIGCITY_LOG(Info) << "LM pretrain epoch " << epoch << " loss "
                         << epoch_loss / corpus.size();
     }
+    if (auto s = FinishEpoch(epoch + 1); !s.ok()) return s;
   }
   // Attach adapters and freeze the pre-trained base (Sec. V-B).
   util::Rng lora_rng(config_.seed ^ 0xabc);
   backbone->EnableLora(&lora_rng);
   backbone->FreezeBase();
+  phase_ = kPhaseStage1;
+  epoch_ = 0;
+  optimizer_.reset();
+  return MaybeCheckpoint();
 }
+
+// --- Stage-1 masked reconstruction ------------------------------------------
 
 Tensor Trainer::Stage1Loss(const StUnitSequence& sequence,
                            const std::vector<int>& masked) {
@@ -131,7 +354,7 @@ Tensor Trainer::Stage1Loss(const StUnitSequence& sequence,
   return loss;
 }
 
-void Trainer::RunStage1() {
+std::vector<StUnitSequence> Trainer::BuildStage1Pool(util::Rng* rng) {
   const data::CityDataset* dataset = model_->dataset();
   const bool has_dynamic = dataset->config().has_dynamic_features;
 
@@ -148,30 +371,69 @@ void Trainer::RunStage1() {
     const int extra = config_.max_stage1_sequences / 3;
     for (int k = 0; k < extra; ++k) {
       const int segment =
-          rng_.UniformInt(0, dataset->network().num_segments() - 1);
-      const int start = rng_.UniformInt(
+          rng->UniformInt(0, dataset->network().num_segments() - 1);
+      const int start = rng->UniformInt(
           0, std::max(0, dataset->num_slices() - window - 1));
       pool.push_back(StUnitSequence::FromTrafficSeries(
           dataset->traffic(), segment, start, window));
     }
   }
+  return pool;
+}
 
-  nn::Adam optimizer(model_->TrainableParameters(), config_.lr_stage1);
+util::Status Trainer::RunStage1() {
+  if (phase_ != kPhaseStage1) {
+    phase_ = kPhaseStage1;
+    epoch_ = 0;
+    optimizer_.reset();
+  }
+  return RunWithRollback([this] { return DoStage1(); });
+}
+
+util::Status Trainer::DoStage1() {
+  std::vector<StUnitSequence> pool;
+  if (epoch_ == 0) {
+    // Fresh entry: the pool consumes draws from the training RNG; record
+    // the entry state so an interrupted run can rebuild the same pool.
+    stage_entry_rng_ = rng_.SaveState();
+    pool = BuildStage1Pool(&rng_);
+    optimizer_ = std::make_unique<nn::Adam>(model_->TrainableParameters(),
+                                            config_.lr_stage1 * lr_penalty_);
+  } else {
+    // Resume: replay the pool draws from the recorded entry state; the
+    // training RNG already sits at the epoch boundary.
+    util::Rng pool_rng;
+    if (stage_entry_rng_.empty() || !pool_rng.LoadState(stage_entry_rng_)) {
+      return util::Status::FailedPrecondition(
+          "cannot resume stage 1: missing stage-entry RNG state");
+    }
+    pool = BuildStage1Pool(&pool_rng);
+    if (!optimizer_) {
+      optimizer_ = std::make_unique<nn::Adam>(
+          model_->TrainableParameters(), config_.lr_stage1 * lr_penalty_);
+    }
+  }
+
   util::Stopwatch epoch_watch;
-  for (int epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+  for (int epoch = epoch_; epoch < config_.stage1_epochs; ++epoch) {
     epoch_watch.Restart();
-    rng_.Shuffle(&pool);
+    // Visit the canonical pool through a fresh permutation instead of
+    // shuffling it in place: the epoch's order then depends only on the
+    // RNG state at the epoch boundary (which snapshots capture), not on
+    // the compounded shuffles of earlier epochs.
+    const std::vector<int> order =
+        rng_.Permutation(static_cast<int>(pool.size()));
     float epoch_loss = 0;
     int batches = 0;
     for (size_t begin = 0; begin < pool.size();
          begin += static_cast<size_t>(config_.batch_size)) {
       model_->BeginStep();
-      optimizer.ZeroGrad();
+      optimizer_->ZeroGrad();
       Tensor batch_loss;
       const size_t end = std::min(
           pool.size(), begin + static_cast<size_t>(config_.batch_size));
       for (size_t s = begin; s < end; ++s) {
-        const auto& sequence = pool[s];
+        const auto& sequence = pool[static_cast<size_t>(order[s])];
         const int k = std::max(
             1, static_cast<int>(sequence.length() *
                                 config_.stage1_mask_fraction));
@@ -182,11 +444,15 @@ void Trainer::RunStage1() {
       }
       batch_loss = nn::Scale(batch_loss,
                              1.0f / static_cast<float>(end - begin));
-      epoch_loss += batch_loss.item();
-      ++batches;
-      batch_loss.Backward();
-      optimizer.ClipGradNorm(config_.clip_norm);
-      optimizer.Step();
+      bool applied = false;
+      float value = 0;
+      if (auto s = GuardedStep(batch_loss, &applied, &value); !s.ok()) {
+        return s;
+      }
+      if (applied) {
+        epoch_loss += value;
+        ++batches;
+      }
     }
     last_stage1_loss_ = batches > 0 ? epoch_loss / batches : 0.0f;
     stage1_epoch_seconds_ = epoch_watch.ElapsedSeconds();
@@ -195,9 +461,16 @@ void Trainer::RunStage1() {
                         << last_stage1_loss_ << " ("
                         << stage1_epoch_seconds_ << "s)";
     }
+    if (auto s = FinishEpoch(epoch + 1); !s.ok()) return s;
   }
   model_->BeginStep();
+  phase_ = kPhaseStage2;
+  epoch_ = 0;
+  optimizer_.reset();
+  return MaybeCheckpoint();
 }
+
+// --- Stage-2 prompt tuning ---------------------------------------------------
 
 std::vector<Trainer::TaskSample> Trainer::BuildTaskSamples() {
   const data::CityDataset* dataset = model_->dataset();
@@ -349,16 +622,28 @@ Tensor Trainer::TaskLoss(const TaskSample& sample) {
   return Tensor();
 }
 
-void Trainer::RunStage2() {
+util::Status Trainer::RunStage2() {
+  if (phase_ != kPhaseStage2) {
+    phase_ = kPhaseStage2;
+    epoch_ = 0;
+    optimizer_.reset();
+  }
+  return RunWithRollback([this] { return DoStage2(); });
+}
+
+util::Status Trainer::DoStage2() {
   // Tokenizer frozen; only LoRA adapters (+ placeholders + heads) update.
   model_->tokenizer()->SetTrainable(false);
-  nn::Adam optimizer(model_->TrainableParameters(), config_.lr_stage2);
+  if (epoch_ == 0 || !optimizer_) {
+    optimizer_ = std::make_unique<nn::Adam>(model_->TrainableParameters(),
+                                            config_.lr_stage2 * lr_penalty_);
+  }
   util::Stopwatch epoch_watch;
-  for (int epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+  for (int epoch = epoch_; epoch < config_.stage2_epochs; ++epoch) {
     // Step decay stabilizes the late co-training epochs.
     if (config_.stage2_epochs >= 6 &&
         epoch == config_.stage2_epochs * 2 / 3) {
-      optimizer.set_lr(config_.lr_stage2 * 0.5f);
+      optimizer_->set_lr(config_.lr_stage2 * 0.5f * lr_penalty_);
     }
     epoch_watch.Restart();
     auto samples = BuildTaskSamples();
@@ -367,7 +652,7 @@ void Trainer::RunStage2() {
     for (size_t begin = 0; begin < samples.size();
          begin += static_cast<size_t>(config_.batch_size)) {
       model_->BeginStep();
-      optimizer.ZeroGrad();
+      optimizer_->ZeroGrad();
       Tensor batch_loss;
       const size_t end = std::min(
           samples.size(), begin + static_cast<size_t>(config_.batch_size));
@@ -378,11 +663,15 @@ void Trainer::RunStage2() {
       }
       batch_loss = nn::Scale(batch_loss,
                              1.0f / static_cast<float>(end - begin));
-      epoch_loss += batch_loss.item();
-      ++batches;
-      batch_loss.Backward();
-      optimizer.ClipGradNorm(config_.clip_norm);
-      optimizer.Step();
+      bool applied = false;
+      float value = 0;
+      if (auto s = GuardedStep(batch_loss, &applied, &value); !s.ok()) {
+        return s;
+      }
+      if (applied) {
+        epoch_loss += value;
+        ++batches;
+      }
     }
     last_stage2_loss_ = batches > 0 ? epoch_loss / batches : 0.0f;
     stage2_epoch_seconds_ = epoch_watch.ElapsedSeconds();
@@ -391,14 +680,26 @@ void Trainer::RunStage2() {
                         << last_stage2_loss_ << " ("
                         << stage2_epoch_seconds_ << "s)";
     }
+    if (auto s = FinishEpoch(epoch + 1); !s.ok()) return s;
   }
   model_->BeginStep();
+  phase_ = kPhaseDone;
+  epoch_ = 0;
+  optimizer_.reset();
+  return MaybeCheckpoint();
 }
 
-void Trainer::RunAll() {
-  PretrainBackbone();
-  RunStage1();
-  RunStage2();
+util::Status Trainer::RunAll() {
+  if (phase_ <= kPhasePretrain) {
+    if (auto s = PretrainBackbone(); !s.ok()) return s;
+  }
+  if (phase_ <= kPhaseStage1) {
+    if (auto s = RunStage1(); !s.ok()) return s;
+  }
+  if (phase_ <= kPhaseStage2) {
+    if (auto s = RunStage2(); !s.ok()) return s;
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace bigcity::train

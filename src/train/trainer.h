@@ -1,13 +1,16 @@
 #ifndef BIGCITY_TRAIN_TRAINER_H_
 #define BIGCITY_TRAIN_TRAINER_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/bigcity_model.h"
 #include "core/task.h"
 #include "nn/optim.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace bigcity::train {
 
@@ -34,11 +37,33 @@ struct TrainConfig {
   std::vector<core::Task> tasks;
   uint64_t seed = 31;
   bool verbose = false;
+
+  // --- Resilience (crash-safe snapshots + divergence guards) -------------
+  /// Directory for training-state snapshots, written crash-safely after
+  /// every epoch and phase boundary. Empty disables checkpointing (and
+  /// with it, divergence rollback).
+  std::string checkpoint_dir;
+  /// Detect non-finite losses / gradient norms per step; skip the update
+  /// and back off the LR instead of corrupting the weights.
+  bool guard_non_finite = true;
+  /// LR multiplier applied on every skipped (non-finite) step and on every
+  /// rollback.
+  float lr_backoff = 0.5f;
+  /// Consecutive bad steps tolerated before declaring divergence.
+  int max_bad_steps = 3;
+  /// Divergence rollbacks (to the last good snapshot) before giving up.
+  int max_rollbacks = 2;
 };
 
 /// Orchestrates BIGCity training: backbone LM pre-training, LoRA
 /// attachment + base freeze, stage-1 masked reconstruction, and stage-2
 /// multi-task prompt tuning.
+///
+/// The trainer tracks a phase/epoch cursor (phase 0 = LM pre-training,
+/// 1 = stage 1, 2 = stage 2, 3 = done). With `checkpoint_dir` set it
+/// snapshots the full training state — model parameters, Adam moments,
+/// RNG state, and the cursor — after every epoch; a run killed at any
+/// epoch boundary resumes via ResumeFrom to bit-identical final weights.
 class Trainer {
  public:
   Trainer(core::BigCityModel* model, TrainConfig config);
@@ -46,24 +71,44 @@ class Trainer {
   /// Pre-trains the backbone as a tiny causal language model on a fixed
   /// instruction-style corpus — the stand-in for loading GPT-2 weights —
   /// then attaches LoRA adapters and freezes the base weights.
-  void PretrainBackbone();
+  util::Status PretrainBackbone();
 
   /// Stage 1 (Sec. VI-A): self-supervised masked reconstruction over mixed
   /// trajectory / traffic-state ST-unit sequences. Trains the tokenizer,
   /// LoRA adapters, placeholders, and task heads.
-  void RunStage1();
+  util::Status RunStage1();
 
   /// Stage 2 (Sec. VI-B): task-oriented prompt tuning over the full
   /// multi-task training set. Tokenizer frozen; LoRA + heads train.
-  void RunStage2();
+  util::Status RunStage2();
 
-  /// Full pipeline: PretrainBackbone -> RunStage1 -> RunStage2.
-  void RunAll();
+  /// Full pipeline: PretrainBackbone -> RunStage1 -> RunStage2. After a
+  /// ResumeFrom, completed phases are skipped and the in-progress phase
+  /// continues from its saved epoch.
+  util::Status RunAll();
+
+  /// Writes a crash-safe snapshot of the full training state (container
+  /// format of util/checkpoint.h).
+  util::Status SaveTrainingState(const std::string& path) const;
+
+  /// Restores a snapshot into a freshly constructed model + trainer pair
+  /// (same dataset, model config, and TrainConfig as the saved run),
+  /// replaying structural transitions (LoRA attach, freezes) of completed
+  /// phases before loading parameters. Continue with RunAll().
+  util::Status ResumeFrom(const std::string& path);
 
   double stage1_seconds_per_epoch() const { return stage1_epoch_seconds_; }
   double stage2_seconds_per_epoch() const { return stage2_epoch_seconds_; }
   float last_stage1_loss() const { return last_stage1_loss_; }
   float last_stage2_loss() const { return last_stage2_loss_; }
+
+  /// Phase/epoch cursor: the next unit of work (phase 3 = all done).
+  int phase() const { return phase_; }
+  int epoch() const { return epoch_; }
+  /// Steps skipped by the non-finite guard since construction.
+  int total_skipped_steps() const { return total_skipped_steps_; }
+  /// Divergence rollbacks performed since construction.
+  int rollbacks() const { return rollbacks_; }
 
   /// One stage-2 prompt-tuning sample (public for the ablation benches).
   struct TaskSample {
@@ -85,9 +130,52 @@ class Trainer {
   nn::Tensor Stage1Loss(const data::StUnitSequence& sequence,
                         const std::vector<int>& masked);
 
+  /// Stage bodies: run the remaining epochs from the current cursor.
+  util::Status DoPretrain();
+  util::Status DoStage1();
+  util::Status DoStage2();
+
+  /// The stage-1 mixed sequence pool (clipped trajectories + random
+  /// traffic windows); draws windows from `rng`.
+  std::vector<data::StUnitSequence> BuildStage1Pool(util::Rng* rng);
+
+  /// One guarded optimizer step: backward + clip + step on a finite loss
+  /// (*applied = true, *loss_value = loss). On a non-finite loss or
+  /// gradient norm, skips the update and backs off the LR
+  /// (*applied = false); returns a divergence (kInternal) Status after
+  /// max_bad_steps consecutive skips.
+  util::Status GuardedStep(nn::Tensor batch_loss, bool* applied,
+                           float* loss_value);
+
+  /// Runs a stage body, rolling back to the last good snapshot (with an
+  /// extra LR backoff) when it reports divergence, up to max_rollbacks.
+  util::Status RunWithRollback(const std::function<util::Status()>& stage);
+
+  /// Advances the cursor past a finished epoch, snapshots, and honors the
+  /// injected-interrupt fault site.
+  util::Status FinishEpoch(int next_epoch);
+
+  /// Snapshot after every epoch when checkpoint_dir is configured.
+  util::Status MaybeCheckpoint() const;
+  util::Status LoadTrainingState(const std::string& path,
+                                 bool replay_structure);
+  std::string SnapshotPath() const;
+
   core::BigCityModel* model_;
   TrainConfig config_;
   util::Rng rng_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  int phase_ = 0;
+  int epoch_ = 0;
+  int consecutive_bad_ = 0;
+  int total_skipped_steps_ = 0;
+  int rollbacks_ = 0;
+  /// Cumulative LR reduction from backoffs/rollbacks, applied to fresh
+  /// per-phase optimizers.
+  float lr_penalty_ = 1.0f;
+  /// RNG state at the current phase's entry; lets a resume rebuild the
+  /// stage-1 pool with the exact draws of the interrupted run.
+  std::string stage_entry_rng_;
   double stage1_epoch_seconds_ = 0;
   double stage2_epoch_seconds_ = 0;
   float last_stage1_loss_ = 0;

@@ -1,0 +1,202 @@
+#include "util/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/fault_injection.h"
+
+namespace bigcity::util {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;  // magic, version, size, crc.
+// A container larger than this is certainly corrupt, not a real checkpoint.
+constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 40;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Writes the whole buffer to fd, retrying on partial writes / EINTR.
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed for", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+Status CheckpointWriter::Commit(const std::string& path) {
+  const std::string payload = payload_.str();
+  if (!payload_.good()) {
+    return Status::Internal("checkpoint payload stream in failed state");
+  }
+
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload.size());
+  blob.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  AppendU32(&blob, kCheckpointFormatVersion);
+  AppendU64(&blob, payload.size());
+  AppendU32(&blob, Crc32(payload.data(), payload.size()));
+  blob += payload;
+
+  // Fault site: flip one payload bit after the CRC was computed, modelling
+  // in-flight corruption that the reader's CRC check must catch.
+  if (FaultInjection::Fire(kFaultCheckpointBitFlip)) {
+    const auto offset = static_cast<size_t>(
+        FaultInjection::Param(kFaultCheckpointBitFlip));
+    if (kHeaderBytes + offset < blob.size()) {
+      blob[kHeaderBytes + offset] ^= 0x01;
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", tmp));
+
+  // Fault site: simulate the process dying after a partial write of the
+  // temp file. The destination must remain untouched and loadable.
+  if (FaultInjection::Fire(kFaultCheckpointTornWrite)) {
+    const auto keep = static_cast<size_t>(
+        FaultInjection::Param(kFaultCheckpointTornWrite));
+    Status torn = WriteAll(fd, blob.data(), std::min(keep, blob.size()), tmp);
+    ::close(fd);
+    if (!torn.ok()) return torn;
+    return Status::IoError("checkpoint write interrupted (fault injection): " +
+                           tmp);
+  }
+
+  if (Status s = WriteAll(fd, blob.data(), blob.size(), tmp); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = Status::IoError(ErrnoMessage("fsync failed for", tmp));
+    ::close(fd);
+    return s;
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError(ErrnoMessage("close failed for", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename failed for", path));
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status CheckpointReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open checkpoint: " + path);
+
+  char magic[sizeof(kCheckpointMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "not a BIGCity checkpoint (bad magic): " + path);
+  }
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  uint32_t expected_crc = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&expected_crc), sizeof(expected_crc));
+  if (!in) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+  if (version == 0 || version > kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version) +
+        " (expected 1.." + std::to_string(kCheckpointFormatVersion) +
+        "): " + path);
+  }
+  if (payload_size > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "implausible checkpoint payload size (corrupt header): " + path);
+  }
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<uint64_t>(in.gcount()) != payload_size) {
+    return Status::IoError(
+        "truncated checkpoint payload (" + std::to_string(in.gcount()) +
+        " of " + std::to_string(payload_size) + " bytes): " + path);
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::InvalidArgument(
+        "trailing bytes after checkpoint payload: " + path);
+  }
+  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  if (actual_crc != expected_crc) {
+    return Status::IoError("checkpoint CRC mismatch (corrupted payload): " +
+                           path);
+  }
+  format_version_ = version;
+  payload_.str(std::move(payload));
+  return Status::Ok();
+}
+
+}  // namespace bigcity::util

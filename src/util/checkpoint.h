@@ -1,0 +1,70 @@
+#ifndef BIGCITY_UTIL_CHECKPOINT_H_
+#define BIGCITY_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace bigcity::util {
+
+/// Versioned, integrity-checked checkpoint container used for every
+/// on-disk model / training-state file. Layout:
+///
+///   [magic "BGCK" : 4 bytes]
+///   [format version : u32 LE]
+///   [payload size   : u64 LE]
+///   [payload CRC-32 : u32 LE]
+///   [payload bytes]
+///
+/// Writes are crash-safe: the full container goes to `<path>.tmp`, is
+/// fsync'd, and is then renamed over `path`, so a crash at any point leaves
+/// either the old file or the new one — never a torn mix. Readers validate
+/// magic, version, size, and CRC before handing out a single payload byte,
+/// so truncation and bit rot surface as descriptive Status errors instead
+/// of garbage loads.
+
+inline constexpr char kCheckpointMagic[4] = {'B', 'G', 'C', 'K'};
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// CRC-32 (IEEE, reflected polynomial 0xEDB88320). `seed` chains partial
+/// computations: pass the previous return value to continue a running CRC.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Buffers a checkpoint payload in memory, then commits it atomically.
+/// Usage: serialize into stream() with the util/io.h helpers, then Commit().
+class CheckpointWriter {
+ public:
+  CheckpointWriter() : payload_(std::ios::binary) {}
+
+  std::ostream& stream() { return payload_; }
+
+  /// Finalizes the container (header + CRC) and atomically replaces `path`.
+  /// On any error the destination is left untouched (a stale `<path>.tmp`
+  /// may remain and is overwritten by the next commit).
+  Status Commit(const std::string& path);
+
+ private:
+  std::ostringstream payload_;
+};
+
+/// Opens and fully validates a checkpoint container; the payload is then
+/// readable through stream() with the util/io.h helpers.
+class CheckpointReader {
+ public:
+  /// Reads `path`, checking magic, format version, payload size, and CRC.
+  /// Any mismatch yields a non-OK Status naming the failure and the file.
+  Status Open(const std::string& path);
+
+  std::istream& stream() { return payload_; }
+  uint32_t format_version() const { return format_version_; }
+
+ private:
+  std::istringstream payload_{std::ios::binary};
+  uint32_t format_version_ = 0;
+};
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_CHECKPOINT_H_

@@ -1,0 +1,58 @@
+#include "util/fault_injection.h"
+
+#include <map>
+
+namespace bigcity::util {
+
+namespace {
+
+struct SiteState {
+  int skip = 0;       // Hits to ignore before firing.
+  int remaining = 0;  // Firings left.
+  int fired = 0;      // Firings consumed since arming.
+  int64_t param = 0;
+};
+
+std::map<std::string, SiteState>& Sites() {
+  static std::map<std::string, SiteState> sites;
+  return sites;
+}
+
+}  // namespace
+
+void FaultInjection::Arm(const std::string& site, int skip, int count,
+                         int64_t param) {
+  Sites()[site] = SiteState{skip, count, 0, param};
+}
+
+void FaultInjection::Disarm(const std::string& site) { Sites().erase(site); }
+
+void FaultInjection::DisarmAll() { Sites().clear(); }
+
+bool FaultInjection::Fire(const std::string& site) {
+  auto& sites = Sites();
+  if (sites.empty()) return false;
+  auto it = sites.find(site);
+  if (it == sites.end()) return false;
+  SiteState& state = it->second;
+  if (state.skip > 0) {
+    --state.skip;
+    return false;
+  }
+  if (state.remaining <= 0) return false;
+  --state.remaining;
+  ++state.fired;
+  return true;
+}
+
+int64_t FaultInjection::Param(const std::string& site) {
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.param;
+}
+
+int FaultInjection::FireCount(const std::string& site) {
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.fired;
+}
+
+}  // namespace bigcity::util

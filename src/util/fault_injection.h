@@ -1,0 +1,78 @@
+#ifndef BIGCITY_UTIL_FAULT_INJECTION_H_
+#define BIGCITY_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bigcity::util {
+
+/// Deterministic fault injection for exercising recovery paths in tests.
+///
+/// Production code declares *sites* — named points where a fault may be
+/// injected — by calling FaultInjection::Fire("site.name") and reacting
+/// when it returns true. Tests arm a site with ScopedFault, optionally
+/// skipping the first `skip` hits and firing on the following `count`
+/// hits, plus one integer parameter (byte offsets, truncation lengths).
+///
+/// With no armed sites the Fire() check is a single empty-map test, so the
+/// harness costs nothing in normal runs. State is process-global and meant
+/// for single-threaded tests; arming is never enabled implicitly.
+class FaultInjection {
+ public:
+  /// Arms `site`: after `skip` hits, the next `count` hits fire.
+  static void Arm(const std::string& site, int skip = 0, int count = 1,
+                  int64_t param = 0);
+  static void Disarm(const std::string& site);
+  static void DisarmAll();
+
+  /// Called by production code at the fault site. True means "inject the
+  /// fault now" and consumes one firing.
+  static bool Fire(const std::string& site);
+
+  /// Parameter attached when the site was armed; 0 when unarmed.
+  static int64_t Param(const std::string& site);
+
+  /// Times `site` has fired since it was (re-)armed — lets tests assert a
+  /// recovery path actually executed rather than being skipped.
+  static int FireCount(const std::string& site);
+};
+
+/// RAII arming of one fault site for the enclosing scope.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string site, int skip = 0, int count = 1,
+                       int64_t param = 0)
+      : site_(std::move(site)) {
+    FaultInjection::Arm(site_, skip, count, param);
+  }
+  ~ScopedFault() { FaultInjection::Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  int fire_count() const { return FaultInjection::FireCount(site_); }
+
+ private:
+  std::string site_;
+};
+
+// --- Site names used by production code ------------------------------------
+
+/// CheckpointWriter::Commit: stop after writing Param() bytes of the temp
+/// file (simulated crash mid-write; destination stays intact).
+inline constexpr char kFaultCheckpointTornWrite[] =
+    "checkpoint.commit.torn_write";
+/// CheckpointWriter::Commit: flip one bit at payload offset Param() after
+/// the CRC was computed (in-flight corruption).
+inline constexpr char kFaultCheckpointBitFlip[] = "checkpoint.commit.bitflip";
+/// Trainer step: poison the batch loss with NaN before the guard check.
+inline constexpr char kFaultTrainerNanLoss[] = "trainer.step.nan_loss";
+/// Trainer step: poison one parameter gradient with NaN after backward.
+inline constexpr char kFaultTrainerNanGrad[] = "trainer.step.nan_grad";
+/// Trainer epoch boundary (after the snapshot is written): abort the run,
+/// simulating a kill between epochs.
+inline constexpr char kFaultTrainerInterrupt[] = "trainer.epoch.interrupt";
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_FAULT_INJECTION_H_

@@ -17,6 +17,10 @@ void WriteI32(std::ostream& out, int32_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
+void WriteFloat(std::ostream& out, float value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
 void WriteFloatVector(std::ostream& out, const std::vector<float>& values) {
   WriteU64(out, values.size());
   out.write(reinterpret_cast<const char*>(values.data()),
@@ -40,10 +44,18 @@ Status ReadI32(std::istream& in, int32_t* value) {
   return Status::Ok();
 }
 
+Status ReadFloat(std::istream& in, float* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  if (!in) return Status::IoError("truncated stream reading float");
+  return Status::Ok();
+}
+
 Status ReadFloatVector(std::istream& in, std::vector<float>* values) {
   uint64_t size = 0;
   if (Status s = ReadU64(in, &size); !s.ok()) return s;
-  if (size * sizeof(float) > kMaxVectorBytes) {
+  // Divide instead of multiplying: `size * sizeof(float)` wraps for
+  // size > 2^62, letting absurd length prefixes through the cap.
+  if (size > kMaxVectorBytes / sizeof(float)) {
     return Status::IoError("implausible vector size in stream");
   }
   values->resize(size);

@@ -15,11 +15,13 @@ namespace bigcity::util {
 
 void WriteU64(std::ostream& out, uint64_t value);
 void WriteI32(std::ostream& out, int32_t value);
+void WriteFloat(std::ostream& out, float value);
 void WriteFloatVector(std::ostream& out, const std::vector<float>& values);
 void WriteString(std::ostream& out, const std::string& value);
 
 Status ReadU64(std::istream& in, uint64_t* value);
 Status ReadI32(std::istream& in, int32_t* value);
+Status ReadFloat(std::istream& in, float* value);
 Status ReadFloatVector(std::istream& in, std::vector<float>* values);
 Status ReadString(std::istream& in, std::string* value);
 

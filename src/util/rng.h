@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 namespace bigcity::util {
@@ -54,6 +56,22 @@ class Rng {
   template <typename T>
   void Shuffle(std::vector<T>* values) {
     std::shuffle(values->begin(), values->end(), engine_);
+  }
+
+  /// Serializes the full engine state (standard textual form) so training
+  /// runs can resume with bit-identical draw sequences.
+  std::string SaveState() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a state produced by SaveState; false on malformed input
+  /// (the engine is left unspecified in that case).
+  bool LoadState(const std::string& state) {
+    std::istringstream in(state);
+    in >> engine_;
+    return !in.fail();
   }
 
   std::mt19937_64& engine() { return engine_; }

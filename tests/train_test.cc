@@ -2,10 +2,16 @@
 // followed by evaluation of all eight tasks and the transfer protocol.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 #include "core/bigcity_model.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "train/transfer.h"
+#include "util/fault_injection.h"
 
 namespace bigcity::train {
 namespace {
@@ -48,7 +54,7 @@ class TrainPipelineTest : public ::testing::Test {
     dataset_ = new data::CityDataset(TinyCity("XA-tiny", 900));
     model_ = new core::BigCityModel(dataset_, TinyModelConfig());
     trainer_ = new Trainer(model_, QuickTrainConfig());
-    trainer_->RunAll();
+    ASSERT_TRUE(trainer_->RunAll().ok());
   }
   static void TearDownTestSuite() {
     delete trainer_;
@@ -196,9 +202,173 @@ TEST(TrainerTest, PretrainReducesLmLoss) {
   TrainConfig config = QuickTrainConfig();
   config.pretrain_lm_epochs = 5;
   Trainer trainer(&model, config);
-  trainer.PretrainBackbone();
+  ASSERT_TRUE(trainer.PretrainBackbone().ok());
   const float after = corpus_loss();
   EXPECT_LT(after, before);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: crash-safe checkpointing, resume, and non-finite guards.
+
+/// Small-but-complete pipeline config so resume crosses every phase quickly.
+TrainConfig ResilienceConfig(const std::string& checkpoint_dir = "") {
+  TrainConfig config;
+  config.pretrain_lm_epochs = 2;
+  config.stage1_epochs = 2;
+  config.stage2_epochs = 2;
+  config.max_stage1_sequences = 40;
+  config.max_task_samples = 16;
+  config.checkpoint_dir = checkpoint_dir;
+  return config;
+}
+
+std::string ResilienceDir(const char* leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+TEST(ResilienceTest, InterruptedRunResumesBitIdentical) {
+  const std::string dir = ResilienceDir("bigcity_resume_test");
+  const std::string snapshot = dir + "/train_state.ckpt";
+
+  // Reference run: never interrupted, no checkpointing.
+  data::CityDataset dataset(TinyCity("XA-resume", 77));
+  core::BigCityModel reference(&dataset, TinyModelConfig());
+  Trainer reference_trainer(&reference, ResilienceConfig());
+  ASSERT_TRUE(reference_trainer.RunAll().ok());
+  const auto expected = reference.NamedParameters();
+
+  // Six epoch boundaries total (2 per phase); kill at one in each phase.
+  for (const int interrupt_after : {1, 3, 5}) {
+    std::filesystem::remove_all(dir);
+    core::BigCityModel victim(&dataset, TinyModelConfig());
+    Trainer victim_trainer(&victim, ResilienceConfig(dir));
+    {
+      util::ScopedFault interrupt(util::kFaultTrainerInterrupt,
+                                  /*skip=*/interrupt_after - 1);
+      const util::Status status = victim_trainer.RunAll();
+      ASSERT_FALSE(status.ok()) << "boundary " << interrupt_after;
+      EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+    }
+
+    // Brand-new model and trainer, as after a process restart.
+    core::BigCityModel resumed(&dataset, TinyModelConfig());
+    Trainer resumed_trainer(&resumed, ResilienceConfig(dir));
+    ASSERT_TRUE(resumed_trainer.ResumeFrom(snapshot).ok())
+        << "boundary " << interrupt_after;
+    ASSERT_TRUE(resumed_trainer.RunAll().ok());
+
+    const auto actual = resumed.NamedParameters();
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(expected[i].first, actual[i].first);
+      // Bit-identical, not approximately equal: resume must replay the
+      // exact optimizer, RNG, and schedule state of the original run.
+      ASSERT_EQ(expected[i].second.data(), actual[i].second.data())
+          << expected[i].first << " after boundary " << interrupt_after;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResilienceTest, ResumeRejectsCorruptedSnapshot) {
+  const std::string dir = ResilienceDir("bigcity_corrupt_resume_test");
+  std::filesystem::remove_all(dir);
+  const std::string snapshot = dir + "/train_state.ckpt";
+  data::CityDataset dataset(TinyCity("XA-corrupt", 78));
+  {
+    core::BigCityModel model(&dataset, TinyModelConfig());
+    TrainConfig config = ResilienceConfig(dir);
+    config.stage1_epochs = 0;
+    config.stage2_epochs = 0;
+    Trainer trainer(&model, config);
+    ASSERT_TRUE(trainer.PretrainBackbone().ok());
+    ASSERT_TRUE(std::filesystem::exists(snapshot));
+  }
+  // Truncate the snapshot; resume must fail loudly, never abort.
+  const auto size = std::filesystem::file_size(snapshot);
+  std::filesystem::resize_file(snapshot, size / 2);
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  Trainer trainer(&model, ResilienceConfig(dir));
+  const util::Status status = trainer.ResumeFrom(snapshot);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.message().empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResilienceTest, NanGradientStepSkippedAndRunRecovers) {
+  data::CityDataset dataset(TinyCity("XA-nangrad", 123));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  Trainer trainer(&model, ResilienceConfig());
+  util::ScopedFault nan_grad(util::kFaultTrainerNanGrad, /*skip=*/2,
+                             /*count=*/1);
+  ASSERT_TRUE(trainer.RunAll().ok());
+  EXPECT_EQ(nan_grad.fire_count(), 1);
+  EXPECT_EQ(trainer.total_skipped_steps(), 1);
+  EXPECT_TRUE(std::isfinite(trainer.last_stage2_loss()));
+  for (const auto& [name, parameter] : model.NamedParameters()) {
+    for (const float value : parameter.data()) {
+      ASSERT_TRUE(std::isfinite(value)) << name;
+    }
+  }
+}
+
+TEST(ResilienceTest, DivergenceRollsBackToLastGoodSnapshot) {
+  const std::string dir = ResilienceDir("bigcity_rollback_test");
+  std::filesystem::remove_all(dir);
+  data::CityDataset dataset(TinyCity("XA-rollback", 124));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  TrainConfig config = ResilienceConfig(dir);
+  config.pretrain_lm_epochs = 0;  // Snapshot lands at stage-1 entry.
+  config.max_bad_steps = 2;
+  Trainer trainer(&model, config);
+  // Poison the first max_bad_steps stage-1 losses: the trainer declares
+  // divergence, reloads the stage-entry snapshot, and the retry succeeds
+  // because the fault budget is exhausted.
+  util::ScopedFault nan_loss(util::kFaultTrainerNanLoss, /*skip=*/0,
+                             /*count=*/2);
+  ASSERT_TRUE(trainer.RunAll().ok());
+  EXPECT_EQ(nan_loss.fire_count(), 2);
+  EXPECT_GE(trainer.rollbacks(), 1);
+  EXPECT_TRUE(std::isfinite(trainer.last_stage2_loss()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResilienceTest, DivergenceWithoutCheckpointDirFailsCleanly) {
+  data::CityDataset dataset(TinyCity("XA-diverge", 125));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  TrainConfig config = ResilienceConfig();  // No checkpoint_dir.
+  config.pretrain_lm_epochs = 0;
+  config.max_bad_steps = 2;
+  Trainer trainer(&model, config);
+  util::ScopedFault nan_loss(util::kFaultTrainerNanLoss, /*skip=*/0,
+                             /*count=*/2);
+  const util::Status status = trainer.RunAll();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(status.message().find("diverged"), std::string::npos);
+}
+
+TEST(ResilienceTest, TornCheckpointWriteSurfacesErrorAndKeepsOldSnapshot) {
+  const std::string dir = ResilienceDir("bigcity_torn_snapshot_test");
+  std::filesystem::remove_all(dir);
+  const std::string snapshot = dir + "/train_state.ckpt";
+  data::CityDataset dataset(TinyCity("XA-torn", 126));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  Trainer trainer(&model, ResilienceConfig(dir));
+  {
+    // First snapshot commits; the second is torn mid-write.
+    util::ScopedFault torn(util::kFaultCheckpointTornWrite, /*skip=*/1,
+                           /*count=*/1, /*param=*/16);
+    const util::Status status = trainer.RunAll();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(torn.fire_count(), 1);
+  }
+  // The epoch-1 snapshot survived the torn write and still resumes.
+  core::BigCityModel resumed(&dataset, TinyModelConfig());
+  Trainer resumed_trainer(&resumed, ResilienceConfig(dir));
+  ASSERT_TRUE(resumed_trainer.ResumeFrom(snapshot).ok());
+  ASSERT_TRUE(resumed_trainer.RunAll().ok());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

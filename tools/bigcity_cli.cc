@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "core/bigcity_model.h"
@@ -32,6 +33,7 @@ struct CliOptions {
   std::string out;
   std::string save;
   std::string load;
+  std::string checkpoint_dir;
   int epochs1 = 2;
   int epochs2 = 6;
 };
@@ -45,7 +47,9 @@ void PrintUsage() {
       "  --save PATH       train: checkpoint output path\n"
       "  --load PATH       eval: checkpoint input path\n"
       "  --epochs1 N       train: stage-1 epochs (default 2)\n"
-      "  --epochs2 N       train: stage-2 epochs (default 6)\n");
+      "  --epochs2 N       train: stage-2 epochs (default 6)\n"
+      "  --checkpoint-dir D train: per-epoch crash-safe snapshots; an\n"
+      "                    interrupted run resumes from D automatically\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -68,6 +72,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->epochs1 = std::atoi(value.c_str());
     } else if (flag == "--epochs2") {
       options->epochs2 = std::atoi(value.c_str());
+    } else if (flag == "--checkpoint-dir") {
+      options->checkpoint_dir = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -111,8 +117,25 @@ int RunTrain(const CliOptions& options) {
   config.stage1_epochs = options.epochs1;
   config.stage2_epochs = options.epochs2;
   config.verbose = true;
+  config.checkpoint_dir = options.checkpoint_dir;
   train::Trainer trainer(&model, config);
-  trainer.RunAll();
+  if (!options.checkpoint_dir.empty()) {
+    const std::string snapshot =
+        options.checkpoint_dir + "/train_state.ckpt";
+    if (std::filesystem::exists(snapshot)) {
+      if (auto status = trainer.ResumeFrom(snapshot); !status.ok()) {
+        std::fprintf(stderr, "resume failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("resumed from %s (phase %d, epoch %d)\n",
+                  snapshot.c_str(), trainer.phase(), trainer.epoch());
+    }
+  }
+  if (auto status = trainer.RunAll(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   const std::string path =
       options.save.empty() ? options.city + "_model.bin" : options.save;
   if (auto status = model.SaveStateToFile(path); !status.ok()) {
