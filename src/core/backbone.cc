@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
 
@@ -92,8 +93,9 @@ Tensor Backbone::TextLmLogits(const std::vector<int>& text_ids) const {
   Tensor positions =
       nn::SliceRows(positional_, 0, static_cast<int64_t>(text_ids.size()));
   Tensor hidden = transformer_->Forward(nn::Add(embedded, positions));
-  // Weight-tied output projection.
-  return nn::MatMul(hidden, nn::Transpose(text_embedding_->table()));
+  // Weight-tied output projection; MatMulNT avoids materializing the
+  // transposed [D, V] copy of the embedding table.
+  return nn::MatMulNT(hidden, text_embedding_->table());
 }
 
 void Backbone::EnableLora(util::Rng* rng) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "util/check.h"
 
@@ -14,6 +15,7 @@ BigCityModel::BigCityModel(const data::CityDataset* dataset,
                            BigCityConfig config)
     : dataset_(dataset), config_(config), rng_(config.seed) {
   BIGCITY_CHECK(dataset != nullptr);
+  if (config_.threads > 0) nn::kernels::SetNumThreads(config_.threads);
   text_tokenizer_ = std::make_unique<TextTokenizer>(InstructionCorpus());
   const data::TrafficStateSeries* traffic =
       dataset->config().has_dynamic_features ? &dataset->traffic() : nullptr;

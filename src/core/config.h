@@ -47,6 +47,11 @@ struct BigCityConfig {
   float lambda_tim = 0.5f;   // lambda_2 in Eq. 16 / 17.
   float lambda_gen = 1.0f;   // lambda_3 in Eq. 17.
 
+  /// Kernel-layer worker threads. 0 keeps the current global setting
+  /// (default 1). Any value yields bit-identical results — partitioning is
+  /// static, so this only trades wall-clock time.
+  int threads = 0;
+
   uint64_t seed = 7;
 };
 

@@ -2,25 +2,11 @@
 
 #include <cmath>
 
+#include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
 
 namespace bigcity::nn {
-
-namespace {
-
-/// Additive causal mask [L, L]: 0 on/below diagonal, -1e9 above.
-Tensor CausalMask(int64_t length) {
-  std::vector<float> mask(static_cast<size_t>(length * length), 0.0f);
-  for (int64_t i = 0; i < length; ++i) {
-    for (int64_t j = i + 1; j < length; ++j) {
-      mask[static_cast<size_t>(i * length + j)] = -1e9f;
-    }
-  }
-  return Tensor::FromData({length, length}, std::move(mask));
-}
-
-}  // namespace
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
                                                util::Rng* rng, bool causal)
@@ -39,15 +25,16 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
 }
 
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  return Forward(x, Tensor());
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const Tensor& residual) const {
   BIGCITY_CHECK_EQ(x.shape().size(), 2u);
   BIGCITY_CHECK_EQ(x.shape()[1], dim_);
-  const int64_t length = x.shape()[0];
   Tensor q = wq_->Forward(x);
   Tensor k = wk_->Forward(x);
   Tensor v = wv_->Forward(x);
-
-  Tensor mask;
-  if (causal_) mask = CausalMask(length);
 
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<Tensor> head_outputs;
@@ -57,13 +44,14 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
     Tensor qh = SliceCols(q, lo, hi);
     Tensor kh = SliceCols(k, lo, hi);
     Tensor vh = SliceCols(v, lo, hi);
-    Tensor scores = Scale(MatMul(qh, Transpose(kh)), inv_sqrt);
-    if (causal_) scores = Add(scores, mask);
-    Tensor attn = Softmax(scores);
+    // q·k^T, scaling, causal mask, and softmax in one fused node — no
+    // transposed copy of K and no [L,L] mask tensor.
+    Tensor attn = ScaledMaskedSoftmax(MatMulNT(qh, kh), inv_sqrt, causal_);
     head_outputs.push_back(MatMul(attn, vh));
   }
   Tensor merged = Concat(head_outputs, /*axis=*/1);
-  return wo_->Forward(merged);
+  return residual.is_valid() ? wo_->ForwardResidual(merged, residual)
+                             : wo_->Forward(merged);
 }
 
 LearnedQueryAttention::LearnedQueryAttention(int64_t num_queries, int64_t dim,
@@ -80,8 +68,8 @@ Tensor LearnedQueryAttention::Forward(const Tensor& h) const {
   BIGCITY_CHECK_EQ(h.shape()[1], dim_);
   // alpha_ij = (q_i . h_j) / sqrt(2 * D_h) per Eq. 6; rows softmax (Eq. 7).
   const float inv = 1.0f / std::sqrt(2.0f * static_cast<float>(dim_));
-  Tensor scores = Scale(MatMul(query_, Transpose(h)), inv);
-  Tensor attn = Softmax(scores);
+  Tensor attn = ScaledMaskedSoftmax(MatMulNT(query_, h), inv,
+                                    /*causal=*/false);
   return MatMul(attn, h);
 }
 

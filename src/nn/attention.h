@@ -18,6 +18,9 @@ class MultiHeadSelfAttention : public Module {
                          bool causal);
 
   Tensor Forward(const Tensor& x) const;
+  /// Forward(x) + residual with the residual fused into the output
+  /// projection (the transformer block's pre-norm skip connection).
+  Tensor Forward(const Tensor& x, const Tensor& residual) const;
 
   LoraLinear* wq() { return wq_.get(); }
   LoraLinear* wk() { return wk_.get(); }

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
 
@@ -53,7 +54,7 @@ Tensor GatLayer::Forward(const Tensor& h, const GraphEdges& graph) const {
     Tensor edge_dst = Rows(dst_logit, graph.dst);  // [E,1]
     Tensor edge_src = Rows(src_logit, graph.src);  // [E,1]
     Tensor scores =
-        Reshape(LeakyRelu(Add(edge_dst, edge_src)), {num_edges});
+        Reshape(BiasLeakyRelu(edge_dst, edge_src), {num_edges});
     Tensor alpha = SegmentSoftmax(scores, graph.dst, graph.num_nodes);
     Tensor messages = Rows(hw, graph.src);  // [E,F']
     heads.push_back(SegmentWeightedSum(alpha, messages, graph.dst,

@@ -1,0 +1,258 @@
+#include "nn/kernels/fused.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernels/kernels.h"
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// tanh-approximation GELU (GPT-2), same formula as ops.cc Gelu.
+inline float GeluFwd(float x) {
+  const float c = std::sqrt(2.0f / kPi);
+  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+}
+
+inline float GeluGrad(float x) {
+  const float c = std::sqrt(2.0f / kPi);
+  const float u = c * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(u);
+  const float du = c * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+inline float LeakyFwd(float x, float slope) { return x > 0.0f ? x : slope * x; }
+inline float LeakyGrad(float x, float slope) { return x > 0.0f ? 1.0f : slope; }
+
+/// Fills out[N,M] with bias rows ({M} broadcast), residual, their sum, or
+/// zero — the epilogue values the GEMM then accumulates onto.
+void FillEpilogue(float* out, int64_t n, int64_t m, const float* bias,
+                  const float* residual) {
+  const size_t row_bytes = static_cast<size_t>(m) * sizeof(float);
+  if (residual != nullptr) {
+    std::memcpy(out, residual, static_cast<size_t>(n) * row_bytes);
+    if (bias != nullptr) {
+      for (int64_t i = 0; i < n; ++i) {
+        float* row = out + i * m;
+        for (int64_t j = 0; j < m; ++j) row[j] += bias[j];
+      }
+    }
+  } else if (bias != nullptr) {
+    for (int64_t i = 0; i < n; ++i) std::memcpy(out + i * m, bias, row_bytes);
+  } else {
+    std::memset(out, 0, static_cast<size_t>(n) * row_bytes);
+  }
+}
+
+/// Shared core of Affine / AffineResidual. residual may be invalid.
+Tensor AffineImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
+                  const Tensor& residual) {
+  BIGCITY_CHECK_EQ(x.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(w.shape().size(), 2u);
+  const int64_t n = x.shape()[0], k = x.shape()[1], m = w.shape()[1];
+  BIGCITY_CHECK_EQ(k, w.shape()[0]) << "affine inner dims mismatch";
+  const bool has_bias = bias.is_valid();
+  const bool has_residual = residual.is_valid();
+  if (has_bias) BIGCITY_CHECK_EQ(bias.numel(), m);
+  if (has_residual) {
+    BIGCITY_CHECK(residual.shape() == (std::vector<int64_t>{n, m}));
+  }
+  std::vector<float> out(static_cast<size_t>(n * m));
+  const bool epilogue = has_bias || has_residual;
+  if (epilogue) {
+    FillEpilogue(out.data(), n, m,
+                 has_bias ? bias.data().data() : nullptr,
+                 has_residual ? residual.data().data() : nullptr);
+  }
+  // Write mode fully overwrites `out` when there is no epilogue to
+  // accumulate onto — the kernel never reads the zero-initialized buffer.
+  kernels::GemmAB(x.data().data(), w.data().data(), out.data(), n, k, m,
+                  /*accumulate=*/epilogue);
+  auto xi = x.impl();
+  auto wi = w.impl();
+  auto bi = has_bias ? bias.impl() : nullptr;
+  auto ri = has_residual ? residual.impl() : nullptr;
+  std::vector<std::shared_ptr<TensorImpl>> parents{xi, wi};
+  if (bi) parents.push_back(bi);
+  if (ri) parents.push_back(ri);
+  return MakeOpResult(
+      {n, m}, std::move(out), std::move(parents),
+      [xi, wi, bi, ri, n, k, m](TensorImpl& self) {
+        const float* g = self.grad.data();
+        if (xi->needs_grad) {
+          xi->EnsureGrad();
+          // dX = G · W^T.
+          kernels::GemmABt(g, wi->data.data(), xi->grad.data(), n, m, k,
+                           /*accumulate=*/true);
+        }
+        if (wi->needs_grad) {
+          wi->EnsureGrad();
+          // dW = X^T · G.
+          kernels::GemmAtB(xi->data.data(), g, wi->grad.data(), n, k, m,
+                           /*accumulate=*/true);
+        }
+        if (bi && bi->needs_grad) {
+          bi->EnsureGrad();
+          for (int64_t i = 0; i < n; ++i) {
+            const float* g_row = g + i * m;
+            for (int64_t j = 0; j < m; ++j) bi->grad[j] += g_row[j];
+          }
+        }
+        if (ri && ri->needs_grad) {
+          ri->EnsureGrad();
+          for (size_t i = 0; i < self.grad.size(); ++i) {
+            ri->grad[i] += self.grad[i];
+          }
+        }
+      });
+}
+
+enum class AddBroadcast { kSame, kRowwise };
+
+AddBroadcast ResolveAddBroadcast(const Tensor& x, const Tensor& b) {
+  if (x.shape() == b.shape()) return AddBroadcast::kSame;
+  BIGCITY_CHECK(x.shape().size() == 2 && b.shape().size() == 1 &&
+                x.shape()[1] == b.shape()[0])
+      << "fused bias op: b must match x or be a {cols} row vector";
+  return AddBroadcast::kRowwise;
+}
+
+/// Shared core of BiasGelu / BiasLeakyRelu: y = act(x + b). `slope` < 0
+/// selects GELU, otherwise LeakyReLU with that slope.
+Tensor BiasActImpl(const Tensor& x, const Tensor& b, float slope) {
+  const AddBroadcast mode = ResolveAddBroadcast(x, b);
+  const int64_t cols = x.shape().size() == 2 ? x.shape()[1] : x.numel();
+  const auto& xd = x.data();
+  const auto& bd = b.data();
+  std::vector<float> out(xd.size());
+  const bool gelu = slope < 0.0f;
+  for (size_t i = 0; i < xd.size(); ++i) {
+    const float u =
+        xd[i] + bd[mode == AddBroadcast::kSame
+                       ? i
+                       : i % static_cast<size_t>(cols)];
+    out[i] = gelu ? GeluFwd(u) : LeakyFwd(u, slope);
+  }
+  auto xi = x.impl();
+  auto bi = b.impl();
+  return MakeOpResult(
+      x.shape(), std::move(out), {xi, bi},
+      [xi, bi, mode, cols, gelu, slope](TensorImpl& self) {
+        if (!xi->needs_grad && !bi->needs_grad) return;
+        if (xi->needs_grad) xi->EnsureGrad();
+        if (bi->needs_grad) bi->EnsureGrad();
+        for (size_t i = 0; i < self.grad.size(); ++i) {
+          const size_t j = mode == AddBroadcast::kSame
+                               ? i
+                               : i % static_cast<size_t>(cols);
+          // Recompute the pre-activation instead of having stored it.
+          const float u = xi->data[i] + bi->data[j];
+          const float d =
+              self.grad[i] * (gelu ? GeluGrad(u) : LeakyGrad(u, slope));
+          if (xi->needs_grad) xi->grad[i] += d;
+          if (bi->needs_grad) bi->grad[j] += d;
+        }
+      });
+}
+
+}  // namespace
+
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  return AffineImpl(x, w, bias, Tensor());
+}
+
+Tensor AffineResidual(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      const Tensor& residual) {
+  BIGCITY_CHECK(residual.is_valid());
+  return AffineImpl(x, w, bias, residual);
+}
+
+Tensor BiasGelu(const Tensor& x, const Tensor& b) {
+  return BiasActImpl(x, b, /*slope=*/-1.0f);
+}
+
+Tensor BiasLeakyRelu(const Tensor& x, const Tensor& b, float slope) {
+  BIGCITY_CHECK_GE(slope, 0.0f);
+  return BiasActImpl(x, b, slope);
+}
+
+Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
+  BIGCITY_CHECK_EQ(scores.shape().size(), 2u);
+  const int64_t n = scores.shape()[0], d = scores.shape()[1];
+  if (causal) {
+    BIGCITY_CHECK_EQ(n, d) << "causal softmax requires square scores";
+  }
+  const auto& sd = scores.data();
+  std::vector<float> out(sd.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = sd.data() + i * d;
+    float* out_row = out.data() + i * d;
+    const int64_t limit = causal ? i + 1 : d;
+    float mx = scale * row[0];
+    for (int64_t j = 1; j < limit; ++j) mx = std::max(mx, scale * row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < limit; ++j) {
+      out_row[j] = std::exp(scale * row[j] - mx);
+      sum += out_row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < limit; ++j) out_row[j] *= inv;
+    for (int64_t j = limit; j < d; ++j) out_row[j] = 0.0f;
+  }
+  auto si = scores.impl();
+  auto y = out;  // Copy kept for the backward pass.
+  return MakeOpResult(
+      scores.shape(), std::move(out), {si},
+      [si, n, d, scale, causal, y = std::move(y)](TensorImpl& self) {
+        if (!si->needs_grad) return;
+        si->EnsureGrad();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* yr = y.data() + i * d;
+          const float* gr = self.grad.data() + i * d;
+          const int64_t limit = causal ? i + 1 : d;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < limit; ++j) dot += yr[j] * gr[j];
+          float* sr = si->grad.data() + i * d;
+          for (int64_t j = 0; j < limit; ++j) {
+            sr[j] += scale * yr[j] * (gr[j] - dot);
+          }
+        }
+      });
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  BIGCITY_CHECK_EQ(a.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(b.shape().size(), 2u);
+  const int64_t n = a.shape()[0], k = a.shape()[1], m = b.shape()[0];
+  BIGCITY_CHECK_EQ(k, b.shape()[1]) << "matmul-NT inner dims mismatch";
+  std::vector<float> out(static_cast<size_t>(n * m));
+  kernels::GemmABt(a.data().data(), b.data().data(), out.data(), n, k, m,
+                   /*accumulate=*/false);
+  auto ai = a.impl();
+  auto bi = b.impl();
+  return MakeOpResult(
+      {n, m}, std::move(out), {ai, bi},
+      [ai, bi, n, k, m](TensorImpl& self) {
+        const float* g = self.grad.data();
+        if (ai->needs_grad) {
+          ai->EnsureGrad();
+          // dA = G · B.
+          kernels::GemmAB(g, bi->data.data(), ai->grad.data(), n, m, k,
+                          /*accumulate=*/true);
+        }
+        if (bi->needs_grad) {
+          bi->EnsureGrad();
+          // dB = G^T · A.
+          kernels::GemmAtB(g, ai->data.data(), bi->grad.data(), n, m, k,
+                          /*accumulate=*/true);
+        }
+      });
+}
+
+}  // namespace bigcity::nn

@@ -1,0 +1,45 @@
+#ifndef BIGCITY_NN_KERNELS_FUSED_H_
+#define BIGCITY_NN_KERNELS_FUSED_H_
+
+#include "nn/tensor.h"
+
+namespace bigcity::nn {
+
+// Fused autograd ops over the kernel layer. Each call builds ONE graph node
+// where the unfused formulation builds two or three, materializes no
+// intermediate tensors, and runs both its forward and backward as single
+// passes. Shapes follow ops.h conventions (row-major 2-D [rows, cols]).
+
+/// y = x·W + b in one node: the bias row is broadcast into the output and
+/// the GEMM accumulates on top of it. `bias` {M} may be an invalid handle
+/// (no bias), making this a write-mode matmul.
+Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+/// y = x·W + b + residual in one node (the transformer's bias+residual
+/// chain). residual must match the output shape [N,M]; bias {M} may be
+/// invalid.
+Tensor AffineResidual(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      const Tensor& residual);
+
+/// y = GELU(x + b), b either {M} (row-wise broadcast) or x-shaped. The
+/// pre-activation is never materialized; backward recomputes it from the
+/// inputs instead of storing it.
+Tensor BiasGelu(const Tensor& x, const Tensor& b);
+
+/// y = LeakyReLU(x + b, slope), same broadcast rules as BiasGelu (the GAT
+/// edge-score chain).
+Tensor BiasLeakyRelu(const Tensor& x, const Tensor& b, float slope = 0.2f);
+
+/// Row-wise softmax(scale * scores) with an optional causal mask, fused
+/// into one node: no scaled copy, no mask tensor, no masked-scores copy.
+/// With causal=true (requires square scores [L,L]) entries j > i get
+/// probability exactly 0.
+Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal);
+
+/// a[N,K] · b[M,K]^T -> [N,M] without materializing the transpose
+/// (attention q·k^T and tied-embedding logit projections).
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_KERNELS_FUSED_H_

@@ -1,0 +1,383 @@
+#include "nn/kernels/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define BIGCITY_KERNEL_X86 1
+#include <immintrin.h>
+#else
+#define BIGCITY_KERNEL_X86 0
+#endif
+
+namespace bigcity::nn::kernels {
+
+namespace {
+
+// Blocking parameters. MR x NR is the register tile; a full tile keeps 64
+// accumulators live across the whole inner loop. MC rows is both the L2
+// panel height and the static parallel-partition grain (fixed so chunk
+// boundaries never depend on the thread count). KC bounds the packed-panel
+// depth so an A panel (MC x KC) stays L2-resident and a B slab (KC x NR)
+// stays L1-resident.
+constexpr int64_t MR = 4;
+constexpr int64_t NR = 16;
+constexpr int64_t MC = 64;
+constexpr int64_t KC = 256;
+constexpr int64_t NC = 256;
+
+inline int64_t RoundUp(int64_t x, int64_t to) {
+  return (x + to - 1) / to * to;
+}
+
+/// Packs the mc x kc block of a logical matrix whose element (i, p) lives at
+/// src[i*rs + p*cs] into MR-row slabs: dst slab s holds rows
+/// [s*MR, s*MR+MR) laid out p-major (dst[s*kc*MR + p*MR + i]). Rows past mc
+/// are zero-padded; padded lanes are never stored back to C.
+void PackA(const float* src, int64_t rs, int64_t cs, int64_t mc, int64_t kc,
+           float* dst) {
+  for (int64_t i0 = 0; i0 < mc; i0 += MR) {
+    const int64_t mr = std::min(MR, mc - i0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t i = 0; i < mr; ++i) {
+        dst[p * MR + i] = src[(i0 + i) * rs + p * cs];
+      }
+      for (int64_t i = mr; i < MR; ++i) dst[p * MR + i] = 0.0f;
+    }
+    dst += kc * MR;
+  }
+}
+
+/// Packs the kc x nc block of a logical matrix whose element (p, j) lives at
+/// src[p*rs + j*cs] into NR-column slabs (dst[s*kc*NR + p*NR + j]), columns
+/// past nc zero-padded.
+void PackB(const float* src, int64_t rs, int64_t cs, int64_t kc, int64_t nc,
+           float* dst) {
+  for (int64_t j0 = 0; j0 < nc; j0 += NR) {
+    const int64_t nr = std::min(NR, nc - j0);
+    for (int64_t p = 0; p < kc; ++p) {
+      for (int64_t j = 0; j < nr; ++j) {
+        dst[p * NR + j] = src[p * rs + (j0 + j) * cs];
+      }
+      for (int64_t j = nr; j < NR; ++j) dst[p * NR + j] = 0.0f;
+    }
+    dst += kc * NR;
+  }
+}
+
+// MR x NR register-tiled micro-kernels over a depth-kc packed pair.
+// Accumulators are seeded from C (load_c) or zero, advance in ascending p
+// order, and only the live mr x nr sub-tile is stored back — this is what
+// makes the blocked backend bit-identical to the naive reference.
+//
+// The SIMD variants use explicit mul-then-add intrinsics, NEVER fused
+// multiply-add: an FMA's single rounding would break bit-equality with the
+// scalar reference. Vector width only changes how many independent output
+// elements advance per instruction, not any element's summation order, so
+// every variant produces identical bits. The widest ISA the CPU supports
+// is picked once at startup (the build stays baseline-portable).
+
+using MicroKernelFn = void (*)(const float* pa, const float* pb, float* c,
+                               int64_t ldc, int64_t kc, int64_t mr,
+                               int64_t nr, bool load_c);
+
+void MicroKernelScalar(const float* pa, const float* pb, float* c,
+                       int64_t ldc, int64_t kc, int64_t mr, int64_t nr,
+                       bool load_c) {
+  float acc[MR][NR] = {};
+  if (load_c) {
+    for (int64_t i = 0; i < mr; ++i) {
+      for (int64_t j = 0; j < nr; ++j) acc[i][j] = c[i * ldc + j];
+    }
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a = pa + p * MR;
+    const float* b = pb + p * NR;
+    for (int64_t i = 0; i < MR; ++i) {
+      const float av = a[i];
+      for (int64_t j = 0; j < NR; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
+
+#if BIGCITY_KERNEL_X86
+
+/// One 512-bit lane covers a full NR=16 output row, so the tile is 4 zmm
+/// accumulators + 1 b vector + 1 broadcast — far inside the register file.
+/// Partial tiles stage through a zero-padded stack buffer (padded lanes are
+/// computed but never reach C).
+__attribute__((target("avx512f"))) void MicroKernelAvx512(
+    const float* pa, const float* pb, float* c, int64_t ldc, int64_t kc,
+    int64_t mr, int64_t nr, bool load_c) {
+  static_assert(NR == 16, "one zmm register per tile row");
+  const bool full = mr == MR && nr == NR;
+  float tmp[MR][NR] = {};
+  if (load_c && !full) {
+    for (int64_t i = 0; i < mr; ++i) {
+      for (int64_t j = 0; j < nr; ++j) tmp[i][j] = c[i * ldc + j];
+    }
+  }
+  __m512 acc[MR];
+  for (int64_t i = 0; i < MR; ++i) {
+    acc[i] = !load_c ? _mm512_setzero_ps()
+                     : full ? _mm512_loadu_ps(c + i * ldc)
+                            : _mm512_loadu_ps(tmp[i]);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m512 b = _mm512_loadu_ps(pb + p * NR);
+    const float* a = pa + p * MR;
+    for (int64_t i = 0; i < MR; ++i) {
+      acc[i] = _mm512_add_ps(acc[i], _mm512_mul_ps(_mm512_set1_ps(a[i]), b));
+    }
+  }
+  if (full) {
+    for (int64_t i = 0; i < MR; ++i) _mm512_storeu_ps(c + i * ldc, acc[i]);
+  } else {
+    for (int64_t i = 0; i < MR; ++i) _mm512_storeu_ps(tmp[i], acc[i]);
+    for (int64_t i = 0; i < mr; ++i) {
+      for (int64_t j = 0; j < nr; ++j) c[i * ldc + j] = tmp[i][j];
+    }
+  }
+}
+
+/// Two 256-bit lanes per NR=16 row: 8 ymm accumulators + 2 b vectors + 1
+/// broadcast also fit the 16-register file.
+__attribute__((target("avx2"))) void MicroKernelAvx2(
+    const float* pa, const float* pb, float* c, int64_t ldc, int64_t kc,
+    int64_t mr, int64_t nr, bool load_c) {
+  static_assert(NR == 16, "two ymm registers per tile row");
+  const bool full = mr == MR && nr == NR;
+  float tmp[MR][NR] = {};
+  if (load_c && !full) {
+    for (int64_t i = 0; i < mr; ++i) {
+      for (int64_t j = 0; j < nr; ++j) tmp[i][j] = c[i * ldc + j];
+    }
+  }
+  __m256 lo[MR], hi[MR];
+  for (int64_t i = 0; i < MR; ++i) {
+    const float* src = full ? c + i * ldc : tmp[i];
+    lo[i] = !load_c ? _mm256_setzero_ps() : _mm256_loadu_ps(src);
+    hi[i] = !load_c ? _mm256_setzero_ps() : _mm256_loadu_ps(src + 8);
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 b_lo = _mm256_loadu_ps(pb + p * NR);
+    const __m256 b_hi = _mm256_loadu_ps(pb + p * NR + 8);
+    const float* a = pa + p * MR;
+    for (int64_t i = 0; i < MR; ++i) {
+      const __m256 av = _mm256_set1_ps(a[i]);
+      lo[i] = _mm256_add_ps(lo[i], _mm256_mul_ps(av, b_lo));
+      hi[i] = _mm256_add_ps(hi[i], _mm256_mul_ps(av, b_hi));
+    }
+  }
+  if (full) {
+    for (int64_t i = 0; i < MR; ++i) {
+      _mm256_storeu_ps(c + i * ldc, lo[i]);
+      _mm256_storeu_ps(c + i * ldc + 8, hi[i]);
+    }
+  } else {
+    for (int64_t i = 0; i < MR; ++i) {
+      _mm256_storeu_ps(tmp[i], lo[i]);
+      _mm256_storeu_ps(tmp[i] + 8, hi[i]);
+    }
+    for (int64_t i = 0; i < mr; ++i) {
+      for (int64_t j = 0; j < nr; ++j) c[i * ldc + j] = tmp[i][j];
+    }
+  }
+}
+
+#endif  // BIGCITY_KERNEL_X86
+
+MicroKernelFn PickMicroKernel() {
+#if BIGCITY_KERNEL_X86
+  if (__builtin_cpu_supports("avx512f")) return MicroKernelAvx512;
+  if (__builtin_cpu_supports("avx2")) return MicroKernelAvx2;
+#endif
+  return MicroKernelScalar;
+}
+
+const MicroKernelFn g_micro_kernel = PickMicroKernel();
+
+inline void MicroKernel(const float* pa, const float* pb, float* c,
+                        int64_t ldc, int64_t kc, int64_t mr, int64_t nr,
+                        bool load_c) {
+  g_micro_kernel(pa, pb, c, ldc, kc, mr, nr, load_c);
+}
+
+/// Blocked, panel-packed GEMM over logical operands given by strides:
+/// C[n,m] (+)= A·B with A element (i,p) at a[i*a_rs + p*a_cs] and B element
+/// (p,j) at b[p*b_rs + j*b_cs]. C is contiguous row-major.
+void GemmBlockedStrided(const float* a, int64_t a_rs, int64_t a_cs,
+                        const float* b, int64_t b_rs, int64_t b_cs, float* c,
+                        int64_t n, int64_t k, int64_t m, bool accumulate) {
+  if (n <= 0 || m <= 0) return;
+  if (k <= 0) {
+    // Empty inner dimension: write mode must still define the output.
+    if (!accumulate) {
+      for (int64_t i = 0; i < n; ++i) {
+        std::memset(c + i * m, 0, static_cast<size_t>(m) * sizeof(float));
+      }
+    }
+    return;
+  }
+  std::vector<float> pb(static_cast<size_t>(std::min(KC, k) *
+                                            RoundUp(std::min(NC, m), NR)));
+  util::ThreadPool& pool = util::GlobalThreadPool();
+  for (int64_t jc = 0; jc < m; jc += NC) {
+    const int64_t nc = std::min(NC, m - jc);
+    for (int64_t pc = 0; pc < k; pc += KC) {
+      const int64_t kc = std::min(KC, k - pc);
+      PackB(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, pb.data());
+      const bool load_c = accumulate || pc > 0;
+      pool.ParallelFor(0, n, MC, [&](int64_t row_begin, int64_t row_end) {
+        thread_local std::vector<float> pa;
+        const int64_t mc = row_end - row_begin;
+        pa.resize(static_cast<size_t>(RoundUp(mc, MR) * kc));
+        PackA(a + row_begin * a_rs + pc * a_cs, a_rs, a_cs, mc, kc,
+              pa.data());
+        for (int64_t i0 = 0; i0 < mc; i0 += MR) {
+          const float* pa_slab = pa.data() + (i0 / MR) * kc * MR;
+          for (int64_t j0 = 0; j0 < nc; j0 += NR) {
+            MicroKernel(pa_slab, pb.data() + (j0 / NR) * kc * NR,
+                        c + (row_begin + i0) * m + jc + j0, m, kc,
+                        std::min(MR, mc - i0), std::min(NR, nc - j0),
+                        load_c);
+          }
+        }
+      });
+    }
+  }
+}
+
+GemmBackend DefaultBackend() {
+  const char* env = std::getenv("BIGCITY_GEMM");
+  if (env != nullptr && std::strcmp(env, "naive") == 0) {
+    return GemmBackend::kNaive;
+  }
+  return GemmBackend::kBlocked;
+}
+
+GemmBackend g_backend = DefaultBackend();
+
+}  // namespace
+
+void SetBackend(GemmBackend backend) { g_backend = backend; }
+
+GemmBackend backend() { return g_backend; }
+
+void SetNumThreads(int num_threads) {
+  util::SetGlobalThreadCount(num_threads);
+}
+
+int NumThreads() { return util::GlobalThreadCount(); }
+
+// --- Naive reference --------------------------------------------------------
+
+// The scalar triple-loop kernels the blocked backend must match bit-for-bit.
+// No zero-skip shortcuts: 0 * Inf must produce NaN, not silently vanish.
+
+void GemmABNaive(const float* a, const float* b, float* c, int64_t n,
+                 int64_t k, int64_t m, bool accumulate) {
+  for (int64_t i = 0; i < n; ++i) {
+    float* c_row = c + i * m;
+    if (!accumulate) {
+      std::memset(c_row, 0, static_cast<size_t>(m) * sizeof(float));
+    }
+    const float* a_row = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      const float* b_row = b + p * m;
+      for (int64_t j = 0; j < m; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void GemmABtNaive(const float* a, const float* b, float* c, int64_t n,
+                  int64_t k, int64_t m, bool accumulate) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * m;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* b_row = b + j * k;
+      float acc = accumulate ? c_row[j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+void GemmAtBNaive(const float* a, const float* b, float* c, int64_t n,
+                  int64_t k, int64_t m, bool accumulate) {
+  if (!accumulate) {
+    for (int64_t p = 0; p < k; ++p) {
+      std::memset(c + p * m, 0, static_cast<size_t>(m) * sizeof(float));
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * m;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      float* c_row = c + p * m;
+      for (int64_t j = 0; j < m; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// --- Blocked backend --------------------------------------------------------
+
+void GemmABBlocked(const float* a, const float* b, float* c, int64_t n,
+                   int64_t k, int64_t m, bool accumulate) {
+  GemmBlockedStrided(a, k, 1, b, m, 1, c, n, k, m, accumulate);
+}
+
+void GemmABtBlocked(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m, bool accumulate) {
+  // B[M,K] read as its transpose: element (p, j) of the logical [K,M]
+  // operand is b[j*k + p].
+  GemmBlockedStrided(a, k, 1, b, 1, k, c, n, k, m, accumulate);
+}
+
+void GemmAtBBlocked(const float* a, const float* b, float* c, int64_t n,
+                    int64_t k, int64_t m, bool accumulate) {
+  // A[N,K] read as its transpose: output rows are K, inner dimension is N,
+  // and element (i, p) of the logical [K,N] operand is a[p*k + i].
+  GemmBlockedStrided(a, 1, k, b, m, 1, c, k, n, m, accumulate);
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+void GemmAB(const float* a, const float* b, float* c, int64_t n, int64_t k,
+            int64_t m, bool accumulate) {
+  if (g_backend == GemmBackend::kNaive) {
+    GemmABNaive(a, b, c, n, k, m, accumulate);
+  } else {
+    GemmABBlocked(a, b, c, n, k, m, accumulate);
+  }
+}
+
+void GemmABt(const float* a, const float* b, float* c, int64_t n, int64_t k,
+             int64_t m, bool accumulate) {
+  if (g_backend == GemmBackend::kNaive) {
+    GemmABtNaive(a, b, c, n, k, m, accumulate);
+  } else {
+    GemmABtBlocked(a, b, c, n, k, m, accumulate);
+  }
+}
+
+void GemmAtB(const float* a, const float* b, float* c, int64_t n, int64_t k,
+             int64_t m, bool accumulate) {
+  if (g_backend == GemmBackend::kNaive) {
+    GemmAtBNaive(a, b, c, n, k, m, accumulate);
+  } else {
+    GemmAtBBlocked(a, b, c, n, k, m, accumulate);
+  }
+}
+
+}  // namespace bigcity::nn::kernels

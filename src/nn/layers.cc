@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "nn/kernels/fused.h"
 #include "util/check.h"
 
 namespace bigcity::nn {
@@ -17,9 +18,16 @@ Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
-  Tensor y = MatMul(x, weight_);
-  if (bias_.is_valid()) y = Add(y, bias_);
-  return y;
+  return Affine(x, weight_, bias_);
+}
+
+Tensor Linear::ForwardGelu(const Tensor& x) const {
+  if (!bias_.is_valid()) return Gelu(MatMul(x, weight_));
+  return BiasGelu(MatMul(x, weight_), bias_);
+}
+
+Tensor Linear::ForwardResidual(const Tensor& x, const Tensor& residual) const {
+  return AffineResidual(x, weight_, bias_, residual);
 }
 
 EmbeddingTable::EmbeddingTable(int64_t vocab_size, int64_t dim,
@@ -55,8 +63,8 @@ Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng) {
 Tensor Mlp::Forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) h = Gelu(h);
+    h = i + 1 < layers_.size() ? layers_[i]->ForwardGelu(h)
+                               : layers_[i]->Forward(h);
   }
   return h;
 }

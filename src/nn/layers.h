@@ -16,8 +16,12 @@ class Linear : public Module {
   Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
          bool bias = true);
 
-  /// x [N, in] -> [N, out].
+  /// x [N, in] -> [N, out]. One fused graph node (GEMM + bias epilogue).
   Tensor Forward(const Tensor& x) const;
+  /// GELU(x W + b) with the bias add and activation fused into one pass.
+  Tensor ForwardGelu(const Tensor& x) const;
+  /// x W + b + residual as one fused node (residual [N, out]).
+  Tensor ForwardResidual(const Tensor& x, const Tensor& residual) const;
 
   int64_t in_features() const { return weight_.shape()[0]; }
   int64_t out_features() const { return weight_.shape()[1]; }

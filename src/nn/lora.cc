@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
 
@@ -40,12 +41,26 @@ void LoraLinear::FreezeBase() {
   for (auto& p : base_->Parameters()) p.set_requires_grad(false);
 }
 
+Tensor LoraLinear::ScaledDelta(const Tensor& x) const {
+  return Scale(MatMul(MatMul(x, lora_a_), lora_b_), scale_);
+}
+
 Tensor LoraLinear::Forward(const Tensor& x) const {
   Tensor y = base_->Forward(x);
-  if (lora_enabled() && scale_ != 0.0f) {
-    Tensor delta = MatMul(MatMul(x, lora_a_), lora_b_);
-    y = Add(y, Scale(delta, scale_));
-  }
+  if (lora_enabled() && scale_ != 0.0f) y = Add(y, ScaledDelta(x));
+  return y;
+}
+
+Tensor LoraLinear::ForwardGelu(const Tensor& x) const {
+  if (!(lora_enabled() && scale_ != 0.0f)) return base_->ForwardGelu(x);
+  // Same-shape BiasGelu fuses the delta add with the activation.
+  return BiasGelu(base_->Forward(x), ScaledDelta(x));
+}
+
+Tensor LoraLinear::ForwardResidual(const Tensor& x,
+                                   const Tensor& residual) const {
+  Tensor y = base_->ForwardResidual(x, residual);
+  if (lora_enabled() && scale_ != 0.0f) y = Add(y, ScaledDelta(x));
   return y;
 }
 

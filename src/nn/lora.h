@@ -33,8 +33,16 @@ class LoraLinear : public Module {
   }
 
   Tensor Forward(const Tensor& x) const;
+  /// GELU(Forward(x)) with the final bias/activation (and LoRA delta add,
+  /// when enabled) fused.
+  Tensor ForwardGelu(const Tensor& x) const;
+  /// Forward(x) + residual with the residual add fused into the base GEMM.
+  Tensor ForwardResidual(const Tensor& x, const Tensor& residual) const;
 
  private:
+  /// (alpha / r) * x A B, only valid when the branch is active.
+  Tensor ScaledDelta(const Tensor& x) const;
+
   std::unique_ptr<Linear> base_;
   Tensor lora_a_;  // [in, r]; invalid when disabled.
   Tensor lora_b_;  // [r, out].

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/kernels/kernels.h"
 #include "util/check.h"
 
 namespace bigcity::nn {
@@ -92,51 +93,6 @@ Tensor UnaryOp(const Tensor& a, UnaryFwd fwd, UnaryBwd bwd) {
           ai->grad[i] += self.grad[i] * bwd(ai->data[i], out_copy[i]);
         }
       });
-}
-
-/// out = A[N,K] * B[K,M], accumulating into pre-sized `out`.
-void MatMulKernel(const float* a, const float* b, float* out, int64_t n,
-                  int64_t k, int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    float* out_row = out + i * m;
-    const float* a_row = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b + p * m;
-      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
-    }
-  }
-}
-
-/// out += A^T[K,N] * B[N,M] given A[N,K].
-void MatMulAtBKernel(const float* a, const float* b, float* out, int64_t n,
-                     int64_t k, int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* a_row = a + i * k;
-    const float* b_row = b + i * m;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      float* out_row = out + p * m;
-      for (int64_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
-    }
-  }
-}
-
-/// out += A[N,K] * B^T[M,K] given B[M,K] -> out [N,M].
-void MatMulABtKernel(const float* a, const float* b, float* out, int64_t n,
-                     int64_t k, int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* a_row = a + i * k;
-    float* out_row = out + i * m;
-    for (int64_t j = 0; j < m; ++j) {
-      const float* b_row = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] += acc;
-    }
-  }
 }
 
 }  // namespace
@@ -295,23 +251,26 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   BIGCITY_CHECK_EQ(b.shape().size(), 2u);
   const int64_t n = a.shape()[0], k = a.shape()[1], m = b.shape()[1];
   BIGCITY_CHECK_EQ(k, b.shape()[0]) << "matmul inner dims mismatch";
-  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
-  MatMulKernel(a.data().data(), b.data().data(), out.data(), n, k, m);
+  // Write-mode GEMM: the kernel fully overwrites `out`, so no zero-filled
+  // accumulation pass over the buffer is ever read.
+  std::vector<float> out(static_cast<size_t>(n * m));
+  kernels::GemmAB(a.data().data(), b.data().data(), out.data(), n, k, m,
+                  /*accumulate=*/false);
   auto ai = a.impl();
   auto bi = b.impl();
   return MakeOpResult(
       {n, m}, std::move(out), {ai, bi}, [ai, bi, n, k, m](TensorImpl& self) {
         if (ai->needs_grad) {
           ai->EnsureGrad();
-          // dA = G * B^T : [N,M] x [M,K]^T-of-[K,M].
-          MatMulABtKernel(self.grad.data(), bi->data.data(), ai->grad.data(),
-                          n, m, k);
+          // dA += G * B^T : [N,M] x [M,K]^T-of-[K,M].
+          kernels::GemmABt(self.grad.data(), bi->data.data(),
+                           ai->grad.data(), n, m, k, /*accumulate=*/true);
         }
         if (bi->needs_grad) {
           bi->EnsureGrad();
-          // dB = A^T * G.
-          MatMulAtBKernel(ai->data.data(), self.grad.data(), bi->grad.data(),
-                          n, k, m);
+          // dB += A^T * G.
+          kernels::GemmAtB(ai->data.data(), self.grad.data(),
+                           bi->grad.data(), n, k, m, /*accumulate=*/true);
         }
       });
 }
@@ -319,11 +278,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], m = a.shape()[1];
-  std::vector<float> out(static_cast<size_t>(n * m));
+  // Write-through in destination order: reserve + push_back instead of
+  // value-initializing a buffer that is then fully overwritten.
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(n * m));
   const auto& ad = a.data();
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < m; ++j) {
-      out[static_cast<size_t>(j * n + i)] = ad[static_cast<size_t>(i * m + j)];
+  for (int64_t j = 0; j < m; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      out.push_back(ad[static_cast<size_t>(i * m + j)]);
     }
   }
   auto ai = a.impl();

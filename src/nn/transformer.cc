@@ -21,9 +21,12 @@ TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
 }
 
 Tensor TransformerBlock::Forward(const Tensor& x) const {
-  Tensor h = Add(x, attn_->Forward(ln1_->Forward(x)));
-  Tensor ffn = ffn_down_->Forward(Gelu(ffn_up_->Forward(ln2_->Forward(h))));
-  return Add(h, ffn);
+  // Both pre-norm skip connections ride the fused residual epilogues of
+  // the output / down projections; the FFN activation is fused with its
+  // bias add.
+  Tensor h = attn_->Forward(ln1_->Forward(x), /*residual=*/x);
+  return ffn_down_->ForwardResidual(ffn_up_->ForwardGelu(ln2_->Forward(h)),
+                                    h);
 }
 
 void TransformerBlock::EnableLora(int64_t rank, float alpha, util::Rng* rng) {

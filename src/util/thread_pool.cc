@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.h"
+
+namespace bigcity::util {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(std::unique_lock<std::mutex>& lock) {
+  // Chunks are claimed under the lock and executed outside it. Claiming is
+  // cheap relative to a chunk's work (kernels use coarse grains), and doing
+  // it under mu_ means no job field is ever read while another thread
+  // rewrites it: the job cannot advance until every chunk is accounted for.
+  while (next_chunk_ < num_chunks_) {
+    const int64_t chunk = next_chunk_++;
+    const int64_t lo = job_begin_ + chunk * job_grain_;
+    const int64_t hi = std::min(job_end_, lo + job_grain_);
+    const auto* fn = job_fn_;
+    lock.unlock();
+    (*fn)(lo, hi);
+    lock.lock();
+    if (++chunks_done_ == num_chunks_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_job = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || job_id_ != seen_job; });
+    if (shutdown_) return;
+    seen_job = job_id_;
+    RunChunks(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  BIGCITY_CHECK_GT(grain, 0);
+  const int64_t span = end - begin;
+  const int64_t chunks = (span + grain - 1) / grain;
+  if (num_threads_ == 1 || chunks == 1) {
+    // Inline path: identical chunk boundaries, ascending order.
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_fn_ = &fn;
+  job_begin_ = begin;
+  job_end_ = end;
+  job_grain_ = grain;
+  num_chunks_ = chunks;
+  chunks_done_ = 0;
+  next_chunk_ = 0;
+  ++job_id_;
+  work_cv_.notify_all();
+  RunChunks(lock);
+  done_cv_.wait(lock, [&] { return chunks_done_ == num_chunks_; });
+  job_fn_ = nullptr;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& PoolSlot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(1);
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() { return *PoolSlot(); }
+
+void SetGlobalThreadCount(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  if (PoolSlot()->num_threads() == num_threads) return;
+  PoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+int GlobalThreadCount() { return PoolSlot()->num_threads(); }
+
+}  // namespace bigcity::util

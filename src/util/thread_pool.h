@@ -1,0 +1,76 @@
+#ifndef BIGCITY_UTIL_THREAD_POOL_H_
+#define BIGCITY_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bigcity::util {
+
+/// Small persistent thread pool for data-parallel loops.
+///
+/// Determinism contract: ParallelFor splits [begin, end) into fixed-size
+/// chunks of `grain` iterations. Chunk boundaries depend only on
+/// (begin, end, grain) — never on the thread count or on which thread picks
+/// up which chunk. As long as the body writes a disjoint output region per
+/// chunk and is itself deterministic, results are bit-identical for any
+/// number of threads (including 1, where everything runs inline on the
+/// calling thread).
+class ThreadPool {
+ public:
+  /// Spawns num_threads - 1 workers; the calling thread participates in
+  /// every ParallelFor, so num_threads == 1 spawns nothing.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(chunk_begin, chunk_end) for every grain-sized chunk of
+  /// [begin, end). Blocks until all chunks finish. Not reentrant: fn must
+  /// not call ParallelFor on the same pool.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims (under `lock`) and runs (outside it) chunks of the current job
+  /// until none remain, bumping chunks_done_ per completed chunk.
+  void RunChunks(std::unique_lock<std::mutex>& lock);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // Guards every field below.
+  std::condition_variable work_cv_;  // Signals a new job (or shutdown).
+  std::condition_variable done_cv_;  // Signals job completion to the caller.
+  bool shutdown_ = false;
+
+  uint64_t job_id_ = 0;
+  const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
+  int64_t job_begin_ = 0;
+  int64_t job_end_ = 0;
+  int64_t job_grain_ = 1;
+  int64_t num_chunks_ = 0;
+  int64_t next_chunk_ = 0;
+  int64_t chunks_done_ = 0;
+};
+
+/// Process-wide pool used by the nn kernel layer. Starts at 1 thread.
+ThreadPool& GlobalThreadPool();
+
+/// Replaces the global pool with one of `num_threads` (clamped to >= 1).
+/// Must not race with in-flight ParallelFor calls.
+void SetGlobalThreadCount(int num_threads);
+
+/// Thread count of the global pool.
+int GlobalThreadCount();
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_THREAD_POOL_H_

@@ -36,6 +36,7 @@ struct CliOptions {
   std::string checkpoint_dir;
   int epochs1 = 2;
   int epochs2 = 6;
+  int threads = 0;  // 0 = keep the default (single-threaded kernels).
 };
 
 void PrintUsage() {
@@ -49,7 +50,9 @@ void PrintUsage() {
       "  --epochs1 N       train: stage-1 epochs (default 2)\n"
       "  --epochs2 N       train: stage-2 epochs (default 6)\n"
       "  --checkpoint-dir D train: per-epoch crash-safe snapshots; an\n"
-      "                    interrupted run resumes from D automatically\n");
+      "                    interrupted run resumes from D automatically\n"
+      "  --threads N       kernel worker threads (default 1); results are\n"
+      "                    bit-identical for any N\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -74,6 +77,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->epochs2 = std::atoi(value.c_str());
     } else if (flag == "--checkpoint-dir") {
       options->checkpoint_dir = value;
+    } else if (flag == "--threads") {
+      options->threads = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -112,7 +117,9 @@ int RunGenerate(const CliOptions& options) {
 
 int RunTrain(const CliOptions& options) {
   data::CityDataset dataset(CityConfig(options));
-  core::BigCityModel model(&dataset, core::BigCityConfig{});
+  core::BigCityConfig model_config;
+  model_config.threads = options.threads;
+  core::BigCityModel model(&dataset, model_config);
   train::TrainConfig config;
   config.stage1_epochs = options.epochs1;
   config.stage2_epochs = options.epochs2;
@@ -149,7 +156,9 @@ int RunTrain(const CliOptions& options) {
 
 int RunEval(const CliOptions& options) {
   data::CityDataset dataset(CityConfig(options));
-  core::BigCityModel model(&dataset, core::BigCityConfig{});
+  core::BigCityConfig model_config;
+  model_config.threads = options.threads;
+  core::BigCityModel model(&dataset, model_config);
   if (options.load.empty()) {
     std::fprintf(stderr, "eval requires --load PATH\n");
     return 1;
