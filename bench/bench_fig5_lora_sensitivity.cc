@@ -5,8 +5,8 @@
 #include <cstdio>
 
 #include "bench/common.h"
+#include "obs/timer.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace bigcity {
@@ -74,7 +74,7 @@ int main() {
   const int64_t ranks[] = {4, 8, 16, 32};
   for (double rate : rates) {
     for (int64_t rank : ranks) {
-      util::Stopwatch watch;
+      obs::WallTimer watch;
       auto point = RunConfig(dataset, rate, rank);
       table.AddRow({bench::Fmt(rate, 2), std::to_string(rank),
                     bench::Fmt(point.tte_inv_mae, 2),

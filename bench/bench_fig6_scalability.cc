@@ -21,7 +21,7 @@
 #include "baselines/traj/start_encoder.h"
 #include "bench/common.h"
 #include "nn/ops.h"
-#include "util/stopwatch.h"
+#include "obs/timer.h"
 #include "util/table_printer.h"
 
 namespace bigcity {
@@ -101,7 +101,7 @@ void SweepInference() {
   util::TablePrinter table({"#samples", "BIGCity (s)", "RNN (s)",
                             "Self-Attn (s)"});
   for (int n : {100, 200, 400}) {
-    util::Stopwatch watch;
+    obs::WallTimer watch;
     for (int i = 0; i < n; ++i) {
       g_pools->model->BeginStep();
       g_pools->model
@@ -156,7 +156,7 @@ void SweepSearch() {
       db_embeddings.push_back(
           g_pools->model->Embed(g_pools->database[d]).Detached());
     }
-    util::Stopwatch watch;
+    obs::WallTimer watch;
     double ours_rank = 0;
     for (int q = 0; q < num_queries; ++q) {
       g_pools->model->BeginStep();
@@ -183,7 +183,7 @@ void SweepSearch() {
     std::vector<std::string> rank_row = {std::to_string(usable),
                                          bench::Fmt(ours_rank, 1)};
     for (const auto& measure : baselines::AllClassicMeasures()) {
-      util::Stopwatch classic_watch;
+      obs::WallTimer classic_watch;
       double mean_rank = 0;
       for (int q = 0; q < num_queries; ++q) {
         auto query_points = baselines::ToPointSequence(

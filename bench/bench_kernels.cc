@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "nn/kernels/kernels.h"
+#include "obs/timer.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace bigcity {
@@ -40,7 +40,7 @@ double MeasureGflops(KernelFn fn, const Shape& s, const std::vector<float>& a,
                        static_cast<double>(s.k) * static_cast<double>(s.m);
   fn(a.data(), b.data(), c->data(), s.n, s.k, s.m, false);  // Warm-up.
   int runs = 0;
-  util::Stopwatch watch;
+  obs::WallTimer watch;
   do {
     fn(a.data(), b.data(), c->data(), s.n, s.k, s.m, false);
     ++runs;

@@ -14,7 +14,7 @@
 #include "baselines/traj/start_encoder.h"
 #include "baselines/traj/traj_harness.h"
 #include "bench/common.h"
-#include "util/stopwatch.h"
+#include "obs/timer.h"
 #include "util/table_printer.h"
 
 namespace bigcity {
@@ -96,7 +96,7 @@ void RunCity(const std::string& city) {
       {"JRM", Factory<baselines::JgrmEncoder>()},
   };
   for (const auto& [name, factory] : factories) {
-    util::Stopwatch watch;
+    obs::WallTimer watch;
     util::Rng rng(2024);
     auto encoder = factory(&dataset, &rng);
     baselines::TrajHarnessConfig config;

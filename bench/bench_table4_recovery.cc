@@ -11,8 +11,8 @@
 #include "bench/common.h"
 #include "data/masking.h"
 #include "nn/ops.h"
+#include "obs/timer.h"
 #include "train/metrics.h"
-#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace bigcity {

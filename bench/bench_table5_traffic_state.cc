@@ -12,7 +12,7 @@
 #include "baselines/traffic/recurrent_models.h"
 #include "baselines/traffic/traffic_harness.h"
 #include "bench/common.h"
-#include "util/stopwatch.h"
+#include "obs/timer.h"
 #include "util/table_printer.h"
 
 namespace bigcity {
@@ -64,7 +64,7 @@ void RunCity(const std::string& city, util::TablePrinter* table) {
       {"SST", Factory<baselines::Sstban>()},
   };
   for (const auto& [name, factory] : factories) {
-    util::Stopwatch watch;
+    obs::WallTimer watch;
     util::Rng rng(99);
     auto one_model = factory(&dataset, window, channels, 1 * channels, &rng);
     auto one = harness.TrainAndEvalPrediction(one_model.get(), 1);

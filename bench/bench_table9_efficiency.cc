@@ -12,8 +12,8 @@
 #include "baselines/traj/start_encoder.h"
 #include "baselines/traj/traj_harness.h"
 #include "bench/common.h"
+#include "obs/timer.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace bigcity {
@@ -45,7 +45,7 @@ EfficiencyRow MeasureBaseline(const std::string& name,
   config.max_train_samples = 150;
   config.eval.max_samples = 10;  // Timing run; evaluation cost irrelevant.
   baselines::TrajTaskHarness harness(&encoder, config);
-  util::Stopwatch watch;
+  obs::WallTimer watch;
   harness.Pretrain();
   row.stage1_seconds = watch.ElapsedSeconds();
   watch.Restart();

@@ -2,9 +2,10 @@
 
 #include <filesystem>
 
+#include "obs/obs.h"
+#include "obs/timer.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace bigcity::bench {
@@ -56,10 +57,13 @@ std::unique_ptr<core::BigCityModel> TrainedBigCity(
     model = std::make_unique<core::BigCityModel>(dataset, model_config);
   }
 
-  util::Stopwatch watch;
-  train::Trainer trainer(model.get(), train_config);
-  if (auto status = trainer.RunAll(); !status.ok()) {
-    BIGCITY_CHECK(false) << "bench training failed: " << status.ToString();
+  obs::WallTimer watch;
+  {
+    BIGCITY_TIMED_SCOPE_NAMED("bench.train_us", "bench.train", "bench");
+    train::Trainer trainer(model.get(), train_config);
+    if (auto status = trainer.RunAll(); !status.ok()) {
+      BIGCITY_CHECK(false) << "bench training failed: " << status.ToString();
+    }
   }
   BIGCITY_LOG(Info) << "trained BIGCity (" << cache_key << ") in "
                     << watch.ElapsedSeconds() << "s";

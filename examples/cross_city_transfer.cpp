@@ -8,10 +8,10 @@
 
 #include "core/bigcity_model.h"
 #include "data/dataset.h"
+#include "obs/timer.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "train/transfer.h"
-#include "util/stopwatch.h"
 
 using namespace bigcity;  // NOLINT — example brevity.
 
@@ -42,7 +42,7 @@ int main() {
   util::Rng rng(1);
   transferred.backbone()->EnableLora(&rng);  // Match source architecture.
 
-  util::Stopwatch transfer_watch;
+  obs::WallTimer transfer_watch;
   train::TransferBackbone(&source_model, &transferred);
   train::TrainConfig fine_tune;
   fine_tune.stage2_epochs = 3;
@@ -52,7 +52,7 @@ int main() {
 
   // Reference: the same budget spent training from scratch on the target.
   core::BigCityModel scratch(&target_city, model_config);
-  util::Stopwatch scratch_watch;
+  obs::WallTimer scratch_watch;
   train::TrainConfig scratch_train;
   scratch_train.stage1_epochs = 2;
   scratch_train.stage2_epochs = 3;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "roadnet/shortest_path.h"
 #include "util/check.h"
 
@@ -64,6 +65,8 @@ TrajectoryGenerator::TrajectoryGenerator(const roadnet::RoadNetwork* network,
 }
 
 std::vector<Trajectory> TrajectoryGenerator::Generate() {
+  BIGCITY_TIMED_SCOPE_NAMED("data.generate_us", "generate_trajectories",
+                            "data");
   std::vector<Trajectory> result;
   result.reserve(static_cast<size_t>(config_.num_trajectories));
   int attempts = 0;
@@ -78,6 +81,8 @@ std::vector<Trajectory> TrajectoryGenerator::Generate() {
   BIGCITY_CHECK_GE(static_cast<int>(result.size()),
                    config_.num_trajectories / 2)
       << "generator failed to produce enough valid trips";
+  BIGCITY_COUNTER_ADD("data.trajectories.generated", result.size());
+  BIGCITY_COUNTER_ADD("data.trajectories.attempts", attempts);
   return result;
 }
 

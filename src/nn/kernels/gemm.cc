@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -233,7 +234,16 @@ void GemmBlockedStrided(const float* a, int64_t a_rs, int64_t a_cs,
     const int64_t nc = std::min(NC, m - jc);
     for (int64_t pc = 0; pc < k; pc += KC) {
       const int64_t kc = std::min(KC, k - pc);
-      PackB(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, pb.data());
+      {
+        // Pack/compute split per depth panel. Compute includes the
+        // per-chunk A packing done inside the parallel body. Trace-only
+        // (inert unless tracing is on): this loop runs hundreds of
+        // thousands of times per training run and always-on clock reads
+        // here cost several percent of total wall time.
+        BIGCITY_TRACE_SPAN("gemm.pack", "kernels");
+        PackB(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, pb.data());
+      }
+      BIGCITY_TRACE_SPAN("gemm.compute", "kernels");
       const bool load_c = accumulate || pc > 0;
       pool.ParallelFor(0, n, MC, [&](int64_t row_begin, int64_t row_end) {
         thread_local std::vector<float> pa;
@@ -353,8 +363,16 @@ void GemmAtBBlocked(const float* a, const float* b, float* c, int64_t n,
 
 // --- Dispatch ----------------------------------------------------------------
 
+// Dispatch-tier probes: every product in the library flows through these
+// three functions, so one call counter + one FLOP counter here gives exact
+// model-level arithmetic totals (all three patterns do 2*n*k*m flops).
+
 void GemmAB(const float* a, const float* b, float* c, int64_t n, int64_t k,
             int64_t m, bool accumulate) {
+  BIGCITY_COUNTER_INC("kernels.gemm.calls");
+  BIGCITY_COUNTER_ADD("kernels.gemm.flops",
+                      2ull * static_cast<uint64_t>(n * k * m));
+  BIGCITY_TRACE_SPAN("gemm.AB", "kernels");
   if (g_backend == GemmBackend::kNaive) {
     GemmABNaive(a, b, c, n, k, m, accumulate);
   } else {
@@ -364,6 +382,10 @@ void GemmAB(const float* a, const float* b, float* c, int64_t n, int64_t k,
 
 void GemmABt(const float* a, const float* b, float* c, int64_t n, int64_t k,
              int64_t m, bool accumulate) {
+  BIGCITY_COUNTER_INC("kernels.gemm.calls");
+  BIGCITY_COUNTER_ADD("kernels.gemm.flops",
+                      2ull * static_cast<uint64_t>(n * k * m));
+  BIGCITY_TRACE_SPAN("gemm.ABt", "kernels");
   if (g_backend == GemmBackend::kNaive) {
     GemmABtNaive(a, b, c, n, k, m, accumulate);
   } else {
@@ -373,6 +395,10 @@ void GemmABt(const float* a, const float* b, float* c, int64_t n, int64_t k,
 
 void GemmAtB(const float* a, const float* b, float* c, int64_t n, int64_t k,
              int64_t m, bool accumulate) {
+  BIGCITY_COUNTER_INC("kernels.gemm.calls");
+  BIGCITY_COUNTER_ADD("kernels.gemm.flops",
+                      2ull * static_cast<uint64_t>(n * k * m));
+  BIGCITY_TRACE_SPAN("gemm.AtB", "kernels");
   if (g_backend == GemmBackend::kNaive) {
     GemmAtBNaive(a, b, c, n, k, m, accumulate);
   } else {

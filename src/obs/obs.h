@@ -1,0 +1,107 @@
+#ifndef BIGCITY_OBS_OBS_H_
+#define BIGCITY_OBS_OBS_H_
+
+// Umbrella header + instrumentation macros for the observability layer
+// (DESIGN.md §4.9). All hot-path instrumentation goes through these macros
+// so a -DBIGCITY_OBS=OFF build compiles every probe out to nothing; the
+// underlying classes (MetricsRegistry, TraceBuffer, RunReport, WallTimer)
+// stay available in both build flavors for cold-path consumers like the
+// trainer's run report.
+//
+// Metric handles are resolved once per call site (function-local static)
+// and then hit only the metric's lock-free fast path. MetricsRegistry
+// never invalidates handles, so this is safe across Reset().
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+#if !defined(BIGCITY_OBS)
+#define BIGCITY_OBS 1
+#endif
+
+#define BIGCITY_OBS_CONCAT_INNER_(a, b) a##b
+#define BIGCITY_OBS_CONCAT_(a, b) BIGCITY_OBS_CONCAT_INNER_(a, b)
+
+#if BIGCITY_OBS
+
+/// Counts `delta` events on counter `name` (a string literal).
+#define BIGCITY_COUNTER_ADD(name, delta)                                   \
+  do {                                                                     \
+    static ::bigcity::obs::Counter* const BIGCITY_OBS_CONCAT_(             \
+        obs_counter_, __LINE__) =                                          \
+        ::bigcity::obs::MetricsRegistry::Global().GetCounter(name);        \
+    BIGCITY_OBS_CONCAT_(obs_counter_, __LINE__)                            \
+        ->Add(static_cast<uint64_t>(delta));                               \
+  } while (0)
+
+#define BIGCITY_COUNTER_INC(name) BIGCITY_COUNTER_ADD(name, 1)
+
+/// Sets gauge `name` to `value`.
+#define BIGCITY_GAUGE_SET(name, value)                                     \
+  do {                                                                     \
+    static ::bigcity::obs::Gauge* const BIGCITY_OBS_CONCAT_(obs_gauge_,    \
+                                                            __LINE__) =    \
+        ::bigcity::obs::MetricsRegistry::Global().GetGauge(name);          \
+    BIGCITY_OBS_CONCAT_(obs_gauge_, __LINE__)                              \
+        ->Set(static_cast<double>(value));                                 \
+  } while (0)
+
+/// Records `value` into histogram `name` (default latency buckets).
+#define BIGCITY_HISTOGRAM_RECORD(name, value)                              \
+  do {                                                                     \
+    static ::bigcity::obs::Histogram* const BIGCITY_OBS_CONCAT_(           \
+        obs_histogram_, __LINE__) =                                        \
+        ::bigcity::obs::MetricsRegistry::Global().GetHistogram(name);      \
+    BIGCITY_OBS_CONCAT_(obs_histogram_, __LINE__)                          \
+        ->Record(static_cast<double>(value));                              \
+  } while (0)
+
+/// RAII trace span for the rest of the enclosing scope (trace buffer only).
+#define BIGCITY_TRACE_SPAN(name, category)           \
+  ::bigcity::obs::TraceSpan BIGCITY_OBS_CONCAT_(     \
+      obs_span_, __LINE__)((name), (category))
+
+/// RAII span that records its duration (µs) into histogram `hist_name`
+/// and appears as `span_name` in the trace. This is the workhorse probe:
+/// histogram always on, trace event only when tracing is enabled.
+#define BIGCITY_TIMED_SCOPE_NAMED(hist_name, span_name, category)          \
+  static ::bigcity::obs::Histogram* const BIGCITY_OBS_CONCAT_(             \
+      obs_scope_histogram_, __LINE__) =                                    \
+      ::bigcity::obs::MetricsRegistry::Global().GetHistogram(hist_name);   \
+  ::bigcity::obs::TraceSpan BIGCITY_OBS_CONCAT_(obs_scope_, __LINE__)(     \
+      (span_name), (category),                                             \
+      BIGCITY_OBS_CONCAT_(obs_scope_histogram_, __LINE__))
+
+/// Shorthand: histogram and span share one name.
+#define BIGCITY_TIMED_SCOPE(name, category) \
+  BIGCITY_TIMED_SCOPE_NAMED(name, name, category)
+
+#else  // !BIGCITY_OBS
+
+#define BIGCITY_COUNTER_ADD(name, delta) \
+  do {                                   \
+  } while (0)
+#define BIGCITY_COUNTER_INC(name) \
+  do {                            \
+  } while (0)
+#define BIGCITY_GAUGE_SET(name, value) \
+  do {                                 \
+  } while (0)
+#define BIGCITY_HISTOGRAM_RECORD(name, value) \
+  do {                                        \
+  } while (0)
+#define BIGCITY_TRACE_SPAN(name, category) \
+  do {                                     \
+  } while (0)
+#define BIGCITY_TIMED_SCOPE_NAMED(hist_name, span_name, category) \
+  do {                                                            \
+  } while (0)
+#define BIGCITY_TIMED_SCOPE(name, category) \
+  do {                                      \
+  } while (0)
+
+#endif  // BIGCITY_OBS
+
+#endif  // BIGCITY_OBS_OBS_H_

@@ -1,0 +1,67 @@
+#include "obs/report.h"
+
+namespace bigcity::obs {
+
+void RunReport::Record::Key(const char* key) {
+  json_.push_back(json_.empty() ? '{' : ',');
+  json_.push_back('"');
+  json_.append(key);
+  json_.append("\":");
+}
+
+RunReport::Record& RunReport::Record::Str(const char* key,
+                                          const std::string& value) {
+  Key(key);
+  json_.push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      json_.push_back('\\');
+      json_.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      json_.append(buffer);
+    } else {
+      json_.push_back(c);
+    }
+  }
+  json_.push_back('"');
+  return *this;
+}
+
+RunReport::Record& RunReport::Record::Num(const char* key, double value) {
+  Key(key);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  json_.append(buffer);
+  return *this;
+}
+
+RunReport::Record& RunReport::Record::Int(const char* key, int64_t value) {
+  Key(key);
+  json_.append(std::to_string(value));
+  return *this;
+}
+
+bool RunReport::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "w");
+  return file_ != nullptr;
+}
+
+void RunReport::Write(const Record& record) {
+  if (file_ == nullptr) return;
+  std::string line = record.json().empty() ? "{}" : record.json() + "}";
+  line.push_back('\n');
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+void RunReport::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace bigcity::obs

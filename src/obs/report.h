@@ -1,0 +1,53 @@
+#ifndef BIGCITY_OBS_REPORT_H_
+#define BIGCITY_OBS_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace bigcity::obs {
+
+/// Append-structured JSONL run report: one JSON object per line, fields in
+/// insertion order. The trainer emits one record per finished epoch plus a
+/// final summary, so a run's progress is machine-readable without parsing
+/// logs.
+class RunReport {
+ public:
+  /// One JSON object under construction. Keys are not escaped (callers use
+  /// literal identifiers); string values are.
+  class Record {
+   public:
+    Record& Str(const char* key, const std::string& value);
+    Record& Num(const char* key, double value);
+    Record& Int(const char* key, int64_t value);
+    const std::string& json() const { return json_; }
+
+   private:
+    void Key(const char* key);
+    std::string json_;
+  };
+
+  RunReport() = default;
+  ~RunReport() { Close(); }
+
+  RunReport(const RunReport&) = delete;
+  RunReport& operator=(const RunReport&) = delete;
+
+  /// Truncates and opens `path`; returns false on failure (the report then
+  /// stays inert and Write() is a no-op).
+  bool Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends one line and flushes, so a crashed run keeps every completed
+  /// record.
+  void Write(const Record& record);
+
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace bigcity::obs
+
+#endif  // BIGCITY_OBS_REPORT_H_

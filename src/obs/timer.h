@@ -1,0 +1,39 @@
+#ifndef BIGCITY_OBS_TIMER_H_
+#define BIGCITY_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bigcity::obs {
+
+/// Wall-clock timer for code that needs the elapsed value itself (bench
+/// GFLOP/s math, reported epoch times). Instrumentation that only *records*
+/// a duration should use TraceSpan / BIGCITY_TIMED_SCOPE instead. Starts
+/// running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bigcity::obs
+
+#endif  // BIGCITY_OBS_TIMER_H_

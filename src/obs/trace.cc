@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace bigcity::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<bool> g_tracing_enabled{false};
+
+void AppendEscaped(const char* text, std::string* out) {
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c == '"' || *c == '\\') {
+      out->push_back('\\');
+      out->push_back(*c);
+    } else if (static_cast<unsigned char>(*c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", *c);
+      out->append(buffer);
+    } else {
+      out->push_back(*c);
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+uint32_t TraceThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void SetTracingEnabled(bool enabled) {
+  if (enabled) TraceEpoch();  // Pin the epoch before the first span.
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+// --- TraceBuffer ------------------------------------------------------------
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceBuffer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == capacity_) {
+    // Overwrite the oldest slot; the newest capacity_ events survive.
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    return;
+  }
+  ring_[(head_ + size_) % capacity_] = event;
+  ++size_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    events.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return events;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+bool TraceBuffer::WriteJson(const std::string& path,
+                            std::string* error) const {
+  const std::vector<TraceEvent> events = Events();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", file);
+  std::string line;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    line.clear();
+    line.append("{\"name\":\"");
+    AppendEscaped(e.name, &line);
+    line.append("\",\"cat\":\"");
+    AppendEscaped(e.category, &line);
+    line.append("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    line.append(std::to_string(e.thread_id));
+    line.append(",\"ts\":");
+    line.append(std::to_string(e.start_us));
+    line.append(",\"dur\":");
+    line.append(std::to_string(e.duration_us));
+    line.append(i + 1 < events.size() ? "},\n" : "}\n");
+    std::fputs(line.c_str(), file);
+  }
+  std::fputs("]}\n", file);
+  const bool ok = std::fclose(file) == 0;
+  if (!ok && error != nullptr) *error = "write to " + path + " failed";
+  return ok;
+}
+
+// --- TraceSpan --------------------------------------------------------------
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  const uint64_t duration = TraceNowMicros() - start_us_;
+  if (histogram_ != nullptr) {
+    histogram_->Record(static_cast<double>(duration));
+  }
+  if (TracingEnabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.start_us = start_us_;
+    event.duration_us = duration;
+    event.thread_id = TraceThreadId();
+    TraceBuffer::Global().Record(event);
+  }
+}
+
+}  // namespace bigcity::obs

@@ -1,0 +1,98 @@
+#ifndef BIGCITY_OBS_TRACE_H_
+#define BIGCITY_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bigcity::obs {
+
+/// One completed span. `name` and `category` must point at storage that
+/// outlives the buffer (string literals in practice): events are recorded
+/// on hot paths and must not allocate.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  uint64_t start_us = 0;     // Relative to the process trace epoch.
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;
+};
+
+/// Microseconds since the process trace epoch (steady clock, first use).
+uint64_t TraceNowMicros();
+
+/// Small dense id for the calling thread (0 = first thread observed).
+uint32_t TraceThreadId();
+
+/// Tracing is off by default; spans are inert until enabled (one relaxed
+/// atomic load per span). Metrics are independent of this switch.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Bounded in-memory span sink. On overflow the OLDEST events are dropped
+/// (the tail of a run is what post-mortems need) and counted in dropped().
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global();
+
+  explicit TraceBuffer(size_t capacity = 1 << 16);
+
+  /// Drops all buffered events and resets the drop counter; capacity must
+  /// be >= 1 (clamped).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  void Record(const TraceEvent& event);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Writes the buffer as chrome://tracing / Perfetto "traceEvents" JSON
+  /// ("X" complete events). Returns false and fills *error on I/O failure.
+  bool WriteJson(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t head_ = 0;  // Index of the oldest event.
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into the global
+/// TraceBuffer when tracing is enabled, and optionally the duration (in
+/// microseconds) into a histogram. Near-free when tracing is disabled and
+/// no histogram is attached.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "app",
+                     Histogram* duration_us_histogram = nullptr)
+      : name_(name),
+        category_(category),
+        histogram_(duration_us_histogram),
+        armed_(histogram_ != nullptr || TracingEnabled()),
+        start_us_(armed_ ? TraceNowMicros() : 0) {}
+
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram* histogram_;
+  bool armed_;
+  uint64_t start_us_;
+};
+
+}  // namespace bigcity::obs
+
+#endif  // BIGCITY_OBS_TRACE_H_

@@ -8,12 +8,12 @@
 
 #include "data/masking.h"
 #include "nn/ops.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
 #include "util/fault_injection.h"
 #include "util/io.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 
 namespace bigcity::train {
 
@@ -57,6 +57,84 @@ Trainer::Trainer(core::BigCityModel* model, TrainConfig config)
     config_.tasks =
         TrainableTasks(model_->dataset()->config().has_dynamic_features);
   }
+  // Handles are process-stable; the names match the instrumentation macros
+  // below, so ReportEpoch can read what the probes recorded.
+  auto& registry = obs::MetricsRegistry::Global();
+  h_data_us_ = registry.GetHistogram("train.data_us");
+  h_forward_us_ = registry.GetHistogram("train.forward_us");
+  h_backward_us_ = registry.GetHistogram("train.backward_us");
+  h_optim_us_ = registry.GetHistogram("train.optim_us");
+  h_checkpoint_us_ = registry.GetHistogram("train.checkpoint_us");
+  c_gemm_flops_ = registry.GetCounter("kernels.gemm.flops");
+  c_gemm_calls_ = registry.GetCounter("kernels.gemm.calls");
+  reported_.gemm_flops = c_gemm_flops_->Value();
+  reported_.gemm_calls = c_gemm_calls_->Value();
+  reported_.data_us = h_data_us_->Sum();
+  reported_.forward_us = h_forward_us_->Sum();
+  reported_.backward_us = h_backward_us_->Sum();
+  reported_.optim_us = h_optim_us_->Sum();
+  reported_.checkpoint_us = h_checkpoint_us_->Sum();
+  if (!config_.run_report_path.empty() &&
+      !report_.Open(config_.run_report_path)) {
+    BIGCITY_LOG(Warning) << "cannot open run report "
+                         << config_.run_report_path << "; disabled";
+  }
+}
+
+// --- Run report -------------------------------------------------------------
+
+void Trainer::ReportEpoch(const char* stage, int epoch, float loss,
+                          double seconds) {
+  BIGCITY_COUNTER_INC("train.epochs");
+  if (!report_.is_open()) return;
+  ObsCursor now;
+  now.gemm_flops = c_gemm_flops_->Value();
+  now.gemm_calls = c_gemm_calls_->Value();
+  now.data_us = h_data_us_->Sum();
+  now.forward_us = h_forward_us_->Sum();
+  now.backward_us = h_backward_us_->Sum();
+  now.optim_us = h_optim_us_->Sum();
+  now.checkpoint_us = h_checkpoint_us_->Sum();
+  obs::RunReport::Record record;
+  record.Str("event", "epoch")
+      .Str("phase", stage)
+      .Int("epoch", epoch)
+      .Num("loss", loss)
+      .Num("seconds", seconds)
+      .Int("tokens", epoch_tokens_)
+      .Num("tokens_per_sec",
+           seconds > 0 ? static_cast<double>(epoch_tokens_) / seconds : 0.0)
+      .Int("gemm_flops",
+           static_cast<int64_t>(now.gemm_flops - reported_.gemm_flops))
+      .Int("gemm_calls",
+           static_cast<int64_t>(now.gemm_calls - reported_.gemm_calls))
+      .Num("data_us", now.data_us - reported_.data_us)
+      .Num("forward_us", now.forward_us - reported_.forward_us)
+      .Num("backward_us", now.backward_us - reported_.backward_us)
+      .Num("optim_us", now.optim_us - reported_.optim_us)
+      .Num("checkpoint_us", now.checkpoint_us - reported_.checkpoint_us)
+      .Int("guard_skipped_steps", total_skipped_steps_)
+      .Int("rollbacks", rollbacks_)
+      .Int("checkpoint_writes", checkpoint_writes_);
+  report_.Write(record);
+  reported_ = now;
+}
+
+void Trainer::ReportSummary() {
+  if (!report_.is_open()) return;
+  obs::RunReport::Record record;
+  record.Str("event", "summary")
+      .Int("phase", phase_)
+      .Int("gemm_flops_total", static_cast<int64_t>(c_gemm_flops_->Value()))
+      .Int("gemm_calls_total", static_cast<int64_t>(c_gemm_calls_->Value()))
+      .Int("guard_skipped_steps", total_skipped_steps_)
+      .Int("rollbacks", rollbacks_)
+      .Int("checkpoint_writes", checkpoint_writes_)
+      .Num("stage1_seconds_per_epoch", stage1_epoch_seconds_)
+      .Num("stage2_seconds_per_epoch", stage2_epoch_seconds_)
+      .Num("stage1_loss", last_stage1_loss_)
+      .Num("stage2_loss", last_stage2_loss_);
+  report_.Write(record);
 }
 
 // --- Guarded stepping + snapshots ------------------------------------------
@@ -69,22 +147,31 @@ util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
   const float value = batch_loss.item();
   bool bad = config_.guard_non_finite && !std::isfinite(value);
   if (!bad) {
-    batch_loss.Backward();
-    if (util::FaultInjection::Fire(util::kFaultTrainerNanGrad)) {
-      for (auto p : optimizer_->parameters()) {
-        if (p.requires_grad() && !p.grad().empty()) {
-          p.grad()[0] = std::numeric_limits<float>::quiet_NaN();
-          break;
+    float norm = 0;
+    {
+      // Backward phase includes gradient clipping: both walk the full
+      // parameter set and neither updates weights.
+      BIGCITY_TIMED_SCOPE_NAMED("train.backward_us", "backward", "train");
+      batch_loss.Backward();
+      if (util::FaultInjection::Fire(util::kFaultTrainerNanGrad)) {
+        for (auto p : optimizer_->parameters()) {
+          if (p.requires_grad() && !p.grad().empty()) {
+            p.grad()[0] = std::numeric_limits<float>::quiet_NaN();
+            break;
+          }
         }
       }
+      norm = optimizer_->ClipGradNorm(config_.clip_norm);
     }
-    const float norm = optimizer_->ClipGradNorm(config_.clip_norm);
     bad = config_.guard_non_finite && !std::isfinite(norm);
     if (!bad) {
+      BIGCITY_TIMED_SCOPE_NAMED("train.optim_us", "optim", "train");
       optimizer_->Step();
       consecutive_bad_ = 0;
       *applied = true;
       *loss_value = value;
+      BIGCITY_COUNTER_INC("train.steps.applied");
+      BIGCITY_GAUGE_SET("train.lr", optimizer_->lr());
       return util::Status::Ok();
     }
   }
@@ -94,7 +181,9 @@ util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
   *loss_value = 0;
   ++consecutive_bad_;
   ++total_skipped_steps_;
+  BIGCITY_COUNTER_INC("train.guard.skipped_steps");
   optimizer_->set_lr(optimizer_->lr() * config_.lr_backoff);
+  BIGCITY_GAUGE_SET("train.lr", optimizer_->lr());
   BIGCITY_LOG(Warning) << "non-finite loss/gradient at phase " << phase_
                        << " epoch " << epoch_ << "; skipped step ("
                        << consecutive_bad_ << " consecutive), lr -> "
@@ -114,13 +203,19 @@ std::string Trainer::SnapshotPath() const {
 
 util::Status Trainer::MaybeCheckpoint() const {
   if (config_.checkpoint_dir.empty()) return util::Status::Ok();
+  BIGCITY_TIMED_SCOPE_NAMED("train.checkpoint_us", "checkpoint", "train");
   std::error_code ec;
   std::filesystem::create_directories(config_.checkpoint_dir, ec);
   if (ec) {
     return util::Status::IoError("cannot create checkpoint dir " +
                                  config_.checkpoint_dir + ": " + ec.message());
   }
-  return SaveTrainingState(SnapshotPath());
+  auto status = SaveTrainingState(SnapshotPath());
+  if (status.ok()) {
+    ++checkpoint_writes_;
+    BIGCITY_COUNTER_INC("train.checkpoint.writes");
+  }
+  return status;
 }
 
 util::Status Trainer::FinishEpoch(int next_epoch) {
@@ -231,6 +326,7 @@ util::Status Trainer::RunWithRollback(
       return status;
     }
     ++rollbacks_;
+    BIGCITY_COUNTER_INC("train.guard.rollbacks");
     lr_penalty_ *= config_.lr_backoff;
     if (auto s = LoadTrainingState(SnapshotPath(), false); !s.ok()) {
       return status;  // No usable snapshot: surface the divergence.
@@ -269,16 +365,26 @@ util::Status Trainer::DoPretrain() {
     optimizer_ = std::make_unique<nn::Adam>(
         backbone->TrainableParameters(), config_.lr_pretrain * lr_penalty_);
   }
+  obs::WallTimer epoch_watch;
   for (int epoch = epoch_; epoch < config_.pretrain_lm_epochs; ++epoch) {
+    BIGCITY_TRACE_SPAN("pretrain.epoch", "train");
+    epoch_watch.Restart();
+    epoch_tokens_ = 0;
     float epoch_loss = 0;
     for (const auto& ids : corpus) {
+      BIGCITY_TRACE_SPAN("step", "train");
       optimizer_->ZeroGrad();
-      Tensor logits = backbone->TextLmLogits(ids);
-      // Predict token t+1 from position t.
-      Tensor inputs = nn::SliceRows(logits, 0,
-                                    static_cast<int64_t>(ids.size()) - 1);
-      std::vector<int> targets(ids.begin() + 1, ids.end());
-      Tensor loss = nn::CrossEntropy(inputs, targets);
+      Tensor loss;
+      {
+        BIGCITY_TIMED_SCOPE_NAMED("train.forward_us", "forward", "train");
+        Tensor logits = backbone->TextLmLogits(ids);
+        // Predict token t+1 from position t.
+        Tensor inputs = nn::SliceRows(logits, 0,
+                                      static_cast<int64_t>(ids.size()) - 1);
+        std::vector<int> targets(ids.begin() + 1, ids.end());
+        loss = nn::CrossEntropy(inputs, targets);
+      }
+      epoch_tokens_ += static_cast<int64_t>(ids.size());
       bool applied = false;
       float value = 0;
       if (auto s = GuardedStep(loss, &applied, &value); !s.ok()) return s;
@@ -288,6 +394,9 @@ util::Status Trainer::DoPretrain() {
       BIGCITY_LOG(Info) << "LM pretrain epoch " << epoch << " loss "
                         << epoch_loss / corpus.size();
     }
+    ReportEpoch("pretrain", epoch,
+                epoch_loss / static_cast<float>(corpus.size()),
+                epoch_watch.ElapsedSeconds());
     if (auto s = FinishEpoch(epoch + 1); !s.ok()) return s;
   }
   // Attach adapters and freeze the pre-trained base (Sec. V-B).
@@ -414,9 +523,11 @@ util::Status Trainer::DoStage1() {
     }
   }
 
-  util::Stopwatch epoch_watch;
+  obs::WallTimer epoch_watch;
   for (int epoch = epoch_; epoch < config_.stage1_epochs; ++epoch) {
+    BIGCITY_TRACE_SPAN("stage1.epoch", "train");
     epoch_watch.Restart();
+    epoch_tokens_ = 0;
     // Visit the canonical pool through a fresh permutation instead of
     // shuffling it in place: the epoch's order then depends only on the
     // RNG state at the epoch boundary (which snapshots capture), not on
@@ -427,23 +538,41 @@ util::Status Trainer::DoStage1() {
     int batches = 0;
     for (size_t begin = 0; begin < pool.size();
          begin += static_cast<size_t>(config_.batch_size)) {
+      BIGCITY_TRACE_SPAN("step", "train");
       model_->BeginStep();
       optimizer_->ZeroGrad();
-      Tensor batch_loss;
       const size_t end = std::min(
           pool.size(), begin + static_cast<size_t>(config_.batch_size));
-      for (size_t s = begin; s < end; ++s) {
-        const auto& sequence = pool[static_cast<size_t>(order[s])];
-        const int k = std::max(
-            1, static_cast<int>(sequence.length() *
-                                config_.stage1_mask_fraction));
-        auto masked = data::RandomMaskIndices(sequence.length(), k, &rng_);
-        Tensor loss = Stage1Loss(sequence, masked);
-        batch_loss =
-            batch_loss.is_valid() ? nn::Add(batch_loss, loss) : loss;
+      // Data phase: draw the batch's mask indices. This consumes rng_ in
+      // the same per-sequence order as drawing inside the loss loop would
+      // (the forward pass draws nothing), so the training stream is
+      // unchanged by the phase split.
+      std::vector<std::vector<int>> batch_masks;
+      batch_masks.reserve(end - begin);
+      {
+        BIGCITY_TIMED_SCOPE_NAMED("train.data_us", "data", "train");
+        for (size_t s = begin; s < end; ++s) {
+          const auto& sequence = pool[static_cast<size_t>(order[s])];
+          const int k = std::max(
+              1, static_cast<int>(sequence.length() *
+                                  config_.stage1_mask_fraction));
+          batch_masks.push_back(
+              data::RandomMaskIndices(sequence.length(), k, &rng_));
+          epoch_tokens_ += sequence.length();
+        }
       }
-      batch_loss = nn::Scale(batch_loss,
-                             1.0f / static_cast<float>(end - begin));
+      Tensor batch_loss;
+      {
+        BIGCITY_TIMED_SCOPE_NAMED("train.forward_us", "forward", "train");
+        for (size_t s = begin; s < end; ++s) {
+          const auto& sequence = pool[static_cast<size_t>(order[s])];
+          Tensor loss = Stage1Loss(sequence, batch_masks[s - begin]);
+          batch_loss =
+              batch_loss.is_valid() ? nn::Add(batch_loss, loss) : loss;
+        }
+        batch_loss = nn::Scale(batch_loss,
+                               1.0f / static_cast<float>(end - begin));
+      }
       bool applied = false;
       float value = 0;
       if (auto s = GuardedStep(batch_loss, &applied, &value); !s.ok()) {
@@ -461,6 +590,7 @@ util::Status Trainer::DoStage1() {
                         << last_stage1_loss_ << " ("
                         << stage1_epoch_seconds_ << "s)";
     }
+    ReportEpoch("stage1", epoch, last_stage1_loss_, stage1_epoch_seconds_);
     if (auto s = FinishEpoch(epoch + 1); !s.ok()) return s;
   }
   model_->BeginStep();
@@ -638,31 +768,46 @@ util::Status Trainer::DoStage2() {
     optimizer_ = std::make_unique<nn::Adam>(model_->TrainableParameters(),
                                             config_.lr_stage2 * lr_penalty_);
   }
-  util::Stopwatch epoch_watch;
+  const int traffic_window = model_->config().traffic_input_steps;
+  obs::WallTimer epoch_watch;
   for (int epoch = epoch_; epoch < config_.stage2_epochs; ++epoch) {
+    BIGCITY_TRACE_SPAN("stage2.epoch", "train");
     // Step decay stabilizes the late co-training epochs.
     if (config_.stage2_epochs >= 6 &&
         epoch == config_.stage2_epochs * 2 / 3) {
       optimizer_->set_lr(config_.lr_stage2 * 0.5f * lr_penalty_);
     }
     epoch_watch.Restart();
-    auto samples = BuildTaskSamples();
+    epoch_tokens_ = 0;
+    std::vector<TaskSample> samples;
+    {
+      // Data phase: stage 2 rebuilds its whole sample set per epoch.
+      BIGCITY_TIMED_SCOPE_NAMED("train.data_us", "data", "train");
+      samples = BuildTaskSamples();
+    }
     float epoch_loss = 0;
     int batches = 0;
     for (size_t begin = 0; begin < samples.size();
          begin += static_cast<size_t>(config_.batch_size)) {
+      BIGCITY_TRACE_SPAN("step", "train");
       model_->BeginStep();
       optimizer_->ZeroGrad();
       Tensor batch_loss;
       const size_t end = std::min(
           samples.size(), begin + static_cast<size_t>(config_.batch_size));
-      for (size_t s = begin; s < end; ++s) {
-        Tensor loss = TaskLoss(samples[s]);
-        batch_loss =
-            batch_loss.is_valid() ? nn::Add(batch_loss, loss) : loss;
+      {
+        BIGCITY_TIMED_SCOPE_NAMED("train.forward_us", "forward", "train");
+        for (size_t s = begin; s < end; ++s) {
+          Tensor loss = TaskLoss(samples[s]);
+          batch_loss =
+              batch_loss.is_valid() ? nn::Add(batch_loss, loss) : loss;
+          epoch_tokens_ += samples[s].trajectory.length() > 0
+                               ? samples[s].trajectory.length()
+                               : traffic_window;
+        }
+        batch_loss = nn::Scale(batch_loss,
+                               1.0f / static_cast<float>(end - begin));
       }
-      batch_loss = nn::Scale(batch_loss,
-                             1.0f / static_cast<float>(end - begin));
       bool applied = false;
       float value = 0;
       if (auto s = GuardedStep(batch_loss, &applied, &value); !s.ok()) {
@@ -680,6 +825,7 @@ util::Status Trainer::DoStage2() {
                         << last_stage2_loss_ << " ("
                         << stage2_epoch_seconds_ << "s)";
     }
+    ReportEpoch("stage2", epoch, last_stage2_loss_, stage2_epoch_seconds_);
     if (auto s = FinishEpoch(epoch + 1); !s.ok()) return s;
   }
   model_->BeginStep();
@@ -699,6 +845,7 @@ util::Status Trainer::RunAll() {
   if (phase_ <= kPhaseStage2) {
     if (auto s = RunStage2(); !s.ok()) return s;
   }
+  ReportSummary();
   return util::Status::Ok();
 }
 

@@ -9,6 +9,8 @@
 #include "core/bigcity_model.h"
 #include "core/task.h"
 #include "nn/optim.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -53,6 +55,13 @@ struct TrainConfig {
   int max_bad_steps = 3;
   /// Divergence rollbacks (to the last good snapshot) before giving up.
   int max_rollbacks = 2;
+
+  // --- Observability (DESIGN.md §4.9) ------------------------------------
+  /// JSONL run-report path: one record per finished epoch (loss, wall
+  /// time, tokens/sec, GEMM FLOPs, per-phase µs, guard/checkpoint event
+  /// counts) plus a final summary. Empty disables the report. The file is
+  /// truncated when the trainer is constructed.
+  std::string run_report_path;
 };
 
 /// Orchestrates BIGCity training: backbone LM pre-training, LoRA
@@ -109,6 +118,8 @@ class Trainer {
   int total_skipped_steps() const { return total_skipped_steps_; }
   /// Divergence rollbacks performed since construction.
   int rollbacks() const { return rollbacks_; }
+  /// Snapshots committed since construction.
+  int64_t checkpoint_writes() const { return checkpoint_writes_; }
 
   /// One stage-2 prompt-tuning sample (public for the ablation benches).
   struct TaskSample {
@@ -161,6 +172,13 @@ class Trainer {
                                  bool replay_structure);
   std::string SnapshotPath() const;
 
+  /// Appends one JSONL record for a finished epoch: schedule position,
+  /// loss, wall time, tokens/sec, and deltas of the obs counters and
+  /// per-phase duration histograms since the previous record.
+  void ReportEpoch(const char* stage, int epoch, float loss, double seconds);
+  /// Appends the final cumulative summary record.
+  void ReportSummary();
+
   core::BigCityModel* model_;
   TrainConfig config_;
   util::Rng rng_;
@@ -180,6 +198,32 @@ class Trainer {
   double stage2_epoch_seconds_ = 0;
   float last_stage1_loss_ = 0;
   float last_stage2_loss_ = 0;
+
+  // --- Observability (run report + cached metric handles) ----------------
+  obs::RunReport report_;
+  /// ST units / text tokens consumed by the current epoch (reset per
+  /// epoch; feeds the report's tokens/sec).
+  int64_t epoch_tokens_ = 0;
+  /// Mutable: MaybeCheckpoint() is const but the write count is pure
+  /// bookkeeping.
+  mutable int64_t checkpoint_writes_ = 0;
+  /// Registry handles are stable for the process lifetime; with
+  /// BIGCITY_OBS=OFF the instrumentation macros record nothing and these
+  /// report zeros, which keeps the report valid in both build flavors.
+  obs::Histogram* h_data_us_ = nullptr;
+  obs::Histogram* h_forward_us_ = nullptr;
+  obs::Histogram* h_backward_us_ = nullptr;
+  obs::Histogram* h_optim_us_ = nullptr;
+  obs::Histogram* h_checkpoint_us_ = nullptr;
+  obs::Counter* c_gemm_flops_ = nullptr;
+  obs::Counter* c_gemm_calls_ = nullptr;
+  /// Values already attributed to earlier report records (delta cursor).
+  struct ObsCursor {
+    double data_us = 0, forward_us = 0, backward_us = 0, optim_us = 0,
+           checkpoint_us = 0;
+    uint64_t gemm_flops = 0, gemm_calls = 0;
+  };
+  ObsCursor reported_;
 };
 
 /// The fixed pre-training corpus (instructions + templated mobility

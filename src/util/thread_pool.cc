@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace bigcity::util {
@@ -48,6 +49,14 @@ void ThreadPool::WorkerLoop() {
     work_cv_.wait(lock, [&] { return shutdown_ || job_id_ != seen_job; });
     if (shutdown_) return;
     seen_job = job_id_;
+    // Queue wait: submit-to-wakeup latency of this worker for this job.
+    // Only measured while tracing (job_post_us_ == 0 otherwise): two extra
+    // clock reads per pooled job are visible at GEMM dispatch rates.
+    if (job_post_us_ != 0) {
+      BIGCITY_HISTOGRAM_RECORD(
+          "threadpool.queue_wait_us",
+          static_cast<double>(obs::TraceNowMicros() - job_post_us_));
+    }
     RunChunks(lock);
   }
 }
@@ -60,13 +69,20 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t chunks = (span + grain - 1) / grain;
   if (num_threads_ == 1 || chunks == 1) {
     // Inline path: identical chunk boundaries, ascending order.
+    BIGCITY_COUNTER_INC("threadpool.jobs.inline");
+    BIGCITY_COUNTER_ADD("threadpool.chunks", chunks);
     for (int64_t c = 0; c < chunks; ++c) {
       const int64_t lo = begin + c * grain;
       fn(lo, std::min(end, lo + grain));
     }
     return;
   }
+  BIGCITY_COUNTER_INC("threadpool.jobs.pooled");
+  BIGCITY_COUNTER_ADD("threadpool.chunks", chunks);
   std::unique_lock<std::mutex> lock(mu_);
+#if BIGCITY_OBS
+  job_post_us_ = obs::TracingEnabled() ? obs::TraceNowMicros() : 0;
+#endif
   job_fn_ = &fn;
   job_begin_ = begin;
   job_end_ = end;

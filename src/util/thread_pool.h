@@ -52,6 +52,7 @@ class ThreadPool {
   bool shutdown_ = false;
 
   uint64_t job_id_ = 0;
+  uint64_t job_post_us_ = 0;  // Trace-clock submit time (obs queue-wait).
   const std::function<void(int64_t, int64_t)>* job_fn_ = nullptr;
   int64_t job_begin_ = 0;
   int64_t job_end_ = 0;

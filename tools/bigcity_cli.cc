@@ -19,6 +19,7 @@
 #include "core/bigcity_model.h"
 #include "data/csv_io.h"
 #include "data/dataset.h"
+#include "obs/obs.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "util/table_printer.h"
@@ -37,6 +38,10 @@ struct CliOptions {
   int epochs1 = 2;
   int epochs2 = 6;
   int threads = 0;  // 0 = keep the default (single-threaded kernels).
+  // Observability sinks (DESIGN.md §4.9); empty = off.
+  std::string trace_out;    // chrome://tracing JSON of the whole run.
+  std::string run_report;   // train: per-epoch JSONL run report.
+  std::string metrics_out;  // metrics-registry snapshot JSON.
 };
 
 void PrintUsage() {
@@ -52,7 +57,11 @@ void PrintUsage() {
       "  --checkpoint-dir D train: per-epoch crash-safe snapshots; an\n"
       "                    interrupted run resumes from D automatically\n"
       "  --threads N       kernel worker threads (default 1); results are\n"
-      "                    bit-identical for any N\n");
+      "                    bit-identical for any N\n"
+      "  --trace-out PATH  write a chrome://tracing JSON of the run\n"
+      "  --run-report PATH train: write a per-epoch JSONL run report\n"
+      "                    (tokens/sec, GEMM FLOPs, guard/checkpoint counts)\n"
+      "  --metrics-out PATH write the final metrics snapshot as JSON\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -79,6 +88,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->checkpoint_dir = value;
     } else if (flag == "--threads") {
       options->threads = std::atoi(value.c_str());
+    } else if (flag == "--trace-out") {
+      options->trace_out = value;
+    } else if (flag == "--run-report") {
+      options->run_report = value;
+    } else if (flag == "--metrics-out") {
+      options->metrics_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -115,6 +130,37 @@ int RunGenerate(const CliOptions& options) {
   return 0;
 }
 
+/// Flushes the observability sinks the run asked for; called before every
+/// successful or failed exit so a crash-adjacent run still leaves a trace.
+void ExportObs(const CliOptions& options) {
+  if (!options.trace_out.empty()) {
+    std::string error;
+    if (!obs::TraceBuffer::Global().WriteJson(options.trace_out, &error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+    } else {
+      std::printf("wrote trace (%zu spans, %llu dropped) to %s\n",
+                  obs::TraceBuffer::Global().size(),
+                  static_cast<unsigned long long>(
+                      obs::TraceBuffer::Global().dropped()),
+                  options.trace_out.c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    const std::string json =
+        obs::MetricsRegistry::Global().Snapshot().ToJson();
+    std::FILE* f = std::fopen(options.metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
+    } else {
+      std::fputs(json.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote metrics snapshot to %s\n",
+                  options.metrics_out.c_str());
+    }
+  }
+}
+
 int RunTrain(const CliOptions& options) {
   data::CityDataset dataset(CityConfig(options));
   core::BigCityConfig model_config;
@@ -125,6 +171,7 @@ int RunTrain(const CliOptions& options) {
   config.stage2_epochs = options.epochs2;
   config.verbose = true;
   config.checkpoint_dir = options.checkpoint_dir;
+  config.run_report_path = options.run_report;
   train::Trainer trainer(&model, config);
   if (!options.checkpoint_dir.empty()) {
     const std::string snapshot =
@@ -141,8 +188,10 @@ int RunTrain(const CliOptions& options) {
   }
   if (auto status = trainer.RunAll(); !status.ok()) {
     std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    ExportObs(options);  // A failed run's trace is the interesting one.
     return 1;
   }
+  ExportObs(options);
   const std::string path =
       options.save.empty() ? options.city + "_model.bin" : options.save;
   if (auto status = model.SaveStateToFile(path); !status.ok()) {
@@ -204,6 +253,7 @@ int RunEval(const CliOptions& options) {
                   util::TablePrinter::Num(tsi.mae, 2)});
   }
   table.Print();
+  ExportObs(options);
   return 0;
 }
 
@@ -215,6 +265,14 @@ int main(int argc, char** argv) {
   if (!bigcity::ParseArgs(argc, argv, &options)) {
     bigcity::PrintUsage();
     return 2;
+  }
+  // Arm tracing before any work (dataset generation traces too). The
+  // default 64K-event ring only keeps the tail of a training run (per-GEMM
+  // spans dominate); a run that asked for a trace gets a 2M-event ring
+  // (~80 MB peak) so the per-phase spans of a short run all survive.
+  if (!options.trace_out.empty()) {
+    bigcity::obs::TraceBuffer::Global().SetCapacity(size_t{1} << 21);
+    bigcity::obs::SetTracingEnabled(true);
   }
   if (options.command == "generate") return bigcity::RunGenerate(options);
   if (options.command == "train") return bigcity::RunTrain(options);
