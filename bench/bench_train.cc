@@ -1,0 +1,103 @@
+// End-to-end training throughput benchmark: runs the standard bench-scale
+// BIGCity training budget and reports tokens/sec, GEMM GFLOP/s, and the
+// tensor-memory high-water mark. Prints a table and writes
+// BENCH_train.json in the working directory.
+//
+// Usage: bench_train [--city XA|BJ|CD] [--threads N] [--out PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/common.h"
+#include "nn/kernels/kernels.h"
+#include "obs/obs.h"
+#include "obs/timer.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  std::string out = "BENCH_train.json";
+  std::string city = "XA";
+  int threads = nn::kernels::NumThreads();
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--city") == 0) {
+      city = argv[i + 1];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_train [--city XA|BJ|CD] [--threads N] [--out PATH]\n");
+      return 2;
+    }
+  }
+  nn::kernels::SetNumThreads(threads);
+  threads = nn::kernels::NumThreads();
+  std::printf("BIGCity end-to-end training benchmark (%s, %d thread%s).\n",
+              city.c_str(), threads, threads == 1 ? "" : "s");
+
+  data::CityDataset dataset(bench::BenchCity(city));
+  core::BigCityConfig model_config;
+  model_config.threads = threads;
+  core::BigCityModel model(&dataset, model_config);
+  train::Trainer trainer(&model, bench::BenchTrainConfig());
+
+  // Count only training work: dataset + model construction already ran.
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t flops_before =
+      registry.GetCounter("kernels.gemm.flops")->Value();
+  const uint64_t tokens_before = registry.GetCounter("train.tokens")->Value();
+  obs::WallTimer watch;
+  if (auto status = trainer.RunAll(); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const double seconds = watch.ElapsedSeconds();
+  const double gemm_flops = static_cast<double>(
+      registry.GetCounter("kernels.gemm.flops")->Value() - flops_before);
+  const double tokens = static_cast<double>(
+      registry.GetCounter("train.tokens")->Value() - tokens_before);
+  // Peak/churn include construction (the tracker is process-global); the
+  // peak is hit mid-training regardless, which is the number that matters.
+  auto& memory = obs::MemoryTracker::Global();
+  const long long peak_bytes = memory.peak_bytes();
+  const long long alloc_bytes = memory.alloc_bytes();
+  const long long allocs = memory.alloc_count();
+
+  util::TablePrinter table({"Metric", "Value"});
+  table.AddRow({"Train seconds", util::TablePrinter::Num(seconds, 2)});
+  table.AddRow({"Tokens/sec", util::TablePrinter::Num(tokens / seconds, 1)});
+  table.AddRow(
+      {"GEMM GFLOP/s", util::TablePrinter::Num(gemm_flops / seconds / 1e9, 2)});
+  table.AddRow({"Peak tensor MB",
+                util::TablePrinter::Num(peak_bytes / (1024.0 * 1024.0), 1)});
+  table.Print();
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"city\": \"%s\",\n"
+               "  \"threads\": %d,\n"
+               "  \"train_seconds\": %.3f,\n"
+               "  \"tokens\": %.0f,\n"
+               "  \"tokens_per_sec\": %.1f,\n"
+               "  \"gemm_flops\": %.0f,\n"
+               "  \"gemm_gflops_per_sec\": %.3f,\n"
+               "  \"peak_live_bytes\": %lld,\n"
+               "  \"alloc_bytes\": %lld,\n"
+               "  \"allocs\": %lld\n"
+               "}\n",
+               city.c_str(), threads, seconds, tokens, tokens / seconds,
+               gemm_flops, gemm_flops / seconds / 1e9, peak_bytes, alloc_bytes,
+               allocs);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

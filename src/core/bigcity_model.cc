@@ -35,6 +35,10 @@ BigCityModel::BigCityModel(const data::CityDataset* dataset,
   RegisterModule("tokenizer", tokenizer_.get());
   RegisterModule("backbone", backbone_.get());
   RegisterModule("heads", heads_.get());
+  // The module tree is static from here on (EnableLora adds parameters,
+  // not modules), so profiler/health attribution paths can be assigned
+  // once and match NamedParameters() prefixes for the model's lifetime.
+  AssignModulePaths();
 }
 
 bool BigCityModel::classifies_users() const {

@@ -5,6 +5,7 @@
 #include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "obs/profiler.h"
 
 namespace bigcity::nn {
 
@@ -25,11 +26,13 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
 }
 
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   return Forward(x, Tensor());
 }
 
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
                                        const Tensor& residual) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   BIGCITY_CHECK_EQ(x.shape().size(), 2u);
   BIGCITY_CHECK_EQ(x.shape()[1], dim_);
   Tensor q = wq_->Forward(x);
@@ -63,6 +66,7 @@ LearnedQueryAttention::LearnedQueryAttention(int64_t num_queries, int64_t dim,
 }
 
 Tensor LearnedQueryAttention::Forward(const Tensor& h) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   BIGCITY_CHECK_EQ(h.shape().size(), 2u);
   BIGCITY_CHECK_EQ(h.shape()[0], query_.shape()[0]);
   BIGCITY_CHECK_EQ(h.shape()[1], dim_);

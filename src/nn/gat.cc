@@ -5,6 +5,7 @@
 #include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "obs/profiler.h"
 
 namespace bigcity::nn {
 
@@ -40,6 +41,7 @@ GatLayer::GatLayer(int64_t in_dim, int64_t out_dim, int64_t num_heads,
 }
 
 Tensor GatLayer::Forward(const Tensor& h, const GraphEdges& graph) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   BIGCITY_CHECK_EQ(h.shape()[0], graph.num_nodes);
   BIGCITY_CHECK(!graph.src.empty());
   std::vector<Tensor> heads;
@@ -78,6 +80,7 @@ GatEncoder::GatEncoder(int64_t in_dim, int64_t hidden_dim, int64_t out_dim,
 
 Tensor GatEncoder::Forward(const Tensor& features,
                            const GraphEdges& graph) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor h = gat1_->Forward(features, graph);
   h = gat2_->Forward(h, graph);
   return ffn_->Forward(h);

@@ -1,0 +1,63 @@
+#include "nn/introspect.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+namespace {
+
+bool AnyNonFinite(const std::vector<float>& values) {
+  for (const float v : values) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::string ShapeString(const std::vector<int64_t>& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(std::to_string(shape[i]));
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace
+
+NonFiniteSite FindFirstNonFinite(const Tensor& root, bool check_grads) {
+  NonFiniteSite site;
+  if (!root.is_valid()) return site;
+  std::vector<TensorImpl*> stack{root.impl().get()};
+  std::unordered_set<TensorImpl*> visited{root.impl().get()};
+  while (!stack.empty()) {
+    TensorImpl* node = stack.back();
+    stack.pop_back();
+    bool bad = AnyNonFinite(node->data);
+    bool in_grad = false;
+    if (!bad && check_grads && AnyNonFinite(node->grad)) {
+      bad = true;
+      in_grad = true;
+    }
+    if (bad && (!site.found || node->seq < site.seq)) {
+      site.found = true;
+      site.seq = node->seq;
+      site.op = node->op_name;
+      site.module = node->module_path;
+      site.shape = ShapeString(node->shape);
+      site.in_grad = in_grad;
+    }
+    for (const auto& parent : node->parents) {
+      if (visited.insert(parent.get()).second) {
+        stack.push_back(parent.get());
+      }
+    }
+  }
+  return site;
+}
+
+}  // namespace bigcity::nn

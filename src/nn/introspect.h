@@ -1,0 +1,37 @@
+#ifndef BIGCITY_NN_INTROSPECT_H_
+#define BIGCITY_NN_INTROSPECT_H_
+
+// Autograd-graph introspection (DESIGN.md §4.10): locates the first
+// non-finite value in a computation graph so a guard trip can name the
+// offending op/module instead of just skipping the step. Cold path only —
+// the walk touches every activation and is run when a step already failed.
+
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.h"
+
+namespace bigcity::nn {
+
+/// Where a non-finite value first appeared.
+struct NonFiniteSite {
+  bool found = false;
+  /// Creation-order tag of the node (TensorImpl::seq); among all nodes
+  /// holding a non-finite value the one created earliest is reported, so
+  /// this is the most upstream corruption the graph still remembers.
+  uint64_t seq = 0;
+  std::string op;      // Producing op ("" when probes are compiled out).
+  std::string module;  // Owning module path ("" = untagged).
+  std::string shape;   // "[rows, cols]" for log messages.
+  bool in_grad = false;  // Value was in .grad rather than .data.
+};
+
+/// Walks the graph reachable from `root` through stored parents and
+/// returns the earliest-created node whose data (or grad, when
+/// `check_grads`) holds a NaN/Inf. found == false when everything is
+/// finite.
+NonFiniteSite FindFirstNonFinite(const Tensor& root, bool check_grads = false);
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_INTROSPECT_H_

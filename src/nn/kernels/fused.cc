@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/kernels/kernels.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace bigcity::nn {
@@ -12,6 +13,8 @@ namespace bigcity::nn {
 namespace {
 
 constexpr float kPi = 3.14159265358979323846f;
+
+inline uint64_t U64(int64_t value) { return static_cast<uint64_t>(value); }
 
 /// tanh-approximation GELU (GPT-2), same formula as ops.cc Gelu.
 inline float GeluFwd(float x) {
@@ -51,12 +54,17 @@ void FillEpilogue(float* out, int64_t n, int64_t m, const float* bias,
 }
 
 /// Shared core of Affine / AffineResidual. residual may be invalid.
-Tensor AffineImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
-                  const Tensor& residual) {
+Tensor AffineImpl(const char* name, const Tensor& x, const Tensor& w,
+                  const Tensor& bias, const Tensor& residual) {
   BIGCITY_CHECK_EQ(x.shape().size(), 2u);
   BIGCITY_CHECK_EQ(w.shape().size(), 2u);
   const int64_t n = x.shape()[0], k = x.shape()[1], m = w.shape()[1];
   BIGCITY_CHECK_EQ(k, w.shape()[0]) << "affine inner dims mismatch";
+  BIGCITY_PROFILE_OP(name);
+  BIGCITY_PROFILE_OP_COST(U64(2 * n * k * m + 2 * n * m),
+                          U64(n * k + k * m + 2 * n * m) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * k * m + 2 * n * m),
+                              U64(2 * (n * k + k * m + n * m)) * 4);
   const bool has_bias = bias.is_valid();
   const bool has_residual = residual.is_valid();
   if (has_bias) BIGCITY_CHECK_EQ(bias.numel(), m);
@@ -125,7 +133,11 @@ AddBroadcast ResolveAddBroadcast(const Tensor& x, const Tensor& b) {
 
 /// Shared core of BiasGelu / BiasLeakyRelu: y = act(x + b). `slope` < 0
 /// selects GELU, otherwise LeakyReLU with that slope.
-Tensor BiasActImpl(const Tensor& x, const Tensor& b, float slope) {
+Tensor BiasActImpl(const char* name, const Tensor& x, const Tensor& b,
+                   float slope) {
+  BIGCITY_PROFILE_OP(name);
+  BIGCITY_PROFILE_OP_COST(U64(8 * x.numel()), U64(3 * x.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(10 * x.numel()), U64(4 * x.numel()) * 4);
   const AddBroadcast mode = ResolveAddBroadcast(x, b);
   const int64_t cols = x.shape().size() == 2 ? x.shape()[1] : x.numel();
   const auto& xd = x.data();
@@ -164,22 +176,22 @@ Tensor BiasActImpl(const Tensor& x, const Tensor& b, float slope) {
 }  // namespace
 
 Tensor Affine(const Tensor& x, const Tensor& w, const Tensor& bias) {
-  return AffineImpl(x, w, bias, Tensor());
+  return AffineImpl("Affine", x, w, bias, Tensor());
 }
 
 Tensor AffineResidual(const Tensor& x, const Tensor& w, const Tensor& bias,
                       const Tensor& residual) {
   BIGCITY_CHECK(residual.is_valid());
-  return AffineImpl(x, w, bias, residual);
+  return AffineImpl("AffineResidual", x, w, bias, residual);
 }
 
 Tensor BiasGelu(const Tensor& x, const Tensor& b) {
-  return BiasActImpl(x, b, /*slope=*/-1.0f);
+  return BiasActImpl("BiasGelu", x, b, /*slope=*/-1.0f);
 }
 
 Tensor BiasLeakyRelu(const Tensor& x, const Tensor& b, float slope) {
   BIGCITY_CHECK_GE(slope, 0.0f);
-  return BiasActImpl(x, b, slope);
+  return BiasActImpl("BiasLeakyRelu", x, b, slope);
 }
 
 Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
@@ -188,6 +200,9 @@ Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
   if (causal) {
     BIGCITY_CHECK_EQ(n, d) << "causal softmax requires square scores";
   }
+  BIGCITY_PROFILE_OP("ScaledMaskedSoftmax");
+  BIGCITY_PROFILE_OP_COST(U64(6 * n * d), U64(2 * n * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(5 * n * d), U64(3 * n * d) * 4);
   const auto& sd = scores.data();
   std::vector<float> out(sd.size());
   for (int64_t i = 0; i < n; ++i) {
@@ -231,6 +246,11 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   BIGCITY_CHECK_EQ(b.shape().size(), 2u);
   const int64_t n = a.shape()[0], k = a.shape()[1], m = b.shape()[0];
   BIGCITY_CHECK_EQ(k, b.shape()[1]) << "matmul-NT inner dims mismatch";
+  BIGCITY_PROFILE_OP("MatMulNT");
+  BIGCITY_PROFILE_OP_COST(U64(2 * n * k * m),
+                          U64(n * k + k * m + n * m) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * k * m),
+                              U64(2 * (n * k + k * m + n * m)) * 4);
   std::vector<float> out(static_cast<size_t>(n * m));
   kernels::GemmABt(a.data().data(), b.data().data(), out.data(), n, k, m,
                    /*accumulate=*/false);

@@ -4,6 +4,7 @@
 
 #include "nn/kernels/fused.h"
 #include "util/check.h"
+#include "obs/profiler.h"
 
 namespace bigcity::nn {
 
@@ -18,15 +19,18 @@ Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   return Affine(x, weight_, bias_);
 }
 
 Tensor Linear::ForwardGelu(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   if (!bias_.is_valid()) return Gelu(MatMul(x, weight_));
   return BiasGelu(MatMul(x, weight_), bias_);
 }
 
 Tensor Linear::ForwardResidual(const Tensor& x, const Tensor& residual) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   return AffineResidual(x, weight_, bias_, residual);
 }
 
@@ -38,6 +42,7 @@ EmbeddingTable::EmbeddingTable(int64_t vocab_size, int64_t dim,
 }
 
 Tensor EmbeddingTable::Forward(const std::vector<int>& indices) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   return Embedding(table_, indices);
 }
 
@@ -49,6 +54,7 @@ LayerNormLayer::LayerNormLayer(int64_t dim) {
 }
 
 Tensor LayerNormLayer::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   return LayerNorm(x, gamma_, beta_);
 }
 
@@ -61,6 +67,7 @@ Mlp::Mlp(const std::vector<int64_t>& dims, util::Rng* rng) {
 }
 
 Tensor Mlp::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = i + 1 < layers_.size() ? layers_[i]->ForwardGelu(h)
@@ -84,6 +91,7 @@ Gru::Gru(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
 }
 
 Tensor Gru::Step(const Tensor& x, const Tensor& h) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor gates = Sigmoid(Add(gates_x_->Forward(x), gates_h_->Forward(h)));
   Tensor z = SliceCols(gates, 0, hidden_dim_);
   Tensor r = SliceCols(gates, hidden_dim_, 2 * hidden_dim_);
@@ -95,6 +103,7 @@ Tensor Gru::Step(const Tensor& x, const Tensor& h) const {
 }
 
 Tensor Gru::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   BIGCITY_CHECK_EQ(x.shape().size(), 2u);
   const int64_t length = x.shape()[0];
   Tensor h = Tensor::Zeros({1, hidden_dim_});

@@ -5,6 +5,7 @@
 #include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
+#include "obs/profiler.h"
 
 namespace bigcity::nn {
 
@@ -46,12 +47,14 @@ Tensor LoraLinear::ScaledDelta(const Tensor& x) const {
 }
 
 Tensor LoraLinear::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor y = base_->Forward(x);
   if (lora_enabled() && scale_ != 0.0f) y = Add(y, ScaledDelta(x));
   return y;
 }
 
 Tensor LoraLinear::ForwardGelu(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   if (!(lora_enabled() && scale_ != 0.0f)) return base_->ForwardGelu(x);
   // Same-shape BiasGelu fuses the delta add with the activation.
   return BiasGelu(base_->Forward(x), ScaledDelta(x));
@@ -59,6 +62,7 @@ Tensor LoraLinear::ForwardGelu(const Tensor& x) const {
 
 Tensor LoraLinear::ForwardResidual(const Tensor& x,
                                    const Tensor& residual) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor y = base_->ForwardResidual(x, residual);
   if (lora_enabled() && scale_ != 0.0f) y = Add(y, ScaledDelta(x));
   return y;

@@ -41,6 +41,14 @@ int64_t Module::NumParameters() const {
   return total;
 }
 
+void Module::AssignModulePaths(const std::string& root_path) {
+  module_path_ = root_path;
+  for (const auto& [name, child] : children_) {
+    child->AssignModulePaths(root_path.empty() ? name
+                                               : root_path + "." + name);
+  }
+}
+
 void Module::SaveState(std::ostream& out) const {
   const auto named = NamedParameters();
   util::WriteU64(out, named.size());

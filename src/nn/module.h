@@ -36,6 +36,18 @@ class Module {
   /// Total number of scalar parameters in the subtree.
   int64_t NumParameters() const;
 
+  /// Walks the subtree assigning module_path(): this module gets
+  /// `root_path`, each child "<parent path>.<registered name>" — the same
+  /// dotted prefixes NamedParameters() produces, so profiler and health
+  /// attribution share one key space. Call once on the root after the
+  /// module tree is fully constructed (it is static afterwards; LoRA only
+  /// adds parameters, not modules).
+  void AssignModulePaths(const std::string& root_path = "");
+
+  /// Dotted path assigned by AssignModulePaths ("" before assignment and
+  /// for the root itself).
+  const std::string& module_path() const { return module_path_; }
+
   /// Serializes all named parameters to a binary stream / file.
   void SaveState(std::ostream& out) const;
   util::Status LoadState(std::istream& in);
@@ -57,6 +69,7 @@ class Module {
  private:
   std::vector<std::pair<std::string, Tensor>> parameters_;
   std::vector<std::pair<std::string, Module*>> children_;
+  std::string module_path_;
 };
 
 }  // namespace bigcity::nn

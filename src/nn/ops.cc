@@ -5,11 +5,19 @@
 #include <numeric>
 
 #include "nn/kernels/kernels.h"
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace bigcity::nn {
 
 namespace {
+
+// Profiling convention (DESIGN.md §4.10): every *primitive* op — one that
+// calls MakeOpResult directly — opens a BIGCITY_PROFILE_OP scope with FLOP
+// and byte estimates for both directions. Composites built from primitives
+// (Neg, Mean, Embedding, Mse, L1) deliberately do not, so per-op self
+// times partition wall time without double counting.
+inline uint64_t U64(int64_t value) { return static_cast<uint64_t>(value); }
 
 constexpr float kPi = 3.14159265358979323846f;
 
@@ -40,13 +48,16 @@ using BinaryFwd = float (*)(float, float);
 using BinaryBwdA = float (*)(float a, float b, float g);
 using BinaryBwdB = float (*)(float a, float b, float g);
 
-Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryFwd fwd,
-                BinaryBwdA bwd_a, BinaryBwdB bwd_b) {
+Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
+                BinaryFwd fwd, BinaryBwdA bwd_a, BinaryBwdB bwd_b) {
+  BIGCITY_PROFILE_OP(name);
   const BroadcastMode mode = ResolveBroadcast(a, b);
   const int64_t cols =
       a.shape().size() == 2 ? a.shape()[1] : a.numel();
   const auto& ad = a.data();
   const auto& bd = b.data();
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(3 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(2 * a.numel()), U64(4 * a.numel()) * 4);
   std::vector<float> out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) {
     out[i] = fwd(ad[i], bd[BIndex(mode, i, cols)]);
@@ -78,7 +89,11 @@ using UnaryFwd = float (*)(float);
 /// Derivative expressed in terms of input x and output y.
 using UnaryBwd = float (*)(float x, float y);
 
-Tensor UnaryOp(const Tensor& a, UnaryFwd fwd, UnaryBwd bwd) {
+Tensor UnaryOp(const char* name, const Tensor& a, UnaryFwd fwd,
+               UnaryBwd bwd) {
+  BIGCITY_PROFILE_OP(name);
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(2 * a.numel()), U64(3 * a.numel()) * 4);
   const auto& ad = a.data();
   std::vector<float> out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = fwd(ad[i]);
@@ -101,28 +116,28 @@ Tensor UnaryOp(const Tensor& a, UnaryFwd fwd, UnaryBwd bwd) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+      "Add", a, b, [](float x, float y) { return x + y; },
       [](float, float, float g) { return g; },
       [](float, float, float g) { return g; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+      "Sub", a, b, [](float x, float y) { return x - y; },
       [](float, float, float g) { return g; },
       [](float, float, float g) { return -g; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+      "Mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y, float g) { return g * y; },
       [](float x, float, float g) { return g * x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+      "Div", a, b, [](float x, float y) { return x / y; },
       [](float, float y, float g) { return g / y; },
       [](float x, float y, float g) { return -g * x / (y * y); });
 }
@@ -130,6 +145,9 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
 
 Tensor Scale(const Tensor& a, float factor) {
+  BIGCITY_PROFILE_OP("Scale");
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   const auto& ad = a.data();
   std::vector<float> out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] * factor;
@@ -145,6 +163,9 @@ Tensor Scale(const Tensor& a, float factor) {
 }
 
 Tensor AddConst(const Tensor& a, float value) {
+  BIGCITY_PROFILE_OP("AddConst");
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   const auto& ad = a.data();
   std::vector<float> out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] + value;
@@ -161,31 +182,31 @@ Tensor AddConst(const Tensor& a, float value) {
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(x); },
+      "Log", a, [](float x) { return std::log(x); },
       [](float x, float) { return 1.0f / x; });
 }
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      "Exp", a, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
+      "Sqrt", a, [](float x) { return std::sqrt(x); },
       [](float, float y) { return 0.5f / y; });
 }
 
 Tensor Square(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x * x; },
+      "Square", a, [](float x) { return x * x; },
       [](float x, float) { return 2.0f * x; });
 }
 
 Tensor Abs(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::fabs(x); },
+      "Abs", a, [](float x) { return std::fabs(x); },
       [](float x, float) { return x >= 0.0f ? 1.0f : -1.0f; });
 }
 
@@ -193,11 +214,14 @@ Tensor Abs(const Tensor& a) {
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  BIGCITY_PROFILE_OP("LeakyRelu");
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(2 * a.numel()), U64(3 * a.numel()) * 4);
   const auto& ad = a.data();
   std::vector<float> out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) {
@@ -218,7 +242,7 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
 
 Tensor Gelu(const Tensor& a) {
   return UnaryOp(
-      a,
+      "Gelu", a,
       [](float x) {
         const float c = std::sqrt(2.0f / kPi);
         return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
@@ -234,13 +258,13 @@ Tensor Gelu(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      "Tanh", a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
@@ -251,6 +275,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   BIGCITY_CHECK_EQ(b.shape().size(), 2u);
   const int64_t n = a.shape()[0], k = a.shape()[1], m = b.shape()[1];
   BIGCITY_CHECK_EQ(k, b.shape()[0]) << "matmul inner dims mismatch";
+  BIGCITY_PROFILE_OP("MatMul");
+  BIGCITY_PROFILE_OP_COST(U64(2 * n * k * m),
+                          U64(n * k + k * m + n * m) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * k * m),
+                              U64(2 * (n * k + k * m + n * m)) * 4);
   // Write-mode GEMM: the kernel fully overwrites `out`, so no zero-filled
   // accumulation pass over the buffer is ever read.
   std::vector<float> out(static_cast<size_t>(n * m));
@@ -278,6 +307,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], m = a.shape()[1];
+  BIGCITY_PROFILE_OP("Transpose");
+  BIGCITY_PROFILE_OP_COST(0, U64(2 * n * m) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * n * m) * 4);
   // Write-through in destination order: reserve + push_back instead of
   // value-initializing a buffer that is then fully overwritten.
   std::vector<float> out;
@@ -305,6 +337,9 @@ Tensor Transpose(const Tensor& a) {
 // --- Reductions ------------------------------------------------------------------
 
 Tensor Sum(const Tensor& a) {
+  BIGCITY_PROFILE_OP("Sum");
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(a.numel()) * 4);
   float total = std::accumulate(a.data().begin(), a.data().end(), 0.0f);
   auto ai = a.impl();
   return MakeOpResult({1}, {total}, {ai}, [ai](TensorImpl& self) {
@@ -323,6 +358,9 @@ Tensor MeanRows(const Tensor& a) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], d = a.shape()[1];
   BIGCITY_CHECK_GT(n, 0);
+  BIGCITY_PROFILE_OP("MeanRows");
+  BIGCITY_PROFILE_OP_COST(U64(n * d), U64(n * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(n * d), U64(n * d) * 4);
   std::vector<float> out(static_cast<size_t>(d), 0.0f);
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -349,6 +387,9 @@ Tensor MeanRows(const Tensor& a) {
 Tensor SumCols(const Tensor& a) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_PROFILE_OP("SumCols");
+  BIGCITY_PROFILE_OP_COST(U64(n * d), U64(n * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(n * d), U64(n * d) * 4);
   std::vector<float> out(static_cast<size_t>(n), 0.0f);
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -375,6 +416,9 @@ Tensor SumCols(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_PROFILE_OP("Softmax");
+  BIGCITY_PROFILE_OP_COST(U64(5 * n * d), U64(2 * n * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * d), U64(3 * n * d) * 4);
   std::vector<float> out(a.data().size());
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -411,6 +455,9 @@ Tensor Softmax(const Tensor& a) {
 Tensor LogSoftmax(const Tensor& a) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_PROFILE_OP("LogSoftmax");
+  BIGCITY_PROFILE_OP_COST(U64(5 * n * d), U64(2 * n * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * d), U64(3 * n * d) * 4);
   std::vector<float> out(a.data().size());
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -451,6 +498,9 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const int64_t n = x.shape()[0], d = x.shape()[1];
   BIGCITY_CHECK_EQ(gamma.numel(), d);
   BIGCITY_CHECK_EQ(beta.numel(), d);
+  BIGCITY_PROFILE_OP("LayerNorm");
+  BIGCITY_PROFILE_OP_COST(U64(8 * n * d), U64(4 * n * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(12 * n * d), U64(5 * n * d) * 4);
   const auto& xd = x.data();
   const auto& gd = gamma.data();
   const auto& bd = beta.data();
@@ -522,6 +572,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   BIGCITY_CHECK(!parts.empty());
   BIGCITY_CHECK(axis == 0 || axis == 1);
+  BIGCITY_PROFILE_OP("Concat");
   std::vector<std::shared_ptr<TensorImpl>> parents;
   parents.reserve(parts.size());
   for (const auto& p : parts) {
@@ -543,6 +594,8 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     }
   }
   std::vector<float> out(static_cast<size_t>(rows * cols));
+  BIGCITY_PROFILE_OP_COST(0, U64(2 * rows * cols) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * rows * cols) * 4);
   if (axis == 0) {
     size_t offset = 0;
     for (const auto& p : parts) {
@@ -598,6 +651,9 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t end) {
   const int64_t n = a.shape()[0], d = a.shape()[1];
   BIGCITY_CHECK(0 <= start && start <= end && end <= n);
   const int64_t m = end - start;
+  BIGCITY_PROFILE_OP("SliceRows");
+  BIGCITY_PROFILE_OP_COST(0, U64(2 * m * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * m * d) * 4);
   std::vector<float> out(a.data().begin() + start * d,
                          a.data().begin() + end * d);
   auto ai = a.impl();
@@ -617,6 +673,9 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t end) {
   const int64_t n = a.shape()[0], d = a.shape()[1];
   BIGCITY_CHECK(0 <= start && start <= end && end <= d);
   const int64_t m = end - start;
+  BIGCITY_PROFILE_OP("SliceCols");
+  BIGCITY_PROFILE_OP_COST(0, U64(2 * n * m) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * n * m) * 4);
   std::vector<float> out(static_cast<size_t>(n * m));
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -640,6 +699,11 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t end) {
 Tensor Rows(const Tensor& a, const std::vector<int>& indices) {
   BIGCITY_CHECK_EQ(a.shape().size(), 2u);
   const int64_t n = a.shape()[0], d = a.shape()[1];
+  BIGCITY_PROFILE_OP("Rows");
+  BIGCITY_PROFILE_OP_COST(0, U64(2 * static_cast<int64_t>(indices.size()) *
+                                 d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(
+      0, U64(2 * static_cast<int64_t>(indices.size()) * d) * 4);
   std::vector<float> out(indices.size() * static_cast<size_t>(d));
   const auto& ad = a.data();
   for (size_t i = 0; i < indices.size(); ++i) {
@@ -663,6 +727,9 @@ Tensor Rows(const Tensor& a, const std::vector<int>& indices) {
 }
 
 Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  BIGCITY_PROFILE_OP("Reshape");
+  BIGCITY_PROFILE_OP_COST(0, U64(2 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * a.numel()) * 4);
   int64_t n = 1;
   for (int64_t s : shape) n *= s;
   BIGCITY_CHECK_EQ(n, a.numel());
@@ -686,6 +753,11 @@ Tensor Embedding(const Tensor& table, const std::vector<int>& indices) {
 Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment_ids,
                       int num_segments) {
   BIGCITY_CHECK_EQ(scores.numel(), static_cast<int64_t>(segment_ids.size()));
+  BIGCITY_PROFILE_OP("SegmentSoftmax");
+  BIGCITY_PROFILE_OP_COST(U64(5 * scores.numel()),
+                          U64(3 * scores.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * scores.numel()),
+                              U64(3 * scores.numel()) * 4);
   const auto& sd = scores.data();
   const size_t e = sd.size();
   std::vector<float> seg_max(static_cast<size_t>(num_segments),
@@ -725,6 +797,9 @@ Tensor SegmentWeightedSum(const Tensor& weights, const Tensor& values,
   const int64_t e = values.shape()[0], d = values.shape()[1];
   BIGCITY_CHECK_EQ(weights.numel(), e);
   BIGCITY_CHECK_EQ(static_cast<int64_t>(segment_ids.size()), e);
+  BIGCITY_PROFILE_OP("SegmentWeightedSum");
+  BIGCITY_PROFILE_OP_COST(U64(2 * e * d), U64(3 * e * d) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(4 * e * d), U64(4 * e * d) * 4);
   std::vector<float> out(static_cast<size_t>(num_segments) *
                              static_cast<size_t>(d),
                          0.0f);
@@ -766,6 +841,9 @@ Tensor SegmentWeightedSum(const Tensor& weights, const Tensor& values,
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
   if (!training || p <= 0.0f) return a;
   BIGCITY_CHECK_LT(p, 1.0f);
+  BIGCITY_PROFILE_OP("Dropout");
+  BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(3 * a.numel()) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(3 * a.numel()) * 4);
   const float scale = 1.0f / (1.0f - p);
   std::vector<float> mask(a.data().size());
   for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
@@ -789,6 +867,9 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
   BIGCITY_CHECK_EQ(logits.shape().size(), 2u);
   const int64_t n = logits.shape()[0], c = logits.shape()[1];
   BIGCITY_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  BIGCITY_PROFILE_OP("CrossEntropy");
+  BIGCITY_PROFILE_OP_COST(U64(5 * n * c), U64(2 * n * c) * 4);
+  BIGCITY_PROFILE_OP_BWD_COST(U64(2 * n * c), U64(2 * n * c) * 4);
   const auto& ld = logits.data();
   // Forward: mean of -log softmax at target indices; store probs for bwd.
   std::vector<float> probs(ld.size());

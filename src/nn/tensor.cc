@@ -1,14 +1,33 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace bigcity::nn {
 
 namespace {
+
+/// Process-wide creation order for autograd nodes (1-based; 0 = untagged).
+/// Always on: one relaxed fetch_add per tensor is noise next to the
+/// allocation it accompanies, and keeping it unconditional means a
+/// BIGCITY_OBS=OFF binary still has a stable node ordering.
+uint64_t NextSeq() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Reports the freshly materialized data payload to the memory tracker.
+void TrackDataBytes(TensorImpl* impl) {
+  const int64_t bytes = static_cast<int64_t>(impl->data.size() *
+                                             sizeof(float));
+  impl->tracked_bytes += bytes;
+  BIGCITY_MEM_ALLOC(bytes);
+}
 
 std::shared_ptr<TensorImpl> NewLeaf(std::vector<int64_t> shape,
                                     std::vector<float> data,
@@ -18,6 +37,8 @@ std::shared_ptr<TensorImpl> NewLeaf(std::vector<int64_t> shape,
   impl->data = std::move(data);
   impl->requires_grad = requires_grad;
   impl->needs_grad = requires_grad;
+  impl->seq = NextSeq();
+  TrackDataBytes(impl.get());
   BIGCITY_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel())
       << "data size " << impl->data.size() << " vs numel " << impl->numel()
       << " (rank " << impl->shape.size() << ")";
@@ -25,6 +46,8 @@ std::shared_ptr<TensorImpl> NewLeaf(std::vector<int64_t> shape,
 }
 
 }  // namespace
+
+TensorImpl::~TensorImpl() { BIGCITY_MEM_FREE(tracked_bytes); }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
   int64_t n = 1;
@@ -200,7 +223,13 @@ void Tensor::Backward() {
 
 void Tensor::ZeroGrad() {
   BIGCITY_CHECK(is_valid());
-  impl_->grad.assign(impl_->data.size(), 0.0f);
+  // Route a first-time materialization through EnsureGrad so the memory
+  // tracker sees it; otherwise just zero in place.
+  if (impl_->grad.size() != impl_->data.size()) {
+    impl_->EnsureGrad();
+  } else {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
 }
 
 Tensor Tensor::Detached() const {
@@ -222,6 +251,30 @@ Tensor MakeOpResult(std::vector<int64_t> shape, std::vector<float> data,
     impl->parents = std::move(parents);
     impl->backward_fn = std::move(backward_fn);
   }
+  impl->seq = NextSeq();
+  TrackDataBytes(impl.get());
+#if BIGCITY_OBS
+  // Tag the node with the producing op and innermost module scope; when
+  // the profiler is armed, also wrap backward_fn so the backward pass is
+  // billed to the same (module, op) row with the cost estimate the
+  // forward op stashed.
+  if (const obs::internal::OpFrame* frame =
+          obs::internal::CurrentOpFrame()) {
+    impl->op_name = frame->op;
+    impl->module_path = frame->module;
+    if (obs::ProfilerEnabled() && impl->backward_fn) {
+      impl->backward_fn = [op = frame->op, module = frame->module,
+                           bwd_flops = frame->bwd_flops,
+                           bwd_bytes = frame->bwd_bytes,
+                           inner = std::move(impl->backward_fn)](
+                              TensorImpl& self) {
+        obs::ScopedOp profile_op(op, /*backward=*/true, module);
+        profile_op.SetCost(bwd_flops, bwd_bytes);
+        inner(self);
+      };
+    }
+  }
+#endif
   return Tensor(std::move(impl));
 }
 

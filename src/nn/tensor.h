@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/memory.h"
 #include "util/rng.h"
 
 namespace bigcity::nn {
@@ -27,6 +28,19 @@ struct TensorImpl {
   /// Accumulates this node's grad into its parents' grads.
   std::function<void(TensorImpl&)> backward_fn;
 
+  /// Introspection tags (DESIGN.md §4.10): creation order (monotonic per
+  /// process, 0 = untagged) plus, under BIGCITY_OBS, the producing op and
+  /// the innermost module scope active when the node was created. They let
+  /// a non-finite guard trip name the first offending node/module.
+  uint64_t seq = 0;
+  const char* op_name = "";      // String literal; "" = untagged.
+  const char* module_path = "";  // Owned by the module tree; "" = untagged.
+  /// Payload bytes reported to obs::MemoryTracker (data + grad), refunded
+  /// by the destructor.
+  int64_t tracked_bytes = 0;
+
+  ~TensorImpl();
+
   int64_t numel() const {
     int64_t n = 1;
     for (int64_t d : shape) n *= d;
@@ -34,7 +48,13 @@ struct TensorImpl {
   }
   /// Zero-fills and sizes the gradient buffer if not yet materialized.
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (grad.size() != data.size()) {
+      grad.assign(data.size(), 0.0f);
+      const int64_t bytes =
+          static_cast<int64_t>(grad.size() * sizeof(float));
+      tracked_bytes += bytes;
+      BIGCITY_MEM_ALLOC(bytes);
+    }
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include "nn/ops.h"
 #include "util/check.h"
+#include "obs/profiler.h"
 
 namespace bigcity::nn {
 
@@ -21,6 +22,7 @@ TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
 }
 
 Tensor TransformerBlock::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   // Both pre-norm skip connections ride the fused residual epilogues of
   // the output / down projections; the FFN activation is fused with its
   // bias add.
@@ -65,6 +67,7 @@ Transformer::Transformer(int64_t dim, int64_t num_heads, int64_t num_layers,
 }
 
 Tensor Transformer::Forward(const Tensor& x) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor h = x;
   for (const auto& block : blocks_) h = block->Forward(h);
   return final_ln_->Forward(h);

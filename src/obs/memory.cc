@@ -1,0 +1,116 @@
+#include "obs/memory.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bigcity::obs {
+namespace {
+
+thread_local MemPhase current_phase = MemPhase::kOther;
+
+}  // namespace
+
+const char* MemPhaseName(MemPhase phase) {
+  switch (phase) {
+    case MemPhase::kData:
+      return "data";
+    case MemPhase::kForward:
+      return "forward";
+    case MemPhase::kBackward:
+      return "backward";
+    case MemPhase::kOptim:
+      return "optim";
+    case MemPhase::kOther:
+      break;
+  }
+  return "other";
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+MemPhase MemoryTracker::CurrentPhase() { return current_phase; }
+
+void MemoryTracker::SetCurrentPhase(MemPhase phase) { current_phase = phase; }
+
+void MemoryTracker::OnAlloc(int64_t bytes) {
+  const int phase = static_cast<int>(current_phase);
+  phase_bytes_[phase].fetch_add(bytes, std::memory_order_relaxed);
+  phase_count_[phase].fetch_add(1, std::memory_order_relaxed);
+  const int64_t live =
+      live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::OnFree(int64_t bytes) {
+  if (bytes == 0) return;
+  live_.fetch_sub(bytes, std::memory_order_relaxed);
+  frees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::live_bytes() const {
+  return live_.load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::peak_bytes() const {
+  return peak_.load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::alloc_bytes() const {
+  int64_t total = 0;
+  for (const auto& bytes : phase_bytes_) {
+    total += bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t MemoryTracker::alloc_count() const {
+  int64_t total = 0;
+  for (const auto& count : phase_count_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t MemoryTracker::alloc_bytes(MemPhase phase) const {
+  return phase_bytes_[static_cast<int>(phase)].load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::alloc_count(MemPhase phase) const {
+  return phase_count_[static_cast<int>(phase)].load(std::memory_order_relaxed);
+}
+
+int64_t MemoryTracker::free_count() const {
+  return frees_.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::PublishGauges() const {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge("mem.live_bytes")
+      ->Set(static_cast<double>(live_bytes()));
+  registry.GetGauge("mem.peak_bytes")
+      ->Set(static_cast<double>(peak_bytes()));
+  for (int phase = 0; phase < kNumMemPhases; ++phase) {
+    const char* name = MemPhaseName(static_cast<MemPhase>(phase));
+    registry.GetGauge(std::string("mem.alloc_bytes.") + name)
+        ->Set(static_cast<double>(alloc_bytes(static_cast<MemPhase>(phase))));
+    registry.GetGauge(std::string("mem.allocs.") + name)
+        ->Set(static_cast<double>(alloc_count(static_cast<MemPhase>(phase))));
+  }
+}
+
+void MemoryTracker::Reset() {
+  live_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  frees_.store(0, std::memory_order_relaxed);
+  for (auto& bytes : phase_bytes_) bytes.store(0, std::memory_order_relaxed);
+  for (auto& count : phase_count_) count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bigcity::obs

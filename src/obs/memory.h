@@ -1,0 +1,125 @@
+#ifndef BIGCITY_OBS_MEMORY_H_
+#define BIGCITY_OBS_MEMORY_H_
+
+// Tensor memory accounting (DESIGN.md §4.10). The autograd layer reports
+// every tensor payload allocation/free through the BIGCITY_MEM_* macros
+// below; the tracker maintains live bytes, the high-water mark, and
+// per-training-phase allocation churn with relaxed atomics only.
+//
+// This header is included by src/nn/tensor.h, so like obs.h it must be
+// self-contained and compile in both BIGCITY_OBS flavors: with probes off
+// every macro expands to nothing and the tracker is never touched.
+
+#include <atomic>
+#include <cstdint>
+
+#if !defined(BIGCITY_OBS)
+#define BIGCITY_OBS 1
+#endif
+
+namespace bigcity::obs {
+
+/// Which part of a training step an allocation belongs to. The trainer
+/// scopes each step section with ScopedMemPhase; allocations made outside
+/// any scope (model construction, evaluation, ...) land in kOther.
+enum class MemPhase : int {
+  kOther = 0,
+  kData = 1,
+  kForward = 2,
+  kBackward = 3,
+  kOptim = 4,
+};
+inline constexpr int kNumMemPhases = 5;
+
+/// Printable lowercase phase name ("other", "data", ...).
+const char* MemPhaseName(MemPhase phase);
+
+/// Process-wide tensor-byte accounting. All mutators are lock-free
+/// (relaxed fetch_add plus one CAS loop for the peak); readers see a
+/// merged point-in-time view that is exact whenever allocation is
+/// quiescent (tensor creation is single-threaded in this codebase).
+class MemoryTracker {
+ public:
+  static MemoryTracker& Global();
+
+  /// Phase applied to this thread's subsequent OnAlloc calls.
+  static MemPhase CurrentPhase();
+  static void SetCurrentPhase(MemPhase phase);
+
+  void OnAlloc(int64_t bytes);
+  void OnFree(int64_t bytes);
+
+  int64_t live_bytes() const;
+  int64_t peak_bytes() const;
+  /// Total bytes ever allocated / allocation count, overall or per phase.
+  int64_t alloc_bytes() const;
+  int64_t alloc_count() const;
+  int64_t alloc_bytes(MemPhase phase) const;
+  int64_t alloc_count(MemPhase phase) const;
+  int64_t free_count() const;
+
+  /// Mirrors the current totals into the global MetricsRegistry as
+  /// mem.live_bytes / mem.peak_bytes gauges plus per-phase
+  /// mem.alloc_bytes.<phase> / mem.allocs.<phase> gauges, so a metrics
+  /// snapshot carries the memory picture without a second export path.
+  void PublishGauges() const;
+
+  /// Test hook: zeroes every total including the peak.
+  void Reset();
+
+ private:
+  std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> frees_{0};
+  std::atomic<int64_t> phase_bytes_[kNumMemPhases] = {};
+  std::atomic<int64_t> phase_count_[kNumMemPhases] = {};
+};
+
+/// RAII phase scope for the calling thread; restores the previous phase on
+/// destruction so scopes nest.
+class ScopedMemPhase {
+ public:
+  explicit ScopedMemPhase(MemPhase phase)
+      : previous_(MemoryTracker::CurrentPhase()) {
+    MemoryTracker::SetCurrentPhase(phase);
+  }
+  ~ScopedMemPhase() { MemoryTracker::SetCurrentPhase(previous_); }
+
+  ScopedMemPhase(const ScopedMemPhase&) = delete;
+  ScopedMemPhase& operator=(const ScopedMemPhase&) = delete;
+
+ private:
+  MemPhase previous_;
+};
+
+}  // namespace bigcity::obs
+
+#if BIGCITY_OBS
+
+/// Accounts `bytes` of tensor payload coming alive / being destroyed.
+#define BIGCITY_MEM_ALLOC(bytes) \
+  ::bigcity::obs::MemoryTracker::Global().OnAlloc(bytes)
+#define BIGCITY_MEM_FREE(bytes) \
+  ::bigcity::obs::MemoryTracker::Global().OnFree(bytes)
+
+/// Tags allocations for the rest of the enclosing scope with a MemPhase
+/// enumerator name, e.g. BIGCITY_MEM_PHASE(kForward).
+#define BIGCITY_MEM_PHASE(phase)                    \
+  ::bigcity::obs::ScopedMemPhase bigcity_mem_phase_( \
+      ::bigcity::obs::MemPhase::phase)
+
+#else  // !BIGCITY_OBS
+
+#define BIGCITY_MEM_ALLOC(bytes) \
+  do {                           \
+  } while (0)
+#define BIGCITY_MEM_FREE(bytes) \
+  do {                          \
+  } while (0)
+#define BIGCITY_MEM_PHASE(phase) \
+  do {                           \
+  } while (0)
+
+#endif  // BIGCITY_OBS
+
+#endif  // BIGCITY_OBS_MEMORY_H_

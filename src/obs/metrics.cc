@@ -117,6 +117,32 @@ void Histogram::Reset() {
   }
 }
 
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double q) {
+  if (bounds.empty() || buckets.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const uint64_t count : buckets) total += count;
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const uint64_t in_bucket = buckets[b];
+    if (in_bucket > 0 &&
+        static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b >= bounds.size()) return bounds.back();  // Overflow bucket.
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double frac =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
 const std::vector<double>& LatencyBoundsUs() {
   static const std::vector<double> bounds = [] {
     std::vector<double> b;
@@ -246,6 +272,12 @@ std::string MetricsSnapshot::ToJson() const {
     out.append(std::to_string(data.count));
     out.append(",\"sum\":");
     AppendNumber(data.sum, &out);
+    out.append(",\"p50\":");
+    AppendNumber(data.Percentile(0.50), &out);
+    out.append(",\"p95\":");
+    AppendNumber(data.Percentile(0.95), &out);
+    out.append(",\"p99\":");
+    AppendNumber(data.Percentile(0.99), &out);
     out.append(",\"bounds\":[");
     for (size_t b = 0; b < data.bounds.size(); ++b) {
       if (b > 0) out.push_back(',');

@@ -89,6 +89,13 @@ class Histogram {
 /// duration histograms.
 const std::vector<double>& LatencyBoundsUs();
 
+/// Estimated quantile `q` in [0, 1] from merged bucket counts: cumulative
+/// walk with linear interpolation inside the containing bucket. Samples in
+/// the overflow bucket clamp to the last finite bound; an empty histogram
+/// (or one with no bounds) returns 0.
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double q);
+
 /// Point-in-time merged view of every registered metric.
 struct MetricsSnapshot {
   struct HistogramData {
@@ -96,6 +103,10 @@ struct MetricsSnapshot {
     std::vector<uint64_t> buckets;
     uint64_t count = 0;
     double sum = 0;
+
+    double Percentile(double q) const {
+      return HistogramPercentile(bounds, buckets, q);
+    }
   };
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;

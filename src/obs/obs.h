@@ -12,7 +12,9 @@
 // and then hit only the metric's lock-free fast path. MetricsRegistry
 // never invalidates handles, so this is safe across Reset().
 
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/timer.h"
 #include "obs/trace.h"

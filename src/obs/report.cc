@@ -43,6 +43,13 @@ RunReport::Record& RunReport::Record::Int(const char* key, int64_t value) {
   return *this;
 }
 
+RunReport::Record& RunReport::Record::Raw(const char* key,
+                                          const std::string& json_value) {
+  Key(key);
+  json_.append(json_value);
+  return *this;
+}
+
 bool RunReport::Open(const std::string& path) {
   Close();
   file_ = std::fopen(path.c_str(), "w");

@@ -20,6 +20,10 @@ class RunReport {
     Record& Str(const char* key, const std::string& value);
     Record& Num(const char* key, double value);
     Record& Int(const char* key, int64_t value);
+    /// Appends `json_value` verbatim — for nested arrays/objects the
+    /// caller already serialized (e.g. per-layer health samples). The
+    /// caller is responsible for it being valid JSON.
+    Record& Raw(const char* key, const std::string& json_value);
     const std::string& json() const { return json_; }
 
    private:

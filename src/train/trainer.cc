@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "data/masking.h"
+#include "nn/introspect.h"
 #include "nn/ops.h"
 #include "obs/obs.h"
 #include "util/check.h"
@@ -74,6 +78,10 @@ Trainer::Trainer(core::BigCityModel* model, TrainConfig config)
   reported_.backward_us = h_backward_us_->Sum();
   reported_.optim_us = h_optim_us_->Sum();
   reported_.checkpoint_us = h_checkpoint_us_->Sum();
+  // Memory churn is process-global (model construction already allocated),
+  // so the cursor starts at the current totals like the other metrics.
+  reported_.mem_alloc_bytes = obs::MemoryTracker::Global().alloc_bytes();
+  reported_.mem_allocs = obs::MemoryTracker::Global().alloc_count();
   if (!config_.run_report_path.empty() &&
       !report_.Open(config_.run_report_path)) {
     BIGCITY_LOG(Warning) << "cannot open run report "
@@ -86,7 +94,9 @@ Trainer::Trainer(core::BigCityModel* model, TrainConfig config)
 void Trainer::ReportEpoch(const char* stage, int epoch, float loss,
                           double seconds) {
   BIGCITY_COUNTER_INC("train.epochs");
+  BIGCITY_COUNTER_ADD("train.tokens", static_cast<uint64_t>(epoch_tokens_));
   if (!report_.is_open()) return;
+  auto& memory = obs::MemoryTracker::Global();
   ObsCursor now;
   now.gemm_flops = c_gemm_flops_->Value();
   now.gemm_calls = c_gemm_calls_->Value();
@@ -95,6 +105,11 @@ void Trainer::ReportEpoch(const char* stage, int epoch, float loss,
   now.backward_us = h_backward_us_->Sum();
   now.optim_us = h_optim_us_->Sum();
   now.checkpoint_us = h_checkpoint_us_->Sum();
+  now.skipped_steps = total_skipped_steps_;
+  now.rollbacks = rollbacks_;
+  now.checkpoint_writes = checkpoint_writes_;
+  now.mem_alloc_bytes = memory.alloc_bytes();
+  now.mem_allocs = memory.alloc_count();
   obs::RunReport::Record record;
   record.Str("event", "epoch")
       .Str("phase", stage)
@@ -113,27 +128,170 @@ void Trainer::ReportEpoch(const char* stage, int epoch, float loss,
       .Num("backward_us", now.backward_us - reported_.backward_us)
       .Num("optim_us", now.optim_us - reported_.optim_us)
       .Num("checkpoint_us", now.checkpoint_us - reported_.checkpoint_us)
-      .Int("guard_skipped_steps", total_skipped_steps_)
-      .Int("rollbacks", rollbacks_)
-      .Int("checkpoint_writes", checkpoint_writes_);
+      .Int("guard_skipped_steps", now.skipped_steps - reported_.skipped_steps)
+      .Int("rollbacks", now.rollbacks - reported_.rollbacks)
+      .Int("checkpoint_writes",
+           now.checkpoint_writes - reported_.checkpoint_writes)
+      .Int("mem_live_bytes", memory.live_bytes())
+      .Int("mem_peak_bytes", memory.peak_bytes())
+      .Int("mem_alloc_bytes", now.mem_alloc_bytes - reported_.mem_alloc_bytes)
+      .Int("mem_allocs", now.mem_allocs - reported_.mem_allocs);
   report_.Write(record);
   reported_ = now;
 }
 
 void Trainer::ReportSummary() {
   if (!report_.is_open()) return;
+  // Queue-wait percentiles over the whole run: the histogram is populated
+  // by the thread pool; single-threaded runs leave it empty and the
+  // percentiles report 0.
+  auto* queue_wait =
+      obs::MetricsRegistry::Global().GetHistogram("threadpool.queue_wait_us");
+  const auto queue_buckets = queue_wait->BucketCounts();
+  const auto& queue_bounds = queue_wait->bounds();
+  auto& memory = obs::MemoryTracker::Global();
   obs::RunReport::Record record;
   record.Str("event", "summary")
       .Int("phase", phase_)
       .Int("gemm_flops_total", static_cast<int64_t>(c_gemm_flops_->Value()))
       .Int("gemm_calls_total", static_cast<int64_t>(c_gemm_calls_->Value()))
+      .Int("applied_steps", applied_steps_)
       .Int("guard_skipped_steps", total_skipped_steps_)
       .Int("rollbacks", rollbacks_)
       .Int("checkpoint_writes", checkpoint_writes_)
+      .Num("queue_wait_p50_us",
+           obs::HistogramPercentile(queue_bounds, queue_buckets, 0.50))
+      .Num("queue_wait_p95_us",
+           obs::HistogramPercentile(queue_bounds, queue_buckets, 0.95))
+      .Num("queue_wait_p99_us",
+           obs::HistogramPercentile(queue_bounds, queue_buckets, 0.99))
+      .Int("mem_live_bytes", memory.live_bytes())
+      .Int("mem_peak_bytes", memory.peak_bytes())
       .Num("stage1_seconds_per_epoch", stage1_epoch_seconds_)
       .Num("stage2_seconds_per_epoch", stage2_epoch_seconds_)
       .Num("stage1_loss", last_stage1_loss_)
       .Num("stage2_loss", last_stage2_loss_);
+  report_.Write(record);
+}
+
+namespace {
+
+/// Parameter name minus its trailing segment — the owning module's dotted
+/// path as produced by Module::NamedParameters() / AssignModulePaths()
+/// ("backbone.blocks.0.attn.wq.base.weight" -> ".../wq.base").
+std::string LayerOf(const std::string& parameter_name) {
+  const auto dot = parameter_name.rfind('.');
+  return dot == std::string::npos ? parameter_name
+                                  : parameter_name.substr(0, dot);
+}
+
+}  // namespace
+
+void Trainer::ReportHealth(
+    float loss, float grad_norm,
+    const std::vector<std::pair<std::string, nn::Tensor>>& params,
+    const std::vector<std::vector<float>>& before) {
+  struct LayerAccumulator {
+    double grad_sq = 0, weight_sq = 0, update_sq = 0;
+    bool finite = true;
+  };
+  std::map<std::string, LayerAccumulator> layers;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto& [name, parameter] = params[i];
+    auto& acc = layers[LayerOf(name)];
+    for (const float g : parameter.grad()) {
+      acc.grad_sq += static_cast<double>(g) * g;
+      if (!std::isfinite(g)) acc.finite = false;
+    }
+    const auto& after = parameter.data();
+    const auto& prev = before[i];
+    for (size_t j = 0; j < after.size(); ++j) {
+      acc.weight_sq += static_cast<double>(prev[j]) * prev[j];
+      const double d = static_cast<double>(after[j]) - prev[j];
+      acc.update_sq += d * d;
+    }
+  }
+  std::vector<std::pair<std::string, LayerAccumulator>> rows(layers.begin(),
+                                                             layers.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.grad_sq > b.second.grad_sq;
+  });
+  if (config_.health_top_layers > 0 &&
+      rows.size() > static_cast<size_t>(config_.health_top_layers)) {
+    rows.resize(static_cast<size_t>(config_.health_top_layers));
+  }
+  std::string json = "[";
+  char buffer[320];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& [layer, acc] = rows[i];
+    const double weight_norm = std::sqrt(acc.weight_sq);
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"module\":\"%s\",\"grad_norm\":%.6g,"
+                  "\"weight_norm\":%.6g,\"update_ratio\":%.6g,\"finite\":%s}",
+                  i == 0 ? "" : ",", layer.c_str(), std::sqrt(acc.grad_sq),
+                  weight_norm,
+                  std::sqrt(acc.update_sq) / (weight_norm + 1e-12),
+                  acc.finite ? "true" : "false");
+    json += buffer;
+  }
+  json += "]";
+  obs::RunReport::Record record;
+  record.Str("event", "health")
+      .Int("phase", phase_)
+      .Int("epoch", epoch_)
+      .Int("step", applied_steps_)
+      .Num("loss", loss)
+      .Num("grad_norm", grad_norm)
+      .Raw("layers", json);
+  report_.Write(record);
+}
+
+void Trainer::ReportNonFinite(const char* kind, const Tensor& batch_loss) {
+  nn::NonFiniteSite site;
+  if (std::strcmp(kind, "grad") == 0) {
+    // A non-finite clip norm means some parameter gradient went bad; the
+    // parameter's dotted name localizes it directly.
+    for (const auto& [name, parameter] : model_->NamedParameters()) {
+      if (!parameter.requires_grad()) continue;
+      bool hit = false;
+      for (const float g : parameter.grad()) {
+        if (!std::isfinite(g)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        site.found = true;
+        site.module = LayerOf(name);
+        site.op = name.substr(name.rfind('.') + 1);
+        site.in_grad = true;
+        break;
+      }
+    }
+    if (!site.found) {
+      site = nn::FindFirstNonFinite(batch_loss, /*check_grads=*/true);
+    }
+  } else {
+    site = nn::FindFirstNonFinite(batch_loss);
+  }
+  if (site.found) {
+    BIGCITY_LOG(Warning) << "first non-finite value: op " << site.op
+                         << " module "
+                         << (site.module.empty() ? "(untagged)" : site.module)
+                         << (site.in_grad ? " (gradient)" : "");
+  }
+  if (!report_.is_open()) return;
+  obs::RunReport::Record record;
+  record.Str("event", "nonfinite")
+      .Str("kind", kind)
+      .Int("phase", phase_)
+      .Int("epoch", epoch_)
+      .Int("found", site.found ? 1 : 0)
+      .Str("module", site.module)
+      .Str("op", site.op)
+      .Int("seq", static_cast<int64_t>(site.seq))
+      .Str("shape", site.shape)
+      .Int("in_grad", site.in_grad ? 1 : 0);
   report_.Write(record);
 }
 
@@ -145,13 +303,15 @@ util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
     batch_loss.data()[0] = std::numeric_limits<float>::quiet_NaN();
   }
   const float value = batch_loss.item();
-  bool bad = config_.guard_non_finite && !std::isfinite(value);
-  if (!bad) {
+  const char* bad_kind = nullptr;
+  if (config_.guard_non_finite && !std::isfinite(value)) bad_kind = "loss";
+  if (bad_kind == nullptr) {
     float norm = 0;
     {
       // Backward phase includes gradient clipping: both walk the full
       // parameter set and neither updates weights.
       BIGCITY_TIMED_SCOPE_NAMED("train.backward_us", "backward", "train");
+      BIGCITY_MEM_PHASE(kBackward);
       batch_loss.Backward();
       if (util::FaultInjection::Fire(util::kFaultTrainerNanGrad)) {
         for (auto p : optimizer_->parameters()) {
@@ -163,25 +323,49 @@ util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
       }
       norm = optimizer_->ClipGradNorm(config_.clip_norm);
     }
-    bad = config_.guard_non_finite && !std::isfinite(norm);
-    if (!bad) {
-      BIGCITY_TIMED_SCOPE_NAMED("train.optim_us", "optim", "train");
-      optimizer_->Step();
+    if (config_.guard_non_finite && !std::isfinite(norm)) bad_kind = "grad";
+    if (bad_kind == nullptr) {
+      // Health sampling needs the pre-step weights for the update ratio,
+      // so the (cheap, sampled) copy happens before Step().
+      const bool sample_health =
+          config_.health_every_steps > 0 && report_.is_open() &&
+          (applied_steps_ + 1) % config_.health_every_steps == 0;
+      std::vector<std::pair<std::string, Tensor>> health_params;
+      std::vector<std::vector<float>> health_before;
+      if (sample_health) {
+        for (const auto& [name, parameter] : model_->NamedParameters()) {
+          if (parameter.requires_grad() && !parameter.grad().empty()) {
+            health_before.push_back(parameter.data());
+            health_params.emplace_back(name, parameter);
+          }
+        }
+      }
+      {
+        BIGCITY_TIMED_SCOPE_NAMED("train.optim_us", "optim", "train");
+        BIGCITY_MEM_PHASE(kOptim);
+        optimizer_->Step();
+      }
       consecutive_bad_ = 0;
+      ++applied_steps_;
       *applied = true;
       *loss_value = value;
       BIGCITY_COUNTER_INC("train.steps.applied");
       BIGCITY_GAUGE_SET("train.lr", optimizer_->lr());
+      if (sample_health) {
+        ReportHealth(value, norm, health_params, health_before);
+      }
       return util::Status::Ok();
     }
   }
-  // Non-finite loss or gradients: skip the update, back off the LR, and
-  // report divergence once the bad streak exceeds the budget.
+  // Non-finite loss or gradients: localize and report the first bad value,
+  // skip the update, back off the LR, and report divergence once the bad
+  // streak exceeds the budget.
   *applied = false;
   *loss_value = 0;
   ++consecutive_bad_;
   ++total_skipped_steps_;
   BIGCITY_COUNTER_INC("train.guard.skipped_steps");
+  ReportNonFinite(bad_kind, batch_loss);
   optimizer_->set_lr(optimizer_->lr() * config_.lr_backoff);
   BIGCITY_GAUGE_SET("train.lr", optimizer_->lr());
   BIGCITY_LOG(Warning) << "non-finite loss/gradient at phase " << phase_
@@ -377,6 +561,7 @@ util::Status Trainer::DoPretrain() {
       Tensor loss;
       {
         BIGCITY_TIMED_SCOPE_NAMED("train.forward_us", "forward", "train");
+        BIGCITY_MEM_PHASE(kForward);
         Tensor logits = backbone->TextLmLogits(ids);
         // Predict token t+1 from position t.
         Tensor inputs = nn::SliceRows(logits, 0,
@@ -551,6 +736,7 @@ util::Status Trainer::DoStage1() {
       batch_masks.reserve(end - begin);
       {
         BIGCITY_TIMED_SCOPE_NAMED("train.data_us", "data", "train");
+        BIGCITY_MEM_PHASE(kData);
         for (size_t s = begin; s < end; ++s) {
           const auto& sequence = pool[static_cast<size_t>(order[s])];
           const int k = std::max(
@@ -564,6 +750,7 @@ util::Status Trainer::DoStage1() {
       Tensor batch_loss;
       {
         BIGCITY_TIMED_SCOPE_NAMED("train.forward_us", "forward", "train");
+        BIGCITY_MEM_PHASE(kForward);
         for (size_t s = begin; s < end; ++s) {
           const auto& sequence = pool[static_cast<size_t>(order[s])];
           Tensor loss = Stage1Loss(sequence, batch_masks[s - begin]);
@@ -783,6 +970,7 @@ util::Status Trainer::DoStage2() {
     {
       // Data phase: stage 2 rebuilds its whole sample set per epoch.
       BIGCITY_TIMED_SCOPE_NAMED("train.data_us", "data", "train");
+        BIGCITY_MEM_PHASE(kData);
       samples = BuildTaskSamples();
     }
     float epoch_loss = 0;
@@ -797,6 +985,7 @@ util::Status Trainer::DoStage2() {
           samples.size(), begin + static_cast<size_t>(config_.batch_size));
       {
         BIGCITY_TIMED_SCOPE_NAMED("train.forward_us", "forward", "train");
+        BIGCITY_MEM_PHASE(kForward);
         for (size_t s = begin; s < end; ++s) {
           Tensor loss = TaskLoss(samples[s]);
           batch_loss =

@@ -62,6 +62,13 @@ struct TrainConfig {
   /// counts) plus a final summary. Empty disables the report. The file is
   /// truncated when the trainer is constructed.
   std::string run_report_path;
+  /// Training-health sampling (DESIGN.md §4.10): every N applied optimizer
+  /// steps, append an event:"health" record with per-layer gradient norms,
+  /// weight norms, and update-to-weight ratios. 0 disables sampling; the
+  /// records go to run_report_path, so both must be set.
+  int health_every_steps = 0;
+  /// Layers kept per health record (largest gradient norm first).
+  int health_top_layers = 8;
 };
 
 /// Orchestrates BIGCity training: backbone LM pre-training, LoRA
@@ -173,11 +180,27 @@ class Trainer {
   std::string SnapshotPath() const;
 
   /// Appends one JSONL record for a finished epoch: schedule position,
-  /// loss, wall time, tokens/sec, and deltas of the obs counters and
-  /// per-phase duration histograms since the previous record.
+  /// loss, wall time, tokens/sec, and deltas of the obs counters,
+  /// per-phase duration histograms, guard/checkpoint event counts, and
+  /// memory churn since the previous record (every count in an epoch
+  /// record describes that epoch alone; the summary holds the totals).
   void ReportEpoch(const char* stage, int epoch, float loss, double seconds);
-  /// Appends the final cumulative summary record.
+  /// Appends the final cumulative summary record, including queue-wait
+  /// latency percentiles and the tensor-memory high-water mark.
   void ReportSummary();
+  /// Appends an event:"health" record after a sampled applied step:
+  /// per-layer gradient norm, weight norm, and update-to-weight ratio for
+  /// the top-K layers by gradient norm. `params` lists the trainable
+  /// parameters that took the step and `before` their pre-step values
+  /// (parallel arrays).
+  void ReportHealth(float loss, float grad_norm,
+                    const std::vector<std::pair<std::string, nn::Tensor>>&
+                        params,
+                    const std::vector<std::vector<float>>& before);
+  /// On a guard trip, walks the loss graph (or the parameter gradients,
+  /// for kind == "grad") for the most upstream non-finite value and
+  /// appends an event:"nonfinite" record naming the offending op/module.
+  void ReportNonFinite(const char* kind, const nn::Tensor& batch_loss);
 
   core::BigCityModel* model_;
   TrainConfig config_;
@@ -217,11 +240,17 @@ class Trainer {
   obs::Histogram* h_checkpoint_us_ = nullptr;
   obs::Counter* c_gemm_flops_ = nullptr;
   obs::Counter* c_gemm_calls_ = nullptr;
+  /// Optimizer steps actually applied (guard skips excluded); drives the
+  /// health-sampling cadence.
+  int64_t applied_steps_ = 0;
   /// Values already attributed to earlier report records (delta cursor).
   struct ObsCursor {
     double data_us = 0, forward_us = 0, backward_us = 0, optim_us = 0,
            checkpoint_us = 0;
     uint64_t gemm_flops = 0, gemm_calls = 0;
+    int skipped_steps = 0, rollbacks = 0;
+    int64_t checkpoint_writes = 0;
+    int64_t mem_alloc_bytes = 0, mem_allocs = 0;
   };
   ObsCursor reported_;
 };

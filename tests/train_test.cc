@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "core/bigcity_model.h"
@@ -368,6 +370,119 @@ TEST(ResilienceTest, TornCheckpointWriteSurfacesErrorAndKeepsOldSnapshot) {
   Trainer resumed_trainer(&resumed, ResilienceConfig(dir));
   ASSERT_TRUE(resumed_trainer.ResumeFrom(snapshot).ok());
   ASSERT_TRUE(resumed_trainer.RunAll().ok());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection: training-health telemetry + non-finite localization
+// (DESIGN.md §4.10). The records land in the JSONL run report.
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(IntrospectionTest, HealthRecordsCarryPerLayerNorms) {
+  const std::string report =
+      (std::filesystem::temp_directory_path() / "bigcity_health_report.jsonl")
+          .string();
+  std::filesystem::remove(report);
+  data::CityDataset dataset(TinyCity("XA-health", 222));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  TrainConfig config = ResilienceConfig();
+  config.pretrain_lm_epochs = 1;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 0;
+  config.run_report_path = report;
+  config.health_every_steps = 5;
+  config.health_top_layers = 4;
+  Trainer trainer(&model, config);
+  ASSERT_TRUE(trainer.RunAll().ok());
+  const std::string contents = ReadWholeFile(report);
+  EXPECT_NE(contents.find("\"event\":\"health\""), std::string::npos);
+  EXPECT_NE(contents.find("\"grad_norm\""), std::string::npos);
+  EXPECT_NE(contents.find("\"weight_norm\""), std::string::npos);
+  EXPECT_NE(contents.find("\"update_ratio\""), std::string::npos);
+  // Layer keys are NamedParameters() prefixes; the embedding trains during
+  // pretraining, so its module should show up in some record.
+  EXPECT_NE(contents.find("backbone."), std::string::npos);
+  std::filesystem::remove(report);
+}
+
+TEST(IntrospectionTest, NanGradGuardTripNamesOffendingModule) {
+  const std::string report =
+      (std::filesystem::temp_directory_path() / "bigcity_nonfinite.jsonl")
+          .string();
+  std::filesystem::remove(report);
+  data::CityDataset dataset(TinyCity("XA-nonfinite", 223));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  TrainConfig config = ResilienceConfig();
+  config.run_report_path = report;
+  Trainer trainer(&model, config);
+  util::ScopedFault nan_grad(util::kFaultTrainerNanGrad, /*skip=*/2,
+                             /*count=*/1);
+  ASSERT_TRUE(trainer.RunAll().ok());
+  EXPECT_EQ(nan_grad.fire_count(), 1);
+
+  // Exactly the tripped step produced a nonfinite record, with kind
+  // "grad" and a non-empty module path naming the poisoned layer.
+  const std::string contents = ReadWholeFile(report);
+  const auto at = contents.find("\"event\":\"nonfinite\"");
+  ASSERT_NE(at, std::string::npos);
+  const auto line_end = contents.find('\n', at);
+  const std::string line = contents.substr(at, line_end - at);
+  EXPECT_NE(line.find("\"kind\":\"grad\""), std::string::npos);
+  EXPECT_NE(line.find("\"found\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"in_grad\":1"), std::string::npos);
+  EXPECT_EQ(line.find("\"module\":\"\""), std::string::npos)
+      << "nonfinite record must name the offending module: " << line;
+  std::filesystem::remove(report);
+}
+
+TEST(IntrospectionTest, EpochRecordsEmitPerEpochDeltas) {
+  const std::string report =
+      (std::filesystem::temp_directory_path() / "bigcity_delta_report.jsonl")
+          .string();
+  std::filesystem::remove(report);
+  const std::string dir = ResilienceDir("bigcity_delta_ckpt");
+  std::filesystem::remove_all(dir);
+  data::CityDataset dataset(TinyCity("XA-deltas", 224));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  TrainConfig config = ResilienceConfig(dir);
+  config.run_report_path = report;
+  Trainer trainer(&model, config);
+  ASSERT_TRUE(trainer.RunAll().ok());
+
+  // Each record reports the snapshots committed since the previous record:
+  // 0, 1, or 2 (an end-of-epoch write plus possibly a phase-boundary one).
+  // Cumulative-since-construction reporting would grow monotonically past
+  // 2 by the fourth epoch. The deltas over all records plus the two writes
+  // after the last record (final epoch + phase end) equal the total.
+  std::ifstream in(report);
+  std::string line;
+  int epoch_records = 0;
+  int64_t delta_sum = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\":\"epoch\"") == std::string::npos) continue;
+    ++epoch_records;
+    const auto key = line.find("\"checkpoint_writes\":");
+    ASSERT_NE(key, std::string::npos) << line;
+    const int64_t delta =
+        std::atoll(line.c_str() + key + sizeof("\"checkpoint_writes\":") - 1);
+    EXPECT_LE(delta, 2) << line;
+    delta_sum += delta;
+    EXPECT_NE(line.find("\"guard_skipped_steps\":0,"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"mem_peak_bytes\""), std::string::npos) << line;
+  }
+  EXPECT_GE(epoch_records, 4);
+  EXPECT_EQ(delta_sum, trainer.checkpoint_writes() - 2);
+  // The summary keeps cumulative totals and the queue-wait percentiles.
+  const std::string contents = ReadWholeFile(report);
+  EXPECT_NE(contents.find("\"queue_wait_p95_us\""), std::string::npos);
+  EXPECT_NE(contents.find("\"applied_steps\""), std::string::npos);
+  std::filesystem::remove(report);
   std::filesystem::remove_all(dir);
 }
 

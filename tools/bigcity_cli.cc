@@ -42,6 +42,8 @@ struct CliOptions {
   std::string trace_out;    // chrome://tracing JSON of the whole run.
   std::string run_report;   // train: per-epoch JSONL run report.
   std::string metrics_out;  // metrics-registry snapshot JSON.
+  std::string profile_out;  // autograd op profile: table on stdout + JSON.
+  int health_every = 0;     // train: health record every N applied steps.
 };
 
 void PrintUsage() {
@@ -61,7 +63,11 @@ void PrintUsage() {
       "  --trace-out PATH  write a chrome://tracing JSON of the run\n"
       "  --run-report PATH train: write a per-epoch JSONL run report\n"
       "                    (tokens/sec, GEMM FLOPs, guard/checkpoint counts)\n"
-      "  --metrics-out PATH write the final metrics snapshot as JSON\n");
+      "  --metrics-out PATH write the final metrics snapshot as JSON\n"
+      "  --profile PATH    profile autograd ops (forward + backward): print\n"
+      "                    a per-op/per-module table and write it as JSON\n"
+      "  --health-every N  train: per-layer gradient/update telemetry every\n"
+      "                    N applied steps, written to the run report\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -94,6 +100,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->run_report = value;
     } else if (flag == "--metrics-out") {
       options->metrics_out = value;
+    } else if (flag == "--profile") {
+      options->profile_out = value;
+    } else if (flag == "--health-every") {
+      options->health_every = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -145,7 +155,24 @@ void ExportObs(const CliOptions& options) {
                   options.trace_out.c_str());
     }
   }
+  if (!options.profile_out.empty()) {
+    auto& profiler = obs::Profiler::Global();
+    profiler.PrintTable(stdout);
+    const std::string json = profiler.ToJson();
+    std::FILE* f = std::fopen(options.profile_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", options.profile_out.c_str());
+    } else {
+      std::fputs(json.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote op profile to %s\n", options.profile_out.c_str());
+    }
+  }
   if (!options.metrics_out.empty()) {
+    // Fold the memory-tracker totals in as gauges so one snapshot carries
+    // the full picture.
+    obs::MemoryTracker::Global().PublishGauges();
     const std::string json =
         obs::MetricsRegistry::Global().Snapshot().ToJson();
     std::FILE* f = std::fopen(options.metrics_out.c_str(), "w");
@@ -172,6 +199,7 @@ int RunTrain(const CliOptions& options) {
   config.verbose = true;
   config.checkpoint_dir = options.checkpoint_dir;
   config.run_report_path = options.run_report;
+  config.health_every_steps = options.health_every;
   train::Trainer trainer(&model, config);
   if (!options.checkpoint_dir.empty()) {
     const std::string snapshot =
@@ -273,6 +301,10 @@ int main(int argc, char** argv) {
   if (!options.trace_out.empty()) {
     bigcity::obs::TraceBuffer::Global().SetCapacity(size_t{1} << 21);
     bigcity::obs::SetTracingEnabled(true);
+  }
+  // Arm the op profiler before model construction so its GEMMs profile too.
+  if (!options.profile_out.empty()) {
+    bigcity::obs::SetProfilerEnabled(true);
   }
   if (options.command == "generate") return bigcity::RunGenerate(options);
   if (options.command == "train") return bigcity::RunTrain(options);
