@@ -1,0 +1,210 @@
+// Closed-loop load benchmark for the inference serving runtime: N clients
+// per worker issue back-to-back next-hop requests at 1x/2x/4x the worker
+// count and the harness reports throughput, latency percentiles, and the
+// shed rate per load level. Prints a table and writes BENCH_serve.json in
+// the working directory.
+//
+// The queue is deliberately sized at the worker count so the 2x/4x levels
+// overload it: the interesting number is how the runtime degrades (fast
+// kResourceExhausted sheds, bounded latency for admitted work), not peak
+// throughput.
+//
+// Usage: bench_serve [--city XA|BJ|CD] [--workers N] [--requests N]
+//                    [--threads N] [--fast] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "nn/kernels/kernels.h"
+#include "obs/timer.h"
+#include "serve/server.h"
+#include "util/table_printer.h"
+
+namespace {
+
+struct LevelResult {
+  int multiplier = 1;
+  int clients = 0;
+  int issued = 0;
+  int ok = 0;
+  int shed = 0;
+  int other = 0;
+  double seconds = 0;
+  std::vector<double> latencies_us;  // Completed (OK) requests only.
+
+  double Percentile(double q) const {
+    if (latencies_us.empty()) return 0;
+    const size_t rank = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_us.size())));
+    return latencies_us[rank];
+  }
+  double Throughput() const { return seconds > 0 ? ok / seconds : 0; }
+  double ShedRate() const {
+    return issued > 0 ? static_cast<double>(shed) / issued : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  std::string out = "BENCH_serve.json";
+  std::string city = "XA";
+  int workers = 2;
+  int requests_per_client = 32;
+  int threads = nn::kernels::NumThreads();
+  bool fast = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--city") == 0) {
+      city = argv[++i];
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--workers") == 0) {
+      workers = std::atoi(argv[++i]);
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--requests") == 0) {
+      requests_per_client = std::atoi(argv[++i]);
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--threads") == 0) {
+      threads = std::atoi(argv[++i]);
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--out") == 0) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--city XA|BJ|CD] [--workers N] "
+                   "[--requests N] [--threads N] [--fast] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (fast) requests_per_client = std::min(requests_per_client, 8);
+  nn::kernels::SetNumThreads(threads);
+  threads = nn::kernels::NumThreads();
+
+  data::CityDataset dataset(bench::BenchCity(city));
+  core::BigCityConfig model_config;
+  model_config.threads = threads;
+  if (fast) {
+    model_config.d_model = 32;
+    model_config.num_heads = 2;
+    model_config.num_layers = 1;
+    model_config.spatial_dim = 16;
+    model_config.gat_hidden = 16;
+  }
+  std::printf("BIGCity serving benchmark (%s, %d worker%s, %d kernel "
+              "thread%s%s).\n",
+              city.c_str(), workers, workers == 1 ? "" : "s", threads,
+              threads == 1 ? "" : "s", fast ? ", fast" : "");
+
+  serve::ServeOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = workers;  // Tight bound: overload must shed.
+  serve::InferenceServer server(&dataset, model_config, options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<data::Trajectory>& pool = dataset.test();
+  std::vector<LevelResult> levels;
+  for (int multiplier : {1, 2, 4}) {
+    LevelResult level;
+    level.multiplier = multiplier;
+    level.clients = multiplier * workers;
+    std::vector<std::vector<double>> per_client_latencies(
+        static_cast<size_t>(level.clients));
+    std::atomic<int> ok{0}, shed{0}, other{0};
+    obs::WallTimer watch;
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(level.clients));
+    for (int c = 0; c < level.clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& latencies = per_client_latencies[static_cast<size_t>(c)];
+        latencies.reserve(static_cast<size_t>(requests_per_client));
+        for (int r = 0; r < requests_per_client; ++r) {
+          serve::Request request;
+          request.task = core::Task::kNextHop;
+          request.trajectory =
+              pool[static_cast<size_t>(c * requests_per_client + r) %
+                   pool.size()];
+          serve::Response response = server.ServeSync(std::move(request));
+          if (response.status.ok()) {
+            ok++;
+            latencies.push_back(response.total_us);
+          } else if (response.outcome == serve::Outcome::kShed) {
+            shed++;
+          } else {
+            other++;
+          }
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    level.seconds = watch.ElapsedSeconds();
+    level.issued = level.clients * requests_per_client;
+    level.ok = ok.load();
+    level.shed = shed.load();
+    level.other = other.load();
+    for (auto& latencies : per_client_latencies) {
+      level.latencies_us.insert(level.latencies_us.end(), latencies.begin(),
+                                latencies.end());
+    }
+    std::sort(level.latencies_us.begin(), level.latencies_us.end());
+    levels.push_back(std::move(level));
+  }
+  server.Stop();
+
+  util::TablePrinter table(
+      {"Load", "Clients", "Issued", "OK", "Shed rate", "Req/s", "p50 ms",
+       "p95 ms", "p99 ms"});
+  for (const LevelResult& level : levels) {
+    table.AddRow({std::to_string(level.multiplier) + "x",
+                  util::TablePrinter::Num(level.clients, 0),
+                  util::TablePrinter::Num(level.issued, 0),
+                  util::TablePrinter::Num(level.ok, 0),
+                  util::TablePrinter::Num(level.ShedRate(), 3),
+                  util::TablePrinter::Num(level.Throughput(), 1),
+                  util::TablePrinter::Num(level.Percentile(0.5) / 1e3, 2),
+                  util::TablePrinter::Num(level.Percentile(0.95) / 1e3, 2),
+                  util::TablePrinter::Num(level.Percentile(0.99) / 1e3, 2)});
+  }
+  table.Print();
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"city\": \"%s\",\n"
+               "  \"workers\": %d,\n"
+               "  \"kernel_threads\": %d,\n"
+               "  \"queue_capacity\": %d,\n"
+               "  \"requests_per_client\": %d,\n"
+               "  \"levels\": [\n",
+               city.c_str(), workers, threads, workers, requests_per_client);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult& level = levels[i];
+    std::fprintf(f,
+                 "    {\"load_multiplier\": %d, \"clients\": %d, "
+                 "\"issued\": %d, \"ok\": %d, \"shed\": %d, \"other\": %d, "
+                 "\"seconds\": %.4f, \"throughput_rps\": %.2f, "
+                 "\"shed_rate\": %.4f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                 "\"p99_us\": %.1f}%s\n",
+                 level.multiplier, level.clients, level.issued, level.ok,
+                 level.shed, level.other, level.seconds, level.Throughput(),
+                 level.ShedRate(), level.Percentile(0.5),
+                 level.Percentile(0.95), level.Percentile(0.99),
+                 i + 1 < levels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -7,11 +7,13 @@
 #
 # Jobs:
 #   release  Release build, full ctest (includes the bench_gate perf smoke),
-#            format_check, and a 2-epoch bigcity_cli train smoke on
-#            --threads 2 that validates the trace / run-report / metrics
-#            outputs.
-#   sanitize Debug build with ASan+UBSan running the resilience_check and
-#            kernels_check suites plus a short --threads 2 CLI smoke.
+#            format_check, a 2-epoch bigcity_cli train smoke on --threads 2
+#            that validates the trace / run-report / metrics outputs, and a
+#            threaded serve smoke (bench_serve --fast + bigcity_cli serve)
+#            that validates BENCH_serve.json and the serve metrics snapshot.
+#   sanitize Debug build with ASan+UBSan running the resilience_check,
+#            kernels_check, and serve_check suites plus a short --threads 2
+#            CLI smoke.
 #   obs-off  Release build with -DBIGCITY_OBS=OFF proving every probe
 #            compiles out and the full suite still passes.
 set -euo pipefail
@@ -75,6 +77,46 @@ train_smoke() {
   check_obs_outputs "$out"
 }
 
+# Threaded serve smoke: closed-loop bench at 1x/2x/4x load plus a CLI
+# serve replay, validating that BENCH_serve.json and the serve metrics
+# snapshot are machine-readable and carry the expected fields.
+serve_smoke() {
+  local build="$1" job="$2"
+  local out="ci-artifacts/$job"
+  mkdir -p "$out"
+  log "$job: serve smoke (bench_serve --fast, 2 workers x 3 load levels)"
+  (cd "$out" && "../../$build/bench/bench_serve" --fast --workers 2 \
+    --requests 8)
+  grep -q '"shed_rate"' "$out/BENCH_serve.json"
+  grep -q '"throughput_rps"' "$out/BENCH_serve.json"
+  grep -q '"p95_us"' "$out/BENCH_serve.json"
+  log "$job: serve smoke (bigcity_cli serve replay)"
+  "$build/tools/bigcity_cli" generate --city XA --scale 0.05 \
+    --out "$out/serve_trips.csv"
+  "$build/tools/bigcity_cli" serve --city XA --scale 0.05 \
+    --requests "$out/serve_trips.csv" --task next --workers 2 --queue 64 \
+    --metrics-out "$out/serve_metrics.json"
+  grep -q '"serve.submitted"' "$out/serve_metrics.json"
+  grep -q '"serve.e2e_us"' "$out/serve_metrics.json"
+  if command -v python3 > /dev/null; then
+    python3 - "$out" <<'EOF'
+import json, sys
+d = sys.argv[1]
+with open(f"{d}/BENCH_serve.json") as f:
+    bench = json.load(f)
+levels = bench["levels"]
+assert [l["load_multiplier"] for l in levels] == [1, 2, 4], levels
+for l in levels:
+    assert l["ok"] + l["shed"] + l["other"] == l["issued"], l
+    assert l["throughput_rps"] >= 0 and 0 <= l["shed_rate"] <= 1, l
+with open(f"{d}/serve_metrics.json") as f:
+    json.load(f)
+print(f"serve json validation ok: {len(levels)} load levels")
+EOF
+  fi
+  echo "serve smoke ok"
+}
+
 run_release() {
   log "release: configure + build"
   cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -85,6 +127,7 @@ run_release() {
   cmake --build build-ci-release --target format_check
   log "release: CLI train smoke (--threads 2, obs outputs)"
   train_smoke build-ci-release release --epochs1 1 --epochs2 1
+  serve_smoke build-ci-release release
 }
 
 run_sanitize() {
@@ -95,6 +138,8 @@ run_sanitize() {
   cmake --build build-ci-asan -j"$PAR" --target resilience_check
   log "sanitize: kernel suite"
   cmake --build build-ci-asan -j"$PAR" --target kernels_check
+  log "sanitize: serving suite (admission/deadline/retry/breaker/degrade)"
+  cmake --build build-ci-asan -j"$PAR" --target serve_check
   log "sanitize: CLI train smoke (--threads 2)"
   cmake --build build-ci-asan -j"$PAR" --target bigcity_cli
   # Pretrain + one stage-1 epoch only: Debug+ASan makes stage 2 too slow

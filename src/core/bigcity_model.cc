@@ -1,7 +1,9 @@
 #include "core/bigcity_model.h"
 
 #include <algorithm>
+#include <string>
 
+#include "data/validate.h"
 #include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "util/check.h"
@@ -172,6 +174,151 @@ Tensor BigCityModel::RecoverLogits(const data::Trajectory& original,
   prompt.task_tokens.assign(mask_positions.size(), TaskTokenKind::kClas);
   BackboneOutput out = backbone_->Forward(prompt);
   return heads_->SegmentLogits(out.task_outputs);
+}
+
+// --- Validated entry points -------------------------------------------------
+//
+// Each Try* validates against the bound dataset and clips over-long
+// trajectories (the backbone's positional table is finite), then delegates
+// to the CHECK-based method — identical numerics on valid input.
+
+namespace {
+
+/// Shared trajectory screening: structural validity plus a task-specific
+/// minimum length (checked before clipping; clipping preserves >= 2).
+util::Status ScreenTrajectory(const data::Trajectory& trajectory,
+                              int num_segments, int min_len,
+                              const char* task) {
+  if (auto s = data::ValidateTrajectory(trajectory, num_segments); !s.ok()) {
+    return s;
+  }
+  if (trajectory.length() < min_len) {
+    return util::Status::InvalidArgument(
+        std::string(task) + " needs at least " + std::to_string(min_len) +
+        " points, got " + std::to_string(trajectory.length()));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<Tensor> BigCityModel::TryNextHopLogits(
+    const data::Trajectory& prefix) {
+  if (auto s = ScreenTrajectory(prefix, dataset_->network().num_segments(),
+                                1, "next-hop");
+      !s.ok()) {
+    return s;
+  }
+  return NextHopLogits(ClipTrajectory(prefix));
+}
+
+util::Result<Tensor> BigCityModel::TryTravelTimeDeltas(
+    const data::Trajectory& trajectory) {
+  if (auto s = ScreenTrajectory(trajectory,
+                                dataset_->network().num_segments(), 2, "TTE");
+      !s.ok()) {
+    return s;
+  }
+  return TravelTimeDeltas(ClipTrajectory(trajectory));
+}
+
+util::Result<Tensor> BigCityModel::TryClassifyLogits(
+    const data::Trajectory& trajectory) {
+  if (auto s = ScreenTrajectory(trajectory,
+                                dataset_->network().num_segments(), 1,
+                                "classification");
+      !s.ok()) {
+    return s;
+  }
+  return ClassifyLogits(ClipTrajectory(trajectory));
+}
+
+util::Result<Tensor> BigCityModel::TryEmbed(
+    const data::Trajectory& trajectory) {
+  if (auto s = ScreenTrajectory(trajectory,
+                                dataset_->network().num_segments(), 1,
+                                "similarity embedding");
+      !s.ok()) {
+    return s;
+  }
+  return Embed(ClipTrajectory(trajectory));
+}
+
+util::Result<Tensor> BigCityModel::TryRecoverLogits(
+    const data::Trajectory& original, const std::vector<int>& kept) {
+  // Recovery indexes the *unclipped* trajectory, so length is bounded by
+  // the positional table rather than silently subsampled.
+  if (auto s = ScreenTrajectory(original,
+                                dataset_->network().num_segments(), 2,
+                                "recovery");
+      !s.ok()) {
+    return s;
+  }
+  if (original.length() > config_.max_trajectory_tokens) {
+    return util::Status::InvalidArgument(
+        "recovery trajectory length " + std::to_string(original.length()) +
+        " exceeds max_trajectory_tokens " +
+        std::to_string(config_.max_trajectory_tokens));
+  }
+  if (kept.size() < 2) {
+    return util::Status::InvalidArgument("recovery needs >= 2 kept indices");
+  }
+  if (static_cast<int>(kept.size()) >= original.length()) {
+    return util::Status::InvalidArgument(
+        "recovery has no masked positions (kept covers the trajectory)");
+  }
+  int previous = -1;
+  for (int index : kept) {
+    if (index < 0 || index >= original.length()) {
+      return util::Status::InvalidArgument(
+          "kept index " + std::to_string(index) + " outside [0, " +
+          std::to_string(original.length()) + ")");
+    }
+    if (index <= previous) {
+      return util::Status::InvalidArgument(
+          "kept indices must be strictly increasing");
+    }
+    previous = index;
+  }
+  return RecoverLogits(original, kept);
+}
+
+util::Result<Tensor> BigCityModel::TryPredictTraffic(int segment,
+                                                     int start_slice,
+                                                     int horizon) {
+  if (horizon < 1 || horizon > static_cast<int>(config_.max_sequence)) {
+    return util::Status::InvalidArgument("traffic horizon " +
+                                         std::to_string(horizon) +
+                                         " out of range");
+  }
+  if (auto s = data::ValidateTrafficWindow(dataset_->traffic(), segment,
+                                           start_slice,
+                                           config_.traffic_input_steps);
+      !s.ok()) {
+    return s;
+  }
+  return PredictTraffic(segment, start_slice, horizon);
+}
+
+util::Result<Tensor> BigCityModel::TryImputeTraffic(
+    int segment, int start_slice, int window,
+    const std::vector<int>& masked) {
+  if (auto s = data::ValidateTrafficWindow(dataset_->traffic(), segment,
+                                           start_slice, window);
+      !s.ok()) {
+    return s;
+  }
+  if (masked.empty()) {
+    return util::Status::InvalidArgument("imputation mask is empty");
+  }
+  for (int index : masked) {
+    if (index < 0 || index >= window) {
+      return util::Status::InvalidArgument(
+          "imputation mask index " + std::to_string(index) +
+          " outside [0, " + std::to_string(window) + ")");
+    }
+  }
+  return ImputeTraffic(segment, start_slice, window, masked);
 }
 
 // --- Traffic-state tasks -----------------------------------------------------

@@ -13,6 +13,7 @@
 #include "data/dataset.h"
 #include "nn/module.h"
 #include "roadnet/poi.h"
+#include "util/status.h"
 
 namespace bigcity::core {
 
@@ -59,6 +60,29 @@ class BigCityModel : public nn::Module {
   /// Imputes masked positions of a traffic window: [K, kTrafficChannels].
   nn::Tensor ImputeTraffic(int segment, int start_slice, int window,
                            const std::vector<int>& masked);
+
+  // --- Validated (Status-returning) inference entry points --------------
+  //
+  // The serving runtime (src/serve) must survive malformed requests, so
+  // each task has a Try* variant that validates the input against the
+  // bound dataset (segment ranges, timestamp monotonicity, window bounds,
+  // task-specific length minima) and returns kInvalidArgument instead of
+  // CHECK-aborting the process. On success they delegate to the plain
+  // method above — results are bit-identical.
+
+  util::Result<nn::Tensor> TryNextHopLogits(const data::Trajectory& prefix);
+  util::Result<nn::Tensor> TryTravelTimeDeltas(
+      const data::Trajectory& trajectory);
+  util::Result<nn::Tensor> TryClassifyLogits(
+      const data::Trajectory& trajectory);
+  util::Result<nn::Tensor> TryEmbed(const data::Trajectory& trajectory);
+  util::Result<nn::Tensor> TryRecoverLogits(const data::Trajectory& original,
+                                            const std::vector<int>& kept);
+  util::Result<nn::Tensor> TryPredictTraffic(int segment, int start_slice,
+                                             int horizon);
+  util::Result<nn::Tensor> TryImputeTraffic(int segment, int start_slice,
+                                            int window,
+                                            const std::vector<int>& masked);
 
   // --- Stage-1 masked reconstruction (Sec. VI-A) ------------------------
 

@@ -1,0 +1,70 @@
+#include "data/validate.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace bigcity::data {
+
+util::Status ValidateTrajectory(const Trajectory& trajectory,
+                                int num_segments) {
+  if (trajectory.points.empty()) {
+    return util::Status::InvalidArgument("trajectory has no points");
+  }
+  double previous = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < trajectory.points.size(); ++i) {
+    const TrajPoint& point = trajectory.points[i];
+    if (point.segment < 0 || point.segment >= num_segments) {
+      return util::Status::InvalidArgument(
+          "point " + std::to_string(i) + ": segment id " +
+          std::to_string(point.segment) + " outside [0, " +
+          std::to_string(num_segments) + ")");
+    }
+    if (!std::isfinite(point.timestamp)) {
+      return util::Status::InvalidArgument(
+          "point " + std::to_string(i) + ": non-finite timestamp");
+    }
+    if (point.timestamp < previous) {
+      return util::Status::InvalidArgument(
+          "point " + std::to_string(i) + ": timestamp " +
+          std::to_string(point.timestamp) + " precedes previous " +
+          std::to_string(previous) + " (non-monotone)");
+    }
+    previous = point.timestamp;
+  }
+  return util::Status::Ok();
+}
+
+util::Status ValidateTrajectories(const std::vector<Trajectory>& trajectories,
+                                  int num_segments) {
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    if (auto s = ValidateTrajectory(trajectories[i], num_segments); !s.ok()) {
+      return util::Status::InvalidArgument("trip " + std::to_string(i) +
+                                           ": " + s.message());
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ValidateTrafficWindow(const TrafficStateSeries& series,
+                                   int segment, int first_slice, int count) {
+  if (segment < 0 || segment >= series.num_segments()) {
+    return util::Status::InvalidArgument(
+        "traffic segment " + std::to_string(segment) + " outside [0, " +
+        std::to_string(series.num_segments()) + ")");
+  }
+  if (count <= 0) {
+    return util::Status::InvalidArgument("traffic window count " +
+                                         std::to_string(count) +
+                                         " must be positive");
+  }
+  if (first_slice < 0 || first_slice + count > series.num_slices()) {
+    return util::Status::InvalidArgument(
+        "traffic window [" + std::to_string(first_slice) + ", " +
+        std::to_string(first_slice + count) + ") outside [0, " +
+        std::to_string(series.num_slices()) + ")");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace bigcity::data

@@ -1,0 +1,36 @@
+#ifndef BIGCITY_DATA_VALIDATE_H_
+#define BIGCITY_DATA_VALIDATE_H_
+
+#include <vector>
+
+#include "data/traffic_state.h"
+#include "data/trajectory.h"
+#include "util/status.h"
+
+namespace bigcity::data {
+
+/// Trajectory ingestion validation (DESIGN.md §4.11). Historically a
+/// poisoned trajectory (out-of-range segment id, non-monotone or NaN
+/// timestamps) sailed through ingestion and CHECK-aborted deep in the
+/// road-network / tensor layer — acceptable for a batch harness, fatal for
+/// a server where one bad request must not kill the process. These return
+/// kInvalidArgument instead so callers can quarantine the input.
+///
+/// Checks: non-empty, every segment id in [0, num_segments), every
+/// timestamp finite, and timestamps non-decreasing.
+util::Status ValidateTrajectory(const Trajectory& trajectory,
+                                int num_segments);
+
+/// Validates a whole corpus (e.g. a CSV import) against the segment count;
+/// the message of the first failure identifies the offending trip index.
+util::Status ValidateTrajectories(const std::vector<Trajectory>& trajectories,
+                                  int num_segments);
+
+/// Bounds-checks a traffic-series window request: segment in range and
+/// [first_slice, first_slice + count) within the series.
+util::Status ValidateTrafficWindow(const TrafficStateSeries& series,
+                                   int segment, int first_slice, int count);
+
+}  // namespace bigcity::data
+
+#endif  // BIGCITY_DATA_VALIDATE_H_

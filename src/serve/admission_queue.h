@@ -1,0 +1,77 @@
+#ifndef BIGCITY_SERVE_ADMISSION_QUEUE_H_
+#define BIGCITY_SERVE_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bigcity::serve {
+
+/// Bounded MPMC admission queue with explicit load shedding: TryPush never
+/// blocks — a full queue rejects immediately so overload turns into fast
+/// kResourceExhausted responses instead of unbounded latency growth.
+/// Pop blocks until an item, or until Close() with an empty queue (the
+/// shutdown signal for workers). Header-only template so the item type
+/// (request + promise + deadline bookkeeping) stays private to the server.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// False when the queue is full or closed. Takes an rvalue reference so
+  /// a rejected item is NOT consumed — the caller still owns it and can
+  /// resolve its promise with the shed status.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admissions and wakes blocked Pop() calls. Items already queued
+  /// are still handed out (drain-then-stop shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bigcity::serve
+
+#endif  // BIGCITY_SERVE_ADMISSION_QUEUE_H_

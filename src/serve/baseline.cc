@@ -1,0 +1,77 @@
+#include "serve/baseline.h"
+
+#include <vector>
+
+#include "data/st_unit.h"
+#include "util/check.h"
+
+namespace bigcity::serve {
+
+BaselinePredictor::BaselinePredictor(const data::CityDataset* dataset)
+    : dataset_(dataset) {
+  BIGCITY_CHECK(dataset != nullptr);
+}
+
+nn::Tensor BaselinePredictor::NextHopScores(
+    const data::Trajectory& prefix) const {
+  const auto& network = dataset_->network();
+  const int num_segments = network.num_segments();
+  std::vector<float> scores(static_cast<size_t>(num_segments), 0.0f);
+  const int last = prefix.points.back().segment;
+  const auto& popularity = dataset_->popularity();
+  for (int successor : network.successors(last)) {
+    // Popularity is strictly positive after aggregation smoothing; +1
+    // keeps dead-end successors above the zero floor of non-successors.
+    scores[static_cast<size_t>(successor)] =
+        1.0f + static_cast<float>(popularity[static_cast<size_t>(successor)]);
+  }
+  return nn::Tensor::FromData({1, num_segments}, std::move(scores));
+}
+
+nn::Tensor BaselinePredictor::TravelTimeDeltas(
+    const data::Trajectory& trajectory) const {
+  const auto& network = dataset_->network();
+  const int length = trajectory.length();
+  std::vector<float> minutes;
+  minutes.reserve(static_cast<size_t>(length - 1));
+  for (int l = 1; l < length; ++l) {
+    const int segment = trajectory.points[static_cast<size_t>(l)].segment;
+    minutes.push_back(data::MinutesTarget(
+        static_cast<double>(network.FreeFlowSeconds(segment))));
+  }
+  return nn::Tensor::FromData({length - 1, 1}, std::move(minutes));
+}
+
+nn::Tensor BaselinePredictor::PredictTraffic(int segment, int start_slice,
+                                             int input_steps,
+                                             int horizon) const {
+  const auto& traffic = dataset_->traffic();
+  float mean[data::kTrafficChannels] = {};
+  for (int t = 0; t < input_steps; ++t) {
+    for (int c = 0; c < data::kTrafficChannels; ++c) {
+      mean[c] += traffic.Get(start_slice + t, segment, c);
+    }
+  }
+  for (float& m : mean) m /= static_cast<float>(input_steps);
+  std::vector<float> tiled;
+  tiled.reserve(static_cast<size_t>(horizon * data::kTrafficChannels));
+  for (int h = 0; h < horizon; ++h) {
+    for (int c = 0; c < data::kTrafficChannels; ++c) tiled.push_back(mean[c]);
+  }
+  return nn::Tensor::FromData({horizon, data::kTrafficChannels},
+                              std::move(tiled));
+}
+
+bool DegradableTask(core::Task task) {
+  switch (task) {
+    case core::Task::kNextHop:
+    case core::Task::kTravelTimeEstimation:
+    case core::Task::kTrafficOneStep:
+    case core::Task::kTrafficMultiStep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace bigcity::serve

@@ -1,0 +1,47 @@
+#ifndef BIGCITY_SERVE_BASELINE_H_
+#define BIGCITY_SERVE_BASELINE_H_
+
+#include "core/task.h"
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace bigcity::serve {
+
+/// Cheap, model-free fallback predictors for graceful degradation. When
+/// the circuit breaker is open or the remaining deadline budget is below
+/// the observed p95 forward time, eligible tasks answer from these instead
+/// of the transformer: orders of magnitude cheaper, same output shapes as
+/// the model heads, clearly marked `degraded` in the response. All methods
+/// are const and thread-safe (read-only over the bound dataset).
+class BaselinePredictor {
+ public:
+  explicit BaselinePredictor(const data::CityDataset* dataset);
+
+  /// Next-hop fallback: popularity-weighted scores over the successors of
+  /// the trajectory's last segment, zero elsewhere. Shape [1, I], matching
+  /// GeneralTaskHeads::SegmentLogits.
+  nn::Tensor NextHopScores(const data::Trajectory& prefix) const;
+
+  /// TTE fallback: free-flow traversal minutes of the segment entered at
+  /// each position 1..L-1. Shape [L-1, 1] in the MinutesTarget unit the
+  /// time-regression head predicts.
+  nn::Tensor TravelTimeDeltas(const data::Trajectory& trajectory) const;
+
+  /// Traffic-prediction fallback: per-channel mean of the observed input
+  /// window, tiled over the horizon (a persistence forecast). Shape
+  /// [horizon, kTrafficChannels]. Reads only [start_slice,
+  /// start_slice + input_steps) — never the future it predicts.
+  nn::Tensor PredictTraffic(int segment, int start_slice, int input_steps,
+                            int horizon) const;
+
+ private:
+  const data::CityDataset* dataset_;
+};
+
+/// True for tasks the degradation path can answer (traffic prediction,
+/// next-hop, travel time).
+bool DegradableTask(core::Task task);
+
+}  // namespace bigcity::serve
+
+#endif  // BIGCITY_SERVE_BASELINE_H_

@@ -1,0 +1,69 @@
+#ifndef BIGCITY_SERVE_REQUEST_H_
+#define BIGCITY_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.h"
+#include "data/trajectory.h"
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace bigcity::serve {
+
+/// One inference request against the task-prompted BIGCity model. Which
+/// fields are read depends on `task`:
+///   trajectory tasks  — `trajectory` (+ `kept` for recovery)
+///   traffic tasks     — `segment`, `start_slice`, `horizon` / `window`
+///                       (+ `masked` for imputation)
+struct Request {
+  core::Task task = core::Task::kNextHop;
+
+  data::Trajectory trajectory;  // Trajectory tasks.
+  std::vector<int> kept;        // Recovery: surviving indices (sorted).
+
+  int segment = 0;              // Traffic tasks.
+  int start_slice = 0;
+  int horizon = 1;              // Prediction steps.
+  int window = 12;              // Imputation window length.
+  std::vector<int> masked;      // Imputation mask positions.
+
+  /// Wall-clock budget from submission; <= 0 means no deadline (the
+  /// server's default_deadline_ms still applies if set).
+  double deadline_ms = 0;
+
+  /// Caller-chosen correlation id, echoed in the response.
+  uint64_t id = 0;
+};
+
+/// Where a request's lifecycle ended; `util::Status` carries the matching
+/// code (kResourceExhausted for kShed, kDeadlineExceeded for kDeadline,
+/// kInvalidArgument for kQuarantined, kUnavailable for kRejected/kFailed).
+enum class Outcome {
+  kOk = 0,       // Full-model result.
+  kDegraded,     // Baseline fallback result (status is still OK).
+  kShed,         // Admission queue full.
+  kDeadline,     // Deadline expired at a cancellation checkpoint.
+  kQuarantined,  // Malformed input.
+  kRejected,     // Circuit breaker open, no fallback eligible.
+  kFailed,       // Transient failures exhausted retries.
+};
+
+struct Response {
+  util::Status status;
+  Outcome outcome = Outcome::kOk;
+  /// Task output tensor; invalid (is_valid() == false) unless the status
+  /// is OK. Bit-identical to the direct model call when not degraded.
+  nn::Tensor output;
+  /// True when the baseline predictor answered instead of the model.
+  bool degraded = false;
+  /// Transient-failure retries consumed by this request.
+  int retries = 0;
+  double queue_wait_us = 0;  // Admission-to-dequeue.
+  double total_us = 0;       // Submission-to-completion.
+  uint64_t id = 0;           // Echo of Request::id.
+};
+
+}  // namespace bigcity::serve
+
+#endif  // BIGCITY_SERVE_REQUEST_H_

@@ -1,0 +1,518 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "data/validate.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace bigcity::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Remaining budget in microseconds; +inf semantics via a large sentinel
+/// are avoided — callers gate on `has_deadline` first.
+double RemainingUs(const Clock::time_point deadline, Clock::time_point now) {
+  return std::chrono::duration<double, std::micro>(deadline - now).count();
+}
+
+Outcome OutcomeForStatus(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kResourceExhausted:
+      return Outcome::kShed;
+    case util::StatusCode::kDeadlineExceeded:
+      return Outcome::kDeadline;
+    case util::StatusCode::kInvalidArgument:
+      return Outcome::kQuarantined;
+    default:
+      return Outcome::kFailed;
+  }
+}
+
+}  // namespace
+
+// --- LatencyEstimator -------------------------------------------------------
+
+void InferenceServer::LatencyEstimator::Record(double us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.size() < kWindow) {
+    samples_.push_back(us);
+  } else {
+    samples_[next_] = us;
+    next_ = (next_ + 1) % kWindow;
+  }
+  ++count_;
+}
+
+void InferenceServer::LatencyEstimator::Seed(double us, int copies) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < copies && samples_.size() < kWindow; ++i) {
+    samples_.push_back(us);
+  }
+  count_ += static_cast<size_t>(copies);
+}
+
+double InferenceServer::LatencyEstimator::P95(int min_samples) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ < static_cast<size_t>(min_samples) || samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  const size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<size_t>(0.95 * static_cast<double>(sorted.size())));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<ptrdiff_t>(rank), sorted.end());
+  return sorted[rank];
+}
+
+// --- InferenceServer --------------------------------------------------------
+
+InferenceServer::InferenceServer(const data::CityDataset* dataset,
+                                 core::BigCityConfig model_config,
+                                 ServeOptions options,
+                                 const core::BigCityModel* prototype)
+    : dataset_(dataset),
+      model_config_(model_config),
+      options_(options),
+      prototype_(prototype),
+      baseline_(dataset),
+      queue_(static_cast<size_t>(std::max(1, options.queue_capacity))) {
+  BIGCITY_CHECK(dataset != nullptr);
+  BIGCITY_CHECK(options_.num_workers >= 1);
+}
+
+InferenceServer::~InferenceServer() { Stop(); }
+
+util::Status InferenceServer::LoadReplicaWeights(
+    core::BigCityModel* replica) const {
+  util::Status status = util::Status::Ok();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      BIGCITY_COUNTER_INC("serve.reload.retries");
+      const double backoff_ms =
+          options_.retry_backoff_ms *
+          static_cast<double>(1 << std::min(attempt - 1, 3));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+    if (util::FaultInjection::Fire(util::kFaultServeReloadFail)) {
+      status = util::Status::Unavailable(
+          "checkpoint reload transient fault (injected)");
+      continue;
+    }
+    status = replica->LoadStateFromFile(options_.checkpoint_path);
+    if (status.ok()) return status;
+    // Real I/O errors other than kUnavailable are not retryable (a missing
+    // or corrupt file will not heal itself between attempts).
+    if (status.code() != util::StatusCode::kUnavailable) return status;
+  }
+  return status;
+}
+
+util::Status InferenceServer::Start() {
+  BIGCITY_CHECK(!running_);
+  breakers_.clear();
+  breakers_.reserve(core::kNumTasks);
+  for (int i = 0; i < core::kNumTasks; ++i) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(
+        options_.breaker_failure_threshold, options_.breaker_cooldown_ms));
+  }
+  if (options_.initial_forward_estimate_us > 0) {
+    forward_latency_.Seed(options_.initial_forward_estimate_us,
+                          options_.latency_min_samples);
+  }
+
+  replicas_.clear();
+  replicas_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    auto replica =
+        std::make_unique<core::BigCityModel>(dataset_, model_config_);
+    if (options_.attach_lora) {
+      util::Rng lora_rng(model_config_.seed ^ 0x10A5EEDULL);
+      replica->backbone()->EnableLora(&lora_rng);
+    }
+    if (prototype_ != nullptr) {
+      replica->CopyStateFrom(*prototype_);
+    }
+    if (!options_.checkpoint_path.empty()) {
+      util::Status status = LoadReplicaWeights(replica.get());
+      if (!status.ok()) {
+        replicas_.clear();
+        return status;
+      }
+    }
+    replicas_.push_back(std::move(replica));
+  }
+
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  running_ = true;
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return util::Status::Ok();
+}
+
+void InferenceServer::Stop() {
+  if (!running_) return;
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  running_ = false;
+}
+
+void InferenceServer::Finish(WorkItem& item, Response response) {
+  response.id = item.request.id;
+  response.total_us = MicrosSince(item.submitted, Clock::now());
+  if (response.status.ok()) {
+    response.outcome = response.degraded ? Outcome::kDegraded : Outcome::kOk;
+  } else if (response.outcome == Outcome::kOk) {
+    // Not pre-set by a stage (the breaker sets kRejected itself).
+    response.outcome = OutcomeForStatus(response.status);
+  }
+  BIGCITY_HISTOGRAM_RECORD("serve.e2e_us", response.total_us);
+  item.promise.set_value(std::move(response));
+}
+
+std::future<Response> InferenceServer::Submit(Request request) {
+  BIGCITY_COUNTER_INC("serve.submitted");
+  WorkItem item;
+  item.submitted = Clock::now();
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  item.has_deadline = deadline_ms > 0;
+  if (item.has_deadline) {
+    item.deadline =
+        item.submitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+  item.request = std::move(request);
+  std::future<Response> future = item.promise.get_future();
+
+  // Checkpoint 1 (pre-queue): a request that arrives already expired never
+  // occupies a queue slot.
+  const bool expired =
+      util::FaultInjection::Fire(util::kFaultServeExpireAtAdmit) ||
+      (item.has_deadline && Clock::now() >= item.deadline);
+  if (expired) {
+    BIGCITY_COUNTER_INC("serve.deadline.pre_queue");
+    Response response;
+    response.status =
+        util::Status::DeadlineExceeded("deadline expired before admission");
+    Finish(item, std::move(response));
+    return future;
+  }
+
+  if (!queue_.TryPush(std::move(item))) {
+    // TryPush takes an rvalue reference and only moves on success, so the
+    // promise is still ours to resolve.
+    BIGCITY_COUNTER_INC("serve.shed");
+    Response response;
+    response.status = util::Status::ResourceExhausted(
+        running_ ? "admission queue full" : "server not running");
+    Finish(item, std::move(response));
+    return future;
+  }
+  BIGCITY_GAUGE_SET("serve.queue_depth", queue_.depth());
+  return future;
+}
+
+Response InferenceServer::ServeSync(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+CircuitBreaker& InferenceServer::BreakerFor(core::Task task) {
+  const size_t index = static_cast<size_t>(task);
+  BIGCITY_CHECK(index < breakers_.size());
+  return *breakers_[index];
+}
+
+CircuitBreaker::State InferenceServer::breaker_state(core::Task task) const {
+  const size_t index = static_cast<size_t>(task);
+  if (index >= breakers_.size()) return CircuitBreaker::State::kClosed;
+  return breakers_[index]->state();
+}
+
+double InferenceServer::forward_p95_us() const {
+  return forward_latency_.P95(options_.latency_min_samples);
+}
+
+util::Status InferenceServer::ValidateRequest(const Request& request) const {
+  const int num_segments = dataset_->network().num_segments();
+  switch (request.task) {
+    case core::Task::kNextHop:
+    case core::Task::kTravelTimeEstimation:
+    case core::Task::kTrajClassification:
+    case core::Task::kMostSimilarSearch: {
+      util::Status status =
+          data::ValidateTrajectory(request.trajectory, num_segments);
+      if (!status.ok()) return status;
+      if (request.trajectory.length() < 2) {
+        return util::Status::InvalidArgument(
+            "trajectory needs at least 2 points");
+      }
+      return util::Status::Ok();
+    }
+    case core::Task::kTrajRecovery: {
+      util::Status status =
+          data::ValidateTrajectory(request.trajectory, num_segments);
+      if (!status.ok()) return status;
+      if (request.kept.size() < 2) {
+        return util::Status::InvalidArgument(
+            "recovery needs at least 2 kept indices");
+      }
+      return util::Status::Ok();
+    }
+    case core::Task::kTrafficOneStep:
+    case core::Task::kTrafficMultiStep: {
+      const int horizon =
+          request.task == core::Task::kTrafficOneStep ? 1 : request.horizon;
+      if (horizon < 1) {
+        return util::Status::InvalidArgument("horizon must be >= 1");
+      }
+      // Only the observed input window must exist; the horizon is a pure
+      // prediction and may extend past the end of the series.
+      return data::ValidateTrafficWindow(dataset_->traffic(), request.segment,
+                                         request.start_slice,
+                                         model_config_.traffic_input_steps);
+    }
+    case core::Task::kTrafficImputation: {
+      util::Status status =
+          data::ValidateTrafficWindow(dataset_->traffic(), request.segment,
+                                      request.start_slice, request.window);
+      if (!status.ok()) return status;
+      for (int position : request.masked) {
+        if (position < 0 || position >= request.window) {
+          return util::Status::InvalidArgument(
+              "imputation mask position out of window");
+        }
+      }
+      return util::Status::Ok();
+    }
+  }
+  return util::Status::InvalidArgument("unknown task");
+}
+
+util::Result<nn::Tensor> InferenceServer::RunModel(
+    const Request& request, core::BigCityModel* model) {
+  switch (request.task) {
+    case core::Task::kNextHop:
+      return model->TryNextHopLogits(request.trajectory);
+    case core::Task::kTravelTimeEstimation:
+      return model->TryTravelTimeDeltas(request.trajectory);
+    case core::Task::kTrajClassification:
+      return model->TryClassifyLogits(request.trajectory);
+    case core::Task::kMostSimilarSearch:
+      return model->TryEmbed(request.trajectory);
+    case core::Task::kTrajRecovery:
+      return model->TryRecoverLogits(request.trajectory, request.kept);
+    case core::Task::kTrafficOneStep:
+      return model->TryPredictTraffic(request.segment, request.start_slice,
+                                      1);
+    case core::Task::kTrafficMultiStep:
+      return model->TryPredictTraffic(request.segment, request.start_slice,
+                                      request.horizon);
+    case core::Task::kTrafficImputation:
+      return model->TryImputeTraffic(request.segment, request.start_slice,
+                                     request.window, request.masked);
+  }
+  return util::Status::InvalidArgument("unknown task");
+}
+
+util::Result<nn::Tensor> InferenceServer::RunBaseline(
+    const Request& request) const {
+  switch (request.task) {
+    case core::Task::kNextHop:
+      return baseline_.NextHopScores(request.trajectory);
+    case core::Task::kTravelTimeEstimation:
+      return baseline_.TravelTimeDeltas(request.trajectory);
+    case core::Task::kTrafficOneStep:
+      return baseline_.PredictTraffic(request.segment, request.start_slice,
+                                      model_config_.traffic_input_steps, 1);
+    case core::Task::kTrafficMultiStep:
+      return baseline_.PredictTraffic(request.segment, request.start_slice,
+                                      model_config_.traffic_input_steps,
+                                      request.horizon);
+    default:
+      return util::Status::Unavailable("task has no degraded fallback");
+  }
+}
+
+Response InferenceServer::Process(WorkItem& item,
+                                  core::BigCityModel* model) {
+  BIGCITY_TRACE_SPAN("serve.process", "serve");
+  Response response;
+  const Request& request = item.request;
+
+  // Checkpoint 2 (pre-tokenize / post-dequeue): time spent queued counts
+  // against the budget.
+  if (util::FaultInjection::Fire(util::kFaultServeExpireAtTokenize) ||
+      (item.has_deadline && Clock::now() >= item.deadline)) {
+    BIGCITY_COUNTER_INC("serve.deadline.pre_tokenize");
+    response.status =
+        util::Status::DeadlineExceeded("deadline expired before tokenize");
+    return response;
+  }
+
+  {
+    BIGCITY_TIMED_SCOPE_NAMED("serve.validate_us", "serve.validate", "serve");
+    util::Status status = ValidateRequest(request);
+    if (!status.ok()) {
+      BIGCITY_COUNTER_INC("serve.quarantined");
+      response.status = std::move(status);
+      return response;
+    }
+  }
+
+  // Checkpoint 3 (pre-forward): last exit before the expensive stage.
+  if (util::FaultInjection::Fire(util::kFaultServeExpireAtForward) ||
+      (item.has_deadline && Clock::now() >= item.deadline)) {
+    BIGCITY_COUNTER_INC("serve.deadline.pre_forward");
+    response.status =
+        util::Status::DeadlineExceeded("deadline expired before forward");
+    return response;
+  }
+
+  // Graceful degradation, path 1: circuit breaker.
+  CircuitBreaker& breaker = BreakerFor(request.task);
+  const CircuitBreaker::Decision decision = breaker.Admit(Clock::now());
+  if (decision == CircuitBreaker::Decision::kReject) {
+    if (options_.degrade_when_breaker_open && DegradableTask(request.task)) {
+      BIGCITY_COUNTER_INC("serve.degraded.breaker");
+      util::Result<nn::Tensor> fallback = RunBaseline(request);
+      response.status = fallback.status();
+      if (fallback.ok()) {
+        response.output = std::move(fallback).value();
+        response.degraded = true;
+      }
+      return response;
+    }
+    BIGCITY_COUNTER_INC("serve.breaker.rejected");
+    response.status = util::Status::Unavailable("circuit breaker open");
+    response.outcome = Outcome::kRejected;
+    return response;
+  }
+  if (decision == CircuitBreaker::Decision::kProbe) {
+    BIGCITY_COUNTER_INC("serve.breaker.probes");
+  }
+
+  // Graceful degradation, path 2: remaining budget below p95 forward time.
+  // A probe is exempt — its whole point is to exercise the real path.
+  if (decision == CircuitBreaker::Decision::kAllow && item.has_deadline &&
+      options_.degrade_on_tight_budget && DegradableTask(request.task)) {
+    const double p95_us = forward_latency_.P95(options_.latency_min_samples);
+    if (p95_us > 0 && RemainingUs(item.deadline, Clock::now()) < p95_us) {
+      BIGCITY_COUNTER_INC("serve.degraded.budget");
+      util::Result<nn::Tensor> fallback = RunBaseline(request);
+      response.status = fallback.status();
+      if (fallback.ok()) {
+        response.output = std::move(fallback).value();
+        response.degraded = true;
+      }
+      return response;
+    }
+  }
+
+  // Forward with bounded-backoff retries around transient failures.
+  util::Status last_status = util::Status::Ok();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      BIGCITY_COUNTER_INC("serve.retries");
+      ++response.retries;
+      double backoff_ms = options_.retry_backoff_ms *
+                          static_cast<double>(1 << std::min(attempt - 1, 3));
+      if (item.has_deadline) {
+        const double remaining_ms =
+            RemainingUs(item.deadline, Clock::now()) / 1000.0;
+        if (remaining_ms <= 0) {
+          BIGCITY_COUNTER_INC("serve.deadline.pre_forward");
+          response.status = util::Status::DeadlineExceeded(
+              "deadline expired during retry backoff");
+          if (breaker.RecordFailure(Clock::now())) {
+            BIGCITY_COUNTER_INC("serve.breaker.opened");
+          }
+          return response;
+        }
+        backoff_ms = std::min(backoff_ms, remaining_ms);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+
+    if (util::FaultInjection::Fire(util::kFaultServeTokenizeFail)) {
+      last_status =
+          util::Status::Unavailable("tokenizer transient fault (injected)");
+      continue;
+    }
+    if (util::FaultInjection::Fire(util::kFaultServeForwardFail)) {
+      last_status =
+          util::Status::Unavailable("forward transient fault (injected)");
+      continue;
+    }
+
+    const Clock::time_point forward_start = Clock::now();
+    util::Result<nn::Tensor> result = RunModel(request, model);
+    last_status = result.status();
+    if (result.ok()) {
+      const double forward_us = MicrosSince(forward_start, Clock::now());
+      forward_latency_.Record(forward_us);
+      BIGCITY_HISTOGRAM_RECORD("serve.forward_us", forward_us);
+      breaker.RecordSuccess();
+      response.status = util::Status::Ok();
+      response.output = std::move(result).value();
+      return response;
+    }
+    // Validation errors are deterministic — retrying cannot help, and they
+    // must not trip the breaker (the input is at fault, not the model).
+    if (last_status.code() == util::StatusCode::kInvalidArgument) {
+      BIGCITY_COUNTER_INC("serve.quarantined");
+      response.status = std::move(last_status);
+      return response;
+    }
+  }
+
+  BIGCITY_COUNTER_INC("serve.failures");
+  if (breaker.RecordFailure(Clock::now())) {
+    BIGCITY_COUNTER_INC("serve.breaker.opened");
+  }
+  response.status = std::move(last_status);
+  return response;
+}
+
+void InferenceServer::WorkerLoop(int worker_index) {
+  core::BigCityModel* model = replicas_[static_cast<size_t>(worker_index)].get();
+  for (;;) {
+    std::optional<WorkItem> item = queue_.Pop();
+    if (!item.has_value()) return;  // Closed and drained.
+    BIGCITY_GAUGE_SET("serve.queue_depth", queue_.depth());
+
+    if (util::FaultInjection::Fire(util::kFaultServeWorkerHold)) {
+      // Park until the test disarms the site (worker occupancy control;
+      // Param doubles as the poll flag so disarming releases immediately).
+      while (util::FaultInjection::Param(util::kFaultServeWorkerHold) != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+
+    const double wait_us = MicrosSince(item->submitted, Clock::now());
+    BIGCITY_HISTOGRAM_RECORD("serve.queue_wait_us", wait_us);
+
+    Response response = Process(*item, model);
+    response.queue_wait_us = wait_us;
+    if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
+    Finish(*item, std::move(response));
+  }
+}
+
+}  // namespace bigcity::serve

@@ -1,0 +1,186 @@
+#ifndef BIGCITY_SERVE_SERVER_H_
+#define BIGCITY_SERVE_SERVER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bigcity_model.h"
+#include "core/config.h"
+#include "core/task.h"
+#include "data/dataset.h"
+#include "serve/admission_queue.h"
+#include "serve/baseline.h"
+#include "serve/circuit_breaker.h"
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace bigcity::serve {
+
+/// Knobs of the inference serving runtime. Defaults favor determinism and
+/// small-footprint tests; bench/bench_serve.cc and `bigcity_cli serve`
+/// override them from the command line.
+struct ServeOptions {
+  /// Worker threads; each owns a private model replica so forwards never
+  /// share mutable tokenizer caches.
+  int num_workers = 2;
+
+  /// Admission queue bound; a full queue sheds with kResourceExhausted.
+  int queue_capacity = 16;
+
+  /// Deadline applied to requests that do not carry their own
+  /// (Request::deadline_ms <= 0). <= 0 disables the server default too.
+  double default_deadline_ms = 0;
+
+  /// Transient-failure retries per request (attempts = max_retries + 1).
+  int max_retries = 2;
+
+  /// First retry backoff; doubles per attempt, capped at 8x. Sleeps never
+  /// exceed the remaining deadline budget.
+  double retry_backoff_ms = 1.0;
+
+  /// Consecutive forward failures that open a task's circuit breaker.
+  int breaker_failure_threshold = 5;
+
+  /// Open-state cooldown before the breaker admits a half-open probe.
+  double breaker_cooldown_ms = 1000.0;
+
+  /// Answer breaker-rejected requests from the baseline predictor when the
+  /// task is degradable (otherwise they fail with kUnavailable).
+  bool degrade_when_breaker_open = true;
+
+  /// Degrade when the remaining deadline budget is below the observed p95
+  /// forward time (only once `latency_min_samples` forwards were seen).
+  bool degrade_on_tight_budget = true;
+  int latency_min_samples = 16;
+
+  /// Seeds the forward-latency estimator so budget degradation is testable
+  /// before any real samples exist. <= 0 leaves the estimator empty.
+  double initial_forward_estimate_us = 0;
+
+  /// Optional checkpoint loaded into every replica at Start(), with
+  /// bounded retries around transient read failures.
+  std::string checkpoint_path;
+
+  /// Attach LoRA adapters to each replica's backbone before weight copy /
+  /// checkpoint load (must match how the source weights were produced).
+  bool attach_lora = false;
+};
+
+/// Multi-threaded inference server over core::BigCityModel (DESIGN.md
+/// §4.11). The request path is
+///
+///   Submit -> [deadline] -> bounded queue -> worker: [deadline] ->
+///   validate -> [deadline] -> breaker/budget -> forward (retries) -> head
+///
+/// with explicit, typed failure at every stage: kResourceExhausted when
+/// the queue is full, kDeadlineExceeded at the three cancellation
+/// checkpoints, kInvalidArgument for malformed inputs (quarantined before
+/// they can reach a CHECK in the model), kUnavailable when retries are
+/// exhausted or a breaker rejects. Degradable tasks fall back to
+/// BaselinePredictor instead of failing when the breaker is open or the
+/// remaining budget cannot fit a p95 forward.
+///
+/// Thread safety: Submit/ServeSync may be called from any thread. Workers
+/// never share mutable model state (one replica each); the dataset is
+/// read-only.
+class InferenceServer {
+ public:
+  /// `dataset` must outlive the server. When `prototype` is non-null its
+  /// weights are copied into every replica (it must have been built with a
+  /// matching config, including LoRA attachment per options.attach_lora).
+  InferenceServer(const data::CityDataset* dataset,
+                  core::BigCityConfig model_config, ServeOptions options,
+                  const core::BigCityModel* prototype = nullptr);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Builds the worker replicas (checkpoint reload with bounded retries
+  /// when options.checkpoint_path is set) and launches the worker threads.
+  util::Status Start();
+
+  /// Drain-then-stop: closes admissions, serves what is already queued,
+  /// joins the workers. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Non-blocking admission. The future always becomes ready — shed,
+  /// expired, and failed requests resolve it with the matching error
+  /// status rather than abandoning it.
+  std::future<Response> Submit(Request request);
+
+  /// Convenience: Submit + wait.
+  Response ServeSync(Request request);
+
+  // --- Introspection (tests, bench, CLI) ---------------------------------
+
+  size_t queue_depth() const { return queue_.depth(); }
+  const ServeOptions& options() const { return options_; }
+  bool running() const { return running_; }
+
+  /// Breaker state for one task (kClosed for tasks never seen).
+  CircuitBreaker::State breaker_state(core::Task task) const;
+
+  /// Current forward-time estimate consulted by budget degradation, in
+  /// microseconds; 0 while below latency_min_samples.
+  double forward_p95_us() const;
+
+ private:
+  struct WorkItem {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  /// Sliding window of forward times; p95 over the last `kWindow` samples.
+  class LatencyEstimator {
+   public:
+    void Record(double us);
+    void Seed(double us, int copies);
+    double P95(int min_samples) const;
+
+   private:
+    static constexpr size_t kWindow = 128;
+    mutable std::mutex mu_;
+    std::vector<double> samples_;  // Ring once kWindow is reached.
+    size_t next_ = 0;
+    size_t count_ = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+  void Finish(WorkItem& item, Response response);
+  Response Process(WorkItem& item, core::BigCityModel* model);
+  util::Status ValidateRequest(const Request& request) const;
+  util::Result<nn::Tensor> RunModel(const Request& request,
+                                    core::BigCityModel* model);
+  util::Result<nn::Tensor> RunBaseline(const Request& request) const;
+  CircuitBreaker& BreakerFor(core::Task task);
+  util::Status LoadReplicaWeights(core::BigCityModel* replica) const;
+
+  const data::CityDataset* dataset_;
+  const core::BigCityConfig model_config_;
+  const ServeOptions options_;
+  const core::BigCityModel* prototype_;
+
+  BaselinePredictor baseline_;
+  AdmissionQueue<WorkItem> queue_;
+  LatencyEstimator forward_latency_;
+  std::vector<std::unique_ptr<core::BigCityModel>> replicas_;
+  std::vector<std::thread> workers_;
+  // One breaker per task, indexed by core::Task. Constructed in Start()
+  // (breaker knobs come from options_), read-only pointers afterwards.
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  bool running_ = false;
+};
+
+}  // namespace bigcity::serve
+
+#endif  // BIGCITY_SERVE_SERVER_H_

@@ -373,7 +373,10 @@ util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
                        << consecutive_bad_ << " consecutive), lr -> "
                        << optimizer_->lr();
   if (consecutive_bad_ >= config_.max_bad_steps) {
-    return util::Status::Internal(
+    // Divergence is transient-retryable by contract: RunWithRollback
+    // reloads the last good snapshot and retries, so it is kUnavailable,
+    // not kInternal (which is reserved for library bugs).
+    return util::Status::Unavailable(
         "training diverged: " + std::to_string(consecutive_bad_) +
         " consecutive non-finite steps at phase " + std::to_string(phase_) +
         " epoch " + std::to_string(epoch_));
@@ -501,7 +504,7 @@ util::Status Trainer::RunWithRollback(
   const int expected_phase = phase_;
   for (;;) {
     util::Status status = stage();
-    if (status.ok() || status.code() != util::StatusCode::kInternal) {
+    if (status.ok() || status.code() != util::StatusCode::kUnavailable) {
       return status;
     }
     // Divergence: reload the last good snapshot with an extra LR backoff.

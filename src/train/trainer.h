@@ -160,8 +160,8 @@ class Trainer {
   /// One guarded optimizer step: backward + clip + step on a finite loss
   /// (*applied = true, *loss_value = loss). On a non-finite loss or
   /// gradient norm, skips the update and backs off the LR
-  /// (*applied = false); returns a divergence (kInternal) Status after
-  /// max_bad_steps consecutive skips.
+  /// (*applied = false); returns a divergence (kUnavailable — retryable
+  /// via snapshot rollback) Status after max_bad_steps consecutive skips.
   util::Status GuardedStep(nn::Tensor batch_loss, bool* applied,
                            float* loss_value);
 

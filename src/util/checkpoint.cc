@@ -92,7 +92,9 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
 Status CheckpointWriter::Commit(const std::string& path) {
   const std::string payload = payload_.str();
   if (!payload_.good()) {
-    return Status::Internal("checkpoint payload stream in failed state");
+    // A failed stringstream almost always means allocation exhaustion.
+    return Status::ResourceExhausted(
+        "checkpoint payload stream in failed state");
   }
 
   std::string blob;

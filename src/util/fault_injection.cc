@@ -1,6 +1,8 @@
 #include "util/fault_injection.h"
 
+#include <atomic>
 #include <map>
+#include <mutex>
 
 namespace bigcity::util {
 
@@ -13,25 +15,46 @@ struct SiteState {
   int64_t param = 0;
 };
 
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
 std::map<std::string, SiteState>& Sites() {
   static std::map<std::string, SiteState> sites;
   return sites;
 }
 
+/// Number of armed sites. Fire()'s unarmed fast path is one relaxed load
+/// of this counter — no lock, no map lookup — so production code pays
+/// nothing when the harness is idle.
+std::atomic<int> g_armed{0};
+
 }  // namespace
 
 void FaultInjection::Arm(const std::string& site, int skip, int count,
                          int64_t param) {
+  std::lock_guard<std::mutex> lock(Mu());
   Sites()[site] = SiteState{skip, count, 0, param};
+  g_armed.store(static_cast<int>(Sites().size()), std::memory_order_relaxed);
 }
 
-void FaultInjection::Disarm(const std::string& site) { Sites().erase(site); }
+void FaultInjection::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Sites().erase(site);
+  g_armed.store(static_cast<int>(Sites().size()), std::memory_order_relaxed);
+}
 
-void FaultInjection::DisarmAll() { Sites().clear(); }
+void FaultInjection::DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mu());
+  Sites().clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
 
 bool FaultInjection::Fire(const std::string& site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(Mu());
   auto& sites = Sites();
-  if (sites.empty()) return false;
   auto it = sites.find(site);
   if (it == sites.end()) return false;
   SiteState& state = it->second;
@@ -46,11 +69,14 @@ bool FaultInjection::Fire(const std::string& site) {
 }
 
 int64_t FaultInjection::Param(const std::string& site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return 0;
+  std::lock_guard<std::mutex> lock(Mu());
   auto it = Sites().find(site);
   return it == Sites().end() ? 0 : it->second.param;
 }
 
 int FaultInjection::FireCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mu());
   auto it = Sites().find(site);
   return it == Sites().end() ? 0 : it->second.fired;
 }

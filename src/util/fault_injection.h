@@ -14,9 +14,12 @@ namespace bigcity::util {
 /// skipping the first `skip` hits and firing on the following `count`
 /// hits, plus one integer parameter (byte offsets, truncation lengths).
 ///
-/// With no armed sites the Fire() check is a single empty-map test, so the
-/// harness costs nothing in normal runs. State is process-global and meant
-/// for single-threaded tests; arming is never enabled implicitly.
+/// Thread safety: all operations are safe to call concurrently (the serve
+/// runtime fires sites from several worker threads at once). With no armed
+/// sites the Fire() check is a single relaxed atomic load, so the harness
+/// costs nothing in normal runs; armed sites take a mutex so skip/count
+/// accounting stays exact under concurrency. Arming is never enabled
+/// implicitly.
 class FaultInjection {
  public:
   /// Arms `site`: after `skip` hits, the next `count` hits fire.
@@ -72,6 +75,27 @@ inline constexpr char kFaultTrainerNanGrad[] = "trainer.step.nan_grad";
 /// Trainer epoch boundary (after the snapshot is written): abort the run,
 /// simulating a kill between epochs.
 inline constexpr char kFaultTrainerInterrupt[] = "trainer.epoch.interrupt";
+
+// Serve-runtime sites (src/serve, DESIGN.md §4.11). The three deadline
+// sites force the matching cancellation checkpoint to treat the request's
+// deadline as already expired, so each early-exit path is testable without
+// real clock races.
+/// Serve worker: park after dequeuing a request until the site is
+/// disarmed (worker occupancy control for queue-full shed tests).
+inline constexpr char kFaultServeWorkerHold[] = "serve.worker.hold";
+/// Pre-queue admission checkpoint reports deadline expiry.
+inline constexpr char kFaultServeExpireAtAdmit[] = "serve.deadline.admit";
+/// Pre-tokenize (post-dequeue) checkpoint reports deadline expiry.
+inline constexpr char kFaultServeExpireAtTokenize[] =
+    "serve.deadline.tokenize";
+/// Pre-forward checkpoint reports deadline expiry.
+inline constexpr char kFaultServeExpireAtForward[] = "serve.deadline.forward";
+/// Tokenize stage: transient (retryable) failure.
+inline constexpr char kFaultServeTokenizeFail[] = "serve.tokenize.fail";
+/// Forward stage: transient (retryable) failure.
+inline constexpr char kFaultServeForwardFail[] = "serve.forward.fail";
+/// Replica checkpoint reload at server start: transient failure.
+inline constexpr char kFaultServeReloadFail[] = "serve.reload.fail";
 
 }  // namespace bigcity::util
 

@@ -18,6 +18,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kUnavailable,
+  kResourceExhausted,
 };
 
 /// Lightweight absl-style status for fallible operations. Invariant errors
@@ -49,6 +52,19 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  /// A request missed its deadline; partial work was abandoned.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A transient failure: retrying the same operation may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// A bounded resource (queue slot, memory, stream) is exhausted; the
+  /// caller should shed load or back off rather than wait.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -69,6 +85,9 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kInternal: return "INTERNAL";
       case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     }
     return "UNKNOWN";
   }

@@ -79,6 +79,10 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   }
   BIGCITY_COUNTER_INC("threadpool.jobs.pooled");
   BIGCITY_COUNTER_ADD("threadpool.chunks", chunks);
+  // One pooled job at a time: concurrent callers queue here in arrival
+  // order. The inline path above stays lock-free (it touches no shared
+  // job state), so single-threaded pools never contend.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
   std::unique_lock<std::mutex> lock(mu_);
 #if BIGCITY_OBS
   job_post_us_ = obs::TracingEnabled() ? obs::TraceNowMicros() : 0;

@@ -33,7 +33,10 @@ class ThreadPool {
 
   /// Runs fn(chunk_begin, chunk_end) for every grain-sized chunk of
   /// [begin, end). Blocks until all chunks finish. Not reentrant: fn must
-  /// not call ParallelFor on the same pool.
+  /// not call ParallelFor on the same pool. Safe to call from multiple
+  /// threads concurrently: callers serialize on a submit mutex, so jobs
+  /// run one at a time in caller-arrival order (the serve runtime's
+  /// worker threads all forward through the one global pool).
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
 
@@ -45,6 +48,12 @@ class ThreadPool {
 
   const int num_threads_;
   std::vector<std::thread> workers_;
+
+  /// Serializes concurrent ParallelFor callers: the job fields below
+  /// describe exactly one in-flight job, so a second caller must wait for
+  /// the first to drain before posting. Held across the whole pooled
+  /// submission; never touched by pool workers (no deadlock).
+  std::mutex submit_mu_;
 
   std::mutex mu_;  // Guards every field below.
   std::condition_variable work_cv_;  // Signals a new job (or shutdown).

@@ -245,5 +245,80 @@ TEST_F(CoreTest, TextLmLogitsShape) {
   EXPECT_EQ(logits.shape()[1], tokenizer.vocab_size());
 }
 
+// --- Validated (Try*) inference entry points --------------------------------
+
+TEST_F(CoreTest, TryNextHopMatchesDirectCallBitwise) {
+  const data::Trajectory& trajectory = AnyTrajectory();
+  auto result = model_->TryNextHopLogits(trajectory);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  model_->BeginStep();
+  nn::Tensor direct = model_->NextHopLogits(model_->ClipTrajectory(trajectory));
+  ASSERT_EQ(result.value().shape(), direct.shape());
+  EXPECT_EQ(result.value().data(), direct.data());
+}
+
+TEST_F(CoreTest, TryEntryPointsRejectCorruptTrajectory) {
+  data::Trajectory corrupt = AnyTrajectory();
+  corrupt.points[1].segment = dataset_->network().num_segments() + 3;
+  EXPECT_EQ(model_->TryNextHopLogits(corrupt).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_->TryTravelTimeDeltas(corrupt).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_->TryClassifyLogits(corrupt).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_->TryEmbed(corrupt).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  data::Trajectory backwards = AnyTrajectory();
+  backwards.points[2].timestamp = backwards.points[1].timestamp - 10.0;
+  EXPECT_EQ(model_->TryTravelTimeDeltas(backwards).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, TryRecoverValidatesKeptIndices) {
+  data::Trajectory trajectory = AnyTrajectory(6);
+  // Recovery bounds length by max_trajectory_tokens instead of clipping.
+  if (trajectory.length() > 10) trajectory.points.resize(10);
+  // Valid: endpoints kept, interior masked.
+  auto ok = model_->TryRecoverLogits(trajectory,
+                                     {0, trajectory.length() - 1});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().shape()[0],
+            static_cast<int64_t>(trajectory.length() - 2));
+
+  EXPECT_EQ(model_->TryRecoverLogits(trajectory, {0}).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      model_->TryRecoverLogits(trajectory, {0, trajectory.length()})
+          .status()
+          .code(),
+      util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_->TryRecoverLogits(trajectory, {3, 1}).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoreTest, TryTrafficEntryPointsValidateWindows) {
+  auto ok = model_->TryPredictTraffic(0, 0, 2);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().shape()[0], 2);
+
+  EXPECT_EQ(model_->TryPredictTraffic(0, 0, 0).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_->TryPredictTraffic(-1, 0, 1).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_
+                ->TryPredictTraffic(0, dataset_->traffic().num_slices(), 1)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+
+  auto imputed = model_->TryImputeTraffic(0, 0, 8, {2, 5});
+  ASSERT_TRUE(imputed.ok()) << imputed.status().ToString();
+  EXPECT_EQ(model_->TryImputeTraffic(0, 0, 8, {}).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(model_->TryImputeTraffic(0, 0, 8, {8}).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace bigcity::core

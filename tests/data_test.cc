@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "data/dataset.h"
 #include "data/masking.h"
+#include "data/validate.h"
 #include "data/st_unit.h"
 #include "data/traffic_aggregator.h"
 #include "data/trajectory_generator.h"
@@ -277,6 +279,90 @@ TEST(DatasetTest, PresetsDiffer) {
   EXPECT_TRUE(xa.has_dynamic_features);
   EXPECT_NE(bj.city.grid_width, xa.city.grid_width);
   EXPECT_NE(xa.city.seed, cd.city.seed);
+}
+
+// --- Ingestion validation (DESIGN.md §4.11) ---------------------------------
+//
+// Regression: a corrupt trajectory used to sail through ingestion and
+// CHECK-abort deep inside the road-network layer. The validators must catch
+// it at the boundary with kInvalidArgument instead.
+
+TEST(ValidateTest, AcceptsWellFormedTrajectory) {
+  Trajectory trajectory;
+  trajectory.points = {{0, 0.0}, {1, 30.0}, {2, 30.0}, {3, 95.5}};
+  EXPECT_TRUE(ValidateTrajectory(trajectory, /*num_segments=*/10).ok());
+}
+
+TEST(ValidateTest, RejectsEmptyTrajectory) {
+  Trajectory trajectory;
+  EXPECT_EQ(ValidateTrajectory(trajectory, 10).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsOutOfRangeSegmentIds) {
+  Trajectory trajectory;
+  trajectory.points = {{0, 0.0}, {10, 1.0}};  // == num_segments: out of range.
+  EXPECT_EQ(ValidateTrajectory(trajectory, 10).code(),
+            util::StatusCode::kInvalidArgument);
+  trajectory.points = {{-1, 0.0}, {1, 1.0}};
+  EXPECT_EQ(ValidateTrajectory(trajectory, 10).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsNonMonotoneTimestamps) {
+  Trajectory trajectory;
+  trajectory.points = {{0, 50.0}, {1, 49.0}};
+  EXPECT_EQ(ValidateTrajectory(trajectory, 10).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsNonFiniteTimestamps) {
+  Trajectory trajectory;
+  trajectory.points = {{0, std::numeric_limits<double>::quiet_NaN()},
+                       {1, 1.0}};
+  EXPECT_EQ(ValidateTrajectory(trajectory, 10).code(),
+            util::StatusCode::kInvalidArgument);
+  trajectory.points = {{0, 0.0},
+                       {1, std::numeric_limits<double>::infinity()}};
+  EXPECT_EQ(ValidateTrajectory(trajectory, 10).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, CorpusValidationNamesOffendingTrip) {
+  Trajectory good;
+  good.points = {{0, 0.0}, {1, 1.0}};
+  Trajectory bad;
+  bad.points = {{0, 0.0}, {99, 1.0}};
+  util::Status status = ValidateTrajectories({good, good, bad}, 10);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trip 2"), std::string::npos);
+}
+
+TEST(ValidateTest, GeneratedCorpusIsValid) {
+  auto config = ScaleConfig(XianLikeConfig(), 0.05);
+  config.city.grid_width = 4;
+  config.city.grid_height = 4;
+  CityDataset dataset(config);
+  EXPECT_TRUE(ValidateTrajectories(dataset.train(),
+                                   dataset.network().num_segments())
+                  .ok());
+}
+
+TEST(ValidateTest, TrafficWindowBounds) {
+  TrafficStateSeries series(/*num_slices=*/24, /*num_segments=*/5,
+                            /*slice_seconds=*/300.0);
+  EXPECT_TRUE(ValidateTrafficWindow(series, 0, 0, 24).ok());
+  EXPECT_TRUE(ValidateTrafficWindow(series, 4, 12, 12).ok());
+  EXPECT_EQ(ValidateTrafficWindow(series, 5, 0, 1).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateTrafficWindow(series, -1, 0, 1).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateTrafficWindow(series, 0, 20, 5).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateTrafficWindow(series, 0, -1, 2).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateTrafficWindow(series, 0, 0, 0).code(),
+            util::StatusCode::kInvalidArgument);
 }
 
 }  // namespace

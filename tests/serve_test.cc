@@ -1,0 +1,618 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/bigcity_model.h"
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "serve/admission_queue.h"
+#include "serve/baseline.h"
+#include "serve/circuit_breaker.h"
+#include "serve/server.h"
+#include "util/fault_injection.h"
+
+namespace bigcity::serve {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+/// Shared tiny dataset + prototype model (weights copied into server
+/// replicas), built once for the suite.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = data::ScaleConfig(data::XianLikeConfig(), 0.1);
+    config.city.grid_width = 5;
+    config.city.grid_height = 5;
+    dataset_ = new data::CityDataset(config);
+    model_config_.d_model = 32;
+    model_config_.num_heads = 2;
+    model_config_.num_layers = 1;
+    model_config_.spatial_dim = 16;
+    model_config_.gat_hidden = 16;
+    prototype_ = new core::BigCityModel(dataset_, model_config_);
+  }
+  static void TearDownTestSuite() {
+    delete prototype_;
+    delete dataset_;
+    prototype_ = nullptr;
+    dataset_ = nullptr;
+  }
+  void TearDown() override { util::FaultInjection::DisarmAll(); }
+
+  static const data::Trajectory& AnyTrajectory(int min_len = 5) {
+    for (const auto& t : dataset_->train()) {
+      if (t.length() >= min_len) return t;
+    }
+    return dataset_->train().front();
+  }
+
+  static ServeOptions FastOptions() {
+    ServeOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = 8;
+    options.retry_backoff_ms = 0.1;
+    return options;
+  }
+
+  static Request NextHopRequest() {
+    Request request;
+    request.task = core::Task::kNextHop;
+    request.trajectory = AnyTrajectory();
+    return request;
+  }
+
+  static data::CityDataset* dataset_;
+  static core::BigCityConfig model_config_;
+  static core::BigCityModel* prototype_;
+};
+
+data::CityDataset* ServeTest::dataset_ = nullptr;
+core::BigCityConfig ServeTest::model_config_;
+core::BigCityModel* ServeTest::prototype_ = nullptr;
+
+// --- Admission queue / circuit breaker units --------------------------------
+
+TEST(AdmissionQueueTest, ShedsWhenFullAndDrainsOnClose) {
+  AdmissionQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // Full: shed.
+  EXPECT_EQ(queue.depth(), 2u);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(4));  // Closed: shed.
+  // Items queued before Close() still drain.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());  // Closed + drained.
+}
+
+TEST(CircuitBreakerTest, OpensAfterThresholdAndProbesAfterCooldown) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CircuitBreaker breaker(/*failure_threshold=*/2, /*cooldown_ms=*/10);
+  EXPECT_EQ(breaker.Admit(t0), CircuitBreaker::Decision::kAllow);
+  EXPECT_FALSE(breaker.RecordFailure(t0));
+  EXPECT_TRUE(breaker.RecordFailure(t0));  // Threshold hit: opens.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.Admit(t0), CircuitBreaker::Decision::kReject);
+  // After the cooldown one probe is admitted; concurrent requests reject.
+  const auto t1 = t0 + std::chrono::milliseconds(11);
+  EXPECT_EQ(breaker.Admit(t1), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.Admit(t1), CircuitBreaker::Decision::kReject);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.Admit(t1), CircuitBreaker::Decision::kAllow);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CircuitBreaker breaker(1, 10);
+  EXPECT_TRUE(breaker.RecordFailure(t0));
+  const auto t1 = t0 + std::chrono::milliseconds(11);
+  EXPECT_EQ(breaker.Admit(t1), CircuitBreaker::Decision::kProbe);
+  EXPECT_TRUE(breaker.RecordFailure(t1));  // Probe failed: re-opens.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.Admit(t1 + std::chrono::milliseconds(1)),
+            CircuitBreaker::Decision::kReject);
+}
+
+// --- Happy path -------------------------------------------------------------
+
+TEST_F(ServeTest, ResponseBitIdenticalToDirectForward) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  Request request = NextHopRequest();
+  request.id = 42;
+  Response response = server.ServeSync(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.outcome, Outcome::kOk);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_EQ(response.id, 42u);
+  EXPECT_EQ(response.retries, 0);
+
+  prototype_->BeginStep();
+  nn::Tensor expected = prototype_->NextHopLogits(
+      prototype_->ClipTrajectory(request.trajectory));
+  ASSERT_EQ(response.output.shape(), expected.shape());
+  const auto& got = response.output.data();
+  const auto& want = expected.data();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    // Bit-identical, not approximately equal: the serving path must not
+    // perturb the numerics.
+    EXPECT_EQ(got[i], want[i]) << "at " << i;
+  }
+}
+
+TEST_F(ServeTest, ServesEveryTask) {
+  ServeOptions options = FastOptions();
+  options.num_workers = 2;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  data::Trajectory trajectory = AnyTrajectory();
+  // Recovery rejects trajectories beyond max_trajectory_tokens; keep the
+  // shared trajectory short enough for every task.
+  if (trajectory.length() > 10) trajectory.points.resize(10);
+  std::vector<Request> requests;
+  for (core::Task task :
+       {core::Task::kNextHop, core::Task::kTravelTimeEstimation,
+        core::Task::kTrajClassification, core::Task::kMostSimilarSearch,
+        core::Task::kTrafficOneStep, core::Task::kTrafficMultiStep,
+        core::Task::kTrafficImputation, core::Task::kTrajRecovery}) {
+    Request request;
+    request.task = task;
+    request.trajectory = trajectory;
+    request.horizon = 2;
+    request.window = 8;
+    request.masked = {2, 5};
+    if (task == core::Task::kTrajRecovery) {
+      request.kept = {0, trajectory.length() - 1};
+    }
+    requests.push_back(std::move(request));
+  }
+  std::vector<std::future<Response>> futures;
+  for (auto& request : requests) futures.push_back(server.Submit(request));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    EXPECT_TRUE(response.status.ok())
+        << "task " << i << ": " << response.status.ToString();
+    EXPECT_TRUE(response.output.is_valid());
+  }
+}
+
+// --- Load shedding ----------------------------------------------------------
+
+TEST_F(ServeTest, FullQueueShedsWithResourceExhausted) {
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 1;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t shed_before = CounterValue("serve.shed");
+  util::ScopedFault hold(util::kFaultServeWorkerHold, 0, 1, /*param=*/1);
+
+  // First request: dequeued, worker parks on the hold site.
+  std::future<Response> parked = server.Submit(NextHopRequest());
+  while (hold.fire_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Second request occupies the single queue slot; third must shed.
+  std::future<Response> queued = server.Submit(NextHopRequest());
+  Response shed = server.ServeSync(NextHopRequest());
+  EXPECT_EQ(shed.status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.outcome, Outcome::kShed);
+  EXPECT_FALSE(shed.output.is_valid());
+  EXPECT_EQ(CounterValue("serve.shed"), shed_before + 1);
+  EXPECT_GT(hold.fire_count(), 0);
+
+  util::FaultInjection::Disarm(util::kFaultServeWorkerHold);  // Release.
+  EXPECT_TRUE(parked.get().status.ok());
+  EXPECT_TRUE(queued.get().status.ok());
+}
+
+TEST_F(ServeTest, StoppedServerSheds) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  Response response = server.ServeSync(NextHopRequest());
+  EXPECT_EQ(response.status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.outcome, Outcome::kShed);
+}
+
+// --- Deadlines --------------------------------------------------------------
+
+TEST_F(ServeTest, DeadlineExpiryAtEveryCheckpoint) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  struct Case {
+    const char* site;
+    const char* counter;
+  };
+  const Case cases[] = {
+      {util::kFaultServeExpireAtAdmit, "serve.deadline.pre_queue"},
+      {util::kFaultServeExpireAtTokenize, "serve.deadline.pre_tokenize"},
+      {util::kFaultServeExpireAtForward, "serve.deadline.pre_forward"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.site);
+    const uint64_t before = CounterValue(c.counter);
+    util::ScopedFault expire(c.site);
+    Response response = server.ServeSync(NextHopRequest());
+    EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(response.outcome, Outcome::kDeadline);
+    EXPECT_FALSE(response.output.is_valid());
+    EXPECT_EQ(CounterValue(c.counter), before + 1);
+    EXPECT_GT(expire.fire_count(), 0);
+  }
+  // The fault checkpoints did not wedge anything: a normal request works.
+  EXPECT_TRUE(server.ServeSync(NextHopRequest()).status.ok());
+}
+
+TEST_F(ServeTest, RealDeadlineExpiresQueuedRequest) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Park the worker so the request's budget burns down in the queue; the
+  // pre-tokenize checkpoint must then fire on the real clock.
+  util::ScopedFault hold(util::kFaultServeWorkerHold, 0, 1, /*param=*/1);
+  std::future<Response> parked = server.Submit(NextHopRequest());
+  while (hold.fire_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Request doomed = NextHopRequest();
+  doomed.deadline_ms = 5;
+  std::future<Response> future = server.Submit(doomed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  util::FaultInjection::Disarm(util::kFaultServeWorkerHold);
+
+  EXPECT_TRUE(parked.get().status.ok());
+  Response response = future.get();
+  EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.outcome, Outcome::kDeadline);
+}
+
+// --- Retries and circuit breaking -------------------------------------------
+
+TEST_F(ServeTest, TransientForwardFaultRetriesThenSucceeds) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t retries_before = CounterValue("serve.retries");
+  util::ScopedFault fault(util::kFaultServeForwardFail, 0, /*count=*/2);
+  Response response = server.ServeSync(NextHopRequest());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.retries, 2);
+  EXPECT_FALSE(response.degraded);
+  EXPECT_TRUE(response.output.is_valid());
+  EXPECT_EQ(CounterValue("serve.retries"), retries_before + 2);
+  EXPECT_EQ(fault.fire_count(), 2);
+  EXPECT_EQ(server.breaker_state(core::Task::kNextHop),
+            CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ServeTest, TransientTokenizeFaultRetriesThenSucceeds) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  util::ScopedFault fault(util::kFaultServeTokenizeFail, 0, 1);
+  Response response = server.ServeSync(NextHopRequest());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.retries, 1);
+  EXPECT_EQ(fault.fire_count(), 1);
+}
+
+TEST_F(ServeTest, ExhaustedRetriesOpenBreakerThenDegrade) {
+  ServeOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_ms = 60000;  // Stays open for the whole test.
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t failures_before = CounterValue("serve.failures");
+  const uint64_t opened_before = CounterValue("serve.breaker.opened");
+  const uint64_t degraded_before = CounterValue("serve.degraded.breaker");
+  util::ScopedFault fault(util::kFaultServeForwardFail, 0, /*count=*/2);
+  for (int i = 0; i < 2; ++i) {
+    Response response = server.ServeSync(NextHopRequest());
+    EXPECT_EQ(response.status.code(), util::StatusCode::kUnavailable);
+    EXPECT_EQ(response.outcome, Outcome::kFailed);
+  }
+  EXPECT_EQ(fault.fire_count(), 2);
+  EXPECT_EQ(CounterValue("serve.failures"), failures_before + 2);
+  EXPECT_EQ(CounterValue("serve.breaker.opened"), opened_before + 1);
+  EXPECT_EQ(server.breaker_state(core::Task::kNextHop),
+            CircuitBreaker::State::kOpen);
+
+  // Breaker open + degradable task: answered by the baseline, marked
+  // degraded, status still OK.
+  Request request = NextHopRequest();
+  Response degraded = server.ServeSync(request);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_EQ(degraded.outcome, Outcome::kDegraded);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(CounterValue("serve.degraded.breaker"), degraded_before + 1);
+
+  BaselinePredictor baseline(dataset_);
+  nn::Tensor expected = baseline.NextHopScores(request.trajectory);
+  ASSERT_EQ(degraded.output.shape(), expected.shape());
+  EXPECT_EQ(degraded.output.data(), expected.data());
+}
+
+TEST_F(ServeTest, BreakerRejectsNonDegradableTask) {
+  ServeOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_ms = 60000;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  Request request;
+  request.task = core::Task::kMostSimilarSearch;  // No baseline fallback.
+  request.trajectory = AnyTrajectory();
+  {
+    util::ScopedFault fault(util::kFaultServeForwardFail, 0, 1);
+    EXPECT_EQ(server.ServeSync(request).outcome, Outcome::kFailed);
+    EXPECT_EQ(fault.fire_count(), 1);
+  }
+  const uint64_t rejected_before = CounterValue("serve.breaker.rejected");
+  Response response = server.ServeSync(request);
+  EXPECT_EQ(response.status.code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(response.outcome, Outcome::kRejected);
+  EXPECT_EQ(CounterValue("serve.breaker.rejected"), rejected_before + 1);
+}
+
+TEST_F(ServeTest, HalfOpenProbeClosesBreakerOnSuccess) {
+  ServeOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_ms = 0;  // Next admit is already a probe.
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    util::ScopedFault fault(util::kFaultServeForwardFail, 0, 1);
+    EXPECT_EQ(server.ServeSync(NextHopRequest()).outcome, Outcome::kFailed);
+  }
+  EXPECT_EQ(server.breaker_state(core::Task::kNextHop),
+            CircuitBreaker::State::kOpen);
+  const uint64_t probes_before = CounterValue("serve.breaker.probes");
+  Response probe = server.ServeSync(NextHopRequest());
+  ASSERT_TRUE(probe.status.ok()) << probe.status.ToString();
+  EXPECT_FALSE(probe.degraded);
+  EXPECT_EQ(CounterValue("serve.breaker.probes"), probes_before + 1);
+  EXPECT_EQ(server.breaker_state(core::Task::kNextHop),
+            CircuitBreaker::State::kClosed);
+}
+
+// --- Graceful degradation on tight budgets ----------------------------------
+
+TEST_F(ServeTest, TightBudgetDegradesToBaseline) {
+  ServeOptions options = FastOptions();
+  options.degrade_on_tight_budget = true;
+  options.latency_min_samples = 4;
+  // Seeded p95 far above any real deadline: every deadlined degradable
+  // request takes the baseline path.
+  options.initial_forward_estimate_us = 1e9;
+  options.default_deadline_ms = 200;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.forward_p95_us(), 0);
+
+  const uint64_t degraded_before = CounterValue("serve.degraded.budget");
+  Request request;
+  request.task = core::Task::kTrafficMultiStep;
+  request.segment = 3;
+  request.start_slice = 0;
+  request.horizon = 2;
+  Response response = server.ServeSync(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.outcome, Outcome::kDegraded);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(CounterValue("serve.degraded.budget"), degraded_before + 1);
+
+  BaselinePredictor baseline(dataset_);
+  nn::Tensor expected =
+      baseline.PredictTraffic(request.segment, request.start_slice,
+                              model_config_.traffic_input_steps,
+                              request.horizon);
+  EXPECT_EQ(response.output.data(), expected.data());
+
+  // A request without any deadline is exempt from budget degradation even
+  // with the same inflated p95 estimate.
+  ServeOptions no_default = options;
+  no_default.default_deadline_ms = 0;
+  InferenceServer full_server(dataset_, model_config_, no_default,
+                              prototype_);
+  ASSERT_TRUE(full_server.Start().ok());
+  Response full = full_server.ServeSync(request);
+  ASSERT_TRUE(full.status.ok()) << full.status.ToString();
+  EXPECT_FALSE(full.degraded);
+}
+
+// --- Quarantine -------------------------------------------------------------
+
+TEST_F(ServeTest, MalformedRequestsAreQuarantined) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t quarantined_before = CounterValue("serve.quarantined");
+  std::vector<Request> corrupt;
+
+  {  // Unknown segment id.
+    Request request = NextHopRequest();
+    request.trajectory.points[1].segment =
+        dataset_->network().num_segments() + 7;
+    corrupt.push_back(std::move(request));
+  }
+  {  // Non-monotone timestamps.
+    Request request = NextHopRequest();
+    request.trajectory.points[2].timestamp =
+        request.trajectory.points[1].timestamp - 100.0;
+    corrupt.push_back(std::move(request));
+  }
+  {  // NaN timestamp.
+    Request request = NextHopRequest();
+    request.trajectory.points[0].timestamp =
+        std::numeric_limits<double>::quiet_NaN();
+    corrupt.push_back(std::move(request));
+  }
+  {  // Traffic window past the end of the series.
+    Request request;
+    request.task = core::Task::kTrafficOneStep;
+    request.segment = 0;
+    request.start_slice = dataset_->traffic().num_slices();
+    corrupt.push_back(std::move(request));
+  }
+  {  // Imputation mask outside the window.
+    Request request;
+    request.task = core::Task::kTrafficImputation;
+    request.segment = 0;
+    request.window = 8;
+    request.masked = {9};
+    corrupt.push_back(std::move(request));
+  }
+
+  for (size_t i = 0; i < corrupt.size(); ++i) {
+    SCOPED_TRACE(i);
+    Response response = server.ServeSync(corrupt[i]);
+    EXPECT_EQ(response.status.code(), util::StatusCode::kInvalidArgument);
+    EXPECT_EQ(response.outcome, Outcome::kQuarantined);
+    EXPECT_FALSE(response.output.is_valid());
+  }
+  EXPECT_EQ(CounterValue("serve.quarantined"),
+            quarantined_before + corrupt.size());
+  // Quarantine never trips the breaker and never kills the worker.
+  EXPECT_EQ(server.breaker_state(core::Task::kNextHop),
+            CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(server.ServeSync(NextHopRequest()).status.ok());
+}
+
+// --- Replica checkpoint reload ----------------------------------------------
+
+TEST_F(ServeTest, ReplicaReloadRetriesTransientFaults) {
+  const std::string path =
+      ::testing::TempDir() + "/serve_reload_weights.bin";
+  ASSERT_TRUE(prototype_->SaveStateToFile(path).ok());
+
+  ServeOptions options = FastOptions();
+  options.checkpoint_path = path;
+  const uint64_t retries_before = CounterValue("serve.reload.retries");
+  {
+    util::ScopedFault fault(util::kFaultServeReloadFail, 0, 1);
+    InferenceServer server(dataset_, model_config_, options);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(fault.fire_count(), 1);
+    EXPECT_GE(CounterValue("serve.reload.retries"), retries_before + 1);
+    // The reloaded replica serves results identical to the prototype.
+    Request request = NextHopRequest();
+    Response response = server.ServeSync(request);
+    ASSERT_TRUE(response.status.ok());
+    prototype_->BeginStep();
+    nn::Tensor expected = prototype_->NextHopLogits(
+        prototype_->ClipTrajectory(request.trajectory));
+    EXPECT_EQ(response.output.data(), expected.data());
+  }
+  {
+    // Persistent reload failure exhausts retries and fails Start().
+    util::ScopedFault fault(util::kFaultServeReloadFail, 0, 100);
+    InferenceServer server(dataset_, model_config_, options);
+    util::Status status = server.Start();
+    EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+    EXPECT_GT(fault.fire_count(), 1);
+  }
+  std::remove(path.c_str());
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+TEST_F(ServeTest, ConcurrentMixedLoadStress) {
+  ServeOptions options = FastOptions();
+  options.num_workers = 4;
+  options.queue_capacity = 64;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 12;
+  std::atomic<int> ok{0}, degraded{0}, shed{0}, deadline{0}, quarantined{0},
+      other{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<Response>> futures;
+      for (int i = 0; i < kPerClient; ++i) {
+        Request request;
+        switch ((c + i) % 4) {
+          case 0:  // Valid trajectory task.
+            request = NextHopRequest();
+            break;
+          case 1:  // Valid traffic task.
+            request.task = core::Task::kTrafficOneStep;
+            request.segment = (c * kPerClient + i) %
+                              dataset_->network().num_segments();
+            break;
+          case 2:  // Corrupt: unknown segment.
+            request = NextHopRequest();
+            request.trajectory.points[0].segment = -5;
+            break;
+          case 3:  // Deadline-doomed.
+            request = NextHopRequest();
+            request.deadline_ms = 1e-6;
+            break;
+        }
+        futures.push_back(server.Submit(std::move(request)));
+      }
+      for (auto& future : futures) {
+        Response response = future.get();
+        switch (response.outcome) {
+          case Outcome::kOk: ++ok; break;
+          case Outcome::kDegraded: ++degraded; break;
+          case Outcome::kShed: ++shed; break;
+          case Outcome::kDeadline: ++deadline; break;
+          case Outcome::kQuarantined: ++quarantined; break;
+          default: ++other; break;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  server.Stop();
+
+  EXPECT_EQ(ok + degraded + shed + deadline + quarantined + other,
+            kClients * kPerClient);
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(quarantined, kClients * kPerClient / 4);
+  EXPECT_EQ(deadline, kClients * kPerClient / 4);
+  EXPECT_GT(ok.load(), 0);
+}
+
+TEST_F(ServeTest, StopDrainsQueuedRequests) {
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 16;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.Submit(NextHopRequest()));
+  server.Stop();  // Drain-then-stop: every future must be resolved.
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace bigcity::serve

@@ -346,7 +346,7 @@ TEST(ResilienceTest, DivergenceWithoutCheckpointDirFailsCleanly) {
                              /*count=*/2);
   const util::Status status = trainer.RunAll();
   ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
   EXPECT_NE(status.message().find("diverged"), std::string::npos);
 }
 

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "util/fault_injection.h"
 #include "util/io.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -22,6 +26,20 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
   EXPECT_EQ(s.message(), "missing thing");
   EXPECT_NE(s.ToString().find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(StatusTest, ServingCodesRoundTrip) {
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(deadline.ToString().find("DEADLINE_EXCEEDED"),
+            std::string::npos);
+  const Status unavailable = Status::Unavailable("try again");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_NE(unavailable.ToString().find("UNAVAILABLE"), std::string::npos);
+  const Status exhausted = Status::ResourceExhausted("queue full");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(exhausted.ToString().find("RESOURCE_EXHAUSTED"),
+            std::string::npos);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -132,6 +150,58 @@ TEST(IoTest, TruncatedStreamFails) {
   WriteU64(stream, 10);  // Claims 10 floats but provides none.
   std::vector<float> v;
   EXPECT_FALSE(ReadFloatVector(stream, &v).ok());
+}
+
+TEST(FaultInjectionTest, UnarmedSiteNeverFires) {
+  FaultInjection::DisarmAll();
+  EXPECT_FALSE(FaultInjection::Fire("never.armed"));
+  EXPECT_EQ(FaultInjection::Param("never.armed"), 0);
+  EXPECT_EQ(FaultInjection::FireCount("never.armed"), 0);
+}
+
+TEST(FaultInjectionTest, SkipAndCountAreExact) {
+  ScopedFault fault("util.test.site", /*skip=*/2, /*count=*/3, /*param=*/9);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (FaultInjection::Fire("util.test.site")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fault.fire_count(), 3);
+  EXPECT_EQ(FaultInjection::Param("util.test.site"), 9);
+}
+
+// The serve runtime fires sites from several worker threads at once; the
+// skip/count budget must be consumed exactly once per firing regardless of
+// interleaving.
+TEST(FaultInjectionTest, ConcurrentFiringConsumesExactBudget) {
+  constexpr int kThreads = 8;
+  constexpr int kAttemptsPerThread = 200;
+  constexpr int kCount = 100;
+  ScopedFault fault("util.test.concurrent", /*skip=*/50, kCount);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        if (FaultInjection::Fire("util.test.concurrent")) fired++;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // 1600 attempts against skip=50 count=100: exactly 100 fire.
+  EXPECT_EQ(fired.load(), kCount);
+  EXPECT_EQ(fault.fire_count(), kCount);
+}
+
+TEST(FaultInjectionTest, DisarmAllResetsEverything) {
+  FaultInjection::Arm("util.test.a", 0, 5);
+  FaultInjection::Arm("util.test.b", 0, 5, 7);
+  EXPECT_TRUE(FaultInjection::Fire("util.test.a"));
+  FaultInjection::DisarmAll();
+  EXPECT_FALSE(FaultInjection::Fire("util.test.a"));
+  EXPECT_FALSE(FaultInjection::Fire("util.test.b"));
+  EXPECT_EQ(FaultInjection::Param("util.test.b"), 0);
 }
 
 }  // namespace

@@ -7,19 +7,27 @@
 //       Run the full two-stage training pipeline and checkpoint the model.
 //   eval     --city XA --scale 0.5 --load model.bin
 //       Evaluate a checkpoint on all eight tasks and print a report.
+//   serve    --city XA --scale 0.5 --requests trips.csv [--task next]
+//       Drive the resilient inference server with a trajectory request
+//       file and print an outcome/latency summary.
 //
-// The --city/--scale pair must match between train and eval (the model's
-// label space is city-specific).
+// The --city/--scale pair must match between train and eval/serve (the
+// model's label space is city-specific).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
+#include <algorithm>
+#include <future>
+#include <vector>
+
 #include "core/bigcity_model.h"
 #include "data/csv_io.h"
 #include "data/dataset.h"
 #include "obs/obs.h"
+#include "serve/server.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "util/table_printer.h"
@@ -44,11 +52,17 @@ struct CliOptions {
   std::string metrics_out;  // metrics-registry snapshot JSON.
   std::string profile_out;  // autograd op profile: table on stdout + JSON.
   int health_every = 0;     // train: health record every N applied steps.
+  // Serving (DESIGN.md §4.11).
+  std::string requests;       // serve: trajectory CSV driving the request mix.
+  std::string serve_task = "next";  // next | tte | class | embed.
+  int workers = 2;
+  int queue_capacity = 16;
+  double deadline_ms = 0;     // <= 0: no per-request deadline.
 };
 
 void PrintUsage() {
   std::printf(
-      "usage: bigcity_cli <generate|train|eval> [options]\n"
+      "usage: bigcity_cli <generate|train|eval|serve> [options]\n"
       "  --city BJ|XA|CD   city preset (default XA)\n"
       "  --scale F         trajectory-count scale factor (default 0.5)\n"
       "  --out PATH        generate: CSV output path\n"
@@ -67,7 +81,12 @@ void PrintUsage() {
       "  --profile PATH    profile autograd ops (forward + backward): print\n"
       "                    a per-op/per-module table and write it as JSON\n"
       "  --health-every N  train: per-layer gradient/update telemetry every\n"
-      "                    N applied steps, written to the run report\n");
+      "                    N applied steps, written to the run report\n"
+      "  --requests PATH   serve: trajectory CSV (see generate) to replay\n"
+      "  --task NAME       serve: next|tte|class|embed (default next)\n"
+      "  --workers N       serve: worker threads / model replicas (default 2)\n"
+      "  --queue N         serve: admission queue capacity (default 16)\n"
+      "  --deadline-ms F   serve: per-request deadline; 0 = none\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -104,6 +123,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->profile_out = value;
     } else if (flag == "--health-every") {
       options->health_every = std::atoi(value.c_str());
+    } else if (flag == "--requests") {
+      options->requests = value;
+    } else if (flag == "--task") {
+      options->serve_task = value;
+    } else if (flag == "--workers") {
+      options->workers = std::atoi(value.c_str());
+    } else if (flag == "--queue") {
+      options->queue_capacity = std::atoi(value.c_str());
+    } else if (flag == "--deadline-ms") {
+      options->deadline_ms = std::atof(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -285,6 +314,100 @@ int RunEval(const CliOptions& options) {
   return 0;
 }
 
+int RunServe(const CliOptions& options) {
+  data::CityDataset dataset(CityConfig(options));
+  core::BigCityConfig model_config;
+  model_config.threads = options.threads;
+
+  // Request mix: a trajectory CSV (possibly from `generate`, possibly
+  // hand-edited / corrupt — the server quarantines bad rows) or, with no
+  // --requests, the dataset's own test split.
+  std::vector<data::Trajectory> trajectories;
+  if (!options.requests.empty()) {
+    auto loaded = data::LoadTrajectoriesCsv(options.requests);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", options.requests.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    trajectories = std::move(loaded).value();
+  } else {
+    trajectories = dataset.test();
+  }
+  if (trajectories.empty()) {
+    std::fprintf(stderr, "no requests to serve\n");
+    return 1;
+  }
+
+  core::Task task = core::Task::kNextHop;
+  if (options.serve_task == "tte") {
+    task = core::Task::kTravelTimeEstimation;
+  } else if (options.serve_task == "class") {
+    task = core::Task::kTrajClassification;
+  } else if (options.serve_task == "embed") {
+    task = core::Task::kMostSimilarSearch;
+  } else if (options.serve_task != "next") {
+    std::fprintf(stderr, "unknown serve task: %s\n",
+                 options.serve_task.c_str());
+    return 1;
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.num_workers = std::max(1, options.workers);
+  serve_options.queue_capacity = std::max(1, options.queue_capacity);
+  serve_options.default_deadline_ms = options.deadline_ms;
+  serve_options.checkpoint_path = options.load;
+  serve_options.attach_lora = !options.load.empty();  // Matches eval.
+  serve::InferenceServer server(&dataset, model_config, serve_options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(trajectories.size());
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    serve::Request request;
+    request.task = task;
+    request.trajectory = trajectories[i];
+    request.id = i;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  int counts[7] = {};
+  std::vector<double> latencies_us;
+  latencies_us.reserve(futures.size());
+  for (auto& future : futures) {
+    serve::Response response = future.get();
+    counts[static_cast<int>(response.outcome)]++;
+    if (response.status.ok()) latencies_us.push_back(response.total_us);
+  }
+  server.Stop();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto percentile = [&](double q) {
+    if (latencies_us.empty()) return 0.0;
+    const size_t rank = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_us.size())));
+    return latencies_us[rank];
+  };
+
+  util::TablePrinter table({"Outcome", "Count"});
+  const char* names[7] = {"ok",       "degraded",    "shed",    "deadline",
+                          "quarantined", "rejected", "failed"};
+  for (int i = 0; i < 7; ++i) {
+    table.AddRow({names[i], util::TablePrinter::Num(counts[i], 0)});
+  }
+  table.AddRow({"p50 ms", util::TablePrinter::Num(percentile(0.5) / 1e3, 2)});
+  table.AddRow({"p95 ms", util::TablePrinter::Num(percentile(0.95) / 1e3, 2)});
+  table.AddRow({"p99 ms", util::TablePrinter::Num(percentile(0.99) / 1e3, 2)});
+  table.Print();
+  ExportObs(options);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigcity
 
@@ -309,6 +432,7 @@ int main(int argc, char** argv) {
   if (options.command == "generate") return bigcity::RunGenerate(options);
   if (options.command == "train") return bigcity::RunTrain(options);
   if (options.command == "eval") return bigcity::RunEval(options);
+  if (options.command == "serve") return bigcity::RunServe(options);
   bigcity::PrintUsage();
   return 2;
 }
