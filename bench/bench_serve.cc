@@ -1,8 +1,10 @@
 // Closed-loop load benchmark for the inference serving runtime: N clients
 // per worker issue back-to-back next-hop requests at 1x/2x/4x the worker
 // count and the harness reports throughput, latency percentiles, and the
-// shed rate per load level. Prints a table and writes BENCH_serve.json in
-// the working directory.
+// shed rate per load level, plus a "reload under load" section measuring
+// the same numbers across a live hot-swap (a version published mid-run at
+// 2x load; DESIGN.md §4.12). Prints a table and writes BENCH_serve.json
+// in the working directory.
 //
 // The queue is deliberately sized at the worker count so the 2x/4x levels
 // overload it: the interesting number is how the runtime degrades (fast
@@ -13,9 +15,11 @@
 //                    [--threads N] [--fast] [--out PATH]
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +27,7 @@
 #include "bench/common.h"
 #include "nn/kernels/kernels.h"
 #include "obs/timer.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 #include "util/table_printer.h"
 
@@ -159,6 +164,117 @@ int main(int argc, char** argv) {
   }
   server.Stop();
 
+  // --- Reload under load -------------------------------------------------
+  // 2x clients hammer a second server while a new version is published
+  // mid-run: the canary/rolling swap must complete with every request
+  // still getting a definite outcome, and the latency percentiles across
+  // the whole phase (staging, canary, swap) are the interesting number.
+  LevelResult reload;
+  reload.multiplier = 2;
+  reload.clients = 2 * workers;
+  bool swap_completed = false;
+  int served_by_new_version = 0;
+  {
+    const std::string model_dir =
+        (std::filesystem::temp_directory_path() / "bigcity_bench_reload")
+            .string();
+    std::filesystem::remove_all(model_dir);
+    std::filesystem::create_directories(model_dir);
+    serve::ServeOptions reload_options = options;
+    // A real deployment swaps under a latency SLO; give every request the
+    // deadline the JSON reports so "p99 within deadline" is checkable.
+    reload_options.default_deadline_ms = 250;
+    reload_options.rollout.model_dir = model_dir;
+    reload_options.rollout.poll_interval_ms = 20;
+    // The latency criterion is effectively disabled (the staged replica
+    // keeps hitting cold per-trajectory caches for the whole canary
+    // window under this pool, which is exactly the false-positive the
+    // gate's slow-start exists for, magnified by 2x overload): this is a
+    // throughput bench measuring swap mechanics, not gate sensitivity —
+    // rollout_test and chaos_soak cover the gate.
+    reload_options.rollout.canary_min_requests = 32;
+    reload_options.rollout.canary_slow_start_samples = 16;
+    reload_options.rollout.canary_latency_inflation = 1000.0;
+    serve::InferenceServer reload_server(&dataset, model_config,
+                                         reload_options);
+    if (auto status = reload_server.Start(); !status.ok()) {
+      std::fprintf(stderr, "reload server start failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<double>> per_client_latencies(
+        static_cast<size_t>(reload.clients));
+    std::atomic<bool> stop{false};
+    std::atomic<int> ok{0}, shed{0}, other{0}, issued{0}, new_version{0};
+    obs::WallTimer watch;
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(reload.clients));
+    for (int c = 0; c < reload.clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& latencies = per_client_latencies[static_cast<size_t>(c)];
+        for (int r = 0; !stop.load(std::memory_order_relaxed); ++r) {
+          serve::Request request;
+          request.task = core::Task::kNextHop;
+          request.trajectory =
+              pool[static_cast<size_t>(c * 131 + r) % pool.size()];
+          issued++;
+          serve::Response response = reload_server.ServeSync(
+              std::move(request));
+          if (response.status.ok()) {
+            ok++;
+            latencies.push_back(response.total_us);
+            if (response.model_version == 1) new_version++;
+          } else if (response.outcome == serve::Outcome::kShed) {
+            shed++;
+            // Back off instead of spin-retrying into the full queue, so
+            // the issue rate (and hence the shed rate) stays a property
+            // of the 2x overload, not of how fast sheds bounce.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          } else {
+            other++;
+          }
+        }
+      });
+    }
+    // Let the load settle, then publish a same-architecture variant and
+    // wait for the rollout to promote it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    core::BigCityConfig variant_config = model_config;
+    variant_config.seed = model_config.seed + 17;
+    auto published = serve::PublishModel(
+        model_dir, core::BigCityModel(&dataset, variant_config));
+    if (published.ok()) {
+      swap_completed =
+          reload_server.WaitForStableVersion(published.value(), 60000);
+    } else {
+      std::fprintf(stderr, "reload publish failed: %s\n",
+                   published.status().ToString().c_str());
+    }
+    // A short post-swap tail so the percentiles include new-version serving.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& client : clients) client.join();
+    reload_server.Stop();
+    reload.seconds = watch.ElapsedSeconds();
+    reload.issued = issued.load();
+    reload.ok = ok.load();
+    reload.shed = shed.load();
+    reload.other = other.load();
+    served_by_new_version = new_version.load();
+    for (auto& latencies : per_client_latencies) {
+      reload.latencies_us.insert(reload.latencies_us.end(),
+                                 latencies.begin(), latencies.end());
+    }
+    std::sort(reload.latencies_us.begin(), reload.latencies_us.end());
+    std::filesystem::remove_all(model_dir);
+  }
+  if (reload.ok + reload.shed + reload.other != reload.issued) {
+    std::fprintf(stderr,
+                 "reload: %d requests without a definite outcome\n",
+                 reload.issued - reload.ok - reload.shed - reload.other);
+    return 1;
+  }
+
   util::TablePrinter table(
       {"Load", "Clients", "Issued", "OK", "Shed rate", "Req/s", "p50 ms",
        "p95 ms", "p99 ms"});
@@ -173,7 +289,20 @@ int main(int argc, char** argv) {
                   util::TablePrinter::Num(level.Percentile(0.95) / 1e3, 2),
                   util::TablePrinter::Num(level.Percentile(0.99) / 1e3, 2)});
   }
+  table.AddRow({"2x+swap",
+                util::TablePrinter::Num(reload.clients, 0),
+                util::TablePrinter::Num(reload.issued, 0),
+                util::TablePrinter::Num(reload.ok, 0),
+                util::TablePrinter::Num(reload.ShedRate(), 3),
+                util::TablePrinter::Num(reload.Throughput(), 1),
+                util::TablePrinter::Num(reload.Percentile(0.5) / 1e3, 2),
+                util::TablePrinter::Num(reload.Percentile(0.95) / 1e3, 2),
+                util::TablePrinter::Num(reload.Percentile(0.99) / 1e3, 2)});
   table.Print();
+  std::printf("reload under load: swap %s, %d responses served by the new "
+              "version\n",
+              swap_completed ? "completed" : "DID NOT COMPLETE",
+              served_by_new_version);
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -203,7 +332,21 @@ int main(int argc, char** argv) {
                  level.Percentile(0.95), level.Percentile(0.99),
                  i + 1 < levels.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"reload\": {\"load_multiplier\": 2, \"clients\": %d, "
+               "\"issued\": %d, \"ok\": %d, \"shed\": %d, \"other\": %d, "
+               "\"seconds\": %.4f, \"throughput_rps\": %.2f, "
+               "\"shed_rate\": %.4f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+               "\"p99_us\": %.1f, \"deadline_ms\": 250, "
+               "\"swap_completed\": %s, "
+               "\"served_by_new_version\": %d}\n",
+               reload.clients, reload.issued, reload.ok, reload.shed,
+               reload.other, reload.seconds, reload.Throughput(),
+               reload.ShedRate(), reload.Percentile(0.5),
+               reload.Percentile(0.95), reload.Percentile(0.99),
+               swap_completed ? "true" : "false", served_by_new_version);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
   return 0;

@@ -8,12 +8,14 @@
 # Jobs:
 #   release  Release build, full ctest (includes the bench_gate perf smoke),
 #            format_check, a 2-epoch bigcity_cli train smoke on --threads 2
-#            that validates the trace / run-report / metrics outputs, and a
+#            that validates the trace / run-report / metrics outputs, a
 #            threaded serve smoke (bench_serve --fast + bigcity_cli serve)
-#            that validates BENCH_serve.json and the serve metrics snapshot.
+#            that validates BENCH_serve.json and the serve metrics snapshot,
+#            and a fixed-seed rollout smoke (chaos_soak) validating the
+#            hot-swap/canary/rollback invariants and report JSON.
 #   sanitize Debug build with ASan+UBSan running the resilience_check,
 #            kernels_check, and serve_check suites plus a short --threads 2
-#            CLI smoke.
+#            CLI smoke and a short rollout smoke.
 #   obs-off  Release build with -DBIGCITY_OBS=OFF proving every probe
 #            compiles out and the full suite still passes.
 set -euo pipefail
@@ -109,12 +111,58 @@ assert [l["load_multiplier"] for l in levels] == [1, 2, 4], levels
 for l in levels:
     assert l["ok"] + l["shed"] + l["other"] == l["issued"], l
     assert l["throughput_rps"] >= 0 and 0 <= l["shed_rate"] <= 1, l
+reload = bench["reload"]
+assert reload["swap_completed"] is True, reload
+assert reload["served_by_new_version"] > 0, reload
+assert reload["ok"] + reload["shed"] + reload["other"] == reload["issued"]
+assert reload["p99_us"] > 0 and 0 <= reload["shed_rate"] <= 1, reload
+# The hot-swap must not push admitted-request p99 past the serving SLO.
+assert reload["p99_us"] <= reload["deadline_ms"] * 1000, reload
 with open(f"{d}/serve_metrics.json") as f:
     json.load(f)
-print(f"serve json validation ok: {len(levels)} load levels")
+print(f"serve json validation ok: {len(levels)} load levels + reload")
 EOF
   fi
   echo "serve smoke ok"
+}
+
+# Model-lifecycle gate: a fixed-seed chaos soak (hot-swap, canary,
+# rollback, quarantine under mixed-task load) capped well under 90s, then
+# a machine-readability + invariant check of its JSON report.
+rollout_smoke() {
+  local build="$1" job="$2" seconds="$3"
+  local out="ci-artifacts/$job"
+  mkdir -p "$out"
+  log "$job: rollout smoke (chaos_soak --seconds $seconds, fixed seed)"
+  timeout 90 "$build/tools/chaos_soak" --seconds "$seconds" --seed 7 \
+    --model-dir "$out/chaos_models" --json "$out/chaos_report.json"
+  if command -v python3 > /dev/null; then
+    python3 - "$out" <<'EOF'
+import json, sys
+d = sys.argv[1]
+with open(f"{d}/chaos_report.json") as f:
+    report = json.load(f)
+assert report["pass"] is True, report["violations"]
+assert not report["violations"]
+req = report["requests"]
+assert req["submitted"] > 0 and req["broken_promises"] == 0, req
+assert req["other_failures"] == 0, req
+ev = report["events"]
+# One full schedule cycle minimum: every event kind must have run.
+assert all(v >= 1 for v in ev.values()), ev
+counters = report["metrics"]["counters"]
+for name in ("serve.rollout.published", "serve.rollout.staged",
+             "serve.rollout.completed", "serve.rollout.rolled_back",
+             "serve.rollout.quarantined"):
+    assert counters.get(name, 0) >= 1, (name, counters)
+gauges = report["metrics"]["gauges"]
+assert "serve.rollout.state" in gauges and "serve.rollout.generation" in gauges
+assert any(k.startswith("serve.breaker.state.") for k in gauges), gauges
+print(f"rollout json validation ok: {req['submitted']} requests, "
+      f"{sum(ev.values())} chaos events")
+EOF
+  fi
+  echo "rollout smoke ok"
 }
 
 run_release() {
@@ -128,6 +176,7 @@ run_release() {
   log "release: CLI train smoke (--threads 2, obs outputs)"
   train_smoke build-ci-release release --epochs1 1 --epochs2 1
   serve_smoke build-ci-release release
+  rollout_smoke build-ci-release release 30
 }
 
 run_sanitize() {
@@ -145,6 +194,10 @@ run_sanitize() {
   # Pretrain + one stage-1 epoch only: Debug+ASan makes stage 2 too slow
   # for a smoke, and the guarded-step / kernel paths are all hit by here.
   train_smoke build-ci-asan sanitize --epochs1 1 --epochs2 0
+  # Short budget: the soak always completes one full schedule cycle (all
+  # seven event kinds) even when Debug+ASan eats the whole time budget.
+  cmake --build build-ci-asan -j"$PAR" --target chaos_soak
+  rollout_smoke build-ci-asan sanitize 3
 }
 
 run_obs_off() {

@@ -1,9 +1,11 @@
 #include "core/bigcity_model.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "data/validate.h"
+#include "util/checkpoint.h"
 #include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "util/check.h"
@@ -12,6 +14,40 @@ namespace bigcity::core {
 
 using data::StUnitSequence;
 using nn::Tensor;
+
+std::string ConfigFingerprint(const BigCityConfig& config) {
+  // Field order is part of the fingerprint contract: append-only. Runtime
+  // knobs (threads, seed) are deliberately excluded — they do not change
+  // the parameter set a checkpoint must match.
+  std::string canonical;
+  canonical += "spatial_dim=" + std::to_string(config.spatial_dim);
+  canonical += ";gat_hidden=" + std::to_string(config.gat_hidden);
+  canonical += ";gat_heads=" + std::to_string(config.gat_heads);
+  canonical += ";dynamic_window=" + std::to_string(config.dynamic_window);
+  canonical += ";d_model=" + std::to_string(config.d_model);
+  canonical += ";num_heads=" + std::to_string(config.num_heads);
+  canonical += ";num_layers=" + std::to_string(config.num_layers);
+  canonical += ";max_sequence=" + std::to_string(config.max_sequence);
+  canonical += ";lora_rank=" + std::to_string(config.lora_rank);
+  canonical += ";lora_alpha=" + std::to_string(config.lora_alpha);
+  canonical += ";lora_rate=" + std::to_string(config.lora_rate);
+  canonical +=
+      ";max_traj_tokens=" + std::to_string(config.max_trajectory_tokens);
+  canonical +=
+      ";traffic_input_steps=" + std::to_string(config.traffic_input_steps);
+  canonical += ";traffic_horizon=" + std::to_string(config.traffic_horizon);
+  canonical += ";static=" + std::to_string(config.use_static_encoder);
+  canonical += ";dynamic=" + std::to_string(config.use_dynamic_encoder);
+  canonical += ";fusion=" + std::to_string(config.use_fusion_encoder);
+  canonical += ";prompts=" + std::to_string(config.use_prompts);
+  canonical += ";poi=" + std::to_string(config.use_poi_features);
+  canonical += ";num_pois=" + std::to_string(config.num_pois);
+  const uint32_t crc =
+      util::Crc32(canonical.data(), canonical.size());
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "cfg-%08x", crc);
+  return buffer;
+}
 
 BigCityModel::BigCityModel(const data::CityDataset* dataset,
                            BigCityConfig config)

@@ -17,6 +17,14 @@
 
 namespace bigcity::core {
 
+/// Stable fingerprint of the architecture-relevant BigCityConfig fields
+/// (widths, depths, LoRA shape, task limits, ablation switches — not
+/// runtime knobs like threads). Two configs with equal fingerprints
+/// produce weight-compatible models; version manifests
+/// (util::VersionManifest) carry it so the serving runtime can reject a
+/// checkpoint built for a different architecture before loading a byte.
+std::string ConfigFingerprint(const BigCityConfig& config);
+
 /// The assembled BIGCity model (Fig. 2): Unified ST Tokenizer + Versatile
 /// Model with Task-oriented Prompts (backbone LLM + general task heads).
 /// One instance serves all eight tasks with a single parameter set; the

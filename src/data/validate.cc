@@ -64,6 +64,19 @@ util::Status ValidateTrafficWindow(const TrafficStateSeries& series,
         std::to_string(first_slice + count) + ") outside [0, " +
         std::to_string(series.num_slices()) + ")");
   }
+  // NaN/Inf dynamic features in the requested window would propagate
+  // through the GAT encoder into every downstream activation; reject them
+  // at the boundary like any other malformed input.
+  for (int slice = first_slice; slice < first_slice + count; ++slice) {
+    for (int channel = 0; channel < kTrafficChannels; ++channel) {
+      if (!std::isfinite(series.Get(slice, segment, channel))) {
+        return util::Status::InvalidArgument(
+            "traffic feature (slice " + std::to_string(slice) +
+            ", segment " + std::to_string(segment) + ", channel " +
+            std::to_string(channel) + ") is non-finite");
+      }
+    }
+  }
   return util::Status::Ok();
 }
 

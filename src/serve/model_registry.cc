@@ -1,0 +1,158 @@
+#include "serve/model_registry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace bigcity::serve {
+
+ModelRegistry::ModelRegistry(std::string dir, std::string expected_fingerprint)
+    : dir_(std::move(dir)),
+      expected_fingerprint_(std::move(expected_fingerprint)) {}
+
+util::Status ModelRegistry::Validate(uint64_t version,
+                                     VersionInfo* info) const {
+  const std::string version_dir = util::VersionPath(dir_, version);
+  util::Result<util::VersionManifest> manifest =
+      util::ReadManifest(version_dir);
+  if (!manifest.ok()) {
+    return util::Status::InvalidArgument("manifest unreadable: " +
+                                         manifest.status().message());
+  }
+  if (manifest.value().version != version) {
+    return util::Status::InvalidArgument(
+        "manifest names version " +
+        std::to_string(manifest.value().version) + " but lives in " +
+        util::VersionDirName(version));
+  }
+  if (manifest.value().config_fingerprint != expected_fingerprint_) {
+    return util::Status::InvalidArgument(
+        "config fingerprint mismatch: checkpoint built for \"" +
+        manifest.value().config_fingerprint + "\", server runs \"" +
+        expected_fingerprint_ + "\"");
+  }
+  const std::string weights = util::WeightsPath(version_dir);
+  uint32_t crc = 0;
+  uint64_t bytes = 0;
+  if (auto s = util::FileCrc32(weights, &crc, &bytes); !s.ok()) {
+    return util::Status::InvalidArgument("weights unreadable: " +
+                                         s.message());
+  }
+  if (bytes != manifest.value().weight_bytes ||
+      crc != manifest.value().weight_crc) {
+    return util::Status::InvalidArgument(
+        "weight file does not match manifest (size " + std::to_string(bytes) +
+        " vs " + std::to_string(manifest.value().weight_bytes) + ", crc " +
+        std::to_string(crc) + " vs " +
+        std::to_string(manifest.value().weight_crc) + ")");
+  }
+  info->version = version;
+  info->manifest = std::move(manifest).value();
+  info->weights_path = weights;
+  return util::Status::Ok();
+}
+
+util::Result<VersionInfo> ModelRegistry::PollOnce(uint64_t after) {
+  util::Result<uint64_t> current = util::ReadCurrent(dir_);
+  if (!current.ok()) {
+    // No CURRENT yet (nothing ever published) or a corrupt pointer: both
+    // mean "keep serving what you have".
+    return util::Status::NotFound("no publishable version: " +
+                                  current.status().message());
+  }
+  const uint64_t version = current.value();
+  if (version <= after) {
+    return util::Status::NotFound("CURRENT " + std::to_string(version) +
+                                  " is not newer than " +
+                                  std::to_string(after));
+  }
+  if (IsQuarantined(version)) {
+    return util::Status::NotFound("CURRENT " + std::to_string(version) +
+                                  " is quarantined");
+  }
+  {
+    // Persisted marker from a previous process: adopt it.
+    std::ifstream marker(
+        util::QuarantinePath(util::VersionPath(dir_, version)));
+    if (marker) {
+      std::string reason((std::istreambuf_iterator<char>(marker)),
+                         std::istreambuf_iterator<char>());
+      Quarantine(version, reason.empty() ? "quarantined by previous run"
+                                         : reason);
+      return util::Status::NotFound("CURRENT " + std::to_string(version) +
+                                    " carries a quarantine marker");
+    }
+  }
+  VersionInfo info;
+  if (util::Status status = Validate(version, &info); !status.ok()) {
+    Quarantine(version, status.message());
+    return util::Status::NotFound("CURRENT " + std::to_string(version) +
+                                  " failed validation");
+  }
+  return info;
+}
+
+void ModelRegistry::Quarantine(uint64_t version, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!quarantined_.emplace(version, reason).second) return;  // Known.
+  }
+  BIGCITY_COUNTER_INC("serve.rollout.quarantined");
+  BIGCITY_LOG(Warning) << "quarantined model version " << version << ": "
+                       << reason;
+  // Best-effort persistent marker; the in-memory map is authoritative for
+  // this process either way.
+  std::ofstream marker(util::QuarantinePath(util::VersionPath(dir_, version)));
+  if (marker) marker << reason << "\n";
+}
+
+bool ModelRegistry::IsQuarantined(uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.count(version) > 0;
+}
+
+std::map<uint64_t, std::string> ModelRegistry::Quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+util::Result<uint64_t> PublishModelWithFingerprint(
+    const std::string& dir, const core::BigCityModel& model,
+    const std::string& fingerprint, int64_t parent_version) {
+  if (auto s = util::EnsureDirectory(dir); !s.ok()) return s;
+  const std::vector<uint64_t> existing = util::ListVersions(dir);
+  const uint64_t version = existing.empty() ? 1 : existing.back() + 1;
+  const std::string version_dir = util::VersionPath(dir, version);
+  if (auto s = util::EnsureDirectory(version_dir); !s.ok()) return s;
+
+  const std::string weights = util::WeightsPath(version_dir);
+  if (auto s = model.SaveStateToFile(weights); !s.ok()) return s;
+
+  util::VersionManifest manifest;
+  manifest.version = version;
+  manifest.parent_version = parent_version;
+  manifest.config_fingerprint = fingerprint;
+  if (auto s = util::FileCrc32(weights, &manifest.weight_crc,
+                               &manifest.weight_bytes);
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = util::WriteManifest(version_dir, manifest); !s.ok()) return s;
+  // The version directory itself (weights + manifest entries) must be
+  // durable before the pointer makes it reachable.
+  if (auto s = util::SyncDir(version_dir); !s.ok()) return s;
+  if (auto s = util::PublishCurrent(dir, version); !s.ok()) return s;
+  BIGCITY_COUNTER_INC("serve.rollout.published");
+  return version;
+}
+
+util::Result<uint64_t> PublishModel(const std::string& dir,
+                                    const core::BigCityModel& model,
+                                    int64_t parent_version) {
+  return PublishModelWithFingerprint(
+      dir, model, core::ConfigFingerprint(model.config()), parent_version);
+}
+
+}  // namespace bigcity::serve

@@ -1,0 +1,84 @@
+#ifndef BIGCITY_SERVE_MODEL_REGISTRY_H_
+#define BIGCITY_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/bigcity_model.h"
+#include "util/model_dir.h"
+#include "util/status.h"
+
+namespace bigcity::serve {
+
+/// A fully-validated candidate version as discovered by the registry.
+struct VersionInfo {
+  uint64_t version = 0;
+  util::VersionManifest manifest;
+  std::string weights_path;
+};
+
+/// Watches a versioned model directory (util/model_dir layout) and hands
+/// the rollout controller validated candidates. Validation before a single
+/// weight byte is loaded: manifest container CRC + parse, version/dir
+/// agreement, config-fingerprint match, and a full CRC of the weights
+/// file against the manifest. Anything that fails is quarantined — an
+/// in-memory reason plus a best-effort QUARANTINED marker file so a
+/// restarted server does not re-try a known-bad version — and the server
+/// keeps serving its current weights.
+///
+/// Thread safety: all methods may be called concurrently (the controller
+/// thread polls while tests/introspection read the quarantine map).
+class ModelRegistry {
+ public:
+  ModelRegistry(std::string dir, std::string expected_fingerprint);
+
+  /// One poll: reads CURRENT and validates the version it names. Returns
+  ///   - the validated VersionInfo when CURRENT names a version newer
+  ///     than `after` that is not quarantined;
+  ///   - kNotFound when there is nothing new (no CURRENT, CURRENT <=
+  ///     after, or CURRENT quarantined earlier);
+  ///   - never a validation error: those quarantine the version and
+  ///     report kNotFound, because "bad candidate" must look exactly like
+  ///     "no candidate" to the serving path.
+  util::Result<VersionInfo> PollOnce(uint64_t after);
+
+  /// Marks `version` bad with a human-readable reason (also used by the
+  /// rollout controller for staged-load failures and failed canaries).
+  void Quarantine(uint64_t version, const std::string& reason);
+
+  bool IsQuarantined(uint64_t version) const;
+  /// version -> reason, for introspection and test assertions.
+  std::map<uint64_t, std::string> Quarantined() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  util::Status Validate(uint64_t version, VersionInfo* info) const;
+
+  const std::string dir_;
+  const std::string expected_fingerprint_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::string> quarantined_;
+};
+
+/// Publishes `model`'s weights into `dir` as the next version (one past
+/// the highest existing version directory, starting at 1): writes
+/// `vNNNNNN/weights.ckpt`, computes its file CRC, writes the manifest, and
+/// atomically flips CURRENT. Returns the published version number.
+/// `parent_version` records provenance (-1 for an initial publication).
+util::Result<uint64_t> PublishModel(const std::string& dir,
+                                    const core::BigCityModel& model,
+                                    int64_t parent_version = -1);
+
+/// Test/chaos hook: like PublishModel but with an explicit manifest
+/// fingerprint (e.g. a deliberately mismatched one) instead of the
+/// model's own.
+util::Result<uint64_t> PublishModelWithFingerprint(
+    const std::string& dir, const core::BigCityModel& model,
+    const std::string& fingerprint, int64_t parent_version = -1);
+
+}  // namespace bigcity::serve
+
+#endif  // BIGCITY_SERVE_MODEL_REGISTRY_H_

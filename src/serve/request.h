@@ -62,6 +62,9 @@ struct Response {
   double queue_wait_us = 0;  // Admission-to-dequeue.
   double total_us = 0;       // Submission-to-completion.
   uint64_t id = 0;           // Echo of Request::id.
+  /// Model version that served this request (0 = initial in-memory
+  /// weights; pre-worker failures like shed/expired keep 0).
+  uint64_t model_version = 0;
 };
 
 }  // namespace bigcity::serve

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "data/validate.h"
 #include "obs/obs.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace bigcity::serve {
@@ -36,6 +38,13 @@ Outcome OutcomeForStatus(const util::Status& status) {
     default:
       return Outcome::kFailed;
   }
+}
+
+bool AllFinite(const nn::Tensor& tensor) {
+  for (float value : tensor.data()) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -92,7 +101,7 @@ InferenceServer::InferenceServer(const data::CityDataset* dataset,
 InferenceServer::~InferenceServer() { Stop(); }
 
 util::Status InferenceServer::LoadReplicaWeights(
-    core::BigCityModel* replica) const {
+    core::BigCityModel* replica, const std::string& path) const {
   util::Status status = util::Status::Ok();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
@@ -108,13 +117,27 @@ util::Status InferenceServer::LoadReplicaWeights(
           "checkpoint reload transient fault (injected)");
       continue;
     }
-    status = replica->LoadStateFromFile(options_.checkpoint_path);
+    status = replica->LoadStateFromFile(path);
     if (status.ok()) return status;
     // Real I/O errors other than kUnavailable are not retryable (a missing
     // or corrupt file will not heal itself between attempts).
     if (status.code() != util::StatusCode::kUnavailable) return status;
   }
   return status;
+}
+
+std::shared_ptr<InferenceServer::Replica> InferenceServer::MakeReplica(
+    uint64_t version, CohortStats* cohort) const {
+  auto replica = std::make_shared<Replica>();
+  replica->version = version;
+  replica->cohort.store(cohort, std::memory_order_relaxed);
+  replica->model =
+      std::make_unique<core::BigCityModel>(dataset_, model_config_);
+  if (options_.attach_lora) {
+    util::Rng lora_rng(model_config_.seed ^ 0x10A5EEDULL);
+    replica->model->backbone()->EnableLora(&lora_rng);
+  }
+  return replica;
 }
 
 util::Status InferenceServer::Start() {
@@ -125,43 +148,98 @@ util::Status InferenceServer::Start() {
     breakers_.push_back(std::make_unique<CircuitBreaker>(
         options_.breaker_failure_threshold, options_.breaker_cooldown_ms));
   }
+#if BIGCITY_OBS
+  // serve.breaker.state.<TaskName> gauges; resolved once because the
+  // names are dynamic (the macro fast path caches per call site only).
+  for (int i = 0; i < core::kNumTasks; ++i) {
+    breaker_gauges_[static_cast<size_t>(i)] =
+        obs::MetricsRegistry::Global().GetGauge(
+            "serve.breaker.state." +
+            core::TaskName(static_cast<core::Task>(i)));
+    breaker_gauges_[static_cast<size_t>(i)]->Set(0);
+  }
+#endif
   if (options_.initial_forward_estimate_us > 0) {
     forward_latency_.Seed(options_.initial_forward_estimate_us,
                           options_.latency_min_samples);
   }
 
-  replicas_.clear();
-  replicas_.reserve(static_cast<size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    auto replica =
-        std::make_unique<core::BigCityModel>(dataset_, model_config_);
-    if (options_.attach_lora) {
-      util::Rng lora_rng(model_config_.seed ^ 0x10A5EEDULL);
-      replica->backbone()->EnableLora(&lora_rng);
+  // Version discovery before any replica is built: when the model dir
+  // already holds a valid CURRENT version, the fleet boots from it.
+  uint64_t initial_version = 0;
+  std::string initial_weights;
+  if (!options_.rollout.model_dir.empty()) {
+    registry_ = std::make_unique<ModelRegistry>(
+        options_.rollout.model_dir, core::ConfigFingerprint(model_config_));
+    util::Result<VersionInfo> candidate = registry_->PollOnce(0);
+    if (candidate.ok()) {
+      initial_version = candidate.value().version;
+      initial_weights = candidate.value().weights_path;
     }
+  }
+
+  slots_.clear();
+  slots_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    std::shared_ptr<Replica> replica =
+        MakeReplica(initial_version, &stable_stats_);
     if (prototype_ != nullptr) {
-      replica->CopyStateFrom(*prototype_);
+      replica->model->CopyStateFrom(*prototype_);
     }
     if (!options_.checkpoint_path.empty()) {
-      util::Status status = LoadReplicaWeights(replica.get());
+      util::Status status =
+          LoadReplicaWeights(replica->model.get(), options_.checkpoint_path);
       if (!status.ok()) {
-        replicas_.clear();
+        slots_.clear();
+        registry_.reset();
         return status;
       }
     }
-    replicas_.push_back(std::move(replica));
+    if (!initial_weights.empty()) {
+      // The registry CRC-validated the file; load it once from disk and
+      // fan the weights out to the other replicas in memory.
+      util::Status status =
+          i == 0 ? LoadReplicaWeights(replica->model.get(), initial_weights)
+                 : util::Status::Ok();
+      if (!status.ok()) {
+        slots_.clear();
+        registry_.reset();
+        return status;
+      }
+      if (i > 0) replica->model->CopyStateFrom(*slots_[0]->replica->model);
+    }
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->replica = std::move(replica);
+    slots_.push_back(std::move(slot));
   }
+  stable_version_.store(initial_version, std::memory_order_relaxed);
+  generation_.store(0, std::memory_order_relaxed);
+  BIGCITY_GAUGE_SET("serve.rollout.generation", 0);
+  BIGCITY_GAUGE_SET("serve.rollout.stable_version", initial_version);
 
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   running_ = true;
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  if (registry_ != nullptr) {
+    rollout_stop_ = false;
+    SetRolloutState(RolloutState::kIdle);
+    rollout_thread_ = std::thread([this] { RolloutLoop(); });
+  }
   return util::Status::Ok();
 }
 
 void InferenceServer::Stop() {
   if (!running_) return;
+  // Controller first: an undecided canary is rolled back before the
+  // workers drain, so shutdown never promotes without evidence.
+  {
+    std::lock_guard<std::mutex> lock(rollout_mu_);
+    rollout_stop_ = true;
+  }
+  rollout_cv_.notify_all();
+  if (rollout_thread_.joinable()) rollout_thread_.join();
   queue_.Close();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -236,6 +314,16 @@ CircuitBreaker& InferenceServer::BreakerFor(core::Task task) {
   const size_t index = static_cast<size_t>(task);
   BIGCITY_CHECK(index < breakers_.size());
   return *breakers_[index];
+}
+
+void InferenceServer::PublishBreakerState(core::Task task) {
+#if BIGCITY_OBS
+  const size_t index = static_cast<size_t>(task);
+  if (index < breakers_.size() && breaker_gauges_[index] != nullptr) {
+    breaker_gauges_[index]->Set(
+        static_cast<double>(static_cast<int>(breakers_[index]->state())));
+  }
+#endif
 }
 
 CircuitBreaker::State InferenceServer::breaker_state(core::Task task) const {
@@ -349,11 +437,13 @@ util::Result<nn::Tensor> InferenceServer::RunBaseline(
   }
 }
 
-Response InferenceServer::Process(WorkItem& item,
-                                  core::BigCityModel* model) {
+Response InferenceServer::Process(WorkItem& item, Replica& replica) {
   BIGCITY_TRACE_SPAN("serve.process", "serve");
   Response response;
+  response.model_version = replica.version;
   const Request& request = item.request;
+  CohortStats* cohort = replica.cohort.load(std::memory_order_relaxed);
+  const bool is_canary = cohort == &canary_stats_;
 
   // Checkpoint 2 (pre-tokenize / post-dequeue): time spent queued counts
   // against the budget.
@@ -387,6 +477,7 @@ Response InferenceServer::Process(WorkItem& item,
   // Graceful degradation, path 1: circuit breaker.
   CircuitBreaker& breaker = BreakerFor(request.task);
   const CircuitBreaker::Decision decision = breaker.Admit(Clock::now());
+  PublishBreakerState(request.task);
   if (decision == CircuitBreaker::Decision::kReject) {
     if (options_.degrade_when_breaker_open && DegradableTask(request.task)) {
       BIGCITY_COUNTER_INC("serve.degraded.breaker");
@@ -442,6 +533,7 @@ Response InferenceServer::Process(WorkItem& item,
           if (breaker.RecordFailure(Clock::now())) {
             BIGCITY_COUNTER_INC("serve.breaker.opened");
           }
+          PublishBreakerState(request.task);
           return response;
         }
         backoff_ms = std::min(backoff_ms, remaining_ms);
@@ -462,15 +554,37 @@ Response InferenceServer::Process(WorkItem& item,
     }
 
     const Clock::time_point forward_start = Clock::now();
-    util::Result<nn::Tensor> result = RunModel(request, model);
+    util::Result<nn::Tensor> result = RunModel(request, replica.model.get());
     last_status = result.status();
     if (result.ok()) {
       const double forward_us = MicrosSince(forward_start, Clock::now());
+      nn::Tensor output = std::move(result).value();
+      if (!AllFinite(output)) {
+        // A NaN/Inf output is a model-health defect, not a transient: no
+        // retry (the same weights produce the same poison), and it stays
+        // out of the circuit breaker — the breaker protects against
+        // failing *tasks*, the rollout health gate against bad *weights*.
+        BIGCITY_COUNTER_INC("serve.nonfinite_outputs");
+        if (cohort != nullptr) cohort->RecordNonFinite();
+        response.status =
+            util::Status::Internal("model produced non-finite output");
+        return response;
+      }
       forward_latency_.Record(forward_us);
       BIGCITY_HISTOGRAM_RECORD("serve.forward_us", forward_us);
+      double cohort_us = forward_us;
+      if (is_canary &&
+          util::FaultInjection::Fire(util::kFaultRolloutCanaryLatency)) {
+        // Inflation is applied to the cohort sample only: the gate must
+        // see it, the budget-degradation estimator must not.
+        cohort_us += static_cast<double>(
+            util::FaultInjection::Param(util::kFaultRolloutCanaryLatency));
+      }
+      if (cohort != nullptr) cohort->RecordSuccess(cohort_us);
       breaker.RecordSuccess();
+      PublishBreakerState(request.task);
       response.status = util::Status::Ok();
-      response.output = std::move(result).value();
+      response.output = std::move(output);
       return response;
     }
     // Validation errors are deterministic — retrying cannot help, and they
@@ -483,15 +597,31 @@ Response InferenceServer::Process(WorkItem& item,
   }
 
   BIGCITY_COUNTER_INC("serve.failures");
+  if (cohort != nullptr) cohort->RecordFailure();
   if (breaker.RecordFailure(Clock::now())) {
     BIGCITY_COUNTER_INC("serve.breaker.opened");
   }
+  PublishBreakerState(request.task);
   response.status = std::move(last_status);
   return response;
 }
 
+std::shared_ptr<InferenceServer::Replica> InferenceServer::AcquireReplica(
+    size_t worker) {
+  WorkerSlot& slot = *slots_[worker];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.replica;
+}
+
+std::shared_ptr<InferenceServer::Replica> InferenceServer::SwapWorker(
+    size_t worker, std::shared_ptr<Replica> next) {
+  WorkerSlot& slot = *slots_[worker];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  std::swap(slot.replica, next);
+  return next;  // The displaced replica.
+}
+
 void InferenceServer::WorkerLoop(int worker_index) {
-  core::BigCityModel* model = replicas_[static_cast<size_t>(worker_index)].get();
   for (;;) {
     std::optional<WorkItem> item = queue_.Pop();
     if (!item.has_value()) return;  // Closed and drained.
@@ -508,11 +638,173 @@ void InferenceServer::WorkerLoop(int worker_index) {
     const double wait_us = MicrosSince(item->submitted, Clock::now());
     BIGCITY_HISTOGRAM_RECORD("serve.queue_wait_us", wait_us);
 
-    Response response = Process(*item, model);
+    // The replica is pinned for the whole request: a concurrent hot-swap
+    // replaces the slot's pointer but never this in-flight forward's.
+    std::shared_ptr<Replica> replica =
+        AcquireReplica(static_cast<size_t>(worker_index));
+    Response response = Process(*item, *replica);
     response.queue_wait_us = wait_us;
     if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
     Finish(*item, std::move(response));
   }
+}
+
+// --- Rollout controller -----------------------------------------------------
+
+void InferenceServer::SetRolloutState(RolloutState state) {
+  rollout_state_.store(static_cast<int>(state), std::memory_order_relaxed);
+  BIGCITY_GAUGE_SET("serve.rollout.state", static_cast<int>(state));
+  BIGCITY_LOG(Info) << "rollout state -> " << RolloutStateName(state);
+}
+
+bool InferenceServer::RolloutWait(double ms) {
+  std::unique_lock<std::mutex> lock(rollout_mu_);
+  rollout_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                       [this] { return rollout_stop_; });
+  return rollout_stop_;
+}
+
+void InferenceServer::RolloutLoop() {
+  for (;;) {
+    if (RolloutWait(options_.rollout.poll_interval_ms)) return;
+    util::Result<VersionInfo> candidate =
+        registry_->PollOnce(stable_version_.load(std::memory_order_relaxed));
+    if (!candidate.ok()) continue;  // Nothing new (or quarantined).
+    RunRollout(candidate.value());
+  }
+}
+
+void InferenceServer::RunRollout(const VersionInfo& info) {
+  BIGCITY_TRACE_SPAN("serve.rollout", "rollout");
+  SetRolloutState(RolloutState::kStaged);
+  BIGCITY_COUNTER_INC("serve.rollout.staged");
+  BIGCITY_LOG(Info) << "rollout: staging version " << info.version
+                    << " (parent " << info.manifest.parent_version << ")";
+
+  // Stage: build + load entirely off the request path.
+  std::shared_ptr<Replica> staged;
+  {
+    BIGCITY_TRACE_SPAN("serve.rollout.stage", "rollout");
+    staged = MakeReplica(info.version, &canary_stats_);
+    if (util::FaultInjection::Fire(util::kFaultRolloutSlowLoad)) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          static_cast<double>(
+              util::FaultInjection::Param(util::kFaultRolloutSlowLoad))));
+    }
+    util::Status load =
+        LoadReplicaWeights(staged->model.get(), info.weights_path);
+    if (!load.ok()) {
+      registry_->Quarantine(info.version,
+                            "staged load failed: " + load.message());
+      SetRolloutState(RolloutState::kQuarantined);
+      return;
+    }
+    // Warm the candidate's tokenizer/GAT caches off the request path, so
+    // the canary's first measured forwards are not cold-start outliers
+    // that would false-trip the latency gate. Results are discarded; a
+    // genuinely bad model is still judged on real canary traffic.
+    int warmed = 0;
+    for (const data::Trajectory& trajectory : dataset_->train()) {
+      if (trajectory.length() < 2) continue;
+      (void)staged->model->TryNextHopLogits(trajectory);
+      if (++warmed >= 3) break;
+    }
+    (void)staged->model->TryPredictTraffic(0, 0, 1);
+  }
+
+  // Canary: worker 0 swaps to the candidate; both cohorts restart so the
+  // gate compares like-for-like windows. The canary cohort additionally
+  // discards its slow-start latency samples (cold caches).
+  stable_stats_.Reset();
+  canary_stats_.Reset(options_.rollout.canary_slow_start_samples);
+  std::shared_ptr<Replica> previous = SwapWorker(0, staged);
+  SetRolloutState(RolloutState::kCanary);
+  BIGCITY_COUNTER_INC("serve.rollout.canary_started");
+
+  GateVerdict verdict = GateVerdict::kNotReady;
+  std::string reason;
+  const Clock::time_point gate_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             options_.rollout.canary_timeout_ms));
+  {
+    BIGCITY_TRACE_SPAN("serve.rollout.canary", "rollout");
+    while (Clock::now() < gate_deadline) {
+      verdict = EvaluateCanary(stable_stats_.Get(), canary_stats_.Get(),
+                               options_.rollout, &reason);
+      if (verdict != GateVerdict::kNotReady) break;
+      if (RolloutWait(2.0)) {
+        // Shutdown mid-canary: restore the pinned stable replica and
+        // leave the candidate unjudged (it stays eligible next start).
+        SwapWorker(0, previous);
+        SetRolloutState(RolloutState::kIdle);
+        return;
+      }
+    }
+  }
+
+  if (verdict == GateVerdict::kPass) {
+    SetRolloutState(RolloutState::kRolling);
+    BIGCITY_TRACE_SPAN("serve.rollout.rolling", "rollout");
+    // Promote the canary into the stable cohort, then roll the remaining
+    // workers one by one; each swap lands between that worker's requests.
+    staged->cohort.store(&stable_stats_, std::memory_order_relaxed);
+    for (size_t worker = 1; worker < slots_.size(); ++worker) {
+      std::shared_ptr<Replica> next =
+          MakeReplica(info.version, &stable_stats_);
+      next->model->CopyStateFrom(*staged->model);
+      SwapWorker(worker, std::move(next));
+    }
+    stable_version_.store(info.version, std::memory_order_relaxed);
+    const uint64_t generation =
+        generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    BIGCITY_COUNTER_INC("serve.rollout.completed");
+    BIGCITY_GAUGE_SET("serve.rollout.generation", generation);
+    BIGCITY_GAUGE_SET("serve.rollout.stable_version", info.version);
+    SetRolloutState(RolloutState::kStable);
+    BIGCITY_LOG(Info) << "rollout: version " << info.version
+                      << " is stable (generation " << generation << ")";
+  } else {
+    if (verdict == GateVerdict::kNotReady) {
+      reason = "canary starved: fewer than " +
+               std::to_string(options_.rollout.canary_min_requests) +
+               " canary requests within " +
+               std::to_string(options_.rollout.canary_timeout_ms) +
+               "ms (never promote without evidence)";
+    }
+    // Roll back: the pinned stable replica returns untouched, so
+    // post-rollback outputs are bit-identical to pre-canary ones.
+    SwapWorker(0, previous);
+    registry_->Quarantine(info.version, reason);
+    BIGCITY_COUNTER_INC("serve.rollout.rolled_back");
+    SetRolloutState(RolloutState::kRolledBack);
+    BIGCITY_LOG(Warning) << "rollout: version " << info.version
+                         << " rolled back: " << reason;
+  }
+}
+
+bool InferenceServer::WaitForRolloutState(RolloutState state,
+                                          double timeout_ms) const {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  while (rollout_state() != state) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+bool InferenceServer::WaitForStableVersion(uint64_t version,
+                                           double timeout_ms) const {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(timeout_ms));
+  while (stable_version() != version) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
 }
 
 }  // namespace bigcity::serve

@@ -1,8 +1,12 @@
 #ifndef BIGCITY_SERVE_SERVER_H_
 #define BIGCITY_SERVE_SERVER_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -17,8 +21,14 @@
 #include "serve/admission_queue.h"
 #include "serve/baseline.h"
 #include "serve/circuit_breaker.h"
+#include "serve/model_registry.h"
 #include "serve/request.h"
+#include "serve/rollout.h"
 #include "util/status.h"
+
+namespace bigcity::obs {
+class Gauge;
+}  // namespace bigcity::obs
 
 namespace bigcity::serve {
 
@@ -70,10 +80,16 @@ struct ServeOptions {
   /// Attach LoRA adapters to each replica's backbone before weight copy /
   /// checkpoint load (must match how the source weights were produced).
   bool attach_lora = false;
+
+  /// Model lifecycle (hot-swap / canary rollout) knobs. Setting
+  /// rollout.model_dir enables the version poller and controller thread;
+  /// when the directory already holds a valid CURRENT version at Start(),
+  /// the replicas boot from it.
+  RolloutOptions rollout;
 };
 
 /// Multi-threaded inference server over core::BigCityModel (DESIGN.md
-/// §4.11). The request path is
+/// §4.11, lifecycle §4.12). The request path is
 ///
 ///   Submit -> [deadline] -> bounded queue -> worker: [deadline] ->
 ///   validate -> [deadline] -> breaker/budget -> forward (retries) -> head
@@ -82,9 +98,21 @@ struct ServeOptions {
 /// the queue is full, kDeadlineExceeded at the three cancellation
 /// checkpoints, kInvalidArgument for malformed inputs (quarantined before
 /// they can reach a CHECK in the model), kUnavailable when retries are
-/// exhausted or a breaker rejects. Degradable tasks fall back to
-/// BaselinePredictor instead of failing when the breaker is open or the
-/// remaining budget cannot fit a p95 forward.
+/// exhausted or a breaker rejects, kInternal when the model emits a
+/// non-finite output. Degradable tasks fall back to BaselinePredictor
+/// instead of failing when the breaker is open or the remaining budget
+/// cannot fit a p95 forward.
+///
+/// Model lifecycle: when options.rollout.model_dir is set, a controller
+/// thread polls the versioned model directory. A validated new version is
+/// STAGED (loaded off the request path), swapped onto worker 0 as a CANARY,
+/// and health-gated against the stable cohort (error rate, non-finite
+/// outputs, p95 forward latency). A passing canary is ROLLED across the
+/// remaining workers between requests; a failing one is rolled back to the
+/// pinned stable replica and the version quarantined. Workers pick up
+/// their replica at the top of each request — a swap never happens
+/// mid-forward, and displaced replicas are retired by shared_ptr refcount
+/// once their last in-flight request completes.
 ///
 /// Thread safety: Submit/ServeSync may be called from any thread. Workers
 /// never share mutable model state (one replica each); the dataset is
@@ -103,10 +131,13 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Builds the worker replicas (checkpoint reload with bounded retries
-  /// when options.checkpoint_path is set) and launches the worker threads.
+  /// when options.checkpoint_path is set; model-dir CURRENT version when
+  /// the rollout machinery is enabled and one is published) and launches
+  /// the worker threads plus, if enabled, the rollout controller.
   util::Status Start();
 
-  /// Drain-then-stop: closes admissions, serves what is already queued,
+  /// Drain-then-stop: stops the rollout controller (rolling back an
+  /// undecided canary), closes admissions, serves what is already queued,
   /// joins the workers. Idempotent; also run by the destructor.
   void Stop();
 
@@ -131,6 +162,30 @@ class InferenceServer {
   /// microseconds; 0 while below latency_min_samples.
   double forward_p95_us() const;
 
+  /// Lifecycle introspection. rollout_state() is sticky: it holds the
+  /// terminal state of the last candidate (STABLE / ROLLED_BACK /
+  /// QUARANTINED) between rollouts and the live state during one.
+  RolloutState rollout_state() const {
+    return static_cast<RolloutState>(
+        rollout_state_.load(std::memory_order_relaxed));
+  }
+  /// Version the stable cohort serves (0 = initial in-memory weights).
+  uint64_t stable_version() const {
+    return stable_version_.load(std::memory_order_relaxed);
+  }
+  /// Completed hot-swaps since Start(); tags the serve.rollout.* metrics.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+  /// Null unless options.rollout.model_dir was set.
+  ModelRegistry* registry() { return registry_.get(); }
+
+  /// Polls rollout_state() until it equals `state` or `timeout_ms`
+  /// elapses. Returns whether the state was reached.
+  bool WaitForRolloutState(RolloutState state, double timeout_ms) const;
+  /// Same for stable_version() == `version`.
+  bool WaitForStableVersion(uint64_t version, double timeout_ms) const;
+
  private:
   struct WorkItem {
     Request request;
@@ -138,6 +193,25 @@ class InferenceServer {
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+  };
+
+  /// One immutable-weights model instance plus its lifecycle tag. Held by
+  /// shared_ptr: the worker's per-request copy keeps a displaced replica
+  /// alive exactly until its last in-flight forward returns.
+  struct Replica {
+    uint64_t version = 0;
+    /// Which health cohort this replica's requests feed. Atomic because
+    /// promotion (canary -> stable) retags the pointer while the worker
+    /// is serving.
+    std::atomic<CohortStats*> cohort{nullptr};
+    std::unique_ptr<core::BigCityModel> model;
+  };
+
+  /// Per-worker slot; the mutex only guards the shared_ptr swap/copy, so
+  /// a swap waits at most for a pointer copy, never for a forward.
+  struct WorkerSlot {
+    std::mutex mu;
+    std::shared_ptr<Replica> replica;
   };
 
   /// Sliding window of forward times; p95 over the last `kWindow` samples.
@@ -157,13 +231,27 @@ class InferenceServer {
 
   void WorkerLoop(int worker_index);
   void Finish(WorkItem& item, Response response);
-  Response Process(WorkItem& item, core::BigCityModel* model);
+  Response Process(WorkItem& item, Replica& replica);
   util::Status ValidateRequest(const Request& request) const;
   util::Result<nn::Tensor> RunModel(const Request& request,
                                     core::BigCityModel* model);
   util::Result<nn::Tensor> RunBaseline(const Request& request) const;
   CircuitBreaker& BreakerFor(core::Task task);
-  util::Status LoadReplicaWeights(core::BigCityModel* replica) const;
+  void PublishBreakerState(core::Task task);
+  util::Status LoadReplicaWeights(core::BigCityModel* replica,
+                                  const std::string& path) const;
+
+  std::shared_ptr<Replica> MakeReplica(uint64_t version,
+                                       CohortStats* cohort) const;
+  std::shared_ptr<Replica> AcquireReplica(size_t worker);
+  /// Installs `next` on `worker`'s slot; returns the displaced replica.
+  std::shared_ptr<Replica> SwapWorker(size_t worker,
+                                      std::shared_ptr<Replica> next);
+  void RolloutLoop();
+  /// Sleeps up to `ms` on the controller condvar; true when stopping.
+  bool RolloutWait(double ms);
+  void RunRollout(const VersionInfo& info);
+  void SetRolloutState(RolloutState state);
 
   const data::CityDataset* dataset_;
   const core::BigCityConfig model_config_;
@@ -173,11 +261,27 @@ class InferenceServer {
   BaselinePredictor baseline_;
   AdmissionQueue<WorkItem> queue_;
   LatencyEstimator forward_latency_;
-  std::vector<std::unique_ptr<core::BigCityModel>> replicas_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
   // One breaker per task, indexed by core::Task. Constructed in Start()
   // (breaker knobs come from options_), read-only pointers afterwards.
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  // Per-task serve.breaker.state.<name> gauge handles; null when the obs
+  // build flavor compiles probes out.
+  std::array<obs::Gauge*, core::kNumTasks> breaker_gauges_{};
+
+  // Lifecycle machinery (all unused when rollout.model_dir is empty).
+  std::unique_ptr<ModelRegistry> registry_;
+  CohortStats stable_stats_;
+  CohortStats canary_stats_;
+  std::thread rollout_thread_;
+  std::mutex rollout_mu_;
+  std::condition_variable rollout_cv_;
+  bool rollout_stop_ = false;
+  std::atomic<int> rollout_state_{static_cast<int>(RolloutState::kIdle)};
+  std::atomic<uint64_t> stable_version_{0};
+  std::atomic<uint64_t> generation_{0};
+
   bool running_ = false;
 };
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/model_dir.h"
 
 namespace bigcity::util {
 
@@ -61,20 +62,6 @@ Status WriteAll(int fd, const char* data, size_t size,
     written += static_cast<size_t>(n);
   }
   return Status::Ok();
-}
-
-/// Best-effort fsync of the directory containing `path`, so the rename
-/// itself is durable.
-void SyncParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
 }
 
 }  // namespace
@@ -146,8 +133,15 @@ Status CheckpointWriter::Commit(const std::string& path) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError(ErrnoMessage("rename failed for", path));
   }
-  SyncParentDir(path);
-  return Status::Ok();
+  // The rename alone does not make the new directory entry durable: a
+  // crash after rename but before the directory's own fsync can surface
+  // the *old* entry on recovery. Commit therefore only reports success
+  // once the parent directory is synced.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  return SyncDir(dir);
 }
 
 Status CheckpointReader::Open(const std::string& path) {

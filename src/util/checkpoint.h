@@ -19,8 +19,10 @@ namespace bigcity::util {
 ///   [payload bytes]
 ///
 /// Writes are crash-safe: the full container goes to `<path>.tmp`, is
-/// fsync'd, and is then renamed over `path`, so a crash at any point leaves
-/// either the old file or the new one — never a torn mix. Readers validate
+/// fsync'd, renamed over `path`, and the parent directory is then fsync'd
+/// (a rename alone does not make the new directory entry durable), so a
+/// crash at any point leaves either the old file or the new one — never a
+/// torn mix and never a silently-vanishing commit. Readers validate
 /// magic, version, size, and CRC before handing out a single payload byte,
 /// so truncation and bit rot surface as descriptive Status errors instead
 /// of garbage loads.

@@ -97,6 +97,23 @@ inline constexpr char kFaultServeForwardFail[] = "serve.forward.fail";
 /// Replica checkpoint reload at server start: transient failure.
 inline constexpr char kFaultServeReloadFail[] = "serve.reload.fail";
 
+// Model-lifecycle sites (util/model_dir, src/serve rollout; DESIGN.md
+// §4.12).
+/// PublishCurrent: stop after writing Param() bytes of CURRENT.tmp and
+/// before the rename (simulated crash mid-publish; the CURRENT pointer —
+/// and therefore every reader — must be unaffected).
+inline constexpr char kFaultPublishTornPointer[] =
+    "modeldir.publish.torn_pointer";
+/// Rollout staging: sleep Param() milliseconds while loading a candidate
+/// version's weights (slow disk / huge checkpoint; serving must continue
+/// on the stable version throughout).
+inline constexpr char kFaultRolloutSlowLoad[] = "serve.rollout.slow_load";
+/// Canary forward path: inflate the recorded forward latency of canary
+/// requests by Param() microseconds, so the health gate's latency
+/// comparison is testable without a genuinely slow model.
+inline constexpr char kFaultRolloutCanaryLatency[] =
+    "serve.rollout.canary_latency";
+
 }  // namespace bigcity::util
 
 #endif  // BIGCITY_UTIL_FAULT_INJECTION_H_

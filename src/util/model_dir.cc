@@ -1,0 +1,224 @@
+#include "util/model_dir.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/checkpoint.h"
+#include "util/fault_injection.h"
+#include "util/io.h"
+
+namespace bigcity::util {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAllFd(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed for", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string VersionDirName(uint64_t version) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "v%06llu",
+                static_cast<unsigned long long>(version));
+  return buffer;
+}
+
+bool ParseVersionDirName(const std::string& name, uint64_t* version) {
+  if (name.size() < 2 || name[0] != 'v') return false;
+  uint64_t value = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *version = value;
+  return true;
+}
+
+std::string VersionPath(const std::string& dir, uint64_t version) {
+  return dir + "/" + VersionDirName(version);
+}
+
+std::string ManifestPath(const std::string& version_dir) {
+  return version_dir + "/manifest.ckpt";
+}
+
+std::string WeightsPath(const std::string& version_dir) {
+  return version_dir + "/weights.ckpt";
+}
+
+std::string QuarantinePath(const std::string& version_dir) {
+  return version_dir + "/QUARANTINED";
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::IoError(ErrnoMessage("cannot create directory", path));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open directory", dir));
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = Status::IoError(ErrnoMessage("fsync failed for", dir));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status WriteManifest(const std::string& version_dir,
+                     const VersionManifest& manifest) {
+  CheckpointWriter writer;
+  WriteU64(writer.stream(), manifest.version);
+  // parent_version is biased by one so -1 (no parent) stores as 0.
+  WriteU64(writer.stream(),
+           static_cast<uint64_t>(manifest.parent_version + 1));
+  WriteString(writer.stream(), manifest.config_fingerprint);
+  WriteU64(writer.stream(), manifest.weight_bytes);
+  WriteU64(writer.stream(), manifest.weight_crc);
+  return writer.Commit(ManifestPath(version_dir));
+}
+
+Result<VersionManifest> ReadManifest(const std::string& version_dir) {
+  CheckpointReader reader;
+  if (auto s = reader.Open(ManifestPath(version_dir)); !s.ok()) return s;
+  VersionManifest manifest;
+  uint64_t parent_biased = 0;
+  uint64_t crc = 0;
+  if (auto s = ReadU64(reader.stream(), &manifest.version); !s.ok()) return s;
+  if (auto s = ReadU64(reader.stream(), &parent_biased); !s.ok()) return s;
+  if (auto s = ReadString(reader.stream(), &manifest.config_fingerprint);
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = ReadU64(reader.stream(), &manifest.weight_bytes); !s.ok()) {
+    return s;
+  }
+  if (auto s = ReadU64(reader.stream(), &crc); !s.ok()) return s;
+  manifest.parent_version = static_cast<int64_t>(parent_biased) - 1;
+  manifest.weight_crc = static_cast<uint32_t>(crc);
+  return manifest;
+}
+
+Status FileCrc32(const std::string& path, uint32_t* crc, uint64_t* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for CRC: " + path);
+  char buffer[1 << 16];
+  uint32_t running = 0;
+  uint64_t total = 0;
+  while (in) {
+    in.read(buffer, sizeof(buffer));
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    running = Crc32(buffer, static_cast<size_t>(n), running);
+    total += static_cast<uint64_t>(n);
+  }
+  if (in.bad()) return Status::IoError("read failed during CRC: " + path);
+  *crc = running;
+  if (bytes != nullptr) *bytes = total;
+  return Status::Ok();
+}
+
+Status PublishCurrent(const std::string& dir, uint64_t version) {
+  const std::string contents = VersionDirName(version) + "\n";
+  const std::string current = dir + "/CURRENT";
+  const std::string tmp = current + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", tmp));
+
+  // Fault site: the process dies after writing Param() bytes of the temp
+  // pointer, before the rename. CURRENT must remain exactly as it was —
+  // the torn publish is invisible to every reader.
+  if (FaultInjection::Fire(kFaultPublishTornPointer)) {
+    const auto keep =
+        static_cast<size_t>(FaultInjection::Param(kFaultPublishTornPointer));
+    Status torn = WriteAllFd(fd, contents.data(),
+                             std::min(keep, contents.size()), tmp);
+    ::close(fd);
+    if (!torn.ok()) return torn;
+    return Status::IoError("CURRENT pointer write interrupted (fault "
+                           "injection): " +
+                           tmp);
+  }
+
+  if (Status s = WriteAllFd(fd, contents.data(), contents.size(), tmp);
+      !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = Status::IoError(ErrnoMessage("fsync failed for", tmp));
+    ::close(fd);
+    return s;
+  }
+  if (::close(fd) != 0) {
+    return Status::IoError(ErrnoMessage("close failed for", tmp));
+  }
+  if (std::rename(tmp.c_str(), current.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename failed for", current));
+  }
+  // The rename ordered the directory entry but did not persist it; a crash
+  // before this fsync could resurrect the old pointer. That is safe (old
+  // version stays fully intact) but the publish would silently vanish, so
+  // the protocol requires the directory fsync to report success.
+  return SyncDir(dir);
+}
+
+Result<uint64_t> ReadCurrent(const std::string& dir) {
+  std::ifstream in(dir + "/CURRENT");
+  if (!in) return Status::NotFound("no CURRENT pointer in " + dir);
+  std::string name;
+  in >> name;
+  uint64_t version = 0;
+  if (!ParseVersionDirName(name, &version)) {
+    return Status::InvalidArgument("corrupt CURRENT pointer in " + dir +
+                                   ": \"" + name + "\"");
+  }
+  return version;
+}
+
+std::vector<uint64_t> ListVersions(const std::string& dir) {
+  std::vector<uint64_t> versions;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return versions;
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t version = 0;
+    if (ParseVersionDirName(entry->d_name, &version)) {
+      versions.push_back(version);
+    }
+  }
+  ::closedir(d);
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+}  // namespace bigcity::util

@@ -1,0 +1,94 @@
+#ifndef BIGCITY_UTIL_MODEL_DIR_H_
+#define BIGCITY_UTIL_MODEL_DIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bigcity::util {
+
+/// Versioned model-directory publication protocol (DESIGN.md §4.12). A
+/// model directory holds one subdirectory per published version plus an
+/// atomically-updated pointer file naming the latest publication:
+///
+///   <dir>/
+///     v000001/
+///       weights.ckpt    CRC-checked checkpoint container (util/checkpoint)
+///       manifest.ckpt   version, parent, config fingerprint, weight CRC
+///     v000002/...
+///     CURRENT           text file naming the current version dir
+///
+/// Publication order is weights → manifest → CURRENT, each step crash-safe
+/// (write-temp → fsync → atomic rename → parent-directory fsync), so a
+/// crash at any point leaves readers either on the previous version or on
+/// the fully-materialized new one — never on a half-visible directory.
+/// Readers treat the version named by CURRENT as the only candidate; a
+/// version directory without a CURRENT pointer to it does not exist as far
+/// as consumers are concerned.
+
+/// Per-version metadata, stored as `manifest.ckpt` inside the version
+/// directory (a util/checkpoint container, so corruption is detected by
+/// the container CRC before any field is parsed).
+struct VersionManifest {
+  uint64_t version = 0;
+  /// Version this one was derived from; -1 for an initial publication.
+  int64_t parent_version = -1;
+  /// Fingerprint of the model configuration the weights were produced
+  /// under (core::ConfigFingerprint). Consumers refuse to load weights
+  /// whose fingerprint does not match their own config.
+  std::string config_fingerprint;
+  /// Size and CRC-32 of the entire weights container file, so bit rot or
+  /// torn weight files are detected without parsing the container.
+  uint64_t weight_bytes = 0;
+  uint32_t weight_crc = 0;
+};
+
+/// "v%06llu" — sortable, fixed-width version directory name.
+std::string VersionDirName(uint64_t version);
+/// Parses a VersionDirName; false for anything else (tmp files, CURRENT).
+bool ParseVersionDirName(const std::string& name, uint64_t* version);
+
+/// Canonical paths inside a model directory.
+std::string VersionPath(const std::string& dir, uint64_t version);
+std::string ManifestPath(const std::string& version_dir);
+std::string WeightsPath(const std::string& version_dir);
+/// Quarantine marker dropped next to a rejected version's manifest so a
+/// restarted consumer does not re-validate a known-bad version.
+std::string QuarantinePath(const std::string& version_dir);
+
+/// mkdir -p equivalent returning Status (EEXIST is success).
+Status EnsureDirectory(const std::string& path);
+
+/// Opens `dir` and fsyncs it, making directory-entry mutations (renames,
+/// creates) durable. Rename alone orders the entry but does not persist
+/// it; every atomic-publish step must be followed by this.
+Status SyncDir(const std::string& dir);
+
+/// Writes `manifest.ckpt` into `version_dir` crash-safely.
+Status WriteManifest(const std::string& version_dir,
+                     const VersionManifest& manifest);
+/// Reads and validates `manifest.ckpt` (container CRC + field parse).
+Result<VersionManifest> ReadManifest(const std::string& version_dir);
+
+/// CRC-32 and size of an arbitrary file's raw bytes (streamed).
+Status FileCrc32(const std::string& path, uint32_t* crc, uint64_t* bytes);
+
+/// Atomically points `<dir>/CURRENT` at `version`: write CURRENT.tmp,
+/// fsync, rename over CURRENT, fsync the directory. Fault site
+/// `modeldir.publish.torn_pointer` simulates a crash mid-update; the
+/// destination pointer is guaranteed untouched in that case.
+Status PublishCurrent(const std::string& dir, uint64_t version);
+
+/// Version named by `<dir>/CURRENT`; kNotFound when no version has ever
+/// been published (readers keep whatever they are serving).
+Result<uint64_t> ReadCurrent(const std::string& dir);
+
+/// Sorted list of version numbers with a version directory present
+/// (published or not). Missing/unreadable dir yields an empty list.
+std::vector<uint64_t> ListVersions(const std::string& dir);
+
+}  // namespace bigcity::util
+
+#endif  // BIGCITY_UTIL_MODEL_DIR_H_

@@ -348,6 +348,34 @@ TEST(ValidateTest, GeneratedCorpusIsValid) {
                   .ok());
 }
 
+TEST(ValidateTest, SinglePointTrajectoryIsStructurallyValid) {
+  // One in-range point with a finite timestamp is valid *data*; tasks that
+  // need a transition (next-hop, TTE, ...) reject it at the serving layer
+  // with kInvalidArgument — never an abort (see serve/server.cc).
+  Trajectory trajectory;
+  trajectory.points = {{3, 42.0}};
+  EXPECT_TRUE(ValidateTrajectory(trajectory, /*num_segments=*/10).ok());
+}
+
+TEST(ValidateTest, TrafficWindowRejectsNonFiniteFeatures) {
+  TrafficStateSeries series(/*num_slices=*/24, /*num_segments=*/5,
+                            /*slice_seconds=*/300.0);
+  series.Set(/*slice=*/10, /*segment=*/2, /*channel=*/0,
+             std::numeric_limits<float>::quiet_NaN());
+  series.Set(/*slice=*/15, /*segment=*/3, /*channel=*/1,
+             std::numeric_limits<float>::infinity());
+  // Windows covering the poisoned cells are rejected with a definite
+  // Status naming the cell...
+  util::Status nan_status = ValidateTrafficWindow(series, 2, 8, 4);
+  EXPECT_EQ(nan_status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(nan_status.message().find("non-finite"), std::string::npos);
+  EXPECT_EQ(ValidateTrafficWindow(series, 3, 15, 1).code(),
+            util::StatusCode::kInvalidArgument);
+  // ...while windows (and segments) that miss them stay valid.
+  EXPECT_TRUE(ValidateTrafficWindow(series, 2, 11, 4).ok());
+  EXPECT_TRUE(ValidateTrafficWindow(series, 0, 0, 24).ok());
+}
+
 TEST(ValidateTest, TrafficWindowBounds) {
   TrafficStateSeries series(/*num_slices=*/24, /*num_segments=*/5,
                             /*slice_seconds=*/300.0);

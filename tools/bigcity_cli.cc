@@ -9,10 +9,20 @@
 //       Evaluate a checkpoint on all eight tasks and print a report.
 //   serve    --city XA --scale 0.5 --requests trips.csv [--task next]
 //       Drive the resilient inference server with a trajectory request
-//       file and print an outcome/latency summary.
+//       file and print an outcome/latency summary. With --model-dir the
+//       server watches the versioned model directory and hot-swaps
+//       published versions through the canary gate while serving; add
+//       --watch-seconds to keep replaying the request mix for that long.
+//   publish  --city XA --scale 0.5 --model-dir models/ [--load model.bin]
+//       Publish a checkpoint into a versioned model directory (weights +
+//       CRC manifest, atomic CURRENT flip) for a watching server to pick
+//       up. Without --load the freshly initialized weights are published.
 //
-// The --city/--scale pair must match between train and eval/serve (the
-// model's label space is city-specific).
+// The --city/--scale pair must match between train and eval/serve/publish
+// (the model's label space is city-specific). A checkpoint produced by
+// `train` carries LoRA adapters: pass --load on both the publish and the
+// serve side (or neither) so the replicas' parameter sets line up.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +37,9 @@
 #include "data/csv_io.h"
 #include "data/dataset.h"
 #include "obs/obs.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
+#include "util/model_dir.h"
 #include "train/evaluator.h"
 #include "train/trainer.h"
 #include "util/table_printer.h"
@@ -58,11 +70,14 @@ struct CliOptions {
   int workers = 2;
   int queue_capacity = 16;
   double deadline_ms = 0;     // <= 0: no per-request deadline.
+  // Model lifecycle (DESIGN.md §4.12).
+  std::string model_dir;      // serve: watch; publish: destination.
+  double watch_seconds = 0;   // serve: keep replaying this long (0 = once).
 };
 
 void PrintUsage() {
   std::printf(
-      "usage: bigcity_cli <generate|train|eval|serve> [options]\n"
+      "usage: bigcity_cli <generate|train|eval|serve|publish> [options]\n"
       "  --city BJ|XA|CD   city preset (default XA)\n"
       "  --scale F         trajectory-count scale factor (default 0.5)\n"
       "  --out PATH        generate: CSV output path\n"
@@ -86,7 +101,12 @@ void PrintUsage() {
       "  --task NAME       serve: next|tte|class|embed (default next)\n"
       "  --workers N       serve: worker threads / model replicas (default 2)\n"
       "  --queue N         serve: admission queue capacity (default 16)\n"
-      "  --deadline-ms F   serve: per-request deadline; 0 = none\n");
+      "  --deadline-ms F   serve: per-request deadline; 0 = none\n"
+      "  --model-dir D     serve: watch D for published versions and\n"
+      "                    hot-swap them through the canary gate;\n"
+      "                    publish: versioned destination directory\n"
+      "  --watch-seconds F serve: keep replaying the request mix for F\n"
+      "                    seconds (0 = one replay pass)\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -133,6 +153,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->queue_capacity = std::atoi(value.c_str());
     } else if (flag == "--deadline-ms") {
       options->deadline_ms = std::atof(value.c_str());
+    } else if (flag == "--model-dir") {
+      options->model_dir = value;
+    } else if (flag == "--watch-seconds") {
+      options->watch_seconds = std::atof(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -358,6 +382,7 @@ int RunServe(const CliOptions& options) {
   serve_options.default_deadline_ms = options.deadline_ms;
   serve_options.checkpoint_path = options.load;
   serve_options.attach_lora = !options.load.empty();  // Matches eval.
+  serve_options.rollout.model_dir = options.model_dir;
   serve::InferenceServer server(&dataset, model_config, serve_options);
   if (auto status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -365,24 +390,33 @@ int RunServe(const CliOptions& options) {
     return 1;
   }
 
-  std::vector<std::future<serve::Response>> futures;
-  futures.reserve(trajectories.size());
-  for (size_t i = 0; i < trajectories.size(); ++i) {
-    serve::Request request;
-    request.task = task;
-    request.trajectory = trajectories[i];
-    request.id = i;
-    futures.push_back(server.Submit(std::move(request)));
-  }
-
   int counts[7] = {};
   std::vector<double> latencies_us;
-  latencies_us.reserve(futures.size());
-  for (auto& future : futures) {
-    serve::Response response = future.get();
-    counts[static_cast<int>(response.outcome)]++;
-    if (response.status.ok()) latencies_us.push_back(response.total_us);
-  }
+  latencies_us.reserve(trajectories.size());
+  const auto watch_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.watch_seconds));
+  size_t replayed = 0;
+  // Watch mode replays the mix until the deadline so the poller has live
+  // traffic to canary against; otherwise one pass.
+  do {
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(trajectories.size());
+    for (size_t i = 0; i < trajectories.size(); ++i) {
+      serve::Request request;
+      request.task = task;
+      request.trajectory = trajectories[i];
+      request.id = replayed + i;
+      futures.push_back(server.Submit(std::move(request)));
+    }
+    replayed += trajectories.size();
+    for (auto& future : futures) {
+      serve::Response response = future.get();
+      counts[static_cast<int>(response.outcome)]++;
+      if (response.status.ok()) latencies_us.push_back(response.total_us);
+    }
+  } while (std::chrono::steady_clock::now() < watch_deadline);
   server.Stop();
 
   std::sort(latencies_us.begin(), latencies_us.end());
@@ -404,7 +438,64 @@ int RunServe(const CliOptions& options) {
   table.AddRow({"p95 ms", util::TablePrinter::Num(percentile(0.95) / 1e3, 2)});
   table.AddRow({"p99 ms", util::TablePrinter::Num(percentile(0.99) / 1e3, 2)});
   table.Print();
+
+  if (!options.model_dir.empty()) {
+    const auto quarantined = server.registry()->Quarantined();
+    util::TablePrinter lifecycle({"Lifecycle", "Value"});
+    lifecycle.AddRow(
+        {"state", serve::RolloutStateName(server.rollout_state())});
+    lifecycle.AddRow({"stable version",
+                      util::TablePrinter::Num(
+                          static_cast<double>(server.stable_version()), 0)});
+    lifecycle.AddRow({"generation",
+                      util::TablePrinter::Num(
+                          static_cast<double>(server.generation()), 0)});
+    lifecycle.AddRow({"quarantined",
+                      util::TablePrinter::Num(
+                          static_cast<double>(quarantined.size()), 0)});
+    lifecycle.Print();
+    for (const auto& [version, reason] : quarantined) {
+      std::printf("  quarantined v%llu: %s\n",
+                  static_cast<unsigned long long>(version), reason.c_str());
+    }
+  }
   ExportObs(options);
+  return 0;
+}
+
+int RunPublish(const CliOptions& options) {
+  if (options.model_dir.empty()) {
+    std::fprintf(stderr, "publish requires --model-dir PATH\n");
+    return 1;
+  }
+  data::CityDataset dataset(CityConfig(options));
+  core::BigCityConfig model_config;
+  model_config.threads = options.threads;
+  core::BigCityModel model(&dataset, model_config);
+  if (!options.load.empty()) {
+    // Checkpoints carry LoRA adapters; attach before loading (same key
+    // derivation as eval/serve).
+    util::Rng lora_rng(train::TrainConfig{}.seed ^ 0xabc);
+    model.backbone()->EnableLora(&lora_rng);
+    if (auto status = model.LoadStateFromFile(options.load); !status.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  const auto current = util::ReadCurrent(options.model_dir);
+  const int64_t parent =
+      current.ok() ? static_cast<int64_t>(current.value()) : -1;
+  auto published = serve::PublishModel(options.model_dir, model, parent);
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("published version %llu (parent %lld, fingerprint %s) to %s\n",
+              static_cast<unsigned long long>(published.value()),
+              static_cast<long long>(parent),
+              core::ConfigFingerprint(model_config).c_str(),
+              options.model_dir.c_str());
   return 0;
 }
 
@@ -433,6 +524,7 @@ int main(int argc, char** argv) {
   if (options.command == "train") return bigcity::RunTrain(options);
   if (options.command == "eval") return bigcity::RunEval(options);
   if (options.command == "serve") return bigcity::RunServe(options);
+  if (options.command == "publish") return bigcity::RunPublish(options);
   bigcity::PrintUsage();
   return 2;
 }
