@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_train.json";
   std::string city = "XA";
   int threads = nn::kernels::NumThreads();
+  bool plans = true;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       threads = std::atoi(argv[i + 1]);
@@ -27,10 +28,12 @@ int main(int argc, char** argv) {
       out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--city") == 0) {
       city = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--plans") == 0) {
+      plans = std::strcmp(argv[i + 1], "off") != 0;
     } else {
-      std::fprintf(
-          stderr,
-          "usage: bench_train [--city XA|BJ|CD] [--threads N] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: bench_train [--city XA|BJ|CD] [--threads N] "
+                   "[--plans on|off] [--out PATH]\n");
       return 2;
     }
   }
@@ -43,7 +46,9 @@ int main(int argc, char** argv) {
   core::BigCityConfig model_config;
   model_config.threads = threads;
   core::BigCityModel model(&dataset, model_config);
-  train::Trainer trainer(&model, bench::BenchTrainConfig());
+  train::TrainConfig train_config = bench::BenchTrainConfig();
+  train_config.plans = plans;
+  train::Trainer trainer(&model, train_config);
 
   // Count only training work: dataset + model construction already ran.
   auto& registry = obs::MetricsRegistry::Global();
@@ -74,6 +79,12 @@ int main(int argc, char** argv) {
       {"GEMM GFLOP/s", util::TablePrinter::Num(gemm_flops / seconds / 1e9, 2)});
   table.AddRow({"Peak tensor MB",
                 util::TablePrinter::Num(peak_bytes / (1024.0 * 1024.0), 1)});
+  table.AddRow({"Plan cache hit/miss",
+                util::TablePrinter::Num(static_cast<double>(
+                    registry.GetCounter("plan.cache.hit")->Value()), 0) +
+                    "/" +
+                    util::TablePrinter::Num(static_cast<double>(
+                        registry.GetCounter("plan.cache.miss")->Value()), 0)});
   table.Print();
 
   std::FILE* f = std::fopen(out.c_str(), "w");

@@ -41,6 +41,10 @@ check_obs_outputs() {
   grep -q '"event":"health"' "$dir/report.jsonl"
   grep -q '"kernels.gemm.flops"' "$dir/metrics.json"
   grep -q '"p95"' "$dir/metrics.json"
+  # Execution plans (DESIGN.md §4.13) must actually engage: a training
+  # smoke with plans on replays from the cache after one capture per stage.
+  grep -q '"plan.cache.hit"' "$dir/metrics.json"
+  grep -q '"plan.arena.bytes"' "$dir/metrics.json"
   grep -q '"ops"' "$dir/profile.json"
   grep -q '"modules"' "$dir/profile.json"
   # Every artifact must be machine-readable, not just grep-able: the JSON
@@ -58,6 +62,9 @@ assert any(r.get("event") == "epoch" for r in records)
 assert any(r.get("event") == "health" for r in records)
 assert records[-1]["event"] == "summary"
 assert "queue_wait_p95_us" in records[-1]
+with open(f"{d}/metrics.json") as f:
+    metrics = json.load(f)
+assert metrics["counters"]["plan.cache.hit"] > 0, "plan cache never hit"
 print(f"json validation ok: {len(records)} report records")
 EOF
   fi
@@ -100,6 +107,8 @@ serve_smoke() {
     --metrics-out "$out/serve_metrics.json"
   grep -q '"serve.submitted"' "$out/serve_metrics.json"
   grep -q '"serve.e2e_us"' "$out/serve_metrics.json"
+  # Per-worker inference plans engaged during the replay.
+  grep -q '"plan.cache.hit"' "$out/serve_metrics.json"
   if command -v python3 > /dev/null; then
     python3 - "$out" <<'EOF'
 import json, sys

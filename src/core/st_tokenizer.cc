@@ -1,6 +1,7 @@
 #include "core/st_tokenizer.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "nn/ops.h"
 #include "util/check.h"
@@ -88,6 +89,12 @@ Tensor StTokenizer::SpatialRepresentations(int slice) {
   if (auto it = slice_cache_.find(slice); it != slice_cache_.end()) {
     return it->second;
   }
+  // In no-grad (serving) mode the caches persist across requests — and
+  // thus across per-request plan scopes — so the whole fill is pinned to
+  // the heap. In training mode the caches stay arena-backed: the trainer
+  // clears them (BeginStep) before every step's arena rewind.
+  std::optional<nn::ArenaPin> pin;
+  if (!nn::GradEnabled()) pin.emplace();
   const int num_segments = network_->num_segments();
 
   // Static representations H^(s) (Eq. 4) — slice-independent, cached once.

@@ -1,0 +1,227 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+
+namespace bigcity::nn {
+
+namespace {
+
+constexpr size_t kAlign = 64;
+
+inline size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+
+/// Allocation granularity: small blocks align to 64 B; larger blocks
+/// round up to ~1/16th of their magnitude (<12.5% internal slack) so
+/// near-miss sizes — variable-length sequences, mostly — share free-list
+/// buckets instead of bumping fresh arena memory.
+inline size_t RoundSize(size_t n) {
+  if (n <= 4096) return AlignUp(n);
+  size_t granule = kAlign;
+  while (granule * 16 < n) granule <<= 1;
+  return (n + granule - 1) & ~(granule - 1);
+}
+
+thread_local TensorArena* g_current_arena = nullptr;
+
+/// Process-wide slab bytes across every arena (plan.arena.bytes gauge).
+std::atomic<int64_t> g_total_arena_bytes{0};
+
+}  // namespace
+
+TensorArena* TensorArena::Current() { return g_current_arena; }
+
+TensorArena* TensorArena::Exchange(TensorArena* next) {
+  TensorArena* previous = g_current_arena;
+  g_current_arena = next;
+  return previous;
+}
+
+int64_t TensorArena::TotalBytes() {
+  return g_total_arena_bytes.load(std::memory_order_relaxed);
+}
+
+TensorArena::TensorArena(size_t initial_slab_bytes)
+    : initial_slab_bytes_(std::max<size_t>(initial_slab_bytes, 4 * 1024)) {}
+
+TensorArena::~TensorArena() {
+  // Stale allocations at destruction would be a hard use-after-free no
+  // poison valve can soften; the plan layer only destroys arenas between
+  // scopes, where outstanding_ == 0 holds by construction.
+  BIGCITY_CHECK_EQ(outstanding_, 0)
+      << "TensorArena destroyed with live allocations";
+  ReleaseSlabs(&slabs_);
+  ReleaseSlabs(&retired_);
+}
+
+void TensorArena::AddSlab(size_t min_bytes) {
+  // Growth slabs carry 25% headroom over the current capacity, not a
+  // doubling schedule: clean Resets consolidate the chain anyway, and a
+  // step that slightly outgrows a large consolidated slab must not pay
+  // for (or transiently hold) a second copy of it.
+  Slab slab;
+  slab.size = std::max({AlignUp(min_bytes), capacity_bytes() / 4,
+                        initial_slab_bytes_});
+  slab.bytes.reset(new char[slab.size]);
+  ++slab_allocs_;
+  g_total_arena_bytes.fetch_add(static_cast<int64_t>(slab.size),
+                                std::memory_order_relaxed);
+  BIGCITY_MEM_ALLOC(static_cast<int64_t>(slab.size));
+  slabs_.push_back(std::move(slab));
+}
+
+void TensorArena::ReleaseSlabs(std::vector<Slab>* slabs) {
+  for (Slab& slab : *slabs) {
+    g_total_arena_bytes.fetch_sub(static_cast<int64_t>(slab.size),
+                                  std::memory_order_relaxed);
+    BIGCITY_MEM_FREE(static_cast<int64_t>(slab.size));
+  }
+  slabs->clear();
+}
+
+size_t TensorArena::capacity_bytes() const {
+  size_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.size;
+  return total;
+}
+
+#if BIGCITY_ARENA_SHADOW
+
+void* TensorArena::Allocate(size_t bytes) {
+  void* p = ::operator new(bytes > 0 ? bytes : 1);
+  shadow_live_.emplace(p, bytes);
+  step_bytes_ += AlignUp(bytes);
+  ++step_allocs_;
+  ++outstanding_;
+  g_total_arena_bytes.fetch_add(static_cast<int64_t>(bytes),
+                                std::memory_order_relaxed);
+  BIGCITY_MEM_ALLOC(static_cast<int64_t>(bytes));
+  return p;
+}
+
+bool TensorArena::Owns(const void* p) const {
+  return shadow_live_.count(p) != 0;
+}
+
+bool TensorArena::Deallocate(void* p, size_t /*bytes*/) {
+  auto it = shadow_live_.find(p);
+  if (it == shadow_live_.end()) return false;
+  g_total_arena_bytes.fetch_sub(static_cast<int64_t>(it->second),
+                                std::memory_order_relaxed);
+  BIGCITY_MEM_FREE(static_cast<int64_t>(it->second));
+  shadow_live_.erase(it);
+  --outstanding_;
+  ::operator delete(p);
+  return true;
+}
+
+void TensorArena::Reset() {
+  if (outstanding_ != 0) ++poisoned_resets_;
+  step_bytes_ = 0;
+  step_allocs_ = 0;
+}
+
+#else  // !BIGCITY_ARENA_SHADOW
+
+void* TensorArena::Allocate(size_t bytes) {
+  const size_t need = RoundSize(bytes > 0 ? bytes : 1);
+  ++step_allocs_;
+  ++outstanding_;
+  // Recycle a same-size freed block first: shapes repeat within a step,
+  // so this serves most requests from hot, just-released memory and caps
+  // the bump high-water mark near the step's live peak.
+  if (auto it = free_lists_.find(need);
+      it != free_lists_.end() && !it->second.empty()) {
+    void* p = it->second.back();
+    it->second.pop_back();
+    return p;
+  }
+  while (active_slab_ < slabs_.size() &&
+         slabs_[active_slab_].used + need > slabs_[active_slab_].size) {
+    ++active_slab_;  // Space skipped here is reclaimed at the next Reset.
+  }
+  if (active_slab_ == slabs_.size()) AddSlab(need);
+  Slab& slab = slabs_[active_slab_];
+  void* p = slab.bytes.get() + slab.used;
+  slab.used += need;
+  step_bytes_ += need;
+  return p;
+}
+
+bool TensorArena::OwnsActive(const void* p) const {
+  const char* c = static_cast<const char*>(p);
+  for (const Slab& slab : slabs_) {
+    if (c >= slab.bytes.get() && c < slab.bytes.get() + slab.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TensorArena::Owns(const void* p) const {
+  if (OwnsActive(p)) return true;
+  const char* c = static_cast<const char*>(p);
+  for (const Slab& slab : retired_) {
+    if (c >= slab.bytes.get() && c < slab.bytes.get() + slab.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TensorArena::Deallocate(void* p, size_t bytes) {
+  if (OwnsActive(p)) {
+    // Only active-slab blocks are recycled; a stale block in a retired
+    // slab is just forgotten (its slab is reclaimed at the next clean
+    // Reset).
+    free_lists_[RoundSize(bytes > 0 ? bytes : 1)].push_back(p);
+    --outstanding_;
+    return true;
+  }
+  if (!Owns(p)) return false;
+  --outstanding_;
+  return true;
+}
+
+void TensorArena::Reset() {
+  // Drop free-list contents either way (the blocks live in slabs that are
+  // about to be rewound or retired); the per-size vectors keep their
+  // capacity so steady-state steps do no bookkeeping allocation.
+  for (auto& [size, list] : free_lists_) list.clear();
+  if (outstanding_ != 0) {
+    // Live allocations survive the step boundary: retire the slabs so the
+    // stale tensors keep pointing at valid memory (bounded leak, not UB).
+    ++poisoned_resets_;
+    for (Slab& slab : slabs_) retired_.push_back(std::move(slab));
+    slabs_.clear();
+    active_slab_ = 0;
+  } else {
+    ReleaseSlabs(&retired_);
+    if (slabs_.size() > 1) {
+      // Consolidate the chain into one slab sized to the bytes the step
+      // actually bumped — but only when there is real slack to reclaim or
+      // the chain has grown long (Owns() scans it per free). Without the
+      // hysteresis, steps that alternate around the high-water mark would
+      // free and re-fault a ~100 MB slab every Reset.
+      size_t used_total = 0;
+      for (const Slab& slab : slabs_) used_total += slab.used;
+      max_step_used_ = std::max(max_step_used_, used_total);
+      const size_t capacity = capacity_bytes();
+      if (slabs_.size() > 8 ||
+          capacity > max_step_used_ + max_step_used_ / 2) {
+        ReleaseSlabs(&slabs_);
+        AddSlab(max_step_used_);
+      }
+    }
+    for (Slab& slab : slabs_) slab.used = 0;
+    active_slab_ = 0;
+  }
+  step_bytes_ = 0;
+  step_allocs_ = 0;
+}
+
+#endif  // BIGCITY_ARENA_SHADOW
+
+}  // namespace bigcity::nn

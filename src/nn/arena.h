@@ -1,0 +1,273 @@
+#ifndef BIGCITY_NN_ARENA_H_
+#define BIGCITY_NN_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/memory.h"
+
+// The ASan lane cannot see into a bump arena (sub-allocations of one big
+// slab all look live to it), so sanitized builds switch the arena to a
+// shadow-heap mode: every Allocate is a real ::operator new tracked in a
+// per-arena table, preserving the arena's lifetime semantics while a
+// use-after-recycle becomes a genuine heap-use-after-free ASan reports.
+#ifndef BIGCITY_ARENA_SHADOW
+#if defined(__SANITIZE_ADDRESS__)
+#define BIGCITY_ARENA_SHADOW 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BIGCITY_ARENA_SHADOW 1
+#endif
+#endif
+#endif
+#ifndef BIGCITY_ARENA_SHADOW
+#define BIGCITY_ARENA_SHADOW 0
+#endif
+
+namespace bigcity::nn {
+
+/// Bump-pointer arena with block recycling for the per-step autograd
+/// working set (DESIGN.md §4.13). One training step / inference forward
+/// allocates every graph node, activation, and gradient buffer from the
+/// arena; when the step's tensors have all been released, Reset() rewinds
+/// the whole arena in O(1) so the next step reuses the same slab — steady
+/// state performs zero heap allocations.
+///
+/// Within a step, freed blocks go on exact-size free lists and are handed
+/// back LIFO to later same-size requests. Tensor shapes repeat heavily
+/// inside a step, so this keeps the arena's high-water mark near the
+/// step's LIVE peak (not its total churn) and keeps reused buffers hot in
+/// cache — without it a pure bump arena would hold every transient the
+/// step ever allocated.
+///
+/// Lifetime contract: an arena is single-threaded (one trainer thread or
+/// one serve worker owns it; activation via ArenaScope is thread-local).
+/// Reset() with live allocations outstanding does NOT recycle: the active
+/// slabs are retired — kept alive so stale tensors still point at valid
+/// memory — and `poisoned_resets()` is incremented. That converts a
+/// lifetime bug from use-after-free into a bounded leak the tests can
+/// assert on. Retired slabs are reclaimed at the next fully-drained
+/// Reset() or at destruction.
+class TensorArena {
+ public:
+  static constexpr bool kShadowHeap = BIGCITY_ARENA_SHADOW != 0;
+
+  explicit TensorArena(size_t initial_slab_bytes = 256 * 1024);
+  ~TensorArena();
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Thread-local active arena consulted by ArenaAllocator's default
+  /// constructor; null means "allocate from the heap".
+  static TensorArena* Current();
+  /// Installs `next` as the thread's active arena, returns the previous
+  /// one (RAII wrappers below are the intended interface).
+  static TensorArena* Exchange(TensorArena* next);
+
+  /// Allocates `bytes` (64-byte aligned): recycles a same-size freed
+  /// block when one is available, else bump-allocates, growing by a
+  /// doubling slab when the current one is full.
+  void* Allocate(size_t bytes);
+  /// True when `p` points into an active or retired slab of this arena.
+  bool Owns(const void* p) const;
+  /// Releases one allocation. Returns false when `p` is not arena memory
+  /// (the caller must free it as an ordinary heap block); this happens
+  /// when allocator propagation pairs an arena-bound allocator with a
+  /// buffer that predates the arena scope.
+  bool Deallocate(void* p, size_t bytes);
+
+  /// End-of-step rewind. All allocations drained: frees retired slabs,
+  /// consolidates multiple active slabs into one big slab (so the next
+  /// step bump-allocates from a single block with no growth), and zeroes
+  /// the step counters. Allocations outstanding: poisons instead (see
+  /// class comment).
+  void Reset();
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Total bytes of active slabs (what one steady-state step can hold).
+  size_t capacity_bytes() const;
+  /// Fresh bytes bump-allocated since the last Reset (the step's
+  /// high-water footprint; recycled blocks don't count).
+  size_t step_bytes() const { return step_bytes_; }
+  /// Allocations served since the last Reset.
+  uint64_t step_allocs() const { return step_allocs_; }
+  /// Live allocations (allocate minus deallocate); 0 before a clean Reset.
+  int64_t outstanding() const { return outstanding_; }
+  /// Resets that found allocations still live and retired slabs instead
+  /// of recycling them.
+  uint64_t poisoned_resets() const { return poisoned_resets_; }
+  /// Heap slabs created over the arena's lifetime (steady state: stops
+  /// growing once the consolidated slab fits a whole step).
+  uint64_t slab_allocs() const { return slab_allocs_; }
+
+  /// Process-wide bytes currently held in arena slabs across all arenas
+  /// (feeds the plan.arena.bytes gauge).
+  static int64_t TotalBytes();
+
+ private:
+  struct Slab {
+    std::unique_ptr<char[]> bytes;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void AddSlab(size_t min_bytes);
+  void ReleaseSlabs(std::vector<Slab>* slabs);
+
+  bool OwnsActive(const void* p) const;
+
+  std::vector<Slab> slabs_;
+  /// Bump cursor: index of the slab currently being filled. Rewinds to 0
+  /// at Reset and advances monotonically through the chain within a step.
+  size_t active_slab_ = 0;
+  std::vector<Slab> retired_;
+#if !BIGCITY_ARENA_SHADOW
+  /// Freed blocks by aligned size, reused LIFO within the step. Cleared
+  /// (not freed) at Reset; entries never point into retired slabs.
+  std::unordered_map<size_t, std::vector<void*>> free_lists_;
+#endif
+  size_t initial_slab_bytes_;  // Floor for the first slab.
+  /// Largest per-step fresh-bump footprint seen (lifetime high-water):
+  /// the consolidation target. Comparing slack against this — not the
+  /// current step's usage — keeps small steps from shrinking capacity a
+  /// later large step would immediately re-grow.
+  size_t max_step_used_ = 0;
+  size_t step_bytes_ = 0;
+  uint64_t step_allocs_ = 0;
+  int64_t outstanding_ = 0;
+  uint64_t poisoned_resets_ = 0;
+  uint64_t slab_allocs_ = 0;
+
+#if BIGCITY_ARENA_SHADOW
+  /// Shadow-heap mode: live blocks by base pointer (value = size).
+  std::unordered_map<const void*, size_t> shadow_live_;
+#endif
+};
+
+/// Activates `arena` as the thread's allocation target for the enclosing
+/// scope. Passing null suspends any active arena (see ArenaPin).
+class ArenaScope {
+ public:
+  explicit ArenaScope(TensorArena* arena)
+      : previous_(TensorArena::Exchange(arena)) {}
+  ~ArenaScope() { TensorArena::Exchange(previous_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  TensorArena* previous_;
+};
+
+/// Forces heap allocation inside an arena scope — for tensors that must
+/// outlive the step (caches that persist across requests, results that
+/// escape to the caller).
+class ArenaPin : public ArenaScope {
+ public:
+  ArenaPin() : ArenaScope(nullptr) {}
+};
+
+/// Minimal stateful allocator backing every tensor payload. The target
+/// arena is captured ONCE, from the thread-local scope active when the
+/// allocator (and thus its container) is constructed; buffers therefore
+/// live exactly as long as the step arena they were born into, while
+/// containers constructed outside any scope — parameters, optimizer
+/// slabs, persistent caches — transparently stay on the heap. The
+/// heap-fallback path carries the obs::MemoryTracker accounting for float
+/// payloads, so BENCH alloc_bytes/allocs measure true allocation churn:
+/// bump allocations inside an arena cost (and count) nothing per step.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // Propagate on assignment/swap so a buffer always travels with the
+  // allocator that created it; Deallocate's Owns() check covers the one
+  // remaining mismatch (copy-assignment freeing the destination's old
+  // heap buffer through an arena-bound allocator).
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  /// Payload accounting policy: only float buffers (tensor data/grad)
+  /// report to obs::MemoryTracker, matching what BENCH_train.json has
+  /// always measured; graph-node and bookkeeping allocations do not.
+  static constexpr bool kTracked = std::is_same_v<T, float>;
+
+  ArenaAllocator() noexcept : arena_(TensorArena::Current()) {}
+  explicit ArenaAllocator(TensorArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  /// Container copies re-capture the CURRENT scope instead of inheriting
+  /// the source's arena: copying a heap tensor inside a step lands in the
+  /// arena, and copying an arena tensor under an ArenaPin lands on the
+  /// heap (how results escape a step).
+  ArenaAllocator select_on_container_copy_construction() const noexcept {
+    return ArenaAllocator();
+  }
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes));
+    }
+    if constexpr (kTracked) {
+      BIGCITY_MEM_ALLOC(static_cast<int64_t>(bytes));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr && arena_->Deallocate(p, bytes)) return;
+    if constexpr (kTracked) {
+      BIGCITY_MEM_FREE(static_cast<int64_t>(bytes));
+    }
+    ::operator delete(p);
+  }
+
+  TensorArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  TensorArena* arena_;
+};
+
+/// Tensor payload vector: arena-backed inside a step scope, plain heap
+/// (with MemoryTracker accounting) everywhere else.
+using FloatVec = std::vector<float, ArenaAllocator<float>>;
+
+// Value comparison across allocator flavors (tests compare payloads
+// against plain std::vector<float> literals).
+inline bool operator==(const FloatVec& a, const std::vector<float>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+inline bool operator==(const std::vector<float>& a, const FloatVec& b) {
+  return b == a;
+}
+inline bool operator!=(const FloatVec& a, const std::vector<float>& b) {
+  return !(a == b);
+}
+inline bool operator!=(const std::vector<float>& a, const FloatVec& b) {
+  return !(b == a);
+}
+
+}  // namespace bigcity::nn
+
+#endif  // BIGCITY_NN_ARENA_H_

@@ -13,7 +13,8 @@ float MaxGradError(Tensor input, const std::function<Tensor()>& loss_fn,
   input.ZeroGrad();
   Tensor loss = loss_fn();
   loss.Backward();
-  std::vector<float> analytic = input.grad();
+  const std::vector<float> analytic(input.grad().begin(),
+                                    input.grad().end());
 
   float max_error = 0.0f;
   auto& data = input.data();

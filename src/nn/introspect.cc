@@ -10,7 +10,7 @@ namespace bigcity::nn {
 
 namespace {
 
-bool AnyNonFinite(const std::vector<float>& values) {
+bool AnyNonFinite(const FloatVec& values) {
   for (const float v : values) {
     if (!std::isfinite(v)) return true;
   }

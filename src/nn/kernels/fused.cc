@@ -71,7 +71,7 @@ Tensor AffineImpl(const char* name, const Tensor& x, const Tensor& w,
   if (has_residual) {
     BIGCITY_CHECK(residual.shape() == (std::vector<int64_t>{n, m}));
   }
-  std::vector<float> out(static_cast<size_t>(n * m));
+  FloatVec out(static_cast<size_t>(n * m));
   const bool epilogue = has_bias || has_residual;
   if (epilogue) {
     FillEpilogue(out.data(), n, m,
@@ -86,7 +86,7 @@ Tensor AffineImpl(const char* name, const Tensor& x, const Tensor& w,
   auto wi = w.impl();
   auto bi = has_bias ? bias.impl() : nullptr;
   auto ri = has_residual ? residual.impl() : nullptr;
-  std::vector<std::shared_ptr<TensorImpl>> parents{xi, wi};
+  ParentVec parents{xi, wi};
   if (bi) parents.push_back(bi);
   if (ri) parents.push_back(ri);
   return MakeOpResult(
@@ -142,7 +142,7 @@ Tensor BiasActImpl(const char* name, const Tensor& x, const Tensor& b,
   const int64_t cols = x.shape().size() == 2 ? x.shape()[1] : x.numel();
   const auto& xd = x.data();
   const auto& bd = b.data();
-  std::vector<float> out(xd.size());
+  FloatVec out(xd.size());
   const bool gelu = slope < 0.0f;
   for (size_t i = 0; i < xd.size(); ++i) {
     const float u =
@@ -204,7 +204,7 @@ Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
   BIGCITY_PROFILE_OP_COST(U64(6 * n * d), U64(2 * n * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(5 * n * d), U64(3 * n * d) * 4);
   const auto& sd = scores.data();
-  std::vector<float> out(sd.size());
+  FloatVec out(sd.size());
   for (int64_t i = 0; i < n; ++i) {
     const float* row = sd.data() + i * d;
     float* out_row = out.data() + i * d;
@@ -251,7 +251,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
                           U64(n * k + k * m + n * m) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * k * m),
                               U64(2 * (n * k + k * m + n * m)) * 4);
-  std::vector<float> out(static_cast<size_t>(n * m));
+  FloatVec out(static_cast<size_t>(n * m));
   kernels::GemmABt(a.data().data(), b.data().data(), out.data(), n, k, m,
                    /*accumulate=*/false);
   auto ai = a.impl();

@@ -54,7 +54,7 @@ void Module::SaveState(std::ostream& out) const {
   util::WriteU64(out, named.size());
   for (const auto& [name, p] : named) {
     util::WriteString(out, name);
-    util::WriteFloatVector(out, p.data());
+    util::WriteFloatSpan(out, p.data().data(), p.data().size());
   }
 }
 
@@ -79,7 +79,7 @@ util::Status Module::LoadState(std::istream& in) {
       return util::Status::InvalidArgument("checkpoint shape mismatch for " +
                                            name);
     }
-    p.data() = std::move(values);
+    p.data().assign(values.begin(), values.end());
   }
   return util::Status::Ok();
 }

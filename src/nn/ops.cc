@@ -58,7 +58,7 @@ Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b,
   const auto& bd = b.data();
   BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(3 * a.numel()) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(2 * a.numel()), U64(4 * a.numel()) * 4);
-  std::vector<float> out(ad.size());
+  FloatVec out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) {
     out[i] = fwd(ad[i], bd[BIndex(mode, i, cols)]);
   }
@@ -95,7 +95,7 @@ Tensor UnaryOp(const char* name, const Tensor& a, UnaryFwd fwd,
   BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(2 * a.numel()), U64(3 * a.numel()) * 4);
   const auto& ad = a.data();
-  std::vector<float> out(ad.size());
+  FloatVec out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = fwd(ad[i]);
   auto ai = a.impl();
   auto out_copy = out;  // Captured for derivative-in-terms-of-output.
@@ -149,7 +149,7 @@ Tensor Scale(const Tensor& a, float factor) {
   BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   const auto& ad = a.data();
-  std::vector<float> out(ad.size());
+  FloatVec out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] * factor;
   auto ai = a.impl();
   return MakeOpResult(a.shape(), std::move(out), {ai},
@@ -167,7 +167,7 @@ Tensor AddConst(const Tensor& a, float value) {
   BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   const auto& ad = a.data();
-  std::vector<float> out(ad.size());
+  FloatVec out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] + value;
   auto ai = a.impl();
   return MakeOpResult(a.shape(), std::move(out), {ai},
@@ -223,7 +223,7 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(2 * a.numel()) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(2 * a.numel()), U64(3 * a.numel()) * 4);
   const auto& ad = a.data();
-  std::vector<float> out(ad.size());
+  FloatVec out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) {
     out[i] = ad[i] > 0.0f ? ad[i] : negative_slope * ad[i];
   }
@@ -282,7 +282,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                               U64(2 * (n * k + k * m + n * m)) * 4);
   // Write-mode GEMM: the kernel fully overwrites `out`, so no zero-filled
   // accumulation pass over the buffer is ever read.
-  std::vector<float> out(static_cast<size_t>(n * m));
+  FloatVec out(static_cast<size_t>(n * m));
   kernels::GemmAB(a.data().data(), b.data().data(), out.data(), n, k, m,
                   /*accumulate=*/false);
   auto ai = a.impl();
@@ -312,7 +312,7 @@ Tensor Transpose(const Tensor& a) {
   BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * n * m) * 4);
   // Write-through in destination order: reserve + push_back instead of
   // value-initializing a buffer that is then fully overwritten.
-  std::vector<float> out;
+  FloatVec out;
   out.reserve(static_cast<size_t>(n * m));
   const auto& ad = a.data();
   for (int64_t j = 0; j < m; ++j) {
@@ -361,7 +361,7 @@ Tensor MeanRows(const Tensor& a) {
   BIGCITY_PROFILE_OP("MeanRows");
   BIGCITY_PROFILE_OP_COST(U64(n * d), U64(n * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(n * d), U64(n * d) * 4);
-  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  FloatVec out(static_cast<size_t>(d), 0.0f);
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) {
@@ -390,7 +390,7 @@ Tensor SumCols(const Tensor& a) {
   BIGCITY_PROFILE_OP("SumCols");
   BIGCITY_PROFILE_OP_COST(U64(n * d), U64(n * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(n * d), U64(n * d) * 4);
-  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  FloatVec out(static_cast<size_t>(n), 0.0f);
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) {
@@ -419,7 +419,7 @@ Tensor Softmax(const Tensor& a) {
   BIGCITY_PROFILE_OP("Softmax");
   BIGCITY_PROFILE_OP_COST(U64(5 * n * d), U64(2 * n * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * d), U64(3 * n * d) * 4);
-  std::vector<float> out(a.data().size());
+  FloatVec out(a.data().size());
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     const float* row = ad.data() + i * d;
@@ -458,7 +458,7 @@ Tensor LogSoftmax(const Tensor& a) {
   BIGCITY_PROFILE_OP("LogSoftmax");
   BIGCITY_PROFILE_OP_COST(U64(5 * n * d), U64(2 * n * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(4 * n * d), U64(3 * n * d) * 4);
-  std::vector<float> out(a.data().size());
+  FloatVec out(a.data().size());
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     const float* row = ad.data() + i * d;
@@ -504,9 +504,9 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const auto& xd = x.data();
   const auto& gd = gamma.data();
   const auto& bd = beta.data();
-  std::vector<float> out(xd.size());
-  std::vector<float> xhat(xd.size());
-  std::vector<float> inv_std(static_cast<size_t>(n));
+  FloatVec out(xd.size());
+  FloatVec xhat(xd.size());
+  FloatVec inv_std(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     const float* row = xd.data() + i * d;
     float mean = 0.0f;
@@ -573,7 +573,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   BIGCITY_CHECK(!parts.empty());
   BIGCITY_CHECK(axis == 0 || axis == 1);
   BIGCITY_PROFILE_OP("Concat");
-  std::vector<std::shared_ptr<TensorImpl>> parents;
+  ParentVec parents;
   parents.reserve(parts.size());
   for (const auto& p : parts) {
     BIGCITY_CHECK_EQ(p.shape().size(), 2u);
@@ -593,7 +593,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
       cols += p.shape()[1];
     }
   }
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+  FloatVec out(static_cast<size_t>(rows * cols));
   BIGCITY_PROFILE_OP_COST(0, U64(2 * rows * cols) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * rows * cols) * 4);
   if (axis == 0) {
@@ -654,7 +654,7 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t end) {
   BIGCITY_PROFILE_OP("SliceRows");
   BIGCITY_PROFILE_OP_COST(0, U64(2 * m * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * m * d) * 4);
-  std::vector<float> out(a.data().begin() + start * d,
+  FloatVec out(a.data().begin() + start * d,
                          a.data().begin() + end * d);
   auto ai = a.impl();
   return MakeOpResult({m, d}, std::move(out), {ai},
@@ -676,7 +676,7 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t end) {
   BIGCITY_PROFILE_OP("SliceCols");
   BIGCITY_PROFILE_OP_COST(0, U64(2 * n * m) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(0, U64(2 * n * m) * 4);
-  std::vector<float> out(static_cast<size_t>(n * m));
+  FloatVec out(static_cast<size_t>(n * m));
   const auto& ad = a.data();
   for (int64_t i = 0; i < n; ++i) {
     std::copy(ad.begin() + i * d + start, ad.begin() + i * d + end,
@@ -704,7 +704,7 @@ Tensor Rows(const Tensor& a, const std::vector<int>& indices) {
                                  d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(
       0, U64(2 * static_cast<int64_t>(indices.size()) * d) * 4);
-  std::vector<float> out(indices.size() * static_cast<size_t>(d));
+  FloatVec out(indices.size() * static_cast<size_t>(d));
   const auto& ad = a.data();
   for (size_t i = 0; i < indices.size(); ++i) {
     BIGCITY_CHECK(indices[i] >= 0 && indices[i] < n);
@@ -760,14 +760,14 @@ Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment_ids,
                               U64(3 * scores.numel()) * 4);
   const auto& sd = scores.data();
   const size_t e = sd.size();
-  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+  FloatVec seg_max(static_cast<size_t>(num_segments),
                              -1e30f);
   for (size_t i = 0; i < e; ++i) {
     BIGCITY_CHECK(segment_ids[i] >= 0 && segment_ids[i] < num_segments);
     seg_max[segment_ids[i]] = std::max(seg_max[segment_ids[i]], sd[i]);
   }
-  std::vector<float> out(e);
-  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+  FloatVec out(e);
+  FloatVec seg_sum(static_cast<size_t>(num_segments), 0.0f);
   for (size_t i = 0; i < e; ++i) {
     out[i] = std::exp(sd[i] - seg_max[segment_ids[i]]);
     seg_sum[segment_ids[i]] += out[i];
@@ -780,7 +780,7 @@ Tensor SegmentSoftmax(const Tensor& scores, const std::vector<int>& segment_ids,
       [si, segment_ids, num_segments, y = std::move(y)](TensorImpl& self) {
         if (!si->needs_grad) return;
         si->EnsureGrad();
-        std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+        FloatVec seg_dot(static_cast<size_t>(num_segments), 0.0f);
         for (size_t i = 0; i < y.size(); ++i) {
           seg_dot[segment_ids[i]] += y[i] * self.grad[i];
         }
@@ -800,7 +800,7 @@ Tensor SegmentWeightedSum(const Tensor& weights, const Tensor& values,
   BIGCITY_PROFILE_OP("SegmentWeightedSum");
   BIGCITY_PROFILE_OP_COST(U64(2 * e * d), U64(3 * e * d) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(4 * e * d), U64(4 * e * d) * 4);
-  std::vector<float> out(static_cast<size_t>(num_segments) *
+  FloatVec out(static_cast<size_t>(num_segments) *
                              static_cast<size_t>(d),
                          0.0f);
   const auto& wd = weights.data();
@@ -845,10 +845,10 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng, bool training) {
   BIGCITY_PROFILE_OP_COST(U64(a.numel()), U64(3 * a.numel()) * 4);
   BIGCITY_PROFILE_OP_BWD_COST(U64(a.numel()), U64(3 * a.numel()) * 4);
   const float scale = 1.0f / (1.0f - p);
-  std::vector<float> mask(a.data().size());
+  FloatVec mask(a.data().size());
   for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
   const auto& ad = a.data();
-  std::vector<float> out(ad.size());
+  FloatVec out(ad.size());
   for (size_t i = 0; i < ad.size(); ++i) out[i] = ad[i] * mask[i];
   auto ai = a.impl();
   return MakeOpResult(a.shape(), std::move(out), {ai},
@@ -872,7 +872,7 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
   BIGCITY_PROFILE_OP_BWD_COST(U64(2 * n * c), U64(2 * n * c) * 4);
   const auto& ld = logits.data();
   // Forward: mean of -log softmax at target indices; store probs for bwd.
-  std::vector<float> probs(ld.size());
+  FloatVec probs(ld.size());
   float loss = 0.0f;
   for (int64_t i = 0; i < n; ++i) {
     BIGCITY_CHECK(targets[static_cast<size_t>(i)] >= 0 &&

@@ -1,10 +1,23 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "util/check.h"
 #include "util/io.h"
 
 namespace bigcity::nn {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  offsets_.reserve(parameters_.size() + 1);
+  size_t total = 0;
+  for (const auto& p : parameters_) {
+    offsets_.push_back(total);
+    total += p.data().size();
+  }
+  offsets_.push_back(total);
+}
 
 void Optimizer::ZeroGrad() {
   for (auto& p : parameters_) p.ZeroGrad();
@@ -28,16 +41,18 @@ float Optimizer::ClipGradNorm(float max_norm) {
 }
 
 Sgd::Sgd(std::vector<Tensor> parameters, float lr, float momentum)
-    : Optimizer(std::move(parameters)), lr_(lr), momentum_(momentum) {}
+    : Optimizer(std::move(parameters)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) velocity_.assign(total_numel(), 0.0f);
+}
 
 void Sgd::Step() {
-  for (auto& p : parameters_) {
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    Tensor& p = parameters_[pi];
     if (!p.requires_grad()) continue;
     auto& data = p.data();
     auto& grad = p.grad();
     if (momentum_ > 0.0f) {
-      auto& vel = velocity_[p.impl().get()];
-      if (vel.size() != data.size()) vel.assign(data.size(), 0.0f);
+      float* vel = velocity_.data() + offset_of(pi);
       for (size_t i = 0; i < data.size(); ++i) {
         vel[i] = momentum_ * vel[i] + grad[i];
         data[i] -= lr_ * vel[i];
@@ -51,20 +66,22 @@ void Sgd::Step() {
 Adam::Adam(std::vector<Tensor> parameters, float lr, float beta1, float beta2,
            float eps, float weight_decay)
     : Optimizer(std::move(parameters)), lr_(lr), beta1_(beta1),
-      beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+      beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  m_.assign(total_numel(), 0.0f);
+  v_.assign(total_numel(), 0.0f);
+}
 
 void Adam::Step() {
   ++t_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
-  for (auto& p : parameters_) {
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    Tensor& p = parameters_[pi];
     if (!p.requires_grad()) continue;
     auto& data = p.data();
     auto& grad = p.grad();
-    auto& m = m_[p.impl().get()];
-    auto& v = v_[p.impl().get()];
-    if (m.size() != data.size()) m.assign(data.size(), 0.0f);
-    if (v.size() != data.size()) v.assign(data.size(), 0.0f);
+    float* m = m_.data() + offset_of(pi);
+    float* v = v_.data() + offset_of(pi);
     for (size_t i = 0; i < data.size(); ++i) {
       m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
       v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
@@ -80,14 +97,14 @@ void Adam::SaveState(std::ostream& out) const {
   util::WriteFloat(out, lr_);
   util::WriteU64(out, static_cast<uint64_t>(t_));
   util::WriteU64(out, parameters_.size());
-  static const std::vector<float> kEmpty;
-  for (const auto& p : parameters_) {
-    // Moments are lazily created on the first Step; absent buffers are
-    // stored as empty vectors and stay lazy after a load.
-    const auto m_it = m_.find(p.impl().get());
-    const auto v_it = v_.find(p.impl().get());
-    util::WriteFloatVector(out, m_it == m_.end() ? kEmpty : m_it->second);
-    util::WriteFloatVector(out, v_it == v_.end() ? kEmpty : v_it->second);
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    const Tensor& p = parameters_[pi];
+    // Untouched slices (frozen parameter, or no step taken yet) serialize
+    // as empty vectors — the format the map-based implementation wrote.
+    const bool touched = t_ > 0 && p.requires_grad();
+    const size_t count = touched ? p.data().size() : 0;
+    util::WriteFloatSpan(out, m_.data() + offset_of(pi), count);
+    util::WriteFloatSpan(out, v_.data() + offset_of(pi), count);
   }
 }
 
@@ -102,8 +119,10 @@ util::Status Adam::LoadState(std::istream& in) {
     return util::Status::InvalidArgument(
         "optimizer state parameter count mismatch");
   }
-  std::unordered_map<TensorImpl*, std::vector<float>> m, v;
-  for (auto& p : parameters_) {
+  std::vector<float> m(total_numel(), 0.0f);
+  std::vector<float> v(total_numel(), 0.0f);
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    const Tensor& p = parameters_[pi];
     std::vector<float> pm, pv;
     if (auto s = util::ReadFloatVector(in, &pm); !s.ok()) return s;
     if (auto s = util::ReadFloatVector(in, &pv); !s.ok()) return s;
@@ -112,8 +131,14 @@ util::Status Adam::LoadState(std::istream& in) {
       return util::Status::InvalidArgument(
           "optimizer moment size mismatch with parameter");
     }
-    if (!pm.empty()) m[p.impl().get()] = std::move(pm);
-    if (!pv.empty()) v[p.impl().get()] = std::move(pv);
+    if (!pm.empty()) {
+      std::memcpy(m.data() + offset_of(pi), pm.data(),
+                  pm.size() * sizeof(float));
+    }
+    if (!pv.empty()) {
+      std::memcpy(v.data() + offset_of(pi), pv.data(),
+                  pv.size() * sizeof(float));
+    }
   }
   lr_ = lr;
   t_ = static_cast<int64_t>(t);

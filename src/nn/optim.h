@@ -1,8 +1,8 @@
 #ifndef BIGCITY_NN_OPTIM_H_
 #define BIGCITY_NN_OPTIM_H_
 
+#include <cstddef>
 #include <iosfwd>
-#include <unordered_map>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -13,10 +13,15 @@ namespace bigcity::nn {
 /// Base optimizer over an explicit parameter list. Parameters with
 /// requires_grad == false are skipped (supports LoRA-style freezing without
 /// rebuilding the optimizer).
+///
+/// Per-parameter optimizer state lives in contiguous slabs indexed by
+/// parameter position (offset_of()), not in pointer-keyed hash maps: the
+/// slabs are allocated once at construction on the plain heap, survive
+/// arena recycling of everything around them, and cost zero lookups per
+/// step.
 class Optimizer {
  public:
-  explicit Optimizer(std::vector<Tensor> parameters)
-      : parameters_(std::move(parameters)) {}
+  explicit Optimizer(std::vector<Tensor> parameters);
   virtual ~Optimizer() = default;
 
   /// Applies one update using the accumulated gradients.
@@ -32,7 +37,17 @@ class Optimizer {
   const std::vector<Tensor>& parameters() const { return parameters_; }
 
  protected:
+  /// Offset of parameter `i`'s state slice within a slab of
+  /// total_numel() floats (frozen parameters keep a slice too — simple
+  /// indexing beats special cases; their slices stay zero).
+  size_t offset_of(size_t i) const { return offsets_[i]; }
+  /// Total floats across all parameters (slab length per state kind).
+  size_t total_numel() const { return offsets_.back(); }
+
   std::vector<Tensor> parameters_;
+
+ private:
+  std::vector<size_t> offsets_;  // parameters_.size() + 1 entries.
 };
 
 /// Plain SGD with optional momentum.
@@ -47,7 +62,7 @@ class Sgd : public Optimizer {
  private:
   float lr_;
   float momentum_;
-  std::unordered_map<TensorImpl*, std::vector<float>> velocity_;
+  std::vector<float> velocity_;  // One slab; empty when momentum == 0.
 };
 
 /// Adam (Kingma & Ba, 2015) with optional decoupled weight decay (AdamW).
@@ -63,7 +78,9 @@ class Adam : public Optimizer {
 
   /// Serializes the learning rate, step count, and per-parameter moment
   /// buffers, aligned with the constructor's parameter order (a training
-  /// snapshot must restore them for bit-identical resume).
+  /// snapshot must restore them for bit-identical resume). Format is
+  /// unchanged from the map-based implementation: untouched moments
+  /// (never stepped / frozen parameter) are written as empty vectors.
   void SaveState(std::ostream& out) const;
   /// Restores state written by SaveState; the optimizer must hold the same
   /// parameter list (count and sizes are validated).
@@ -72,8 +89,8 @@ class Adam : public Optimizer {
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;
   int64_t t_ = 0;
-  std::unordered_map<TensorImpl*, std::vector<float>> m_;
-  std::unordered_map<TensorImpl*, std::vector<float>> v_;
+  std::vector<float> m_;  // First-moment slab, total_numel() floats.
+  std::vector<float> v_;  // Second-moment slab.
 };
 
 }  // namespace bigcity::nn

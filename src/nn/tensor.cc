@@ -21,24 +21,25 @@ uint64_t NextSeq() {
   return next.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-/// Reports the freshly materialized data payload to the memory tracker.
-void TrackDataBytes(TensorImpl* impl) {
-  const int64_t bytes = static_cast<int64_t>(impl->data.size() *
-                                             sizeof(float));
-  impl->tracked_bytes += bytes;
-  BIGCITY_MEM_ALLOC(bytes);
+/// Grad-construction switch flipped by NoGradGuard (thread-local so a
+/// no-grad serve worker never affects a concurrently training thread).
+thread_local bool g_grad_enabled = true;
+
+/// Allocates the graph node itself through the arena allocator, so inside
+/// a plan scope the node + shared_ptr control block are recycled with the
+/// payloads they manage.
+std::shared_ptr<TensorImpl> NewImpl() {
+  return std::allocate_shared<TensorImpl>(ArenaAllocator<TensorImpl>());
 }
 
 std::shared_ptr<TensorImpl> NewLeaf(std::vector<int64_t> shape,
-                                    std::vector<float> data,
-                                    bool requires_grad) {
-  auto impl = std::make_shared<TensorImpl>();
+                                    FloatVec data, bool requires_grad) {
+  auto impl = NewImpl();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
   impl->requires_grad = requires_grad;
   impl->needs_grad = requires_grad;
   impl->seq = NextSeq();
-  TrackDataBytes(impl.get());
   BIGCITY_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel())
       << "data size " << impl->data.size() << " vs numel " << impl->numel()
       << " (rank " << impl->shape.size() << ")";
@@ -47,12 +48,18 @@ std::shared_ptr<TensorImpl> NewLeaf(std::vector<int64_t> shape,
 
 }  // namespace
 
-TensorImpl::~TensorImpl() { BIGCITY_MEM_FREE(tracked_bytes); }
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {
   int64_t n = 1;
   for (int64_t d : shape) n *= d;
-  return Tensor(NewLeaf(std::move(shape), std::vector<float>(n, 0.0f),
+  return Tensor(NewLeaf(std::move(shape), FloatVec(n, 0.0f),
                         requires_grad));
 }
 
@@ -64,20 +71,28 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float value,
                     bool requires_grad) {
   int64_t n = 1;
   for (int64_t d : shape) n *= d;
-  return Tensor(NewLeaf(std::move(shape), std::vector<float>(n, value),
+  return Tensor(NewLeaf(std::move(shape), FloatVec(n, value),
                         requires_grad));
 }
 
 Tensor Tensor::FromData(std::vector<int64_t> shape, std::vector<float> data,
                         bool requires_grad) {
-  return Tensor(NewLeaf(std::move(shape), std::move(data), requires_grad));
+  return Tensor(NewLeaf(std::move(shape),
+                        FloatVec(data.begin(), data.end()), requires_grad));
+}
+
+Tensor Tensor::FromSpan(std::vector<int64_t> shape, const float* values,
+                        size_t count, bool requires_grad) {
+  return Tensor(
+      NewLeaf(std::move(shape), FloatVec(values, values + count),
+              requires_grad));
 }
 
 Tensor Tensor::Randn(std::vector<int64_t> shape, util::Rng* rng, float stddev,
                      bool requires_grad) {
   int64_t n = 1;
   for (int64_t d : shape) n *= d;
-  std::vector<float> data(n);
+  FloatVec data(n);
   for (auto& v : data) v = static_cast<float>(rng->Normal(0.0, stddev));
   return Tensor(NewLeaf(std::move(shape), std::move(data), requires_grad));
 }
@@ -86,7 +101,7 @@ Tensor Tensor::RandUniform(std::vector<int64_t> shape, util::Rng* rng,
                            float bound, bool requires_grad) {
   int64_t n = 1;
   for (int64_t d : shape) n *= d;
-  std::vector<float> data(n);
+  FloatVec data(n);
   for (auto& v : data) v = static_cast<float>(rng->Uniform(-bound, bound));
   return Tensor(NewLeaf(std::move(shape), std::move(data), requires_grad));
 }
@@ -124,23 +139,23 @@ int64_t Tensor::cols() const {
   return impl_->shape[1];
 }
 
-std::vector<float>& Tensor::data() {
+FloatVec& Tensor::data() {
   BIGCITY_CHECK(is_valid());
   return impl_->data;
 }
 
-const std::vector<float>& Tensor::data() const {
+const FloatVec& Tensor::data() const {
   BIGCITY_CHECK(is_valid());
   return impl_->data;
 }
 
-std::vector<float>& Tensor::grad() {
+FloatVec& Tensor::grad() {
   BIGCITY_CHECK(is_valid());
   impl_->EnsureGrad();
   return impl_->grad;
 }
 
-const std::vector<float>& Tensor::grad() const {
+const FloatVec& Tensor::grad() const {
   BIGCITY_CHECK(is_valid());
   impl_->EnsureGrad();
   return impl_->grad;
@@ -223,8 +238,6 @@ void Tensor::Backward() {
 
 void Tensor::ZeroGrad() {
   BIGCITY_CHECK(is_valid());
-  // Route a first-time materialization through EnsureGrad so the memory
-  // tracker sees it; otherwise just zero in place.
   if (impl_->grad.size() != impl_->data.size()) {
     impl_->EnsureGrad();
   } else {
@@ -234,25 +247,30 @@ void Tensor::ZeroGrad() {
 
 Tensor Tensor::Detached() const {
   BIGCITY_CHECK(is_valid());
-  return FromData(impl_->shape, impl_->data, /*requires_grad=*/false);
+  // The copy re-captures the CURRENT allocation scope: detaching under an
+  // ArenaPin is how a result escapes its step arena onto the heap.
+  return Tensor(NewLeaf(impl_->shape,
+                        FloatVec(impl_->data.begin(), impl_->data.end()),
+                        /*requires_grad=*/false));
 }
 
-Tensor MakeOpResult(std::vector<int64_t> shape, std::vector<float> data,
-                    std::vector<std::shared_ptr<TensorImpl>> parents,
+Tensor MakeOpResult(std::vector<int64_t> shape, FloatVec data,
+                    ParentVec parents,
                     std::function<void(TensorImpl&)> backward_fn) {
-  auto impl = std::make_shared<TensorImpl>();
+  auto impl = NewImpl();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
   BIGCITY_CHECK_EQ(static_cast<int64_t>(impl->data.size()), impl->numel());
   bool needs = false;
-  for (const auto& p : parents) needs = needs || p->needs_grad;
+  if (g_grad_enabled) {
+    for (const auto& p : parents) needs = needs || p->needs_grad;
+  }
   impl->needs_grad = needs;
   if (needs) {
     impl->parents = std::move(parents);
     impl->backward_fn = std::move(backward_fn);
   }
   impl->seq = NextSeq();
-  TrackDataBytes(impl.get());
 #if BIGCITY_OBS
   // Tag the node with the producing op and innermost module scope; when
   // the profiler is armed, also wrap backward_fn so the backward pass is

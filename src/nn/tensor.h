@@ -7,16 +7,30 @@
 #include <string>
 #include <vector>
 
+#include "nn/arena.h"
 #include "obs/memory.h"
 #include "util/rng.h"
 
 namespace bigcity::nn {
 
+struct TensorImpl;
+
+/// Parent edges of a graph node; arena-backed inside a plan scope like
+/// the payloads they keep alive.
+using ParentVec =
+    std::vector<std::shared_ptr<TensorImpl>,
+                ArenaAllocator<std::shared_ptr<TensorImpl>>>;
+
 /// Internal node of the autograd graph. Users interact with Tensor handles.
+/// All payload storage (data, grad, parent edges, and — via
+/// allocate_shared — the node itself) is allocator-routed: inside a
+/// PlanScope it lands in the step's TensorArena and is recycled at the
+/// step boundary; outside (parameters, persistent caches) it lives on the
+/// heap with obs::MemoryTracker accounting at the allocator level.
 struct TensorImpl {
   std::vector<int64_t> shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // Same size as data once materialized.
+  FloatVec data;
+  FloatVec grad;  // Same size as data once materialized.
 
   /// True for leaf parameters the optimizer should update.
   bool requires_grad = false;
@@ -24,7 +38,7 @@ struct TensorImpl {
   /// leaves; "any parent needs grad" for op outputs).
   bool needs_grad = false;
 
-  std::vector<std::shared_ptr<TensorImpl>> parents;
+  ParentVec parents;
   /// Accumulates this node's grad into its parents' grads.
   std::function<void(TensorImpl&)> backward_fn;
 
@@ -35,11 +49,6 @@ struct TensorImpl {
   uint64_t seq = 0;
   const char* op_name = "";      // String literal; "" = untagged.
   const char* module_path = "";  // Owned by the module tree; "" = untagged.
-  /// Payload bytes reported to obs::MemoryTracker (data + grad), refunded
-  /// by the destructor.
-  int64_t tracked_bytes = 0;
-
-  ~TensorImpl();
 
   int64_t numel() const {
     int64_t n = 1;
@@ -47,15 +56,31 @@ struct TensorImpl {
     return n;
   }
   /// Zero-fills and sizes the gradient buffer if not yet materialized.
+  /// The buffer comes from grad's own allocator — the arena for step
+  /// tensors, the heap for parameters created outside any scope — so a
+  /// backward pass never needs a pinning dance.
   void EnsureGrad() {
-    if (grad.size() != data.size()) {
-      grad.assign(data.size(), 0.0f);
-      const int64_t bytes =
-          static_cast<int64_t>(grad.size() * sizeof(float));
-      tracked_bytes += bytes;
-      BIGCITY_MEM_ALLOC(bytes);
-    }
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
   }
+};
+
+/// True unless a NoGradGuard is active on this thread. Ops skip graph
+/// construction (parents/backward_fn) entirely while disabled, so
+/// inference forwards free every intermediate as soon as its handle dies.
+bool GradEnabled();
+
+/// Thread-local RAII guard disabling autograd graph construction — the
+/// serving hot path runs under one, which is what gives inference plans
+/// their fixed arena footprint.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
 };
 
 /// Value-semantic handle to a node in the autograd graph. Copies share the
@@ -78,6 +103,18 @@ class Tensor {
   /// Tensor initialized from an explicit buffer (size must match shape).
   static Tensor FromData(std::vector<int64_t> shape, std::vector<float> data,
                          bool requires_grad = false);
+  /// Same, from a payload with any allocator flavor (e.g. another
+  /// tensor's data()).
+  template <typename Alloc>
+  static Tensor FromData(std::vector<int64_t> shape,
+                         const std::vector<float, Alloc>& data,
+                         bool requires_grad = false) {
+    return FromSpan(std::move(shape), data.data(), data.size(),
+                    requires_grad);
+  }
+  /// Same, from a raw (pointer, count) span.
+  static Tensor FromSpan(std::vector<int64_t> shape, const float* values,
+                         size_t count, bool requires_grad = false);
   /// Gaussian-initialized tensor (mean 0).
   static Tensor Randn(std::vector<int64_t> shape, util::Rng* rng,
                       float stddev = 1.0f, bool requires_grad = false);
@@ -99,10 +136,10 @@ class Tensor {
   int64_t rows() const;
   int64_t cols() const;
 
-  std::vector<float>& data();
-  const std::vector<float>& data() const;
-  std::vector<float>& grad();
-  const std::vector<float>& grad() const;
+  FloatVec& data();
+  const FloatVec& data() const;
+  FloatVec& grad();
+  const FloatVec& grad() const;
 
   /// Element accessors (2-D and flat).
   float at(int64_t r, int64_t c) const;
@@ -136,9 +173,10 @@ class Tensor {
 };
 
 /// Creates an op-output node: shape/data as given, wired to parents with the
-/// given backward function. needs_grad is derived from the parents.
-Tensor MakeOpResult(std::vector<int64_t> shape, std::vector<float> data,
-                    std::vector<std::shared_ptr<TensorImpl>> parents,
+/// given backward function. needs_grad is derived from the parents and
+/// forced off (graph edges dropped) while a NoGradGuard is active.
+Tensor MakeOpResult(std::vector<int64_t> shape, FloatVec data,
+                    ParentVec parents,
                     std::function<void(TensorImpl&)> backward_fn);
 
 }  // namespace bigcity::nn

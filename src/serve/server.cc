@@ -437,7 +437,36 @@ util::Result<nn::Tensor> InferenceServer::RunBaseline(
   }
 }
 
-Response InferenceServer::Process(WorkItem& item, Replica& replica) {
+/// Plan identity for a request: task name plus a power-of-two bucket of
+/// the size knob that drives the forward's footprint, so a handful of
+/// plans cover every request size without per-length captures.
+nn::PlanKey PlanKeyFor(const Request& request) {
+  int64_t size = 0;
+  switch (request.task) {
+    case core::Task::kNextHop:
+    case core::Task::kTravelTimeEstimation:
+    case core::Task::kTrajClassification:
+    case core::Task::kMostSimilarSearch:
+    case core::Task::kTrajRecovery:
+      size = request.trajectory.length();
+      break;
+    case core::Task::kTrafficOneStep:
+      size = 1;
+      break;
+    case core::Task::kTrafficMultiStep:
+      size = request.horizon;
+      break;
+    case core::Task::kTrafficImputation:
+      size = request.window;
+      break;
+  }
+  int64_t bucket = 1;
+  while (bucket < size) bucket <<= 1;
+  return nn::PlanKey{core::TaskName(request.task), bucket};
+}
+
+Response InferenceServer::Process(WorkItem& item, Replica& replica,
+                                  nn::PlanCache* plans) {
   BIGCITY_TRACE_SPAN("serve.process", "serve");
   Response response;
   response.model_version = replica.version;
@@ -554,7 +583,19 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica) {
     }
 
     const Clock::time_point forward_start = Clock::now();
-    util::Result<nn::Tensor> result = RunModel(request, replica.model.get());
+    util::Result<nn::Tensor> result = [&] {
+      // No autograd on the hot path (intermediates die immediately), and
+      // the whole forward allocates inside this worker's plan arena; the
+      // output is cloned onto the heap before the scope rewinds it.
+      nn::NoGradGuard no_grad;
+      nn::PlanScope plan_scope(plans, PlanKeyFor(request));
+      util::Result<nn::Tensor> r = RunModel(request, replica.model.get());
+      if (r.ok() && plan_scope.active()) {
+        nn::ArenaPin pin;
+        r = util::Result<nn::Tensor>(r.value().Detached());
+      }
+      return r;
+    }();
     last_status = result.status();
     if (result.ok()) {
       const double forward_us = MicrosSince(forward_start, Clock::now());
@@ -622,6 +663,10 @@ std::shared_ptr<InferenceServer::Replica> InferenceServer::SwapWorker(
 }
 
 void InferenceServer::WorkerLoop(int worker_index) {
+  // Per-worker plan cache: plans are single-threaded by contract, and a
+  // worker's arena footprint is fixed once its (task, bucket) mix has
+  // been captured.
+  nn::PlanCache plan_cache(/*capacity=*/16, options_.plans);
   for (;;) {
     std::optional<WorkItem> item = queue_.Pop();
     if (!item.has_value()) return;  // Closed and drained.
@@ -642,7 +687,7 @@ void InferenceServer::WorkerLoop(int worker_index) {
     // replaces the slot's pointer but never this in-flight forward's.
     std::shared_ptr<Replica> replica =
         AcquireReplica(static_cast<size_t>(worker_index));
-    Response response = Process(*item, *replica);
+    Response response = Process(*item, *replica, &plan_cache);
     response.queue_wait_us = wait_us;
     if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
     Finish(*item, std::move(response));
@@ -704,6 +749,7 @@ void InferenceServer::RunRollout(const VersionInfo& info) {
     // that would false-trip the latency gate. Results are discarded; a
     // genuinely bad model is still judged on real canary traffic.
     int warmed = 0;
+    nn::NoGradGuard no_grad;  // Warm caches the way workers will use them.
     for (const data::Trajectory& trajectory : dataset_->train()) {
       if (trajectory.length() < 2) continue;
       (void)staged->model->TryNextHopLogits(trajectory);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/bigcity_model.h"
+#include "nn/plan.h"
 #include "core/config.h"
 #include "core/task.h"
 #include "data/dataset.h"
@@ -80,6 +81,13 @@ struct ServeOptions {
   /// Attach LoRA adapters to each replica's backbone before weight copy /
   /// checkpoint load (must match how the source weights were produced).
   bool attach_lora = false;
+
+  /// Per-worker inference execution plans (DESIGN.md §4.13): each worker
+  /// caches a no-autograd ExecutionPlan per (task, size-bucket) and
+  /// replays the hot-path forward into its recycled TensorArena. Outputs
+  /// are bit-identical either way; disabling falls back to plain heap
+  /// allocation.
+  bool plans = true;
 
   /// Model lifecycle (hot-swap / canary rollout) knobs. Setting
   /// rollout.model_dir enables the version poller and controller thread;
@@ -231,7 +239,7 @@ class InferenceServer {
 
   void WorkerLoop(int worker_index);
   void Finish(WorkItem& item, Response response);
-  Response Process(WorkItem& item, Replica& replica);
+  Response Process(WorkItem& item, Replica& replica, nn::PlanCache* plans);
   util::Status ValidateRequest(const Request& request) const;
   util::Result<nn::Tensor> RunModel(const Request& request,
                                     core::BigCityModel* model);

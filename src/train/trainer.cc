@@ -55,7 +55,11 @@ std::vector<std::string> PretrainCorpus() {
 }
 
 Trainer::Trainer(core::BigCityModel* model, TrainConfig config)
-    : model_(model), config_(config), rng_(config.seed) {
+    : model_(model), config_(config), rng_(config.seed),
+      // Capacity 1: training stages run sequentially, so holding one plan
+      // at a time means each stage transition evicts (and frees) the
+      // previous stage's arena instead of keeping all three resident.
+      plan_cache_(/*capacity=*/1, config.plans) {
   BIGCITY_CHECK(model != nullptr);
   if (config_.tasks.empty()) {
     config_.tasks =
@@ -297,6 +301,21 @@ void Trainer::ReportNonFinite(const char* kind, const Tensor& batch_loss) {
 
 // --- Guarded stepping + snapshots ------------------------------------------
 
+/// Clears the model's per-step caches (tokenizer representations filled by
+/// the step's forward, which live in the step's arena) when the scope
+/// exits — on every path, including divergence early returns — so no
+/// arena-backed tensor survives the enclosing PlanScope's rewind.
+class StepCacheRelease {
+ public:
+  explicit StepCacheRelease(core::BigCityModel* model) : model_(model) {}
+  ~StepCacheRelease() { model_->BeginStep(); }
+  StepCacheRelease(const StepCacheRelease&) = delete;
+  StepCacheRelease& operator=(const StepCacheRelease&) = delete;
+
+ private:
+  core::BigCityModel* model_;
+};
+
 util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
                                   float* loss_value) {
   if (util::FaultInjection::Fire(util::kFaultTrainerNanLoss)) {
@@ -335,7 +354,8 @@ util::Status Trainer::GuardedStep(Tensor batch_loss, bool* applied,
       if (sample_health) {
         for (const auto& [name, parameter] : model_->NamedParameters()) {
           if (parameter.requires_grad() && !parameter.grad().empty()) {
-            health_before.push_back(parameter.data());
+            health_before.emplace_back(parameter.data().begin(),
+                                       parameter.data().end());
             health_params.emplace_back(name, parameter);
           }
         }
@@ -560,6 +580,8 @@ util::Status Trainer::DoPretrain() {
     float epoch_loss = 0;
     for (const auto& ids : corpus) {
       BIGCITY_TRACE_SPAN("step", "train");
+      nn::PlanScope plan_scope(&plan_cache_, {"pretrain", 0});
+      StepCacheRelease cache_release(model_);
       optimizer_->ZeroGrad();
       Tensor loss;
       {
@@ -577,6 +599,7 @@ util::Status Trainer::DoPretrain() {
       float value = 0;
       if (auto s = GuardedStep(loss, &applied, &value); !s.ok()) return s;
       epoch_loss += value;
+      loss = nn::Tensor();  // Release the graph before the arena rewinds.
     }
     if (config_.verbose) {
       BIGCITY_LOG(Info) << "LM pretrain epoch " << epoch << " loss "
@@ -727,6 +750,8 @@ util::Status Trainer::DoStage1() {
     for (size_t begin = 0; begin < pool.size();
          begin += static_cast<size_t>(config_.batch_size)) {
       BIGCITY_TRACE_SPAN("step", "train");
+      nn::PlanScope plan_scope(&plan_cache_, {"stage1", 0});
+      StepCacheRelease cache_release(model_);
       model_->BeginStep();
       optimizer_->ZeroGrad();
       const size_t end = std::min(
@@ -772,6 +797,9 @@ util::Status Trainer::DoStage1() {
         epoch_loss += value;
         ++batches;
       }
+      // Release the loss graph before the arena rewinds (the tokenizer
+      // caches are released by cache_release above).
+      batch_loss = nn::Tensor();
     }
     last_stage1_loss_ = batches > 0 ? epoch_loss / batches : 0.0f;
     stage1_epoch_seconds_ = epoch_watch.ElapsedSeconds();
@@ -981,6 +1009,8 @@ util::Status Trainer::DoStage2() {
     for (size_t begin = 0; begin < samples.size();
          begin += static_cast<size_t>(config_.batch_size)) {
       BIGCITY_TRACE_SPAN("step", "train");
+      nn::PlanScope plan_scope(&plan_cache_, {"stage2", 0});
+      StepCacheRelease cache_release(model_);
       model_->BeginStep();
       optimizer_->ZeroGrad();
       Tensor batch_loss;
@@ -1009,6 +1039,9 @@ util::Status Trainer::DoStage2() {
         epoch_loss += value;
         ++batches;
       }
+      // Release the loss graph before the arena rewinds (the tokenizer
+      // caches are released by cache_release above).
+      batch_loss = nn::Tensor();
     }
     last_stage2_loss_ = batches > 0 ? epoch_loss / batches : 0.0f;
     stage2_epoch_seconds_ = epoch_watch.ElapsedSeconds();

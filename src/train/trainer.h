@@ -9,6 +9,7 @@
 #include "core/bigcity_model.h"
 #include "core/task.h"
 #include "nn/optim.h"
+#include "nn/plan.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "util/rng.h"
@@ -69,6 +70,13 @@ struct TrainConfig {
   int health_every_steps = 0;
   /// Layers kept per health record (largest gradient norm first).
   int health_top_layers = 8;
+
+  // --- Execution plans (DESIGN.md §4.13) ---------------------------------
+  /// Route every training step through a cached ExecutionPlan whose
+  /// TensorArena recycles the step's entire allocation footprint. Replay
+  /// is bit-identical to eager execution; disabling falls back to plain
+  /// heap allocation (the pre-plan behavior).
+  bool plans = true;
 };
 
 /// Orchestrates BIGCity training: backbone LM pre-training, LoRA
@@ -206,6 +214,9 @@ class Trainer {
   TrainConfig config_;
   util::Rng rng_;
   std::unique_ptr<nn::Adam> optimizer_;
+  /// Per-stage execution plans ("pretrain"/"stage1"/"stage2" keys; the
+  /// trainer thread is the only user). Disabled when !config_.plans.
+  nn::PlanCache plan_cache_;
   int phase_ = 0;
   int epoch_ = 0;
   int consecutive_bad_ = 0;

@@ -22,9 +22,13 @@ void WriteFloat(std::ostream& out, float value) {
 }
 
 void WriteFloatVector(std::ostream& out, const std::vector<float>& values) {
-  WriteU64(out, values.size());
-  out.write(reinterpret_cast<const char*>(values.data()),
-            static_cast<std::streamsize>(values.size() * sizeof(float)));
+  WriteFloatSpan(out, values.data(), values.size());
+}
+
+void WriteFloatSpan(std::ostream& out, const float* values, size_t count) {
+  WriteU64(out, count);
+  out.write(reinterpret_cast<const char*>(values),
+            static_cast<std::streamsize>(count * sizeof(float)));
 }
 
 void WriteString(std::ostream& out, const std::string& value) {

@@ -1,6 +1,7 @@
 #ifndef BIGCITY_UTIL_IO_H_
 #define BIGCITY_UTIL_IO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -17,6 +18,9 @@ void WriteU64(std::ostream& out, uint64_t value);
 void WriteI32(std::ostream& out, int32_t value);
 void WriteFloat(std::ostream& out, float value);
 void WriteFloatVector(std::ostream& out, const std::vector<float>& values);
+/// Same wire format as WriteFloatVector for a raw (pointer, count) span —
+/// lets callers serialize slices of a slab or allocator-customized vectors.
+void WriteFloatSpan(std::ostream& out, const float* values, size_t count);
 void WriteString(std::ostream& out, const std::string& value);
 
 Status ReadU64(std::istream& in, uint64_t* value);

@@ -61,7 +61,9 @@ void CheckEncoderBasics(data::CityDataset* dataset) {
                                        dataset->train().begin() + 30);
   auto before = encoder.NamedParameters();
   std::vector<std::vector<float>> snapshot;
-  for (auto& [name, p] : before) snapshot.push_back(p.data());
+  for (auto& [name, p] : before) {
+    snapshot.emplace_back(p.data().begin(), p.data().end());
+  }
   encoder.Pretrain(corpus, 1);
   bool changed = false;
   auto after = encoder.NamedParameters();

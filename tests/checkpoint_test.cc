@@ -259,7 +259,7 @@ TEST(ModuleCheckpointTest, LegacyRawFileRejectedNotGarbageLoaded) {
     a.SaveState(out);
   }
   TinyModule b(&rng);
-  const std::vector<float> before = b.w.data();
+  const std::vector<float> before(b.w.data().begin(), b.w.data().end());
   const util::Status status = b.LoadStateFromFile(path);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("magic"), std::string::npos);

@@ -1,0 +1,266 @@
+// Execution-plan tests (DESIGN.md §4.13): plan replay must be bit-identical
+// to eager execution, arenas must recycle rather than grow in steady state,
+// cache misses must fall back to eager heap execution transparently, and
+// stale tensors crossing a step boundary must hit the poison valve (a
+// bounded leak), never invalid memory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bigcity_model.h"
+#include "data/dataset.h"
+#include "nn/arena.h"
+#include "nn/kernels/kernels.h"
+#include "nn/ops.h"
+#include "nn/plan.h"
+#include "nn/tensor.h"
+#include "obs/obs.h"
+#include "train/trainer.h"
+
+namespace bigcity::nn {
+namespace {
+
+data::CityDatasetConfig TinyCity(const char* name, uint64_t seed) {
+  auto config = data::ScaleConfig(data::XianLikeConfig(), 0.15);
+  config.name = name;
+  config.city.grid_width = 5;
+  config.city.grid_height = 5;
+  config.city.seed = seed;
+  config.generator.seed = seed + 1;
+  config.generator.num_users = 8;
+  return config;
+}
+
+core::BigCityConfig TinyModelConfig() {
+  core::BigCityConfig config;
+  config.d_model = 32;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.spatial_dim = 16;
+  config.gat_hidden = 16;
+  config.lora_rank = 4;
+  return config;
+}
+
+struct TrainOutcome {
+  float stage1_loss = 0;
+  float stage2_loss = 0;
+  std::vector<std::pair<std::string, std::vector<float>>> parameters;
+};
+
+/// Runs the full three-stage pipeline on a fresh tiny city with fixed
+/// seeds and snapshots the final parameters. Any divergence between two
+/// outcomes means the allocation strategy leaked into the numerics.
+TrainOutcome RunTraining(bool plans, int threads, const char* name) {
+  const int previous_threads = kernels::NumThreads();
+  kernels::SetNumThreads(threads);
+  data::CityDataset dataset(TinyCity(name, 4242));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  train::TrainConfig config;
+  config.pretrain_lm_epochs = 1;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.max_stage1_sequences = 40;
+  config.max_task_samples = 24;
+  config.plans = plans;
+  train::Trainer trainer(&model, config);
+  EXPECT_TRUE(trainer.RunAll().ok());
+  TrainOutcome outcome;
+  outcome.stage1_loss = trainer.last_stage1_loss();
+  outcome.stage2_loss = trainer.last_stage2_loss();
+  for (const auto& [param_name, tensor] : model.NamedParameters()) {
+    outcome.parameters.emplace_back(
+        param_name,
+        std::vector<float>(tensor.data().begin(), tensor.data().end()));
+  }
+  kernels::SetNumThreads(previous_threads);
+  return outcome;
+}
+
+void ExpectBitIdentical(const TrainOutcome& a, const TrainOutcome& b) {
+  // Exact float equality on purpose: replay runs the same op code in the
+  // same order, only the allocator differs, so every bit must match.
+  EXPECT_EQ(a.stage1_loss, b.stage1_loss);
+  EXPECT_EQ(a.stage2_loss, b.stage2_loss);
+  ASSERT_EQ(a.parameters.size(), b.parameters.size());
+  for (size_t i = 0; i < a.parameters.size(); ++i) {
+    EXPECT_EQ(a.parameters[i].first, b.parameters[i].first);
+    const auto& pa = a.parameters[i].second;
+    const auto& pb = b.parameters[i].second;
+    ASSERT_EQ(pa.size(), pb.size()) << a.parameters[i].first;
+    EXPECT_EQ(0, std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(float)))
+        << "parameter diverged: " << a.parameters[i].first;
+  }
+}
+
+TEST(PlanParityTest, TrainingBitIdenticalToEagerSingleThread) {
+  const TrainOutcome eager = RunTraining(false, 1, "XA-plan-e1");
+  const TrainOutcome planned = RunTraining(true, 1, "XA-plan-p1");
+  ExpectBitIdentical(eager, planned);
+}
+
+TEST(PlanParityTest, TrainingBitIdenticalToEagerFourThreads) {
+  const TrainOutcome eager = RunTraining(false, 4, "XA-plan-e4");
+  const TrainOutcome planned = RunTraining(true, 4, "XA-plan-p4");
+  ExpectBitIdentical(eager, planned);
+}
+
+TEST(PlanParityTest, InferenceReplayBitIdenticalToEager) {
+  data::CityDataset dataset(TinyCity("XA-plan-serve", 777));
+  core::BigCityModel model(&dataset, TinyModelConfig());
+  const data::Trajectory& trajectory = dataset.train().front();
+
+  model.BeginStep();
+  auto eager = model.TryNextHopLogits(trajectory);
+  ASSERT_TRUE(eager.ok());
+  const std::vector<float> expected(eager.value().data().begin(),
+                                    eager.value().data().end());
+
+  PlanCache cache(/*capacity=*/4, /*enabled=*/true);
+  // First pass captures, later passes replay from the recycled arena; all
+  // must match eager bit for bit.
+  for (int pass = 0; pass < 3; ++pass) {
+    model.BeginStep();
+    Tensor out;
+    {
+      NoGradGuard no_grad;
+      PlanScope scope(&cache, {"next_hop", 64});
+      EXPECT_TRUE(scope.active());
+      EXPECT_EQ(scope.capturing(), pass == 0);
+      auto result = model.TryNextHopLogits(trajectory);
+      ASSERT_TRUE(result.ok());
+      ArenaPin pin;
+      out = result.value().Detached();
+      result = util::Result<Tensor>(out);
+    }
+    ASSERT_EQ(out.data().size(), expected.size());
+    EXPECT_EQ(0, std::memcmp(out.data().data(), expected.data(),
+                             expected.size() * sizeof(float)))
+        << "replay diverged on pass " << pass;
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(TensorArenaTest, SteadyStateRecyclesWithoutGrowth) {
+  if constexpr (TensorArena::kShadowHeap) {
+    GTEST_SKIP() << "shadow-heap mode allocates every block individually";
+  }
+  TensorArena arena(/*initial_slab_bytes=*/4 * 1024);
+  size_t stable_capacity = 0;
+  uint64_t stable_slabs = 0;
+  for (int step = 0; step < 6; ++step) {
+    void* a = arena.Allocate(40 * 1024);
+    void* b = arena.Allocate(512);
+    // Freed block of a repeated size is recycled within the step.
+    arena.Deallocate(a, 40 * 1024);
+    void* c = arena.Allocate(40 * 1024);
+    EXPECT_EQ(a, c);
+    arena.Deallocate(b, 512);
+    arena.Deallocate(c, 40 * 1024);
+    EXPECT_EQ(arena.outstanding(), 0);
+    arena.Reset();
+    if (step == 1) {
+      stable_capacity = arena.capacity_bytes();
+      stable_slabs = arena.slab_allocs();
+    }
+  }
+  // Identical steps after the first never grow the arena again.
+  EXPECT_EQ(arena.capacity_bytes(), stable_capacity);
+  EXPECT_EQ(arena.slab_allocs(), stable_slabs);
+  EXPECT_EQ(arena.poisoned_resets(), 0u);
+}
+
+TEST(TensorArenaTest, PoisonValveKeepsStaleTensorValid) {
+  TensorArena arena(/*initial_slab_bytes=*/4 * 1024);
+  float* stale = static_cast<float*>(arena.Allocate(64 * sizeof(float)));
+  for (int i = 0; i < 64; ++i) stale[i] = static_cast<float>(i);
+  // Reset with the allocation still live: the arena must retire the slab
+  // (bounded leak), not recycle it under the live pointer.
+  arena.Reset();
+  EXPECT_EQ(arena.poisoned_resets(), 1u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(stale[i], static_cast<float>(i));
+  }
+  EXPECT_TRUE(arena.Owns(stale));
+  arena.Deallocate(stale, 64 * sizeof(float));
+  EXPECT_EQ(arena.outstanding(), 0);
+  arena.Reset();  // Clean reset reclaims the retired slab.
+}
+
+TEST(PlanCacheTest, LruEvictionAndCounters) {
+  PlanCache cache(/*capacity=*/2, /*enabled=*/true);
+  EXPECT_NE(cache.Acquire({"a", 0}), nullptr);  // miss
+  EXPECT_NE(cache.Acquire({"b", 0}), nullptr);  // miss
+  EXPECT_NE(cache.Acquire({"a", 0}), nullptr);  // hit
+  EXPECT_NE(cache.Acquire({"c", 0}), nullptr);  // miss, evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Acquire({"b", 0}), nullptr);  // miss again, evicts a
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(PlanCacheTest, BucketsAreDistinctKeys) {
+  PlanCache cache(/*capacity=*/4, /*enabled=*/true);
+  ExecutionPlan* small = cache.Acquire({"next_hop", 64});
+  ExecutionPlan* large = cache.Acquire({"next_hop", 128});
+  EXPECT_NE(small, large);
+  EXPECT_EQ(cache.Acquire({"next_hop", 64}), small);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanScopeTest, FallsBackToEagerWithoutCache) {
+  {
+    PlanScope scope(nullptr, {"x", 0});
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(TensorArena::Current(), nullptr);
+  }
+  PlanCache disabled(/*capacity=*/4, /*enabled=*/false);
+  {
+    PlanScope scope(&disabled, {"x", 0});
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(TensorArena::Current(), nullptr);
+  }
+  PlanCache zero_capacity(/*capacity=*/0, /*enabled=*/true);
+  {
+    PlanScope scope(&zero_capacity, {"x", 0});
+    EXPECT_FALSE(scope.active());
+    EXPECT_EQ(TensorArena::Current(), nullptr);
+  }
+}
+
+TEST(PlanScopeTest, ReplayDoesNoTrackedAllocation) {
+#if !BIGCITY_OBS
+  GTEST_SKIP() << "MemoryTracker accounting requires BIGCITY_OBS";
+#else
+  if constexpr (TensorArena::kShadowHeap) {
+    GTEST_SKIP() << "shadow-heap mode routes arena blocks through the heap";
+  }
+  PlanCache cache(/*capacity=*/2, /*enabled=*/true);
+  auto step = [&] {
+    PlanScope scope(&cache, {"unit", 0});
+    Tensor a = Tensor::Full({64, 64}, 0.5f);
+    Tensor b = Add(a, a);
+    Tensor c = Mul(b, a);
+    EXPECT_EQ(c.at(0, 0), 0.5f);
+  };
+  step();  // Capture sizes the arena.
+  auto& memory = obs::MemoryTracker::Global();
+  const int64_t arena_bytes_before = TensorArena::TotalBytes();
+  const int64_t churn_before = memory.alloc_bytes();
+  for (int i = 0; i < 4; ++i) step();  // Replays.
+  // Replay steps recycle the captured arena: no tracked heap traffic, no
+  // arena growth.
+  EXPECT_EQ(memory.alloc_bytes(), churn_before);
+  EXPECT_EQ(TensorArena::TotalBytes(), arena_bytes_before);
+  EXPECT_EQ(cache.hits(), 4u);
+#endif
+}
+
+}  // namespace
+}  // namespace bigcity::nn

@@ -58,6 +58,7 @@ struct CliOptions {
   int epochs1 = 2;
   int epochs2 = 6;
   int threads = 0;  // 0 = keep the default (single-threaded kernels).
+  bool plans = true;  // Execution plans + tensor arenas (DESIGN.md §4.13).
   // Observability sinks (DESIGN.md §4.9); empty = off.
   std::string trace_out;    // chrome://tracing JSON of the whole run.
   std::string run_report;   // train: per-epoch JSONL run report.
@@ -89,6 +90,9 @@ void PrintUsage() {
       "                    interrupted run resumes from D automatically\n"
       "  --threads N       kernel worker threads (default 1); results are\n"
       "                    bit-identical for any N\n"
+      "  --plans on|off    train/serve: execution plans + tensor arenas\n"
+      "                    (default on); off falls back to eager heap\n"
+      "                    allocation — results are bit-identical either way\n"
       "  --trace-out PATH  write a chrome://tracing JSON of the run\n"
       "  --run-report PATH train: write a per-epoch JSONL run report\n"
       "                    (tokens/sec, GEMM FLOPs, guard/checkpoint counts)\n"
@@ -133,6 +137,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->checkpoint_dir = value;
     } else if (flag == "--threads") {
       options->threads = std::atoi(value.c_str());
+    } else if (flag == "--plans") {
+      options->plans = value != "off";
     } else if (flag == "--trace-out") {
       options->trace_out = value;
     } else if (flag == "--run-report") {
@@ -253,6 +259,7 @@ int RunTrain(const CliOptions& options) {
   config.checkpoint_dir = options.checkpoint_dir;
   config.run_report_path = options.run_report;
   config.health_every_steps = options.health_every;
+  config.plans = options.plans;
   train::Trainer trainer(&model, config);
   if (!options.checkpoint_dir.empty()) {
     const std::string snapshot =
@@ -382,6 +389,7 @@ int RunServe(const CliOptions& options) {
   serve_options.default_deadline_ms = options.deadline_ms;
   serve_options.checkpoint_path = options.load;
   serve_options.attach_lora = !options.load.empty();  // Matches eval.
+  serve_options.plans = options.plans;
   serve_options.rollout.model_dir = options.model_dir;
   serve::InferenceServer server(&dataset, model_config, serve_options);
   if (auto status = server.Start(); !status.ok()) {
