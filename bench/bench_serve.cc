@@ -1,18 +1,29 @@
 // Closed-loop load benchmark for the inference serving runtime: N clients
 // per worker issue back-to-back next-hop requests at 1x/2x/4x the worker
 // count and the harness reports throughput, latency percentiles, and the
-// shed rate per load level, plus a "reload under load" section measuring
-// the same numbers across a live hot-swap (a version published mid-run at
-// 2x load; DESIGN.md §4.12). Prints a table and writes BENCH_serve.json
-// in the working directory.
+// shed rate per load level, plus
+//   - a batching A/B: an autoregressive walk workload (clients decode
+//     trajectories hop by hop) at the same three load levels against a
+//     batching-off server (no batcher, no tokenizer rep cache, no KV
+//     sessions) and a batching-on server (DESIGN.md §4.14), both with a
+//     deadline and a queue wide enough to admit the whole closed loop,
+//     reporting the 4x-load throughput ratio and the mean batch size, and
+//   - a "reload under load" section measuring the same numbers across a
+//     live hot-swap (a version published mid-run at 2x load; §4.12).
+// Prints tables and writes BENCH_serve.json in the working directory;
+// tools/bench_gate --serve-current/--serve-baseline gates the batching
+// section's ratios against bench/baselines/BENCH_serve.json.
 //
-// The queue is deliberately sized at the worker count so the 2x/4x levels
-// overload it: the interesting number is how the runtime degrades (fast
-// kResourceExhausted sheds, bounded latency for admitted work), not peak
-// throughput.
+// The primary levels' queue is deliberately sized at the worker count so
+// the 2x/4x levels overload it: the interesting number is how the runtime
+// degrades (fast kResourceExhausted sheds, bounded latency for admitted
+// work), not peak throughput. The A/B queue is sized at the 4x client
+// count instead — batching exists to absorb exactly the backlog the tight
+// queue would shed.
 //
 // Usage: bench_serve [--city XA|BJ|CD] [--workers N] [--requests N]
-//                    [--threads N] [--fast] [--out PATH]
+//                    [--threads N] [--batch-max N] [--batch-window-us F]
+//                    [--deadline-ms F] [--no-batching] [--fast] [--out PATH]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,6 +37,7 @@
 
 #include "bench/common.h"
 #include "nn/kernels/kernels.h"
+#include "obs/metrics.h"
 #include "obs/timer.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
@@ -41,6 +53,7 @@ struct LevelResult {
   int shed = 0;
   int other = 0;
   double seconds = 0;
+  double batch_size_sum = 0;         // Over OK responses.
   std::vector<double> latencies_us;  // Completed (OK) requests only.
 
   double Percentile(double q) const {
@@ -54,7 +67,187 @@ struct LevelResult {
   double ShedRate() const {
     return issued > 0 ? static_cast<double>(shed) / issued : 0;
   }
+  double MeanBatchSize() const { return ok > 0 ? batch_size_sum / ok : 0; }
 };
+
+/// One closed-loop level: `multiplier * workers` clients each issue
+/// `requests_per_client` back-to-back sync requests from the pool.
+LevelResult RunLevel(bigcity::serve::InferenceServer& server,
+                     const std::vector<bigcity::data::Trajectory>& pool,
+                     int multiplier, int workers, int requests_per_client) {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  LevelResult level;
+  level.multiplier = multiplier;
+  level.clients = multiplier * workers;
+  std::vector<std::vector<double>> per_client_latencies(
+      static_cast<size_t>(level.clients));
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::atomic<uint64_t> batch_sum{0};
+  obs::WallTimer watch;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(level.clients));
+  for (int c = 0; c < level.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& latencies = per_client_latencies[static_cast<size_t>(c)];
+      latencies.reserve(static_cast<size_t>(requests_per_client));
+      for (int r = 0; r < requests_per_client; ++r) {
+        serve::Request request;
+        request.task = core::Task::kNextHop;
+        request.trajectory =
+            pool[static_cast<size_t>(c * requests_per_client + r) %
+                 pool.size()];
+        serve::Response response = server.ServeSync(std::move(request));
+        if (response.status.ok()) {
+          ok++;
+          batch_sum += static_cast<uint64_t>(response.batch_size);
+          latencies.push_back(response.total_us);
+        } else if (response.outcome == serve::Outcome::kShed) {
+          shed++;
+        } else {
+          other++;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  level.seconds = watch.ElapsedSeconds();
+  level.issued = level.clients * requests_per_client;
+  level.ok = ok.load();
+  level.shed = shed.load();
+  level.other = other.load();
+  level.batch_size_sum = static_cast<double>(batch_sum.load());
+  for (auto& latencies : per_client_latencies) {
+    level.latencies_us.insert(level.latencies_us.end(), latencies.begin(),
+                              latencies.end());
+  }
+  std::sort(level.latencies_us.begin(), level.latencies_us.end());
+  return level;
+}
+
+/// Autoregressive closed-loop level: each client decodes trajectories hop
+/// by hop — request r extends request r-1 by one point, the workload the
+/// KV sessions and batched prefill exist for. Both A/B arms run this same
+/// walk, so the only variable is the engine.
+LevelResult RunLevelWalk(bigcity::serve::InferenceServer& server,
+                         const std::vector<bigcity::data::Trajectory>& pool,
+                         int multiplier, int workers, int requests_per_client,
+                         int max_prefix) {
+  using namespace bigcity;  // NOLINT — bench brevity.
+  LevelResult level;
+  level.multiplier = multiplier;
+  level.clients = multiplier * workers;
+  std::vector<std::vector<double>> per_client_latencies(
+      static_cast<size_t>(level.clients));
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  std::atomic<uint64_t> batch_sum{0};
+  obs::WallTimer watch;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(level.clients));
+  for (int c = 0; c < level.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& latencies = per_client_latencies[static_cast<size_t>(c)];
+      latencies.reserve(static_cast<size_t>(requests_per_client));
+      size_t next_traj = static_cast<size_t>(c);
+      int mine = 0;
+      while (mine < requests_per_client) {
+        const data::Trajectory& full = pool[next_traj % pool.size()];
+        next_traj += static_cast<size_t>(level.clients);
+        const int cap = std::min(full.length(), max_prefix);
+        if (cap < 2) continue;
+        for (int len = 2; len <= cap && mine < requests_per_client; ++len) {
+          serve::Request request;
+          request.task = core::Task::kNextHop;
+          request.trajectory = full;
+          request.trajectory.points.resize(static_cast<size_t>(len));
+          ++mine;
+          serve::Response response = server.ServeSync(std::move(request));
+          if (response.status.ok()) {
+            ok++;
+            batch_sum += static_cast<uint64_t>(response.batch_size);
+            latencies.push_back(response.total_us);
+          } else if (response.outcome == serve::Outcome::kShed) {
+            shed++;
+          } else {
+            other++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  level.seconds = watch.ElapsedSeconds();
+  level.issued = level.clients * requests_per_client;
+  level.ok = ok.load();
+  level.shed = shed.load();
+  level.other = other.load();
+  level.batch_size_sum = static_cast<double>(batch_sum.load());
+  for (auto& latencies : per_client_latencies) {
+    level.latencies_us.insert(level.latencies_us.end(), latencies.begin(),
+                              latencies.end());
+  }
+  std::sort(level.latencies_us.begin(), level.latencies_us.end());
+  return level;
+}
+
+uint64_t CounterValue(const char* name) {
+  return bigcity::obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+/// Cache/batch counter deltas over one A/B arm (all zero in obs-off
+/// builds, where the probes compile out; the validator treats that build
+/// flavor accordingly).
+struct ArmCounters {
+  uint64_t kv_hit = 0, kv_miss = 0, tok_hit = 0, tok_miss = 0;
+  uint64_t batch_fallback = 0;
+
+  static ArmCounters Capture() {
+    ArmCounters counters;
+    counters.kv_hit = CounterValue("serve.cache.kv.hit");
+    counters.kv_miss = CounterValue("serve.cache.kv.miss");
+    counters.tok_hit = CounterValue("serve.cache.tokenizer.hit");
+    counters.tok_miss = CounterValue("serve.cache.tokenizer.miss");
+    counters.batch_fallback = CounterValue("serve.batch.fallback");
+    return counters;
+  }
+  ArmCounters DeltaSince(const ArmCounters& before) const {
+    ArmCounters delta;
+    delta.kv_hit = kv_hit - before.kv_hit;
+    delta.kv_miss = kv_miss - before.kv_miss;
+    delta.tok_hit = tok_hit - before.tok_hit;
+    delta.tok_miss = tok_miss - before.tok_miss;
+    delta.batch_fallback = batch_fallback - before.batch_fallback;
+    return delta;
+  }
+};
+
+void PrintJsonLevel(std::FILE* f, const char* indent, const LevelResult& level,
+                    bool trailing_comma) {
+  std::fprintf(f,
+               "%s{\"load_multiplier\": %d, \"clients\": %d, "
+               "\"issued\": %d, \"ok\": %d, \"shed\": %d, \"other\": %d, "
+               "\"seconds\": %.4f, \"throughput_rps\": %.2f, "
+               "\"shed_rate\": %.4f, \"mean_batch_size\": %.2f, "
+               "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+               indent, level.multiplier, level.clients, level.issued,
+               level.ok, level.shed, level.other, level.seconds,
+               level.Throughput(), level.ShedRate(), level.MeanBatchSize(),
+               level.Percentile(0.5), level.Percentile(0.95),
+               level.Percentile(0.99), trailing_comma ? "," : "");
+}
+
+void AddTableRow(bigcity::util::TablePrinter* table, const std::string& label,
+                 const LevelResult& level) {
+  using bigcity::util::TablePrinter;
+  table->AddRow({label, TablePrinter::Num(level.clients, 0),
+                 TablePrinter::Num(level.issued, 0),
+                 TablePrinter::Num(level.ok, 0),
+                 TablePrinter::Num(level.ShedRate(), 3),
+                 TablePrinter::Num(level.MeanBatchSize(), 2),
+                 TablePrinter::Num(level.Throughput(), 1),
+                 TablePrinter::Num(level.Percentile(0.5) / 1e3, 2),
+                 TablePrinter::Num(level.Percentile(0.95) / 1e3, 2),
+                 TablePrinter::Num(level.Percentile(0.99) / 1e3, 2)});
+}
 
 }  // namespace
 
@@ -65,10 +258,16 @@ int main(int argc, char** argv) {
   int workers = 2;
   int requests_per_client = 32;
   int threads = nn::kernels::NumThreads();
+  int batch_max = 8;
+  double batch_window_us = 200.0;
+  double deadline_ms = 250.0;
+  bool batching = true;
   bool fast = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       fast = true;
+    } else if (std::strcmp(argv[i], "--no-batching") == 0) {
+      batching = false;
     } else if (i + 1 < argc && std::strcmp(argv[i], "--city") == 0) {
       city = argv[++i];
     } else if (i + 1 < argc && std::strcmp(argv[i], "--workers") == 0) {
@@ -77,12 +276,22 @@ int main(int argc, char** argv) {
       requests_per_client = std::atoi(argv[++i]);
     } else if (i + 1 < argc && std::strcmp(argv[i], "--threads") == 0) {
       threads = std::atoi(argv[++i]);
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--batch-max") == 0) {
+      batch_max = std::atoi(argv[++i]);
+    } else if (i + 1 < argc &&
+               std::strcmp(argv[i], "--batch-window-us") == 0) {
+      batch_window_us = std::atof(argv[++i]);
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--deadline-ms") == 0) {
+      deadline_ms = std::atof(argv[++i]);
     } else if (i + 1 < argc && std::strcmp(argv[i], "--out") == 0) {
       out = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_serve [--city XA|BJ|CD] [--workers N] "
-                   "[--requests N] [--threads N] [--fast] [--out PATH]\n");
+      std::fprintf(
+          stderr,
+          "usage: bench_serve [--city XA|BJ|CD] [--workers N] "
+          "[--requests N] [--threads N] [--batch-max N] "
+          "[--batch-window-us F] [--deadline-ms F] [--no-batching] "
+          "[--fast] [--out PATH]\n");
       return 2;
     }
   }
@@ -101,13 +310,17 @@ int main(int argc, char** argv) {
     model_config.gat_hidden = 16;
   }
   std::printf("BIGCity serving benchmark (%s, %d worker%s, %d kernel "
-              "thread%s%s).\n",
+              "thread%s%s%s).\n",
               city.c_str(), workers, workers == 1 ? "" : "s", threads,
-              threads == 1 ? "" : "s", fast ? ", fast" : "");
+              threads == 1 ? "" : "s", fast ? ", fast" : "",
+              batching ? "" : ", batching off");
 
   serve::ServeOptions options;
   options.num_workers = workers;
   options.queue_capacity = workers;  // Tight bound: overload must shed.
+  options.batching = batching;
+  options.batch_max = batch_max;
+  options.batch_window_us = batch_window_us;
   serve::InferenceServer server(&dataset, model_config, options);
   if (auto status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -118,51 +331,72 @@ int main(int argc, char** argv) {
   const std::vector<data::Trajectory>& pool = dataset.test();
   std::vector<LevelResult> levels;
   for (int multiplier : {1, 2, 4}) {
-    LevelResult level;
-    level.multiplier = multiplier;
-    level.clients = multiplier * workers;
-    std::vector<std::vector<double>> per_client_latencies(
-        static_cast<size_t>(level.clients));
-    std::atomic<int> ok{0}, shed{0}, other{0};
-    obs::WallTimer watch;
-    std::vector<std::thread> clients;
-    clients.reserve(static_cast<size_t>(level.clients));
-    for (int c = 0; c < level.clients; ++c) {
-      clients.emplace_back([&, c] {
-        auto& latencies = per_client_latencies[static_cast<size_t>(c)];
-        latencies.reserve(static_cast<size_t>(requests_per_client));
-        for (int r = 0; r < requests_per_client; ++r) {
-          serve::Request request;
-          request.task = core::Task::kNextHop;
-          request.trajectory =
-              pool[static_cast<size_t>(c * requests_per_client + r) %
-                   pool.size()];
-          serve::Response response = server.ServeSync(std::move(request));
-          if (response.status.ok()) {
-            ok++;
-            latencies.push_back(response.total_us);
-          } else if (response.outcome == serve::Outcome::kShed) {
-            shed++;
-          } else {
-            other++;
-          }
-        }
-      });
-    }
-    for (auto& client : clients) client.join();
-    level.seconds = watch.ElapsedSeconds();
-    level.issued = level.clients * requests_per_client;
-    level.ok = ok.load();
-    level.shed = shed.load();
-    level.other = other.load();
-    for (auto& latencies : per_client_latencies) {
-      level.latencies_us.insert(level.latencies_us.end(), latencies.begin(),
-                                latencies.end());
-    }
-    std::sort(level.latencies_us.begin(), level.latencies_us.end());
-    levels.push_back(std::move(level));
+    levels.push_back(
+        RunLevel(server, pool, multiplier, workers, requests_per_client));
   }
   server.Stop();
+
+  // --- Batching A/B ------------------------------------------------------
+  // An autoregressive closed loop (clients decode trajectories hop by
+  // hop), twice: once against the pre-batching runtime shape (no batcher,
+  // no shared tokenizer cache, no KV sessions) and once with the
+  // continuous-batching engine (batched prefill + KV extension decodes).
+  // Both arms get the serving deadline and a queue wide enough to admit
+  // every 4x client, so the only variable is the engine — the headline
+  // number is the 4x throughput ratio.
+  serve::ServeOptions ab_options = options;
+  ab_options.queue_capacity = 4 * workers;
+  ab_options.default_deadline_ms = deadline_ms;
+  // The A/B runs a serve-scale backbone (the paper's is GPT-2-sized; the
+  // default config here is sized for single-core training): the engine
+  // targets the regime where forwards are dominated by transformer
+  // compute, which a d_model-64 two-layer stack never reaches — its
+  // requests are all tokenizer, head, and queueing overhead. --fast keeps
+  // the tiny config so CI smoke stays cheap.
+  core::BigCityConfig ab_config = model_config;
+  if (!fast) {
+    ab_config.d_model = 256;
+    ab_config.num_heads = 8;
+    ab_config.num_layers = 6;
+  }
+  std::vector<LevelResult> arm_off, arm_on;
+  ArmCounters on_counters;
+  for (int arm = 0; arm < 2; ++arm) {
+    serve::ServeOptions arm_options = ab_options;
+    const bool arm_batching = arm == 1;
+    arm_options.batching = arm_batching;
+    if (arm_batching) {
+      // Every 4x client's walk may land on any worker; size each worker's
+      // session store to hold them all.
+      arm_options.kv_sessions = std::max(arm_options.kv_sessions,
+                                         4 * workers);
+    } else {
+      arm_options.tokenizer_cache_slices = 0;
+      arm_options.kv_sessions = 0;
+    }
+    serve::InferenceServer ab_server(&dataset, ab_config, arm_options);
+    if (auto status = ab_server.Start(); !status.ok()) {
+      std::fprintf(stderr, "A/B server start failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::vector<LevelResult>& arm_levels = arm_batching ? arm_on : arm_off;
+    const ArmCounters before = ArmCounters::Capture();
+    for (int multiplier : {1, 2, 4}) {
+      arm_levels.push_back(RunLevelWalk(ab_server, pool, multiplier, workers,
+                                        requests_per_client,
+                                        model_config.max_trajectory_tokens));
+    }
+    if (arm_batching) on_counters = ArmCounters::Capture().DeltaSince(before);
+    ab_server.Stop();
+  }
+  const LevelResult& off_4x = arm_off.back();
+  const LevelResult& on_4x = arm_on.back();
+  const double speedup_4x = off_4x.Throughput() > 0
+                                ? on_4x.Throughput() / off_4x.Throughput()
+                                : 0;
+  const bool p99_within_deadline =
+      on_4x.Percentile(0.99) <= deadline_ms * 1e3;
 
   // --- Reload under load -------------------------------------------------
   // 2x clients hammer a second server while a new version is published
@@ -276,29 +510,31 @@ int main(int argc, char** argv) {
   }
 
   util::TablePrinter table(
-      {"Load", "Clients", "Issued", "OK", "Shed rate", "Req/s", "p50 ms",
-       "p95 ms", "p99 ms"});
+      {"Load", "Clients", "Issued", "OK", "Shed rate", "Batch", "Req/s",
+       "p50 ms", "p95 ms", "p99 ms"});
   for (const LevelResult& level : levels) {
-    table.AddRow({std::to_string(level.multiplier) + "x",
-                  util::TablePrinter::Num(level.clients, 0),
-                  util::TablePrinter::Num(level.issued, 0),
-                  util::TablePrinter::Num(level.ok, 0),
-                  util::TablePrinter::Num(level.ShedRate(), 3),
-                  util::TablePrinter::Num(level.Throughput(), 1),
-                  util::TablePrinter::Num(level.Percentile(0.5) / 1e3, 2),
-                  util::TablePrinter::Num(level.Percentile(0.95) / 1e3, 2),
-                  util::TablePrinter::Num(level.Percentile(0.99) / 1e3, 2)});
+    AddTableRow(&table, std::to_string(level.multiplier) + "x", level);
   }
-  table.AddRow({"2x+swap",
-                util::TablePrinter::Num(reload.clients, 0),
-                util::TablePrinter::Num(reload.issued, 0),
-                util::TablePrinter::Num(reload.ok, 0),
-                util::TablePrinter::Num(reload.ShedRate(), 3),
-                util::TablePrinter::Num(reload.Throughput(), 1),
-                util::TablePrinter::Num(reload.Percentile(0.5) / 1e3, 2),
-                util::TablePrinter::Num(reload.Percentile(0.95) / 1e3, 2),
-                util::TablePrinter::Num(reload.Percentile(0.99) / 1e3, 2)});
+  for (const LevelResult& level : arm_off) {
+    AddTableRow(&table, std::to_string(level.multiplier) + "x off", level);
+  }
+  for (const LevelResult& level : arm_on) {
+    AddTableRow(&table, std::to_string(level.multiplier) + "x on", level);
+  }
+  AddTableRow(&table, "2x+swap", reload);
   table.Print();
+  std::printf("batching A/B at 4x load: %.1f -> %.1f req/s (%.2fx), mean "
+              "batch %.2f, p99 %s %.0fms deadline\n",
+              off_4x.Throughput(), on_4x.Throughput(), speedup_4x,
+              on_4x.MeanBatchSize(),
+              p99_within_deadline ? "within" : "OVER", deadline_ms);
+  std::printf("batching-on caches: kv %llu hit / %llu miss, tokenizer "
+              "%llu hit / %llu miss, %llu batch fallbacks\n",
+              static_cast<unsigned long long>(on_counters.kv_hit),
+              static_cast<unsigned long long>(on_counters.kv_miss),
+              static_cast<unsigned long long>(on_counters.tok_hit),
+              static_cast<unsigned long long>(on_counters.tok_miss),
+              static_cast<unsigned long long>(on_counters.batch_fallback));
   std::printf("reload under load: swap %s, %d responses served by the new "
               "version\n",
               swap_completed ? "completed" : "DID NOT COMPLETE",
@@ -319,20 +555,47 @@ int main(int argc, char** argv) {
                "  \"levels\": [\n",
                city.c_str(), workers, threads, workers, requests_per_client);
   for (size_t i = 0; i < levels.size(); ++i) {
-    const LevelResult& level = levels[i];
-    std::fprintf(f,
-                 "    {\"load_multiplier\": %d, \"clients\": %d, "
-                 "\"issued\": %d, \"ok\": %d, \"shed\": %d, \"other\": %d, "
-                 "\"seconds\": %.4f, \"throughput_rps\": %.2f, "
-                 "\"shed_rate\": %.4f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
-                 "\"p99_us\": %.1f}%s\n",
-                 level.multiplier, level.clients, level.issued, level.ok,
-                 level.shed, level.other, level.seconds, level.Throughput(),
-                 level.ShedRate(), level.Percentile(0.5),
-                 level.Percentile(0.95), level.Percentile(0.99),
-                 i + 1 < levels.size() ? "," : "");
+    PrintJsonLevel(f, "    ", levels[i], i + 1 < levels.size());
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"batching\": {\n"
+               "    \"batch_max\": %d,\n"
+               "    \"batch_window_us\": %.1f,\n"
+               "    \"deadline_ms\": %.1f,\n"
+               "    \"queue_capacity\": %d,\n"
+               "    \"d_model\": %lld,\n"
+               "    \"num_layers\": %lld,\n"
+               "    \"off\": [\n",
+               batch_max, batch_window_us, deadline_ms,
+               ab_options.queue_capacity,
+               static_cast<long long>(ab_config.d_model),
+               static_cast<long long>(ab_config.num_layers));
+  for (size_t i = 0; i < arm_off.size(); ++i) {
+    PrintJsonLevel(f, "      ", arm_off[i], i + 1 < arm_off.size());
+  }
+  std::fprintf(f, "    ],\n    \"on\": [\n");
+  for (size_t i = 0; i < arm_on.size(); ++i) {
+    PrintJsonLevel(f, "      ", arm_on[i], i + 1 < arm_on.size());
+  }
+  std::fprintf(f,
+               "    ],\n"
+               "    \"speedup_4x\": %.3f,\n"
+               "    \"mean_batch_size_4x\": %.3f,\n"
+               "    \"p99_within_deadline\": %s,\n"
+               "    \"counters\": {\"serve.cache.kv.hit\": %llu, "
+               "\"serve.cache.kv.miss\": %llu, "
+               "\"serve.cache.tokenizer.hit\": %llu, "
+               "\"serve.cache.tokenizer.miss\": %llu, "
+               "\"serve.batch.fallback\": %llu}\n"
+               "  },\n",
+               speedup_4x, on_4x.MeanBatchSize(),
+               p99_within_deadline ? "true" : "false",
+               static_cast<unsigned long long>(on_counters.kv_hit),
+               static_cast<unsigned long long>(on_counters.kv_miss),
+               static_cast<unsigned long long>(on_counters.tok_hit),
+               static_cast<unsigned long long>(on_counters.tok_miss),
+               static_cast<unsigned long long>(on_counters.batch_fallback));
   std::fprintf(f,
                "  \"reload\": {\"load_multiplier\": 2, \"clients\": %d, "
                "\"issued\": %d, \"ok\": %d, \"shed\": %d, \"other\": %d, "

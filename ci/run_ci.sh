@@ -3,19 +3,27 @@
 # with its job name, so "works in CI" and "works locally" are the same code
 # path by construction.
 #
-# usage: ci/run_ci.sh [release|sanitize|obs-off|all]
+# usage: ci/run_ci.sh [release|sanitize|tsan|obs-off|all]
 #
 # Jobs:
-#   release  Release build, full ctest (includes the bench_gate perf smoke),
-#            format_check, a 2-epoch bigcity_cli train smoke on --threads 2
-#            that validates the trace / run-report / metrics outputs, a
-#            threaded serve smoke (bench_serve --fast + bigcity_cli serve)
-#            that validates BENCH_serve.json and the serve metrics snapshot,
-#            and a fixed-seed rollout smoke (chaos_soak) validating the
-#            hot-swap/canary/rollback invariants and report JSON.
+#   release  Release build, full ctest (includes the bench_gate perf smoke
+#            with its kernel/train/serve gates), format_check, a 2-epoch
+#            bigcity_cli train smoke on --threads 2 that validates the
+#            trace / run-report / metrics outputs, a high-concurrency serve
+#            smoke (bench_serve --fast + bigcity_cli serve) that validates
+#            BENCH_serve.json and the serve metrics snapshot — including
+#            that the continuous batcher actually coalesced (mean batch
+#            size > 1) — and a fixed-seed rollout smoke (chaos_soak)
+#            validating the hot-swap/canary/rollback invariants and report
+#            JSON. Artifact JSON checks live in ci/validate_artifacts.py.
 #   sanitize Debug build with ASan+UBSan running the resilience_check,
 #            kernels_check, and serve_check suites plus a short --threads 2
 #            CLI smoke and a short rollout smoke.
+#   tsan     RelWithDebInfo build with TSan running the serve_check suite
+#            (server, batcher, KV session store, thread pool) plus a short
+#            batched serve smoke — the batching engine's cross-thread
+#            handoffs (batcher queues, shared tokenizer/KV caches, promise
+#            completion) must be clean under the race detector.
 #   obs-off  Release build with -DBIGCITY_OBS=OFF proving every probe
 #            compiles out and the full suite still passes.
 set -euo pipefail
@@ -50,23 +58,7 @@ check_obs_outputs() {
   # Every artifact must be machine-readable, not just grep-able: the JSON
   # files parse whole, the report parses line by line.
   if command -v python3 > /dev/null; then
-    python3 - "$dir" <<'EOF'
-import json, sys
-d = sys.argv[1]
-for name in ("trace.json", "metrics.json", "profile.json"):
-    with open(f"{d}/{name}") as f:
-        json.load(f)
-with open(f"{d}/report.jsonl") as f:
-    records = [json.loads(line) for line in f]
-assert any(r.get("event") == "epoch" for r in records)
-assert any(r.get("event") == "health" for r in records)
-assert records[-1]["event"] == "summary"
-assert "queue_wait_p95_us" in records[-1]
-with open(f"{d}/metrics.json") as f:
-    metrics = json.load(f)
-assert metrics["counters"]["plan.cache.hit"] > 0, "plan cache never hit"
-print(f"json validation ok: {len(records)} report records")
-EOF
+    python3 ci/validate_artifacts.py train "$dir"
   fi
   echo "obs outputs ok: $(wc -l < "$dir/report.jsonl") report records"
 }
@@ -86,19 +78,22 @@ train_smoke() {
   check_obs_outputs "$out"
 }
 
-# Threaded serve smoke: closed-loop bench at 1x/2x/4x load plus a CLI
-# serve replay, validating that BENCH_serve.json and the serve metrics
-# snapshot are machine-readable and carry the expected fields.
+# High-concurrency serve smoke: closed-loop bench at 1x/2x/4x load (at 4x
+# the client count is 4x the worker count, so the continuous batcher must
+# coalesce — the validator asserts mean batch size > 1) plus a CLI serve
+# replay, validating that BENCH_serve.json and the serve metrics snapshot
+# are machine-readable and carry the batching/cache fields.
 serve_smoke() {
   local build="$1" job="$2"
   local out="ci-artifacts/$job"
   mkdir -p "$out"
-  log "$job: serve smoke (bench_serve --fast, 2 workers x 3 load levels)"
-  (cd "$out" && "../../$build/bench/bench_serve" --fast --workers 2 \
+  log "$job: serve smoke (bench_serve --fast, 4 workers x 3 load levels)"
+  (cd "$out" && "../../$build/bench/bench_serve" --fast --workers 4 \
     --requests 8)
   grep -q '"shed_rate"' "$out/BENCH_serve.json"
   grep -q '"throughput_rps"' "$out/BENCH_serve.json"
   grep -q '"p95_us"' "$out/BENCH_serve.json"
+  grep -q '"mean_batch_size"' "$out/BENCH_serve.json"
   log "$job: serve smoke (bigcity_cli serve replay)"
   "$build/tools/bigcity_cli" generate --city XA --scale 0.05 \
     --out "$out/serve_trips.csv"
@@ -109,28 +104,12 @@ serve_smoke() {
   grep -q '"serve.e2e_us"' "$out/serve_metrics.json"
   # Per-worker inference plans engaged during the replay.
   grep -q '"plan.cache.hit"' "$out/serve_metrics.json"
+  # Batching engaged during the replay, and the shared tokenizer rep
+  # cache saw hits across workers.
+  grep -q '"serve.batch.size"' "$out/serve_metrics.json"
+  grep -q '"serve.cache.tokenizer.hit"' "$out/serve_metrics.json"
   if command -v python3 > /dev/null; then
-    python3 - "$out" <<'EOF'
-import json, sys
-d = sys.argv[1]
-with open(f"{d}/BENCH_serve.json") as f:
-    bench = json.load(f)
-levels = bench["levels"]
-assert [l["load_multiplier"] for l in levels] == [1, 2, 4], levels
-for l in levels:
-    assert l["ok"] + l["shed"] + l["other"] == l["issued"], l
-    assert l["throughput_rps"] >= 0 and 0 <= l["shed_rate"] <= 1, l
-reload = bench["reload"]
-assert reload["swap_completed"] is True, reload
-assert reload["served_by_new_version"] > 0, reload
-assert reload["ok"] + reload["shed"] + reload["other"] == reload["issued"]
-assert reload["p99_us"] > 0 and 0 <= reload["shed_rate"] <= 1, reload
-# The hot-swap must not push admitted-request p99 past the serving SLO.
-assert reload["p99_us"] <= reload["deadline_ms"] * 1000, reload
-with open(f"{d}/serve_metrics.json") as f:
-    json.load(f)
-print(f"serve json validation ok: {len(levels)} load levels + reload")
-EOF
+    python3 ci/validate_artifacts.py serve "$out"
   fi
   echo "serve smoke ok"
 }
@@ -146,30 +125,7 @@ rollout_smoke() {
   timeout 90 "$build/tools/chaos_soak" --seconds "$seconds" --seed 7 \
     --model-dir "$out/chaos_models" --json "$out/chaos_report.json"
   if command -v python3 > /dev/null; then
-    python3 - "$out" <<'EOF'
-import json, sys
-d = sys.argv[1]
-with open(f"{d}/chaos_report.json") as f:
-    report = json.load(f)
-assert report["pass"] is True, report["violations"]
-assert not report["violations"]
-req = report["requests"]
-assert req["submitted"] > 0 and req["broken_promises"] == 0, req
-assert req["other_failures"] == 0, req
-ev = report["events"]
-# One full schedule cycle minimum: every event kind must have run.
-assert all(v >= 1 for v in ev.values()), ev
-counters = report["metrics"]["counters"]
-for name in ("serve.rollout.published", "serve.rollout.staged",
-             "serve.rollout.completed", "serve.rollout.rolled_back",
-             "serve.rollout.quarantined"):
-    assert counters.get(name, 0) >= 1, (name, counters)
-gauges = report["metrics"]["gauges"]
-assert "serve.rollout.state" in gauges and "serve.rollout.generation" in gauges
-assert any(k.startswith("serve.breaker.state.") for k in gauges), gauges
-print(f"rollout json validation ok: {req['submitted']} requests, "
-      f"{sum(ev.values())} chaos events")
-EOF
+    python3 ci/validate_artifacts.py rollout "$out"
   fi
   echo "rollout smoke ok"
 }
@@ -209,6 +165,28 @@ run_sanitize() {
   rollout_smoke build-ci-asan sanitize 3
 }
 
+run_tsan() {
+  log "tsan: configure + build (TSan, RelWithDebInfo)"
+  # RelWithDebInfo, not Debug: TSan already costs 5-15x and the serving
+  # suite spins real worker/batcher/watcher threads under load.
+  cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBIGCITY_SANITIZE=thread
+  log "tsan: serving suite (server, batcher, KV sessions, thread pool)"
+  cmake --build build-ci-tsan -j"$PAR" --target serve_check
+  log "tsan: batched serve smoke (bench_serve --fast, 4 workers)"
+  cmake --build build-ci-tsan -j"$PAR" --target bench_serve
+  local out="ci-artifacts/tsan"
+  rm -rf "$out"
+  mkdir -p "$out"
+  # The smoke drives the full engine — admission, batcher coalescing,
+  # shared tokenizer/KV caches, hot-swap reload — with every cross-thread
+  # handoff under the race detector. TSan aborts the run on a report.
+  (cd "$out" && "../../build-ci-tsan/bench/bench_serve" --fast --workers 4 \
+    --requests 4)
+  grep -q '"mean_batch_size"' "$out/BENCH_serve.json"
+  echo "tsan smoke ok"
+}
+
 run_obs_off() {
   log "obs-off: configure + build (-DBIGCITY_OBS=OFF)"
   cmake -B build-ci-obsoff -S . -DCMAKE_BUILD_TYPE=Release -DBIGCITY_OBS=OFF
@@ -224,14 +202,16 @@ run_obs_off() {
 case "$JOB" in
   release) run_release ;;
   sanitize) run_sanitize ;;
+  tsan) run_tsan ;;
   obs-off) run_obs_off ;;
   all)
     run_release
     run_sanitize
+    run_tsan
     run_obs_off
     ;;
   *)
-    echo "usage: ci/run_ci.sh [release|sanitize|obs-off|all]" >&2
+    echo "usage: ci/run_ci.sh [release|sanitize|tsan|obs-off|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Machine-readability + invariant checks for CI smoke artifacts.
+
+usage: validate_artifacts.py <train|serve|rollout> <artifact-dir>
+
+Each subcommand validates the JSON artifacts one ci/run_ci.sh smoke
+leaves in its ci-artifacts/<job> directory. The checks go beyond
+grep-ability: every file must parse whole, and the fields the serving
+and training subsystems promise (DESIGN.md §4.9-§4.14) must be present
+and non-trivial.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def validate_train(d):
+    """Trace/report/metrics/profile of a bigcity_cli train smoke."""
+    for name in ("trace.json", "metrics.json", "profile.json"):
+        load(f"{d}/{name}")
+    with open(f"{d}/report.jsonl") as f:
+        records = [json.loads(line) for line in f]
+    assert any(r.get("event") == "epoch" for r in records)
+    assert any(r.get("event") == "health" for r in records)
+    assert records[-1]["event"] == "summary"
+    assert "queue_wait_p95_us" in records[-1]
+    metrics = load(f"{d}/metrics.json")
+    assert metrics["counters"]["plan.cache.hit"] > 0, "plan cache never hit"
+    print(f"train json validation ok: {len(records)} report records")
+
+
+def validate_serve(d):
+    """BENCH_serve.json (bench_serve) + serve_metrics.json (CLI replay)."""
+    bench = load(f"{d}/BENCH_serve.json")
+    levels = bench["levels"]
+    assert [l["load_multiplier"] for l in levels] == [1, 2, 4], levels
+    for l in levels:
+        assert l["ok"] + l["shed"] + l["other"] == l["issued"], l
+        assert l["throughput_rps"] >= 0 and 0 <= l["shed_rate"] <= 1, l
+    # The batcher must actually coalesce under backlog: at 4x load the
+    # smoke's client count exceeds the worker count, so per-request
+    # forwards (mean batch size 1.0) mean the batching engine is off or
+    # broken.
+    assert levels[-1]["mean_batch_size"] > 1, levels[-1]
+    batching = bench["batching"]
+    assert batching["mean_batch_size_4x"] > 1, batching
+    assert batching["p99_within_deadline"] is True, batching
+    counters = batching["counters"]
+    assert counters["serve.cache.tokenizer.hit"] > 0, counters
+    assert counters["serve.cache.kv.hit"] > 0, counters
+    reload_ = bench["reload"]
+    assert reload_["swap_completed"] is True, reload_
+    assert reload_["served_by_new_version"] > 0, reload_
+    assert (reload_["ok"] + reload_["shed"] + reload_["other"]
+            == reload_["issued"])
+    assert reload_["p99_us"] > 0 and 0 <= reload_["shed_rate"] <= 1, reload_
+    # The hot-swap must not push admitted-request p99 past the serving SLO.
+    assert reload_["p99_us"] <= reload_["deadline_ms"] * 1000, reload_
+    metrics = load(f"{d}/serve_metrics.json")
+    batch_size = metrics["histograms"]["serve.batch.size"]
+    assert batch_size["count"] > 0, batch_size
+    assert batch_size["sum"] / batch_size["count"] > 1, batch_size
+    assert metrics["counters"]["serve.cache.tokenizer.hit"] > 0, (
+        metrics["counters"])
+    print(f"serve json validation ok: {len(levels)} load levels + reload, "
+          f"mean batch size {batch_size['sum'] / batch_size['count']:.2f}")
+
+
+def validate_rollout(d):
+    """chaos_soak report: lifecycle invariants + event coverage."""
+    report = load(f"{d}/chaos_report.json")
+    assert report["pass"] is True, report["violations"]
+    assert not report["violations"]
+    req = report["requests"]
+    assert req["submitted"] > 0 and req["broken_promises"] == 0, req
+    assert req["other_failures"] == 0, req
+    ev = report["events"]
+    # One full schedule cycle minimum: every event kind must have run.
+    assert all(v >= 1 for v in ev.values()), ev
+    counters = report["metrics"]["counters"]
+    for name in ("serve.rollout.published", "serve.rollout.staged",
+                 "serve.rollout.completed", "serve.rollout.rolled_back",
+                 "serve.rollout.quarantined"):
+        assert counters.get(name, 0) >= 1, (name, counters)
+    gauges = report["metrics"]["gauges"]
+    assert ("serve.rollout.state" in gauges
+            and "serve.rollout.generation" in gauges)
+    assert any(k.startswith("serve.breaker.state.") for k in gauges), gauges
+    print(f"rollout json validation ok: {req['submitted']} requests, "
+          f"{sum(ev.values())} chaos events")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("train", "serve", "rollout"):
+        print("usage: validate_artifacts.py <train|serve|rollout> "
+              "<artifact-dir>", file=sys.stderr)
+        return 2
+    {"train": validate_train,
+     "serve": validate_serve,
+     "rollout": validate_rollout}[sys.argv[1]](sys.argv[2])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

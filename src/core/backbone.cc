@@ -31,48 +31,55 @@ Backbone::Backbone(int text_vocab_size, const BigCityConfig& config,
       "mask_token", Tensor::Randn({1, config.d_model}, rng, 0.02f, true));
 }
 
-BackboneOutput Backbone::Forward(const PromptInput& prompt) const {
+Tensor Backbone::AssembleInput(const PromptInput& prompt, int64_t* text_len,
+                               int64_t* st_len) const {
   std::vector<Tensor> parts;
-  int64_t text_len = 0;
+  *text_len = 0;
   if (!prompt.text_ids.empty()) {
     parts.push_back(text_embedding_->Forward(prompt.text_ids));
-    text_len = static_cast<int64_t>(prompt.text_ids.size());
+    *text_len = static_cast<int64_t>(prompt.text_ids.size());
   }
 
   BIGCITY_CHECK(prompt.st_tokens.is_valid());
-  const int64_t st_len = prompt.st_tokens.shape()[0];
+  *st_len = prompt.st_tokens.shape()[0];
   if (prompt.mask_positions.empty()) {
     parts.push_back(prompt.st_tokens);
   } else {
-    std::vector<bool> is_masked(static_cast<size_t>(st_len), false);
+    std::vector<bool> is_masked(static_cast<size_t>(*st_len), false);
     for (int m : prompt.mask_positions) {
-      BIGCITY_CHECK(m >= 0 && m < st_len);
+      BIGCITY_CHECK(m >= 0 && m < *st_len);
       is_masked[static_cast<size_t>(m)] = true;
     }
     // Replace masked rows with the learnable [MASK] vector, keeping runs of
     // unmasked rows as single slices.
     int64_t run_start = 0;
-    for (int64_t l = 0; l <= st_len; ++l) {
-      const bool boundary = l == st_len || is_masked[static_cast<size_t>(l)];
+    for (int64_t l = 0; l <= *st_len; ++l) {
+      const bool boundary = l == *st_len || is_masked[static_cast<size_t>(l)];
       if (boundary) {
         if (run_start < l) {
           parts.push_back(nn::SliceRows(prompt.st_tokens, run_start, l));
         }
-        if (l < st_len) parts.push_back(mask_token_);
+        if (l < *st_len) parts.push_back(mask_token_);
         run_start = l + 1;
       }
     }
   }
 
-  const int64_t num_task = static_cast<int64_t>(prompt.task_tokens.size());
   for (TaskTokenKind kind : prompt.task_tokens) {
     parts.push_back(kind == TaskTokenKind::kClas ? clas_token_ : reg_token_);
   }
 
   Tensor input = nn::Concat(parts, /*axis=*/0);
-  const int64_t total = input.shape()[0];
-  BIGCITY_CHECK_LE(total, config_.max_sequence)
+  BIGCITY_CHECK_LE(input.shape()[0], config_.max_sequence)
       << "prompt longer than positional table";
+  return input;
+}
+
+BackboneOutput Backbone::Forward(const PromptInput& prompt) const {
+  int64_t text_len = 0, st_len = 0;
+  Tensor input = AssembleInput(prompt, &text_len, &st_len);
+  const int64_t total = input.shape()[0];
+  const int64_t num_task = static_cast<int64_t>(prompt.task_tokens.size());
   Tensor positions = nn::SliceRows(positional_, 0, total);
   Tensor hidden = transformer_->Forward(nn::Add(input, positions));
 
@@ -81,6 +88,98 @@ BackboneOutput Backbone::Forward(const PromptInput& prompt) const {
   if (num_task > 0) {
     output.task_outputs =
         nn::SliceRows(hidden, total - num_task, total);
+  }
+  return output;
+}
+
+std::vector<BackboneOutput> Backbone::ForwardBatched(
+    const std::vector<PromptInput>& prompts,
+    const std::vector<nn::KvCache*>* caches) const {
+  BIGCITY_CHECK(!prompts.empty());
+  if (caches != nullptr) BIGCITY_CHECK_EQ(caches->size(), prompts.size());
+  struct Layout {
+    int64_t text_len, st_len, num_task, total, cached;
+  };
+  std::vector<Layout> layouts;
+  layouts.reserve(prompts.size());
+  std::vector<Tensor> inputs;
+  inputs.reserve(prompts.size());
+  std::vector<int64_t> lens;
+  lens.reserve(prompts.size());
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    const PromptInput& prompt = prompts[i];
+    Layout layout{};
+    Tensor input = AssembleInput(prompt, &layout.text_len, &layout.st_len);
+    layout.num_task = static_cast<int64_t>(prompt.task_tokens.size());
+    layout.total = input.shape()[0];
+    // A sequence with a non-empty cache contributes only its uncached
+    // suffix rows (a batched ForwardCached decode); everything else rides
+    // whole. Positions are added per sequence before slicing (elementwise,
+    // so batching-neutral); the concatenated rows then share every
+    // row-wise layer downstream.
+    layout.cached =
+        caches != nullptr && (*caches)[i] != nullptr ? (*caches)[i]->length()
+                                                     : 0;
+    BIGCITY_CHECK_LT(layout.cached, layout.total)
+        << "KV cache already covers the whole prompt; truncate it first";
+    BIGCITY_CHECK_LE(layout.num_task, layout.total - layout.cached)
+        << "task placeholders must lie in the uncached suffix";
+    Tensor x =
+        nn::Add(input, nn::SliceRows(positional_, 0, layout.total));
+    inputs.push_back(layout.cached > 0
+                         ? nn::SliceRows(x, layout.cached, layout.total)
+                         : x);
+    lens.push_back(layout.total - layout.cached);
+    layouts.push_back(layout);
+  }
+  Tensor tall = inputs.size() == 1 ? inputs[0] : nn::Concat(inputs, 0);
+  Tensor hidden = transformer_->ForwardBatched(tall, lens, caches);
+
+  std::vector<BackboneOutput> outputs;
+  outputs.reserve(prompts.size());
+  int64_t off = 0;
+  for (const Layout& layout : layouts) {
+    const int64_t suffix_len = layout.total - layout.cached;
+    BackboneOutput output;
+    if (layout.cached == 0) {
+      output.st_outputs =
+          nn::SliceRows(hidden, off + layout.text_len,
+                        off + layout.text_len + layout.st_len);
+    }
+    if (layout.num_task > 0) {
+      output.task_outputs = nn::SliceRows(
+          hidden, off + suffix_len - layout.num_task, off + suffix_len);
+    }
+    outputs.push_back(std::move(output));
+    off += suffix_len;
+  }
+  return outputs;
+}
+
+BackboneOutput Backbone::ForwardCached(const PromptInput& prompt,
+                                       nn::KvCache* cache) const {
+  BIGCITY_CHECK(cache != nullptr);
+  int64_t text_len = 0, st_len = 0;
+  Tensor input = AssembleInput(prompt, &text_len, &st_len);
+  const int64_t total = input.shape()[0];
+  const int64_t num_task = static_cast<int64_t>(prompt.task_tokens.size());
+  const int64_t cached = cache->length();
+  BIGCITY_CHECK_LT(cached, total)
+      << "KV cache already covers the whole prompt; truncate it first";
+  Tensor x = nn::Add(input, nn::SliceRows(positional_, 0, total));
+  Tensor suffix = cached > 0 ? nn::SliceRows(x, cached, total) : x;
+  Tensor hidden = transformer_->ForwardCached(suffix, cache);
+
+  const int64_t suffix_len = total - cached;
+  BIGCITY_CHECK_LE(num_task, suffix_len)
+      << "task placeholders must lie in the uncached suffix";
+  BackboneOutput output;
+  if (cached == 0) {
+    output.st_outputs = nn::SliceRows(hidden, text_len, text_len + st_len);
+  }
+  if (num_task > 0) {
+    output.task_outputs =
+        nn::SliceRows(hidden, suffix_len - num_task, suffix_len);
   }
   return output;
 }

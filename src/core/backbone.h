@@ -42,6 +42,31 @@ class Backbone : public nn::Module {
 
   BackboneOutput Forward(const PromptInput& prompt) const;
 
+  /// Batched forward over independent prompts: the assembled prompt
+  /// sequences are row-concatenated, all row-wise layers (embeddings, LN,
+  /// projections, FFN) run on the tall matrix, and attention runs per
+  /// sequence — so outputs[i] is bit-identical to Forward(prompts[i]).
+  /// When `caches` is given (one entry per prompt, entries may be null)
+  /// each non-null EMPTY KvCache receives that prompt's full attention
+  /// state — a batched prefill for later extension decodes — while a
+  /// non-null cache that already holds a (truncated-to-shared) prefix
+  /// makes that prompt decode only its suffix rows against the cached
+  /// state, batched alongside the others. st_outputs is only populated
+  /// for sequences decoded from row 0.
+  std::vector<BackboneOutput> ForwardBatched(
+      const std::vector<PromptInput>& prompts,
+      const std::vector<nn::KvCache*>* caches = nullptr) const;
+
+  /// KV-cached incremental forward: the first cache->length() positions of
+  /// the assembled sequence were already processed into `cache` (by a
+  /// previous ForwardCached over a prompt sharing that prefix; the caller
+  /// guarantees the prefix tokens are identical, truncating the cache
+  /// first if needed). Only the suffix rows run through the transformer.
+  /// task_outputs is bit-identical to Forward(); st_outputs is only
+  /// populated when the cache started empty.
+  BackboneOutput ForwardCached(const PromptInput& prompt,
+                               nn::KvCache* cache) const;
+
   /// Next-word logits over the text vocabulary for language-model
   /// pre-training (weight-tied to the text embedding).
   nn::Tensor TextLmLogits(const std::vector<int>& text_ids) const;
@@ -55,6 +80,12 @@ class Backbone : public nn::Module {
   int64_t d_model() const { return config_.d_model; }
 
  private:
+  /// Assembles [text][st tokens with MASK substitution][task placeholders]
+  /// into one [total, d_model] matrix (no positional add). Outputs the
+  /// text/st region lengths for slicing the transformer output.
+  nn::Tensor AssembleInput(const PromptInput& prompt, int64_t* text_len,
+                           int64_t* st_len) const;
+
   BigCityConfig config_;
   std::unique_ptr<nn::EmbeddingTable> text_embedding_;
   nn::Tensor positional_;   // [max_sequence, d_model].

@@ -387,6 +387,229 @@ Tensor BigCityModel::ImputeTraffic(int segment, int start_slice, int window,
   return heads_->StateRegression(out.task_outputs);
 }
 
+// --- Batched inference -------------------------------------------------------
+
+std::vector<Tensor> BigCityModel::BatchNextHopLogits(
+    const std::vector<data::Trajectory>& prefixes,
+    const std::vector<nn::KvCache*>* caches) {
+  BIGCITY_CHECK(!prefixes.empty());
+  if (caches != nullptr) BIGCITY_CHECK_EQ(caches->size(), prefixes.size());
+  std::vector<PromptInput> prompts;
+  prompts.reserve(prefixes.size());
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    const data::Trajectory& prefix = prefixes[i];
+    BIGCITY_CHECK_GE(prefix.length(), 1);
+    StUnitSequence seq = StUnitSequence::FromTrajectory(prefix);
+    PromptInput prompt = MakePrompt(
+        Task::kNextHop,
+        StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+    prompt.task_tokens = {TaskTokenKind::kClas};
+    // A member arriving with cached attention state decodes only its
+    // suffix: truncate to the reusable region under the same rule as
+    // NextHopLogitsCached (everything but the previous call's [CLAS] row,
+    // capped at text + all but the last ST token).
+    if (caches != nullptr && (*caches)[i] != nullptr &&
+        (*caches)[i]->length() > 0) {
+      const int64_t text_len = static_cast<int64_t>(prompt.text_ids.size());
+      const int64_t shared_max =
+          std::min<int64_t>((*caches)[i]->length() - 1,
+                            text_len + static_cast<int64_t>(seq.length()) - 1);
+      (*caches)[i]->Truncate(shared_max);
+    }
+    prompts.push_back(std::move(prompt));
+  }
+  std::vector<BackboneOutput> outs =
+      backbone_->ForwardBatched(prompts, caches);
+  std::vector<Tensor> stacked;
+  stacked.reserve(outs.size());
+  for (const BackboneOutput& out : outs) stacked.push_back(out.task_outputs);
+  // One head GEMM over the stacked [B, d] placeholder outputs.
+  Tensor logits = heads_->SegmentLogits(nn::Concat(stacked, /*axis=*/0));
+  std::vector<Tensor> results;
+  results.reserve(outs.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(outs.size()); ++i) {
+    results.push_back(nn::SliceRows(logits, i, i + 1));
+  }
+  return results;
+}
+
+std::vector<Tensor> BigCityModel::BatchTravelTimeDeltas(
+    const std::vector<data::Trajectory>& trajectories) {
+  BIGCITY_CHECK(!trajectories.empty());
+  std::vector<PromptInput> prompts;
+  prompts.reserve(trajectories.size());
+  std::vector<int64_t> counts;
+  counts.reserve(trajectories.size());
+  for (const data::Trajectory& trajectory : trajectories) {
+    BIGCITY_CHECK_GE(trajectory.length(), 2);
+    StUnitSequence seq = StUnitSequence::FromTrajectory(trajectory);
+    std::vector<bool> hide(seq.segments.size(), true);
+    hide[0] = false;
+    PromptInput prompt =
+        MakePrompt(Task::kTravelTimeEstimation, StTokensFor(seq, hide));
+    prompt.task_tokens.assign(static_cast<size_t>(seq.length() - 1),
+                              TaskTokenKind::kReg);
+    counts.push_back(seq.length() - 1);
+    prompts.push_back(std::move(prompt));
+  }
+  std::vector<BackboneOutput> outs = backbone_->ForwardBatched(prompts);
+  std::vector<Tensor> stacked;
+  stacked.reserve(outs.size());
+  for (const BackboneOutput& out : outs) stacked.push_back(out.task_outputs);
+  Tensor deltas = heads_->TimeRegression(nn::Concat(stacked, /*axis=*/0));
+  std::vector<Tensor> results;
+  results.reserve(outs.size());
+  int64_t off = 0;
+  for (int64_t count : counts) {
+    results.push_back(nn::SliceRows(deltas, off, off + count));
+    off += count;
+  }
+  return results;
+}
+
+std::vector<Tensor> BigCityModel::BatchPredictTraffic(
+    const std::vector<TrafficQuery>& queries) {
+  BIGCITY_CHECK(!queries.empty());
+  std::vector<PromptInput> prompts;
+  prompts.reserve(queries.size());
+  for (const TrafficQuery& query : queries) {
+    BIGCITY_CHECK_GT(query.horizon, 0);
+    StUnitSequence seq = StUnitSequence::FromTrafficSeries(
+        dataset_->traffic(), query.segment, query.start_slice,
+        config_.traffic_input_steps);
+    PromptInput prompt = MakePrompt(
+        query.horizon == 1 ? Task::kTrafficOneStep : Task::kTrafficMultiStep,
+        StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+    prompt.task_tokens.assign(static_cast<size_t>(query.horizon),
+                              TaskTokenKind::kReg);
+    prompts.push_back(std::move(prompt));
+  }
+  std::vector<BackboneOutput> outs = backbone_->ForwardBatched(prompts);
+  std::vector<Tensor> stacked;
+  stacked.reserve(outs.size());
+  for (const BackboneOutput& out : outs) stacked.push_back(out.task_outputs);
+  Tensor states = heads_->StateRegression(nn::Concat(stacked, /*axis=*/0));
+  std::vector<Tensor> results;
+  results.reserve(outs.size());
+  int64_t off = 0;
+  for (const TrafficQuery& query : queries) {
+    results.push_back(nn::SliceRows(states, off, off + query.horizon));
+    off += query.horizon;
+  }
+  return results;
+}
+
+util::Result<std::vector<Tensor>> BigCityModel::TryBatchNextHopLogits(
+    const std::vector<data::Trajectory>& prefixes,
+    const std::vector<nn::KvCache*>* caches) {
+  if (prefixes.empty()) {
+    return util::Status::InvalidArgument("empty next-hop batch");
+  }
+  std::vector<data::Trajectory> clipped;
+  clipped.reserve(prefixes.size());
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    const data::Trajectory& prefix = prefixes[i];
+    if (auto s = ScreenTrajectory(prefix, dataset_->network().num_segments(),
+                                  1, "next-hop");
+        !s.ok()) {
+      return s;
+    }
+    clipped.push_back(ClipTrajectory(prefix));
+    if (caches != nullptr && (*caches)[i] != nullptr &&
+        clipped.back().length() != prefix.length()) {
+      // Clipping resamples interior points, so cached positions no longer
+      // correspond to this member's tokens.
+      (*caches)[i]->Clear();
+    }
+  }
+  return BatchNextHopLogits(clipped, caches);
+}
+
+util::Result<std::vector<Tensor>> BigCityModel::TryBatchTravelTimeDeltas(
+    const std::vector<data::Trajectory>& trajectories) {
+  if (trajectories.empty()) {
+    return util::Status::InvalidArgument("empty TTE batch");
+  }
+  std::vector<data::Trajectory> clipped;
+  clipped.reserve(trajectories.size());
+  for (const data::Trajectory& trajectory : trajectories) {
+    if (auto s = ScreenTrajectory(trajectory,
+                                  dataset_->network().num_segments(), 2,
+                                  "TTE");
+        !s.ok()) {
+      return s;
+    }
+    clipped.push_back(ClipTrajectory(trajectory));
+  }
+  return BatchTravelTimeDeltas(clipped);
+}
+
+util::Result<std::vector<Tensor>> BigCityModel::TryBatchPredictTraffic(
+    const std::vector<TrafficQuery>& queries) {
+  if (queries.empty()) {
+    return util::Status::InvalidArgument("empty traffic batch");
+  }
+  for (const TrafficQuery& query : queries) {
+    if (query.horizon < 1 ||
+        query.horizon > static_cast<int>(config_.max_sequence)) {
+      return util::Status::InvalidArgument(
+          "traffic horizon " + std::to_string(query.horizon) +
+          " out of range");
+    }
+    if (auto s = data::ValidateTrafficWindow(dataset_->traffic(),
+                                             query.segment, query.start_slice,
+                                             config_.traffic_input_steps);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return BatchPredictTraffic(queries);
+}
+
+// --- KV-cached decoding ------------------------------------------------------
+
+Tensor BigCityModel::NextHopLogitsCached(const data::Trajectory& prefix,
+                                         nn::KvCache* cache) {
+  BIGCITY_CHECK(cache != nullptr);
+  BIGCITY_CHECK_GE(prefix.length(), 1);
+  StUnitSequence seq = StUnitSequence::FromTrajectory(prefix);
+  PromptInput prompt = MakePrompt(
+      Task::kNextHop,
+      StTokensFor(seq, std::vector<bool>(seq.segments.size(), false)));
+  prompt.task_tokens = {TaskTokenKind::kClas};
+  // The caller guarantees the cache was populated by a decode over some
+  // served prefix of this trajectory, so every cached row except the last
+  // — the previous call's [CLAS] placeholder, which sat where a new ST
+  // token now goes — holds exactly this prompt's content at the same
+  // position. The reusable region is additionally capped at the text
+  // instruction plus all but the last ST token (a same-length re-serve
+  // still re-decodes its final token and placeholder).
+  const int64_t text_len = static_cast<int64_t>(prompt.text_ids.size());
+  const int64_t shared_max = std::min<int64_t>(
+      cache->length() > 0 ? cache->length() - 1 : 0,
+      text_len + static_cast<int64_t>(seq.length()) - 1);
+  if (cache->length() > shared_max) cache->Truncate(shared_max);
+  BackboneOutput out = backbone_->ForwardCached(prompt, cache);
+  return heads_->SegmentLogits(out.task_outputs);
+}
+
+util::Result<Tensor> BigCityModel::TryNextHopLogitsCached(
+    const data::Trajectory& prefix, nn::KvCache* cache) {
+  BIGCITY_CHECK(cache != nullptr);
+  if (auto s = ScreenTrajectory(prefix, dataset_->network().num_segments(),
+                                1, "next-hop");
+      !s.ok()) {
+    return s;
+  }
+  data::Trajectory clipped = ClipTrajectory(prefix);
+  if (clipped.length() != prefix.length()) {
+    // Clipping resamples interior points, so cached positions no longer
+    // correspond to this prefix's tokens.
+    cache->Clear();
+  }
+  return NextHopLogitsCached(clipped, cache);
+}
+
 // --- Stage-1 masked reconstruction ---------------------------------------------
 
 BigCityModel::Reconstruction BigCityModel::MaskedReconstruct(

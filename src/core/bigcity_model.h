@@ -69,6 +69,63 @@ class BigCityModel : public nn::Module {
   nn::Tensor ImputeTraffic(int segment, int start_slice, int window,
                            const std::vector<int>& masked);
 
+  // --- Batched inference entry points ------------------------------------
+  //
+  // Cross-request batching for the serving runtime: prompts are assembled
+  // per request, row-concatenated through the backbone (row-wise layers run
+  // as one tall GEMM; attention per sequence), and the task heads run once
+  // over the stacked placeholder outputs. Every returned tensor is
+  // bit-identical to the corresponding single-request method.
+
+  /// One [1, I] logits tensor per prefix. When `caches` is given (one
+  /// entry per prefix, entries may be null) each non-null empty KvCache
+  /// receives that prefix's backbone attention state — a batched prefill —
+  /// while a non-null cache holding the state of a served prefix of the
+  /// same trajectory decodes only its suffix rows against it (a batched
+  /// NextHopLogitsCached). Mixed batches are fine; results are
+  /// bit-identical to the single-request methods either way.
+  std::vector<nn::Tensor> BatchNextHopLogits(
+      const std::vector<data::Trajectory>& prefixes,
+      const std::vector<nn::KvCache*>* caches = nullptr);
+  /// One [L_i - 1, 1] delta tensor per trajectory.
+  std::vector<nn::Tensor> BatchTravelTimeDeltas(
+      const std::vector<data::Trajectory>& trajectories);
+
+  struct TrafficQuery {
+    int segment;
+    int start_slice;
+    int horizon;
+  };
+  /// One [horizon_i, kTrafficChannels] tensor per query.
+  std::vector<nn::Tensor> BatchPredictTraffic(
+      const std::vector<TrafficQuery>& queries);
+
+  /// Validated batch variants: screen every input exactly like the
+  /// single-request Try* methods; any invalid member fails the whole batch
+  /// (callers split and retry per item to attribute the error).
+  util::Result<std::vector<nn::Tensor>> TryBatchNextHopLogits(
+      const std::vector<data::Trajectory>& prefixes,
+      const std::vector<nn::KvCache*>* caches = nullptr);
+  util::Result<std::vector<nn::Tensor>> TryBatchTravelTimeDeltas(
+      const std::vector<data::Trajectory>& trajectories);
+  util::Result<std::vector<nn::Tensor>> TryBatchPredictTraffic(
+      const std::vector<TrafficQuery>& queries);
+
+  // --- KV-cached autoregressive decoding ----------------------------------
+
+  /// Next-hop logits reusing the cached attention state of a previous call
+  /// whose prompt shares this prefix's tokens (the caller guarantees the
+  /// cached positions match, e.g. by keying the cache on the trajectory
+  /// prefix). The cache is truncated to the shared region — text
+  /// instruction plus the first L-1 ST tokens — and only the final ST
+  /// token and the [CLAS] placeholder run through the transformer.
+  /// Bit-identical to NextHopLogits; an empty cache degenerates to a full
+  /// (still bit-identical) forward that populates the cache.
+  nn::Tensor NextHopLogitsCached(const data::Trajectory& prefix,
+                                 nn::KvCache* cache);
+  util::Result<nn::Tensor> TryNextHopLogitsCached(
+      const data::Trajectory& prefix, nn::KvCache* cache);
+
   // --- Validated (Status-returning) inference entry points --------------
   //
   // The serving runtime (src/serve) must survive malformed requests, so

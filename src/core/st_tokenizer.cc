@@ -4,11 +4,63 @@
 #include <optional>
 
 #include "nn/ops.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace bigcity::core {
 
 using nn::Tensor;
+
+std::optional<Tensor> SpatialRepCache::Get(uint64_t version, int slice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    if (entry.version == version && entry.slice == slice) {
+      entry.tick = ++tick_;
+      ++hits_;
+      BIGCITY_COUNTER_INC("serve.cache.tokenizer.hit");
+      return entry.rep;
+    }
+  }
+  ++misses_;
+  BIGCITY_COUNTER_INC("serve.cache.tokenizer.miss");
+  return std::nullopt;
+}
+
+void SpatialRepCache::Put(uint64_t version, int slice, const Tensor& rep) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    if (entry.version == version && entry.slice == slice) return;
+  }
+  if (entries_.size() >= capacity_) {
+    auto oldest = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.tick < b.tick; });
+    entries_.erase(oldest);
+    BIGCITY_COUNTER_INC("serve.cache.tokenizer.evict");
+  }
+  entries_.push_back(Entry{version, slice, rep, ++tick_});
+}
+
+void SpatialRepCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+uint64_t SpatialRepCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t SpatialRepCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t SpatialRepCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
 
 StTokenizer::StTokenizer(const roadnet::RoadNetwork* network,
                          const data::TrafficStateSeries* traffic,
@@ -97,6 +149,17 @@ Tensor StTokenizer::SpatialRepresentations(int slice) {
   if (!nn::GradEnabled()) pin.emplace();
   const int num_segments = network_->num_segments();
 
+  // Serving: consult the cross-worker shared cache before paying for the
+  // GAT passes. Entries are version-tagged, so a hot-swapped replica never
+  // reads representations computed by different weights.
+  const bool share = shared_reps_ != nullptr && !nn::GradEnabled();
+  if (share) {
+    if (auto hit = shared_reps_->Get(shared_version_, slice)) {
+      slice_cache_.emplace(slice, *hit);
+      return *hit;
+    }
+  }
+
   // Static representations H^(s) (Eq. 4) — slice-independent, cached once.
   if (!cached_static_.is_valid()) {
     if (static_encoder_ != nullptr) {
@@ -126,6 +189,7 @@ Tensor StTokenizer::SpatialRepresentations(int slice) {
   if (fusion_ != nullptr) fused = fusion_->Forward(fused);
 
   slice_cache_.emplace(slice, fused);
+  if (share) shared_reps_->Put(shared_version_, slice, fused);
   return fused;
 }
 

@@ -1,7 +1,10 @@
 #ifndef BIGCITY_CORE_ST_TOKENIZER_H_
 #define BIGCITY_CORE_ST_TOKENIZER_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +19,44 @@
 #include "roadnet/road_network.h"
 
 namespace bigcity::core {
+
+/// Thread-safe cross-replica cache of spatial representation matrices for
+/// serving: every worker's tokenizer recomputes the same static+dynamic GAT
+/// pass for a given traffic time slice, so the serving runtime shares one
+/// heap-pinned [I, 2*Dh] matrix per (model version, slice) across all
+/// workers. Keying by version invalidates naturally on hot-swap: a new
+/// replica generation never reads representations produced by old weights.
+/// Values are immutable after insertion (tensors are shared by handle), so
+/// concurrent readers need no further synchronization. Bounded LRU.
+class SpatialRepCache {
+ public:
+  explicit SpatialRepCache(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns the cached representation for (version, slice), if present.
+  std::optional<nn::Tensor> Get(uint64_t version, int slice);
+  /// Inserts (first writer wins; concurrent duplicate computes are benign
+  /// because every replica of a version produces identical values).
+  void Put(uint64_t version, int slice, const nn::Tensor& rep);
+  void Clear();
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t version;
+    int slice;
+    nn::Tensor rep;
+    uint64_t tick;
+  };
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::vector<Entry> entries_;
+};
 
 /// The Spatiotemporal Tokenizer (Sec. IV-B): converts ST-unit sequences into
 /// ST-token sequences. Pipeline per Eq. 4-8:
@@ -56,6 +97,15 @@ class StTokenizer : public nn::Module {
   /// [I, 2 * spatial_dim]. Exposed for baselines-style probing and tests.
   nn::Tensor SpatialRepresentations(int slice);
 
+  /// Attaches a serving-time shared representation cache (not owned).
+  /// `version` tags every entry this tokenizer reads or writes; pass the
+  /// replica's model version so hot-swapped weights never alias. Only
+  /// consulted in no-grad mode — training always recomputes.
+  void SetSharedRepCache(SpatialRepCache* cache, uint64_t version) {
+    shared_reps_ = cache;
+    shared_version_ = version;
+  }
+
   int64_t token_dim() const { return config_.d_model; }
   int64_t spatial_rep_dim() const { return 2 * config_.spatial_dim; }
 
@@ -90,6 +140,10 @@ class StTokenizer : public nn::Module {
   // Per-step caches.
   nn::Tensor cached_static_;                       // [I, spatial_dim]
   std::unordered_map<int, nn::Tensor> slice_cache_;  // slice -> [I, 2*Dh]
+
+  // Serving-time shared cache (not owned; null outside the server).
+  SpatialRepCache* shared_reps_ = nullptr;
+  uint64_t shared_version_ = 0;
 };
 
 }  // namespace bigcity::core

@@ -2,12 +2,31 @@
 
 #include <cmath>
 
+#include "nn/arena.h"
 #include "nn/kernels/fused.h"
 #include "nn/ops.h"
 #include "util/check.h"
 #include "obs/profiler.h"
 
 namespace bigcity::nn {
+
+void AttentionKv::Truncate(int64_t rows) {
+  BIGCITY_CHECK_GE(rows, 0);
+  if (rows == 0) {
+    k = Tensor();
+    v = Tensor();
+    return;
+  }
+  if (!k.is_valid() || k.shape()[0] <= rows) return;
+  k = SliceRows(k, 0, rows);
+  v = SliceRows(v, 0, rows);
+}
+
+void AttentionKv::DetachToHeap() {
+  ArenaPin pin;
+  if (k.is_valid()) k = k.Detached();
+  if (v.is_valid()) v = v.Detached();
+}
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
                                                util::Rng* rng, bool causal)
@@ -52,6 +71,108 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
     Tensor attn = ScaledMaskedSoftmax(MatMulNT(qh, kh), inv_sqrt, causal_);
     head_outputs.push_back(MatMul(attn, vh));
   }
+  Tensor merged = Concat(head_outputs, /*axis=*/1);
+  return residual.is_valid() ? wo_->ForwardResidual(merged, residual)
+                             : wo_->Forward(merged);
+}
+
+Tensor MultiHeadSelfAttention::ForwardBatched(
+    const Tensor& x, const Tensor& residual,
+    const std::vector<int64_t>& lens,
+    const std::vector<AttentionKv*>* kv_out) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
+  BIGCITY_CHECK_EQ(x.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(x.shape()[1], dim_);
+  if (kv_out != nullptr) BIGCITY_CHECK_EQ(kv_out->size(), lens.size());
+  int64_t total = 0;
+  for (int64_t len : lens) {
+    BIGCITY_CHECK_GT(len, 0);
+    total += len;
+  }
+  BIGCITY_CHECK_EQ(total, x.shape()[0]);
+  // One tall projection GEMM per matrix; each output row only depends on
+  // its own input row, so rows match the per-sequence Forward() bit for
+  // bit.
+  Tensor q = wq_->Forward(x);
+  Tensor k = wk_->Forward(x);
+  Tensor v = wv_->Forward(x);
+
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> seq_outputs;
+  seq_outputs.reserve(lens.size());
+  int64_t off = 0;
+  for (size_t seq = 0; seq < lens.size(); ++seq) {
+    const int64_t len = lens[seq];
+    Tensor qs = SliceRows(q, off, off + len);
+    Tensor ks = SliceRows(k, off, off + len);
+    Tensor vs = SliceRows(v, off, off + len);
+    // A non-empty cache entry holds the projected prefix state of this
+    // sequence: its rows in x are the suffix, attended with the causal
+    // offset exactly as in ForwardCached. An empty (or absent) entry means
+    // the rows are the whole sequence, and the cache — if any — captures a
+    // prefill.
+    AttentionKv* cache =
+        kv_out != nullptr ? (*kv_out)[seq] : nullptr;
+    const int64_t offset = cache != nullptr ? cache->length() : 0;
+    if (offset > 0) {
+      BIGCITY_CHECK(causal_) << "KV-cached decode requires causal attention";
+      ks = Concat({cache->k, ks}, /*axis=*/0);
+      vs = Concat({cache->v, vs}, /*axis=*/0);
+    }
+    if (cache != nullptr) {
+      cache->k = ks;
+      cache->v = vs;
+    }
+    std::vector<Tensor> head_outputs;
+    head_outputs.reserve(static_cast<size_t>(num_heads_));
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t lo = h * head_dim_, hi = (h + 1) * head_dim_;
+      Tensor qh = SliceCols(qs, lo, hi);
+      Tensor kh = SliceCols(ks, lo, hi);
+      Tensor vh = SliceCols(vs, lo, hi);
+      Tensor attn =
+          ScaledMaskedSoftmax(MatMulNT(qh, kh), inv_sqrt, causal_, offset);
+      head_outputs.push_back(MatMul(attn, vh));
+    }
+    seq_outputs.push_back(Concat(head_outputs, /*axis=*/1));
+    off += len;
+  }
+  Tensor merged = Concat(seq_outputs, /*axis=*/0);
+  return residual.is_valid() ? wo_->ForwardResidual(merged, residual)
+                             : wo_->Forward(merged);
+}
+
+Tensor MultiHeadSelfAttention::ForwardCached(const Tensor& x,
+                                             const Tensor& residual,
+                                             AttentionKv* kv) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
+  BIGCITY_CHECK(causal_) << "KV caching requires causal attention";
+  BIGCITY_CHECK(kv != nullptr);
+  BIGCITY_CHECK_EQ(x.shape().size(), 2u);
+  BIGCITY_CHECK_EQ(x.shape()[1], dim_);
+  Tensor q = wq_->Forward(x);
+  Tensor k_new = wk_->Forward(x);
+  Tensor v_new = wv_->Forward(x);
+  const int64_t offset = kv->length();
+  Tensor k_full = offset > 0 ? Concat({kv->k, k_new}, /*axis=*/0) : k_new;
+  Tensor v_full = offset > 0 ? Concat({kv->v, v_new}, /*axis=*/0) : v_new;
+
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(num_heads_));
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    const int64_t lo = h * head_dim_, hi = (h + 1) * head_dim_;
+    Tensor qh = SliceCols(q, lo, hi);
+    Tensor kh = SliceCols(k_full, lo, hi);
+    Tensor vh = SliceCols(v_full, lo, hi);
+    // Suffix row i is global position offset + i: the offset-causal
+    // softmax keeps exactly the entries a full-sequence forward would.
+    Tensor attn =
+        ScaledMaskedSoftmax(MatMulNT(qh, kh), inv_sqrt, causal_, offset);
+    head_outputs.push_back(MatMul(attn, vh));
+  }
+  kv->k = k_full;
+  kv->v = v_full;
   Tensor merged = Concat(head_outputs, /*axis=*/1);
   return residual.is_valid() ? wo_->ForwardResidual(merged, residual)
                              : wo_->Forward(merged);

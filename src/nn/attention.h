@@ -2,11 +2,28 @@
 #define BIGCITY_NN_ATTENTION_H_
 
 #include <memory>
+#include <vector>
 
 #include "nn/lora.h"
 #include "nn/module.h"
 
 namespace bigcity::nn {
+
+/// Cached projected keys/values of one attention layer (all heads packed in
+/// columns), covering the first `length()` positions of a causal sequence.
+/// Used for incremental decoding: a forward over just the suffix rows reuses
+/// the cached prefix state and is bit-identical to a fresh full forward.
+struct AttentionKv {
+  Tensor k;  // [P, dim]
+  Tensor v;  // [P, dim]
+
+  int64_t length() const { return k.is_valid() ? k.shape()[0] : 0; }
+  /// Drops cached positions >= rows (no-op when already shorter).
+  void Truncate(int64_t rows);
+  /// Re-copies the cached tensors in the current allocation scope; call
+  /// under an ArenaPin to let the cache outlive a plan/arena step.
+  void DetachToHeap();
+};
 
 /// Multi-head (optionally causal) self-attention over a single sequence
 /// x [L, D]. Q/K/V/output projections are LoraLinear so the BIGCity
@@ -21,6 +38,31 @@ class MultiHeadSelfAttention : public Module {
   /// Forward(x) + residual with the residual fused into the output
   /// projection (the transformer block's pre-norm skip connection).
   Tensor Forward(const Tensor& x, const Tensor& residual) const;
+
+  /// Batched forward over the row-concatenation of independent sequences:
+  /// x [sum(lens), D] stacks the sequences back to back. All projections
+  /// run on the tall matrix (one GEMM instead of lens.size()); the
+  /// attention core runs per sequence on its row span, so every output row
+  /// is bit-identical to Forward() on that sequence alone. When `kv_out`
+  /// is given (one entry per sequence, entries may be null) each non-null
+  /// EMPTY entry receives that sequence's projected keys/values — the same
+  /// state a ForwardCached prefill would have produced. A non-null entry
+  /// that already holds state is a prefix: that sequence's rows in x are
+  /// its suffix, attended with the causal offset (a batched ForwardCached
+  /// decode), and the entry is extended in place. Either way later cached
+  /// calls stay bit-identical.
+  Tensor ForwardBatched(const Tensor& x, const Tensor& residual,
+                        const std::vector<int64_t>& lens,
+                        const std::vector<AttentionKv*>* kv_out =
+                            nullptr) const;
+
+  /// KV-cached incremental forward (causal only): x holds the suffix rows
+  /// of a sequence whose first kv->length() positions were already
+  /// processed into `kv`. Appends the suffix keys/values to the cache and
+  /// returns outputs for the suffix rows, bit-identical to the trailing
+  /// rows of a full-sequence Forward().
+  Tensor ForwardCached(const Tensor& x, const Tensor& residual,
+                       AttentionKv* kv) const;
 
   LoraLinear* wq() { return wq_.get(); }
   LoraLinear* wk() { return wk_.get(); }

@@ -195,10 +195,17 @@ Tensor BiasLeakyRelu(const Tensor& x, const Tensor& b, float slope) {
 }
 
 Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
+  return ScaledMaskedSoftmax(scores, scale, causal, /*row_offset=*/0);
+}
+
+Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal,
+                           int64_t row_offset) {
   BIGCITY_CHECK_EQ(scores.shape().size(), 2u);
+  BIGCITY_CHECK_GE(row_offset, 0);
   const int64_t n = scores.shape()[0], d = scores.shape()[1];
   if (causal) {
-    BIGCITY_CHECK_EQ(n, d) << "causal softmax requires square scores";
+    BIGCITY_CHECK_EQ(row_offset + n, d)
+        << "causal softmax: queries must be the trailing rows of the keys";
   }
   BIGCITY_PROFILE_OP("ScaledMaskedSoftmax");
   BIGCITY_PROFILE_OP_COST(U64(6 * n * d), U64(2 * n * d) * 4);
@@ -208,7 +215,7 @@ Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
   for (int64_t i = 0; i < n; ++i) {
     const float* row = sd.data() + i * d;
     float* out_row = out.data() + i * d;
-    const int64_t limit = causal ? i + 1 : d;
+    const int64_t limit = causal ? row_offset + i + 1 : d;
     float mx = scale * row[0];
     for (int64_t j = 1; j < limit; ++j) mx = std::max(mx, scale * row[j]);
     float sum = 0.0f;
@@ -224,13 +231,14 @@ Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal) {
   auto y = out;  // Copy kept for the backward pass.
   return MakeOpResult(
       scores.shape(), std::move(out), {si},
-      [si, n, d, scale, causal, y = std::move(y)](TensorImpl& self) {
+      [si, n, d, scale, causal, row_offset, y = std::move(y)](
+          TensorImpl& self) {
         if (!si->needs_grad) return;
         si->EnsureGrad();
         for (int64_t i = 0; i < n; ++i) {
           const float* yr = y.data() + i * d;
           const float* gr = self.grad.data() + i * d;
-          const int64_t limit = causal ? i + 1 : d;
+          const int64_t limit = causal ? row_offset + i + 1 : d;
           float dot = 0.0f;
           for (int64_t j = 0; j < limit; ++j) dot += yr[j] * gr[j];
           float* sr = si->grad.data() + i * d;

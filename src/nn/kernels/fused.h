@@ -36,6 +36,16 @@ Tensor BiasLeakyRelu(const Tensor& x, const Tensor& b, float slope = 0.2f);
 /// probability exactly 0.
 Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal);
 
+/// Offset-causal variant for KV-cached incremental decoding: scores are
+/// [S, P+S] where row i is global sequence position row_offset + i, so
+/// entries j > row_offset + i get probability exactly 0. Requires
+/// row_offset + S == cols when causal; row_offset 0 is the plain causal
+/// softmax. Computes each kept entry with the exact same operation order as
+/// the full-sequence path, so cached decoding is bit-identical to a fresh
+/// forward.
+Tensor ScaledMaskedSoftmax(const Tensor& scores, float scale, bool causal,
+                           int64_t row_offset);
+
 /// a[N,K] · b[M,K]^T -> [N,M] without materializing the transpose
 /// (attention q·k^T and tied-embedding logit projections).
 Tensor MatMulNT(const Tensor& a, const Tensor& b);

@@ -211,6 +211,97 @@ inline void MicroKernel(const float* pa, const float* pb, float* c,
   g_micro_kernel(pa, pb, c, ldc, kc, mr, nr, load_c);
 }
 
+// Rank-1-update kernels for short outputs (decode-sized calls: a KV-cached
+// extension runs the whole backbone over two rows, so n*k*m work rides on
+// an O(k*m) weight read). The blocked path packs all of B — O(k*m) extra
+// traffic that dwarfs the math when n is tiny — so instead stream each B
+// row exactly once, in order, and axpy it into every (L1-resident) output
+// row. Each C element still accumulates in ascending p order with separate
+// mul-then-add, so results are bit-identical to the blocked and naive
+// backends. Requires unit B column stride and contiguous row-major C.
+
+using RankOneFn = void (*)(const float* a, int64_t a_rs, int64_t a_cs,
+                           const float* b, int64_t b_rs, float* c, int64_t n,
+                           int64_t k, int64_t m, bool accumulate);
+
+void RankOneScalar(const float* a, int64_t a_rs, int64_t a_cs,
+                   const float* b, int64_t b_rs, float* c, int64_t n,
+                   int64_t k, int64_t m, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(n) * m * sizeof(float));
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = b + p * b_rs;
+    for (int64_t i = 0; i < n; ++i) {
+      const float av = a[i * a_rs + p * a_cs];
+      float* c_row = c + i * m;
+      for (int64_t j = 0; j < m; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+#if BIGCITY_KERNEL_X86
+
+__attribute__((target("avx512f"))) void RankOneAvx512(
+    const float* a, int64_t a_rs, int64_t a_cs, const float* b, int64_t b_rs,
+    float* c, int64_t n, int64_t k, int64_t m, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(n) * m * sizeof(float));
+  }
+  const int64_t mv = m / 16 * 16;
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = b + p * b_rs;
+    for (int64_t i = 0; i < n; ++i) {
+      const float av_s = a[i * a_rs + p * a_cs];
+      const __m512 av = _mm512_set1_ps(av_s);
+      float* c_row = c + i * m;
+      int64_t j = 0;
+      for (; j < mv; j += 16) {
+        const __m512 prod = _mm512_mul_ps(av, _mm512_loadu_ps(b_row + j));
+        _mm512_storeu_ps(c_row + j,
+                         _mm512_add_ps(_mm512_loadu_ps(c_row + j), prod));
+      }
+      for (; j < m; ++j) c_row[j] += av_s * b_row[j];
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void RankOneAvx2(
+    const float* a, int64_t a_rs, int64_t a_cs, const float* b, int64_t b_rs,
+    float* c, int64_t n, int64_t k, int64_t m, bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(n) * m * sizeof(float));
+  }
+  const int64_t mv = m / 8 * 8;
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = b + p * b_rs;
+    for (int64_t i = 0; i < n; ++i) {
+      const float av_s = a[i * a_rs + p * a_cs];
+      const __m256 av = _mm256_set1_ps(av_s);
+      float* c_row = c + i * m;
+      int64_t j = 0;
+      for (; j < mv; j += 8) {
+        const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(b_row + j));
+        _mm256_storeu_ps(c_row + j,
+                         _mm256_add_ps(_mm256_loadu_ps(c_row + j), prod));
+      }
+      for (; j < m; ++j) c_row[j] += av_s * b_row[j];
+    }
+  }
+}
+
+#endif  // BIGCITY_KERNEL_X86
+
+RankOneFn PickRankOne() {
+#if BIGCITY_KERNEL_X86
+  if (__builtin_cpu_supports("avx512f")) return RankOneAvx512;
+  if (__builtin_cpu_supports("avx2")) return RankOneAvx2;
+#endif
+  return RankOneScalar;
+}
+
+const RankOneFn g_rank_one = PickRankOne();
+
 /// Blocked, panel-packed GEMM over logical operands given by strides:
 /// C[n,m] (+)= A·B with A element (i,p) at a[i*a_rs + p*a_cs] and B element
 /// (p,j) at b[p*b_rs + j*b_cs]. C is contiguous row-major.
@@ -227,8 +318,17 @@ void GemmBlockedStrided(const float* a, int64_t a_rs, int64_t a_cs,
     }
     return;
   }
-  std::vector<float> pb(static_cast<size_t>(std::min(KC, k) *
-                                            RoundUp(std::min(NC, m), NR)));
+  if (b_cs == 1 && n <= 2 * MR) {
+    BIGCITY_TRACE_SPAN("gemm.compute", "kernels");
+    g_rank_one(a, a_rs, a_cs, b, b_rs, c, n, k, m, accumulate);
+    return;
+  }
+  // The pack buffer is thread-local: at serve sizes it exceeds the malloc
+  // mmap threshold, and a fresh mmap/munmap plus page faults per GEMM call
+  // costs more than the math of a small forward.
+  thread_local std::vector<float> pb;
+  pb.resize(static_cast<size_t>(std::min(KC, k) *
+                                RoundUp(std::min(NC, m), NR)));
   util::ThreadPool& pool = util::GlobalThreadPool();
   for (int64_t jc = 0; jc < m; jc += NC) {
     const int64_t nc = std::min(NC, m - jc);
@@ -245,6 +345,10 @@ void GemmBlockedStrided(const float* a, int64_t a_rs, int64_t a_cs,
       }
       BIGCITY_TRACE_SPAN("gemm.compute", "kernels");
       const bool load_c = accumulate || pc > 0;
+      // A raw pointer, not the thread_local vector: a lambda body resolves
+      // a thread_local to the *executing* thread's instance, and pooled
+      // chunks run on worker threads that never packed anything.
+      const float* pb_data = pb.data();
       pool.ParallelFor(0, n, MC, [&](int64_t row_begin, int64_t row_end) {
         thread_local std::vector<float> pa;
         const int64_t mc = row_end - row_begin;
@@ -254,7 +358,7 @@ void GemmBlockedStrided(const float* a, int64_t a_rs, int64_t a_cs,
         for (int64_t i0 = 0; i0 < mc; i0 += MR) {
           const float* pa_slab = pa.data() + (i0 / MR) * kc * MR;
           for (int64_t j0 = 0; j0 < nc; j0 += NR) {
-            MicroKernel(pa_slab, pb.data() + (j0 / NR) * kc * NR,
+            MicroKernel(pa_slab, pb_data + (j0 / NR) * kc * NR,
                         c + (row_begin + i0) * m + jc + j0, m, kc,
                         std::min(MR, mc - i0), std::min(NR, nc - j0),
                         load_c);

@@ -31,6 +31,26 @@ Tensor TransformerBlock::Forward(const Tensor& x) const {
                                     h);
 }
 
+Tensor TransformerBlock::ForwardBatched(
+    const Tensor& x, const std::vector<int64_t>& lens,
+    const std::vector<AttentionKv*>* kv_out) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
+  // LN, FFN, and the fused residual epilogues are all row-wise, so only
+  // the attention core needs the sequence boundaries.
+  Tensor h =
+      attn_->ForwardBatched(ln1_->Forward(x), /*residual=*/x, lens, kv_out);
+  return ffn_down_->ForwardResidual(ffn_up_->ForwardGelu(ln2_->Forward(h)),
+                                    h);
+}
+
+Tensor TransformerBlock::ForwardCached(const Tensor& x,
+                                       AttentionKv* kv) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
+  Tensor h = attn_->ForwardCached(ln1_->Forward(x), /*residual=*/x, kv);
+  return ffn_down_->ForwardResidual(ffn_up_->ForwardGelu(ln2_->Forward(h)),
+                                    h);
+}
+
 void TransformerBlock::EnableLora(int64_t rank, float alpha, util::Rng* rng) {
   attn_->wq()->EnableLora(rank, alpha, rng);
   attn_->wk()->EnableLora(rank, alpha, rng);
@@ -70,6 +90,49 @@ Tensor Transformer::Forward(const Tensor& x) const {
   BIGCITY_PROFILE_MODULE(module_path().c_str());
   Tensor h = x;
   for (const auto& block : blocks_) h = block->Forward(h);
+  return final_ln_->Forward(h);
+}
+
+Tensor Transformer::ForwardBatched(
+    const Tensor& x, const std::vector<int64_t>& lens,
+    const std::vector<KvCache*>* caches) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
+  if (caches != nullptr) {
+    BIGCITY_CHECK_EQ(caches->size(), lens.size());
+    for (KvCache* cache : *caches) {
+      if (cache == nullptr) continue;
+      if (cache->layers.empty()) {
+        cache->layers.resize(static_cast<size_t>(num_layers()));
+      }
+      BIGCITY_CHECK_EQ(cache->layers.size(), blocks_.size());
+    }
+  }
+  Tensor h = x;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    std::vector<AttentionKv*> layer_kvs;
+    if (caches != nullptr) {
+      layer_kvs.reserve(caches->size());
+      for (KvCache* cache : *caches) {
+        layer_kvs.push_back(cache == nullptr ? nullptr : &cache->layers[i]);
+      }
+    }
+    h = blocks_[i]->ForwardBatched(h, lens,
+                                   caches != nullptr ? &layer_kvs : nullptr);
+  }
+  return final_ln_->Forward(h);
+}
+
+Tensor Transformer::ForwardCached(const Tensor& x, KvCache* cache) const {
+  BIGCITY_PROFILE_MODULE(module_path().c_str());
+  BIGCITY_CHECK(cache != nullptr);
+  if (cache->layers.empty()) {
+    cache->layers.resize(static_cast<size_t>(num_layers()));
+  }
+  BIGCITY_CHECK_EQ(cache->layers.size(), blocks_.size());
+  Tensor h = x;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->ForwardCached(h, &cache->layers[i]);
+  }
   return final_ln_->Forward(h);
 }
 

@@ -11,6 +11,25 @@
 
 namespace bigcity::nn {
 
+/// Per-layer attention KV state of a causal Transformer, for incremental
+/// decoding. `length()` is the number of already-processed sequence
+/// positions; Truncate() rolls the cache back to a shared prefix before
+/// extending with different suffix tokens.
+struct KvCache {
+  std::vector<AttentionKv> layers;
+
+  int64_t length() const { return layers.empty() ? 0 : layers[0].length(); }
+  void Truncate(int64_t rows) {
+    for (auto& layer : layers) layer.Truncate(rows);
+  }
+  void Clear() { layers.clear(); }
+  /// Pins every cached tensor to the heap so the cache survives arena
+  /// resets between plan-scoped inference steps.
+  void DetachToHeap() {
+    for (auto& layer : layers) layer.DetachToHeap();
+  }
+};
+
 /// Pre-LayerNorm transformer block (GPT-2 style):
 ///   x = x + Attn(LN(x));  x = x + FFN(LN(x)),  FFN = GELU MLP (4x dim).
 /// Attention projections and FFN matrices are LoraLinear so adapters can be
@@ -21,6 +40,15 @@ class TransformerBlock : public Module {
                    bool causal);
 
   Tensor Forward(const Tensor& x) const;
+  /// Batched forward over row-concatenated independent sequences (see
+  /// MultiHeadSelfAttention::ForwardBatched); LN/FFN run on the tall
+  /// matrix, attention per sequence. Bit-identical per row to Forward().
+  /// Non-null `kv_out` entries receive their sequence's attention state.
+  Tensor ForwardBatched(const Tensor& x, const std::vector<int64_t>& lens,
+                        const std::vector<AttentionKv*>* kv_out =
+                            nullptr) const;
+  /// KV-cached forward over the suffix rows of one sequence.
+  Tensor ForwardCached(const Tensor& x, AttentionKv* kv) const;
 
   /// Attaches LoRA adapters (rank, alpha) to Wq/Wk/Wv and both FFN layers.
   void EnableLora(int64_t rank, float alpha, util::Rng* rng);
@@ -46,6 +74,19 @@ class Transformer : public Module {
 
   /// x [L, dim] -> [L, dim].
   Tensor Forward(const Tensor& x) const;
+  /// Row-concatenation of independent sequences [sum(lens), dim] ->
+  /// [sum(lens), dim], every row bit-identical to the per-sequence
+  /// Forward(). When `caches` is given (one entry per sequence, entries
+  /// may be null) each non-null KvCache is filled with that sequence's
+  /// per-layer attention state — a batched prefill, so a later
+  /// ForwardCached over an extension decodes only its suffix rows.
+  Tensor ForwardBatched(const Tensor& x, const std::vector<int64_t>& lens,
+                        const std::vector<KvCache*>* caches = nullptr) const;
+  /// Suffix rows [S, dim] of a sequence whose first cache->length()
+  /// positions are cached -> suffix outputs [S, dim], bit-identical to the
+  /// trailing rows of a full Forward(). Initializes cache->layers on first
+  /// use and appends the suffix state. Causal stacks only.
+  Tensor ForwardCached(const Tensor& x, KvCache* cache) const;
 
   int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
   TransformerBlock* block(int64_t i) { return blocks_[i].get(); }

@@ -1,8 +1,10 @@
 #ifndef BIGCITY_SERVE_ADMISSION_QUEUE_H_
 #define BIGCITY_SERVE_ADMISSION_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -47,6 +49,50 @@ class AdmissionQueue {
     return item;
   }
 
+  /// Non-blocking pop; nullopt when the queue is currently empty. The
+  /// batcher drains arrivals with this before deciding what to dispatch.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks up to `timeout_us` for the next item. Returns nullopt on
+  /// timeout, on close-with-empty-queue, or after a Kick() — callers
+  /// re-evaluate their own dispatch state and loop.
+  std::optional<T> PopFor(double timeout_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t seen = kick_epoch_;
+    ready_cv_.wait_for(lock,
+                       std::chrono::duration<double, std::micro>(timeout_us),
+                       [&] {
+                         return closed_ || !items_.empty() ||
+                                kick_epoch_ != seen;
+                       });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Wakes every blocked PopFor() without delivering an item. The batcher
+  /// kicks after dispatching a partial group so an idle worker takes over
+  /// the leftover items' window timer instead of sleeping indefinitely.
+  void Kick() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++kick_epoch_;
+    }
+    ready_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
   /// Stops admissions and wakes blocked Pop() calls. Items already queued
   /// are still handed out (drain-then-stop shutdown).
   void Close() {
@@ -69,6 +115,7 @@ class AdmissionQueue {
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::deque<T> items_;
+  uint64_t kick_epoch_ = 0;
   bool closed_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 #include "data/validate.h"
@@ -45,6 +47,35 @@ bool AllFinite(const nn::Tensor& tensor) {
     if (!std::isfinite(value)) return false;
   }
   return true;
+}
+
+/// True when `served` is a point-for-point prefix of `next` (any length
+/// from 2 up to and including next's own) — the autoregressive decode
+/// pattern whose shared prompt prefix the KV cache can serve. Each ST
+/// token depends only on its own trajectory point, so equal prefix points
+/// mean bit-identical cached prompt rows.
+bool IsServedPrefix(const data::Trajectory& served,
+                    const data::Trajectory& next) {
+  if (served.length() < 2 || served.length() > next.length()) return false;
+  for (int l = 0; l < served.length(); ++l) {
+    const data::TrajPoint& a = served.points[static_cast<size_t>(l)];
+    const data::TrajPoint& b = next.points[static_cast<size_t>(l)];
+    if (a.segment != b.segment || a.timestamp != b.timestamp) return false;
+  }
+  return true;
+}
+
+/// Batchable tasks are exactly those with a batched model entry point.
+int BatchKeyFor(const core::Task task) {
+  switch (task) {
+    case core::Task::kNextHop:
+    case core::Task::kTravelTimeEstimation:
+    case core::Task::kTrafficOneStep:
+    case core::Task::kTrafficMultiStep:
+      return static_cast<int>(task);
+    default:
+      return -1;
+  }
 }
 
 }  // namespace
@@ -137,6 +168,13 @@ std::shared_ptr<InferenceServer::Replica> InferenceServer::MakeReplica(
     util::Rng lora_rng(model_config_.seed ^ 0x10A5EEDULL);
     replica->model->backbone()->EnableLora(&lora_rng);
   }
+  if (shared_reps_ != nullptr) {
+    // Version-tagged sharing: a hot-swapped replica reads and writes its
+    // own version's entries only, so stale representations never leak
+    // across a weight change.
+    replica->model->tokenizer()->SetSharedRepCache(shared_reps_.get(),
+                                                   version);
+  }
   return replica;
 }
 
@@ -162,6 +200,40 @@ util::Status InferenceServer::Start() {
   if (options_.initial_forward_estimate_us > 0) {
     forward_latency_.Seed(options_.initial_forward_estimate_us,
                           options_.latency_min_samples);
+  }
+  if (options_.tokenizer_cache_slices > 0) {
+    shared_reps_ = std::make_unique<core::SpatialRepCache>(
+        static_cast<size_t>(options_.tokenizer_cache_slices));
+  }
+  {
+    std::lock_guard<std::mutex> lock(kv_sessions_.mu);
+    kv_sessions_.capacity =
+        static_cast<size_t>(std::max(0, options_.kv_sessions)) *
+        static_cast<size_t>(options_.num_workers);
+    kv_sessions_.sessions.clear();
+  }
+  if (options_.batching) {
+    Batcher<WorkItem>::Options batch_options;
+    batch_options.batch_max = std::max(1, options_.batch_max);
+    batch_options.window_us = std::max(0.0, options_.batch_window_us);
+    batcher_ = std::make_unique<Batcher<WorkItem>>(
+        &queue_, batch_options,
+        [](const WorkItem& item) { return BatchKeyFor(item.request.task); },
+        [](const WorkItem& item) {
+          if (!item.has_deadline) {
+            return std::numeric_limits<double>::infinity();
+          }
+          return RemainingUs(item.deadline, Clock::now());
+        },
+        [this] {
+          // Urgency margin: the item must still fit one forward after the
+          // batcher releases it, so window + max(p95, window) of slack
+          // triggers immediate dispatch.
+          const double window = std::max(0.0, options_.batch_window_us);
+          const double p95 =
+              forward_latency_.P95(options_.latency_min_samples);
+          return window + std::max(p95, window);
+        });
   }
 
   // Version discovery before any replica is built: when the model dir
@@ -251,6 +323,8 @@ void InferenceServer::Stop() {
 void InferenceServer::Finish(WorkItem& item, Response response) {
   response.id = item.request.id;
   response.total_us = MicrosSince(item.submitted, Clock::now());
+  response.queue_wait_us = item.queue_wait_us;
+  response.batch_size = item.batch_size;
   if (response.status.ok()) {
     response.outcome = response.degraded ? Outcome::kDegraded : Outcome::kOk;
   } else if (response.outcome == Outcome::kOk) {
@@ -466,7 +540,7 @@ nn::PlanKey PlanKeyFor(const Request& request) {
 }
 
 Response InferenceServer::Process(WorkItem& item, Replica& replica,
-                                  nn::PlanCache* plans) {
+                                  nn::PlanCache* plans, KvSessionStore* kv) {
   BIGCITY_TRACE_SPAN("serve.process", "serve");
   Response response;
   response.model_version = replica.version;
@@ -583,19 +657,26 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
     }
 
     const Clock::time_point forward_start = Clock::now();
-    util::Result<nn::Tensor> result = [&] {
-      // No autograd on the hot path (intermediates die immediately), and
-      // the whole forward allocates inside this worker's plan arena; the
-      // output is cloned onto the heap before the scope rewinds it.
-      nn::NoGradGuard no_grad;
-      nn::PlanScope plan_scope(plans, PlanKeyFor(request));
-      util::Result<nn::Tensor> r = RunModel(request, replica.model.get());
-      if (r.ok() && plan_scope.active()) {
-        nn::ArenaPin pin;
-        r = util::Result<nn::Tensor>(r.value().Detached());
-      }
-      return r;
-    }();
+    const bool use_kv = kv != nullptr && kv->capacity > 0 &&
+                        request.task == core::Task::kNextHop &&
+                        request.trajectory.length() >= 2;
+    util::Result<nn::Tensor> result = use_kv
+        ? RunNextHopCached(request, replica, kv)
+        : [&] {
+            // No autograd on the hot path (intermediates die
+            // immediately), and the whole forward allocates inside this
+            // worker's plan arena; the output is cloned onto the heap
+            // before the scope rewinds it.
+            nn::NoGradGuard no_grad;
+            nn::PlanScope plan_scope(plans, PlanKeyFor(request));
+            util::Result<nn::Tensor> r =
+                RunModel(request, replica.model.get());
+            if (r.ok() && plan_scope.active()) {
+              nn::ArenaPin pin;
+              r = util::Result<nn::Tensor>(r.value().Detached());
+            }
+            return r;
+          }();
     last_status = result.status();
     if (result.ok()) {
       const double forward_us = MicrosSince(forward_start, Clock::now());
@@ -647,6 +728,344 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
   return response;
 }
 
+std::optional<InferenceServer::KvSession> InferenceServer::CheckoutKvSession(
+    KvSessionStore* kv, uint64_t version,
+    const data::Trajectory& trajectory) {
+  std::lock_guard<std::mutex> lock(kv->mu);
+  auto best = kv->sessions.end();
+  for (auto it = kv->sessions.begin(); it != kv->sessions.end(); ++it) {
+    if (it->version != version) continue;
+    if (it->cache.length() == 0) continue;
+    if (!IsServedPrefix(it->served, trajectory)) continue;
+    if (best == kv->sessions.end() ||
+        it->served.length() > best->served.length()) {
+      best = it;
+    }
+  }
+  if (best == kv->sessions.end()) return std::nullopt;
+  KvSession session = std::move(*best);
+  kv->sessions.erase(best);
+  return session;
+}
+
+bool InferenceServer::HasKvSession(KvSessionStore* kv, uint64_t version,
+                                   const data::Trajectory& trajectory) {
+  std::lock_guard<std::mutex> lock(kv->mu);
+  for (const KvSession& candidate : kv->sessions) {
+    if (candidate.version == version && candidate.cache.length() > 0 &&
+        IsServedPrefix(candidate.served, trajectory)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void InferenceServer::CheckinKvSession(KvSessionStore* kv,
+                                       KvSession session) {
+  std::lock_guard<std::mutex> lock(kv->mu);
+  if (kv->sessions.size() >= kv->capacity) {
+    auto oldest = kv->sessions.begin();
+    for (auto it = kv->sessions.begin(); it != kv->sessions.end(); ++it) {
+      if (it->tick < oldest->tick) oldest = it;
+    }
+    kv->sessions.erase(oldest);
+  }
+  session.tick = ++kv->tick;
+  kv->sessions.push_back(std::move(session));
+}
+
+util::Result<nn::Tensor> InferenceServer::RunNextHopCached(
+    const Request& request, Replica& replica, KvSessionStore* kv) {
+  const data::Trajectory& trajectory = request.trajectory;
+  // Longest-prefix session checkout: any session whose served trajectory
+  // is a point-for-point prefix of this one resumes its cached attention
+  // state (the longest leaves the fewest rows to decode). Sessions are
+  // version-scoped so a hot-swapped replica never reuses attention state
+  // computed by different weights.
+  std::optional<KvSession> session =
+      CheckoutKvSession(kv, replica.version, trajectory);
+  if (session.has_value()) {
+    BIGCITY_COUNTER_INC("serve.cache.kv.hit");
+  } else {
+    BIGCITY_COUNTER_INC("serve.cache.kv.miss");
+    session.emplace();
+    session->version = replica.version;
+  }
+  // KV state must survive across requests, so this forward allocates on
+  // the heap (no plan scope): the savings come from skipping the cached
+  // prefix, not from arena recycling.
+  nn::NoGradGuard no_grad;
+  util::Result<nn::Tensor> result =
+      replica.model->TryNextHopLogitsCached(trajectory, &session->cache);
+  if (!result.ok()) {
+    // Dropping the checked-out session is the failure path's cleanup: the
+    // store never sees a poisoned cache.
+    return result;
+  }
+  session->cache.DetachToHeap();
+  session->served = trajectory;
+  CheckinKvSession(kv, std::move(*session));
+  return result;
+}
+
+util::Result<std::vector<nn::Tensor>> InferenceServer::RunModelBatch(
+    core::Task task, const std::vector<WorkItem*>& items, Replica& replica,
+    KvSessionStore* kv) {
+  core::BigCityModel* model = replica.model.get();
+  switch (task) {
+    case core::Task::kNextHop: {
+      std::vector<data::Trajectory> prefixes;
+      prefixes.reserve(items.size());
+      for (const WorkItem* item : items) {
+        prefixes.push_back(item->request.trajectory);
+      }
+      if (kv == nullptr || kv->capacity == 0) {
+        return model->TryBatchNextHopLogits(prefixes);
+      }
+      // Continuous batching over the shared KV store: members extending a
+      // cached decode check their session out (the batched forward runs
+      // only their suffix rows against it), the rest get fresh sessions
+      // the same forward prefills. Stacking hits and misses into one tall
+      // forward is what amortizes the frozen weights' memory traffic — the
+      // dominant cost of a short decode — across the whole batch. Sessions
+      // are worker-local while checked out and only returned to the store
+      // on success; a failed batch leaves no trace.
+      std::vector<KvSession> sessions(items.size());
+      std::vector<nn::KvCache*> caches(items.size(), nullptr);
+      for (size_t i = 0; i < items.size(); ++i) {
+        const data::Trajectory& trajectory = items[i]->request.trajectory;
+        if (trajectory.length() < 2) continue;
+        std::optional<KvSession> hit =
+            CheckoutKvSession(kv, replica.version, trajectory);
+        if (hit.has_value()) {
+          BIGCITY_COUNTER_INC("serve.cache.kv.hit");
+          sessions[i] = std::move(*hit);
+        } else {
+          BIGCITY_COUNTER_INC("serve.cache.kv.miss");
+          sessions[i].version = replica.version;
+        }
+        caches[i] = &sessions[i].cache;
+      }
+      util::Result<std::vector<nn::Tensor>> result =
+          model->TryBatchNextHopLogits(prefixes, &caches);
+      if (result.ok()) {
+        // The new K/V slices live in the batch's plan arena; pin the
+        // copies to the heap so the sessions outlive the arena rewind.
+        nn::ArenaPin pin;
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (caches[i] == nullptr) continue;
+          sessions[i].cache.DetachToHeap();
+          sessions[i].served = items[i]->request.trajectory;
+          CheckinKvSession(kv, std::move(sessions[i]));
+        }
+      }
+      return result;
+    }
+    case core::Task::kTravelTimeEstimation: {
+      std::vector<data::Trajectory> trajectories;
+      trajectories.reserve(items.size());
+      for (const WorkItem* item : items) {
+        trajectories.push_back(item->request.trajectory);
+      }
+      return model->TryBatchTravelTimeDeltas(trajectories);
+    }
+    case core::Task::kTrafficOneStep:
+    case core::Task::kTrafficMultiStep: {
+      std::vector<core::BigCityModel::TrafficQuery> queries;
+      queries.reserve(items.size());
+      for (const WorkItem* item : items) {
+        const Request& request = item->request;
+        const int horizon =
+            task == core::Task::kTrafficOneStep ? 1 : request.horizon;
+        queries.push_back(core::BigCityModel::TrafficQuery{
+            request.segment, request.start_slice, horizon});
+      }
+      return model->TryBatchPredictTraffic(queries);
+    }
+    default:
+      return util::Status::InvalidArgument("task has no batched forward");
+  }
+}
+
+void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
+                                   Replica& replica, nn::PlanCache* plans,
+                                   KvSessionStore* kv) {
+  BIGCITY_TRACE_SPAN("serve.process_batch", "serve");
+  const core::Task task = items[0].request.task;
+  CohortStats* cohort = replica.cohort.load(std::memory_order_relaxed);
+
+  // Per-item admission stages first: every request keeps its own typed
+  // failure; only the survivors share the batched forward.
+  std::vector<WorkItem*> live;
+  live.reserve(items.size());
+  for (WorkItem& item : items) {
+    Response response;
+    response.model_version = replica.version;
+    if (util::FaultInjection::Fire(util::kFaultServeExpireAtTokenize) ||
+        (item.has_deadline && Clock::now() >= item.deadline)) {
+      BIGCITY_COUNTER_INC("serve.deadline.pre_tokenize");
+      response.status =
+          util::Status::DeadlineExceeded("deadline expired before tokenize");
+      Finish(item, std::move(response));
+      continue;
+    }
+    util::Status status = ValidateRequest(item.request);
+    if (!status.ok()) {
+      BIGCITY_COUNTER_INC("serve.quarantined");
+      response.status = std::move(status);
+      Finish(item, std::move(response));
+      continue;
+    }
+    if (util::FaultInjection::Fire(util::kFaultServeExpireAtForward) ||
+        (item.has_deadline && Clock::now() >= item.deadline)) {
+      BIGCITY_COUNTER_INC("serve.deadline.pre_forward");
+      response.status =
+          util::Status::DeadlineExceeded("deadline expired before forward");
+      Finish(item, std::move(response));
+      continue;
+    }
+    live.push_back(&item);
+  }
+  if (live.empty()) return;
+
+  // One batched forward is one unit of breaker accounting; a rejection
+  // degrades (or rejects) every member individually.
+  CircuitBreaker& breaker = BreakerFor(task);
+  const CircuitBreaker::Decision decision = breaker.Admit(Clock::now());
+  PublishBreakerState(task);
+  if (decision == CircuitBreaker::Decision::kReject) {
+    for (WorkItem* item : live) {
+      Response response;
+      response.model_version = replica.version;
+      if (options_.degrade_when_breaker_open && DegradableTask(task)) {
+        BIGCITY_COUNTER_INC("serve.degraded.breaker");
+        util::Result<nn::Tensor> fallback = RunBaseline(item->request);
+        response.status = fallback.status();
+        if (fallback.ok()) {
+          response.output = std::move(fallback).value();
+          response.degraded = true;
+        }
+      } else {
+        BIGCITY_COUNTER_INC("serve.breaker.rejected");
+        response.status = util::Status::Unavailable("circuit breaker open");
+        response.outcome = Outcome::kRejected;
+      }
+      Finish(*item, std::move(response));
+    }
+    return;
+  }
+  if (decision == CircuitBreaker::Decision::kProbe) {
+    BIGCITY_COUNTER_INC("serve.breaker.probes");
+  }
+
+  // Budget degradation stays per item — deadlines differ across the batch.
+  if (decision == CircuitBreaker::Decision::kAllow &&
+      options_.degrade_on_tight_budget && DegradableTask(task)) {
+    const double p95_us = forward_latency_.P95(options_.latency_min_samples);
+    if (p95_us > 0) {
+      std::vector<WorkItem*> kept;
+      kept.reserve(live.size());
+      for (WorkItem* item : live) {
+        if (item->has_deadline &&
+            RemainingUs(item->deadline, Clock::now()) < p95_us) {
+          BIGCITY_COUNTER_INC("serve.degraded.budget");
+          Response response;
+          response.model_version = replica.version;
+          util::Result<nn::Tensor> fallback = RunBaseline(item->request);
+          response.status = fallback.status();
+          if (fallback.ok()) {
+            response.output = std::move(fallback).value();
+            response.degraded = true;
+          }
+          Finish(*item, std::move(response));
+        } else {
+          kept.push_back(item);
+        }
+      }
+      live = std::move(kept);
+      if (live.empty()) return;
+    }
+  }
+
+  // One shared forward. Plans are keyed by task + batch size, so a stable
+  // traffic mix replays a recycled arena; varying member lengths at the
+  // same size just regrow it (still bit-identical).
+  for (WorkItem* item : live) {
+    item->batch_size = static_cast<int>(live.size());
+  }
+  const Clock::time_point forward_start = Clock::now();
+  const bool injected_fault =
+      util::FaultInjection::Fire(util::kFaultServeTokenizeFail) ||
+      util::FaultInjection::Fire(util::kFaultServeForwardFail);
+  util::Result<std::vector<nn::Tensor>> result =
+      injected_fault
+          ? util::Result<std::vector<nn::Tensor>>(util::Status::Unavailable(
+                "batched forward transient fault (injected)"))
+          : [&] {
+              nn::NoGradGuard no_grad;
+              int64_t bucket = 1;
+              while (bucket < static_cast<int64_t>(live.size())) bucket <<= 1;
+              nn::PlanScope plan_scope(
+                  plans,
+                  nn::PlanKey{core::TaskName(task) + ".batch", bucket});
+              util::Result<std::vector<nn::Tensor>> r =
+                  RunModelBatch(task, live, replica, kv);
+              if (r.ok() && plan_scope.active()) {
+                nn::ArenaPin pin;
+                std::vector<nn::Tensor> detached;
+                detached.reserve(r.value().size());
+                for (const nn::Tensor& tensor : r.value()) {
+                  detached.push_back(tensor.Detached());
+                }
+                r = util::Result<std::vector<nn::Tensor>>(
+                    std::move(detached));
+              }
+              return r;
+            }();
+
+  if (result.ok()) {
+    const double forward_us = MicrosSince(forward_start, Clock::now());
+    forward_latency_.Record(forward_us);
+    BIGCITY_HISTOGRAM_RECORD("serve.forward_us", forward_us);
+    std::vector<nn::Tensor> outputs = std::move(result).value();
+    bool any_ok = false;
+    for (size_t i = 0; i < live.size(); ++i) {
+      Response response;
+      response.model_version = replica.version;
+      if (!AllFinite(outputs[i])) {
+        // Same policy as the per-request path: non-finite output is a
+        // model-health defect — no retry, no breaker involvement.
+        BIGCITY_COUNTER_INC("serve.nonfinite_outputs");
+        if (cohort != nullptr) cohort->RecordNonFinite();
+        response.status =
+            util::Status::Internal("model produced non-finite output");
+      } else {
+        if (cohort != nullptr) cohort->RecordSuccess(forward_us);
+        response.status = util::Status::Ok();
+        response.output = std::move(outputs[i]);
+        BIGCITY_COUNTER_INC("serve.completed");
+        any_ok = true;
+      }
+      Finish(*live[i], std::move(response));
+    }
+    if (any_ok) {
+      breaker.RecordSuccess();
+      PublishBreakerState(task);
+    }
+    return;
+  }
+
+  // Batched attempt failed (transient fault or a member failed batch
+  // screening): fall back to per-request processing, which retries,
+  // quarantines, and feeds the breaker with exact per-item attribution.
+  BIGCITY_COUNTER_INC("serve.batch.fallback");
+  for (WorkItem* item : live) {
+    Response response = Process(*item, replica, plans, kv);
+    if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
+    Finish(*item, std::move(response));
+  }
+}
+
 std::shared_ptr<InferenceServer::Replica> InferenceServer::AcquireReplica(
     size_t worker) {
   WorkerSlot& slot = *slots_[worker];
@@ -667,10 +1086,22 @@ void InferenceServer::WorkerLoop(int worker_index) {
   // worker's arena footprint is fixed once its (task, bucket) mix has
   // been captured.
   nn::PlanCache plan_cache(/*capacity=*/16, options_.plans);
+  // KV decode sessions live in the server-wide store (kv_sessions_) so a
+  // walk keeps hitting no matter which worker serves each step; version
+  // scoping retires them naturally across hot-swaps.
+  KvSessionStore* kv_sessions = &kv_sessions_;
   for (;;) {
-    std::optional<WorkItem> item = queue_.Pop();
-    if (!item.has_value()) return;  // Closed and drained.
+    std::vector<WorkItem> batch;
+    if (batcher_ != nullptr) {
+      batch = batcher_->NextBatch();
+    } else {
+      std::optional<WorkItem> item = queue_.Pop();
+      if (item.has_value()) batch.push_back(std::move(*item));
+    }
+    if (batch.empty()) return;  // Closed and drained.
     BIGCITY_GAUGE_SET("serve.queue_depth", queue_.depth());
+    BIGCITY_HISTOGRAM_RECORD("serve.batch.size",
+                             static_cast<double>(batch.size()));
 
     if (util::FaultInjection::Fire(util::kFaultServeWorkerHold)) {
       // Park until the test disarms the site (worker occupancy control;
@@ -680,17 +1111,25 @@ void InferenceServer::WorkerLoop(int worker_index) {
       }
     }
 
-    const double wait_us = MicrosSince(item->submitted, Clock::now());
-    BIGCITY_HISTOGRAM_RECORD("serve.queue_wait_us", wait_us);
+    const Clock::time_point dequeued = Clock::now();
+    for (WorkItem& item : batch) {
+      item.queue_wait_us = MicrosSince(item.submitted, dequeued);
+      item.batch_size = static_cast<int>(batch.size());
+      BIGCITY_HISTOGRAM_RECORD("serve.queue_wait_us", item.queue_wait_us);
+    }
 
-    // The replica is pinned for the whole request: a concurrent hot-swap
+    // The replica is pinned for the whole batch: a concurrent hot-swap
     // replaces the slot's pointer but never this in-flight forward's.
     std::shared_ptr<Replica> replica =
         AcquireReplica(static_cast<size_t>(worker_index));
-    Response response = Process(*item, *replica, &plan_cache);
-    response.queue_wait_us = wait_us;
-    if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
-    Finish(*item, std::move(response));
+    if (batch.size() == 1) {
+      Response response =
+          Process(batch[0], *replica, &plan_cache, kv_sessions);
+      if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
+      Finish(batch[0], std::move(response));
+    } else {
+      ProcessBatch(batch, *replica, &plan_cache, kv_sessions);
+    }
   }
 }
 

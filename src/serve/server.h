@@ -8,8 +8,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,10 +19,12 @@
 #include "core/bigcity_model.h"
 #include "nn/plan.h"
 #include "core/config.h"
+#include "core/st_tokenizer.h"
 #include "core/task.h"
 #include "data/dataset.h"
 #include "serve/admission_queue.h"
 #include "serve/baseline.h"
+#include "serve/batcher.h"
 #include "serve/circuit_breaker.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
@@ -81,6 +85,37 @@ struct ServeOptions {
   /// Attach LoRA adapters to each replica's backbone before weight copy /
   /// checkpoint load (must match how the source weights were produced).
   bool attach_lora = false;
+
+  /// Continuous batching (DESIGN.md §4.14): a batcher stage between the
+  /// admission queue and the workers coalesces queued same-task requests
+  /// into one batched forward. Outputs are bit-identical to per-request
+  /// execution; dispatch is deadline-aware, so a nearly-expired request
+  /// never waits for batch fill. Disabling restores the direct
+  /// queue-to-worker path.
+  bool batching = true;
+
+  /// Maximum requests per batched forward.
+  int batch_max = 8;
+
+  /// How long a request may wait for co-batchable peers before its group
+  /// dispatches anyway.
+  double batch_window_us = 200.0;
+
+  /// Cross-worker ST-tokenizer representation cache: fused per-segment
+  /// spatial representations keyed by (model version, time slice) and
+  /// shared by every replica, so one worker's GAT pass warms the whole
+  /// fleet. Version keying makes hot-swap invalidation free. This is the
+  /// entry capacity; 0 disables sharing (each replica then keeps only its
+  /// private per-slice cache).
+  int tokenizer_cache_slices = 64;
+
+  /// KV decode sessions for autoregressive next-hop serving: a client
+  /// extending a trajectory hop by hop reuses the frozen backbone's
+  /// cached attention state for the shared prompt prefix. The store is
+  /// shared across workers (checkout/checkin, so a walk keeps hitting no
+  /// matter which worker serves each step) with total capacity
+  /// kv_sessions * num_workers. 0 disables KV caching.
+  int kv_sessions = 8;
 
   /// Per-worker inference execution plans (DESIGN.md §4.13): each worker
   /// caches a no-autograd ExecutionPlan per (task, size-bucket) and
@@ -170,6 +205,12 @@ class InferenceServer {
   /// microseconds; 0 while below latency_min_samples.
   double forward_p95_us() const;
 
+  /// Shared tokenizer representation cache (null when disabled); exposes
+  /// hit/miss counts to tests and the bench harness.
+  const core::SpatialRepCache* tokenizer_cache() const {
+    return shared_reps_.get();
+  }
+
   /// Lifecycle introspection. rollout_state() is sticky: it holds the
   /// terminal state of the last candidate (STABLE / ROLLED_BACK /
   /// QUARANTINED) between rollouts and the live state during one.
@@ -201,6 +242,31 @@ class InferenceServer {
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    double queue_wait_us = 0;  // Set at dequeue; echoed in the response.
+    int batch_size = 1;        // Requests sharing this item's forward.
+  };
+
+  /// One KV decode session: the exact trajectory it served, the model
+  /// version that computed the state, and the cached attention
+  /// keys/values. Reuse is gated on full point-for-point prefix
+  /// comparison — bit-identity is never entrusted to a probabilistic
+  /// match.
+  struct KvSession {
+    uint64_t version = 0;
+    data::Trajectory served;
+    nn::KvCache cache;
+    uint64_t tick = 0;
+  };
+  /// LRU of KV sessions, shared by every worker so an autoregressive walk
+  /// keeps hitting no matter which worker serves each step. The mutex
+  /// only guards the checkout/checkin list operations: a checked-out
+  /// session is exclusively owned by one worker, which mutates its cache
+  /// lock-free during the forward and checks it back in afterwards.
+  struct KvSessionStore {
+    size_t capacity = 0;
+    std::mutex mu;
+    uint64_t tick = 0;
+    std::list<KvSession> sessions;
   };
 
   /// One immutable-weights model instance plus its lifecycle tag. Held by
@@ -239,10 +305,43 @@ class InferenceServer {
 
   void WorkerLoop(int worker_index);
   void Finish(WorkItem& item, Response response);
-  Response Process(WorkItem& item, Replica& replica, nn::PlanCache* plans);
+  Response Process(WorkItem& item, Replica& replica, nn::PlanCache* plans,
+                   KvSessionStore* kv);
+  /// Batched request path (size >= 2, one task): per-item checkpoints,
+  /// validation, and budget degradation, then one shared batched forward.
+  /// Finishes every item; falls back to per-item Process on batch failure.
+  void ProcessBatch(std::vector<WorkItem>& items, Replica& replica,
+                    nn::PlanCache* plans, KvSessionStore* kv);
   util::Status ValidateRequest(const Request& request) const;
   util::Result<nn::Tensor> RunModel(const Request& request,
                                     core::BigCityModel* model);
+  /// Batched forward dispatch. For next-hop with KV enabled this is also
+  /// the batched prefill: every member gets a fresh KV session filled
+  /// with the attention state of the shared forward, so later extension
+  /// requests decode incrementally.
+  util::Result<std::vector<nn::Tensor>> RunModelBatch(
+      core::Task task, const std::vector<WorkItem*>& items, Replica& replica,
+      KvSessionStore* kv);
+  /// Next-hop forward through the worker's KV session store: a session
+  /// whose served trajectory is a prefix of the request's resumes its
+  /// cached attention state and decodes only the new suffix + [CLAS].
+  util::Result<nn::Tensor> RunNextHopCached(const Request& request,
+                                            Replica& replica,
+                                            KvSessionStore* kv);
+  /// Longest-prefix session checkout: among stored sessions of `version`
+  /// whose served trajectory is a point-for-point prefix of `trajectory`,
+  /// removes and returns the one covering the most points (nullopt when
+  /// none qualifies). The caller owns the session — and mutates its cache
+  /// without locking — until CheckinKvSession.
+  static std::optional<KvSession> CheckoutKvSession(
+      KvSessionStore* kv, uint64_t version,
+      const data::Trajectory& trajectory);
+  /// Non-consuming form of the CheckoutKvSession predicate.
+  static bool HasKvSession(KvSessionStore* kv, uint64_t version,
+                           const data::Trajectory& trajectory);
+  /// Returns a session to the store, evicting the least-recently-used
+  /// stored session at capacity and stamping the LRU tick.
+  static void CheckinKvSession(KvSessionStore* kv, KvSession session);
   util::Result<nn::Tensor> RunBaseline(const Request& request) const;
   CircuitBreaker& BreakerFor(core::Task task);
   void PublishBreakerState(core::Task task);
@@ -268,6 +367,9 @@ class InferenceServer {
 
   BaselinePredictor baseline_;
   AdmissionQueue<WorkItem> queue_;
+  std::unique_ptr<Batcher<WorkItem>> batcher_;  // Null when batching off.
+  std::unique_ptr<core::SpatialRepCache> shared_reps_;  // Null when off.
+  KvSessionStore kv_sessions_;  // Capacity 0 when KV caching is off.
   LatencyEstimator forward_latency_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/bigcity_model.h"
+#include "core/st_tokenizer.h"
+#include "data/dataset.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "serve/admission_queue.h"
+#include "serve/batcher.h"
+#include "serve/server.h"
+#include "util/fault_injection.h"
+
+namespace bigcity::serve {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+/// Exact float comparison down to the bit pattern: the batched, KV-cached,
+/// and shared-cache paths must not perturb the numerics at all.
+void ExpectBitIdentical(const nn::Tensor& a, const nn::Tensor& b) {
+  ASSERT_TRUE(a.is_valid());
+  ASSERT_TRUE(b.is_valid());
+  ASSERT_EQ(a.shape(), b.shape());
+  const auto& da = a.data();
+  const auto& db = b.data();
+  ASSERT_EQ(da.size(), db.size());
+  EXPECT_EQ(std::memcmp(da.data(), db.data(), da.size() * sizeof(float)), 0);
+}
+
+/// Tiny dataset + model shared by the suite (same footprint as ServeTest).
+class BatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = data::ScaleConfig(data::XianLikeConfig(), 0.1);
+    config.city.grid_width = 5;
+    config.city.grid_height = 5;
+    dataset_ = new data::CityDataset(config);
+    model_config_.d_model = 32;
+    model_config_.num_heads = 2;
+    model_config_.num_layers = 2;
+    model_config_.spatial_dim = 16;
+    model_config_.gat_hidden = 16;
+    model_ = new core::BigCityModel(dataset_, model_config_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+  void TearDown() override { util::FaultInjection::DisarmAll(); }
+
+  static const data::Trajectory& AnyTrajectory(int min_len = 6) {
+    for (const auto& t : dataset_->train()) {
+      if (t.length() >= min_len) return t;
+    }
+    return dataset_->train().front();
+  }
+
+  static data::Trajectory Prefix(const data::Trajectory& trajectory,
+                                 int length) {
+    data::Trajectory prefix = trajectory;
+    prefix.points.resize(static_cast<size_t>(length));
+    return prefix;
+  }
+
+  /// A few trajectories of different lengths (ragged batch members).
+  static std::vector<data::Trajectory> RaggedTrajectories(int count) {
+    const data::Trajectory& full = AnyTrajectory();
+    // Capped well under max_trajectory_tokens so the server's clipping is
+    // a no-op and direct model calls on the same prefixes are comparable.
+    const int cap = std::min(full.length(), 10);
+    std::vector<data::Trajectory> out;
+    for (int i = 0; i < count; ++i) {
+      out.push_back(Prefix(full, 2 + (i % (cap - 1))));
+    }
+    return out;
+  }
+
+  static data::CityDataset* dataset_;
+  static core::BigCityConfig model_config_;
+  static core::BigCityModel* model_;
+};
+
+data::CityDataset* BatchTest::dataset_ = nullptr;
+core::BigCityConfig BatchTest::model_config_;
+core::BigCityModel* BatchTest::model_ = nullptr;
+
+// --- Batched forward bit-identity (model level) -----------------------------
+
+TEST_F(BatchTest, BatchNextHopBitIdenticalAcrossSizes) {
+  for (int size : {1, 2, 3, 5}) {
+    SCOPED_TRACE(size);
+    std::vector<data::Trajectory> prefixes = RaggedTrajectories(size);
+    std::vector<nn::Tensor> batched = model_->BatchNextHopLogits(prefixes);
+    ASSERT_EQ(batched.size(), prefixes.size());
+    for (int i = 0; i < size; ++i) {
+      ExpectBitIdentical(batched[static_cast<size_t>(i)],
+                         model_->NextHopLogits(prefixes[static_cast<size_t>(i)]));
+    }
+  }
+}
+
+TEST_F(BatchTest, BatchTravelTimeBitIdentical) {
+  std::vector<data::Trajectory> trajectories = RaggedTrajectories(4);
+  std::vector<nn::Tensor> batched =
+      model_->BatchTravelTimeDeltas(trajectories);
+  ASSERT_EQ(batched.size(), trajectories.size());
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    ExpectBitIdentical(batched[i], model_->TravelTimeDeltas(trajectories[i]));
+  }
+}
+
+TEST_F(BatchTest, BatchPredictTrafficBitIdentical) {
+  std::vector<core::BigCityModel::TrafficQuery> queries = {
+      {0, 0, 1}, {1, 0, 3}, {2, 1, 2}, {0, 2, 1}};
+  util::Result<std::vector<nn::Tensor>> batched =
+      model_->TryBatchPredictTraffic(queries);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched.value().size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectBitIdentical(batched.value()[i],
+                       model_->PredictTraffic(queries[i].segment,
+                                              queries[i].start_slice,
+                                              queries[i].horizon));
+  }
+}
+
+TEST_F(BatchTest, TryBatchRejectsBatchWithInvalidMember) {
+  std::vector<data::Trajectory> prefixes = RaggedTrajectories(2);
+  prefixes.push_back(data::Trajectory{});  // Empty: fails screening.
+  util::Result<std::vector<nn::Tensor>> result =
+      model_->TryBatchNextHopLogits(prefixes);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// --- KV-cached incremental decoding -----------------------------------------
+
+TEST_F(BatchTest, KvCachedNextHopBitIdenticalAcrossExtensions) {
+  nn::NoGradGuard no_grad;  // Serving mode, like the workers.
+  const data::Trajectory& full = AnyTrajectory(6);
+  const int max_len = std::min(full.length(), 8);
+  nn::KvCache cache;
+  std::vector<int64_t> lengths;
+  for (int len = 2; len <= max_len; ++len) {
+    SCOPED_TRACE(len);
+    data::Trajectory prefix = Prefix(full, len);
+    nn::Tensor cached = model_->NextHopLogitsCached(prefix, &cache);
+    ExpectBitIdentical(cached, model_->NextHopLogits(prefix));
+    lengths.push_back(cache.length());
+  }
+  // Each extension step adds exactly one reusable row to the cache: the
+  // shared prefix grew by one ST token (the [CLAS] row is re-decoded).
+  for (size_t i = 1; i < lengths.size(); ++i) {
+    EXPECT_EQ(lengths[i], lengths[i - 1] + 1);
+  }
+}
+
+TEST_F(BatchTest, KvCacheColdStartMatchesFullForward) {
+  nn::NoGradGuard no_grad;
+  const data::Trajectory prefix = Prefix(AnyTrajectory(4), 3);
+  nn::KvCache cache;
+  nn::Tensor first = model_->NextHopLogitsCached(prefix, &cache);
+  EXPECT_GT(cache.length(), 0);
+  ExpectBitIdentical(first, model_->NextHopLogits(prefix));
+  // Re-serving the same prefix truncates and re-decodes the final rows —
+  // still bit-identical.
+  nn::Tensor again = model_->NextHopLogitsCached(prefix, &cache);
+  ExpectBitIdentical(again, first);
+}
+
+TEST_F(BatchTest, BatchedCachedDecodeMixedBatchBitIdentical) {
+  nn::NoGradGuard no_grad;
+  const data::Trajectory& full = AnyTrajectory(8);
+  const int max_len = std::min(full.length(), 8);
+  ASSERT_GE(max_len, 8);
+  // Warm two caches at different served lengths through a batched prefill.
+  std::vector<data::Trajectory> warm = {Prefix(full, 3), Prefix(full, 5)};
+  nn::KvCache cache_a, cache_b;
+  std::vector<nn::KvCache*> warm_caches = {&cache_a, &cache_b};
+  std::vector<nn::Tensor> prefill =
+      model_->BatchNextHopLogits(warm, &warm_caches);
+  for (size_t i = 0; i < warm.size(); ++i) {
+    ExpectBitIdentical(prefill[i], model_->NextHopLogits(warm[i]));
+  }
+  const int64_t warm_a = cache_a.length();
+  const int64_t warm_b = cache_b.length();
+  EXPECT_GT(warm_a, 0);
+  EXPECT_GT(warm_b, 0);
+  // Mixed batch: a one-step extension, a multi-step (5 -> 8) extension,
+  // and a fresh member prefilling a third cache — all in one forward.
+  std::vector<data::Trajectory> next = {Prefix(full, 4), Prefix(full, 8),
+                                        Prefix(full, 2)};
+  nn::KvCache cache_c;
+  std::vector<nn::KvCache*> caches = {&cache_a, &cache_b, &cache_c};
+  std::vector<nn::Tensor> batched = model_->BatchNextHopLogits(next, &caches);
+  ASSERT_EQ(batched.size(), next.size());
+  for (size_t i = 0; i < next.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectBitIdentical(batched[i], model_->NextHopLogits(next[i]));
+  }
+  // Extended caches grew to cover their new trajectories; the fresh member
+  // captured a full prefill reusable by a later extension.
+  EXPECT_GT(cache_a.length(), warm_a);
+  EXPECT_GT(cache_b.length(), warm_b);
+  EXPECT_GT(cache_c.length(), 0);
+  nn::Tensor extended =
+      model_->NextHopLogitsCached(Prefix(full, 3), &cache_c);
+  ExpectBitIdentical(extended, model_->NextHopLogits(Prefix(full, 3)));
+}
+
+// --- Shared tokenizer representation cache ----------------------------------
+
+TEST(SpatialRepCacheTest, VersionKeyedLookupEvictionAndClear) {
+  core::SpatialRepCache cache(2);
+  nn::Tensor rep = nn::Tensor::FromData({1, 2}, {1.0f, 2.0f});
+  EXPECT_FALSE(cache.Get(1, 0).has_value());
+  cache.Put(1, 0, rep);
+  ASSERT_TRUE(cache.Get(1, 0).has_value());
+  ExpectBitIdentical(*cache.Get(1, 0), rep);
+  // Hot-swap semantics: a different model version never sees v1 entries.
+  EXPECT_FALSE(cache.Get(2, 0).has_value());
+  // Capacity 2: inserting a third entry evicts the least recently used.
+  cache.Put(1, 1, rep);
+  (void)cache.Get(1, 0);  // Touch slice 0 so slice 1 is the LRU victim.
+  cache.Put(1, 2, rep);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Get(1, 0).has_value());
+  EXPECT_FALSE(cache.Get(1, 1).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST_F(BatchTest, SharedRepCacheWarmsSecondReplicaBitIdentically) {
+  core::SpatialRepCache shared(16);
+  core::BigCityModel a(dataset_, model_config_);
+  core::BigCityModel b(dataset_, model_config_);
+  b.CopyStateFrom(a);
+  a.tokenizer()->SetSharedRepCache(&shared, /*version=*/7);
+  b.tokenizer()->SetSharedRepCache(&shared, /*version=*/7);
+
+  nn::NoGradGuard no_grad;  // Sharing is serving-only.
+  const data::Trajectory& trajectory = AnyTrajectory(4);
+  nn::Tensor out_a = a.NextHopLogits(trajectory);
+  const uint64_t misses_after_a = shared.misses();
+  EXPECT_GT(shared.size(), 0u);
+
+  // The second replica reads every slice the first one filled: hits only,
+  // and (same weights) a bit-identical output.
+  nn::Tensor out_b = b.NextHopLogits(trajectory);
+  EXPECT_GT(shared.hits(), 0u);
+  EXPECT_EQ(shared.misses(), misses_after_a);
+  ExpectBitIdentical(out_a, out_b);
+}
+
+TEST_F(BatchTest, SharedRepCacheDistinguishesVersions) {
+  core::SpatialRepCache shared(16);
+  core::BigCityModel a(dataset_, model_config_);
+  core::BigCityModel b(dataset_, model_config_);
+  b.CopyStateFrom(a);
+  a.tokenizer()->SetSharedRepCache(&shared, /*version=*/1);
+  b.tokenizer()->SetSharedRepCache(&shared, /*version=*/2);
+
+  nn::NoGradGuard no_grad;
+  const data::Trajectory& trajectory = AnyTrajectory(4);
+  (void)a.NextHopLogits(trajectory);
+  const uint64_t hits_after_a = shared.hits();
+  const uint64_t misses_after_a = shared.misses();
+  // A hot-swapped (re-versioned) replica must miss: entries from other
+  // weights are invisible to it.
+  (void)b.NextHopLogits(trajectory);
+  EXPECT_EQ(shared.hits(), hits_after_a);
+  EXPECT_GT(shared.misses(), misses_after_a);
+}
+
+// --- Batcher dispatch policy ------------------------------------------------
+
+struct FakeItem {
+  int key = 0;
+  double remaining_us = std::numeric_limits<double>::infinity();
+};
+
+Batcher<FakeItem>::Options BatchOptions(int batch_max, double window_us) {
+  Batcher<FakeItem>::Options options;
+  options.batch_max = batch_max;
+  options.window_us = window_us;
+  return options;
+}
+
+TEST(BatcherTest, FullGroupDispatchesWithoutWaitingForWindow) {
+  AdmissionQueue<FakeItem> queue(16);
+  Batcher<FakeItem> batcher(
+      &queue, BatchOptions(4, /*window_us=*/10e6),
+      [](const FakeItem& item) { return item.key; },
+      [](const FakeItem& item) { return item.remaining_us; },
+      [] { return 1000.0; });
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.TryPush(FakeItem{1}));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<FakeItem> batch = batcher.NextBatch();
+  const double elapsed_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_LT(elapsed_us, 5e6);  // Far below the 10s window.
+}
+
+TEST(BatcherTest, WindowExpiryDispatchesPartialGroup) {
+  AdmissionQueue<FakeItem> queue(16);
+  Batcher<FakeItem> batcher(
+      &queue, BatchOptions(8, /*window_us=*/5000.0),
+      [](const FakeItem& item) { return item.key; },
+      [](const FakeItem& item) { return item.remaining_us; },
+      [] { return 1000.0; });
+  ASSERT_TRUE(queue.TryPush(FakeItem{1}));
+  ASSERT_TRUE(queue.TryPush(FakeItem{1}));
+  std::vector<FakeItem> batch = batcher.NextBatch();
+  EXPECT_EQ(batch.size(), 2u);  // Both, once the window lapsed.
+}
+
+TEST(BatcherTest, UrgentItemNeverWaitsForBatchFill) {
+  AdmissionQueue<FakeItem> queue(16);
+  Batcher<FakeItem> batcher(
+      &queue, BatchOptions(8, /*window_us=*/10e6),
+      [](const FakeItem& item) { return item.key; },
+      [](const FakeItem& item) { return item.remaining_us; },
+      [] { return 100e3; });  // 100ms urgency margin.
+  // One item with only 1ms of budget left: dispatch immediately even
+  // though the group is nowhere near batch_max and the window is 10s.
+  ASSERT_TRUE(queue.TryPush(FakeItem{1, 1000.0}));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<FakeItem> batch = batcher.NextBatch();
+  const double elapsed_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LT(elapsed_us, 5e6);
+}
+
+TEST(BatcherTest, GroupsNeverMixKeysAndDrainOnClose) {
+  AdmissionQueue<FakeItem> queue(16);
+  Batcher<FakeItem> batcher(
+      &queue, BatchOptions(8, /*window_us=*/10e6),
+      [](const FakeItem& item) { return item.key; },
+      [](const FakeItem& item) { return item.remaining_us; },
+      [] { return 1000.0; });
+  ASSERT_TRUE(queue.TryPush(FakeItem{1}));
+  ASSERT_TRUE(queue.TryPush(FakeItem{2}));
+  ASSERT_TRUE(queue.TryPush(FakeItem{1}));
+  queue.Close();  // Closed queue: everything dispatches, still per key.
+  std::vector<FakeItem> first = batcher.NextBatch();
+  std::vector<FakeItem> second = batcher.NextBatch();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].key, 1);
+  EXPECT_EQ(first[1].key, 1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].key, 2);
+  EXPECT_TRUE(batcher.NextBatch().empty());  // Drained: shutdown signal.
+}
+
+TEST(BatcherTest, NegativeKeyDispatchesAloneImmediately) {
+  AdmissionQueue<FakeItem> queue(16);
+  Batcher<FakeItem> batcher(
+      &queue, BatchOptions(8, /*window_us=*/10e6),
+      [](const FakeItem& item) { return item.key; },
+      [](const FakeItem& item) { return item.remaining_us; },
+      [] { return 1000.0; });
+  ASSERT_TRUE(queue.TryPush(FakeItem{-1}));
+  ASSERT_TRUE(queue.TryPush(FakeItem{-1}));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(batcher.NextBatch().size(), 1u);
+  EXPECT_EQ(batcher.NextBatch().size(), 1u);
+  const double elapsed_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_LT(elapsed_us, 5e6);
+}
+
+// --- Server-level batching --------------------------------------------------
+
+class BatchServeTest : public BatchTest {
+ protected:
+  static ServeOptions BatchingOptions() {
+    ServeOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = 64;
+    options.retry_backoff_ms = 0.1;
+    options.batching = true;
+    options.batch_max = 8;
+    options.batch_window_us = 200.0;
+    return options;
+  }
+};
+
+TEST_F(BatchServeTest, BacklogCoalescesIntoBitIdenticalBatch) {
+  InferenceServer server(dataset_, model_config_, BatchingOptions(), model_);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Park the single worker on a decoy so a backlog builds behind it; on
+  // release the batcher must coalesce the backlog into one forward.
+  util::ScopedFault hold(util::kFaultServeWorkerHold, 0, 1, /*param=*/1);
+  Request decoy_request;
+  decoy_request.task = core::Task::kNextHop;
+  decoy_request.trajectory = AnyTrajectory();
+  std::future<Response> decoy = server.Submit(decoy_request);
+  while (hold.fire_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<data::Trajectory> prefixes = RaggedTrajectories(6);
+  std::vector<std::future<Response>> futures;
+  for (const data::Trajectory& prefix : prefixes) {
+    Request request;
+    request.task = core::Task::kNextHop;
+    request.trajectory = prefix;
+    futures.push_back(server.Submit(request));
+  }
+  util::FaultInjection::Disarm(util::kFaultServeWorkerHold);
+  ASSERT_TRUE(decoy.get().status.ok());
+
+  int max_batch = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    max_batch = std::max(max_batch, response.batch_size);
+    ExpectBitIdentical(response.output, model_->NextHopLogits(prefixes[i]));
+  }
+  // The whole backlog was queued while the worker was parked, so it must
+  // have shipped as (at least one) real batch.
+  EXPECT_GT(max_batch, 1);
+}
+
+TEST_F(BatchServeTest, MixedTaskBacklogBatchesPerTask) {
+  InferenceServer server(dataset_, model_config_, BatchingOptions(), model_);
+  ASSERT_TRUE(server.Start().ok());
+
+  util::ScopedFault hold(util::kFaultServeWorkerHold, 0, 1, /*param=*/1);
+  Request decoy_request;
+  decoy_request.task = core::Task::kNextHop;
+  decoy_request.trajectory = AnyTrajectory();
+  std::future<Response> decoy = server.Submit(decoy_request);
+  while (hold.fire_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<data::Trajectory> trajectories = RaggedTrajectories(4);
+  std::vector<std::future<Response>> hop_futures;
+  std::vector<std::future<Response>> tte_futures;
+  for (const data::Trajectory& trajectory : trajectories) {
+    Request hop;
+    hop.task = core::Task::kNextHop;
+    hop.trajectory = trajectory;
+    hop_futures.push_back(server.Submit(hop));
+    Request tte;
+    tte.task = core::Task::kTravelTimeEstimation;
+    tte.trajectory = trajectory;
+    tte_futures.push_back(server.Submit(tte));
+  }
+  util::FaultInjection::Disarm(util::kFaultServeWorkerHold);
+  ASSERT_TRUE(decoy.get().status.ok());
+
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    Response hop = hop_futures[i].get();
+    ASSERT_TRUE(hop.status.ok()) << hop.status.ToString();
+    // A batch never mixes tasks, so a next-hop batch holds at most the
+    // four next-hop requests.
+    EXPECT_LE(hop.batch_size, 4);
+    ExpectBitIdentical(hop.output, model_->NextHopLogits(trajectories[i]));
+    Response tte = tte_futures[i].get();
+    ASSERT_TRUE(tte.status.ok()) << tte.status.ToString();
+    EXPECT_LE(tte.batch_size, 4);
+    ExpectBitIdentical(tte.output,
+                       model_->TravelTimeDeltas(trajectories[i]));
+  }
+}
+
+TEST_F(BatchServeTest, KvSessionServesExtensionsBitIdentically) {
+  ServeOptions options = BatchingOptions();
+  InferenceServer server(dataset_, model_config_, options, model_);
+  ASSERT_TRUE(server.Start().ok());
+
+  const data::Trajectory& full = AnyTrajectory(6);
+  const int max_len = std::min(full.length(), 8);
+  const uint64_t hits_before = CounterValue("serve.cache.kv.hit");
+  for (int len = 2; len <= max_len; ++len) {
+    SCOPED_TRACE(len);
+    Request request;
+    request.task = core::Task::kNextHop;
+    request.trajectory = Prefix(full, len);
+    Response response = server.ServeSync(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ExpectBitIdentical(response.output,
+                       model_->NextHopLogits(Prefix(full, len)));
+  }
+#if BIGCITY_OBS
+  // Every extension after the first reuses the session's attention state.
+  EXPECT_GE(CounterValue("serve.cache.kv.hit"),
+            hits_before + static_cast<uint64_t>(max_len - 2));
+#else
+  (void)hits_before;
+#endif
+}
+
+TEST_F(BatchServeTest, BatchingOffMatchesBatchingOn) {
+  ServeOptions on = BatchingOptions();
+  ServeOptions off = BatchingOptions();
+  off.batching = false;
+  off.kv_sessions = 0;
+  off.tokenizer_cache_slices = 0;
+
+  InferenceServer server_on(dataset_, model_config_, on, model_);
+  InferenceServer server_off(dataset_, model_config_, off, model_);
+  ASSERT_TRUE(server_on.Start().ok());
+  ASSERT_TRUE(server_off.Start().ok());
+
+  std::vector<data::Trajectory> prefixes = RaggedTrajectories(5);
+  for (const data::Trajectory& prefix : prefixes) {
+    Request request;
+    request.task = core::Task::kNextHop;
+    request.trajectory = prefix;
+    Response with = server_on.ServeSync(request);
+    Response without = server_off.ServeSync(request);
+    ASSERT_TRUE(with.status.ok());
+    ASSERT_TRUE(without.status.ok());
+    ExpectBitIdentical(with.output, without.output);
+  }
+}
+
+}  // namespace
+}  // namespace bigcity::serve

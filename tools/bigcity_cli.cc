@@ -71,6 +71,10 @@ struct CliOptions {
   int workers = 2;
   int queue_capacity = 16;
   double deadline_ms = 0;     // <= 0: no per-request deadline.
+  // Continuous batching (DESIGN.md §4.14).
+  bool batching = true;       // --no-batching: per-request forwards.
+  int batch_max = 8;          // Coalesce at most this many requests.
+  double batch_window_us = 200.0;  // Max wait for batch-mates.
   // Model lifecycle (DESIGN.md §4.12).
   std::string model_dir;      // serve: watch; publish: destination.
   double watch_seconds = 0;   // serve: keep replaying this long (0 = once).
@@ -106,6 +110,12 @@ void PrintUsage() {
       "  --workers N       serve: worker threads / model replicas (default 2)\n"
       "  --queue N         serve: admission queue capacity (default 16)\n"
       "  --deadline-ms F   serve: per-request deadline; 0 = none\n"
+      "  --batch-max N     serve: coalesce up to N same-task requests per\n"
+      "                    forward (default 8); outputs are bit-identical\n"
+      "                    to per-request forwards for any N\n"
+      "  --batch-window-us F serve: max wait for batch-mates (default 200)\n"
+      "  --no-batching     serve: disable the batcher stage (per-request\n"
+      "                    forwards, no shared tokenizer/KV caches)\n"
       "  --model-dir D     serve: watch D for published versions and\n"
       "                    hot-swap them through the canary gate;\n"
       "                    publish: versioned destination directory\n"
@@ -116,9 +126,14 @@ void PrintUsage() {
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   if (argc < 2) return false;
   options->command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+    if (flag == "--no-batching") {  // The only valueless flag.
+      options->batching = false;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
     if (flag == "--city") {
       options->city = value;
     } else if (flag == "--scale") {
@@ -159,6 +174,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->queue_capacity = std::atoi(value.c_str());
     } else if (flag == "--deadline-ms") {
       options->deadline_ms = std::atof(value.c_str());
+    } else if (flag == "--batch-max") {
+      options->batch_max = std::atoi(value.c_str());
+    } else if (flag == "--batch-window-us") {
+      options->batch_window_us = std::atof(value.c_str());
     } else if (flag == "--model-dir") {
       options->model_dir = value;
     } else if (flag == "--watch-seconds") {
@@ -387,6 +406,15 @@ int RunServe(const CliOptions& options) {
   serve_options.num_workers = std::max(1, options.workers);
   serve_options.queue_capacity = std::max(1, options.queue_capacity);
   serve_options.default_deadline_ms = options.deadline_ms;
+  serve_options.batching = options.batching;
+  serve_options.batch_max = std::max(1, options.batch_max);
+  serve_options.batch_window_us = std::max(0.0, options.batch_window_us);
+  if (!options.batching) {
+    // Per-request forwards all the way down: no shared tokenizer rep
+    // cache, no KV sessions (matches bench_serve's batching-off arm).
+    serve_options.tokenizer_cache_slices = 0;
+    serve_options.kv_sessions = 0;
+  }
   serve_options.checkpoint_path = options.load;
   serve_options.attach_lora = !options.load.empty();  // Matches eval.
   serve_options.plans = options.plans;
