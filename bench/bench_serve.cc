@@ -24,6 +24,12 @@
 // Usage: bench_serve [--city XA|BJ|CD] [--workers N] [--requests N]
 //                    [--threads N] [--batch-max N] [--batch-window-us F]
 //                    [--deadline-ms F] [--no-batching] [--fast] [--out PATH]
+//                    [--trace-out PATH]
+//
+// --trace-out arms request-scoped tracing for the whole run and writes a
+// chrome://tracing JSON at exit: each request renders as one connected
+// flow (submit -> batch forward -> finish) across threads, which
+// ci/validate_artifacts.py trace asserts on the 4x-load smoke.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -39,6 +45,7 @@
 #include "nn/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "util/table_printer.h"
@@ -263,6 +270,7 @@ int main(int argc, char** argv) {
   double deadline_ms = 250.0;
   bool batching = true;
   bool fast = false;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       fast = true;
@@ -285,17 +293,25 @@ int main(int argc, char** argv) {
       deadline_ms = std::atof(argv[++i]);
     } else if (i + 1 < argc && std::strcmp(argv[i], "--out") == 0) {
       out = argv[++i];
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(
           stderr,
           "usage: bench_serve [--city XA|BJ|CD] [--workers N] "
           "[--requests N] [--threads N] [--batch-max N] "
           "[--batch-window-us F] [--deadline-ms F] [--no-batching] "
-          "[--fast] [--out PATH]\n");
+          "[--fast] [--out PATH] [--trace-out PATH]\n");
       return 2;
     }
   }
   if (fast) requests_per_client = std::min(requests_per_client, 8);
+  if (!trace_out.empty()) {
+    // Arm before the servers exist so submit-side spans trace too. A 1M
+    // ring keeps every span of a --fast smoke; a full run keeps the tail.
+    obs::TraceBuffer::Global().SetCapacity(size_t{1} << 20);
+    obs::SetTracingEnabled(true);
+  }
   nn::kernels::SetNumThreads(threads);
   threads = nn::kernels::NumThreads();
 
@@ -612,5 +628,17 @@ int main(int argc, char** argv) {
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::TraceBuffer::Global().WriteJson(trace_out, &error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%zu events, %llu dropped) to %s\n",
+                obs::TraceBuffer::Global().size(),
+                static_cast<unsigned long long>(
+                    obs::TraceBuffer::Global().dropped()),
+                trace_out.c_str());
+  }
   return 0;
 }

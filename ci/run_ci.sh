@@ -89,7 +89,7 @@ serve_smoke() {
   mkdir -p "$out"
   log "$job: serve smoke (bench_serve --fast, 4 workers x 3 load levels)"
   (cd "$out" && "../../$build/bench/bench_serve" --fast --workers 4 \
-    --requests 8)
+    --requests 8 --trace-out serve_trace.json)
   grep -q '"shed_rate"' "$out/BENCH_serve.json"
   grep -q '"throughput_rps"' "$out/BENCH_serve.json"
   grep -q '"p95_us"' "$out/BENCH_serve.json"
@@ -99,7 +99,8 @@ serve_smoke() {
     --out "$out/serve_trips.csv"
   "$build/tools/bigcity_cli" serve --city XA --scale 0.05 \
     --requests "$out/serve_trips.csv" --task next --workers 2 --queue 64 \
-    --metrics-out "$out/serve_metrics.json"
+    --metrics-out "$out/serve_metrics.json" \
+    --telemetry-out "$out/serve_telemetry.jsonl" --telemetry-interval-ms 200
   grep -q '"serve.submitted"' "$out/serve_metrics.json"
   grep -q '"serve.e2e_us"' "$out/serve_metrics.json"
   # Per-worker inference plans engaged during the replay.
@@ -108,8 +109,21 @@ serve_smoke() {
   # cache saw hits across workers.
   grep -q '"serve.batch.size"' "$out/serve_metrics.json"
   grep -q '"serve.cache.tokenizer.hit"' "$out/serve_metrics.json"
+  # Live SLO telemetry (DESIGN.md §4.15): the exporter streamed deltas and
+  # the snapshot carries the slo.* gauges + batch-wait histogram; the
+  # dashboard subcommands render both artifacts.
+  grep -q '"event":"telemetry"' "$out/serve_telemetry.jsonl"
+  grep -q '"slo.' "$out/serve_metrics.json"
+  grep -q '"serve.batch.wait_us"' "$out/serve_metrics.json"
+  "$build/tools/bigcity_cli" metrics --in "$out/serve_metrics.json" \
+    > "$out/metrics_render.txt"
+  grep -q 'serve.e2e_us' "$out/metrics_render.txt"
+  "$build/tools/bigcity_cli" top --in "$out/serve_telemetry.jsonl" \
+    > "$out/top_render.txt"
+  grep -q 'QPS' "$out/top_render.txt"
   if command -v python3 > /dev/null; then
     python3 ci/validate_artifacts.py serve "$out"
+    python3 ci/validate_artifacts.py trace "$out"
   fi
   echo "serve smoke ok"
 }
@@ -182,8 +196,13 @@ run_tsan() {
   # shared tokenizer/KV caches, hot-swap reload — with every cross-thread
   # handoff under the race detector. TSan aborts the run on a report.
   (cd "$out" && "../../build-ci-tsan/bench/bench_serve" --fast --workers 4 \
-    --requests 4)
+    --requests 4 --trace-out serve_trace.json)
   grep -q '"mean_batch_size"' "$out/BENCH_serve.json"
+  # Request flows must stay connected even under TSan interleavings (no
+  # serve_metrics.json here, so the validator checks the trace alone).
+  if command -v python3 > /dev/null; then
+    python3 ci/validate_artifacts.py trace "$out"
+  fi
   echo "tsan smoke ok"
 }
 

@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
 """Machine-readability + invariant checks for CI smoke artifacts.
 
-usage: validate_artifacts.py <train|serve|rollout> <artifact-dir>
+usage: validate_artifacts.py <train|serve|rollout|trace> <artifact-dir>
 
 Each subcommand validates the JSON artifacts one ci/run_ci.sh smoke
 leaves in its ci-artifacts/<job> directory. The checks go beyond
 grep-ability: every file must parse whole, and the fields the serving
-and training subsystems promise (DESIGN.md §4.9-§4.14) must be present
+and training subsystems promise (DESIGN.md §4.9-§4.15) must be present
 and non-trivial.
 """
 import json
+import os
 import sys
 
 
@@ -94,14 +95,68 @@ def validate_rollout(d):
           f"{sum(ev.values())} chaos events")
 
 
+def validate_trace(d):
+    """serve_trace.json (bench_serve --trace-out): request-scoped flows
+    must render connected in chrome://tracing, and the serve metrics
+    snapshot (when present) must carry the slo.* gauges (DESIGN.md §4.15).
+    """
+    trace = load(f"{d}/serve_trace.json")
+    events = trace["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    flows = [e for e in events if e["ph"] in ("s", "t", "f")]
+    assert spans and flows, (len(spans), len(flows))
+    assert any("trace_id" in e.get("args", {}) for e in spans), \
+        "no span is stamped with a trace id"
+
+    by_id = {}
+    for e in flows:
+        by_id.setdefault(e["id"], set()).add(e["ph"])
+    connected = [i for i, phases in by_id.items()
+                 if {"s", "t", "f"} <= phases]
+    assert connected, f"no fully connected flow among {len(by_id)} ids"
+
+    # Spot-check connection details on a bounded sample: the flow must
+    # cross threads, every marker must land inside a slice on its thread
+    # (chrome anchors the arrows to those slices), and the finish marker
+    # must bind to its enclosing slice.
+    spans_by_tid = {}
+    for e in spans:
+        spans_by_tid.setdefault(e["tid"], []).append(e)
+    for flow_id in connected[:25]:
+        markers = [e for e in flows if e["id"] == flow_id]
+        assert len({e["tid"] for e in markers}) >= 2, markers
+        for m in markers:
+            assert any(s["ts"] <= m["ts"] <= s["ts"] + s["dur"]
+                       for s in spans_by_tid.get(m["tid"], [])), m
+            if m["ph"] == "f":
+                assert m.get("bp") == "e", m
+
+    metrics_path = f"{d}/serve_metrics.json"
+    if os.path.exists(metrics_path):
+        metrics = load(metrics_path)
+        gauges = metrics["gauges"]
+        tasks = {k.split(".")[1] for k in gauges if k.startswith("slo.")}
+        assert tasks, "no slo.* gauges in serve metrics"
+        for task in tasks:
+            for field in ("success_rate", "burn_rate", "p50_us", "p99_us",
+                          "p99_within_objective", "window_requests"):
+                assert f"slo.{task}.{field}" in gauges, (task, field)
+        assert "serve.batch.wait_us" in metrics["histograms"], \
+            sorted(metrics["histograms"])
+    print(f"trace json validation ok: {len(connected)} connected flows "
+          f"over {len(by_id)} ids, {len(spans)} spans")
+
+
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("train", "serve", "rollout"):
-        print("usage: validate_artifacts.py <train|serve|rollout> "
+    commands = {"train": validate_train,
+                "serve": validate_serve,
+                "rollout": validate_rollout,
+                "trace": validate_trace}
+    if len(sys.argv) != 3 or sys.argv[1] not in commands:
+        print("usage: validate_artifacts.py <train|serve|rollout|trace> "
               "<artifact-dir>", file=sys.stderr)
         return 2
-    {"train": validate_train,
-     "serve": validate_serve,
-     "rollout": validate_rollout}[sys.argv[1]](sys.argv[2])
+    commands[sys.argv[1]](sys.argv[2])
     return 0
 
 

@@ -12,6 +12,7 @@ namespace bigcity::core {
 using nn::Tensor;
 
 std::optional<Tensor> SpatialRepCache::Get(uint64_t version, int slice) {
+  BIGCITY_REQUEST_STAGE_TIMED(kCacheLookup);
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& entry : entries_) {
     if (entry.version == version && entry.slice == slice) {
@@ -201,6 +202,9 @@ Tensor StTokenizer::Tokenize(const data::StUnitSequence& sequence) {
 Tensor StTokenizer::TokenizeWithHiddenTimes(
     const data::StUnitSequence& sequence,
     const std::vector<bool>& hide_time) {
+  // Stage attribution for the serving breakdown; nested cache probes
+  // subtract themselves, so tokenize and cache_lookup stay disjoint.
+  BIGCITY_REQUEST_STAGE_TIMED(kTokenize);
   const int length = sequence.length();
   BIGCITY_CHECK_GT(length, 0);
   BIGCITY_CHECK_EQ(static_cast<int>(hide_time.size()), length);

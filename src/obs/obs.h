@@ -16,6 +16,9 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/report.h"
+#include "obs/slo.h"
+#include "obs/stages.h"
+#include "obs/telemetry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 
@@ -80,6 +83,30 @@
 #define BIGCITY_TIMED_SCOPE(name, category) \
   BIGCITY_TIMED_SCOPE_NAMED(name, name, category)
 
+/// Makes `trace_id` the active trace id for the rest of the enclosing
+/// scope: spans recorded inside are stamped with it (DESIGN.md §4.15).
+#define BIGCITY_TRACE_ID_SCOPE(trace_id)             \
+  ::bigcity::obs::TraceIdScope BIGCITY_OBS_CONCAT_(  \
+      obs_trace_id_scope_, __LINE__)((trace_id))
+
+/// Emits one chrome://tracing flow event (`phase` = 's' start, 't' step,
+/// 'f' finish) bound to `trace_id`, linking the enclosing spans of one
+/// request into a single connected flow across threads.
+#define BIGCITY_TRACE_FLOW(name, category, phase, trace_id)             \
+  do {                                                                  \
+    if (::bigcity::obs::TracingEnabled()) {                             \
+      ::bigcity::obs::RecordFlowEvent((name), (category), (phase),      \
+                                      (trace_id));                      \
+    }                                                                   \
+  } while (0)
+
+/// RAII: attributes the scope's wall time (minus nested stage scopes) to
+/// the thread-local per-request stage accumulator; the serving worker
+/// reads it after the forward to fill Response::stages.
+#define BIGCITY_REQUEST_STAGE_TIMED(stage)                 \
+  ::bigcity::obs::RequestStageTimer BIGCITY_OBS_CONCAT_(   \
+      obs_stage_timer_, __LINE__)(::bigcity::obs::RequestStage::stage)
+
 #else  // !BIGCITY_OBS
 
 #define BIGCITY_COUNTER_ADD(name, delta) \
@@ -102,6 +129,15 @@
   } while (0)
 #define BIGCITY_TIMED_SCOPE(name, category) \
   do {                                      \
+  } while (0)
+#define BIGCITY_TRACE_ID_SCOPE(trace_id) \
+  do {                                   \
+  } while (0)
+#define BIGCITY_TRACE_FLOW(name, category, phase, trace_id) \
+  do {                                                      \
+  } while (0)
+#define BIGCITY_REQUEST_STAGE_TIMED(stage) \
+  do {                                     \
   } while (0)
 
 #endif  // BIGCITY_OBS

@@ -1,0 +1,147 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bigcity::obs {
+
+namespace {
+
+/// Exact small-window quantile: rank = ceil(q * n) - 1 over the sorted
+/// samples (the window is at most a few thousand doubles, so a copy +
+/// nth_element per Publish is cheap and avoids bucket-resolution error in
+/// the p99-vs-objective comparison).
+double WindowPercentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  const size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(std::ceil(q * static_cast<double>(samples.size()))) -
+          (q > 0 ? 1 : 0));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+int SloTracker::RegisterTask(const std::string& name, SloObjective objective) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i]->name == name) {
+      tasks_[i]->objective = objective;
+      return static_cast<int>(i);
+    }
+  }
+  auto state = std::make_unique<TaskState>();
+  state->name = name;
+  state->objective = objective;
+  state->objective.window = std::max<size_t>(1, objective.window);
+  state->ok.reserve(state->objective.window);
+  state->latency_us.reserve(state->objective.window);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string prefix = "slo." + name + ".";
+  state->success_rate_gauge = registry.GetGauge(prefix + "success_rate");
+  state->burn_rate_gauge = registry.GetGauge(prefix + "burn_rate");
+  state->p50_gauge = registry.GetGauge(prefix + "p50_us");
+  state->p99_gauge = registry.GetGauge(prefix + "p99_us");
+  state->p99_within_gauge = registry.GetGauge(prefix + "p99_within_objective");
+  state->window_gauge = registry.GetGauge(prefix + "window_requests");
+  tasks_.push_back(std::move(state));
+  PublishLocked(*tasks_.back());  // Gauges exist (at defaults) from now on.
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+void SloTracker::Record(int task, bool success, double latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (task < 0 || static_cast<size_t>(task) >= tasks_.size()) return;
+  TaskState& state = *tasks_[static_cast<size_t>(task)];
+  const size_t window = state.objective.window;
+  if (state.ok.size() < window) {
+    state.ok.push_back(success ? 1 : 0);
+    state.latency_us.push_back(latency_us);
+  } else {
+    state.ok[state.next] = success ? 1 : 0;
+    state.latency_us[state.next] = latency_us;
+    state.next = (state.next + 1) % window;
+  }
+  state.count = state.ok.size();
+  ++state.total;
+  if (!success) ++state.failures_total;
+  if (state.total % kSelfPublishEvery == 0) PublishLocked(state);
+}
+
+SloTracker::TaskSnapshot SloTracker::SnapshotLocked(
+    const TaskState& state) const {
+  TaskSnapshot snapshot;
+  snapshot.name = state.name;
+  snapshot.objective = state.objective;
+  snapshot.total = state.total;
+  snapshot.failures_total = state.failures_total;
+  snapshot.window_requests = state.count;
+  if (state.count > 0) {
+    uint64_t successes = 0;
+    for (uint8_t ok : state.ok) successes += ok;
+    snapshot.success_rate =
+        static_cast<double>(successes) / static_cast<double>(state.count);
+    snapshot.p50_us = WindowPercentile(state.latency_us, 0.50);
+    snapshot.p99_us = WindowPercentile(state.latency_us, 0.99);
+  }
+  const double error_rate = 1.0 - snapshot.success_rate;
+  const double budget = 1.0 - state.objective.success_rate;
+  if (budget > 0) {
+    snapshot.burn_rate = error_rate / budget;
+  } else {
+    // A 100% objective has no budget: any failure is infinite burn,
+    // reported as a large finite sentinel so gauges stay plottable.
+    snapshot.burn_rate = error_rate > 0 ? 1e9 : 0.0;
+  }
+  snapshot.p99_within_objective = snapshot.p99_us <= state.objective.p99_us;
+  return snapshot;
+}
+
+void SloTracker::PublishLocked(TaskState& state) {
+  const TaskSnapshot snapshot = SnapshotLocked(state);
+  state.success_rate_gauge->Set(snapshot.success_rate);
+  state.burn_rate_gauge->Set(snapshot.burn_rate);
+  state.p50_gauge->Set(snapshot.p50_us);
+  state.p99_gauge->Set(snapshot.p99_us);
+  state.p99_within_gauge->Set(snapshot.p99_within_objective ? 1.0 : 0.0);
+  state.window_gauge->Set(static_cast<double>(snapshot.window_requests));
+}
+
+void SloTracker::Publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& state : tasks_) PublishLocked(*state);
+}
+
+SloTracker::TaskSnapshot SloTracker::Snapshot(int task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (task < 0 || static_cast<size_t>(task) >= tasks_.size()) return {};
+  return SnapshotLocked(*tasks_[static_cast<size_t>(task)]);
+}
+
+std::vector<SloTracker::TaskSnapshot> SloTracker::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TaskSnapshot> snapshots;
+  snapshots.reserve(tasks_.size());
+  for (const auto& state : tasks_) snapshots.push_back(SnapshotLocked(*state));
+  return snapshots;
+}
+
+double SloTracker::MaxBurnRate(uint64_t min_requests) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double max_burn = 0;
+  for (const auto& state : tasks_) {
+    if (state->count < min_requests) continue;
+    max_burn = std::max(max_burn, SnapshotLocked(*state).burn_rate);
+  }
+  return max_burn;
+}
+
+int SloTracker::num_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tasks_.size());
+}
+
+}  // namespace bigcity::obs

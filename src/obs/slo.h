@@ -1,0 +1,111 @@
+#ifndef BIGCITY_OBS_SLO_H_
+#define BIGCITY_OBS_SLO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bigcity::obs {
+
+/// Service-level objective for one tracked task.
+struct SloObjective {
+  /// Minimum fraction of successful requests over the window. The error
+  /// budget is 1 - success_rate; burn rate = observed error rate / budget,
+  /// so 1.0 means the budget is being consumed exactly as provisioned and
+  /// anything above it is overspend.
+  double success_rate = 0.99;
+
+  /// Latency objective the sliding-window p99 is judged against (µs).
+  double p99_us = 250000.0;
+
+  /// Sliding window length, in requests.
+  size_t window = 512;
+};
+
+/// Per-task sliding-window SLO bookkeeping (DESIGN.md §4.15). Record() is
+/// one mutex-guarded ring write per request; Publish() recomputes the
+/// window statistics and exports them as `slo.<task>.*` gauges:
+///
+///   slo.<task>.success_rate          window success fraction [0, 1]
+///   slo.<task>.burn_rate             error rate / error budget
+///   slo.<task>.p50_us / .p99_us      window latency percentiles
+///   slo.<task>.p99_within_objective  1 when p99 <= objective.p99_us
+///   slo.<task>.window_requests       samples currently in the window
+///
+/// Consumers: the rollout canary gate reads MaxBurnRate() live (a canary
+/// that burns error budget is rolled back), chaos_soak asserts snapshot
+/// consistency as an invariant, and the TelemetryExporter ships the
+/// gauges to `bigcity_cli top`. Gauges keep their last published value
+/// between Publish() calls; Record() self-publishes every
+/// kSelfPublishEvery records so the gauges stay live even without an
+/// exporter ticking.
+class SloTracker {
+ public:
+  struct TaskSnapshot {
+    std::string name;
+    SloObjective objective;
+    uint64_t total = 0;          // Lifetime requests.
+    uint64_t failures_total = 0; // Lifetime failures.
+    uint64_t window_requests = 0;
+    double success_rate = 1.0;   // Over the window; 1.0 when empty.
+    double burn_rate = 0.0;
+    double p50_us = 0;
+    double p99_us = 0;
+    bool p99_within_objective = true;
+  };
+
+  /// Registers a task and returns its dense handle (registration order).
+  /// Re-registering an existing name replaces its objective and returns
+  /// the existing handle; the window is kept.
+  int RegisterTask(const std::string& name, SloObjective objective);
+
+  /// Records one finished request. Out-of-range handles are ignored, so
+  /// callers on shutdown paths need no registration check.
+  void Record(int task, bool success, double latency_us);
+
+  /// Recomputes every task's window statistics and sets the slo.* gauges.
+  void Publish();
+
+  TaskSnapshot Snapshot(int task) const;
+  std::vector<TaskSnapshot> SnapshotAll() const;
+
+  /// Highest burn rate among tasks with at least `min_requests` samples
+  /// in their window (0 when none qualifies).
+  double MaxBurnRate(uint64_t min_requests = 1) const;
+
+  int num_tasks() const;
+
+ private:
+  struct TaskState {
+    std::string name;
+    SloObjective objective;
+    std::vector<uint8_t> ok;       // Ring of outcomes, parallel arrays.
+    std::vector<double> latency_us;
+    size_t next = 0;
+    size_t count = 0;
+    uint64_t total = 0;
+    uint64_t failures_total = 0;
+    Gauge* success_rate_gauge = nullptr;
+    Gauge* burn_rate_gauge = nullptr;
+    Gauge* p50_gauge = nullptr;
+    Gauge* p99_gauge = nullptr;
+    Gauge* p99_within_gauge = nullptr;
+    Gauge* window_gauge = nullptr;
+  };
+
+  static constexpr uint64_t kSelfPublishEvery = 64;
+
+  TaskSnapshot SnapshotLocked(const TaskState& state) const;
+  void PublishLocked(TaskState& state);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TaskState>> tasks_;
+};
+
+}  // namespace bigcity::obs
+
+#endif  // BIGCITY_OBS_SLO_H_

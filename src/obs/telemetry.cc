@@ -1,0 +1,172 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace bigcity::obs {
+
+namespace {
+
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    out->append("0");  // JSON has no Inf/NaN; clamp rather than corrupt.
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+uint64_t WallMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+void TelemetryExporter::SetPrelude(std::function<void()> prelude) {
+  prelude_ = std::move(prelude);
+}
+
+bool TelemetryExporter::Start(const std::string& path, Options options,
+                              std::string* error) {
+  Stop();
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for append";
+    return false;
+  }
+  options_ = options;
+  options_.interval_ms = options_.interval_ms > 0 ? options_.interval_ms : 1.0;
+  previous_ = MetricsSnapshot{};
+  first_tick_ = true;
+  ticks_.store(0, std::memory_order_relaxed);
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void TelemetryExporter::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Tick();  // Final flush: deltas since the last periodic tick.
+  std::fclose(file_);
+  file_ = nullptr;
+  running_ = false;
+}
+
+void TelemetryExporter::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(options_.interval_ms),
+          [this] { return stop_; });
+      if (stop_) return;
+    }
+    Tick();
+  }
+}
+
+bool TelemetryExporter::Matches(const std::string& name) const {
+  if (options_.prefixes.empty()) return true;
+  for (const std::string& prefix : options_.prefixes) {
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+void TelemetryExporter::Tick() {
+  if (prelude_) prelude_();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const uint64_t seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::string line;
+  line.reserve(1024);
+  line.append("{\"event\":\"telemetry\",\"seq\":");
+  line.append(std::to_string(seq));
+  line.append(",\"wall_ms\":");
+  line.append(std::to_string(WallMillis()));
+  line.append(",\"interval_ms\":");
+  AppendNumber(options_.interval_ms, &line);
+
+  line.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!Matches(name)) continue;
+    uint64_t prev = 0;
+    if (auto it = previous_.counters.find(name);
+        it != previous_.counters.end()) {
+      prev = it->second;
+    }
+    const uint64_t delta = value >= prev ? value - prev : value;
+    if (delta == 0 && !first_tick_) continue;
+    if (!first) line.append(",");
+    first = false;
+    line.append("\"").append(name).append("\":");
+    line.append(std::to_string(delta));
+  }
+
+  line.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!Matches(name)) continue;
+    if (!first) line.append(",");
+    first = false;
+    line.append("\"").append(name).append("\":");
+    AppendNumber(value, &line);
+  }
+
+  line.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, data] : snapshot.histograms) {
+    if (!Matches(name)) continue;
+    MetricsSnapshot::HistogramData delta = data;
+    if (auto it = previous_.histograms.find(name);
+        it != previous_.histograms.end() &&
+        it->second.buckets.size() == data.buckets.size() &&
+        it->second.count <= data.count) {
+      delta.count = data.count - it->second.count;
+      delta.sum = data.sum - it->second.sum;
+      for (size_t b = 0; b < delta.buckets.size(); ++b) {
+        delta.buckets[b] =
+            data.buckets[b] >= it->second.buckets[b]
+                ? data.buckets[b] - it->second.buckets[b]
+                : data.buckets[b];
+      }
+    }
+    if (delta.count == 0 && !first_tick_) continue;
+    if (!first) line.append(",");
+    first = false;
+    line.append("\"").append(name).append("\":{\"count\":");
+    line.append(std::to_string(delta.count));
+    line.append(",\"sum\":");
+    AppendNumber(delta.sum, &line);
+    line.append(",\"p50\":");
+    AppendNumber(delta.Percentile(0.50), &line);
+    line.append(",\"p95\":");
+    AppendNumber(delta.Percentile(0.95), &line);
+    line.append(",\"p99\":");
+    AppendNumber(delta.Percentile(0.99), &line);
+    line.append("}");
+  }
+  line.append("}}\n");
+
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+  previous_ = snapshot;
+  first_tick_ = false;
+}
+
+}  // namespace bigcity::obs

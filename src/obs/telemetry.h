@@ -1,0 +1,84 @@
+#ifndef BIGCITY_OBS_TELEMETRY_H_
+#define BIGCITY_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bigcity::obs {
+
+/// Snapshot-diff metrics exporter (DESIGN.md §4.15): a background thread
+/// samples MetricsRegistry every interval and appends one JSONL record of
+/// what *changed* — counter and histogram deltas over the interval (with
+/// percentiles computed from the interval's bucket deltas, i.e. the
+/// latency distribution of just those requests), gauges as absolute
+/// last-written values. One line per tick:
+///
+///   {"event":"telemetry","seq":N,"wall_ms":...,"interval_ms":...,
+///    "counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":N,"sum":S,"p50":..,"p95":..,"p99":..}}}
+///
+/// Zero-delta counters and histograms are omitted after the first tick to
+/// keep idle lines small; gauges are always emitted (a consumer must see
+/// the current value even when nothing moved). `bigcity_cli top` tails
+/// this file. Stop() takes a final tick before closing so a short run
+/// still exports at least one record.
+class TelemetryExporter {
+ public:
+  struct Options {
+    double interval_ms = 1000.0;
+    /// Metric-name prefixes to export; empty exports everything.
+    std::vector<std::string> prefixes{"serve.", "slo."};
+  };
+
+  TelemetryExporter() = default;
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  /// Called (when set) before every snapshot, so lazily-published gauges
+  /// (e.g. SloTracker::Publish) are fresh in the tick. Set before Start().
+  void SetPrelude(std::function<void()> prelude);
+
+  /// Opens `path` for append and launches the sampling thread. Returns
+  /// false and fills *error when the file cannot be opened.
+  bool Start(const std::string& path, Options options,
+             std::string* error = nullptr);
+  bool Start(const std::string& path) { return Start(path, Options()); }
+
+  /// Final tick + join + close; idempotent, also run by the destructor.
+  void Stop();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  bool running() const { return running_; }
+
+ private:
+  void Loop();
+  void Tick();
+  bool Matches(const std::string& name) const;
+
+  Options options_;
+  std::function<void()> prelude_;
+  std::FILE* file_ = nullptr;
+  MetricsSnapshot previous_;
+  bool first_tick_ = true;
+  std::atomic<uint64_t> ticks_{0};
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+};
+
+}  // namespace bigcity::obs
+
+#endif  // BIGCITY_OBS_TELEMETRY_H_

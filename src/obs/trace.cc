@@ -4,6 +4,10 @@
 #include <chrono>
 #include <cstdio>
 
+#if !defined(BIGCITY_OBS)
+#define BIGCITY_OBS 1
+#endif
+
 namespace bigcity::obs {
 
 namespace {
@@ -14,6 +18,8 @@ std::chrono::steady_clock::time_point TraceEpoch() {
 }
 
 std::atomic<bool> g_tracing_enabled{false};
+
+thread_local uint64_t g_current_trace_id = 0;
 
 void AppendEscaped(const char* text, std::string* out) {
   for (const char* c = text; *c != '\0'; ++c) {
@@ -44,6 +50,28 @@ uint32_t TraceThreadId() {
   thread_local const uint32_t id =
       next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t CurrentTraceId() { return g_current_trace_id; }
+
+void SetCurrentTraceId(uint64_t trace_id) { g_current_trace_id = trace_id; }
+
+void RecordFlowEvent(const char* name, const char* category, char phase,
+                     uint64_t trace_id) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_us = TraceNowMicros();
+  event.thread_id = TraceThreadId();
+  event.trace_id = trace_id;
+  event.phase = phase;
+  TraceBuffer::Global().Record(event);
 }
 
 void SetTracingEnabled(bool enabled) {
@@ -88,6 +116,11 @@ void TraceBuffer::Record(const TraceEvent& event) {
     ring_[head_] = event;
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+#if BIGCITY_OBS
+    static Counter* const dropped_counter =
+        MetricsRegistry::Global().GetCounter("trace.dropped");
+    dropped_counter->Increment();
+#endif
     return;
   }
   ring_[(head_ + size_) % capacity_] = event;
@@ -133,17 +166,33 @@ bool TraceBuffer::WriteJson(const std::string& path,
   std::string line;
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
+    const bool flow = e.phase == 's' || e.phase == 't' || e.phase == 'f';
     line.clear();
     line.append("{\"name\":\"");
     AppendEscaped(e.name, &line);
     line.append("\",\"cat\":\"");
     AppendEscaped(e.category, &line);
-    line.append("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    line.append("\",\"ph\":\"");
+    line.push_back(flow ? e.phase : 'X');
+    line.append("\",\"pid\":1,\"tid\":");
     line.append(std::to_string(e.thread_id));
     line.append(",\"ts\":");
     line.append(std::to_string(e.start_us));
-    line.append(",\"dur\":");
-    line.append(std::to_string(e.duration_us));
+    if (flow) {
+      // Flow binding id; "bp":"e" makes the finish bind to the enclosing
+      // slice (chrome's flow-end default binds to the *next* slice).
+      line.append(",\"id\":");
+      line.append(std::to_string(e.trace_id));
+      if (e.phase == 'f') line.append(",\"bp\":\"e\"");
+    } else {
+      line.append(",\"dur\":");
+      line.append(std::to_string(e.duration_us));
+      if (e.trace_id != 0) {
+        line.append(",\"args\":{\"trace_id\":");
+        line.append(std::to_string(e.trace_id));
+        line.append("}");
+      }
+    }
     line.append(i + 1 < events.size() ? "},\n" : "}\n");
     std::fputs(line.c_str(), file);
   }
@@ -168,6 +217,7 @@ TraceSpan::~TraceSpan() {
     event.start_us = start_us_;
     event.duration_us = duration;
     event.thread_id = TraceThreadId();
+    event.trace_id = CurrentTraceId();
     TraceBuffer::Global().Record(event);
   }
 }

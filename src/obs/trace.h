@@ -10,15 +10,23 @@
 
 namespace bigcity::obs {
 
-/// One completed span. `name` and `category` must point at storage that
-/// outlives the buffer (string literals in practice): events are recorded
-/// on hot paths and must not allocate.
+/// One completed span or flow event. `name` and `category` must point at
+/// storage that outlives the buffer (string literals in practice): events
+/// are recorded on hot paths and must not allocate.
+///
+/// `phase` distinguishes the chrome://tracing event kind: 'X' is a
+/// complete span (start + duration); 's'/'t'/'f' are flow start / step /
+/// finish markers that chrome connects into one arrow chain per
+/// `trace_id` across threads. Spans stamp the thread's active trace id
+/// (see TraceIdScope) so a request's spans are greppable by id too.
 struct TraceEvent {
   const char* name = "";
   const char* category = "";
   uint64_t start_us = 0;     // Relative to the process trace epoch.
-  uint64_t duration_us = 0;
+  uint64_t duration_us = 0;  // 0 for flow events.
   uint32_t thread_id = 0;
+  uint64_t trace_id = 0;     // Request correlation id; 0 = unscoped.
+  char phase = 'X';          // 'X' span, 's'/'t'/'f' flow event.
 };
 
 /// Microseconds since the process trace epoch (steady clock, first use).
@@ -27,13 +35,52 @@ uint64_t TraceNowMicros();
 /// Small dense id for the calling thread (0 = first thread observed).
 uint32_t TraceThreadId();
 
+/// Process-unique request correlation id (never 0, never reused). One
+/// relaxed fetch_add — cheap enough to allocate per request in every
+/// build flavor.
+uint64_t NextTraceId();
+
+/// The calling thread's active trace id (0 when no request is in scope).
+/// Spans recorded while a TraceIdScope is live are stamped with it.
+uint64_t CurrentTraceId();
+void SetCurrentTraceId(uint64_t trace_id);
+
+/// RAII: makes `trace_id` the calling thread's active trace id for the
+/// enclosing scope and restores the previous one on exit, so nested
+/// request processing (e.g. batch fallback to the per-item path) stays
+/// correctly attributed.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(uint64_t trace_id) : previous_(CurrentTraceId()) {
+    SetCurrentTraceId(trace_id);
+  }
+  ~TraceIdScope() { SetCurrentTraceId(previous_); }
+
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// Records one flow event (`phase` must be 's', 't', or 'f') bound to
+/// `trace_id` at the current time on the calling thread, when tracing is
+/// enabled. chrome://tracing draws an arrow chain through the flow
+/// events of one id, attaching each to the span enclosing its timestamp
+/// on that thread — this is what renders a request as a single connected
+/// flow from admission to response.
+void RecordFlowEvent(const char* name, const char* category, char phase,
+                     uint64_t trace_id);
+
 /// Tracing is off by default; spans are inert until enabled (one relaxed
 /// atomic load per span). Metrics are independent of this switch.
 void SetTracingEnabled(bool enabled);
 bool TracingEnabled();
 
 /// Bounded in-memory span sink. On overflow the OLDEST events are dropped
-/// (the tail of a run is what post-mortems need) and counted in dropped().
+/// (the tail of a run is what post-mortems need), counted in dropped(),
+/// and mirrored to the `trace.dropped` counter so a truncated trace is
+/// detectable from the metrics snapshot and run report alone.
 class TraceBuffer {
  public:
   static TraceBuffer& Global();
@@ -53,8 +100,10 @@ class TraceBuffer {
   uint64_t dropped() const;
   void Clear();
 
-  /// Writes the buffer as chrome://tracing / Perfetto "traceEvents" JSON
-  /// ("X" complete events). Returns false and fills *error on I/O failure.
+  /// Writes the buffer as chrome://tracing / Perfetto "traceEvents" JSON:
+  /// "X" complete events (with the trace id under "args" when stamped)
+  /// plus "s"/"t"/"f" flow events carrying the trace id as the flow
+  /// binding "id". Returns false and fills *error on I/O failure.
   bool WriteJson(const std::string& path, std::string* error = nullptr) const;
 
  private:

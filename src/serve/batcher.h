@@ -43,15 +43,20 @@ class Batcher {
   /// microseconds (infinity when it carries no deadline); `margin_us_fn`
   /// is the urgency threshold, typically window + max(p95 forward,
   /// window) so an urgent item still fits one forward after dispatch.
+  /// Optional `dispatch_fn` runs (under the batcher mutex) for every
+  /// dispatched item with the microseconds it waited pending — the
+  /// server stamps per-request batch-wait attribution from it.
   Batcher(AdmissionQueue<T>* queue, Options options,
           std::function<int(const T&)> key_fn,
           std::function<double(const T&)> remaining_us_fn,
-          std::function<double()> margin_us_fn)
+          std::function<double()> margin_us_fn,
+          std::function<void(T&, double)> dispatch_fn = nullptr)
       : queue_(queue),
         options_(options),
         key_fn_(std::move(key_fn)),
         remaining_us_fn_(std::move(remaining_us_fn)),
-        margin_us_fn_(std::move(margin_us_fn)) {}
+        margin_us_fn_(std::move(margin_us_fn)),
+        dispatch_fn_(std::move(dispatch_fn)) {}
 
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
@@ -163,6 +168,12 @@ class Batcher {
                        static_cast<size_t>(std::max(1, options_.batch_max)));
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
+      if (dispatch_fn_) {
+        dispatch_fn_(group.items[i].item,
+                     std::chrono::duration<double, std::micro>(
+                         now - group.items[i].arrived)
+                         .count());
+      }
       batch.push_back(std::move(group.items[i].item));
     }
     group.items.erase(group.items.begin(),
@@ -202,6 +213,7 @@ class Batcher {
   const std::function<int(const T&)> key_fn_;
   const std::function<double(const T&)> remaining_us_fn_;
   const std::function<double()> margin_us_fn_;
+  const std::function<void(T&, double)> dispatch_fn_;
 
   mutable std::mutex mu_;
   std::vector<Group> groups_;

@@ -49,6 +49,52 @@ enum class Outcome {
   kFailed,       // Transient failures exhausted retries.
 };
 
+inline constexpr int kNumOutcomes = 7;
+
+/// Stable lowercase outcome label ("ok", "degraded", ...), used in
+/// serve.outcome.<task>.<outcome> metric names and CLI tables.
+inline const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kDegraded:
+      return "degraded";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kDeadline:
+      return "deadline";
+    case Outcome::kQuarantined:
+      return "quarantined";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// Per-stage latency attribution for one request (DESIGN.md §4.15). The
+/// stages partition the request's wall time against the same steady
+/// clock as total_us, so Total() ≈ Response::total_us; stages a request
+/// never reached stay 0. `forward_us` is the forward wall time minus the
+/// tokenize/cache time carved out of it; in a build with probes compiled
+/// out (BIGCITY_OBS=OFF) tokenize_us and cache_lookup_us read 0 and
+/// forward_us absorbs them, so the partition still holds.
+struct StageBreakdown {
+  double queue_wait_us = 0;    // Submit -> admission-queue drain.
+  double batch_wait_us = 0;    // Batcher pending -> batch dispatch.
+  double validate_us = 0;      // Input validation.
+  double tokenize_us = 0;      // ST tokenization inside the forward.
+  double cache_lookup_us = 0;  // Tokenizer rep-cache probes.
+  double forward_us = 0;       // Model forward minus tokenize/cache.
+  double retry_us = 0;         // Backoff sleeps + failed attempts.
+
+  double Total() const {
+    return queue_wait_us + batch_wait_us + validate_us + tokenize_us +
+           cache_lookup_us + forward_us + retry_us;
+  }
+};
+
 struct Response {
   util::Status status;
   Outcome outcome = Outcome::kOk;
@@ -62,6 +108,11 @@ struct Response {
   double queue_wait_us = 0;  // Admission-to-dequeue.
   double total_us = 0;       // Submission-to-completion.
   uint64_t id = 0;           // Echo of Request::id.
+  /// Process-unique trace id allocated at Submit; stamps every span the
+  /// request touches and binds its chrome://tracing flow. Never 0.
+  uint64_t trace_id = 0;
+  /// Where the time went (stages sum to ~total_us; see StageBreakdown).
+  StageBreakdown stages;
   /// Model version that served this request (0 = initial in-memory
   /// weights; pre-worker failures like shed/expired keep 0).
   uint64_t model_version = 0;

@@ -87,7 +87,7 @@ void CohortStats::Reset(int discard_latency_samples) {
 GateVerdict EvaluateCanary(const CohortStats::Snapshot& stable,
                            const CohortStats::Snapshot& canary,
                            const RolloutOptions& options,
-                           std::string* reason) {
+                           std::string* reason, double slo_burn_rate) {
   // Non-finite outputs fail immediately — no reason to wait for the full
   // window once the candidate has produced NaN/Inf.
   if (canary.nonfinite > static_cast<uint64_t>(options.canary_max_nonfinite)) {
@@ -100,6 +100,19 @@ GateVerdict EvaluateCanary(const CohortStats::Snapshot& stable,
   }
   if (canary.requests < static_cast<uint64_t>(options.canary_min_requests)) {
     return GateVerdict::kNotReady;
+  }
+  // Error-budget burn during the canary window: burning faster than the
+  // configured multiple of provisioned budget fails the candidate even
+  // when the relative error-margin criterion below would tolerate it
+  // (both cohorts degrading together is still an SLO violation).
+  if (options.canary_max_burn_rate > 0 &&
+      slo_burn_rate > options.canary_max_burn_rate) {
+    if (reason != nullptr) {
+      *reason = "slo burn rate " + std::to_string(slo_burn_rate) +
+                " exceeds canary_max_burn_rate " +
+                std::to_string(options.canary_max_burn_rate);
+    }
+    return GateVerdict::kFail;
   }
   if (canary.ErrorRate() > stable.ErrorRate() + options.canary_error_margin) {
     if (reason != nullptr) {

@@ -69,6 +69,12 @@ struct RolloutOptions {
   /// canary_min_requests in time is rolled back (starvation is treated as
   /// failure — never promote without evidence).
   double canary_timeout_ms = 10000;
+
+  /// SLO burn-rate gate (DESIGN.md §4.15): the gate fails when the live
+  /// max slo.*.burn_rate across tasks exceeds this during the canary
+  /// window. 0 disables the criterion (error-budget math only means
+  /// something once SLO objectives are configured for the deployment).
+  double canary_max_burn_rate = 0;
 };
 
 /// Thread-safe per-cohort (stable vs canary) health accumulator: request
@@ -120,10 +126,14 @@ enum class GateVerdict {
 /// Pure decision function of the canary health gate: compares the canary
 /// cohort against the stable cohort over the current window. On kFail,
 /// `reason` names the tripped criterion (quarantine bookkeeping).
+/// `slo_burn_rate` is the serving fleet's current max SLO burn rate
+/// (SloTracker::MaxBurnRate); judged against canary_max_burn_rate when
+/// that knob is set, ignored otherwise.
 GateVerdict EvaluateCanary(const CohortStats::Snapshot& stable,
                            const CohortStats::Snapshot& canary,
                            const RolloutOptions& options,
-                           std::string* reason);
+                           std::string* reason,
+                           double slo_burn_rate = 0.0);
 
 }  // namespace bigcity::serve
 

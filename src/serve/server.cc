@@ -196,6 +196,24 @@ util::Status InferenceServer::Start() {
             core::TaskName(static_cast<core::Task>(i)));
     breaker_gauges_[static_cast<size_t>(i)]->Set(0);
   }
+  // serve.outcome.<TaskName>.<outcome> counters plus one SLO window per
+  // task (handle == task index by construction; RegisterTask is
+  // idempotent by name, so a restarted server reuses its windows).
+  for (int i = 0; i < core::kNumTasks; ++i) {
+    const std::string& task_name =
+        core::TaskName(static_cast<core::Task>(i));
+    for (int o = 0; o < kNumOutcomes; ++o) {
+      outcome_counters_[static_cast<size_t>(i)][static_cast<size_t>(o)] =
+          obs::MetricsRegistry::Global().GetCounter(
+              "serve.outcome." + task_name + "." +
+              OutcomeName(static_cast<Outcome>(o)));
+    }
+    obs::SloObjective objective;
+    objective.success_rate = options_.slo_success_objective;
+    objective.p99_us = options_.slo_p99_ms * 1000.0;
+    objective.window = static_cast<size_t>(std::max(1, options_.slo_window));
+    slo_.RegisterTask(task_name, objective);
+  }
 #endif
   if (options_.initial_forward_estimate_us > 0) {
     forward_latency_.Seed(options_.initial_forward_estimate_us,
@@ -233,6 +251,12 @@ util::Status InferenceServer::Start() {
           const double p95 =
               forward_latency_.P95(options_.latency_min_samples);
           return window + std::max(p95, window);
+        },
+        [](WorkItem& item, double waited_us) {
+          // Batch-dispatch stamp: pending time inside the batcher, split
+          // out of queue_wait in the stage breakdown and recorded as the
+          // serve.batch.wait_us histogram at dequeue.
+          item.batch_wait_us = waited_us;
         });
   }
 
@@ -317,14 +341,21 @@ void InferenceServer::Stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Final gauge push so short runs export their complete SLO windows
+  // even when no task reached the tracker's self-publish cadence.
+  slo_.Publish();
   running_ = false;
 }
 
 void InferenceServer::Finish(WorkItem& item, Response response) {
+  BIGCITY_TRACE_ID_SCOPE(item.trace_id);
+  BIGCITY_TRACE_SPAN("serve.finish", "serve");
   response.id = item.request.id;
+  response.trace_id = item.trace_id;
   response.total_us = MicrosSince(item.submitted, Clock::now());
   response.queue_wait_us = item.queue_wait_us;
   response.batch_size = item.batch_size;
+  response.stages = item.stages;
   if (response.status.ok()) {
     response.outcome = response.degraded ? Outcome::kDegraded : Outcome::kOk;
   } else if (response.outcome == Outcome::kOk) {
@@ -332,13 +363,39 @@ void InferenceServer::Finish(WorkItem& item, Response response) {
     response.outcome = OutcomeForStatus(response.status);
   }
   BIGCITY_HISTOGRAM_RECORD("serve.e2e_us", response.total_us);
+  // Flow terminus: the 'f' event inside the finish span closes this
+  // request's chrome://tracing flow on whichever thread resolved it.
+  BIGCITY_TRACE_FLOW("serve.request", "serve", 'f', item.trace_id);
+#if BIGCITY_OBS
+  const size_t task_index = static_cast<size_t>(item.request.task);
+  const size_t outcome_index = static_cast<size_t>(response.outcome);
+  if (task_index < outcome_counters_.size() &&
+      outcome_index < static_cast<size_t>(kNumOutcomes) &&
+      outcome_counters_[task_index][outcome_index] != nullptr) {
+    outcome_counters_[task_index][outcome_index]->Add(1);
+  }
+  // SLO accounting sees every terminal outcome: shed and expired requests
+  // burn error budget exactly like forward failures.
+  slo_.Record(static_cast<int>(task_index), response.status.ok(),
+              response.total_us);
+#endif
   item.promise.set_value(std::move(response));
 }
 
 std::future<Response> InferenceServer::Submit(Request request) {
   BIGCITY_COUNTER_INC("serve.submitted");
   WorkItem item;
+  // Trace-id allocation is always-on plain code (one relaxed atomic): the
+  // id is part of the response contract in every build flavor, only the
+  // span/flow recording below compiles out.
+  item.trace_id = obs::NextTraceId();
   item.submitted = Clock::now();
+  BIGCITY_TRACE_ID_SCOPE(item.trace_id);
+  BIGCITY_TRACE_SPAN("serve.submit", "serve");
+  // Flow origin: the 's' event inside the submit span starts this
+  // request's chrome://tracing flow; Process/ProcessBatch step it ('t')
+  // on the worker thread and Finish terminates it ('f').
+  BIGCITY_TRACE_FLOW("serve.request", "serve", 's', item.trace_id);
   const double deadline_ms = request.deadline_ms > 0
                                  ? request.deadline_ms
                                  : options_.default_deadline_ms;
@@ -541,7 +598,10 @@ nn::PlanKey PlanKeyFor(const Request& request) {
 
 Response InferenceServer::Process(WorkItem& item, Replica& replica,
                                   nn::PlanCache* plans, KvSessionStore* kv) {
+  // Id scope first so the span's destructor still sees it when stamping.
+  BIGCITY_TRACE_ID_SCOPE(item.trace_id);
   BIGCITY_TRACE_SPAN("serve.process", "serve");
+  BIGCITY_TRACE_FLOW("serve.request", "serve", 't', item.trace_id);
   Response response;
   response.model_version = replica.version;
   const Request& request = item.request;
@@ -560,7 +620,9 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
 
   {
     BIGCITY_TIMED_SCOPE_NAMED("serve.validate_us", "serve.validate", "serve");
+    const Clock::time_point validate_start = Clock::now();
     util::Status status = ValidateRequest(request);
+    item.stages.validate_us += MicrosSince(validate_start, Clock::now());
     if (!status.ok()) {
       BIGCITY_COUNTER_INC("serve.quarantined");
       response.status = std::move(status);
@@ -619,6 +681,10 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
   }
 
   // Forward with bounded-backoff retries around transient failures.
+  // Everything between here and the start of the attempt that succeeds —
+  // backoff sleeps plus failed attempts — is the request's retry
+  // overhead in the stage breakdown.
+  const Clock::time_point attempts_start = Clock::now();
   util::Status last_status = util::Status::Ok();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
@@ -656,6 +722,10 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
       continue;
     }
 
+    // The thread-local stage accumulator carves tokenize/cache time out
+    // of the forward wall time below; cleared per attempt so a retried
+    // forward never double-counts the failed attempt's stages.
+    obs::RequestStagesClear();
     const Clock::time_point forward_start = Clock::now();
     const bool use_kv = kv != nullptr && kv->capacity > 0 &&
                         request.task == core::Task::kNextHop &&
@@ -680,6 +750,15 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
     last_status = result.status();
     if (result.ok()) {
       const double forward_us = MicrosSince(forward_start, Clock::now());
+      const double tokenize_us =
+          obs::RequestStageValue(obs::RequestStage::kTokenize);
+      const double cache_us =
+          obs::RequestStageValue(obs::RequestStage::kCacheLookup);
+      item.stages.retry_us += MicrosSince(attempts_start, forward_start);
+      item.stages.tokenize_us += tokenize_us;
+      item.stages.cache_lookup_us += cache_us;
+      item.stages.forward_us +=
+          std::max(0.0, forward_us - tokenize_us - cache_us);
       nn::Tensor output = std::move(result).value();
       if (!AllFinite(output)) {
         // A NaN/Inf output is a model-health defect, not a transient: no
@@ -718,6 +797,7 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
     }
   }
 
+  item.stages.retry_us += MicrosSince(attempts_start, Clock::now());
   BIGCITY_COUNTER_INC("serve.failures");
   if (cohort != nullptr) cohort->RecordFailure();
   if (breaker.RecordFailure(Clock::now())) {
@@ -891,6 +971,12 @@ void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
                                    Replica& replica, nn::PlanCache* plans,
                                    KvSessionStore* kv) {
   BIGCITY_TRACE_SPAN("serve.process_batch", "serve");
+  // One 't' step per member inside the batch span binds every member's
+  // flow to the shared forward: chrome://tracing renders each request as
+  // submit -> this batch -> its finish, all on one connected flow.
+  for (const WorkItem& item : items) {
+    BIGCITY_TRACE_FLOW("serve.request", "serve", 't', item.trace_id);
+  }
   const core::Task task = items[0].request.task;
   CohortStats* cohort = replica.cohort.load(std::memory_order_relaxed);
 
@@ -909,7 +995,9 @@ void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
       Finish(item, std::move(response));
       continue;
     }
+    const Clock::time_point validate_start = Clock::now();
     util::Status status = ValidateRequest(item.request);
+    item.stages.validate_us += MicrosSince(validate_start, Clock::now());
     if (!status.ok()) {
       BIGCITY_COUNTER_INC("serve.quarantined");
       response.status = std::move(status);
@@ -993,6 +1081,7 @@ void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
   for (WorkItem* item : live) {
     item->batch_size = static_cast<int>(live.size());
   }
+  obs::RequestStagesClear();
   const Clock::time_point forward_start = Clock::now();
   const bool injected_fault =
       util::FaultInjection::Fire(util::kFaultServeTokenizeFail) ||
@@ -1027,6 +1116,19 @@ void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
     const double forward_us = MicrosSince(forward_start, Clock::now());
     forward_latency_.Record(forward_us);
     BIGCITY_HISTOGRAM_RECORD("serve.forward_us", forward_us);
+    // Shared-forward attribution: every member waited the whole batched
+    // forward, so each gets the identical tokenize/cache/forward split.
+    const double tokenize_us =
+        obs::RequestStageValue(obs::RequestStage::kTokenize);
+    const double cache_us =
+        obs::RequestStageValue(obs::RequestStage::kCacheLookup);
+    const double net_forward_us =
+        std::max(0.0, forward_us - tokenize_us - cache_us);
+    for (WorkItem* item : live) {
+      item->stages.tokenize_us += tokenize_us;
+      item->stages.cache_lookup_us += cache_us;
+      item->stages.forward_us += net_forward_us;
+    }
     std::vector<nn::Tensor> outputs = std::move(result).value();
     bool any_ok = false;
     for (size_t i = 0; i < live.size(); ++i) {
@@ -1059,7 +1161,11 @@ void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
   // screening): fall back to per-request processing, which retries,
   // quarantines, and feeds the breaker with exact per-item attribution.
   BIGCITY_COUNTER_INC("serve.batch.fallback");
+  const double failed_batch_us = MicrosSince(forward_start, Clock::now());
   for (WorkItem* item : live) {
+    // The abandoned batched attempt is retry overhead for every member —
+    // attributed so the stage partition still sums to ~total_us.
+    item->stages.retry_us += failed_batch_us;
     Response response = Process(*item, replica, plans, kv);
     if (response.status.ok()) BIGCITY_COUNTER_INC("serve.completed");
     Finish(*item, std::move(response));
@@ -1113,9 +1219,19 @@ void InferenceServer::WorkerLoop(int worker_index) {
 
     const Clock::time_point dequeued = Clock::now();
     for (WorkItem& item : batch) {
+      // Response::queue_wait_us keeps its historical admission-to-dequeue
+      // meaning; the stage breakdown splits it into pure queue wait and
+      // batcher-pending wait (stamped by the batch-dispatch callback),
+      // which partition it exactly.
       item.queue_wait_us = MicrosSince(item.submitted, dequeued);
       item.batch_size = static_cast<int>(batch.size());
+      item.stages.batch_wait_us = item.batch_wait_us;
+      item.stages.queue_wait_us =
+          std::max(0.0, item.queue_wait_us - item.batch_wait_us);
       BIGCITY_HISTOGRAM_RECORD("serve.queue_wait_us", item.queue_wait_us);
+      if (batcher_ != nullptr) {
+        BIGCITY_HISTOGRAM_RECORD("serve.batch.wait_us", item.batch_wait_us);
+      }
     }
 
     // The replica is pinned for the whole batch: a concurrent hot-swap
@@ -1215,8 +1331,15 @@ void InferenceServer::RunRollout(const VersionInfo& info) {
   {
     BIGCITY_TRACE_SPAN("serve.rollout.canary", "rollout");
     while (Clock::now() < gate_deadline) {
+      double slo_burn_rate = 0.0;
+#if BIGCITY_OBS
+      // Fleet-wide burn rate feeds the gate only when the deployment set
+      // canary_max_burn_rate; a 16-request floor keeps a near-empty SLO
+      // window from deciding a rollout.
+      slo_burn_rate = slo_.MaxBurnRate(/*min_requests=*/16);
+#endif
       verdict = EvaluateCanary(stable_stats_.Get(), canary_stats_.Get(),
-                               options_.rollout, &reason);
+                               options_.rollout, &reason, slo_burn_rate);
       if (verdict != GateVerdict::kNotReady) break;
       if (RolloutWait(2.0)) {
         // Shutdown mid-canary: restore the pinned stable replica and

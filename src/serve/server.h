@@ -26,12 +26,14 @@
 #include "serve/baseline.h"
 #include "serve/batcher.h"
 #include "serve/circuit_breaker.h"
+#include "obs/slo.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
 #include "serve/rollout.h"
 #include "util/status.h"
 
 namespace bigcity::obs {
+class Counter;
 class Gauge;
 }  // namespace bigcity::obs
 
@@ -129,6 +131,15 @@ struct ServeOptions {
   /// when the directory already holds a valid CURRENT version at Start(),
   /// the replicas boot from it.
   RolloutOptions rollout;
+
+  /// Per-task SLO objectives (DESIGN.md §4.15): every task is registered
+  /// with the server's SloTracker at Start() using these values, and each
+  /// finished request feeds its task's sliding window (success = OK
+  /// status, latency = total_us). The tracker exports slo.<task>.*
+  /// gauges; rollout.canary_max_burn_rate gates canaries on them.
+  double slo_success_objective = 0.99;
+  double slo_p99_ms = 250.0;
+  int slo_window = 512;
 };
 
 /// Multi-threaded inference server over core::BigCityModel (DESIGN.md
@@ -235,6 +246,14 @@ class InferenceServer {
   /// Same for stable_version() == `version`.
   bool WaitForStableVersion(uint64_t version, double timeout_ms) const;
 
+  /// Live per-task SLO windows (success rate, burn rate, p50/p99);
+  /// task handles equal core::Task indices after Start().
+  const obs::SloTracker& slo_tracker() const { return slo_; }
+  /// Pushes every task's current SLO window into the slo.* gauges (the
+  /// tracker also self-publishes periodically; telemetry exporters call
+  /// this as their prelude so short windows are never stale).
+  void PublishSlo() { slo_.Publish(); }
+
  private:
   struct WorkItem {
     Request request;
@@ -244,6 +263,14 @@ class InferenceServer {
     bool has_deadline = false;
     double queue_wait_us = 0;  // Set at dequeue; echoed in the response.
     int batch_size = 1;        // Requests sharing this item's forward.
+    /// Process-unique id allocated at Submit; stamps this request's spans
+    /// and binds its chrome://tracing flow events (DESIGN.md §4.15).
+    uint64_t trace_id = 0;
+    /// Batcher pending time, stamped by the batch-dispatch callback
+    /// (stays 0 on the direct queue-to-worker path).
+    double batch_wait_us = 0;
+    /// Per-stage latency attribution accumulated along the request path.
+    StageBreakdown stages;
   };
 
   /// One KV decode session: the exact trajectory it served, the model
@@ -379,6 +406,13 @@ class InferenceServer {
   // Per-task serve.breaker.state.<name> gauge handles; null when the obs
   // build flavor compiles probes out.
   std::array<obs::Gauge*, core::kNumTasks> breaker_gauges_{};
+  // serve.outcome.<TaskName>.<outcome> counter handles, resolved once in
+  // Start() (names are dynamic, so the macro fast path cannot cache
+  // them); null in the probes-compiled-out flavor.
+  std::array<std::array<obs::Counter*, kNumOutcomes>, core::kNumTasks>
+      outcome_counters_{};
+  // Per-task SLO sliding windows; task handles equal core::Task indices.
+  obs::SloTracker slo_;
 
   // Lifecycle machinery (all unused when rollout.model_dir is empty).
   std::unique_ptr<ModelRegistry> registry_;

@@ -171,6 +171,10 @@ void Trainer::ReportSummary() {
            obs::HistogramPercentile(queue_bounds, queue_buckets, 0.99))
       .Int("mem_live_bytes", memory.live_bytes())
       .Int("mem_peak_bytes", memory.peak_bytes())
+      // Events the trace ring overwrote before export; nonzero means the
+      // run's trace JSON is missing its oldest spans.
+      .Int("trace_dropped",
+           static_cast<int64_t>(obs::TraceBuffer::Global().dropped()))
       .Num("stage1_seconds_per_epoch", stage1_epoch_seconds_)
       .Num("stage2_seconds_per_epoch", stage2_epoch_seconds_)
       .Num("stage1_loss", last_stage1_loss_)

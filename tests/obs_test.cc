@@ -212,6 +212,215 @@ TEST(TraceSpanTest, NestedSpansExportValidChromeJson) {
   std::remove(path.c_str());
 }
 
+TEST(TraceIdTest, NextTraceIdIsNonzeroAndUnique) {
+  const uint64_t a = NextTraceId();
+  const uint64_t b = NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  uint64_t from_thread = 0;
+  std::thread([&from_thread] { from_thread = NextTraceId(); }).join();
+  EXPECT_NE(from_thread, 0u);
+  EXPECT_NE(from_thread, a);
+  EXPECT_NE(from_thread, b);
+}
+
+TEST(TraceIdTest, ScopeStampsSpansAndRestoresOnExit) {
+  TraceBuffer::Global().Clear();
+  ASSERT_EQ(CurrentTraceId(), 0u);
+  SetTracingEnabled(true);
+  const uint64_t outer_id = NextTraceId();
+  const uint64_t inner_id = NextTraceId();
+  {
+    TraceIdScope outer(outer_id);
+    EXPECT_EQ(CurrentTraceId(), outer_id);
+    {
+      // Nested scopes (the batch-fallback path) shadow and restore.
+      TraceIdScope inner(inner_id);
+      EXPECT_EQ(CurrentTraceId(), inner_id);
+      TraceSpan span("test.scoped_inner", "test");
+    }
+    EXPECT_EQ(CurrentTraceId(), outer_id);
+    TraceSpan span("test.scoped_outer", "test");
+  }
+  SetTracingEnabled(false);
+  EXPECT_EQ(CurrentTraceId(), 0u);
+
+  const std::vector<TraceEvent> events = TraceBuffer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, inner_id);
+  EXPECT_EQ(events[1].trace_id, outer_id);
+}
+
+TEST(TraceFlowTest, FlowEventsExportWithBindingIdAndArgs) {
+  TraceBuffer::Global().Clear();
+  RecordFlowEvent("test.flow", "test", 's', 77);  // Tracing off: dropped.
+  EXPECT_EQ(TraceBuffer::Global().size(), 0u);
+
+  SetTracingEnabled(true);
+  const uint64_t id = NextTraceId();
+  {
+    TraceIdScope scope(id);
+    TraceSpan span("test.flow_span", "test");
+    RecordFlowEvent("test.flow", "test", 's', id);
+    RecordFlowEvent("test.flow", "test", 't', id);
+    RecordFlowEvent("test.flow", "test", 'f', id);
+  }
+  SetTracingEnabled(false);
+
+  const std::vector<TraceEvent> events = TraceBuffer::Global().Events();
+  ASSERT_EQ(events.size(), 4u);  // Three flow markers + the enclosing span.
+  EXPECT_EQ(events[0].phase, 's');
+  EXPECT_EQ(events[1].phase, 't');
+  EXPECT_EQ(events[2].phase, 'f');
+  EXPECT_EQ(events[3].phase, 'X');
+  for (const TraceEvent& event : events) EXPECT_EQ(event.trace_id, id);
+  // Flow markers must land inside the span's interval on the same thread —
+  // that containment is what chrome uses to attach the arrows to slices.
+  const TraceEvent& span = events[3];
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].thread_id, span.thread_id);
+    EXPECT_GE(events[i].start_us, span.start_us);
+    EXPECT_LE(events[i].start_us, span.start_us + span.duration_us);
+  }
+
+  const std::string path = testing::TempDir() + "/obs_test_flow.json";
+  std::string error;
+  ASSERT_TRUE(TraceBuffer::Global().WriteJson(path, &error)) << error;
+  const std::string json = ReadFile(path);
+  const std::string id_str = std::to_string(id);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // The finish marker binds to its enclosing slice, not the next one.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":" + id_str), std::string::npos);
+  // The span carries the id under args so X events are greppable by id.
+  EXPECT_NE(json.find("\"args\":{\"trace_id\":" + id_str + "}"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceBufferTest, DropOldestKeepsDroppedCount) {
+  TraceBuffer buffer(2);
+  TraceEvent event;
+  event.name = "drop";
+  for (int i = 0; i < 5; ++i) buffer.Record(event);
+  EXPECT_EQ(buffer.dropped(), 3u);
+#if BIGCITY_OBS
+  // Every ring overwrite also moves the global trace.dropped counter, so
+  // run reports can surface truncation without touching the buffer.
+  EXPECT_GE(MetricsRegistry::Global().GetCounter("trace.dropped")->Value(),
+            3u);
+#endif
+}
+
+TEST(SloTrackerTest, WindowStatisticsAndBurnRate) {
+  SloTracker tracker;
+  SloObjective objective;
+  objective.success_rate = 0.9;  // Error budget: 10%.
+  objective.p99_us = 100.0;
+  objective.window = 8;
+  const int task = tracker.RegisterTask("SloMath", objective);
+  // Re-registration returns the same handle and keeps the window.
+  EXPECT_EQ(tracker.RegisterTask("SloMath", objective), task);
+
+  for (int i = 0; i < 6; ++i) tracker.Record(task, true, 10.0);
+  tracker.Record(task, false, 50.0);
+  tracker.Record(task, false, 500.0);
+
+  const SloTracker::TaskSnapshot snapshot = tracker.Snapshot(task);
+  EXPECT_EQ(snapshot.window_requests, 8u);
+  EXPECT_DOUBLE_EQ(snapshot.success_rate, 0.75);
+  // Burn = error rate / budget = 0.25 / 0.10.
+  EXPECT_NEAR(snapshot.burn_rate, 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(snapshot.p50_us, 10.0);
+  EXPECT_DOUBLE_EQ(snapshot.p99_us, 500.0);
+  EXPECT_FALSE(snapshot.p99_within_objective);
+
+  tracker.Publish();
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(registry.GetGauge("slo.SloMath.success_rate")->Value(),
+                   0.75);
+  EXPECT_NEAR(registry.GetGauge("slo.SloMath.burn_rate")->Value(), 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("slo.SloMath.p99_us")->Value(), 500.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("slo.SloMath.p99_within_objective")->Value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("slo.SloMath.window_requests")->Value(), 8.0);
+
+  // The window slides: 8 successes evict both failures.
+  for (int i = 0; i < 8; ++i) tracker.Record(task, true, 10.0);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(task).success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(task).burn_rate, 0.0);
+}
+
+TEST(SloTrackerTest, PerfectObjectiveUsesSentinelBurn) {
+  SloTracker tracker;
+  SloObjective objective;
+  objective.success_rate = 1.0;  // No error budget at all.
+  objective.window = 4;
+  const int task = tracker.RegisterTask("SloPerfect", objective);
+  tracker.Record(task, true, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(task).burn_rate, 0.0);
+  tracker.Record(task, false, 1.0);
+  // Any failure against a 100% objective is infinite burn, reported as a
+  // large finite sentinel so gauges stay plottable.
+  EXPECT_DOUBLE_EQ(tracker.Snapshot(task).burn_rate, 1e9);
+}
+
+TEST(SloTrackerTest, MaxBurnRateFiltersThinWindows) {
+  SloTracker tracker;
+  SloObjective objective;
+  objective.success_rate = 0.5;
+  objective.window = 16;
+  const int hot = tracker.RegisterTask("SloHot", objective);
+  const int thin = tracker.RegisterTask("SloThin", objective);
+  for (int i = 0; i < 10; ++i) tracker.Record(hot, i % 2 == 0, 1.0);
+  tracker.Record(thin, false, 1.0);  // 100% errors but only one sample.
+  // Burn(hot) = 0.5 / 0.5 = 1; burn(thin) = 1 / 0.5 = 2.
+  EXPECT_NEAR(tracker.MaxBurnRate(/*min_requests=*/1), 2.0, 1e-9);
+  EXPECT_NEAR(tracker.MaxBurnRate(/*min_requests=*/5), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tracker.MaxBurnRate(/*min_requests=*/100), 0.0);
+}
+
+TEST(TelemetryExporterTest, EmitsDeltasGaugesAndFinalTick) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("serve.test.telemetry.count");
+  Gauge* gauge = registry.GetGauge("slo.TelemetryT.level");
+  Counter* filtered = registry.GetCounter("train.test.telemetry.hidden");
+  counter->Reset();
+  counter->Add(5);
+  gauge->Set(1.5);
+  filtered->Add(9);
+
+  const std::string path = testing::TempDir() + "/obs_test_telemetry.jsonl";
+  std::remove(path.c_str());
+  TelemetryExporter exporter;
+  int preludes = 0;
+  exporter.SetPrelude([&preludes] { ++preludes; });
+  TelemetryExporter::Options options;
+  options.interval_ms = 60000.0;  // Only the forced final tick fires.
+  std::string error;
+  ASSERT_TRUE(exporter.Start(path, options, &error)) << error;
+  EXPECT_TRUE(exporter.running());
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  ASSERT_GE(exporter.ticks(), 1u);
+  EXPECT_GE(preludes, 1);
+
+  const std::string json = ReadFile(path);
+  EXPECT_NE(json.find("\"event\":\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\":"), std::string::npos);
+  // Counters ship as deltas since the previous tick, gauges as absolutes.
+  EXPECT_NE(json.find("\"serve.test.telemetry.count\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"slo.TelemetryT.level\":1.5"), std::string::npos);
+  // Names outside the serve./slo. prefixes never enter the stream.
+  EXPECT_EQ(json.find("train.test.telemetry.hidden"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(TraceThreadIdTest, StablePerThreadDistinctAcrossThreads) {
   const uint32_t main_id = TraceThreadId();
   EXPECT_EQ(TraceThreadId(), main_id);

@@ -326,6 +326,29 @@ TEST_F(RolloutTest, GateFailsOnLatencyInflation) {
       GateVerdict::kPass);
 }
 
+TEST_F(RolloutTest, GateFailsOnSloBurnRate) {
+  RolloutOptions options;
+  options.canary_min_requests = 4;
+  options.canary_max_burn_rate = 2.0;
+  CohortStats::Snapshot stable;
+  CohortStats::Snapshot canary;
+  canary.requests = 8;
+  // At or under the ceiling: the serving SLOs are healthy, canary passes.
+  EXPECT_EQ(EvaluateCanary(stable, canary, options, nullptr, /*slo_burn_rate=*/2.0),
+            GateVerdict::kPass);
+  std::string reason;
+  EXPECT_EQ(EvaluateCanary(stable, canary, options, &reason,
+                           /*slo_burn_rate=*/2.5),
+            GateVerdict::kFail);
+  EXPECT_NE(reason.find("burn rate"), std::string::npos);
+  // Default options leave the criterion disabled: any burn passes.
+  RolloutOptions no_gate;
+  no_gate.canary_min_requests = 4;
+  EXPECT_EQ(EvaluateCanary(stable, canary, no_gate, nullptr,
+                           /*slo_burn_rate=*/1e9),
+            GateVerdict::kPass);
+}
+
 // --- Config fingerprint -----------------------------------------------------
 
 TEST_F(RolloutTest, ConfigFingerprintCoversArchitectureOnly) {

@@ -1,17 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
 #include <limits>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "core/bigcity_model.h"
 #include "data/dataset.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/admission_queue.h"
 #include "serve/baseline.h"
 #include "serve/circuit_breaker.h"
@@ -624,6 +627,131 @@ TEST_F(ServeTest, ConcurrentMixedLoadStress) {
   EXPECT_EQ(deadline, kClients * kPerClient / 4);
   EXPECT_GT(ok.load(), 0);
 }
+
+// --- Request tracing and stage breakdown ------------------------------------
+
+TEST_F(ServeTest, ResponsesEchoTraceIdAndStageBreakdown) {
+  InferenceServer server(dataset_, model_config_, FastOptions(), prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  uint64_t previous_id = 0;
+  for (int i = 0; i < 3; ++i) {
+    SCOPED_TRACE(i);
+    Response response = server.ServeSync(NextHopRequest());
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    // Correlation ids are allocated in every build flavor (the id is part
+    // of the response contract, not an obs probe): nonzero and distinct.
+    EXPECT_NE(response.trace_id, 0u);
+    EXPECT_NE(response.trace_id, previous_id);
+    previous_id = response.trace_id;
+
+    // The per-stage clocks partition the same wall interval total_us
+    // measures; allow 10% skew plus a floor for scheduler noise between
+    // the boundary clock reads.
+    EXPECT_GT(response.stages.forward_us, 0.0);
+    EXPECT_GE(response.stages.queue_wait_us, 0.0);
+    EXPECT_GE(response.stages.batch_wait_us, 0.0);
+    EXPECT_GE(response.stages.validate_us, 0.0);
+    EXPECT_GE(response.stages.tokenize_us, 0.0);
+    EXPECT_GE(response.stages.cache_lookup_us, 0.0);
+    EXPECT_GE(response.stages.retry_us, 0.0);
+    EXPECT_NEAR(response.stages.Total(), response.total_us,
+                std::max(0.10 * response.total_us, 500.0));
+  }
+
+  // Failure paths carry the id too: a shed response is still correlatable.
+  server.Stop();
+  Response shed = server.ServeSync(NextHopRequest());
+  EXPECT_EQ(shed.outcome, Outcome::kShed);
+  EXPECT_NE(shed.trace_id, 0u);
+}
+
+#if BIGCITY_OBS
+
+TEST_F(ServeTest, BatchedRequestFlowsConnectAcrossThreads) {
+  auto& buffer = obs::TraceBuffer::Global();
+  buffer.SetCapacity(size_t{1} << 18);  // Also clears earlier events.
+  obs::SetTracingEnabled(true);
+
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 16;
+  options.batch_max = 4;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Park the single worker on its hold site so the follow-up requests
+  // pile up behind it and dispatch as one coalesced batch.
+  util::ScopedFault hold(util::kFaultServeWorkerHold, 0, 1, /*param=*/1);
+  std::vector<std::future<Response>> futures;
+  futures.push_back(server.Submit(NextHopRequest()));
+  while (hold.fire_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.Submit(NextHopRequest()));
+  }
+  util::FaultInjection::Disarm(util::kFaultServeWorkerHold);
+
+  std::vector<Response> responses;
+  for (auto& future : futures) responses.push_back(future.get());
+  server.Stop();
+  obs::SetTracingEnabled(false);
+
+  int batched = 0;
+  for (const Response& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    if (response.batch_size > 1) ++batched;
+  }
+  ASSERT_GT(batched, 0) << "worker hold failed to coalesce a batch";
+
+  const std::vector<obs::TraceEvent> events = buffer.Events();
+  ASSERT_EQ(buffer.dropped(), 0u) << "ring too small for this test";
+  auto enclosed_by_span = [&events](const obs::TraceEvent& flow) {
+    return std::any_of(
+        events.begin(), events.end(), [&flow](const obs::TraceEvent& e) {
+          return e.phase == 'X' && e.thread_id == flow.thread_id &&
+                 e.start_us <= flow.start_us &&
+                 flow.start_us <= e.start_us + e.duration_us;
+        });
+  };
+  for (const Response& response : responses) {
+    if (response.batch_size <= 1) continue;
+    SCOPED_TRACE(response.trace_id);
+    // One connected flow: start at submit, step where the batch forward
+    // picked the request up, finish at response delivery — spanning at
+    // least the client thread and a worker thread.
+    bool start = false, step = false, finish = false;
+    std::set<uint32_t> threads;
+    for (const obs::TraceEvent& event : events) {
+      if (event.trace_id != response.trace_id) continue;
+      if (event.phase == 's') start = true;
+      if (event.phase == 't') step = true;
+      if (event.phase == 'f') finish = true;
+      if (event.phase != 'X') {
+        threads.insert(event.thread_id);
+        // chrome attaches each flow marker to the slice enclosing its
+        // timestamp on that thread; an unenclosed marker renders as a
+        // dangling arrow.
+        EXPECT_TRUE(enclosed_by_span(event));
+      }
+    }
+    EXPECT_TRUE(start);
+    EXPECT_TRUE(step);
+    EXPECT_TRUE(finish);
+    EXPECT_GE(threads.size(), 2u);
+  }
+  // The shared batch forward span exists and carries no single request's
+  // id (members are linked to it by their 't' markers instead).
+  EXPECT_TRUE(std::any_of(events.begin(), events.end(),
+                          [](const obs::TraceEvent& e) {
+                            return e.phase == 'X' &&
+                                   std::string(e.name) ==
+                                       "serve.process_batch";
+                          }));
+  buffer.SetCapacity(1 << 16);  // Restore the default footprint.
+}
+
+#endif  // BIGCITY_OBS
 
 TEST_F(ServeTest, StopDrainsQueuedRequests) {
   ServeOptions options = FastOptions();

@@ -17,6 +17,15 @@
 //       Publish a checkpoint into a versioned model directory (weights +
 //       CRC manifest, atomic CURRENT flip) for a watching server to pick
 //       up. Without --load the freshly initialized weights are published.
+//   metrics  --in snapshot.json
+//       Render the serving sections of a metrics snapshot (--metrics-out
+//       of a previous run): per-task SLO gauges and every serve.*
+//       histogram's count/mean/p50/p95/p99 in one table.
+//   top      --in telemetry.jsonl [--follow]
+//       Per-task serving dashboard (QPS, p50/p99, success/burn rate,
+//       outcome mix, batch occupancy, cache hit rates) aggregated from a
+//       telemetry JSONL stream (serve --telemetry-out). --follow
+//       re-renders every --telemetry-interval-ms until interrupted.
 //
 // The --city/--scale pair must match between train and eval/serve/publish
 // (the model's label space is city-specific). A checkpoint produced by
@@ -31,6 +40,8 @@
 
 #include <algorithm>
 #include <future>
+#include <map>
+#include <thread>
 #include <vector>
 
 #include "core/bigcity_model.h"
@@ -78,11 +89,17 @@ struct CliOptions {
   // Model lifecycle (DESIGN.md §4.12).
   std::string model_dir;      // serve: watch; publish: destination.
   double watch_seconds = 0;   // serve: keep replaying this long (0 = once).
+  // Live telemetry + dashboards (DESIGN.md §4.15).
+  std::string telemetry_out;  // serve: periodic JSONL metric deltas.
+  double telemetry_interval_ms = 1000.0;
+  std::string in_path;        // metrics/top: input snapshot / JSONL path.
+  bool follow = false;        // top: keep re-rendering until interrupted.
 };
 
 void PrintUsage() {
   std::printf(
-      "usage: bigcity_cli <generate|train|eval|serve|publish> [options]\n"
+      "usage: bigcity_cli "
+      "<generate|train|eval|serve|publish|metrics|top> [options]\n"
       "  --city BJ|XA|CD   city preset (default XA)\n"
       "  --scale F         trajectory-count scale factor (default 0.5)\n"
       "  --out PATH        generate: CSV output path\n"
@@ -120,7 +137,14 @@ void PrintUsage() {
       "                    hot-swap them through the canary gate;\n"
       "                    publish: versioned destination directory\n"
       "  --watch-seconds F serve: keep replaying the request mix for F\n"
-      "                    seconds (0 = one replay pass)\n");
+      "                    seconds (0 = one replay pass)\n"
+      "  --telemetry-out PATH serve: append periodic JSONL deltas of the\n"
+      "                    serve.*/slo.* metrics (consumed by `top`)\n"
+      "  --telemetry-interval-ms F serve: telemetry tick period; top:\n"
+      "                    --follow refresh period (default 1000)\n"
+      "  --in PATH         metrics: snapshot JSON (--metrics-out of a\n"
+      "                    previous run); top: telemetry JSONL stream\n"
+      "  --follow          top: clear and re-render every interval\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -128,8 +152,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   options->command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--no-batching") {  // The only valueless flag.
+    if (flag == "--no-batching") {  // Valueless flags first.
       options->batching = false;
+      continue;
+    }
+    if (flag == "--follow") {
+      options->follow = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -182,6 +210,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->model_dir = value;
     } else if (flag == "--watch-seconds") {
       options->watch_seconds = std::atof(value.c_str());
+    } else if (flag == "--telemetry-out") {
+      options->telemetry_out = value;
+    } else if (flag == "--telemetry-interval-ms") {
+      options->telemetry_interval_ms = std::atof(value.c_str());
+    } else if (flag == "--in") {
+      options->in_path = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -426,6 +460,22 @@ int RunServe(const CliOptions& options) {
     return 1;
   }
 
+  // Live telemetry: ship serve.*/slo.* deltas every tick so `top` (or any
+  // log tailer) can watch the run. The prelude refreshes the slo.* gauges
+  // right before each snapshot, so the stream never lags a publish cycle.
+  obs::TelemetryExporter telemetry;
+  if (!options.telemetry_out.empty()) {
+    telemetry.SetPrelude([&server] { server.PublishSlo(); });
+    obs::TelemetryExporter::Options telemetry_options;
+    telemetry_options.interval_ms = std::max(1.0, options.telemetry_interval_ms);
+    std::string error;
+    if (!telemetry.Start(options.telemetry_out, telemetry_options, &error)) {
+      std::fprintf(stderr, "telemetry start failed: %s\n", error.c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
   int counts[7] = {};
   std::vector<double> latencies_us;
   latencies_us.reserve(trajectories.size());
@@ -454,6 +504,12 @@ int RunServe(const CliOptions& options) {
     }
   } while (std::chrono::steady_clock::now() < watch_deadline);
   server.Stop();
+  telemetry.Stop();  // Final tick captures the post-drain state.
+  if (telemetry.ticks() > 0) {
+    std::printf("wrote %llu telemetry ticks to %s\n",
+                static_cast<unsigned long long>(telemetry.ticks()),
+                options.telemetry_out.c_str());
+  }
 
   std::sort(latencies_us.begin(), latencies_us.end());
   auto percentile = [&](double q) {
@@ -535,6 +591,334 @@ int RunPublish(const CliOptions& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// metrics / top: hand-rolled scraping of the repo's own JSON output (same
+// idiom as bench_gate) — the snapshot and telemetry formats are flat enough
+// that brace matching plus "key":number scanning covers them.
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buffer[1 << 16];
+  out->clear();
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Returns the balanced {...} object following `label` (quotes + colon
+/// included, e.g. "\"gauges\":"), or "" when absent / unbalanced.
+std::string JsonObjectAfter(const std::string& json, const std::string& label) {
+  const size_t pos = json.find(label);
+  if (pos == std::string::npos) return "";
+  const size_t open = json.find('{', pos + label.size());
+  if (open == std::string::npos) return "";
+  int depth = 0;
+  for (size_t i = open; i < json.size(); ++i) {
+    if (json[i] == '{') ++depth;
+    if (json[i] == '}' && --depth == 0) {
+      return json.substr(open, i - open + 1);
+    }
+  }
+  return "";
+}
+
+/// Collects "key":number pairs from a JSON object, skipping nested objects
+/// wholesale (array-valued keys parse as 0 and are simply never read).
+void ParseFlatNumbers(const std::string& object,
+                      std::map<std::string, double>* out) {
+  size_t i = 0;
+  while (true) {
+    const size_t k0 = object.find('"', i);
+    if (k0 == std::string::npos) break;
+    const size_t k1 = object.find('"', k0 + 1);
+    if (k1 == std::string::npos) break;
+    const std::string key = object.substr(k0 + 1, k1 - k0 - 1);
+    size_t v = object.find(':', k1);
+    if (v == std::string::npos) break;
+    ++v;
+    while (v < object.size() && object[v] == ' ') ++v;
+    if (v < object.size() && object[v] == '{') {
+      int depth = 0;
+      while (v < object.size()) {
+        if (object[v] == '{') ++depth;
+        if (object[v] == '}' && --depth == 0) break;
+        ++v;
+      }
+      i = v + 1;
+      continue;
+    }
+    (*out)[key] = std::atof(object.c_str() + v);
+    const size_t comma = object.find(',', v);
+    if (comma == std::string::npos) break;
+    i = comma + 1;
+  }
+}
+
+/// One histogram's scalar fields as emitted by MetricsSnapshot::ToJson /
+/// the telemetry stream ("count", "sum", "p50", "p95", "p99").
+void ParseHistogramStats(const std::string& histograms_object,
+                         std::map<std::string, std::map<std::string, double>>*
+                             out) {
+  size_t i = 1;  // Skip the outer '{'.
+  while (true) {
+    const size_t k0 = histograms_object.find('"', i);
+    if (k0 == std::string::npos) break;
+    const size_t k1 = histograms_object.find('"', k0 + 1);
+    if (k1 == std::string::npos) break;
+    const std::string name = histograms_object.substr(k0 + 1, k1 - k0 - 1);
+    const size_t open = histograms_object.find('{', k1);
+    if (open == std::string::npos) break;
+    int depth = 0;
+    size_t end = open;
+    while (end < histograms_object.size()) {
+      if (histograms_object[end] == '{') ++depth;
+      if (histograms_object[end] == '}' && --depth == 0) break;
+      ++end;
+    }
+    if (end >= histograms_object.size()) break;
+    ParseFlatNumbers(histograms_object.substr(open, end - open + 1),
+                     &(*out)[name]);
+    i = end + 1;
+  }
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Task names found in `slo.<task>.<field>` keys, registration order lost
+/// (map iteration is alphabetical) but stable across renders.
+std::vector<std::string> SloTaskNames(
+    const std::map<std::string, double>& gauges) {
+  std::vector<std::string> tasks;
+  for (const auto& [name, value] : gauges) {
+    (void)value;
+    if (!StartsWith(name, "slo.")) continue;
+    const size_t dot = name.find('.', 4);
+    if (dot == std::string::npos) continue;
+    const std::string task = name.substr(4, dot - 4);
+    if (std::find(tasks.begin(), tasks.end(), task) == tasks.end()) {
+      tasks.push_back(task);
+    }
+  }
+  return tasks;
+}
+
+double GaugeOr(const std::map<std::string, double>& gauges,
+               const std::string& name, double fallback) {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+int RunMetrics(const CliOptions& options) {
+  if (options.in_path.empty()) {
+    std::fprintf(stderr, "metrics requires --in snapshot.json\n");
+    return 1;
+  }
+  std::string json;
+  if (!ReadFileToString(options.in_path, &json)) {
+    std::fprintf(stderr, "cannot read %s\n", options.in_path.c_str());
+    return 1;
+  }
+  std::map<std::string, double> gauges;
+  ParseFlatNumbers(JsonObjectAfter(json, "\"gauges\":"), &gauges);
+  std::map<std::string, std::map<std::string, double>> histograms;
+  ParseHistogramStats(JsonObjectAfter(json, "\"histograms\":"), &histograms);
+
+  const std::vector<std::string> tasks = SloTaskNames(gauges);
+  if (!tasks.empty()) {
+    util::TablePrinter slo_table({"Task", "Success", "Burn", "p50 ms",
+                                  "p99 ms", "p99 OK", "Window"});
+    for (const std::string& task : tasks) {
+      const std::string prefix = "slo." + task + ".";
+      slo_table.AddRow(
+          {task,
+           util::TablePrinter::Num(GaugeOr(gauges, prefix + "success_rate", 0)),
+           util::TablePrinter::Num(GaugeOr(gauges, prefix + "burn_rate", 0), 2),
+           util::TablePrinter::Num(
+               GaugeOr(gauges, prefix + "p50_us", 0) / 1e3, 2),
+           util::TablePrinter::Num(
+               GaugeOr(gauges, prefix + "p99_us", 0) / 1e3, 2),
+           GaugeOr(gauges, prefix + "p99_within_objective", 0) > 0 ? "yes"
+                                                                   : "no",
+           util::TablePrinter::Num(
+               GaugeOr(gauges, prefix + "window_requests", 0), 0)});
+    }
+    slo_table.Print();
+  }
+
+  // Every serve.* histogram in one table; values in the histogram's own
+  // unit (latency histograms are µs, serve.batch.size is a batch size).
+  util::TablePrinter hist_table(
+      {"Histogram", "Count", "Mean", "p50", "p95", "p99"});
+  size_t rows = 0;
+  for (const auto& [name, stats] : histograms) {
+    if (!StartsWith(name, "serve.")) continue;
+    const double count = GaugeOr(stats, "count", 0);
+    hist_table.AddRow(
+        {name, util::TablePrinter::Num(count, 0),
+         util::TablePrinter::Num(count > 0 ? GaugeOr(stats, "sum", 0) / count
+                                           : 0.0, 2),
+         util::TablePrinter::Num(GaugeOr(stats, "p50", 0), 2),
+         util::TablePrinter::Num(GaugeOr(stats, "p95", 0), 2),
+         util::TablePrinter::Num(GaugeOr(stats, "p99", 0), 2)});
+    ++rows;
+  }
+  if (rows > 0) hist_table.Print();
+  if (tasks.empty() && rows == 0) {
+    std::printf("no slo.* gauges or serve.* histograms in %s\n",
+                options.in_path.c_str());
+  }
+  return 0;
+}
+
+/// Everything one `top` render needs, folded from the telemetry stream.
+struct TopState {
+  std::map<std::string, double> counters;   // Cumulative over all ticks.
+  std::map<std::string, double> last_gauges;  // Latest absolute values.
+  double batch_size_sum = 0;  // serve.batch.size Δsum/Δcount accumulation.
+  double batch_size_count = 0;
+  double first_wall_ms = 0;
+  double last_wall_ms = 0;
+  double last_interval_ms = 1000.0;
+  size_t ticks = 0;
+};
+
+void FoldTelemetryLine(const std::string& line, TopState* state) {
+  if (line.find("\"event\":\"telemetry\"") == std::string::npos) return;
+  std::map<std::string, double> header;
+  // A flat scan over the whole line skips the nested sections and the
+  // string-valued "event", leaving exactly the header numbers.
+  ParseFlatNumbers(line, &header);
+  const double wall_ms = GaugeOr(header, "wall_ms", 0);
+  if (state->ticks == 0) state->first_wall_ms = wall_ms;
+  state->last_wall_ms = wall_ms;
+  state->last_interval_ms =
+      GaugeOr(header, "interval_ms", state->last_interval_ms);
+  ++state->ticks;
+
+  std::map<std::string, double> deltas;
+  ParseFlatNumbers(JsonObjectAfter(line, "\"counters\":"), &deltas);
+  for (const auto& [name, delta] : deltas) state->counters[name] += delta;
+
+  std::map<std::string, double> gauges;
+  ParseFlatNumbers(JsonObjectAfter(line, "\"gauges\":"), &gauges);
+  for (const auto& [name, value] : gauges) state->last_gauges[name] = value;
+
+  std::map<std::string, std::map<std::string, double>> histograms;
+  ParseHistogramStats(JsonObjectAfter(line, "\"histograms\":"), &histograms);
+  const auto batch = histograms.find("serve.batch.size");
+  if (batch != histograms.end()) {
+    state->batch_size_sum += GaugeOr(batch->second, "sum", 0);
+    state->batch_size_count += GaugeOr(batch->second, "count", 0);
+  }
+}
+
+void RenderTop(const TopState& state, const std::string& path) {
+  // Elapsed covers the interval before the first tick too — each tick's
+  // deltas describe the window ending at its wall_ms.
+  const double elapsed_s =
+      std::max(state.last_interval_ms,
+               state.last_wall_ms - state.first_wall_ms +
+                   state.last_interval_ms) /
+      1e3;
+  static const char* kOutcomes[7] = {"ok",          "degraded", "shed",
+                                     "deadline",    "quarantined",
+                                     "rejected",    "failed"};
+  const std::vector<std::string> tasks = SloTaskNames(state.last_gauges);
+  double total_requests = 0;
+  util::TablePrinter table({"Task", "QPS", "Success", "Burn", "p50 ms",
+                            "p99 ms", "OK", "Deg", "Shed", "Ddl", "Quar",
+                            "Rej", "Fail"});
+  for (const std::string& task : tasks) {
+    double outcome_counts[7] = {};
+    double task_requests = 0;
+    for (int o = 0; o < 7; ++o) {
+      outcome_counts[o] = GaugeOr(
+          state.counters, "serve.outcome." + task + "." + kOutcomes[o], 0);
+      task_requests += outcome_counts[o];
+    }
+    total_requests += task_requests;
+    const std::string prefix = "slo." + task + ".";
+    std::vector<std::string> row = {
+        task, util::TablePrinter::Num(task_requests / elapsed_s, 1),
+        util::TablePrinter::Num(
+            GaugeOr(state.last_gauges, prefix + "success_rate", 0)),
+        util::TablePrinter::Num(
+            GaugeOr(state.last_gauges, prefix + "burn_rate", 0), 2),
+        util::TablePrinter::Num(
+            GaugeOr(state.last_gauges, prefix + "p50_us", 0) / 1e3, 2),
+        util::TablePrinter::Num(
+            GaugeOr(state.last_gauges, prefix + "p99_us", 0) / 1e3, 2)};
+    for (int o = 0; o < 7; ++o) {
+      row.push_back(util::TablePrinter::Num(outcome_counts[o], 0));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s: %zu ticks, %.1fs window\n", path.c_str(), state.ticks,
+              elapsed_s);
+  if (tasks.empty()) {
+    std::printf("no slo.* gauges yet — is the server past its first tick?\n");
+  } else {
+    table.Print();
+  }
+
+  auto hit_rate = [&state](const std::string& cache) {
+    const double hits =
+        GaugeOr(state.counters, "serve.cache." + cache + ".hit", 0);
+    const double misses =
+        GaugeOr(state.counters, "serve.cache." + cache + ".miss", 0);
+    const double lookups = hits + misses;
+    return lookups > 0 ? hits / lookups : 0.0;
+  };
+  util::TablePrinter summary({"Totals", "Value"});
+  summary.AddRow(
+      {"QPS", util::TablePrinter::Num(total_requests / elapsed_s, 1)});
+  summary.AddRow(
+      {"mean batch occupancy",
+       util::TablePrinter::Num(state.batch_size_count > 0
+                                   ? state.batch_size_sum /
+                                         state.batch_size_count
+                                   : 0.0, 2)});
+  summary.AddRow({"tokenizer cache hit rate",
+                  util::TablePrinter::Num(hit_rate("tokenizer"))});
+  summary.AddRow({"kv cache hit rate", util::TablePrinter::Num(hit_rate("kv"))});
+  summary.Print();
+}
+
+int RunTop(const CliOptions& options) {
+  if (options.in_path.empty()) {
+    std::fprintf(stderr, "top requires --in telemetry.jsonl\n");
+    return 1;
+  }
+  while (true) {
+    std::string contents;
+    if (!ReadFileToString(options.in_path, &contents)) {
+      std::fprintf(stderr, "cannot read %s\n", options.in_path.c_str());
+      return 1;
+    }
+    TopState state;
+    size_t start = 0;
+    while (start < contents.size()) {
+      size_t end = contents.find('\n', start);
+      if (end == std::string::npos) end = contents.size();
+      FoldTelemetryLine(contents.substr(start, end - start), &state);
+      start = end + 1;
+    }
+    if (options.follow) std::printf("\033[2J\033[H");
+    RenderTop(state, options.in_path);
+    if (!options.follow) break;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(100.0, options.telemetry_interval_ms)));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigcity
 
@@ -561,6 +945,8 @@ int main(int argc, char** argv) {
   if (options.command == "eval") return bigcity::RunEval(options);
   if (options.command == "serve") return bigcity::RunServe(options);
   if (options.command == "publish") return bigcity::RunPublish(options);
+  if (options.command == "metrics") return bigcity::RunMetrics(options);
+  if (options.command == "top") return bigcity::RunTop(options);
   bigcity::PrintUsage();
   return 2;
 }

@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -228,6 +229,44 @@ class ChaosSoak {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
     return false;
+  }
+
+  /// SLO telemetry consistency (DESIGN.md §4.15): the tracker's published
+  /// window statistics must stay internally coherent through swaps,
+  /// rollbacks, and fault injection. Burn-rate *bounds* are deliberately
+  /// not asserted — chaos events exist to burn error budget.
+  void CheckSloInvariants() {
+    const auto snapshots = server_->slo_tracker().SnapshotAll();
+#if BIGCITY_OBS
+    if (snapshots.empty()) {
+      Violation("slo tracker registered no tasks");
+    }
+#endif
+    for (const auto& s : snapshots) {
+      if (s.success_rate < 0.0 || s.success_rate > 1.0) {
+        Violation("slo " + s.name + ": success_rate outside [0, 1]");
+      }
+      if (s.p50_us < 0.0 || s.p99_us < s.p50_us) {
+        Violation("slo " + s.name + ": p50/p99 ordering broken");
+      }
+      if (s.window_requests > s.objective.window ||
+          s.window_requests > s.total) {
+        Violation("slo " + s.name + ": window overfull");
+      }
+      const double budget = 1.0 - s.objective.success_rate;
+      if (budget > 0) {
+        const double expected = (1.0 - s.success_rate) / budget;
+        if (std::abs(s.burn_rate - expected) >
+            1e-6 * std::max(1.0, expected)) {
+          Violation("slo " + s.name +
+                    ": burn rate inconsistent with window error rate");
+        }
+      }
+      if (s.p99_within_objective != (s.p99_us <= s.objective.p99_us)) {
+        Violation("slo " + s.name +
+                  ": p99_within_objective contradicts p99_us");
+      }
+    }
   }
 
   // --- Load + chaos ------------------------------------------------------
@@ -538,6 +577,21 @@ void ChaosSoak::WriteJson() const {
       static_cast<unsigned long long>(server_->generation()),
       static_cast<unsigned long long>(server_->stable_version()),
       quarantined.size());
+  const auto slo = server_->slo_tracker().SnapshotAll();
+  std::fprintf(f, "  \"slo\": [");
+  for (size_t i = 0; i < slo.size(); ++i) {
+    const auto& s = slo[i];
+    std::fprintf(f,
+                 "%s{\"task\": \"%s\", \"window_requests\": %llu, "
+                 "\"success_rate\": %.6f, \"burn_rate\": %.6f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"p99_within_objective\": %s}",
+                 i == 0 ? "" : ", ", s.name.c_str(),
+                 static_cast<unsigned long long>(s.window_requests),
+                 s.success_rate, s.burn_rate, s.p50_us, s.p99_us,
+                 s.p99_within_objective ? "true" : "false");
+  }
+  std::fprintf(f, "],\n");
   std::fprintf(f, "  \"violations\": [");
   for (size_t i = 0; i < violations_.size(); ++i) {
     std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
@@ -628,6 +682,7 @@ int ChaosSoak::Run() {
   if (load_.submitted.load() == 0) {
     Violation("load generator produced no requests");
   }
+  CheckSloInvariants();
 
   std::printf(
       "\nchaos soak: %llu requests (%llu ok, %llu nonfinite-internal, "
