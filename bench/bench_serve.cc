@@ -48,6 +48,7 @@
 #include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
+#include "util/fault_injection.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -525,6 +526,127 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- Hang under load ---------------------------------------------------
+  // 2x clients hammer a watchdog-enabled server while one worker is wedged
+  // mid-request by the stall fault: the watchdog must reap the hung worker
+  // (its in-flight requests fail fast with kDeadlineExceeded), spin up a
+  // replacement, and throughput must recover to the pre-hang baseline —
+  // recovery_ms is the headline number.
+  LevelResult hang;
+  hang.multiplier = 2;
+  hang.clients = 2 * workers;
+  double prehang_rps = 0, posthang_rps = 0, recovery_ms = -1;
+  uint64_t hang_reaps = 0, hang_replacements = 0;
+  int hang_deadline = 0;
+  const double hang_threshold_ms = 100;
+  {
+    serve::ServeOptions hang_options = options;
+    // Queue wide enough for the closed loop so sheds don't muddy the
+    // throughput signal; the variable under test is the reap.
+    hang_options.queue_capacity = 4 * workers;
+    hang_options.hang_threshold_ms = hang_threshold_ms;
+    hang_options.watchdog_poll_ms = 5;
+    serve::InferenceServer hang_server(&dataset, model_config, hang_options);
+    if (auto status = hang_server.Start(); !status.ok()) {
+      std::fprintf(stderr, "hang server start failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::vector<std::vector<double>> per_client_latencies(
+        static_cast<size_t>(hang.clients));
+    std::atomic<bool> stop{false};
+    std::atomic<int> ok{0}, shed{0}, other{0}, issued{0}, deadline_failed{0};
+    obs::WallTimer watch;
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(hang.clients));
+    for (int c = 0; c < hang.clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& latencies = per_client_latencies[static_cast<size_t>(c)];
+        for (int r = 0; !stop.load(std::memory_order_relaxed); ++r) {
+          serve::Request request;
+          request.task = core::Task::kNextHop;
+          request.trajectory =
+              pool[static_cast<size_t>(c * 131 + r) % pool.size()];
+          issued++;
+          serve::Response response =
+              hang_server.ServeSync(std::move(request));
+          if (response.status.ok()) {
+            ok++;
+            latencies.push_back(response.total_us);
+          } else if (response.outcome == serve::Outcome::kShed) {
+            shed++;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          } else if (response.status.code() ==
+                     util::StatusCode::kDeadlineExceeded) {
+            deadline_failed++;
+          } else {
+            other++;
+          }
+        }
+      });
+    }
+    // OK-responses-per-second over one observation window of the loop.
+    auto ok_rate = [&ok](double window_ms) {
+      const int before = ok.load(std::memory_order_relaxed);
+      obs::WallTimer window;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(window_ms));
+      const double seconds = window.ElapsedSeconds();
+      return seconds > 0
+                 ? (ok.load(std::memory_order_relaxed) - before) / seconds
+                 : 0.0;
+    };
+    // Baseline: the smaller of two windows, so one lucky window can't set
+    // an unreachable recovery bar.
+    prehang_rps = std::min(ok_rate(300), ok_rate(300));
+    // Wedge one worker far past the threshold; Disarm below releases the
+    // parked thread once the reap is confirmed.
+    util::FaultInjection::Arm(util::kFaultServeWorkerStall, 0, 1, 60000);
+    obs::WallTimer reap_watch;
+    while (hang_server.watchdog_reaps() == 0 &&
+           reap_watch.ElapsedSeconds() < 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    util::FaultInjection::Disarm(util::kFaultServeWorkerStall);
+    if (hang_server.watchdog_reaps() == 0) {
+      std::fprintf(stderr, "hang: wedged worker was never reaped\n");
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& client : clients) client.join();
+      hang_server.Stop();
+      return 1;
+    }
+    obs::WallTimer recovery_watch;
+    while (recovery_watch.ElapsedSeconds() < 10) {
+      if (ok_rate(100) >= 0.9 * prehang_rps) {
+        recovery_ms = recovery_watch.ElapsedSeconds() * 1e3;
+        break;
+      }
+    }
+    posthang_rps = ok_rate(300);
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& client : clients) client.join();
+    hang_reaps = hang_server.watchdog_reaps();
+    hang_replacements = hang_server.watchdog_replacements();
+    hang_server.Stop();
+    hang.seconds = watch.ElapsedSeconds();
+    hang.issued = issued.load();
+    hang.ok = ok.load();
+    hang.shed = shed.load();
+    hang.other = other.load();
+    hang_deadline = deadline_failed.load();
+    for (auto& latencies : per_client_latencies) {
+      hang.latencies_us.insert(hang.latencies_us.end(), latencies.begin(),
+                               latencies.end());
+    }
+    std::sort(hang.latencies_us.begin(), hang.latencies_us.end());
+  }
+  if (hang.ok + hang.shed + hang.other + hang_deadline != hang.issued) {
+    std::fprintf(stderr, "hang: %d requests without a definite outcome\n",
+                 hang.issued - hang.ok - hang.shed - hang.other -
+                     hang_deadline);
+    return 1;
+  }
+
   util::TablePrinter table(
       {"Load", "Clients", "Issued", "OK", "Shed rate", "Batch", "Req/s",
        "p50 ms", "p95 ms", "p99 ms"});
@@ -538,6 +660,7 @@ int main(int argc, char** argv) {
     AddTableRow(&table, std::to_string(level.multiplier) + "x on", level);
   }
   AddTableRow(&table, "2x+swap", reload);
+  AddTableRow(&table, "2x+hang", hang);
   table.Print();
   std::printf("batching A/B at 4x load: %.1f -> %.1f req/s (%.2fx), mean "
               "batch %.2f, p99 %s %.0fms deadline\n",
@@ -555,6 +678,21 @@ int main(int argc, char** argv) {
               "version\n",
               swap_completed ? "completed" : "DID NOT COMPLETE",
               served_by_new_version);
+  if (recovery_ms >= 0) {
+    std::printf("hang under load: %.1f -> %.1f req/s, recovered to 90%% of "
+                "baseline in %.0f ms (%llu reap%s, %llu replacement%s, "
+                "%d reaped requests)\n",
+                prehang_rps, posthang_rps, recovery_ms,
+                static_cast<unsigned long long>(hang_reaps),
+                hang_reaps == 1 ? "" : "s",
+                static_cast<unsigned long long>(hang_replacements),
+                hang_replacements == 1 ? "" : "s", hang_deadline);
+  } else {
+    std::printf("hang under load: %.1f -> %.1f req/s, DID NOT RECOVER to "
+                "90%% of baseline within 10s (%llu reaps)\n",
+                prehang_rps, posthang_rps,
+                static_cast<unsigned long long>(hang_reaps));
+  }
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -619,12 +757,28 @@ int main(int argc, char** argv) {
                "\"shed_rate\": %.4f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
                "\"p99_us\": %.1f, \"deadline_ms\": 250, "
                "\"swap_completed\": %s, "
-               "\"served_by_new_version\": %d}\n",
+               "\"served_by_new_version\": %d},\n",
                reload.clients, reload.issued, reload.ok, reload.shed,
                reload.other, reload.seconds, reload.Throughput(),
                reload.ShedRate(), reload.Percentile(0.5),
                reload.Percentile(0.95), reload.Percentile(0.99),
                swap_completed ? "true" : "false", served_by_new_version);
+  std::fprintf(f,
+               "  \"hang\": {\"load_multiplier\": 2, \"clients\": %d, "
+               "\"issued\": %d, \"ok\": %d, \"shed\": %d, "
+               "\"reaped\": %d, \"other\": %d, \"seconds\": %.4f, "
+               "\"hang_threshold_ms\": %.1f, "
+               "\"prehang_rps\": %.2f, \"posthang_rps\": %.2f, "
+               "\"recovery_ms\": %.1f, \"recovered\": %s, "
+               "\"reaps\": %llu, \"replacements\": %llu, "
+               "\"p50_us\": %.1f, \"p99_us\": %.1f}\n",
+               hang.clients, hang.issued, hang.ok, hang.shed, hang_deadline,
+               hang.other, hang.seconds, hang_threshold_ms, prehang_rps,
+               posthang_rps, recovery_ms,
+               recovery_ms >= 0 ? "true" : "false",
+               static_cast<unsigned long long>(hang_reaps),
+               static_cast<unsigned long long>(hang_replacements),
+               hang.Percentile(0.5), hang.Percentile(0.99));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());

@@ -13,17 +13,22 @@
 #            smoke (bench_serve --fast + bigcity_cli serve) that validates
 #            BENCH_serve.json and the serve metrics snapshot — including
 #            that the continuous batcher actually coalesced (mean batch
-#            size > 1) — and a fixed-seed rollout smoke (chaos_soak)
-#            validating the hot-swap/canary/rollback invariants and report
-#            JSON. Artifact JSON checks live in ci/validate_artifacts.py.
+#            size > 1) and that the hang-injection section saw the watchdog
+#            reap + replace a wedged worker — and a fixed-seed rollout
+#            smoke (chaos_soak) validating the hot-swap/canary/rollback and
+#            self-healing (stall/leak) invariants and report JSON. Artifact
+#            JSON checks live in ci/validate_artifacts.py.
 #   sanitize Debug build with ASan+UBSan running the resilience_check,
-#            kernels_check, and serve_check suites plus a short --threads 2
-#            CLI smoke and a short rollout smoke.
+#            kernels_check, and serve_check suites (the latter includes the
+#            watchdog/overload tests) plus a short --threads 2 CLI smoke
+#            and a short rollout smoke whose schedule includes the
+#            leak-site memory-pressure scenario.
 #   tsan     RelWithDebInfo build with TSan running the serve_check suite
-#            (server, batcher, KV session store, thread pool) plus a short
-#            batched serve smoke — the batching engine's cross-thread
-#            handoffs (batcher queues, shared tokenizer/KV caches, promise
-#            completion) must be clean under the race detector.
+#            (server, batcher, KV session store, thread pool, watchdog)
+#            plus a short batched serve smoke — the batching engine's
+#            cross-thread handoffs (batcher queues, shared tokenizer/KV
+#            caches, promise completion) and the watchdog's hang-injection
+#            reap/replace path must be clean under the race detector.
 #   obs-off  Release build with -DBIGCITY_OBS=OFF proving every probe
 #            compiles out and the full suite still passes.
 set -euo pipefail
@@ -94,6 +99,9 @@ serve_smoke() {
   grep -q '"throughput_rps"' "$out/BENCH_serve.json"
   grep -q '"p95_us"' "$out/BENCH_serve.json"
   grep -q '"mean_batch_size"' "$out/BENCH_serve.json"
+  # The hang-injection section ran: a wedged worker was reaped and
+  # replaced, and throughput recovered (asserted by the watchdog check).
+  grep -q '"recovery_ms"' "$out/BENCH_serve.json"
   log "$job: serve smoke (bigcity_cli serve replay)"
   "$build/tools/bigcity_cli" generate --city XA --scale 0.05 \
     --out "$out/serve_trips.csv"
@@ -124,22 +132,25 @@ serve_smoke() {
   if command -v python3 > /dev/null; then
     python3 ci/validate_artifacts.py serve "$out"
     python3 ci/validate_artifacts.py trace "$out"
+    python3 ci/validate_artifacts.py watchdog "$out"
   fi
   echo "serve smoke ok"
 }
 
-# Model-lifecycle gate: a fixed-seed chaos soak (hot-swap, canary,
-# rollback, quarantine under mixed-task load) capped well under 90s, then
-# a machine-readability + invariant check of its JSON report.
+# Model-lifecycle + self-healing gate: a fixed-seed chaos soak (hot-swap,
+# canary, rollback, quarantine, wedged-worker stall, injected memory leak
+# under mixed-task load) capped well under 150s, then a
+# machine-readability + invariant check of its JSON report.
 rollout_smoke() {
   local build="$1" job="$2" seconds="$3"
   local out="ci-artifacts/$job"
   mkdir -p "$out"
   log "$job: rollout smoke (chaos_soak --seconds $seconds, fixed seed)"
-  timeout 90 "$build/tools/chaos_soak" --seconds "$seconds" --seed 7 \
+  timeout 150 "$build/tools/chaos_soak" --seconds "$seconds" --seed 7 \
     --model-dir "$out/chaos_models" --json "$out/chaos_report.json"
   if command -v python3 > /dev/null; then
     python3 ci/validate_artifacts.py rollout "$out"
+    python3 ci/validate_artifacts.py watchdog "$out"
   fi
   echo "rollout smoke ok"
 }
@@ -174,7 +185,8 @@ run_sanitize() {
   # for a smoke, and the guarded-step / kernel paths are all hit by here.
   train_smoke build-ci-asan sanitize --epochs1 1 --epochs2 0
   # Short budget: the soak always completes one full schedule cycle (all
-  # seven event kinds) even when Debug+ASan eats the whole time budget.
+  # nine event kinds, including the stall-reap and leak-shed scenarios)
+  # even when Debug+ASan eats the whole time budget.
   cmake --build build-ci-asan -j"$PAR" --target chaos_soak
   rollout_smoke build-ci-asan sanitize 3
 }
@@ -199,9 +211,12 @@ run_tsan() {
     --requests 4 --trace-out serve_trace.json)
   grep -q '"mean_batch_size"' "$out/BENCH_serve.json"
   # Request flows must stay connected even under TSan interleavings (no
-  # serve_metrics.json here, so the validator checks the trace alone).
+  # serve_metrics.json here, so the validator checks the trace alone), and
+  # the hang-injection section's reap/replace must hold under the race
+  # detector too.
   if command -v python3 > /dev/null; then
     python3 ci/validate_artifacts.py trace "$out"
+    python3 ci/validate_artifacts.py watchdog "$out"
   fi
   echo "tsan smoke ok"
 }

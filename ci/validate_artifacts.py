@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Machine-readability + invariant checks for CI smoke artifacts.
 
-usage: validate_artifacts.py <train|serve|rollout|trace> <artifact-dir>
+usage: validate_artifacts.py <train|serve|rollout|trace|watchdog> <artifact-dir>
 
 Each subcommand validates the JSON artifacts one ci/run_ci.sh smoke
 leaves in its ci-artifacts/<job> directory. The checks go beyond
@@ -95,6 +95,52 @@ def validate_rollout(d):
           f"{sum(ev.values())} chaos events")
 
 
+def validate_watchdog(d):
+    """Self-healing artifacts (DESIGN.md §4.16): the bench hang section
+    and/or the chaos report's watchdog block must show a hung worker
+    reaped, a replacement spun up, every reaped request definite, and
+    memory pressure resolved under budget.
+    """
+    checked = []
+    bench_path = f"{d}/BENCH_serve.json"
+    if os.path.exists(bench_path):
+        hang = load(bench_path)["hang"]
+        assert hang["reaps"] >= 1 and hang["replacements"] >= 1, hang
+        assert hang["recovered"] is True, hang
+        # Reaped requests fail definitively; nothing may vanish.
+        assert (hang["ok"] + hang["shed"] + hang["reaped"] + hang["other"]
+                == hang["issued"]), hang
+        assert hang["other"] == 0, hang
+        assert hang["prehang_rps"] > 0, hang
+        checked.append(f"bench hang: {hang['reaps']} reaps, recovery "
+                       f"{hang['recovery_ms']:.0f} ms")
+    chaos_path = f"{d}/chaos_report.json"
+    if os.path.exists(chaos_path):
+        report = load(chaos_path)
+        wd = report["watchdog"]
+        assert wd["reaps"] >= 1 and wd["replacements"] >= 1, wd
+        assert wd["overload_sheds"] >= 1, wd
+        assert wd["peak_sampled_bytes"] < wd["mem_budget_bytes"], wd
+        assert wd["overload_state"] == "normal", wd
+        ev = report["events"]
+        assert ev["worker_reaps"] >= 1 and ev["leak_sheds"] >= 1, ev
+        counters = report["metrics"]["counters"]
+        for name in ("serve.watchdog.hangs", "serve.watchdog.reaped",
+                     "serve.watchdog.replacements", "serve.overload.shed",
+                     "serve.overload.entered_shedding",
+                     "serve.overload.recovered"):
+            assert counters.get(name, 0) >= 1, (name, counters)
+        gauges = report["metrics"]["gauges"]
+        for name in ("serve.overload.state", "serve.overload.budget_bytes",
+                     "serve.overload.peak_bytes"):
+            assert name in gauges, (name, sorted(gauges))
+        checked.append(f"chaos watchdog: {wd['reaps']} reaps, peak "
+                       f"{wd['peak_sampled_bytes']} / budget "
+                       f"{wd['mem_budget_bytes']} bytes")
+    assert checked, f"no watchdog artifacts (BENCH_serve/chaos_report) in {d}"
+    print("watchdog validation ok: " + "; ".join(checked))
+
+
 def validate_trace(d):
     """serve_trace.json (bench_serve --trace-out): request-scoped flows
     must render connected in chrome://tracing, and the serve metrics
@@ -151,9 +197,11 @@ def main():
     commands = {"train": validate_train,
                 "serve": validate_serve,
                 "rollout": validate_rollout,
-                "trace": validate_trace}
+                "trace": validate_trace,
+                "watchdog": validate_watchdog}
     if len(sys.argv) != 3 or sys.argv[1] not in commands:
-        print("usage: validate_artifacts.py <train|serve|rollout|trace> "
+        print("usage: validate_artifacts.py "
+              "<train|serve|rollout|trace|watchdog> "
               "<artifact-dir>", file=sys.stderr)
         return 2
     commands[sys.argv[1]](sys.argv[2])

@@ -1,6 +1,8 @@
 #ifndef BIGCITY_SERVE_ADMISSION_QUEUE_H_
 #define BIGCITY_SERVE_ADMISSION_QUEUE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -21,7 +23,8 @@ namespace bigcity::serve {
 template <typename T>
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+  explicit AdmissionQueue(size_t capacity)
+      : capacity_(capacity), effective_capacity_(capacity) {}
 
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
@@ -32,7 +35,9 @@ class AdmissionQueue {
   bool TryPush(T&& item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      const size_t bound = std::min(
+          capacity_, effective_capacity_.load(std::memory_order_relaxed));
+      if (closed_ || items_.size() >= bound) return false;
       items_.push_back(std::move(item));
     }
     ready_cv_.notify_one();
@@ -110,8 +115,23 @@ class AdmissionQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Tightens (or restores) the admission bound without touching queued
+  /// items; the constructor capacity stays the hard ceiling. The overload
+  /// controller shrinks this under memory pressure so backlog stops
+  /// growing before allocation failure.
+  void SetEffectiveCapacity(size_t capacity) {
+    effective_capacity_.store(std::max<size_t>(1, capacity),
+                              std::memory_order_relaxed);
+  }
+
+  size_t effective_capacity() const {
+    return std::min(capacity_,
+                    effective_capacity_.load(std::memory_order_relaxed));
+  }
+
  private:
   const size_t capacity_;
+  std::atomic<size_t> effective_capacity_;
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   std::deque<T> items_;

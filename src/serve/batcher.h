@@ -45,18 +45,23 @@ class Batcher {
   /// window) so an urgent item still fits one forward after dispatch.
   /// Optional `dispatch_fn` runs (under the batcher mutex) for every
   /// dispatched item with the microseconds it waited pending — the
-  /// server stamps per-request batch-wait attribution from it.
+  /// server stamps per-request batch-wait attribution from it. Optional
+  /// `batch_max_fn` overrides Options::batch_max per dispatch decision;
+  /// the overload controller shrinks batches under memory pressure
+  /// through it without restarting the batcher.
   Batcher(AdmissionQueue<T>* queue, Options options,
           std::function<int(const T&)> key_fn,
           std::function<double(const T&)> remaining_us_fn,
           std::function<double()> margin_us_fn,
-          std::function<void(T&, double)> dispatch_fn = nullptr)
+          std::function<void(T&, double)> dispatch_fn = nullptr,
+          std::function<int()> batch_max_fn = nullptr)
       : queue_(queue),
         options_(options),
         key_fn_(std::move(key_fn)),
         remaining_us_fn_(std::move(remaining_us_fn)),
         margin_us_fn_(std::move(margin_us_fn)),
-        dispatch_fn_(std::move(dispatch_fn)) {}
+        dispatch_fn_(std::move(dispatch_fn)),
+        batch_max_fn_(std::move(batch_max_fn)) {}
 
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
@@ -112,6 +117,10 @@ class Batcher {
   // them immediately, so the constant only bounds lock-free idling.
   static constexpr double kIdleWaitUs = 1e6;
 
+  int CurrentBatchMax() const {
+    return batch_max_fn_ ? batch_max_fn_() : options_.batch_max;
+  }
+
   void Add(T&& item) {
     const int key = key_fn_(item);
     std::lock_guard<std::mutex> lock(mu_);
@@ -130,7 +139,7 @@ class Batcher {
                           double margin_us) const {
     if (group.key < 0) return true;  // Unbatchable: alone, immediately.
     if (queue_->closed()) return true;
-    if (static_cast<int>(group.items.size()) >= options_.batch_max) {
+    if (static_cast<int>(group.items.size()) >= CurrentBatchMax()) {
       return true;
     }
     const double oldest_us = std::chrono::duration<double, std::micro>(
@@ -165,7 +174,7 @@ class Batcher {
         group.key < 0
             ? 1
             : std::min(group.items.size(),
-                       static_cast<size_t>(std::max(1, options_.batch_max)));
+                       static_cast<size_t>(std::max(1, CurrentBatchMax())));
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
       if (dispatch_fn_) {
@@ -214,6 +223,7 @@ class Batcher {
   const std::function<double(const T&)> remaining_us_fn_;
   const std::function<double()> margin_us_fn_;
   const std::function<void(T&, double)> dispatch_fn_;
+  const std::function<int()> batch_max_fn_;
 
   mutable std::mutex mu_;
   std::vector<Group> groups_;

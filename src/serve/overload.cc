@@ -1,0 +1,155 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/fault_injection.h"
+
+namespace bigcity::serve {
+
+OverloadController::OverloadController(Options options)
+    : options_(options) {
+  BIGCITY_GAUGE_SET("serve.overload.budget_bytes",
+                    static_cast<double>(options_.mem_budget_bytes));
+  BIGCITY_GAUGE_SET("serve.overload.state", 0);
+}
+
+int64_t OverloadController::CurrentMemoryBytes() {
+  // Tensor payloads (models, in-flight activations) + recycled plan
+  // arenas + injected leak-site bytes. The first two read 0 in the
+  // probes-compiled-out flavor; the leak tally is plain code, so pressure
+  // scenarios stay testable under BIGCITY_OBS=OFF.
+  const int64_t tensors = obs::MemoryTracker::Global().live_bytes();
+  const int64_t arenas = static_cast<int64_t>(
+      obs::MetricsRegistry::Global().GetGauge("plan.arena.bytes")->Value());
+  return tensors + arenas + util::FaultInjection::LeakedBytes();
+}
+
+OverloadController::State OverloadController::SampleBytes(int64_t bytes) {
+  sampled_bytes_.store(bytes, std::memory_order_relaxed);
+  int64_t peak = peak_sampled_bytes_.load(std::memory_order_relaxed);
+  while (bytes > peak && !peak_sampled_bytes_.compare_exchange_weak(
+                             peak, bytes, std::memory_order_relaxed)) {
+  }
+  State next = state();
+  if (options_.mem_budget_bytes > 0) {
+    const double pressure = static_cast<double>(bytes) /
+                            static_cast<double>(options_.mem_budget_bytes);
+    switch (state()) {
+      case State::kNormal:
+        if (pressure >= options_.high_watermark) {
+          next = State::kShedding;
+        } else if (pressure >= options_.low_watermark) {
+          next = State::kPressure;
+        }
+        break;
+      case State::kPressure:
+        if (pressure >= options_.high_watermark) {
+          next = State::kShedding;
+        } else if (pressure < options_.low_watermark) {
+          next = State::kNormal;
+        }
+        break;
+      case State::kShedding:
+        // Hysteresis: recovery is monotone — shedding ends only below the
+        // low watermark, never by hovering under the high one.
+        if (pressure < options_.low_watermark) next = State::kNormal;
+        break;
+    }
+    if (next != state()) {
+      if (next == State::kShedding) {
+        BIGCITY_COUNTER_INC("serve.overload.entered_shedding");
+      } else if (next == State::kNormal) {
+        BIGCITY_COUNTER_INC("serve.overload.recovered");
+      }
+      state_.store(static_cast<int>(next), std::memory_order_relaxed);
+    }
+  }
+  BIGCITY_GAUGE_SET("serve.overload.state", static_cast<int>(next));
+  BIGCITY_GAUGE_SET("serve.overload.sampled_bytes",
+                    static_cast<double>(bytes));
+  BIGCITY_GAUGE_SET(
+      "serve.overload.peak_bytes",
+      static_cast<double>(peak_sampled_bytes_.load(std::memory_order_relaxed)));
+  return next;
+}
+
+int OverloadController::EffectiveBatchMax(int configured) const {
+  if (state() == State::kNormal) return configured;
+  return std::max(options_.min_batch_max, configured / 2);
+}
+
+size_t OverloadController::EffectiveKvCapacity(size_t configured) const {
+  if (state() == State::kNormal) return configured;
+  return configured / 2;
+}
+
+size_t OverloadController::EffectiveQueueCapacity(size_t configured) const {
+  if (state() == State::kNormal) return configured;
+  return std::max<size_t>(1, configured / 2);
+}
+
+bool OverloadController::ShouldDropStale(double sojourn_us,
+                                         Clock::time_point now) {
+  if (options_.sojourn_target_ms <= 0) return false;
+  const double target_us = options_.sojourn_target_ms * 1000.0;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.sojourn_interval_ms));
+  std::lock_guard<std::mutex> lock(sojourn_mu_);
+  if (sojourn_us < target_us) {
+    // Sojourn back under target: the backlog drained, reset the law.
+    first_above_.reset();
+    dropping_ = false;
+    drop_count_ = 0;
+    return false;
+  }
+  if (!first_above_.has_value()) {
+    first_above_ = now + interval;
+    return false;
+  }
+  if (!dropping_) {
+    if (now < *first_above_) return false;
+    // Above target for a full interval: start dropping.
+    dropping_ = true;
+    drop_count_ = 1;
+    drop_next_ =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      std::chrono::duration<double>(interval).count() /
+                      std::sqrt(static_cast<double>(drop_count_ + 1))));
+    return true;
+  }
+  if (now >= drop_next_) {
+    ++drop_count_;
+    drop_next_ =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      std::chrono::duration<double>(interval).count() /
+                      std::sqrt(static_cast<double>(drop_count_ + 1))));
+    return true;
+  }
+  return false;
+}
+
+double OverloadController::pressure() const {
+  if (options_.mem_budget_bytes <= 0) return 0;
+  return static_cast<double>(sampled_bytes()) /
+         static_cast<double>(options_.mem_budget_bytes);
+}
+
+const char* OverloadController::StateName(State state) {
+  switch (state) {
+    case State::kNormal:
+      return "normal";
+    case State::kPressure:
+      return "pressure";
+    case State::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+}  // namespace bigcity::serve

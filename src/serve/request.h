@@ -47,9 +47,11 @@ enum class Outcome {
   kQuarantined,  // Malformed input.
   kRejected,     // Circuit breaker open, no fallback eligible.
   kFailed,       // Transient failures exhausted retries.
+  kReaped,       // Watchdog reaped it off a hung worker (status carries
+                 // kDeadlineExceeded; the replacement serves later load).
 };
 
-inline constexpr int kNumOutcomes = 7;
+inline constexpr int kNumOutcomes = 8;
 
 /// Stable lowercase outcome label ("ok", "degraded", ...), used in
 /// serve.outcome.<task>.<outcome> metric names and CLI tables.
@@ -69,6 +71,8 @@ inline const char* OutcomeName(Outcome outcome) {
       return "rejected";
     case Outcome::kFailed:
       return "failed";
+    case Outcome::kReaped:
+      return "reaped";
   }
   return "unknown";
 }

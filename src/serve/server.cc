@@ -12,6 +12,7 @@
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/model_dir.h"
 #include "util/rng.h"
 
 namespace bigcity::serve {
@@ -225,10 +226,23 @@ util::Status InferenceServer::Start() {
   }
   {
     std::lock_guard<std::mutex> lock(kv_sessions_.mu);
-    kv_sessions_.capacity =
+    kv_sessions_.capacity.store(
         static_cast<size_t>(std::max(0, options_.kv_sessions)) *
-        static_cast<size_t>(options_.num_workers);
+            static_cast<size_t>(options_.num_workers),
+        std::memory_order_relaxed);
     kv_sessions_.sessions.clear();
+  }
+  {
+    // The overload controller exists in every configuration (budget 0 =
+    // memory control disabled) so the batcher's batch_max callback and
+    // the serve.overload.* gauges are uniform.
+    OverloadController::Options overload_options;
+    overload_options.mem_budget_bytes = options_.mem_budget_bytes;
+    overload_options.high_watermark = options_.overload_high_watermark;
+    overload_options.low_watermark = options_.overload_low_watermark;
+    overload_options.sojourn_target_ms = options_.sojourn_target_ms;
+    overload_options.sojourn_interval_ms = options_.sojourn_interval_ms;
+    overload_ = std::make_unique<OverloadController>(overload_options);
   }
   if (options_.batching) {
     Batcher<WorkItem>::Options batch_options;
@@ -257,6 +271,14 @@ util::Status InferenceServer::Start() {
           // out of queue_wait in the stage breakdown and recorded as the
           // serve.batch.wait_us histogram at dequeue.
           item.batch_wait_us = waited_us;
+        },
+        [this] {
+          // Memory pressure halves the batch ceiling (per dispatch
+          // decision, so recovery is immediate once pressure clears).
+          const int configured = std::max(1, options_.batch_max);
+          return overload_ != nullptr
+                     ? overload_->EffectiveBatchMax(configured)
+                     : configured;
         });
   }
 
@@ -313,16 +335,25 @@ util::Status InferenceServer::Start() {
   BIGCITY_GAUGE_SET("serve.rollout.generation", 0);
   BIGCITY_GAUGE_SET("serve.rollout.stable_version", initial_version);
 
-  workers_.reserve(static_cast<size_t>(options_.num_workers));
-  running_ = true;
+  heartbeats_.clear();
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    heartbeats_.push_back(std::make_unique<Heartbeat>());
+  }
+  running_ = true;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_.reserve(static_cast<size_t>(options_.num_workers));
+    for (int i = 0; i < options_.num_workers; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i, /*generation=*/0); });
+    }
   }
   if (registry_ != nullptr) {
     rollout_stop_ = false;
     SetRolloutState(RolloutState::kIdle);
     rollout_thread_ = std::thread([this] { RolloutLoop(); });
   }
+  supervisor_stop_ = false;
+  supervisor_thread_ = std::thread([this] { SupervisorLoop(); });
   return util::Status::Ok();
 }
 
@@ -336,11 +367,26 @@ void InferenceServer::Stop() {
   }
   rollout_cv_.notify_all();
   if (rollout_thread_.joinable()) rollout_thread_.join();
+  // Supervisor before the queue closes: no reap/replace churn while the
+  // workers drain. Parked (wedged) threads join after the live ones —
+  // injected stalls are finite and disarm-released, so the joins finish.
+  {
+    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    supervisor_stop_ = true;
+  }
+  supervisor_cv_.notify_all();
+  if (supervisor_thread_.joinable()) supervisor_thread_.join();
   queue_.Close();
-  for (std::thread& worker : workers_) {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    to_join.swap(workers_);
+    for (std::thread& parked : parked_) to_join.push_back(std::move(parked));
+    parked_.clear();
+  }
+  for (std::thread& worker : to_join) {
     if (worker.joinable()) worker.join();
   }
-  workers_.clear();
   // Final gauge push so short runs export their complete SLO windows
   // even when no task reached the tracker's self-publish cadence.
   slo_.Publish();
@@ -348,6 +394,14 @@ void InferenceServer::Stop() {
 }
 
 void InferenceServer::Finish(WorkItem& item, Response response) {
+  // Claim the shared completion first: exactly one of {owning worker,
+  // watchdog reap} resolves the promise. A worker that lost the race —
+  // its request was reaped off it while it was wedged — drops its late
+  // result here, counters and all (the reap already accounted for it).
+  if (item.completion == nullptr ||
+      item.completion->done.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   BIGCITY_TRACE_ID_SCOPE(item.trace_id);
   BIGCITY_TRACE_SPAN("serve.finish", "serve");
   response.id = item.request.id;
@@ -379,7 +433,41 @@ void InferenceServer::Finish(WorkItem& item, Response response) {
   slo_.Record(static_cast<int>(task_index), response.status.ok(),
               response.total_us);
 #endif
-  item.promise.set_value(std::move(response));
+  item.completion->promise.set_value(std::move(response));
+}
+
+void InferenceServer::FinishReaped(const InflightRecord& record) {
+  if (record.completion == nullptr ||
+      record.completion->done.exchange(true, std::memory_order_acq_rel)) {
+    return;  // The worker finished it in the instant before the reap.
+  }
+  BIGCITY_TRACE_ID_SCOPE(record.trace_id);
+  BIGCITY_TRACE_SPAN("serve.watchdog.reap", "serve");
+  Response response;
+  response.status =
+      util::Status::DeadlineExceeded("request reaped off hung worker");
+  response.outcome = Outcome::kReaped;
+  response.id = record.id;
+  response.trace_id = record.trace_id;
+  response.total_us = MicrosSince(record.submitted, Clock::now());
+  response.queue_wait_us = record.queue_wait_us;
+  response.model_version = record.model_version;
+  BIGCITY_HISTOGRAM_RECORD("serve.e2e_us", response.total_us);
+  // Flow terminus on the supervisor thread: the reaped request's trace
+  // still reads submit -> worker step -> reap, end to end.
+  BIGCITY_TRACE_FLOW("serve.request", "serve", 'f', record.trace_id);
+#if BIGCITY_OBS
+  const size_t task_index = static_cast<size_t>(record.task);
+  const size_t outcome_index = static_cast<size_t>(Outcome::kReaped);
+  if (task_index < outcome_counters_.size() &&
+      outcome_counters_[task_index][outcome_index] != nullptr) {
+    outcome_counters_[task_index][outcome_index]->Add(1);
+  }
+  slo_.Record(static_cast<int>(task_index), false, response.total_us);
+#endif
+  watchdog_reaps_.fetch_add(1, std::memory_order_relaxed);
+  BIGCITY_COUNTER_INC("serve.watchdog.reaped");
+  record.completion->promise.set_value(std::move(response));
 }
 
 std::future<Response> InferenceServer::Submit(Request request) {
@@ -407,7 +495,8 @@ std::future<Response> InferenceServer::Submit(Request request) {
             std::chrono::duration<double, std::milli>(deadline_ms));
   }
   item.request = std::move(request);
-  std::future<Response> future = item.promise.get_future();
+  item.completion = std::make_shared<Completion>();
+  std::future<Response> future = item.completion->promise.get_future();
 
   // Checkpoint 1 (pre-queue): a request that arrives already expired never
   // occupies a queue slot.
@@ -419,6 +508,19 @@ std::future<Response> InferenceServer::Submit(Request request) {
     Response response;
     response.status =
         util::Status::DeadlineExceeded("deadline expired before admission");
+    Finish(item, std::move(response));
+    return future;
+  }
+
+  // Memory-aware shed (DESIGN.md §4.16): while the overload controller is
+  // in its shedding state, new admissions fail fast with the same typed
+  // status as a full queue — before they can allocate anything.
+  if (overload_ != nullptr && !overload_->AdmitOk()) {
+    BIGCITY_COUNTER_INC("serve.overload.shed");
+    overload_sheds_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    response.status = util::Status::ResourceExhausted(
+        "memory overload: shedding admissions");
     Finish(item, std::move(response));
     return future;
   }
@@ -602,6 +704,11 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
   BIGCITY_TRACE_ID_SCOPE(item.trace_id);
   BIGCITY_TRACE_SPAN("serve.process", "serve");
   BIGCITY_TRACE_FLOW("serve.request", "serve", 't', item.trace_id);
+  // Deterministic wedge site (after the flow step so a reaped request's
+  // trace is still submit -> worker -> reap): the thread spins here for
+  // the armed Param ms, exactly like a forward stuck in a pathological
+  // input, and the watchdog must recover without its cooperation.
+  util::FaultInjection::MaybeStall(util::kFaultServeWorkerStall);
   Response response;
   response.model_version = replica.version;
   const Request& request = item.request;
@@ -727,7 +834,8 @@ Response InferenceServer::Process(WorkItem& item, Replica& replica,
     // forward never double-counts the failed attempt's stages.
     obs::RequestStagesClear();
     const Clock::time_point forward_start = Clock::now();
-    const bool use_kv = kv != nullptr && kv->capacity > 0 &&
+    const bool use_kv = kv != nullptr &&
+                        kv->capacity.load(std::memory_order_relaxed) > 0 &&
                         request.task == core::Task::kNextHop &&
                         request.trajectory.length() >= 2;
     util::Result<nn::Tensor> result = use_kv
@@ -843,7 +951,7 @@ bool InferenceServer::HasKvSession(KvSessionStore* kv, uint64_t version,
 void InferenceServer::CheckinKvSession(KvSessionStore* kv,
                                        KvSession session) {
   std::lock_guard<std::mutex> lock(kv->mu);
-  if (kv->sessions.size() >= kv->capacity) {
+  if (kv->sessions.size() >= kv->capacity.load(std::memory_order_relaxed)) {
     auto oldest = kv->sessions.begin();
     for (auto it = kv->sessions.begin(); it != kv->sessions.end(); ++it) {
       if (it->tick < oldest->tick) oldest = it;
@@ -899,7 +1007,8 @@ util::Result<std::vector<nn::Tensor>> InferenceServer::RunModelBatch(
       for (const WorkItem* item : items) {
         prefixes.push_back(item->request.trajectory);
       }
-      if (kv == nullptr || kv->capacity == 0) {
+      if (kv == nullptr ||
+          kv->capacity.load(std::memory_order_relaxed) == 0) {
         return model->TryBatchNextHopLogits(prefixes);
       }
       // Continuous batching over the shared KV store: members extending a
@@ -977,6 +1086,9 @@ void InferenceServer::ProcessBatch(std::vector<WorkItem>& items,
   for (const WorkItem& item : items) {
     BIGCITY_TRACE_FLOW("serve.request", "serve", 't', item.trace_id);
   }
+  // Same deterministic wedge site as the per-request path: every member
+  // of a stalled batch gets reaped together.
+  util::FaultInjection::MaybeStall(util::kFaultServeWorkerStall);
   const core::Task task = items[0].request.task;
   CohortStats* cohort = replica.cohort.load(std::memory_order_relaxed);
 
@@ -1187,16 +1299,53 @@ std::shared_ptr<InferenceServer::Replica> InferenceServer::SwapWorker(
   return next;  // The displaced replica.
 }
 
-void InferenceServer::WorkerLoop(int worker_index) {
+void InferenceServer::RegisterInflight(Heartbeat& hb,
+                                       const std::vector<WorkItem*>& items,
+                                       uint64_t model_version) {
+  std::lock_guard<std::mutex> lock(hb.inflight_mu);
+  hb.inflight.clear();
+  hb.inflight.reserve(items.size());
+  for (const WorkItem* item : items) {
+    InflightRecord record;
+    record.completion = item->completion;
+    record.id = item->request.id;
+    record.trace_id = item->trace_id;
+    record.task = item->request.task;
+    record.submitted = item->submitted;
+    record.queue_wait_us = item->queue_wait_us;
+    record.model_version = model_version;
+    hb.inflight.push_back(std::move(record));
+  }
+}
+
+void InferenceServer::ClearInflight(Heartbeat& hb) {
+  std::lock_guard<std::mutex> lock(hb.inflight_mu);
+  hb.inflight.clear();
+}
+
+void InferenceServer::WorkerLoop(int worker_index, uint64_t generation) {
   // Per-worker plan cache: plans are single-threaded by contract, and a
   // worker's arena footprint is fixed once its (task, bucket) mix has
-  // been captured.
+  // been captured. A replacement worker starts with a cold cache; the
+  // wedged incarnation's arena slabs are retired by the plan cache's
+  // poison valve when its thread finally unwinds.
   nn::PlanCache plan_cache(/*capacity=*/16, options_.plans);
   // KV decode sessions live in the server-wide store (kv_sessions_) so a
   // walk keeps hitting no matter which worker serves each step; version
   // scoping retires them naturally across hot-swaps.
   KvSessionStore* kv_sessions = &kv_sessions_;
+  Heartbeat& hb = *heartbeats_[static_cast<size_t>(worker_index)];
+  // Incarnation check: the watchdog bumps the slot's generation when it
+  // replaces a wedged worker, and the superseded thread must neither
+  // serve new requests nor write the heartbeat the replacement now owns.
+  const auto superseded = [&hb, generation] {
+    return hb.generation.load(std::memory_order_acquire) != generation;
+  };
   for (;;) {
+    if (superseded()) return;
+    // Idle beat before blocking: the supervisor treats a non-busy worker
+    // as healthy, so a quiet queue never looks like a hang.
+    hb.epoch.fetch_add(1, std::memory_order_release);
     std::vector<WorkItem> batch;
     if (batcher_ != nullptr) {
       batch = batcher_->NextBatch();
@@ -1216,6 +1365,10 @@ void InferenceServer::WorkerLoop(int worker_index) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
+    // Deterministic memory-pressure site: retains Param bytes per firing
+    // so chaos scenarios drive the overload controller with real resident
+    // memory instead of mocked gauges.
+    util::FaultInjection::MaybeLeak(util::kFaultServeWorkerLeak);
 
     const Clock::time_point dequeued = Clock::now();
     for (WorkItem& item : batch) {
@@ -1234,10 +1387,49 @@ void InferenceServer::WorkerLoop(int worker_index) {
       }
     }
 
+    // CoDel sojourn bound (DESIGN.md §4.16): when queue residency has sat
+    // above target for a full interval, drop the stalest requests at
+    // dequeue with a definite kDeadlineExceeded instead of burning a
+    // forward on work that already missed its useful latency.
+    if (overload_ != nullptr && overload_->options().sojourn_target_ms > 0) {
+      std::vector<WorkItem> kept;
+      kept.reserve(batch.size());
+      for (WorkItem& item : batch) {
+        if (overload_->ShouldDropStale(item.queue_wait_us, dequeued)) {
+          stale_drops_.fetch_add(1, std::memory_order_relaxed);
+          BIGCITY_COUNTER_INC("serve.overload.stale_dropped");
+          Response response;
+          response.status = util::Status::DeadlineExceeded(
+              "stale request dropped: queue sojourn above target");
+          Finish(item, std::move(response));
+        } else {
+          kept.push_back(std::move(item));
+        }
+      }
+      batch = std::move(kept);
+      if (batch.empty()) continue;
+    }
+
     // The replica is pinned for the whole batch: a concurrent hot-swap
     // replaces the slot's pointer but never this in-flight forward's.
     std::shared_ptr<Replica> replica =
         AcquireReplica(static_cast<size_t>(worker_index));
+
+    // Busy heartbeat + in-flight registration, gated on still owning the
+    // slot: a superseded incarnation serves what it already popped (its
+    // Finish calls lose the completion race harmlessly) but never touches
+    // the replacement's heartbeat.
+    std::vector<WorkItem*> members;
+    members.reserve(batch.size());
+    for (WorkItem& item : batch) members.push_back(&item);
+    const bool current = !superseded();
+    if (current) {
+      hb.trace_id.store(batch[0].trace_id, std::memory_order_release);
+      hb.busy.store(true, std::memory_order_release);
+      hb.epoch.fetch_add(1, std::memory_order_release);
+      RegisterInflight(hb, members, replica->version);
+    }
+
     if (batch.size() == 1) {
       Response response =
           Process(batch[0], *replica, &plan_cache, kv_sessions);
@@ -1245,6 +1437,184 @@ void InferenceServer::WorkerLoop(int worker_index) {
       Finish(batch[0], std::move(response));
     } else {
       ProcessBatch(batch, *replica, &plan_cache, kv_sessions);
+    }
+
+    if (current && !superseded()) {
+      ClearInflight(hb);
+      hb.busy.store(false, std::memory_order_release);
+      hb.trace_id.store(0, std::memory_order_release);
+      hb.epoch.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
+// --- Watchdog supervisor ----------------------------------------------------
+
+std::shared_ptr<InferenceServer::Replica>
+InferenceServer::MakeReplicaFromStable(size_t exclude_worker) {
+  const uint64_t version = stable_version_.load(std::memory_order_relaxed);
+  std::shared_ptr<Replica> replica = MakeReplica(version, &stable_stats_);
+  // Weight source preference: a healthy sibling already serving the stable
+  // version is a pure in-memory copy (replica params are immutable while
+  // serving, so the copy races with nothing). The reaped worker's own
+  // replica is excluded — it is being quarantined.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (i == exclude_worker) continue;
+    std::shared_ptr<Replica> sibling = AcquireReplica(i);
+    if (sibling != nullptr && sibling->version == version &&
+        sibling->model != nullptr) {
+      replica->model->CopyStateFrom(*sibling->model);
+      return replica;
+    }
+  }
+  if (version == 0) {
+    // Initial in-memory weights: the same sources Start() used.
+    if (prototype_ != nullptr) {
+      replica->model->CopyStateFrom(*prototype_);
+    } else if (!options_.checkpoint_path.empty()) {
+      util::Status status = LoadReplicaWeights(replica->model.get(),
+                                               options_.checkpoint_path);
+      if (!status.ok()) {
+        BIGCITY_LOG(Warning) << "watchdog: replacement checkpoint reload "
+                                "failed: "
+                             << status.message();
+        return nullptr;
+      }
+    }
+    return replica;
+  }
+  // Registry version: reload its CRC-validated weights from disk.
+  const std::string weights = util::WeightsPath(
+      util::VersionPath(options_.rollout.model_dir, version));
+  util::Status status = LoadReplicaWeights(replica->model.get(), weights);
+  if (!status.ok()) {
+    BIGCITY_LOG(Warning) << "watchdog: replacement weights reload failed: "
+                         << status.message();
+    return nullptr;
+  }
+  return replica;
+}
+
+void InferenceServer::ReapWorker(size_t worker) {
+  Heartbeat& hb = *heartbeats_[worker];
+  BIGCITY_TRACE_SPAN("serve.watchdog.reap_worker", "serve");
+  watchdog_hangs_.fetch_add(1, std::memory_order_relaxed);
+  BIGCITY_COUNTER_INC("serve.watchdog.hangs");
+  BIGCITY_LOG(Warning) << "watchdog: worker " << worker
+                       << " hung mid-request (trace "
+                       << hb.trace_id.load(std::memory_order_acquire)
+                       << "); reaping";
+
+  // Supersede the wedged incarnation first: from here its heartbeat
+  // writes stop and its eventual results lose the completion race.
+  const uint64_t next_generation =
+      hb.generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Resolve its in-flight requests with a definite status — the caller
+  // gets kDeadlineExceeded now, not a promise that hangs with the thread.
+  std::vector<InflightRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(hb.inflight_mu);
+    records.swap(hb.inflight);
+  }
+  for (const InflightRecord& record : records) FinishReaped(record);
+
+  // The heartbeat now describes the replacement incarnation.
+  hb.busy.store(false, std::memory_order_release);
+  hb.trace_id.store(0, std::memory_order_release);
+  hb.epoch.fetch_add(1, std::memory_order_release);
+
+  // Quarantine the wedged worker's replica: the slot gets a fresh replica
+  // rebuilt from the stable version's weights, and the old one is
+  // released by shared_ptr refcount once the wedged thread unwinds. If no
+  // weight source is loadable the old replica stays — a serving worker
+  // beats an empty slot.
+  std::shared_ptr<Replica> replacement = MakeReplicaFromStable(worker);
+  if (replacement != nullptr) {
+    SwapWorker(worker, std::move(replacement));
+  }
+
+  // Park the wedged thread (joined at Stop; stalls are finite) and start
+  // the replacement incarnation in its slot.
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    parked_.push_back(std::move(workers_[worker]));
+    BIGCITY_GAUGE_SET("serve.watchdog.parked",
+                      static_cast<double>(parked_.size()));
+    workers_[worker] = std::thread([this, worker, next_generation] {
+      WorkerLoop(static_cast<int>(worker), next_generation);
+    });
+  }
+  watchdog_replacements_.fetch_add(1, std::memory_order_relaxed);
+  BIGCITY_COUNTER_INC("serve.watchdog.replacements");
+}
+
+void InferenceServer::ApplyOverloadState() {
+  queue_.SetEffectiveCapacity(overload_->EffectiveQueueCapacity(
+      static_cast<size_t>(std::max(1, options_.queue_capacity))));
+  const size_t base_kv =
+      static_cast<size_t>(std::max(0, options_.kv_sessions)) *
+      static_cast<size_t>(options_.num_workers);
+  const size_t effective_kv = overload_->EffectiveKvCapacity(base_kv);
+  std::lock_guard<std::mutex> lock(kv_sessions_.mu);
+  kv_sessions_.capacity.store(effective_kv, std::memory_order_relaxed);
+  // Evict LRU overflow now — shrinking the cap must release memory, not
+  // merely stop growth.
+  while (kv_sessions_.sessions.size() > effective_kv) {
+    auto oldest = kv_sessions_.sessions.begin();
+    for (auto it = kv_sessions_.sessions.begin();
+         it != kv_sessions_.sessions.end(); ++it) {
+      if (it->tick < oldest->tick) oldest = it;
+    }
+    kv_sessions_.sessions.erase(oldest);
+  }
+}
+
+void InferenceServer::SupervisorLoop() {
+  struct Watch {
+    uint64_t epoch = 0;
+    Clock::time_point changed;
+  };
+  std::vector<Watch> watches(heartbeats_.size());
+  const Clock::time_point started = Clock::now();
+  for (Watch& watch : watches) watch.changed = started;
+  const double poll_ms = std::max(1.0, options_.watchdog_poll_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(supervisor_mu_);
+      supervisor_cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(poll_ms),
+          [this] { return supervisor_stop_; });
+      if (supervisor_stop_) return;
+    }
+    const Clock::time_point now = Clock::now();
+    if (options_.hang_threshold_ms > 0) {
+      for (size_t i = 0; i < heartbeats_.size(); ++i) {
+        Heartbeat& hb = *heartbeats_[i];
+        const uint64_t epoch = hb.epoch.load(std::memory_order_acquire);
+        if (epoch != watches[i].epoch) {
+          watches[i].epoch = epoch;
+          watches[i].changed = now;
+          continue;
+        }
+        if (!hb.busy.load(std::memory_order_acquire)) {
+          // Idle workers beat only around dequeue; quiet is not hung.
+          watches[i].changed = now;
+          continue;
+        }
+        const double stalled_ms =
+            std::chrono::duration<double, std::milli>(now - watches[i].changed)
+                .count();
+        if (stalled_ms >= options_.hang_threshold_ms) {
+          ReapWorker(i);
+          watches[i].epoch = hb.epoch.load(std::memory_order_acquire);
+          watches[i].changed = Clock::now();
+        }
+      }
+    }
+    if (overload_ != nullptr) {
+      overload_->Sample();
+      ApplyOverloadState();
     }
   }
 }

@@ -28,6 +28,7 @@
 #include "serve/circuit_breaker.h"
 #include "obs/slo.h"
 #include "serve/model_registry.h"
+#include "serve/overload.h"
 #include "serve/request.h"
 #include "serve/rollout.h"
 #include "util/status.h"
@@ -131,6 +132,34 @@ struct ServeOptions {
   /// when the directory already holds a valid CURRENT version at Start(),
   /// the replicas boot from it.
   RolloutOptions rollout;
+
+  /// Worker watchdog (DESIGN.md §4.16): each worker publishes a heartbeat
+  /// every loop iteration; a supervisor thread reaps a worker whose beat
+  /// stalls mid-request past this threshold — resolving its in-flight
+  /// requests with kDeadlineExceeded without touching the wedged thread,
+  /// then replacing the worker from the stable version's weights. <= 0
+  /// disables supervision.
+  double hang_threshold_ms = 5000.0;
+
+  /// Supervisor tick: heartbeat scan + overload sample cadence.
+  double watchdog_poll_ms = 10.0;
+
+  /// Memory-aware overload control (DESIGN.md §4.16): process tensor-memory
+  /// budget in bytes. Above overload_low_watermark the server halves
+  /// batch_max / KV capacity / queue bound; above overload_high_watermark
+  /// it additionally sheds new admissions with kResourceExhausted, and
+  /// recovery is hysteretic (shedding ends only below the low watermark).
+  /// 0 disables memory-based control.
+  int64_t mem_budget_bytes = 0;
+  double overload_high_watermark = 0.90;
+  double overload_low_watermark = 0.75;
+
+  /// CoDel-style queue-residency bound: once dequeued requests have spent
+  /// more than sojourn_target_ms queued continuously for one
+  /// sojourn_interval_ms, workers start dropping the stalest entries at
+  /// dequeue with kDeadlineExceeded. <= 0 disables the bound.
+  double sojourn_target_ms = 0;
+  double sojourn_interval_ms = 100.0;
 
   /// Per-task SLO objectives (DESIGN.md §4.15): every task is registered
   /// with the server's SloTracker at Start() using these values, and each
@@ -246,6 +275,29 @@ class InferenceServer {
   /// Same for stable_version() == `version`.
   bool WaitForStableVersion(uint64_t version, double timeout_ms) const;
 
+  /// Watchdog introspection (plain code, valid in every build flavor):
+  /// hung-worker incidents detected, requests reaped off hung workers,
+  /// replacement workers started.
+  uint64_t watchdog_hangs() const {
+    return watchdog_hangs_.load(std::memory_order_relaxed);
+  }
+  uint64_t watchdog_reaps() const {
+    return watchdog_reaps_.load(std::memory_order_relaxed);
+  }
+  uint64_t watchdog_replacements() const {
+    return watchdog_replacements_.load(std::memory_order_relaxed);
+  }
+  /// Admissions shed by the overload controller (kShedding state) and
+  /// stale requests dropped at dequeue by the CoDel sojourn bound.
+  uint64_t overload_sheds() const {
+    return overload_sheds_.load(std::memory_order_relaxed);
+  }
+  uint64_t stale_drops() const {
+    return stale_drops_.load(std::memory_order_relaxed);
+  }
+  /// Memory-aware overload controller; null before Start().
+  const OverloadController* overload() const { return overload_.get(); }
+
   /// Live per-task SLO windows (success rate, burn rate, p50/p99);
   /// task handles equal core::Task indices after Start().
   const obs::SloTracker& slo_tracker() const { return slo_; }
@@ -255,9 +307,20 @@ class InferenceServer {
   void PublishSlo() { slo_.Publish(); }
 
  private:
+  /// Shared resolution point for one request's promise. Either the owning
+  /// worker (via Finish) or the watchdog (via reap) resolves it — never
+  /// both: the winner of done.exchange(true) sets the value, the loser's
+  /// result becomes a no-op. This is what lets the supervisor hand the
+  /// caller a definite kDeadlineExceeded while the wedged worker still
+  /// holds the WorkItem.
+  struct Completion {
+    std::promise<Response> promise;
+    std::atomic<bool> done{false};
+  };
+
   struct WorkItem {
     Request request;
-    std::promise<Response> promise;
+    std::shared_ptr<Completion> completion;
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
@@ -290,7 +353,9 @@ class InferenceServer {
   /// session is exclusively owned by one worker, which mutates its cache
   /// lock-free during the forward and checks it back in afterwards.
   struct KvSessionStore {
-    size_t capacity = 0;
+    /// Atomic because the hot path peeks at it lock-free (use_kv gate)
+    /// while ApplyOverloadState shrinks it under memory pressure.
+    std::atomic<size_t> capacity{0};
     std::mutex mu;
     uint64_t tick = 0;
     std::list<KvSession> sessions;
@@ -315,6 +380,36 @@ class InferenceServer {
     std::shared_ptr<Replica> replica;
   };
 
+  /// What the watchdog needs to resolve one in-flight request without
+  /// touching the WorkItem the wedged worker still owns.
+  struct InflightRecord {
+    std::shared_ptr<Completion> completion;
+    uint64_t id = 0;
+    uint64_t trace_id = 0;
+    core::Task task = core::Task::kNextHop;
+    std::chrono::steady_clock::time_point submitted;
+    double queue_wait_us = 0;
+    uint64_t model_version = 0;
+  };
+
+  /// Per-worker heartbeat slot (DESIGN.md §4.16). The worker bumps `epoch`
+  /// at every loop iteration and flags `busy` around request processing;
+  /// the supervisor polls the epochs and declares a hang when a busy
+  /// worker's epoch has not moved for hang_threshold_ms. `generation`
+  /// counts worker incarnations in this slot: the supervisor bumps it when
+  /// replacing a wedged worker, and the superseded thread sees the
+  /// mismatch and exits instead of double-serving. `inflight` mirrors the
+  /// requests the current incarnation is processing so a reap can resolve
+  /// them from outside the wedged thread.
+  struct alignas(64) Heartbeat {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<bool> busy{false};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> generation{0};
+    std::mutex inflight_mu;
+    std::vector<InflightRecord> inflight;
+  };
+
   /// Sliding window of forward times; p95 over the last `kWindow` samples.
   class LatencyEstimator {
    public:
@@ -330,8 +425,34 @@ class InferenceServer {
     size_t count_ = 0;
   };
 
-  void WorkerLoop(int worker_index);
+  void WorkerLoop(int worker_index, uint64_t generation);
   void Finish(WorkItem& item, Response response);
+  /// Watchdog-side completion of one reaped request: claims the shared
+  /// Completion and resolves it with kDeadlineExceeded / Outcome::kReaped,
+  /// feeding the same outcome counters and SLO window as Finish.
+  void FinishReaped(const InflightRecord& record);
+  /// Registers / clears the worker's current requests in its heartbeat
+  /// slot so the supervisor can reap them without the worker's help.
+  void RegisterInflight(Heartbeat& hb, const std::vector<WorkItem*>& items,
+                        uint64_t model_version);
+  void ClearInflight(Heartbeat& hb);
+  /// Supervisor thread body: heartbeat hang scan + overload sampling at
+  /// watchdog_poll_ms cadence.
+  void SupervisorLoop();
+  /// Reaps a hung worker: resolves its in-flight requests, supersedes the
+  /// wedged incarnation (generation bump), parks its thread, and starts a
+  /// replacement worker on a fresh stable-version replica.
+  void ReapWorker(size_t worker);
+  /// Replacement replica built from the stable version's weights: a
+  /// healthy sibling slot (not `exclude_worker`, whose replica is being
+  /// quarantined) serving the same version is preferred (pure in-memory
+  /// copy); otherwise the prototype / checkpoint (version 0) or the
+  /// registry's versioned weights file. Null when no source is loadable.
+  std::shared_ptr<Replica> MakeReplicaFromStable(size_t exclude_worker);
+  /// Applies the overload controller's current state to the live knobs
+  /// (queue bound, KV capacity); the batcher reads its shrunken batch_max
+  /// through its own callback.
+  void ApplyOverloadState();
   Response Process(WorkItem& item, Replica& replica, nn::PlanCache* plans,
                    KvSessionStore* kv);
   /// Batched request path (size >= 2, one task): per-item checkpoints,
@@ -399,7 +520,27 @@ class InferenceServer {
   KvSessionStore kv_sessions_;  // Capacity 0 when KV caching is off.
   LatencyEstimator forward_latency_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  /// Worker threads by slot, guarded by workers_mu_ because the supervisor
+  /// replaces entries while Stop may be joining. A replaced (wedged)
+  /// thread moves to parked_ and is joined at Stop — stalls are finite and
+  /// disarm-released, so the joins terminate.
+  std::mutex workers_mu_;
   std::vector<std::thread> workers_;
+  std::vector<std::thread> parked_;
+  std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
+
+  // Watchdog + overload machinery (DESIGN.md §4.16).
+  std::unique_ptr<OverloadController> overload_;
+  std::thread supervisor_thread_;
+  std::mutex supervisor_mu_;
+  std::condition_variable supervisor_cv_;
+  bool supervisor_stop_ = false;
+  // Plain-code introspection for tests in the probes-compiled-out flavor.
+  std::atomic<uint64_t> watchdog_hangs_{0};
+  std::atomic<uint64_t> watchdog_reaps_{0};
+  std::atomic<uint64_t> watchdog_replacements_{0};
+  std::atomic<uint64_t> overload_sheds_{0};
+  std::atomic<uint64_t> stale_drops_{0};
   // One breaker per task, indexed by core::Task. Constructed in Start()
   // (breaker knobs come from options_), read-only pointers afterwards.
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;

@@ -1,8 +1,13 @@
 #include "util/fault_injection.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 namespace bigcity::util {
 
@@ -29,6 +34,22 @@ std::map<std::string, SiteState>& Sites() {
 /// of this counter — no lock, no map lookup — so production code pays
 /// nothing when the harness is idle.
 std::atomic<int> g_armed{0};
+
+/// Retained allocations of the leak kind. Function-local static (never
+/// destroyed before exit handlers) and always reachable, so LeakSanitizer
+/// has nothing to report even when a test forgets FreeLeaks().
+struct LeakSink {
+  std::mutex mu;
+  std::vector<std::unique_ptr<char[]>> blocks;
+};
+
+LeakSink& Leaks() {
+  static LeakSink* sink = new LeakSink();
+  return *sink;
+}
+
+/// Separate relaxed tally so pressure samplers never take the sink mutex.
+std::atomic<int64_t> g_leaked_bytes{0};
 
 }  // namespace
 
@@ -79,6 +100,47 @@ int FaultInjection::FireCount(const std::string& site) {
   std::lock_guard<std::mutex> lock(Mu());
   auto it = Sites().find(site);
   return it == Sites().end() ? 0 : it->second.fired;
+}
+
+bool FaultInjection::MaybeStall(const std::string& site) {
+  if (!Fire(site)) return false;
+  const int64_t stall_ms = Param(site);
+  const auto start = std::chrono::steady_clock::now();
+  // 1 ms slices, re-reading Param so Disarm releases a wedged thread
+  // without waiting out the full stall.
+  while (std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count() < static_cast<double>(stall_ms)) {
+    if (Param(site) == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+int64_t FaultInjection::MaybeLeak(const std::string& site) {
+  if (!Fire(site)) return 0;
+  const int64_t bytes = Param(site);
+  if (bytes <= 0) return 0;
+  auto block = std::make_unique<char[]>(static_cast<size_t>(bytes));
+  // Touch every page so the leak shows up as real resident memory, not
+  // just reserved address space.
+  std::memset(block.get(), 0xAB, static_cast<size_t>(bytes));
+  {
+    std::lock_guard<std::mutex> lock(Leaks().mu);
+    Leaks().blocks.push_back(std::move(block));
+  }
+  g_leaked_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  return bytes;
+}
+
+int64_t FaultInjection::LeakedBytes() {
+  return g_leaked_bytes.load(std::memory_order_relaxed);
+}
+
+void FaultInjection::FreeLeaks() {
+  std::lock_guard<std::mutex> lock(Leaks().mu);
+  Leaks().blocks.clear();
+  g_leaked_bytes.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace bigcity::util

@@ -38,6 +38,34 @@ class FaultInjection {
   /// Times `site` has fired since it was (re-)armed — lets tests assert a
   /// recovery path actually executed rather than being skipped.
   static int FireCount(const std::string& site);
+
+  // --- Structured fault kinds ---------------------------------------------
+  // stall(site, ms) and leak(site, bytes) generalize the two failure
+  // shapes the serving supervisor must heal: a wedged thread and runaway
+  // memory growth. Both are deterministic (duration/size come from the
+  // armed Param, firing order from the arm skip/count accounting) and
+  // thread-safe, so tests drive them instead of ad-hoc sleeps/allocs.
+
+  /// Stall kind: when `site` fires, blocks the calling thread for Param()
+  /// milliseconds, sleeping in 1 ms slices and releasing early if the site
+  /// is disarmed mid-stall (so a test can un-wedge a parked thread).
+  /// Returns true when a stall was injected.
+  static bool MaybeStall(const std::string& site);
+
+  /// Leak kind: when `site` fires, allocates Param() bytes into a retained
+  /// process-global sink (touched so the pages are really committed) and
+  /// returns the byte count; 0 when the site did not fire. The sink stays
+  /// reachable until FreeLeaks(), so leak-site runs are LeakSanitizer
+  /// clean by construction.
+  static int64_t MaybeLeak(const std::string& site);
+
+  /// Bytes currently held by the leak sink (all sites). Memory-pressure
+  /// controllers add this to their sample so injected leaks register even
+  /// in build flavors whose allocation probes compile out.
+  static int64_t LeakedBytes();
+
+  /// Releases every injected leak (recovery half of a pressure scenario).
+  static void FreeLeaks();
 };
 
 /// RAII arming of one fault site for the enclosing scope.
@@ -96,6 +124,12 @@ inline constexpr char kFaultServeTokenizeFail[] = "serve.tokenize.fail";
 inline constexpr char kFaultServeForwardFail[] = "serve.forward.fail";
 /// Replica checkpoint reload at server start: transient failure.
 inline constexpr char kFaultServeReloadFail[] = "serve.reload.fail";
+/// Serve worker, mid-request (pre-forward): wedge the worker thread for
+/// Param() milliseconds via MaybeStall — the watchdog's hang scenario.
+inline constexpr char kFaultServeWorkerStall[] = "serve.worker.stall";
+/// Serve worker, per batch: leak Param() bytes into the retained sink via
+/// MaybeLeak — the overload controller's memory-pressure scenario.
+inline constexpr char kFaultServeWorkerLeak[] = "serve.worker.leak";
 
 // Model-lifecycle sites (util/model_dir, src/serve rollout; DESIGN.md
 // §4.12).

@@ -311,6 +311,25 @@ TEST_F(ServeTest, RealDeadlineExpiresQueuedRequest) {
   EXPECT_EQ(response.outcome, Outcome::kDeadline);
 }
 
+TEST_F(ServeTest, StallSlowsButCompletesWhenWatchdogDisabled) {
+  // hang_threshold_ms = 0 turns the watchdog off entirely: a mid-request
+  // stall makes the request slow, never reaped — the caller still gets
+  // the real result (DESIGN.md §4.16).
+  ServeOptions options = FastOptions();
+  options.hang_threshold_ms = 0;
+  options.watchdog_poll_ms = 1;
+  InferenceServer server(dataset_, model_config_, options, prototype_);
+  ASSERT_TRUE(server.Start().ok());
+
+  util::ScopedFault stall(util::kFaultServeWorkerStall, 0, 1, /*param=*/30);
+  Response response = server.ServeSync(NextHopRequest());
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.outcome, Outcome::kOk);
+  EXPECT_GE(response.total_us, 20000.0);  // The stall showed up end to end.
+  EXPECT_EQ(server.watchdog_hangs(), 0u);
+  EXPECT_EQ(server.watchdog_reaps(), 0u);
+}
+
 // --- Retries and circuit breaking -------------------------------------------
 
 TEST_F(ServeTest, TransientForwardFaultRetriesThenSucceeds) {

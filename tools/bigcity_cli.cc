@@ -89,6 +89,8 @@ struct CliOptions {
   // Model lifecycle (DESIGN.md §4.12).
   std::string model_dir;      // serve: watch; publish: destination.
   double watch_seconds = 0;   // serve: keep replaying this long (0 = once).
+  double hang_threshold_ms = 5000.0;  // serve: watchdog reap threshold.
+  double mem_budget_mb = 0;   // serve: memory budget; 0 = no overload control.
   // Live telemetry + dashboards (DESIGN.md §4.15).
   std::string telemetry_out;  // serve: periodic JSONL metric deltas.
   double telemetry_interval_ms = 1000.0;
@@ -138,6 +140,13 @@ void PrintUsage() {
       "                    publish: versioned destination directory\n"
       "  --watch-seconds F serve: keep replaying the request mix for F\n"
       "                    seconds (0 = one replay pass)\n"
+      "  --hang-threshold-ms F serve: watchdog reaps a worker wedged\n"
+      "                    mid-request past F ms and replaces it from the\n"
+      "                    stable weights (default 5000; 0 = off)\n"
+      "  --mem-budget-mb F serve: memory budget for overload control —\n"
+      "                    above 75%% capacity halves, above 90%% new\n"
+      "                    admissions shed until usage falls back under\n"
+      "                    75%% (default 0 = off)\n"
       "  --telemetry-out PATH serve: append periodic JSONL deltas of the\n"
       "                    serve.*/slo.* metrics (consumed by `top`)\n"
       "  --telemetry-interval-ms F serve: telemetry tick period; top:\n"
@@ -210,6 +219,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->model_dir = value;
     } else if (flag == "--watch-seconds") {
       options->watch_seconds = std::atof(value.c_str());
+    } else if (flag == "--hang-threshold-ms") {
+      options->hang_threshold_ms = std::atof(value.c_str());
+    } else if (flag == "--mem-budget-mb") {
+      options->mem_budget_mb = std::atof(value.c_str());
     } else if (flag == "--telemetry-out") {
       options->telemetry_out = value;
     } else if (flag == "--telemetry-interval-ms") {
@@ -453,6 +466,9 @@ int RunServe(const CliOptions& options) {
   serve_options.attach_lora = !options.load.empty();  // Matches eval.
   serve_options.plans = options.plans;
   serve_options.rollout.model_dir = options.model_dir;
+  serve_options.hang_threshold_ms = options.hang_threshold_ms;
+  serve_options.mem_budget_bytes =
+      static_cast<int64_t>(options.mem_budget_mb * (1 << 20));
   serve::InferenceServer server(&dataset, model_config, serve_options);
   if (auto status = server.Start(); !status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
@@ -476,7 +492,7 @@ int RunServe(const CliOptions& options) {
     }
   }
 
-  int counts[7] = {};
+  int counts[serve::kNumOutcomes] = {};
   std::vector<double> latencies_us;
   latencies_us.reserve(trajectories.size());
   const auto watch_deadline =
@@ -521,9 +537,10 @@ int RunServe(const CliOptions& options) {
   };
 
   util::TablePrinter table({"Outcome", "Count"});
-  const char* names[7] = {"ok",       "degraded",    "shed",    "deadline",
-                          "quarantined", "rejected", "failed"};
-  for (int i = 0; i < 7; ++i) {
+  const char* names[serve::kNumOutcomes] = {
+      "ok",          "degraded", "shed",   "deadline",
+      "quarantined", "rejected", "failed", "reaped"};
+  for (int i = 0; i < serve::kNumOutcomes; ++i) {
     table.AddRow({names[i], util::TablePrinter::Num(counts[i], 0)});
   }
   table.AddRow({"p50 ms", util::TablePrinter::Num(percentile(0.5) / 1e3, 2)});
@@ -826,18 +843,18 @@ void RenderTop(const TopState& state, const std::string& path) {
                state.last_wall_ms - state.first_wall_ms +
                    state.last_interval_ms) /
       1e3;
-  static const char* kOutcomes[7] = {"ok",          "degraded", "shed",
-                                     "deadline",    "quarantined",
-                                     "rejected",    "failed"};
+  static const char* kOutcomes[serve::kNumOutcomes] = {
+      "ok",          "degraded", "shed",   "deadline",
+      "quarantined", "rejected", "failed", "reaped"};
   const std::vector<std::string> tasks = SloTaskNames(state.last_gauges);
   double total_requests = 0;
   util::TablePrinter table({"Task", "QPS", "Success", "Burn", "p50 ms",
                             "p99 ms", "OK", "Deg", "Shed", "Ddl", "Quar",
-                            "Rej", "Fail"});
+                            "Rej", "Fail", "Reap"});
   for (const std::string& task : tasks) {
-    double outcome_counts[7] = {};
+    double outcome_counts[serve::kNumOutcomes] = {};
     double task_requests = 0;
-    for (int o = 0; o < 7; ++o) {
+    for (int o = 0; o < serve::kNumOutcomes; ++o) {
       outcome_counts[o] = GaugeOr(
           state.counters, "serve.outcome." + task + "." + kOutcomes[o], 0);
       task_requests += outcome_counts[o];
@@ -854,7 +871,7 @@ void RenderTop(const TopState& state, const std::string& path) {
             GaugeOr(state.last_gauges, prefix + "p50_us", 0) / 1e3, 2),
         util::TablePrinter::Num(
             GaugeOr(state.last_gauges, prefix + "p99_us", 0) / 1e3, 2)};
-    for (int o = 0; o < 7; ++o) {
+    for (int o = 0; o < serve::kNumOutcomes; ++o) {
       row.push_back(util::TablePrinter::Num(outcome_counts[o], 0));
     }
     table.AddRow(row);

@@ -1,10 +1,13 @@
-// Chaos/soak harness for the model lifecycle (DESIGN.md §4.12).
+// Chaos/soak harness for the model lifecycle (DESIGN.md §4.12) and the
+// self-healing runtime (DESIGN.md §4.16).
 //
 // Sustains a mixed-task request load against an InferenceServer while a
 // deterministic schedule publishes good, corrupt-CRC, config-mismatched,
 // and NaN-weight model versions and fires the lifecycle fault sites
 // (torn CURRENT-pointer write, slow staged load, canary latency
-// inflation). Invariants checked throughout:
+// inflation), plus the self-healing sites: a wedged-worker stall that the
+// watchdog must reap, and a memory leak that must drive the overload
+// controller into shedding and back. Invariants checked throughout:
 //
 //   1. zero crashes — the process reaching its summary is the invariant;
 //   2. every request terminates with a definite Status (no broken
@@ -14,7 +17,13 @@
 //      requests with kInternal before rollback;
 //   4. bad versions are quarantined while the server keeps serving;
 //   5. after an automatic rollback, responses are bit-identical to the
-//      pre-push stable model's.
+//      pre-push stable model's;
+//   6. no permanent throughput loss after a hang: once the watchdog reaps
+//      a wedged worker and spins up its replacement, a post-reap window
+//      must recover to within 10% of the pre-hang baseline;
+//   7. peak sampled memory stays under the configured budget — admission
+//      shedding kicks in before the injected leak can blow through it,
+//      and recovery after FreeLeaks() is monotone back to normal.
 //
 // Exit code 0 iff every invariant held. --json writes a machine-readable
 // report (counts, per-event results, violations, metrics snapshot) for
@@ -33,6 +42,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <string>
 #include <thread>
@@ -43,6 +53,7 @@
 #include "nn/tensor.h"
 #include "obs/obs.h"
 #include "serve/model_registry.h"
+#include "serve/overload.h"
 #include "serve/rollout.h"
 #include "serve/server.h"
 #include "util/fault_injection.h"
@@ -94,6 +105,8 @@ struct LoadStats {
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> degraded{0};
   std::atomic<uint64_t> nonfinite_internal{0};
+  std::atomic<uint64_t> shed{0};      // kResourceExhausted: overload/queue.
+  std::atomic<uint64_t> deadline{0};  // kDeadlineExceeded: reap/stale-drop.
   std::atomic<uint64_t> other_failures{0};
   std::atomic<uint64_t> broken_promises{0};
 };
@@ -107,6 +120,8 @@ struct EventStats {
   int nan_rollbacks = 0;
   int latency_rollbacks = 0;
   int torn_publishes = 0;
+  int worker_reaps = 0;  // Wedged-worker stall -> watchdog reap+replace.
+  int leak_sheds = 0;    // Injected leak -> shedding -> monotone recovery.
 };
 
 class ChaosSoak {
@@ -231,6 +246,33 @@ class ChaosSoak {
     return false;
   }
 
+  bool WaitUntil(const std::function<bool()>& pred, double timeout_ms) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               timeout_ms));
+    while (Clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return pred();
+  }
+
+  /// Successful-responses-per-second over one `window_ms` observation
+  /// window of the background load threads.
+  double MeasureOkThroughput(double window_ms) {
+    const uint64_t before = load_.ok.load(std::memory_order_relaxed);
+    const Clock::time_point start = Clock::now();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(window_ms));
+    const double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const uint64_t after = load_.ok.load(std::memory_order_relaxed);
+    return elapsed_s > 0
+               ? static_cast<double>(after - before) / elapsed_s
+               : 0.0;
+  }
+
   /// SLO telemetry consistency (DESIGN.md §4.15): the tracker's published
   /// window statistics must stay internally coherent through swaps,
   /// rollbacks, and fault injection. Burn-rate *bounds* are deliberately
@@ -286,6 +328,7 @@ class ChaosSoak {
   std::vector<std::string> violations_;
   std::atomic<bool> stop_load_{false};
   uint64_t next_variant_seed_ = 1000;
+  int64_t mem_budget_bytes_ = 0;
 };
 
 void ChaosSoak::LoadLoop(int thread_index) {
@@ -359,6 +402,16 @@ void ChaosSoak::LoadLoop(int thread_index) {
       } else if (response.status.code() == util::StatusCode::kInternal) {
         // Expected (bounded) while a NaN canary is being judged.
         load_.nonfinite_internal.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.status.code() ==
+                 util::StatusCode::kResourceExhausted) {
+        // Expected while the overload controller sheds admissions (or the
+        // admission queue is full under a tightened bound).
+        load_.shed.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.status.code() ==
+                 util::StatusCode::kDeadlineExceeded) {
+        // Expected (bounded) when the watchdog reaps a wedged worker's
+        // in-flight requests or the CoDel sojourn bound drops stale ones.
+        load_.deadline.fetch_add(1, std::memory_order_relaxed);
       } else {
         load_.other_failures.fetch_add(1, std::memory_order_relaxed);
       }
@@ -372,9 +425,10 @@ void ChaosSoak::LoadLoop(int thread_index) {
 
 void ChaosSoak::RunEvent(int event_index) {
   const uint64_t stable_before = server_->stable_version();
-  const char* kNames[] = {"good",    "corrupt", "nan",  "slow_good",
-                          "mismatch", "torn",    "latency"};
-  const int kind = event_index % 7;
+  const char* kNames[] = {"good",     "corrupt", "nan",     "slow_good",
+                          "mismatch", "torn",    "latency", "stall",
+                          "leak"};
+  const int kind = event_index % 9;
   std::printf("[chaos] event %d: %s (stable v%llu)\n", event_index,
               kNames[kind], static_cast<unsigned long long>(stable_before));
 
@@ -533,6 +587,100 @@ void ChaosSoak::RunEvent(int event_index) {
       ++events_.latency_rollbacks;
       break;
     }
+    case 7: {  // Wedged worker: watchdog reaps + replaces, throughput
+               // recovers to the pre-hang baseline.
+      // Baseline is the smaller of two observation windows so one lucky
+      // window can't set an unreachable recovery bar.
+      const double baseline = std::min(MeasureOkThroughput(300),
+                                       MeasureOkThroughput(300));
+      const uint64_t reaps_before = server_->watchdog_reaps();
+      const uint64_t replacements_before = server_->watchdog_replacements();
+      // One firing, parked far past the hang threshold; Disarm below
+      // releases the wedged thread early once the reap is confirmed.
+      util::FaultInjection::Arm(util::kFaultServeWorkerStall, 0, 1, 60000);
+      const bool reaped = WaitUntil(
+          [&] { return server_->watchdog_reaps() > reaps_before; }, 15000);
+      if (!reaped) {
+        util::FaultInjection::Disarm(util::kFaultServeWorkerStall);
+        Violation("wedged worker was not reaped within 15s");
+        return;
+      }
+      const bool replaced = WaitUntil(
+          [&] {
+            return server_->watchdog_replacements() > replacements_before;
+          },
+          15000);
+      util::FaultInjection::Disarm(util::kFaultServeWorkerStall);
+      if (!replaced) {
+        Violation("reaped worker was not replaced within 15s");
+        return;
+      }
+      // No permanent throughput loss: some post-reap window must recover
+      // to within 10% of the pre-hang baseline.
+      bool recovered = baseline <= 0;
+      for (int window = 0; window < 20 && !recovered; ++window) {
+        recovered = MeasureOkThroughput(300) >= 0.9 * baseline;
+      }
+      if (!recovered) {
+        Violation("throughput never recovered to 90% of the pre-hang "
+                  "baseline after a reap");
+        return;
+      }
+      ++events_.worker_reaps;
+      break;
+    }
+    case 8: {  // Injected leak: shedding engages before the budget is
+               // blown, then recovery is monotone after the leak is freed.
+      const int64_t current = serve::OverloadController::CurrentMemoryBytes();
+      // Land just under the budget: far enough above the high watermark
+      // (0.90) to force shedding, with headroom left so the "peak stays
+      // under budget" invariant genuinely tests admission control.
+      const int64_t target =
+          static_cast<int64_t>(0.93 * static_cast<double>(mem_budget_bytes_));
+      const int64_t leak_bytes =
+          std::max<int64_t>(target - current, 1 << 20);
+      const uint64_t sheds_before = server_->overload_sheds();
+      util::FaultInjection::Arm(util::kFaultServeWorkerLeak, 0, 1,
+                                leak_bytes);
+      const bool shedding = WaitUntil(
+          [&] {
+            return server_->overload()->state() ==
+                   serve::OverloadController::State::kShedding;
+          },
+          10000);
+      if (!shedding) {
+        util::FaultInjection::Disarm(util::kFaultServeWorkerLeak);
+        util::FaultInjection::FreeLeaks();
+        Violation("injected leak did not drive the overload controller "
+                  "into shedding");
+        return;
+      }
+      if (!WaitUntil([&] { return server_->overload_sheds() > sheds_before; },
+                     10000)) {
+        util::FaultInjection::Disarm(util::kFaultServeWorkerLeak);
+        util::FaultInjection::FreeLeaks();
+        Violation("shedding state never shed an admission under load");
+        return;
+      }
+      util::FaultInjection::Disarm(util::kFaultServeWorkerLeak);
+      util::FaultInjection::FreeLeaks();
+      if (!WaitUntil(
+              [&] {
+                return server_->overload()->state() ==
+                       serve::OverloadController::State::kNormal;
+              },
+              10000)) {
+        Violation("overload controller did not recover to normal after "
+                  "the leak was freed");
+        return;
+      }
+      if (!ProbeStable(stable_before, 10000).is_valid()) {
+        Violation("server stopped serving after overload recovery");
+        return;
+      }
+      ++events_.leak_sheds;
+      break;
+    }
   }
 }
 
@@ -552,12 +700,15 @@ void ChaosSoak::WriteJson() const {
       f,
       "  \"requests\": {\"submitted\": %llu, \"definite\": %llu, "
       "\"ok\": %llu, \"degraded\": %llu, \"nonfinite_internal\": %llu, "
+      "\"shed\": %llu, \"deadline\": %llu, "
       "\"other_failures\": %llu, \"broken_promises\": %llu},\n",
       static_cast<unsigned long long>(load_.submitted.load()),
       static_cast<unsigned long long>(load_.definite.load()),
       static_cast<unsigned long long>(load_.ok.load()),
       static_cast<unsigned long long>(load_.degraded.load()),
       static_cast<unsigned long long>(load_.nonfinite_internal.load()),
+      static_cast<unsigned long long>(load_.shed.load()),
+      static_cast<unsigned long long>(load_.deadline.load()),
       static_cast<unsigned long long>(load_.other_failures.load()),
       static_cast<unsigned long long>(load_.broken_promises.load()));
   std::fprintf(
@@ -565,11 +716,26 @@ void ChaosSoak::WriteJson() const {
       "  \"events\": {\"good_swaps\": %d, \"slow_good_swaps\": %d, "
       "\"corrupt_published\": %d, \"mismatch_published\": %d, "
       "\"nan_rollbacks\": %d, \"latency_rollbacks\": %d, "
-      "\"torn_publishes\": %d},\n",
+      "\"torn_publishes\": %d, \"worker_reaps\": %d, "
+      "\"leak_sheds\": %d},\n",
       events_.good_swaps, events_.slow_good_swaps,
       events_.corrupt_published, events_.mismatch_published,
       events_.nan_rollbacks, events_.latency_rollbacks,
-      events_.torn_publishes);
+      events_.torn_publishes, events_.worker_reaps, events_.leak_sheds);
+  std::fprintf(
+      f,
+      "  \"watchdog\": {\"hangs\": %llu, \"reaps\": %llu, "
+      "\"replacements\": %llu, \"overload_sheds\": %llu, "
+      "\"stale_drops\": %llu, \"overload_state\": \"%s\", "
+      "\"peak_sampled_bytes\": %lld, \"mem_budget_bytes\": %lld},\n",
+      static_cast<unsigned long long>(server_->watchdog_hangs()),
+      static_cast<unsigned long long>(server_->watchdog_reaps()),
+      static_cast<unsigned long long>(server_->watchdog_replacements()),
+      static_cast<unsigned long long>(server_->overload_sheds()),
+      static_cast<unsigned long long>(server_->stale_drops()),
+      serve::OverloadController::StateName(server_->overload()->state()),
+      static_cast<long long>(server_->overload()->peak_sampled_bytes()),
+      static_cast<long long>(mem_budget_bytes_));
   std::fprintf(
       f,
       "  \"server\": {\"generation\": %llu, \"stable_version\": %llu, "
@@ -624,6 +790,16 @@ int ChaosSoak::Run() {
   serve_options.rollout.canary_min_requests = 96;
   serve_options.rollout.canary_latency_inflation = 10.0;
   serve_options.rollout.canary_timeout_ms = 20000;
+  // Self-healing under test (DESIGN.md §4.16): a tight hang threshold so
+  // the stall event reaps within one observation window, and a memory
+  // budget sized from the pre-start footprint so only the injected leak —
+  // never organic serving allocations — can cross the watermarks.
+  serve_options.hang_threshold_ms = 150;
+  serve_options.watchdog_poll_ms = 5;
+  mem_budget_bytes_ =
+      6 * serve::OverloadController::CurrentMemoryBytes() +
+      (int64_t{96} << 20);
+  serve_options.mem_budget_bytes = mem_budget_bytes_;
   server_ = std::make_unique<serve::InferenceServer>(
       dataset_.get(), model_config_, serve_options, prototype_.get());
   if (auto status = server_->Start(); !status.ok()) {
@@ -643,15 +819,15 @@ int ChaosSoak::Run() {
   const Clock::time_point soak_deadline =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(options_.seconds));
-  int event_index = static_cast<int>(options_.seed % 7);
+  int event_index = static_cast<int>(options_.seed % 9);
   int events_run = 0;
-  // Always complete at least one full cycle (all seven event kinds), then
+  // Always complete at least one full cycle (all nine event kinds), then
   // keep cycling until the time budget is spent.
-  while (events_run < 7 || Clock::now() < soak_deadline) {
+  while (events_run < 9 || Clock::now() < soak_deadline) {
     RunEvent(event_index);
     ++event_index;
     ++events_run;
-    if (events_run >= 7 && Clock::now() >= soak_deadline) break;
+    if (events_run >= 9 && Clock::now() >= soak_deadline) break;
   }
 
   stop_load_.store(true, std::memory_order_relaxed);
@@ -679,6 +855,28 @@ int ChaosSoak::Run() {
               " kInternal responses (budget " +
               std::to_string(nan_budget) + ")");
   }
+  // Each reap terminates only the wedged worker's in-flight requests (one
+  // batch at most); anything beyond a small per-reap budget means healthy
+  // requests are being deadline-failed.
+  const uint64_t deadline_budget =
+      64 * static_cast<uint64_t>(std::max(1, events_.worker_reaps));
+  if (load_.deadline.load() > deadline_budget) {
+    Violation("reap blast radius unbounded: " +
+              std::to_string(load_.deadline.load()) +
+              " kDeadlineExceeded responses (budget " +
+              std::to_string(deadline_budget) + ")");
+  }
+  // Shedding must be a response to injected pressure, never organic load:
+  // the budget is sized 6x above the pre-start footprint.
+  if (events_.leak_sheds == 0 && load_.shed.load() > 0) {
+    Violation("admissions were shed without injected memory pressure");
+  }
+  if (events_.leak_sheds > 0 &&
+      server_->overload()->peak_sampled_bytes() >= mem_budget_bytes_) {
+    Violation("peak sampled memory " +
+              std::to_string(server_->overload()->peak_sampled_bytes()) +
+              " reached the budget " + std::to_string(mem_budget_bytes_));
+  }
   if (load_.submitted.load() == 0) {
     Violation("load generator produced no requests");
   }
@@ -686,21 +884,28 @@ int ChaosSoak::Run() {
 
   std::printf(
       "\nchaos soak: %llu requests (%llu ok, %llu nonfinite-internal, "
-      "%llu other failures), %d events "
+      "%llu shed, %llu deadline, %llu other failures), %d events "
       "(%d+%d good swaps, %d corrupt, %d mismatch, %d nan-rollback, "
-      "%d latency-rollback, %d torn), generation %llu, stable v%llu, "
-      "%zu quarantined\n",
+      "%d latency-rollback, %d torn, %d reap, %d leak-shed), "
+      "generation %llu, stable v%llu, %zu quarantined, "
+      "%llu reaps / %llu replacements, peak %lld / budget %lld bytes\n",
       static_cast<unsigned long long>(load_.submitted.load()),
       static_cast<unsigned long long>(load_.ok.load()),
       static_cast<unsigned long long>(load_.nonfinite_internal.load()),
+      static_cast<unsigned long long>(load_.shed.load()),
+      static_cast<unsigned long long>(load_.deadline.load()),
       static_cast<unsigned long long>(load_.other_failures.load()),
       events_run, events_.good_swaps, events_.slow_good_swaps,
       events_.corrupt_published, events_.mismatch_published,
       events_.nan_rollbacks, events_.latency_rollbacks,
-      events_.torn_publishes,
+      events_.torn_publishes, events_.worker_reaps, events_.leak_sheds,
       static_cast<unsigned long long>(server_->generation()),
       static_cast<unsigned long long>(server_->stable_version()),
-      server_->registry()->Quarantined().size());
+      server_->registry()->Quarantined().size(),
+      static_cast<unsigned long long>(server_->watchdog_reaps()),
+      static_cast<unsigned long long>(server_->watchdog_replacements()),
+      static_cast<long long>(server_->overload()->peak_sampled_bytes()),
+      static_cast<long long>(mem_budget_bytes_));
 
   WriteJson();
   if (!violations_.empty()) {
